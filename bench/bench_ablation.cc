@@ -1,0 +1,123 @@
+// Ablation studies beyond the paper's own tables, quantifying the design
+// choices DESIGN.md calls out:
+//
+//   (a) order blocks — extended supply-demand only, +last-call,
+//       +waiting-time (how much do the passenger-information blocks buy?);
+//   (b) learnt day-of-week combining weights p (Eq. 1) vs the uniform 1/7
+//       average the prior work effectively uses;
+//   (c) feature scaling — raw counts (default) vs log1p-compressed inputs;
+//   (d) projection dimensionality of the extended blocks (paper fixes 16).
+
+#include "bench/bench_common.h"
+
+namespace deepsd {
+namespace {
+
+int Main() {
+  eval::Experiment exp(eval::GetScaleFromEnv(), /*seed=*/42);
+  eval::PrintExperimentBanner(exp, "Ablations: DeepSD design choices");
+  std::vector<float> targets = exp.TestTargets();
+
+  eval::TablePrinter table({"Ablation", "Variant", "MAE", "RMSE"});
+  auto run = [&](const char* group, const char* variant,
+                 const core::DeepSDConfig& config) {
+    std::printf("training %s / %s...\n", group, variant);
+    auto trained =
+        exp.TrainDeepSD(core::DeepSDModel::Mode::kAdvanced, config, 7);
+    eval::Metrics m = eval::ComputeMetrics(trained.test_predictions, targets);
+    table.AddRow({group, variant, util::StrFormat("%.2f", m.mae),
+                  util::StrFormat("%.2f", m.rmse)});
+  };
+
+  // (a) Order-block composition.
+  {
+    core::DeepSDConfig config = exp.ModelConfig();
+    config.use_last_call = false;
+    config.use_waiting_time = false;
+    run("order blocks", "supply-demand only", config);
+    config.use_last_call = true;
+    run("order blocks", "+ last-call", config);
+    config.use_waiting_time = true;
+    run("order blocks", "+ waiting-time (full)", config);
+  }
+
+  // (b) Learnt vs uniform weekday combination.
+  {
+    core::DeepSDConfig config = exp.ModelConfig();
+    config.uniform_weekday_weights = true;
+    run("weekday weights", "uniform 1/7", config);
+    config.uniform_weekday_weights = false;
+    run("weekday weights", "learnt softmax p (paper)", config);
+  }
+
+  // (c) Projection dimensionality.
+  for (int dim : {8, 16, 32}) {
+    core::DeepSDConfig config = exp.ModelConfig();
+    config.proj_dim = dim;
+    run("projection dim", util::StrFormat("R^%d", dim).c_str(), config);
+  }
+
+  std::printf("\nAblation results (Advanced DeepSD)\n");
+  table.Print();
+
+  // (d) Feature scaling needs a different assembler; run it separately.
+  std::printf("\nfeature scaling ablation (raw vs log1p inputs)...\n");
+  feature::FeatureConfig log_fc;
+  log_fc.normalize = true;
+  feature::FeatureAssembler log_assembler(&exp.dataset(), log_fc, 0,
+                                          exp.train_day_end());
+  nn::ParameterStore store;
+  util::Rng rng(7);
+  core::DeepSDModel model(exp.ModelConfig(),
+                          core::DeepSDModel::Mode::kAdvanced, &store, &rng);
+  core::AssemblerSource train(&log_assembler, exp.train_items(), true);
+  core::AssemblerSource test(&log_assembler, exp.test_items(), true);
+  core::Trainer trainer(exp.TrainerConfig(7));
+  core::TrainResult result = trainer.Train(&model, &store, train, test);
+
+  eval::TablePrinter scaling({"Inputs", "MAE", "RMSE"});
+  auto raw = exp.TrainDeepSD(core::DeepSDModel::Mode::kAdvanced,
+                             exp.ModelConfig(), 7);
+  eval::Metrics raw_m = eval::ComputeMetrics(raw.test_predictions, targets);
+  scaling.AddRow("raw counts (default)", {raw_m.mae, raw_m.rmse});
+  scaling.AddRow("log1p-compressed", {result.final_eval_mae,
+                                      result.final_eval_rmse});
+  scaling.Print();
+
+  // (e) Optimizer: Adam (paper's choice, Sec VI-B3) vs SGD+momentum.
+  std::printf("\noptimizer ablation (Adam vs SGD+momentum)...\n");
+  eval::TablePrinter opt_table({"Optimizer", "MAE", "RMSE"});
+  {
+    eval::Metrics adam_m = eval::ComputeMetrics(raw.test_predictions, targets);
+    opt_table.AddRow("Adam (paper)", {adam_m.mae, adam_m.rmse});
+
+    nn::ParameterStore sgd_store;
+    util::Rng sgd_rng(7);
+    core::DeepSDModel sgd_model(exp.ModelConfig(),
+                                core::DeepSDModel::Mode::kAdvanced,
+                                &sgd_store, &sgd_rng);
+    core::AssemblerSource sgd_train = exp.TrainSource(true);
+    core::AssemblerSource sgd_test = exp.TestSource(true);
+    core::TrainConfig tc = exp.TrainerConfig(7);
+    tc.optimizer = core::TrainConfig::Optimizer::kSgdMomentum;
+    tc.learning_rate = 1e-4f;  // SGD needs a smaller rate on raw features
+    core::Trainer sgd_trainer(tc);
+    core::TrainResult sgd_result =
+        sgd_trainer.Train(&sgd_model, &sgd_store, sgd_train, sgd_test);
+    opt_table.AddRow("SGD + momentum",
+                     {sgd_result.final_eval_mae, sgd_result.final_eval_rmse});
+  }
+  opt_table.Print();
+
+  std::printf(
+      "\nExpected shapes: passenger blocks and learnt p reduce error; "
+      "R^16 ≈ R^32 > R^8; raw counts beat log1p (compression flattens the "
+      "large-gap regimes that dominate RMSE); Adam at least matches tuned "
+      "SGD with far less tuning.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepsd
+
+int main() { return deepsd::Main(); }

@@ -1,0 +1,54 @@
+// Window-size ablation: the paper fixes the look-back window L = 20
+// minutes "due to the restriction of test data". This bench varies L and
+// retrains the advanced model, quantifying how much history the model
+// actually uses — and whether the fixed choice was near-optimal.
+
+#include "bench/bench_common.h"
+
+namespace deepsd {
+namespace {
+
+int Main() {
+  eval::Experiment exp(eval::GetScaleFromEnv(), /*seed=*/42);
+  eval::PrintExperimentBanner(exp, "Ablation: look-back window size L");
+  std::vector<float> targets = exp.TestTargets();
+
+  eval::TablePrinter table({"Window L", "MAE", "RMSE", "s/epoch"});
+  for (int window : {10, 20, 30}) {
+    std::printf("training Advanced DeepSD with L = %d...\n", window);
+    feature::FeatureConfig fc;
+    fc.window = window;
+    feature::FeatureAssembler assembler(&exp.dataset(), fc, 0,
+                                        exp.train_day_end());
+    core::DeepSDConfig config = exp.ModelConfig();
+    config.window = window;
+
+    nn::ParameterStore store;
+    util::Rng rng(7);
+    core::DeepSDModel model(config, core::DeepSDModel::Mode::kAdvanced,
+                            &store, &rng);
+    core::AssemblerSource train(&assembler, exp.train_items(), true);
+    core::AssemblerSource test(&assembler, exp.test_items(), true);
+    core::Trainer trainer(exp.TrainerConfig(7));
+    core::TrainResult result = trainer.Train(&model, &store, train, test);
+    eval::Metrics m =
+        eval::ComputeMetrics(model.Predict(test), targets);
+    table.AddRow({util::StrFormat("%d min", window),
+                  util::StrFormat("%.2f", m.mae),
+                  util::StrFormat("%.2f", m.rmse),
+                  util::StrFormat("%.1f", result.seconds_per_epoch)});
+  }
+
+  std::printf("\nWindow-size ablation (Advanced DeepSD)\n");
+  table.Print();
+  std::printf(
+      "\nExpected shape: accuracy saturates around the paper's L = 20 — the "
+      "predictive signal lives in the last ~10-20 minutes (see also the "
+      "sensitivity profiles from deepsd_predict --explain).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepsd
+
+int main() { return deepsd::Main(); }

@@ -1,0 +1,86 @@
+#ifndef DEEPSD_BENCH_BENCH_COMMON_H_
+#define DEEPSD_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the table/figure reproduction binaries. Each binary
+// prints the corresponding table or data series from the paper, computed on
+// the simulated city at the scale chosen by DEEPSD_BENCH_SCALE
+// (tiny | default | full).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/empirical_average.h"
+#include "baselines/gbdt.h"
+#include "baselines/lasso.h"
+#include "baselines/random_forest.h"
+#include "baselines/seasonal_ewma.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace bench {
+
+/// Test predictions of the Empirical Average baseline.
+inline std::vector<float> RunEmpiricalAverage(const eval::Experiment& exp) {
+  baselines::EmpiricalAverage avg;
+  avg.Fit(exp.train_items());
+  return avg.Predict(exp.test_items());
+}
+
+/// Test predictions of the seasonal-EWMA time-series baseline (the
+/// Poisson/ARMA-per-location style of the paper's related work).
+inline std::vector<float> RunSeasonalEwma(const eval::Experiment& exp) {
+  baselines::SeasonalEwma model;
+  model.Fit(exp.train_items());
+  return model.Predict(exp.test_items());
+}
+
+/// Test predictions of the LASSO baseline (one-hot categoricals).
+inline std::vector<float> RunLasso(const eval::Experiment& exp) {
+  baselines::FeatureMatrix X = exp.FlatFeatures(exp.train_items(), true);
+  baselines::FeatureMatrix Xt = exp.FlatFeatures(exp.test_items(), true);
+  std::vector<float> y = exp.Targets(exp.train_items());
+  baselines::Lasso lasso(
+      {.alpha = 0.02, .max_iters = exp.scale().lasso_iters});
+  lasso.Fit(X, y);
+  return lasso.Predict(Xt);
+}
+
+/// Test predictions of the GBDT baseline (raw ordinal categoricals).
+inline std::vector<float> RunGbdt(const eval::Experiment& exp) {
+  baselines::FeatureMatrix X = exp.FlatFeatures(exp.train_items(), false);
+  baselines::FeatureMatrix Xt = exp.FlatFeatures(exp.test_items(), false);
+  std::vector<float> y = exp.Targets(exp.train_items());
+  baselines::GbdtConfig config;
+  config.num_trees = exp.scale().gbdt_trees;
+  config.learning_rate = 0.1;
+  config.tree.max_depth = 7;
+  config.tree.colsample = 0.3;
+  baselines::Gbdt gbdt(config);
+  gbdt.Fit(X, y);
+  std::vector<float> pred = gbdt.Predict(Xt);
+  for (float& p : pred) p = std::max(p, 0.0f);
+  return pred;
+}
+
+/// Test predictions of the Random Forest baseline.
+inline std::vector<float> RunRandomForest(const eval::Experiment& exp) {
+  baselines::FeatureMatrix X = exp.FlatFeatures(exp.train_items(), false);
+  baselines::FeatureMatrix Xt = exp.FlatFeatures(exp.test_items(), false);
+  std::vector<float> y = exp.Targets(exp.train_items());
+  baselines::RandomForestConfig config;
+  config.num_trees = exp.scale().rf_trees;
+  baselines::RandomForest rf(config);
+  rf.Fit(X, y);
+  std::vector<float> pred = rf.Predict(Xt);
+  for (float& p : pred) p = std::max(p, 0.0f);
+  return pred;
+}
+
+}  // namespace bench
+}  // namespace deepsd
+
+#endif  // DEEPSD_BENCH_BENCH_COMMON_H_

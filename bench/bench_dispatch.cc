@@ -1,0 +1,76 @@
+// Closed-loop dispatch experiment — the downstream value of the paper's
+// prediction model. A budget of relocatable drivers is distributed every 10
+// minutes by four policies: uniform (no information), reactive (chases the
+// last observed gap), DeepSD-predictive (paper's model), and oracle
+// (perfect foresight — the upper bound). Each allocation is injected into
+// the simulator as extra capacity against the *identical* demand
+// realization; the score is the reduction in unserved passengers.
+
+#include "bench/bench_common.h"
+#include "dispatch/closed_loop.h"
+
+namespace deepsd {
+namespace {
+
+int Main() {
+  eval::Experiment exp(eval::GetScaleFromEnv(), /*seed=*/42);
+  eval::PrintExperimentBanner(exp, "Closed-loop dispatch: value of prediction");
+
+  // Train the advanced model on the training period (as everywhere else).
+  std::printf("training Advanced DeepSD...\n");
+  auto trained = exp.TrainDeepSD(core::DeepSDModel::Mode::kAdvanced,
+                                 exp.ModelConfig(), /*seed=*/7);
+
+  // The closed loop re-simulates the same city config.
+  sim::CityConfig city;
+  city.num_areas = exp.scale().num_areas;
+  city.num_days = exp.scale().train_days + exp.scale().test_days;
+  city.seed = 42;
+  city.mean_scale = exp.scale().mean_scale;
+
+  dispatch::ClosedLoopConfig clc;
+  clc.day_begin = exp.test_day_begin();
+  clc.day_end = std::min(exp.test_day_begin() + 3, exp.test_day_end());
+  clc.drivers_per_minute = 0.4 * exp.scale().num_areas;
+
+  dispatch::UniformPolicy uniform;
+  dispatch::ReactivePolicy reactive;
+  dispatch::PredictiveGapPolicy predictive(trained.model.get(),
+                                           &exp.assembler());
+  dispatch::OraclePolicy oracle;
+
+  eval::TablePrinter table({"Policy", "Unserved passengers",
+                            "Unmet orders", "Reduction vs baseline"});
+  size_t baseline_unserved = 0, baseline_invalid = 0;
+  std::vector<dispatch::DispatchPolicy*> policies = {&uniform, &reactive,
+                                                     &predictive, &oracle};
+  for (dispatch::DispatchPolicy* policy : policies) {
+    std::printf("running closed loop: %s...\n", policy->name().c_str());
+    dispatch::ClosedLoopResult r =
+        dispatch::RunClosedLoop(city, policy, clc);
+    baseline_unserved = r.baseline_unserved;
+    baseline_invalid = r.baseline_invalid_orders;
+    table.AddRow({policy->name(),
+                  util::StrFormat("%zu", r.intervened_unserved),
+                  util::StrFormat("%zu", r.intervened_invalid_orders),
+                  util::StrFormat("%.1f%%", r.reduction_percent)});
+  }
+
+  std::printf(
+      "\nClosed-loop dispatch over days [%d, %d), budget %.1f drivers/min "
+      "city-wide\nbaseline (no intervention): %zu unserved passengers, %zu "
+      "unmet orders\n",
+      clc.day_begin, clc.day_end, clc.drivers_per_minute, baseline_unserved,
+      baseline_invalid);
+  table.Print();
+  std::printf(
+      "\nExpected shape: uniform < reactive < deepsd ≤ oracle in unserved-"
+      "passenger reduction — prediction converts the same driver budget "
+      "into more served rides.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepsd
+
+int main() { return deepsd::Main(); }

@@ -1,0 +1,177 @@
+// Microbenchmarks (google-benchmark) for the performance-critical pieces:
+// dense matmul, autograd forward/backward of a DeepSD-shaped block, the
+// embedding lookup, feature assembly, simulator throughput and tree split
+// search. These are the knobs that dominate the end-to-end training time
+// reported in Table III.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/gbdt.h"
+#include "core/model.h"
+#include "core/trainer.h"
+#include "feature/feature_assembler.h"
+#include "nn/graph.h"
+#include "nn/layers.h"
+#include "sim/city_sim.h"
+
+namespace deepsd {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  nn::Tensor a(64, n), b(n, n), out;
+  util::Rng rng(1);
+  for (float& v : a.flat()) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (float& v : b.flat()) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto _ : state) {
+    nn::MatMul(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_EmbeddingLookup(benchmark::State& state) {
+  nn::ParameterStore store;
+  util::Rng rng(2);
+  nn::Embedding embed(&store, "e", 1440, 6, &rng);
+  std::vector<int> ids(64);
+  for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<int>(i * 20);
+  for (auto _ : state) {
+    nn::Graph g;
+    benchmark::DoNotOptimize(g.value(embed.Apply(&g, ids)).data());
+  }
+}
+BENCHMARK(BM_EmbeddingLookup);
+
+void BM_BlockForwardBackward(benchmark::State& state) {
+  // One FC64→FC32 residual block at batch 64, the unit the model stacks.
+  nn::ParameterStore store;
+  util::Rng rng(3);
+  nn::Linear fc1(&store, "fc1", 140, 64, &rng);
+  nn::Linear fc2(&store, "fc2", 64, 32, &rng);
+  nn::Tensor x(64, 140), target(64, 32);
+  for (float& v : x.flat()) v = static_cast<float>(rng.Uniform(-1, 1));
+  for (auto _ : state) {
+    nn::Graph g;
+    nn::NodeId h = g.LeakyRelu(fc1.Apply(&g, g.Input(x)), 0.001f);
+    nn::NodeId out = g.LeakyRelu(fc2.Apply(&g, h), 0.001f);
+    nn::NodeId loss = g.MseLoss(out, target);
+    store.ZeroGrads();
+    g.Backward(loss);
+    benchmark::DoNotOptimize(g.value(loss).at(0, 0));
+  }
+}
+BENCHMARK(BM_BlockForwardBackward);
+
+struct MicroFixtures {
+  data::OrderDataset dataset;
+  std::unique_ptr<feature::FeatureAssembler> assembler;
+  std::vector<data::PredictionItem> items;
+
+  MicroFixtures() {
+    sim::CityConfig config;
+    config.num_areas = 6;
+    config.num_days = 12;
+    config.seed = 9;
+    dataset = sim::SimulateCity(config);
+    feature::FeatureConfig fc;
+    assembler = std::make_unique<feature::FeatureAssembler>(&dataset, fc, 0, 10);
+    items = data::MakeItems(dataset, 10, 12, 450, 1410, 30);
+  }
+
+  static MicroFixtures& Get() {
+    static MicroFixtures* fixtures = new MicroFixtures();
+    return *fixtures;
+  }
+};
+
+void BM_AssembleBasic(benchmark::State& state) {
+  MicroFixtures& f = MicroFixtures::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    feature::ModelInput in =
+        f.assembler->AssembleBasic(f.items[i++ % f.items.size()]);
+    benchmark::DoNotOptimize(in.v_sd.data());
+  }
+}
+BENCHMARK(BM_AssembleBasic);
+
+void BM_AssembleAdvanced(benchmark::State& state) {
+  MicroFixtures& f = MicroFixtures::Get();
+  size_t i = 0;
+  for (auto _ : state) {
+    feature::ModelInput in =
+        f.assembler->AssembleAdvanced(f.items[i++ % f.items.size()]);
+    benchmark::DoNotOptimize(in.h_sd.data());
+  }
+}
+BENCHMARK(BM_AssembleAdvanced);
+
+void BM_SimulateDay(benchmark::State& state) {
+  // Throughput of the generator itself: one 4-area day per iteration.
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    sim::CityConfig config;
+    config.num_areas = 4;
+    config.num_days = 1;
+    config.seed = seed++;
+    data::OrderDataset ds = sim::SimulateCity(config);
+    benchmark::DoNotOptimize(ds.num_orders());
+  }
+}
+BENCHMARK(BM_SimulateDay)->Unit(benchmark::kMillisecond);
+
+void BM_GbdtSplitSearch(benchmark::State& state) {
+  // One boosted tree fit over a realistic slice of the flat feature matrix.
+  MicroFixtures& f = MicroFixtures::Get();
+  std::vector<std::vector<float>> rows;
+  std::vector<float> y;
+  for (size_t i = 0; i < f.items.size(); ++i) {
+    rows.push_back(f.assembler->AssembleFlat(f.items[i], false));
+    y.push_back(f.items[i].gap);
+  }
+  baselines::FeatureMatrix X = baselines::MakeFeatureMatrix(rows);
+  for (auto _ : state) {
+    baselines::GbdtConfig config;
+    config.num_trees = 1;
+    baselines::Gbdt gbdt(config);
+    gbdt.Fit(X, y);
+    benchmark::DoNotOptimize(gbdt.num_trees());
+  }
+  state.SetItemsProcessed(state.iterations() * X.rows * X.cols);
+}
+BENCHMARK(BM_GbdtSplitSearch)->Unit(benchmark::kMillisecond);
+
+void BM_DeepSDTrainStep(benchmark::State& state) {
+  // One Adam mini-batch update of the advanced model, the unit of Table
+  // III's time-per-epoch column.
+  MicroFixtures& f = MicroFixtures::Get();
+  core::DeepSDConfig config;
+  config.num_areas = f.dataset.num_areas();
+  nn::ParameterStore store;
+  util::Rng rng(11);
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kAdvanced, &store,
+                          &rng);
+  std::vector<feature::ModelInput> inputs;
+  for (size_t i = 0; i < 64; ++i) {
+    inputs.push_back(f.assembler->AssembleAdvanced(f.items[i % f.items.size()]));
+  }
+  core::Batch batch =
+      core::MakeBatch(core::VectorSource(inputs), 0, inputs.size());
+  nn::Adam adam;
+  for (auto _ : state) {
+    nn::Graph g(&rng);
+    g.set_training(true);
+    nn::NodeId pred = model.Forward(&g, batch);
+    nn::NodeId loss = g.MseLoss(pred, batch.target);
+    store.ZeroGrads();
+    g.Backward(loss);
+    adam.Step(&store);
+    benchmark::DoNotOptimize(g.value(loss).at(0, 0));
+  }
+}
+BENCHMARK(BM_DeepSDTrainStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace deepsd

@@ -1,0 +1,53 @@
+// Reproduces paper Table III (effects of embedding): MAE / RMSE / seconds
+// per epoch of Basic and Advanced DeepSD with embedding vs one-hot
+// representation of the categorical inputs.
+
+#include "bench/bench_common.h"
+
+namespace deepsd {
+namespace {
+
+int Main() {
+  eval::Experiment exp(eval::GetScaleFromEnv(), /*seed=*/42);
+  eval::PrintExperimentBanner(exp, "Table III: effects of embedding");
+
+  std::vector<float> targets = exp.TestTargets();
+  eval::TablePrinter table({"Representation", "Model", "MAE", "RMSE",
+                            "Time (per epoch)"});
+
+  struct Case {
+    const char* repr;
+    const char* model;
+    core::DeepSDModel::Mode mode;
+    bool embedding;
+  };
+  const Case cases[] = {
+      {"One-hot", "Basic DeepSD", core::DeepSDModel::Mode::kBasic, false},
+      {"Embedding", "Basic DeepSD", core::DeepSDModel::Mode::kBasic, true},
+      {"One-hot", "Advanced DeepSD", core::DeepSDModel::Mode::kAdvanced, false},
+      {"Embedding", "Advanced DeepSD", core::DeepSDModel::Mode::kAdvanced,
+       true},
+  };
+  for (const Case& c : cases) {
+    core::DeepSDConfig config = exp.ModelConfig();
+    config.use_embedding = c.embedding;
+    std::printf("training %s %s...\n", c.model, c.repr);
+    auto trained = exp.TrainDeepSD(c.mode, config, /*seed=*/7);
+    eval::Metrics m = eval::ComputeMetrics(trained.test_predictions, targets);
+    table.AddRow({c.repr, c.model, util::StrFormat("%.2f", m.mae),
+                  util::StrFormat("%.2f", m.rmse),
+                  util::StrFormat("%.1fs", trained.result.seconds_per_epoch)});
+  }
+
+  std::printf("\nTable III. Effects of embedding\n");
+  table.Print();
+  std::printf(
+      "\nPaper shape to verify: embedding beats one-hot on MAE/RMSE for both "
+      "models and is faster per epoch.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepsd
+
+int main() { return deepsd::Main(); }

@@ -1,0 +1,129 @@
+// Reproduces paper Table IV (pairwise Euclidean distances of areas in the
+// learnt embedding space) and the Fig 12 analysis: areas close in the
+// embedding space have similar demand curves — including "same trend,
+// different scale" pairs — while distant areas differ.
+
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "feature/vectors.h"
+#include "util/stats.h"
+
+namespace deepsd {
+namespace {
+
+/// Correlation of two areas' average weekday demand curves (hourly bins),
+/// which is scale-invariant — the "trend similarity" of Fig 12(d).
+double ShapeSimilarity(const eval::Experiment& exp, int a, int b) {
+  const data::OrderDataset& ds = exp.dataset();
+  std::vector<double> ca(24, 0.0), cb(24, 0.0);
+  for (int d = 0; d < exp.train_day_end(); ++d) {
+    if (ds.WeekId(d) >= 5) continue;
+    for (int h = 0; h < 24; ++h) {
+      ca[static_cast<size_t>(h)] += ds.ValidInRange(a, d, h * 60, (h + 1) * 60) +
+                                    ds.InvalidInRange(a, d, h * 60, (h + 1) * 60);
+      cb[static_cast<size_t>(h)] += ds.ValidInRange(b, d, h * 60, (h + 1) * 60) +
+                                    ds.InvalidInRange(b, d, h * 60, (h + 1) * 60);
+    }
+  }
+  return util::PearsonCorrelation(ca, cb);
+}
+
+int Main() {
+  eval::Experiment exp(eval::GetScaleFromEnv(), /*seed=*/42);
+  eval::PrintExperimentBanner(exp, "Table IV: embedding distances of areas");
+
+  std::printf("training Basic DeepSD to learn area embeddings...\n");
+  auto trained = exp.TrainDeepSD(core::DeepSDModel::Mode::kBasic,
+                                 exp.ModelConfig(), /*seed=*/7);
+  const nn::Embedding* embed = trained.model->area_embedding();
+
+  // Pairwise distances of the first few areas (paper shows 4).
+  int n = std::min(exp.dataset().num_areas(), 6);
+  std::vector<std::string> header = {"Area"};
+  for (int a = 0; a < n; ++a) header.push_back(util::StrFormat("A%d", a));
+  eval::TablePrinter table(header);
+  for (int a = 0; a < n; ++a) {
+    std::vector<std::string> row = {util::StrFormat("Area %d", a)};
+    for (int b = 0; b < n; ++b) {
+      row.push_back(util::StrFormat("%.2f", embed->Distance(a, b)));
+    }
+    table.AddRow(row);
+  }
+  std::printf("\nTable IV. Pairwise embedding distances (first %d areas)\n", n);
+  table.Print();
+
+  // Fig 12 check: over all pairs, embedding distance should anti-correlate
+  // with demand-shape similarity (close in embedding ⇒ similar curves,
+  // regardless of scale). Areas i and i+5 share a generator cluster.
+  std::vector<double> dists, sims;
+  int num_areas = exp.dataset().num_areas();
+  for (int a = 0; a < num_areas; ++a) {
+    for (int b = a + 1; b < num_areas; ++b) {
+      dists.push_back(embed->Distance(a, b));
+      sims.push_back(ShapeSimilarity(exp, a, b));
+    }
+  }
+  double corr = util::PearsonCorrelation(dists, sims);
+  std::printf(
+      "\nFig 12 analysis: corr(embedding distance, demand-shape similarity) "
+      "over all %zu pairs = %.3f (paper shape: strongly negative)\n",
+      dists.size(), corr);
+
+  // Mean embedding distance within generator clusters vs across them.
+  double within = 0, across = 0;
+  int nw = 0, na = 0;
+  sim::CityConfig profile_config;
+  profile_config.num_areas = num_areas;
+  profile_config.num_days = 1;
+  profile_config.seed = 42;
+  sim::CitySim profile_sim(profile_config);  // must outlive `profiles`
+  const std::vector<sim::AreaProfile>& profiles = profile_sim.profiles();
+  for (int a = 0; a < num_areas; ++a) {
+    for (int b = a + 1; b < num_areas; ++b) {
+      bool same = profiles[static_cast<size_t>(a)].cluster_id ==
+                  profiles[static_cast<size_t>(b)].cluster_id;
+      (same ? within : across) += embed->Distance(a, b);
+      (same ? nw : na) += 1;
+    }
+  }
+  if (nw && na) {
+    std::printf(
+        "mean embedding distance: same demand cluster %.3f vs different "
+        "cluster %.3f (paper shape: same < different)\n",
+        within / nw, across / na);
+  }
+
+  // Scale-free similarity demo (Fig 12(c)/(d)): same-cluster pair with the
+  // largest volume ratio.
+  int best_a = 0, best_b = 5 % num_areas;
+  double best_ratio = 0;
+  for (int a = 0; a < num_areas; ++a) {
+    for (int b = a + 1; b < num_areas; ++b) {
+      if (profiles[static_cast<size_t>(a)].cluster_id !=
+          profiles[static_cast<size_t>(b)].cluster_id) {
+        continue;
+      }
+      double ratio = profiles[static_cast<size_t>(a)].scale /
+                     profiles[static_cast<size_t>(b)].scale;
+      if (ratio < 1) ratio = 1 / ratio;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_a = a;
+        best_b = b;
+      }
+    }
+  }
+  std::printf(
+      "scale-free pair: areas %d and %d differ %.1fx in volume; embedding "
+      "distance %.2f, shape similarity %.3f\n",
+      best_a, best_b, best_ratio, embed->Distance(best_a, best_b),
+      ShapeSimilarity(exp, best_a, best_b));
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepsd
+
+int main() { return deepsd::Main(); }

@@ -1,0 +1,52 @@
+// Reproduces paper Table V (effects of residual learning): Basic and
+// Advanced DeepSD with inter-block residual connections vs the plain
+// concatenation topology of Fig 14.
+
+#include "bench/bench_common.h"
+
+namespace deepsd {
+namespace {
+
+int Main() {
+  eval::Experiment exp(eval::GetScaleFromEnv(), /*seed=*/42);
+  eval::PrintExperimentBanner(exp, "Table V: effects of residual learning");
+
+  std::vector<float> targets = exp.TestTargets();
+  struct Result {
+    double mae, rmse;
+  };
+  auto run = [&](core::DeepSDModel::Mode mode, bool residual) {
+    core::DeepSDConfig config = exp.ModelConfig();
+    config.use_residual = residual;
+    std::printf("training %s (%s residual)...\n",
+                mode == core::DeepSDModel::Mode::kBasic ? "Basic" : "Advanced",
+                residual ? "with" : "without");
+    auto trained = exp.TrainDeepSD(mode, config, /*seed=*/7);
+    eval::Metrics m = eval::ComputeMetrics(trained.test_predictions, targets);
+    return Result{m.mae, m.rmse};
+  };
+
+  Result basic_with = run(core::DeepSDModel::Mode::kBasic, true);
+  Result basic_without = run(core::DeepSDModel::Mode::kBasic, false);
+  Result adv_with = run(core::DeepSDModel::Mode::kAdvanced, true);
+  Result adv_without = run(core::DeepSDModel::Mode::kAdvanced, false);
+
+  eval::TablePrinter table({"Model", "With Residual MAE", "With Residual RMSE",
+                            "Without Residual MAE", "Without Residual RMSE"});
+  table.AddRow("Basic DeepSD", {basic_with.mae, basic_with.rmse,
+                                basic_without.mae, basic_without.rmse});
+  table.AddRow("Advanced DeepSD",
+               {adv_with.mae, adv_with.rmse, adv_without.mae,
+                adv_without.rmse});
+  std::printf("\nTable V. Effects of residual learning\n");
+  table.Print();
+  std::printf(
+      "\nPaper shape to verify: residual learning gives lower error for both "
+      "models.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepsd
+
+int main() { return deepsd::Main(); }

@@ -1,0 +1,121 @@
+// Dispatch advisor: the application the paper's introduction motivates.
+//
+// Every 10 minutes of a simulated operating day, predict the supply-demand
+// gap of every area for the next 10 minutes with a trained Advanced DeepSD
+// model and emit dispatch advice: which areas to send idle drivers to, and
+// how a gap-weighted dispatch policy compares against a no-prediction
+// baseline in unmet demand covered.
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "core/trainer.h"
+#include "eval/metrics.h"
+#include "sim/city_sim.h"
+#include "util/string_util.h"
+
+namespace {
+
+struct Advice {
+  int area;
+  float predicted_gap;
+};
+
+}  // namespace
+
+int main() {
+  using namespace deepsd;
+
+  sim::CityConfig city;
+  city.num_areas = 12;
+  city.num_days = 22;
+  city.seed = 99;
+  data::OrderDataset dataset = sim::SimulateCity(city);
+
+  const int train_end = 21;
+  const int ops_day = 21;  // the day we advise on
+  feature::FeatureConfig fc;
+  feature::FeatureAssembler assembler(&dataset, fc, 0, train_end);
+  auto train_items = data::MakeItems(dataset, 0, train_end, 20, 1430, 15);
+
+  core::DeepSDConfig config;
+  config.num_areas = dataset.num_areas();
+  nn::ParameterStore params;
+  util::Rng rng(1);
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kAdvanced, &params,
+                          &rng);
+  core::AssemblerSource train_source(&assembler, train_items, true);
+  core::TrainConfig tc;
+  tc.epochs = 4;
+  tc.best_k = 2;
+  std::printf("training Advanced DeepSD on %zu items...\n",
+              train_items.size());
+  core::Trainer(tc).Train(&model, &params, train_source, train_source);
+
+  // Operating loop: at each decision epoch, rank areas by predicted gap.
+  std::printf("\n=== dispatch advice for day %d ===\n", ops_day);
+  double covered_by_policy = 0, covered_by_uniform = 0, total_gap = 0;
+  const int kDriversPerRound = 10;
+
+  for (int t = 480; t <= 1320; t += 10) {
+    std::vector<data::PredictionItem> round_items;
+    for (int a = 0; a < dataset.num_areas(); ++a) {
+      data::PredictionItem item;
+      item.area = a;
+      item.day = ops_day;
+      item.t = t;
+      item.week_id = dataset.WeekId(ops_day);
+      item.gap = static_cast<float>(dataset.Gap(a, ops_day, t));
+      round_items.push_back(item);
+    }
+    core::AssemblerSource source(&assembler, round_items, true);
+    std::vector<float> predicted = model.Predict(source);
+
+    std::vector<Advice> advice;
+    for (int a = 0; a < dataset.num_areas(); ++a) {
+      advice.push_back({a, predicted[static_cast<size_t>(a)]});
+    }
+    std::sort(advice.begin(), advice.end(),
+              [](const Advice& x, const Advice& y) {
+                return x.predicted_gap > y.predicted_gap;
+              });
+
+    // Policy: allocate the idle-driver budget proportionally to predicted
+    // gaps. Baseline: spread uniformly. "Covered" demand in an area is
+    // min(true gap, drivers sent there).
+    double pred_sum = 1e-9;
+    for (const Advice& a : advice) pred_sum += std::max(a.predicted_gap, 0.0f);
+    for (int a = 0; a < dataset.num_areas(); ++a) {
+      double true_gap = round_items[static_cast<size_t>(a)].gap;
+      total_gap += true_gap;
+      double policy_drivers = kDriversPerRound *
+                              std::max(predicted[static_cast<size_t>(a)], 0.0f) /
+                              pred_sum;
+      double uniform_drivers =
+          static_cast<double>(kDriversPerRound) / dataset.num_areas();
+      covered_by_policy += std::min(true_gap, policy_drivers);
+      covered_by_uniform += std::min(true_gap, uniform_drivers);
+    }
+
+    if (t % 120 == 0) {
+      std::printf("%s  hot areas:", util::MinuteToClock(t).c_str());
+      for (int k = 0; k < 3; ++k) {
+        std::printf("  #%d (pred gap %.1f, true %d)", advice[k].area,
+                    advice[k].predicted_gap,
+                    dataset.Gap(advice[k].area, ops_day, t));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\nunmet demand over the day: %.0f rides\n"
+      "covered by prediction-weighted dispatch: %.1f rides\n"
+      "covered by uniform dispatch:             %.1f rides\n"
+      "improvement: %.1f%%\n",
+      total_gap, covered_by_policy, covered_by_uniform,
+      100.0 * (covered_by_policy - covered_by_uniform) /
+          std::max(covered_by_uniform, 1.0));
+  return 0;
+}

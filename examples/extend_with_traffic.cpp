@@ -1,0 +1,85 @@
+// Extendability walkthrough (paper Sec V-C): you have a DeepSD model
+// trained on order + weather data; a traffic feed becomes available later.
+// Instead of retraining from scratch, rebuild the model with the traffic
+// block over the SAME ParameterStore — the trained blocks re-bind by name —
+// and fine-tune. The example prints the accuracy before/after and the
+// convergence comparison against a cold start.
+
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "eval/metrics.h"
+#include "util/string_util.h"
+#include "sim/city_sim.h"
+
+int main() {
+  using namespace deepsd;
+
+  sim::CityConfig city;
+  city.num_areas = 8;
+  city.num_days = 18;
+  city.seed = 5;
+  data::OrderDataset dataset = sim::SimulateCity(city);
+
+  const int train_end = 15;
+  feature::FeatureConfig fc;
+  feature::FeatureAssembler assembler(&dataset, fc, 0, train_end);
+  auto train_items = data::MakeItems(dataset, 0, train_end, 20, 1430, 20);
+  auto test_items = data::MakeTestItems(dataset, train_end, 18);
+  core::AssemblerSource train(&assembler, train_items, false);
+  core::AssemblerSource test(&assembler, test_items, false);
+
+  // Stage 1: the deployed model knows order + weather data only.
+  core::DeepSDConfig stage1;
+  stage1.num_areas = dataset.num_areas();
+  stage1.use_traffic = false;
+
+  nn::ParameterStore params;
+  util::Rng rng(11);
+  core::DeepSDModel deployed(stage1, core::DeepSDModel::Mode::kBasic, &params,
+                             &rng);
+  core::TrainConfig tc;
+  tc.epochs = 6;
+  tc.best_k = 0;
+  std::printf("stage 1: training order+weather model (%d epochs)...\n",
+              tc.epochs);
+  core::Trainer(tc).Train(&deployed, &params, train, test);
+  double rmse_before = core::EvaluateMaeRmse(deployed, test).second;
+  std::printf("deployed model test RMSE: %.3f\n\n", rmse_before);
+
+  // Stage 2: traffic data arrives. Rebuild with the traffic block on the
+  // same store and fine-tune for a couple of epochs.
+  core::DeepSDConfig stage2 = stage1;
+  stage2.use_traffic = true;
+  core::DeepSDModel extended(stage2, core::DeepSDModel::Mode::kBasic, &params,
+                             &rng);
+  core::TrainConfig ft;
+  ft.epochs = 2;
+  ft.best_k = 0;
+  std::printf("stage 2: fine-tuning with the traffic block (%d epochs)...\n",
+              ft.epochs);
+  core::TrainResult warm = core::Trainer(ft).Train(&extended, &params, train, test);
+  double rmse_after = core::EvaluateMaeRmse(extended, test).second;
+
+  // Control: the same extended topology trained cold for the same budget.
+  nn::ParameterStore cold_params;
+  util::Rng rng2(12);
+  core::DeepSDModel cold(stage2, core::DeepSDModel::Mode::kBasic, &cold_params,
+                         &rng2);
+  core::TrainResult cold_result =
+      core::Trainer(ft).Train(&cold, &cold_params, train, test);
+
+  std::printf(
+      "\nresults:\n"
+      "  order+weather model RMSE:                %.3f\n"
+      "  + traffic block, fine-tuned %d epochs:    %.3f\n"
+      "  + traffic block, cold start %d epochs:    %.3f\n"
+      "  first-epoch train MSE, warm vs cold:     %.3f vs %.3f\n",
+      rmse_before, ft.epochs, rmse_after, ft.epochs,
+      cold_result.final_eval_rmse, warm.history.front().train_loss,
+      cold_result.history.front().train_loss);
+  std::printf(
+      "\nfine-tuning reuses everything already learnt — the cold start has "
+      "to rediscover it (paper Fig 16).\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Final recorded bench run: headline tables first so a partial log still
+# carries the core reproduction, then figures, extras, microbenchmarks.
+set -uo pipefail
+BUILD="${1:-build}"
+OUT="${2:-bench_output.txt}"
+
+ORDER=(
+  bench_table2_comparison
+  bench_table5_residual
+  bench_fig10_thresholds
+  bench_table4_embedding_distance
+  bench_fig01_demand_curves
+  bench_fig15_weekday_weights
+  bench_fig16_finetune
+  bench_fig11_prediction_curves
+  bench_table3_embedding
+  bench_fig13_environment
+  bench_ablation_window
+  bench_dispatch
+  bench_ablation
+  bench_micro
+)
+
+: > "$OUT"
+for b in "${ORDER[@]}"; do
+  echo "### $BUILD/bench/$b" >> "$OUT"
+  "$BUILD/bench/$b" >> "$OUT" 2>&1
+  echo >> "$OUT"
+done
+echo "ALL-BENCHES-DONE" >> "$OUT"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure at the chosen scale and records the
+# log next to the sources.
+#
+#   scripts/run_experiments.sh [tiny|default|full] [build-dir]
+set -euo pipefail
+
+SCALE="${1:-default}"
+BUILD="${2:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cd "$ROOT"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+export DEEPSD_BENCH_SCALE="$SCALE"
+echo "running bench suite at scale '$SCALE'..."
+: > bench_output.txt
+for b in "$BUILD"/bench/bench_*; do
+  echo "### $b (scale=$SCALE)" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo | tee -a bench_output.txt
+done
+echo "done — results in bench_output.txt"

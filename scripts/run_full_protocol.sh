@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the paper's exact protocol (58 areas, 24 train + 28 test days,
+# items every 5 minutes, 50 epochs, best-10 averaging, dropout 0.5).
+#
+# Cost on one modern CPU core (scale linearly with cores unavailable —
+# the library is single-threaded):
+#   * simulation + feature tables: ~2 minutes, ~1.5 GB RSS
+#   * Basic DeepSD:    ~15 s/epoch  → ~15 min
+#   * Advanced DeepSD: ~30 s/epoch  → ~30 min
+#   * GBDT (150 trees on 394k×1055): ~30 min, ~2.5 GB RSS
+#   * LASSO (one-hot, 394k×1261 dense): ~25 min, ~4 GB RSS
+# Full Table II ≈ 2 hours; the whole bench suite several hours.
+#
+#   scripts/run_full_protocol.sh [build-dir] [bench-name ...]
+set -euo pipefail
+BUILD="${1:-build}"
+shift || true
+BENCHES=("${@:-bench_table2_comparison}")
+
+export DEEPSD_BENCH_SCALE=full
+for b in "${BENCHES[@]}"; do
+  echo "### full-scale $b"
+  "$BUILD/bench/$b"
+done

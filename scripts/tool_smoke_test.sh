@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the CLI tools: simulate → inspect → train →
+# fine-tune → predict. Run by ctest (tools_smoke_test); $1 is the directory
+# holding the tool binaries.
+set -euo pipefail
+
+TOOLS="${1:?usage: tool_smoke_test.sh <tools-bin-dir>}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+echo "== simulate =="
+"$TOOLS/deepsd_simulate" --out=city.bin --areas=4 --days=9 --seed=11 \
+    --mean_scale=0.7
+
+echo "== inspect dataset =="
+"$TOOLS/deepsd_inspect" --data=city.bin | grep -q "areas: 4"
+
+echo "== train basic (no traffic) =="
+"$TOOLS/deepsd_train" --data=city.bin --model=base.bin --mode=basic \
+    --train_days=7 --epochs=2 --stride=30 --best_k=0 --no_traffic \
+    --verbose=false
+
+echo "== fine-tune with traffic =="
+"$TOOLS/deepsd_train" --data=city.bin --model=full.bin --mode=basic \
+    --train_days=7 --epochs=1 --stride=30 --best_k=0 \
+    --finetune_from=base.bin --verbose=false
+
+echo "== inspect parameters =="
+"$TOOLS/deepsd_inspect" --params=full.bin | grep -q "traffic.fc1.w"
+
+echo "== predict =="
+"$TOOLS/deepsd_predict" --data=city.bin --model=full.bin --mode=basic \
+    --ref_days=7 --day=8 --csv=pred.csv
+test -s pred.csv
+head -1 pred.csv | grep -q "predicted_gap"
+
+echo "== unknown flag rejected =="
+if "$TOOLS/deepsd_simulate" --bogus_flag=1 --out=x.bin 2>/dev/null; then
+  echo "expected failure on unknown flag" >&2
+  exit 1
+fi
+
+echo "tool smoke test OK"

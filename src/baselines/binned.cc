@@ -1,0 +1,69 @@
+#include "baselines/binned.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace baselines {
+
+FeatureMatrix MakeFeatureMatrix(const std::vector<std::vector<float>>& rows) {
+  FeatureMatrix m;
+  if (rows.empty()) return m;
+  m.rows = static_cast<int>(rows.size());
+  m.cols = static_cast<int>(rows[0].size());
+  m.values.reserve(static_cast<size_t>(m.rows) * m.cols);
+  for (const auto& r : rows) {
+    DEEPSD_CHECK(static_cast<int>(r.size()) == m.cols);
+    m.values.insert(m.values.end(), r.begin(), r.end());
+  }
+  return m;
+}
+
+BinnedMatrix::BinnedMatrix(const FeatureMatrix& X, int max_bins)
+    : rows_(X.rows), cols_(X.cols) {
+  DEEPSD_CHECK(max_bins >= 2 && max_bins <= 256);
+  edges_.resize(static_cast<size_t>(cols_));
+  codes_.assign(static_cast<size_t>(rows_) * cols_, 0);
+
+  // Sample rows for quantile estimation to keep construction cheap.
+  int sample_stride = std::max(1, rows_ / 20000);
+  std::vector<float> column;
+  for (int c = 0; c < cols_; ++c) {
+    column.clear();
+    for (int r = 0; r < rows_; r += sample_stride) column.push_back(X.at(r, c));
+    std::sort(column.begin(), column.end());
+    column.erase(std::unique(column.begin(), column.end()), column.end());
+
+    std::vector<float>& edges = edges_[static_cast<size_t>(c)];
+    if (static_cast<int>(column.size()) <= max_bins) {
+      // Few distinct values: one bin per value, edges between them.
+      for (size_t i = 0; i + 1 < column.size(); ++i) {
+        edges.push_back(column[i]);
+      }
+    } else {
+      for (int b = 1; b < max_bins; ++b) {
+        size_t idx = static_cast<size_t>(
+            static_cast<double>(b) / max_bins * (column.size() - 1));
+        float e = column[idx];
+        if (edges.empty() || e > edges.back()) edges.push_back(e);
+      }
+    }
+    for (int r = 0; r < rows_; ++r) {
+      codes_[static_cast<size_t>(r) * cols_ + c] = Quantize(c, X.at(r, c));
+    }
+  }
+}
+
+uint8_t BinnedMatrix::Quantize(int feature, float value) const {
+  const std::vector<float>& edges = edges_[static_cast<size_t>(feature)];
+  // code = number of edges strictly below value; "value <= edges[k]" ⇔
+  // code <= k.
+  auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  // lower_bound: first edge >= value → values equal to an edge fall in the
+  // bin left of it (consistent with BinEdge's "<= edge" convention).
+  return static_cast<uint8_t>(it - edges.begin());
+}
+
+}  // namespace baselines
+}  // namespace deepsd

@@ -1,0 +1,66 @@
+#ifndef DEEPSD_BASELINES_BINNED_H_
+#define DEEPSD_BASELINES_BINNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace deepsd {
+namespace baselines {
+
+/// Dense row-major feature matrix for the classical baselines.
+struct FeatureMatrix {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> values;  // rows*cols, row-major
+
+  float at(int r, int c) const {
+    return values[static_cast<size_t>(r) * cols + c];
+  }
+  const float* row(int r) const {
+    return values.data() + static_cast<size_t>(r) * cols;
+  }
+};
+
+/// Builds a FeatureMatrix from per-row feature vectors (all equal length).
+FeatureMatrix MakeFeatureMatrix(const std::vector<std::vector<float>>& rows);
+
+/// Histogram pre-binning for the tree models (the LightGBM/XGBoost-hist
+/// approach): each feature is quantized to at most `max_bins` quantile bins
+/// once, and all split finding runs over bin codes.
+class BinnedMatrix {
+ public:
+  /// Quantizes `X` (column quantiles estimated on a row sample).
+  BinnedMatrix(const FeatureMatrix& X, int max_bins = 64);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int num_bins(int feature) const {
+    return static_cast<int>(edges_[static_cast<size_t>(feature)].size()) + 1;
+  }
+
+  uint8_t code(int r, int c) const {
+    return codes_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Quantizes one raw value of `feature` into its bin code (for Predict on
+  /// unseen rows).
+  uint8_t Quantize(int feature, float value) const;
+
+  /// Upper edge of `bin` for `feature` — the split threshold "value <= edge"
+  /// corresponding to "code <= bin". Last bin has no edge.
+  float BinEdge(int feature, int bin) const {
+    return edges_[static_cast<size_t>(feature)][static_cast<size_t>(bin)];
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<uint8_t> codes_;
+  std::vector<std::vector<float>> edges_;  // per feature, ascending
+};
+
+}  // namespace baselines
+}  // namespace deepsd
+
+#endif  // DEEPSD_BASELINES_BINNED_H_

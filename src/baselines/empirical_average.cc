@@ -1,0 +1,47 @@
+#include "baselines/empirical_average.h"
+
+namespace deepsd {
+namespace baselines {
+
+void EmpiricalAverage::Fit(const std::vector<data::PredictionItem>& train_items) {
+  by_area_t_.clear();
+  by_area_.clear();
+  global_ = Accumulator{};
+  for (const data::PredictionItem& item : train_items) {
+    Accumulator& a = by_area_t_[Key(item.area, item.t)];
+    a.sum += item.gap;
+    ++a.count;
+    Accumulator& b = by_area_[item.area];
+    b.sum += item.gap;
+    ++b.count;
+    global_.sum += item.gap;
+    ++global_.count;
+  }
+}
+
+float EmpiricalAverage::Predict(int area, int t) const {
+  auto it = by_area_t_.find(Key(area, t));
+  if (it != by_area_t_.end() && it->second.count > 0) {
+    return static_cast<float>(it->second.sum / it->second.count);
+  }
+  auto it2 = by_area_.find(area);
+  if (it2 != by_area_.end() && it2->second.count > 0) {
+    return static_cast<float>(it2->second.sum / it2->second.count);
+  }
+  return global_.count > 0
+             ? static_cast<float>(global_.sum / global_.count)
+             : 0.0f;
+}
+
+std::vector<float> EmpiricalAverage::Predict(
+    const std::vector<data::PredictionItem>& items) const {
+  std::vector<float> out;
+  out.reserve(items.size());
+  for (const data::PredictionItem& item : items) {
+    out.push_back(Predict(item.area, item.t));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace deepsd

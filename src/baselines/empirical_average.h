@@ -1,0 +1,41 @@
+#ifndef DEEPSD_BASELINES_EMPIRICAL_AVERAGE_H_
+#define DEEPSD_BASELINES_EMPIRICAL_AVERAGE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "data/types.h"
+
+namespace deepsd {
+namespace baselines {
+
+/// The paper's "Empirical Average" baseline (Sec VI-C): for a query
+/// (area, t) predict the mean gap of the same (area, t) over the training
+/// days. Falls back to the area mean, then the global mean, for unseen
+/// timeslots.
+class EmpiricalAverage {
+ public:
+  void Fit(const std::vector<data::PredictionItem>& train_items);
+
+  float Predict(int area, int t) const;
+  std::vector<float> Predict(const std::vector<data::PredictionItem>& items) const;
+
+ private:
+  struct Accumulator {
+    double sum = 0;
+    int count = 0;
+  };
+
+  static int64_t Key(int area, int t) {
+    return static_cast<int64_t>(area) * data::kMinutesPerDay + t;
+  }
+
+  std::unordered_map<int64_t, Accumulator> by_area_t_;
+  std::unordered_map<int, Accumulator> by_area_;
+  Accumulator global_;
+};
+
+}  // namespace baselines
+}  // namespace deepsd
+
+#endif  // DEEPSD_BASELINES_EMPIRICAL_AVERAGE_H_

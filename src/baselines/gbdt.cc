@@ -1,0 +1,69 @@
+#include "baselines/gbdt.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace baselines {
+
+void Gbdt::Fit(const FeatureMatrix& X, const std::vector<float>& y) {
+  DEEPSD_CHECK(X.rows == static_cast<int>(y.size()));
+  binner_ = std::make_unique<BinnedMatrix>(X, 64);
+  trees_.clear();
+  train_curve_.clear();
+
+  double mean = 0.0;
+  for (float v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  base_prediction_ = static_cast<float>(mean);
+
+  std::vector<float> pred(y.size(), base_prediction_);
+  std::vector<float> residual(y.size());
+  util::Rng rng(config_.seed);
+
+  for (int t = 0; t < config_.num_trees; ++t) {
+    for (size_t i = 0; i < y.size(); ++i) residual[i] = y[i] - pred[i];
+
+    std::vector<int> rows;
+    rows.reserve(y.size());
+    for (int r = 0; r < X.rows; ++r) {
+      if (config_.subsample >= 1.0 || rng.Bernoulli(config_.subsample)) {
+        rows.push_back(r);
+      }
+    }
+    if (rows.empty()) rows.push_back(0);
+
+    RegressionTree tree(config_.tree);
+    tree.Fit(*binner_, residual, rows, &rng);
+
+    float lr = static_cast<float>(config_.learning_rate);
+    double mse = 0.0;
+    for (int r = 0; r < X.rows; ++r) {
+      pred[static_cast<size_t>(r)] += lr * tree.PredictRow(*binner_, r);
+      double d = pred[static_cast<size_t>(r)] - y[static_cast<size_t>(r)];
+      mse += d * d;
+    }
+    train_curve_.push_back(mse / X.rows);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+float Gbdt::PredictRow(const float* features) const {
+  double out = base_prediction_;
+  for (const RegressionTree& tree : trees_) {
+    out += config_.learning_rate * tree.PredictRaw(*binner_, features);
+  }
+  return static_cast<float>(out);
+}
+
+std::vector<float> Gbdt::Predict(const FeatureMatrix& X) const {
+  std::vector<float> out(static_cast<size_t>(X.rows));
+  for (int r = 0; r < X.rows; ++r) {
+    out[static_cast<size_t>(r)] = PredictRow(X.row(r));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace deepsd

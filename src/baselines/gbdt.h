@@ -1,0 +1,48 @@
+#ifndef DEEPSD_BASELINES_GBDT_H_
+#define DEEPSD_BASELINES_GBDT_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/tree.h"
+
+namespace deepsd {
+namespace baselines {
+
+/// Gradient-boosted regression trees with squared loss (the XGBoost
+/// baseline of paper Table II, reimplemented histogram-style).
+struct GbdtConfig {
+  int num_trees = 100;
+  double learning_rate = 0.1;
+  /// Row subsample per tree (stochastic gradient boosting).
+  double subsample = 0.8;
+  TreeConfig tree;
+  uint64_t seed = 17;
+};
+
+class Gbdt {
+ public:
+  explicit Gbdt(const GbdtConfig& config) : config_(config) {}
+
+  /// Fits on raw features; binning happens internally.
+  void Fit(const FeatureMatrix& X, const std::vector<float>& y);
+
+  std::vector<float> Predict(const FeatureMatrix& X) const;
+  float PredictRow(const float* features) const;
+
+  /// Training MSE after each boosting round (monotonicity is tested).
+  const std::vector<double>& train_curve() const { return train_curve_; }
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  GbdtConfig config_;
+  std::unique_ptr<BinnedMatrix> binner_;
+  std::vector<RegressionTree> trees_;
+  float base_prediction_ = 0;
+  std::vector<double> train_curve_;
+};
+
+}  // namespace baselines
+}  // namespace deepsd
+
+#endif  // DEEPSD_BASELINES_GBDT_H_

@@ -1,0 +1,127 @@
+#include "baselines/lasso.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace baselines {
+
+namespace {
+double SoftThreshold(double x, double lambda) {
+  if (x > lambda) return x - lambda;
+  if (x < -lambda) return x + lambda;
+  return 0.0;
+}
+}  // namespace
+
+void Lasso::Fit(const FeatureMatrix& X, const std::vector<float>& y) {
+  const int n = X.rows;
+  const int p = X.cols;
+  DEEPSD_CHECK(n == static_cast<int>(y.size()) && n > 0);
+
+  // Standardize: mu/sigma per column; zero-variance columns get sigma 0 and
+  // are skipped by coordinate descent.
+  std::vector<double> mu(static_cast<size_t>(p), 0.0);
+  std::vector<double> sigma(static_cast<size_t>(p), 0.0);
+  for (int r = 0; r < n; ++r) {
+    const float* row = X.row(r);
+    for (int c = 0; c < p; ++c) mu[static_cast<size_t>(c)] += row[c];
+  }
+  for (double& m : mu) m /= n;
+  for (int r = 0; r < n; ++r) {
+    const float* row = X.row(r);
+    for (int c = 0; c < p; ++c) {
+      double d = row[c] - mu[static_cast<size_t>(c)];
+      sigma[static_cast<size_t>(c)] += d * d;
+    }
+  }
+  for (double& s : sigma) s = std::sqrt(s / n);
+
+  double y_mean = 0.0;
+  for (float v : y) y_mean += v;
+  y_mean /= n;
+
+  // Column-major standardized design for cache-friendly coordinate sweeps.
+  std::vector<float> col(static_cast<size_t>(n));
+  std::vector<std::vector<float>> cols(static_cast<size_t>(p));
+  for (int c = 0; c < p; ++c) {
+    if (sigma[static_cast<size_t>(c)] < 1e-12) continue;
+    col.resize(static_cast<size_t>(n));
+    double inv = 1.0 / sigma[static_cast<size_t>(c)];
+    for (int r = 0; r < n; ++r) {
+      col[static_cast<size_t>(r)] =
+          static_cast<float>((X.at(r, c) - mu[static_cast<size_t>(c)]) * inv);
+    }
+    cols[static_cast<size_t>(c)] = col;
+  }
+
+  std::vector<double> w(static_cast<size_t>(p), 0.0);
+  std::vector<double> residual(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) residual[static_cast<size_t>(r)] = y[r] - y_mean;
+
+  // With standardized columns, xj·xj = n, so the CD update simplifies to
+  // w_j ← soft(w_j + (xj·r)/n, alpha).
+  iterations_run_ = 0;
+  for (int iter = 0; iter < config_.max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (int c = 0; c < p; ++c) {
+      const std::vector<float>& xc = cols[static_cast<size_t>(c)];
+      if (xc.empty()) continue;
+      double dot = 0.0;
+      for (int r = 0; r < n; ++r) {
+        dot += static_cast<double>(xc[static_cast<size_t>(r)]) *
+               residual[static_cast<size_t>(r)];
+      }
+      double old_w = w[static_cast<size_t>(c)];
+      double new_w = SoftThreshold(old_w + dot / n, config_.alpha);
+      double delta = new_w - old_w;
+      if (delta != 0.0) {
+        for (int r = 0; r < n; ++r) {
+          residual[static_cast<size_t>(r)] -=
+              delta * xc[static_cast<size_t>(r)];
+        }
+        w[static_cast<size_t>(c)] = new_w;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    ++iterations_run_;
+    if (max_delta < config_.tolerance) break;
+  }
+
+  // Back-transform into original feature space.
+  weights_.assign(static_cast<size_t>(p), 0.0);
+  intercept_ = y_mean;
+  for (int c = 0; c < p; ++c) {
+    if (sigma[static_cast<size_t>(c)] < 1e-12) continue;
+    weights_[static_cast<size_t>(c)] =
+        w[static_cast<size_t>(c)] / sigma[static_cast<size_t>(c)];
+    intercept_ -= weights_[static_cast<size_t>(c)] * mu[static_cast<size_t>(c)];
+  }
+}
+
+float Lasso::PredictRow(const float* features) const {
+  double out = intercept_;
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    if (weights_[c] != 0.0) out += weights_[c] * features[c];
+  }
+  return static_cast<float>(out);
+}
+
+std::vector<float> Lasso::Predict(const FeatureMatrix& X) const {
+  std::vector<float> out(static_cast<size_t>(X.rows));
+  for (int r = 0; r < X.rows; ++r) {
+    out[static_cast<size_t>(r)] = PredictRow(X.row(r));
+  }
+  return out;
+}
+
+int Lasso::NumNonZero() const {
+  int count = 0;
+  for (double w : weights_) count += (w != 0.0);
+  return count;
+}
+
+}  // namespace baselines
+}  // namespace deepsd

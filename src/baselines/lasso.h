@@ -1,0 +1,48 @@
+#ifndef DEEPSD_BASELINES_LASSO_H_
+#define DEEPSD_BASELINES_LASSO_H_
+
+#include <vector>
+
+#include "baselines/binned.h"
+
+namespace deepsd {
+namespace baselines {
+
+/// L1-regularized linear regression by cyclic coordinate descent (the
+/// scikit-learn Lasso baseline of paper Table II).
+///
+/// Objective: (1/2n)·‖y − Xw − b‖² + alpha·‖w‖₁, features standardized
+/// internally (zero-variance columns are dropped).
+struct LassoConfig {
+  double alpha = 0.01;
+  int max_iters = 100;     ///< Full coordinate sweeps.
+  double tolerance = 1e-5; ///< Stop when max |Δw| in a sweep is below this.
+};
+
+class Lasso {
+ public:
+  explicit Lasso(const LassoConfig& config) : config_(config) {}
+
+  void Fit(const FeatureMatrix& X, const std::vector<float>& y);
+  std::vector<float> Predict(const FeatureMatrix& X) const;
+  float PredictRow(const float* features) const;
+
+  /// Weights in the original (un-standardized) feature space.
+  const std::vector<double>& weights() const { return weights_; }
+  double intercept() const { return intercept_; }
+  /// Number of non-zero weights (sparsity diagnostics).
+  int NumNonZero() const;
+  /// Sweeps actually run before convergence.
+  int iterations_run() const { return iterations_run_; }
+
+ private:
+  LassoConfig config_;
+  std::vector<double> weights_;
+  double intercept_ = 0;
+  int iterations_run_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace deepsd
+
+#endif  // DEEPSD_BASELINES_LASSO_H_

@@ -1,0 +1,49 @@
+#include "baselines/random_forest.h"
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace baselines {
+
+void RandomForest::Fit(const FeatureMatrix& X, const std::vector<float>& y) {
+  DEEPSD_CHECK(X.rows == static_cast<int>(y.size()));
+  binner_ = std::make_unique<BinnedMatrix>(X, 64);
+  trees_.clear();
+  util::Rng rng(config_.seed);
+
+  TreeConfig tree_config;
+  tree_config.max_depth = config_.max_depth;
+  tree_config.min_samples_leaf = config_.min_samples_leaf;
+  tree_config.colsample = config_.colsample;
+
+  for (int t = 0; t < config_.num_trees; ++t) {
+    // Bootstrap sample of rows (with replacement).
+    std::vector<int> rows(static_cast<size_t>(X.rows));
+    for (int& r : rows) {
+      r = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(X.rows)));
+    }
+    RegressionTree tree(tree_config);
+    tree.Fit(*binner_, y, rows, &rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+float RandomForest::PredictRow(const float* features) const {
+  DEEPSD_CHECK(!trees_.empty());
+  double sum = 0.0;
+  for (const RegressionTree& tree : trees_) {
+    sum += tree.PredictRaw(*binner_, features);
+  }
+  return static_cast<float>(sum / static_cast<double>(trees_.size()));
+}
+
+std::vector<float> RandomForest::Predict(const FeatureMatrix& X) const {
+  std::vector<float> out(static_cast<size_t>(X.rows));
+  for (int r = 0; r < X.rows; ++r) {
+    out[static_cast<size_t>(r)] = PredictRow(X.row(r));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace deepsd

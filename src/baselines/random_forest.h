@@ -1,0 +1,43 @@
+#ifndef DEEPSD_BASELINES_RANDOM_FOREST_H_
+#define DEEPSD_BASELINES_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/tree.h"
+
+namespace deepsd {
+namespace baselines {
+
+/// Bagged random forest regressor (the scikit-learn RF baseline of paper
+/// Table II): bootstrap rows per tree, subsampled features per split,
+/// averaged deep trees.
+struct RandomForestConfig {
+  int num_trees = 30;
+  /// Features considered per split; 0.33 ≈ the classic p/3 heuristic.
+  double colsample = 0.33;
+  int max_depth = 14;
+  int min_samples_leaf = 5;
+  uint64_t seed = 29;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(const RandomForestConfig& config) : config_(config) {}
+
+  void Fit(const FeatureMatrix& X, const std::vector<float>& y);
+  std::vector<float> Predict(const FeatureMatrix& X) const;
+  float PredictRow(const float* features) const;
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  RandomForestConfig config_;
+  std::unique_ptr<BinnedMatrix> binner_;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace baselines
+}  // namespace deepsd
+
+#endif  // DEEPSD_BASELINES_RANDOM_FOREST_H_

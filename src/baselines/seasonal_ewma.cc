@@ -1,0 +1,75 @@
+#include "baselines/seasonal_ewma.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace baselines {
+
+size_t SeasonalEwma::CellIndex(int area, int day_bucket, int time_bin) const {
+  return (static_cast<size_t>(area) * num_day_buckets_ + day_bucket) *
+             num_time_bins_ +
+         time_bin;
+}
+
+void SeasonalEwma::Fit(const std::vector<data::PredictionItem>& train_items) {
+  num_areas_ = 0;
+  for (const auto& item : train_items) {
+    num_areas_ = std::max(num_areas_, item.area + 1);
+  }
+  num_day_buckets_ = config_.per_weekday ? data::kDaysPerWeek : 2;
+  num_time_bins_ =
+      (data::kMinutesPerDay + config_.time_bin_minutes - 1) /
+      config_.time_bin_minutes;
+  cells_.assign(static_cast<size_t>(num_areas_) * num_day_buckets_ *
+                    num_time_bins_,
+                Cell{});
+
+  double total = 0;
+  for (const auto& item : train_items) total += item.gap;
+  global_mean_ =
+      train_items.empty() ? 0.0 : total / static_cast<double>(train_items.size());
+
+  // Replay observations in day order so the EWMA weights recent history.
+  std::vector<const data::PredictionItem*> ordered;
+  ordered.reserve(train_items.size());
+  for (const auto& item : train_items) ordered.push_back(&item);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const data::PredictionItem* a,
+                      const data::PredictionItem* b) { return a->day < b->day; });
+
+  for (const data::PredictionItem* item : ordered) {
+    Cell& cell =
+        cells_[CellIndex(item->area, DayBucket(item->week_id), TimeBin(item->t))];
+    if (!cell.seen) {
+      cell.value = item->gap;
+      cell.seen = true;
+    } else {
+      cell.value = (1.0 - config_.alpha) * cell.value +
+                   config_.alpha * item->gap;
+    }
+  }
+}
+
+float SeasonalEwma::Predict(int area, int week_id, int t) const {
+  if (area < 0 || area >= num_areas_ || cells_.empty()) {
+    return static_cast<float>(global_mean_);
+  }
+  const Cell& cell = cells_[CellIndex(area, DayBucket(week_id), TimeBin(t))];
+  return cell.seen ? static_cast<float>(cell.value)
+                   : static_cast<float>(global_mean_);
+}
+
+std::vector<float> SeasonalEwma::Predict(
+    const std::vector<data::PredictionItem>& items) const {
+  std::vector<float> out;
+  out.reserve(items.size());
+  for (const auto& item : items) {
+    out.push_back(Predict(item.area, item.week_id, item.t));
+  }
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace deepsd

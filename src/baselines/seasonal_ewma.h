@@ -1,0 +1,63 @@
+#ifndef DEEPSD_BASELINES_SEASONAL_EWMA_H_
+#define DEEPSD_BASELINES_SEASONAL_EWMA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "data/types.h"
+
+namespace deepsd {
+namespace baselines {
+
+/// Seasonal exponentially-weighted moving average, the spirit of the
+/// time-series baselines the paper's related work uses (Poisson / ARMA per
+/// location, Moreira-Matias et al.): one EWMA state per
+/// (area, day-of-week bucket, time-of-day bin), updated in day order, so
+/// recent same-season history dominates the forecast.
+struct SeasonalEwmaConfig {
+  /// Smoothing factor: state ← (1-alpha)·state + alpha·observation.
+  double alpha = 0.3;
+  /// Width of a time-of-day bin in minutes.
+  int time_bin_minutes = 30;
+  /// true → 7 weekday buckets; false → 2 (weekday / weekend), the coarser
+  /// split most prior work uses (paper Sec V-A discussion).
+  bool per_weekday = true;
+};
+
+class SeasonalEwma {
+ public:
+  explicit SeasonalEwma(const SeasonalEwmaConfig& config = {})
+      : config_(config) {}
+
+  /// Consumes training items (any order; internally replayed by day).
+  void Fit(const std::vector<data::PredictionItem>& train_items);
+
+  /// Forecast for (area, week_id, t).
+  float Predict(int area, int week_id, int t) const;
+  std::vector<float> Predict(
+      const std::vector<data::PredictionItem>& items) const;
+
+ private:
+  struct Cell {
+    double value = 0;
+    bool seen = false;
+  };
+
+  int DayBucket(int week_id) const {
+    return config_.per_weekday ? week_id : (week_id >= 5 ? 1 : 0);
+  }
+  int TimeBin(int t) const { return t / config_.time_bin_minutes; }
+  size_t CellIndex(int area, int day_bucket, int time_bin) const;
+
+  SeasonalEwmaConfig config_;
+  int num_areas_ = 0;
+  int num_day_buckets_ = 0;
+  int num_time_bins_ = 0;
+  std::vector<Cell> cells_;
+  double global_mean_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace deepsd
+
+#endif  // DEEPSD_BASELINES_SEASONAL_EWMA_H_

@@ -1,0 +1,131 @@
+#include "baselines/tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace baselines {
+
+namespace {
+constexpr int kMaxBins = 256;
+}
+
+void RegressionTree::Fit(const BinnedMatrix& X,
+                         const std::vector<float>& targets,
+                         const std::vector<int>& row_indices, util::Rng* rng) {
+  nodes_.clear();
+  depth_ = 0;
+  DEEPSD_CHECK(!row_indices.empty());
+  std::vector<int> rows = row_indices;
+  Build(X, targets, rows, 0, static_cast<int>(rows.size()), 0, rng);
+}
+
+int RegressionTree::Build(const BinnedMatrix& X,
+                          const std::vector<float>& targets,
+                          std::vector<int>& rows, int begin, int end,
+                          int depth, util::Rng* rng) {
+  depth_ = std::max(depth_, depth);
+  const int n = end - begin;
+
+  double sum = 0.0;
+  for (int i = begin; i < end; ++i) {
+    sum += targets[static_cast<size_t>(rows[static_cast<size_t>(i)])];
+  }
+  const double mean = sum / n;
+
+  int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(node_id)].value = static_cast<float>(mean);
+
+  if (depth >= config_.max_depth || n < 2 * config_.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Histogram split search: best (feature, bin) by variance reduction,
+  // which for squared loss is max of sumL²/nL + sumR²/nR − sum²/n.
+  double best_gain = config_.min_gain;
+  int best_feature = -1;
+  int best_bin = -1;
+
+  double counts[kMaxBins];
+  double sums[kMaxBins];
+  for (int c = 0; c < X.cols(); ++c) {
+    if (config_.colsample < 1.0 && !rng->Bernoulli(config_.colsample)) {
+      continue;
+    }
+    const int bins = X.num_bins(c);
+    if (bins < 2) continue;
+    std::fill(counts, counts + bins, 0.0);
+    std::fill(sums, sums + bins, 0.0);
+    for (int i = begin; i < end; ++i) {
+      int r = rows[static_cast<size_t>(i)];
+      uint8_t code = X.code(r, c);
+      counts[code] += 1.0;
+      sums[code] += targets[static_cast<size_t>(r)];
+    }
+    double nl = 0.0, sl = 0.0;
+    const double parent_score = sum * sum / n;
+    for (int b = 0; b + 1 < bins; ++b) {
+      nl += counts[b];
+      sl += sums[b];
+      double nr = n - nl;
+      if (nl < config_.min_samples_leaf || nr < config_.min_samples_leaf) {
+        continue;
+      }
+      double sr = sum - sl;
+      double gain = sl * sl / nl + sr * sr / nr - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = c;
+        best_bin = b;
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_id;
+
+  // Partition rows in place.
+  int mid = begin;
+  for (int i = begin; i < end; ++i) {
+    int r = rows[static_cast<size_t>(i)];
+    if (X.code(r, best_feature) <= best_bin) {
+      std::swap(rows[static_cast<size_t>(i)], rows[static_cast<size_t>(mid)]);
+      ++mid;
+    }
+  }
+  DEEPSD_CHECK(mid > begin && mid < end);
+
+  nodes_[static_cast<size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_id)].bin = static_cast<uint8_t>(best_bin);
+  nodes_[static_cast<size_t>(node_id)].threshold =
+      X.BinEdge(best_feature, best_bin);
+  int left = Build(X, targets, rows, begin, mid, depth + 1, rng);
+  int right = Build(X, targets, rows, mid, end, depth + 1, rng);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+float RegressionTree::PredictRow(const BinnedMatrix& X, int row) const {
+  int id = 0;
+  while (nodes_[static_cast<size_t>(id)].feature >= 0) {
+    const Node& n = nodes_[static_cast<size_t>(id)];
+    id = X.code(row, n.feature) <= n.bin ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(id)].value;
+}
+
+float RegressionTree::PredictRaw(const BinnedMatrix& /*binner*/,
+                                 const float* features) const {
+  int id = 0;
+  while (nodes_[static_cast<size_t>(id)].feature >= 0) {
+    const Node& n = nodes_[static_cast<size_t>(id)];
+    id = features[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes_[static_cast<size_t>(id)].value;
+}
+
+}  // namespace baselines
+}  // namespace deepsd

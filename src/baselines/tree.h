@@ -1,0 +1,64 @@
+#ifndef DEEPSD_BASELINES_TREE_H_
+#define DEEPSD_BASELINES_TREE_H_
+
+#include <vector>
+
+#include "baselines/binned.h"
+#include "util/rng.h"
+
+namespace deepsd {
+namespace baselines {
+
+/// CART regression-tree parameters (variance-reduction splits over
+/// histogram bins).
+struct TreeConfig {
+  int max_depth = 6;
+  int min_samples_leaf = 20;
+  double min_gain = 1e-7;
+  /// Fraction of features considered at each split (RF-style column
+  /// subsampling; 1.0 = all).
+  double colsample = 1.0;
+};
+
+/// A single histogram-based regression tree. Fits targets (or gradients,
+/// when used inside GBDT) by greedy variance-reduction splitting.
+class RegressionTree {
+ public:
+  explicit RegressionTree(const TreeConfig& config) : config_(config) {}
+
+  /// Fits on the rows listed in `row_indices` of the binned matrix.
+  /// `targets` is indexed by absolute row id.
+  void Fit(const BinnedMatrix& X, const std::vector<float>& targets,
+           const std::vector<int>& row_indices, util::Rng* rng);
+
+  /// Predicts one binned row.
+  float PredictRow(const BinnedMatrix& X, int row) const;
+  /// Predicts a raw (un-binned) feature row using the binner's thresholds.
+  float PredictRaw(const BinnedMatrix& binner, const float* features) const;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;     // -1 ⇒ leaf
+    uint8_t bin = 0;      // go left if code <= bin
+    float threshold = 0;  // raw-value threshold for PredictRaw
+    float value = 0;      // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(const BinnedMatrix& X, const std::vector<float>& targets,
+            std::vector<int>& rows, int begin, int end, int depth,
+            util::Rng* rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+  int depth_ = 0;
+};
+
+}  // namespace baselines
+}  // namespace deepsd
+
+#endif  // DEEPSD_BASELINES_TREE_H_

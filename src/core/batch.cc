@@ -1,0 +1,83 @@
+#include "core/batch.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace core {
+
+namespace {
+
+nn::Tensor Pack(const std::vector<feature::ModelInput>& inputs,
+                const std::vector<float> feature::ModelInput::* field) {
+  const std::vector<float>& first = inputs[0].*field;
+  nn::Tensor t(static_cast<int>(inputs.size()), static_cast<int>(first.size()));
+  for (size_t b = 0; b < inputs.size(); ++b) {
+    const std::vector<float>& src = inputs[b].*field;
+    DEEPSD_CHECK(src.size() == first.size());
+    std::copy(src.begin(), src.end(), t.row(static_cast<int>(b)));
+  }
+  return t;
+}
+
+}  // namespace
+
+Batch MakeBatch(const InputSource& source, const std::vector<size_t>& indices) {
+  DEEPSD_CHECK(!indices.empty());
+  std::vector<feature::ModelInput> inputs;
+  inputs.reserve(indices.size());
+  for (size_t idx : indices) inputs.push_back(source.Get(idx));
+
+  Batch batch;
+  batch.size = static_cast<int>(inputs.size());
+  const feature::ModelInput& first = inputs[0];
+  batch.has_advanced = !first.h_sd.empty();
+
+  batch.area_ids.reserve(inputs.size());
+  batch.time_ids.reserve(inputs.size());
+  batch.week_ids.reserve(inputs.size());
+  for (const feature::ModelInput& in : inputs) {
+    batch.area_ids.push_back(in.area_id);
+    batch.time_ids.push_back(in.time_id);
+    batch.week_ids.push_back(in.week_id);
+  }
+
+  batch.v_sd = Pack(inputs, &feature::ModelInput::v_sd);
+  if (batch.has_advanced) {
+    batch.h_sd = Pack(inputs, &feature::ModelInput::h_sd);
+    batch.h_sd10 = Pack(inputs, &feature::ModelInput::h_sd10);
+    batch.v_lc = Pack(inputs, &feature::ModelInput::v_lc);
+    batch.h_lc = Pack(inputs, &feature::ModelInput::h_lc);
+    batch.h_lc10 = Pack(inputs, &feature::ModelInput::h_lc10);
+    batch.v_wt = Pack(inputs, &feature::ModelInput::v_wt);
+    batch.h_wt = Pack(inputs, &feature::ModelInput::h_wt);
+    batch.h_wt10 = Pack(inputs, &feature::ModelInput::h_wt10);
+  }
+
+  size_t lags = first.weather_types.size();
+  batch.weather_types_by_lag.assign(lags, {});
+  for (size_t l = 0; l < lags; ++l) {
+    batch.weather_types_by_lag[l].reserve(inputs.size());
+    for (const feature::ModelInput& in : inputs) {
+      batch.weather_types_by_lag[l].push_back(in.weather_types[l]);
+    }
+  }
+  batch.weather_reals = Pack(inputs, &feature::ModelInput::weather_reals);
+  batch.v_tc = Pack(inputs, &feature::ModelInput::v_tc);
+
+  batch.target = nn::Tensor(batch.size, 1);
+  for (size_t b = 0; b < inputs.size(); ++b) {
+    batch.target.at(static_cast<int>(b), 0) = inputs[b].target_gap;
+  }
+  return batch;
+}
+
+Batch MakeBatch(const InputSource& source, size_t begin, size_t end) {
+  std::vector<size_t> indices(end - begin);
+  std::iota(indices.begin(), indices.end(), begin);
+  return MakeBatch(source, indices);
+}
+
+}  // namespace core
+}  // namespace deepsd

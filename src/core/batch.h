@@ -1,0 +1,100 @@
+#ifndef DEEPSD_CORE_BATCH_H_
+#define DEEPSD_CORE_BATCH_H_
+
+#include <vector>
+
+#include "feature/feature_assembler.h"
+#include "nn/tensor.h"
+
+namespace deepsd {
+namespace core {
+
+/// Mini-batch of assembled features in tensor form, ready for the network.
+/// Column layouts follow feature::ModelInput; `weather_types_by_lag[l][b]`
+/// holds the weather-type id at lag l+1 for batch row b (one embedding
+/// lookup per lag).
+struct Batch {
+  int size = 0;
+
+  std::vector<int> area_ids;
+  std::vector<int> time_ids;
+  std::vector<int> week_ids;
+
+  nn::Tensor v_sd;
+  nn::Tensor h_sd, h_sd10;
+  nn::Tensor v_lc, h_lc, h_lc10;
+  nn::Tensor v_wt, h_wt, h_wt10;
+
+  std::vector<std::vector<int>> weather_types_by_lag;
+  nn::Tensor weather_reals;
+  nn::Tensor v_tc;
+
+  nn::Tensor target;  ///< [B,1] gap ground truth.
+
+  bool has_advanced = false;
+};
+
+/// Source of model inputs for training and inference. Implementations may
+/// hold materialized ModelInputs or assemble them on demand — the advanced
+/// model's features are ~7 KB per item, so lazy assembly is what makes
+/// paper-scale training fit in memory.
+class InputSource {
+ public:
+  virtual ~InputSource() = default;
+  virtual size_t size() const = 0;
+  virtual feature::ModelInput Get(size_t index) const = 0;
+  /// Target gap of item `index` (cheaper than a full Get).
+  virtual float Target(size_t index) const = 0;
+};
+
+/// InputSource over a pre-materialized vector.
+class VectorSource : public InputSource {
+ public:
+  explicit VectorSource(std::vector<feature::ModelInput> inputs)
+      : inputs_(std::move(inputs)) {}
+
+  size_t size() const override { return inputs_.size(); }
+  feature::ModelInput Get(size_t index) const override {
+    return inputs_[index];
+  }
+  float Target(size_t index) const override {
+    return inputs_[index].target_gap;
+  }
+
+ private:
+  std::vector<feature::ModelInput> inputs_;
+};
+
+/// InputSource that assembles features lazily from a FeatureAssembler.
+class AssemblerSource : public InputSource {
+ public:
+  AssemblerSource(const feature::FeatureAssembler* assembler,
+                  std::vector<data::PredictionItem> items, bool advanced)
+      : assembler_(assembler), items_(std::move(items)), advanced_(advanced) {}
+
+  size_t size() const override { return items_.size(); }
+  feature::ModelInput Get(size_t index) const override {
+    return advanced_ ? assembler_->AssembleAdvanced(items_[index])
+                     : assembler_->AssembleBasic(items_[index]);
+  }
+  float Target(size_t index) const override { return items_[index].gap; }
+
+  const std::vector<data::PredictionItem>& items() const { return items_; }
+
+ private:
+  const feature::FeatureAssembler* assembler_;
+  std::vector<data::PredictionItem> items_;
+  bool advanced_;
+};
+
+/// Packs the items at `indices` of `source` into a Batch. All chosen items
+/// must have consistent shapes (same window, all basic or all advanced).
+Batch MakeBatch(const InputSource& source, const std::vector<size_t>& indices);
+
+/// Packs the index range [begin, end).
+Batch MakeBatch(const InputSource& source, size_t begin, size_t end);
+
+}  // namespace core
+}  // namespace deepsd
+
+#endif  // DEEPSD_CORE_BATCH_H_

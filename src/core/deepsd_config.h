@@ -1,0 +1,61 @@
+#ifndef DEEPSD_CORE_DEEPSD_CONFIG_H_
+#define DEEPSD_CORE_DEEPSD_CONFIG_H_
+
+namespace deepsd {
+namespace core {
+
+/// Hyperparameters of the DeepSD network. Defaults reproduce the paper's
+/// setting (Table I embeddings, L = 20, FC64/FC32 blocks, projection to
+/// R^16, dropout 0.5, LReL with slope 0.001).
+struct DeepSDConfig {
+  /// Look-back window L; must match the FeatureAssembler.
+  int window = 20;
+
+  /// Vocabulary of AreaID (number of areas, 58 in the paper's dataset).
+  int num_areas = 58;
+  int area_embed_dim = 8;   ///< Table I: R^58 → R^8.
+  int time_vocab = 1440;    ///< One TimeID per minute.
+  int time_embed_dim = 6;   ///< Table I: R^1440 → R^6.
+  int week_embed_dim = 3;   ///< Table I: R^7 → R^3.
+  int weather_vocab = 10;   ///< Weather types.
+  int weather_embed_dim = 3;  ///< Table I: R^10 → R^3.
+
+  /// Hidden widths of every block (paper: FC64 then FC32).
+  int hidden1 = 64;
+  int hidden2 = 32;
+  /// Projection dimensionality in the extended blocks (paper Sec V-A2: 16).
+  int proj_dim = 16;
+
+  float dropout = 0.5f;       ///< After each block except identity.
+  float leaky_alpha = 0.001f; ///< LReL slope (paper Sec VI-B2).
+
+  /// Environment blocks (Fig 13 ablation cases A/B/C).
+  bool use_weather = true;
+  bool use_traffic = true;
+
+  /// Advanced-mode order blocks (ablations beyond the paper's: quantify the
+  /// passenger-information blocks' contribution individually).
+  bool use_last_call = true;
+  bool use_waiting_time = true;
+
+  /// Replace the learnt softmax combining weights p (paper Eq. 1) with the
+  /// uniform 1/7 vector — ablates the paper's claim that *learnt*
+  /// day-of-week weighting beats naive averaging.
+  bool uniform_weekday_weights = false;
+
+  /// Residual connections between blocks (Table V ablation). When false the
+  /// blocks are simply concatenated (paper Fig 14).
+  bool use_residual = true;
+
+  /// Embedding vs one-hot representation of categoricals (Table III
+  /// ablation).
+  bool use_embedding = true;
+
+  /// Clamp predictions at zero (a gap is non-negative by definition).
+  bool clamp_nonnegative = true;
+};
+
+}  // namespace core
+}  // namespace deepsd
+
+#endif  // DEEPSD_CORE_DEEPSD_CONFIG_H_

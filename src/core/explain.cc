@@ -1,0 +1,99 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace core {
+
+namespace {
+
+float PredictOne(const DeepSDModel& model, const feature::ModelInput& input) {
+  std::vector<feature::ModelInput> batch = {input};
+  return model.Predict(batch)[0];
+}
+
+/// Probes every entry of `field`, attributing the first half to
+/// `group_a` (lags 1..L) and the second half to `group_b`.
+void ProbeSplitVector(const DeepSDModel& model, feature::ModelInput* input,
+                      std::vector<float> feature::ModelInput::* field,
+                      const std::string& group_a, const std::string& group_b,
+                      double delta, float base,
+                      std::vector<FeatureSensitivity>* out) {
+  std::vector<float>& v = (*input).*field;
+  const size_t half = v.size() / 2;
+  for (size_t i = 0; i < v.size(); ++i) {
+    float saved = v[i];
+    v[i] = saved + static_cast<float>(delta);
+    float perturbed = PredictOne(model, *input);
+    v[i] = saved;
+    FeatureSensitivity s;
+    s.group = i < half ? group_a : group_b;
+    s.lag = static_cast<int>(i < half ? i + 1 : i - half + 1);
+    s.gradient = (perturbed - base) / delta;
+    out->push_back(s);
+  }
+}
+
+}  // namespace
+
+std::vector<FeatureSensitivity> ExplainPrediction(
+    const DeepSDModel& model, const feature::ModelInput& input, double delta) {
+  DEEPSD_CHECK(delta != 0.0);
+  feature::ModelInput probe = input;
+  const float base = PredictOne(model, probe);
+  std::vector<FeatureSensitivity> out;
+
+  ProbeSplitVector(model, &probe, &feature::ModelInput::v_sd, "sd_valid",
+                   "sd_invalid", delta, base, &out);
+  if (model.mode() == DeepSDModel::Mode::kAdvanced) {
+    ProbeSplitVector(model, &probe, &feature::ModelInput::v_lc, "lc_valid",
+                     "lc_invalid", delta, base, &out);
+    ProbeSplitVector(model, &probe, &feature::ModelInput::v_wt, "wt_served",
+                     "wt_unserved", delta, base, &out);
+  }
+
+  // Weather reals: first half temperatures, second half PM2.5.
+  ProbeSplitVector(model, &probe, &feature::ModelInput::weather_reals,
+                   "wc_temp", "wc_pm25", delta, base, &out);
+
+  // Traffic: 4 congestion levels per lag, lag-major.
+  {
+    std::vector<float>& v = probe.v_tc;
+    for (size_t i = 0; i < v.size(); ++i) {
+      float saved = v[i];
+      v[i] = saved + static_cast<float>(delta);
+      float perturbed = PredictOne(model, probe);
+      v[i] = saved;
+      FeatureSensitivity s;
+      s.group = "tc_level" + std::to_string(i % data::kCongestionLevels + 1);
+      s.lag = static_cast<int>(i / data::kCongestionLevels) + 1;
+      s.gradient = (perturbed - base) / delta;
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> GroupImportance(
+    const std::vector<FeatureSensitivity>& sensitivities) {
+  std::map<std::string, double> totals;
+  double sum = 0;
+  for (const FeatureSensitivity& s : sensitivities) {
+    totals[s.group] += std::abs(s.gradient);
+    sum += std::abs(s.gradient);
+  }
+  std::vector<std::pair<std::string, double>> out(totals.begin(), totals.end());
+  if (sum > 0) {
+    for (auto& [group, total] : out) total /= sum;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace core
+}  // namespace deepsd

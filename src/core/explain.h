@@ -1,0 +1,47 @@
+#ifndef DEEPSD_CORE_EXPLAIN_H_
+#define DEEPSD_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace deepsd {
+namespace core {
+
+/// Sensitivity of one prediction to one input scalar.
+struct FeatureSensitivity {
+  /// Input family: "sd_valid", "sd_invalid", "lc_valid", "lc_invalid",
+  /// "wt_served", "wt_unserved", "wc_temp", "wc_pm25", "tc_level1".. etc.
+  std::string group;
+  /// Lag l in [1, L] (minutes before t) for windowed inputs; wait time for
+  /// the wt family.
+  int lag = 0;
+  /// d(prediction) / d(input) estimated by forward finite differences:
+  /// prediction change per one additional unit (e.g. one extra unanswered
+  /// order at lag l).
+  double gradient = 0;
+};
+
+/// Explains a single prediction by probing the model with +delta
+/// perturbations of each windowed input scalar. Answers the operational
+/// question "which recent minutes and signals drive this forecast?" — e.g.
+/// unanswered orders 1-3 minutes ago should dominate, which is exactly the
+/// paper's motivation for the last-call block.
+///
+/// `input` must match the model's mode (advanced fields present when the
+/// model is advanced). Cost: one forward pass per probed scalar (a few
+/// hundred), milliseconds at batch size 1.
+std::vector<FeatureSensitivity> ExplainPrediction(
+    const DeepSDModel& model, const feature::ModelInput& input,
+    double delta = 1.0);
+
+/// Convenience aggregation: total |gradient| per group, normalized to sum
+/// to 1 — a quick "signal importance" profile for dashboards.
+std::vector<std::pair<std::string, double>> GroupImportance(
+    const std::vector<FeatureSensitivity>& sensitivities);
+
+}  // namespace core
+}  // namespace deepsd
+
+#endif  // DEEPSD_CORE_EXPLAIN_H_

@@ -1,0 +1,318 @@
+#include "core/model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace core {
+
+namespace {
+const char* kSignalNames[3] = {"ext_sd", "ext_lc", "ext_wt"};
+}
+
+DeepSDModel::DeepSDModel(const DeepSDConfig& config, Mode mode,
+                         nn::ParameterStore* store, util::Rng* rng)
+    : config_(config), mode_(mode), store_(store) {
+  const int L = config_.window;
+
+  int area_dim, time_dim, week_dim, wc_type_dim;
+  if (config_.use_embedding) {
+    area_embed_ = std::make_unique<nn::Embedding>(
+        store, "id.area", config_.num_areas, config_.area_embed_dim, rng);
+    time_embed_ = std::make_unique<nn::Embedding>(
+        store, "id.time", config_.time_vocab, config_.time_embed_dim, rng);
+    week_embed_ = std::make_unique<nn::Embedding>(
+        store, "id.week", data::kDaysPerWeek, config_.week_embed_dim, rng);
+    weather_embed_ = std::make_unique<nn::Embedding>(
+        store, "weather.type", config_.weather_vocab,
+        config_.weather_embed_dim, rng);
+    area_dim = config_.area_embed_dim;
+    time_dim = config_.time_embed_dim;
+    week_dim = config_.week_embed_dim;
+    wc_type_dim = config_.weather_embed_dim;
+  } else {
+    area_onehot_ = std::make_unique<nn::OneHot>(config_.num_areas);
+    time_onehot_ = std::make_unique<nn::OneHot>(config_.time_vocab);
+    week_onehot_ = std::make_unique<nn::OneHot>(data::kDaysPerWeek);
+    weather_onehot_ = std::make_unique<nn::OneHot>(config_.weather_vocab);
+    area_dim = config_.num_areas;
+    time_dim = config_.time_vocab;
+    week_dim = data::kDaysPerWeek;
+    wc_type_dim = config_.weather_vocab;
+  }
+
+  if (mode_ == Mode::kBasic) {
+    sd_fc1_ = std::make_unique<nn::Linear>(store, "sd.fc1", 2 * L,
+                                           config_.hidden1, rng);
+    sd_fc2_ = std::make_unique<nn::Linear>(store, "sd.fc2", config_.hidden1,
+                                           config_.hidden2, rng);
+  } else {
+    int quad_dim = 4 * config_.proj_dim;
+    for (int s = 0; s < 3; ++s) {
+      if ((s == 1 && !config_.use_last_call) ||
+          (s == 2 && !config_.use_waiting_time)) {
+        continue;
+      }
+      ExtendedBlock& blk = ext_[static_cast<size_t>(s)];
+      std::string prefix = kSignalNames[s];
+      blk.softmax = std::make_unique<nn::Linear>(
+          store, prefix + ".softmax", area_dim + week_dim, data::kDaysPerWeek,
+          rng);
+      blk.proj = std::make_unique<nn::Linear>(store, prefix + ".proj", 2 * L,
+                                              config_.proj_dim, rng);
+      // First block sees only its quad; later blocks additionally see the
+      // running representation through the direct connection (residual
+      // mode). Without residual every block sees only its own quad.
+      int in_dim = quad_dim;
+      if (config_.use_residual && s > 0) in_dim += config_.hidden2;
+      blk.fc1 = std::make_unique<nn::Linear>(store, prefix + ".fc1", in_dim,
+                                             config_.hidden1, rng);
+      // Residual branches start as the identity (zero-initialized output
+      // layer): attaching a new block to a trained stream is a no-op until
+      // the optimizer moves it — the property the extendability story
+      // (Sec V-C) depends on.
+      blk.fc2 = std::make_unique<nn::Linear>(
+          store, prefix + ".fc2", config_.hidden1, config_.hidden2, rng,
+          config_.use_residual && s > 0 ? nn::Init::kZero
+                                        : nn::Init::kGlorotUniform);
+    }
+  }
+
+  if (config_.use_weather) {
+    int wc_dim = L * wc_type_dim + 2 * L;
+    int in_dim = wc_dim + (config_.use_residual ? config_.hidden2 : 0);
+    wc_fc1_ = std::make_unique<nn::Linear>(store, "weather.fc1", in_dim,
+                                           config_.hidden1, rng);
+    wc_fc2_ = std::make_unique<nn::Linear>(
+        store, "weather.fc2", config_.hidden1, config_.hidden2, rng,
+        config_.use_residual ? nn::Init::kZero : nn::Init::kGlorotUniform);
+  }
+  if (config_.use_traffic) {
+    int tc_dim = data::kCongestionLevels * L;
+    int in_dim = tc_dim + (config_.use_residual ? config_.hidden2 : 0);
+    tc_fc1_ = std::make_unique<nn::Linear>(store, "traffic.fc1", in_dim,
+                                           config_.hidden1, rng);
+    tc_fc2_ = std::make_unique<nn::Linear>(
+        store, "traffic.fc2", config_.hidden1, config_.hidden2, rng,
+        config_.use_residual ? nn::Init::kZero : nn::Init::kGlorotUniform);
+  }
+
+  // Head input: identity features plus either the final residual stream
+  // (residual mode) or the concatenation of every block output.
+  int id_dim = area_dim + time_dim + week_dim;
+  int stream_dim;
+  if (config_.use_residual) {
+    stream_dim = config_.hidden2;
+  } else {
+    int order_blocks =
+        mode_ == Mode::kBasic
+            ? 1
+            : 1 + (config_.use_last_call ? 1 : 0) +
+                  (config_.use_waiting_time ? 1 : 0);
+    int blocks = order_blocks + (config_.use_weather ? 1 : 0) +
+                 (config_.use_traffic ? 1 : 0);
+    stream_dim = blocks * config_.hidden2;
+  }
+  head_fc_ = std::make_unique<nn::Linear>(store, "head.fc",
+                                          id_dim + stream_dim,
+                                          config_.hidden2, rng);
+  head_out_ = std::make_unique<nn::Linear>(store, "head.out", config_.hidden2,
+                                           1, rng);
+}
+
+nn::NodeId DeepSDModel::IdentityPart(nn::Graph* g, const Batch& batch) const {
+  nn::NodeId area, time, week;
+  if (config_.use_embedding) {
+    area = area_embed_->Apply(g, batch.area_ids);
+    time = time_embed_->Apply(g, batch.time_ids);
+    week = week_embed_->Apply(g, batch.week_ids);
+  } else {
+    area = area_onehot_->Apply(g, batch.area_ids);
+    time = time_onehot_->Apply(g, batch.time_ids);
+    week = week_onehot_->Apply(g, batch.week_ids);
+  }
+  return g->Concat({area, time, week});
+}
+
+nn::NodeId DeepSDModel::WeatherVector(nn::Graph* g, const Batch& batch) const {
+  std::vector<nn::NodeId> parts;
+  parts.reserve(batch.weather_types_by_lag.size() + 1);
+  for (const std::vector<int>& ids : batch.weather_types_by_lag) {
+    parts.push_back(config_.use_embedding ? weather_embed_->Apply(g, ids)
+                                          : weather_onehot_->Apply(g, ids));
+  }
+  parts.push_back(g->Input(batch.weather_reals));
+  return g->Concat(parts);
+}
+
+nn::NodeId DeepSDModel::BlockMlp(nn::Graph* g, const nn::Linear& fc1,
+                                 const nn::Linear& fc2, nn::NodeId in) const {
+  nn::NodeId h = g->LeakyRelu(fc1.Apply(g, in), config_.leaky_alpha);
+  return g->LeakyRelu(fc2.Apply(g, h), config_.leaky_alpha);
+}
+
+nn::NodeId DeepSDModel::AttachBlock(nn::Graph* g, const nn::Linear& fc1,
+                                    const nn::Linear& fc2, nn::NodeId x,
+                                    nn::NodeId extra,
+                                    std::vector<nn::NodeId>* concat_parts) const {
+  if (config_.use_residual) {
+    nn::NodeId in = g->Concat({x, extra});
+    nn::NodeId r = g->Dropout(BlockMlp(g, fc1, fc2, in), config_.dropout);
+    return g->Add(x, r);
+  }
+  nn::NodeId out = g->Dropout(BlockMlp(g, fc1, fc2, extra), config_.dropout);
+  concat_parts->push_back(out);
+  return x;  // stream unchanged; outputs gathered via concat_parts
+}
+
+nn::NodeId DeepSDModel::ExtendedQuad(nn::Graph* g, const Batch& batch,
+                                     int signal, nn::NodeId v, nn::NodeId h,
+                                     nn::NodeId h10) const {
+  const ExtendedBlock& blk = ext_[static_cast<size_t>(signal)];
+  nn::NodeId p;
+  if (config_.uniform_weekday_weights) {
+    nn::Tensor uniform(g->value(v).rows(), data::kDaysPerWeek);
+    uniform.Fill(1.0f / data::kDaysPerWeek);
+    p = g->Input(std::move(uniform));
+  } else {
+    nn::NodeId area, week;
+    if (config_.use_embedding) {
+      area = area_embed_->Apply(g, batch.area_ids);
+      week = week_embed_->Apply(g, batch.week_ids);
+    } else {
+      area = area_onehot_->Apply(g, batch.area_ids);
+      week = week_onehot_->Apply(g, batch.week_ids);
+    }
+    p = g->Softmax(blk.softmax->Apply(g, g->Concat({area, week})));
+  }
+
+  nn::NodeId e_t = g->GroupWeightedSum(p, h, data::kDaysPerWeek);
+  nn::NodeId e_t10 = g->GroupWeightedSum(p, h10, data::kDaysPerWeek);
+
+  nn::NodeId pv = g->LeakyRelu(blk.proj->Apply(g, v), config_.leaky_alpha);
+  nn::NodeId pe = g->LeakyRelu(blk.proj->Apply(g, e_t), config_.leaky_alpha);
+  nn::NodeId pe10 =
+      g->LeakyRelu(blk.proj->Apply(g, e_t10), config_.leaky_alpha);
+  // Estimated Proj(V^{t+10}) = Proj(E^{t+10}) ⊕ (Proj(V^t) ⊖ Proj(E^t)).
+  nn::NodeId est = g->Add(pe10, g->Sub(pv, pe));
+
+  return g->Concat({pv, pe, pe10, est});
+}
+
+nn::NodeId DeepSDModel::Forward(nn::Graph* g, const Batch& batch) const {
+  DEEPSD_CHECK_MSG(mode_ == Mode::kBasic || batch.has_advanced,
+                   "advanced model needs advanced features");
+  nn::NodeId x_id = IdentityPart(g, batch);
+
+  std::vector<nn::NodeId> concat_parts;  // used when residual is off
+
+  nn::NodeId stream;
+  if (mode_ == Mode::kBasic) {
+    nn::NodeId v_sd = g->Input(batch.v_sd);
+    stream = g->Dropout(BlockMlp(g, *sd_fc1_, *sd_fc2_, v_sd), config_.dropout);
+    if (!config_.use_residual) {
+      concat_parts.push_back(stream);
+    }
+  } else {
+    nn::NodeId q_sd = ExtendedQuad(g, batch, 0, g->Input(batch.v_sd),
+                                   g->Input(batch.h_sd),
+                                   g->Input(batch.h_sd10));
+    const ExtendedBlock& sd = ext_[0];
+    stream =
+        g->Dropout(BlockMlp(g, *sd.fc1, *sd.fc2, q_sd), config_.dropout);
+    if (!config_.use_residual) concat_parts.push_back(stream);
+
+    if (config_.use_last_call) {
+      nn::NodeId q_lc = ExtendedQuad(g, batch, 1, g->Input(batch.v_lc),
+                                     g->Input(batch.h_lc),
+                                     g->Input(batch.h_lc10));
+      stream = AttachBlock(g, *ext_[1].fc1, *ext_[1].fc2, stream, q_lc,
+                           &concat_parts);
+    }
+    if (config_.use_waiting_time) {
+      nn::NodeId q_wt = ExtendedQuad(g, batch, 2, g->Input(batch.v_wt),
+                                     g->Input(batch.h_wt),
+                                     g->Input(batch.h_wt10));
+      stream = AttachBlock(g, *ext_[2].fc1, *ext_[2].fc2, stream, q_wt,
+                           &concat_parts);
+    }
+  }
+
+  if (config_.use_weather) {
+    nn::NodeId v_wc = WeatherVector(g, batch);
+    stream = AttachBlock(g, *wc_fc1_, *wc_fc2_, stream, v_wc, &concat_parts);
+  }
+  if (config_.use_traffic) {
+    nn::NodeId v_tc = g->Input(batch.v_tc);
+    stream = AttachBlock(g, *tc_fc1_, *tc_fc2_, stream, v_tc, &concat_parts);
+  }
+
+  nn::NodeId features;
+  if (config_.use_residual) {
+    features = g->Concat({x_id, stream});
+  } else {
+    std::vector<nn::NodeId> all = {x_id};
+    all.insert(all.end(), concat_parts.begin(), concat_parts.end());
+    features = g->Concat(all);
+  }
+  nn::NodeId hidden =
+      g->LeakyRelu(head_fc_->Apply(g, features), config_.leaky_alpha);
+  return head_out_->Apply(g, hidden);  // linear activation on the output
+}
+
+std::vector<float> DeepSDModel::Predict(
+    const std::vector<feature::ModelInput>& inputs, int batch_size) const {
+  return Predict(VectorSource(inputs), batch_size);
+}
+
+std::vector<float> DeepSDModel::Predict(const InputSource& source,
+                                        int batch_size) const {
+  std::vector<float> preds;
+  preds.reserve(source.size());
+  for (size_t begin = 0; begin < source.size();
+       begin += static_cast<size_t>(batch_size)) {
+    size_t end = std::min(source.size(), begin + static_cast<size_t>(batch_size));
+    Batch batch = MakeBatch(source, begin, end);
+    nn::Graph g;
+    g.set_training(false);
+    nn::NodeId pred = Forward(&g, batch);
+    const nn::Tensor& out = g.value(pred);
+    for (int r = 0; r < out.rows(); ++r) {
+      float v = out.at(r, 0);
+      if (config_.clamp_nonnegative) v = std::max(v, 0.0f);
+      preds.push_back(v);
+    }
+  }
+  return preds;
+}
+
+std::array<float, data::kDaysPerWeek> DeepSDModel::CombiningWeights(
+    int area_id, int week_id, int signal) const {
+  DEEPSD_CHECK_MSG(mode_ == Mode::kAdvanced,
+                   "combining weights exist only in the advanced model");
+  DEEPSD_CHECK(signal >= 0 && signal < 3);
+  const ExtendedBlock& blk = ext_[static_cast<size_t>(signal)];
+  nn::Graph g;
+  g.set_training(false);
+  std::vector<int> area_ids = {area_id};
+  std::vector<int> week_ids = {week_id};
+  nn::NodeId area, week;
+  if (config_.use_embedding) {
+    area = area_embed_->Apply(&g, area_ids);
+    week = week_embed_->Apply(&g, week_ids);
+  } else {
+    area = area_onehot_->Apply(&g, area_ids);
+    week = week_onehot_->Apply(&g, week_ids);
+  }
+  nn::NodeId p = g.Softmax(blk.softmax->Apply(&g, g.Concat({area, week})));
+  std::array<float, data::kDaysPerWeek> out;
+  for (int w = 0; w < data::kDaysPerWeek; ++w) {
+    out[static_cast<size_t>(w)] = g.value(p).at(0, w);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace deepsd

@@ -1,0 +1,131 @@
+#ifndef DEEPSD_CORE_MODEL_H_
+#define DEEPSD_CORE_MODEL_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/deepsd_config.h"
+#include "nn/graph.h"
+#include "nn/layers.h"
+
+namespace deepsd {
+namespace core {
+
+/// The DeepSD network (paper Sections IV and V).
+///
+/// Basic mode (Fig 3): identity part (embeddings of AreaID / TimeID /
+/// WeekID) + supply-demand block (3-layer perceptron over V_sd) + optional
+/// weather / traffic blocks attached with inter-block residual learning +
+/// linear head.
+///
+/// Advanced mode (Fig 7): the order part becomes three extended blocks
+/// (supply-demand, last-call, waiting-time). Each extended block forms
+/// empirical vectors E = Σ_w p(w)·H(w) with softmax weights p learnt from
+/// (AreaID, WeekID), projects V, E^t, E^{t+10} to R^16, estimates
+/// Proj(V^{t+10}) = Proj(E^{t+10}) ⊕ Proj(V^t) ⊖ Proj(E^t) and feeds the
+/// four projections through FC64/FC32 (Fig 9). Blocks chain through
+/// residual learning exactly like the environment blocks.
+///
+/// Ablations: `use_residual=false` concatenates blocks instead (Fig 14,
+/// Table V); `use_embedding=false` replaces every embedding with one-hot
+/// (Table III); `use_weather`/`use_traffic` give Fig 13's cases A/B/C.
+///
+/// Parameters live in an external ParameterStore and are created by name,
+/// so constructing a *larger* model over a store that already holds a
+/// trained smaller model re-binds the shared blocks — this is the paper's
+/// fine-tuning extendability story (Sec V-C, Fig 16).
+class DeepSDModel {
+ public:
+  enum class Mode { kBasic, kAdvanced };
+
+  DeepSDModel(const DeepSDConfig& config, Mode mode, nn::ParameterStore* store,
+              util::Rng* rng);
+
+  const DeepSDConfig& config() const { return config_; }
+  Mode mode() const { return mode_; }
+
+  /// Builds the forward graph for one batch; returns the [B,1] prediction
+  /// node. Dropout follows g->training().
+  nn::NodeId Forward(nn::Graph* g, const Batch& batch) const;
+
+  /// Inference over an input source (eval mode, batched). Predictions are
+  /// clamped at 0 when config().clamp_nonnegative.
+  std::vector<float> Predict(const InputSource& source,
+                             int batch_size = 256) const;
+
+  /// Convenience overload over materialized inputs.
+  std::vector<float> Predict(const std::vector<feature::ModelInput>& inputs,
+                             int batch_size = 256) const;
+
+  /// The learnt 7-dim day-of-week combining weights p for (area, week) from
+  /// the extended supply-demand block (paper Eq. 1 / Fig 15). Advanced mode
+  /// only. `signal`: 0=supply-demand, 1=last-call, 2=waiting-time.
+  std::array<float, data::kDaysPerWeek> CombiningWeights(int area_id,
+                                                         int week_id,
+                                                         int signal = 0) const;
+
+  /// Area embedding table (Table IV / Fig 12 analyses). Null when the model
+  /// was built with one-hot representation.
+  const nn::Embedding* area_embedding() const { return area_embed_.get(); }
+
+  /// Parameter-name prefixes of the environment blocks (for freezing).
+  static constexpr const char* kWeatherPrefix = "weather.";
+  static constexpr const char* kTrafficPrefix = "traffic.";
+
+ private:
+  nn::NodeId IdentityPart(nn::Graph* g, const Batch& batch) const;
+  nn::NodeId WeatherVector(nn::Graph* g, const Batch& batch) const;
+  /// The four-projection concat of one extended block (Fig 9).
+  nn::NodeId ExtendedQuad(nn::Graph* g, const Batch& batch, int signal,
+                          nn::NodeId v, nn::NodeId h, nn::NodeId h10) const;
+  /// Two stacked FC layers with LReL: FC_hidden1 → FC_hidden2.
+  nn::NodeId BlockMlp(nn::Graph* g, const nn::Linear& fc1,
+                      const nn::Linear& fc2, nn::NodeId in) const;
+  /// Residual attachment: x ⊕ dropout(FC32(FC64(concat(x, extra)))) when
+  /// residual learning is on; dropout(FC32(FC64(extra))) when off.
+  nn::NodeId AttachBlock(nn::Graph* g, const nn::Linear& fc1,
+                         const nn::Linear& fc2, nn::NodeId x,
+                         nn::NodeId extra,
+                         std::vector<nn::NodeId>* concat_parts) const;
+
+  DeepSDConfig config_;
+  Mode mode_;
+  nn::ParameterStore* store_;
+
+  // Identity part (embedding or one-hot).
+  std::unique_ptr<nn::Embedding> area_embed_;
+  std::unique_ptr<nn::Embedding> time_embed_;
+  std::unique_ptr<nn::Embedding> week_embed_;
+  std::unique_ptr<nn::Embedding> weather_embed_;
+  std::unique_ptr<nn::OneHot> area_onehot_;
+  std::unique_ptr<nn::OneHot> time_onehot_;
+  std::unique_ptr<nn::OneHot> week_onehot_;
+  std::unique_ptr<nn::OneHot> weather_onehot_;
+
+  // Basic order part.
+  std::unique_ptr<nn::Linear> sd_fc1_, sd_fc2_;
+
+  // Advanced order part, per signal {sd, lc, wt}.
+  struct ExtendedBlock {
+    std::unique_ptr<nn::Linear> softmax;  // (area+week dims) → 7
+    std::unique_ptr<nn::Linear> proj;     // 2L → proj_dim
+    std::unique_ptr<nn::Linear> fc1, fc2;
+  };
+  std::array<ExtendedBlock, 3> ext_;
+
+  // Environment part.
+  std::unique_ptr<nn::Linear> wc_fc1_, wc_fc2_;
+  std::unique_ptr<nn::Linear> tc_fc1_, tc_fc2_;
+
+  // Head.
+  std::unique_ptr<nn::Linear> head_fc_, head_out_;
+};
+
+}  // namespace core
+}  // namespace deepsd
+
+#endif  // DEEPSD_CORE_MODEL_H_

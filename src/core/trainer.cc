@@ -1,0 +1,155 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace core {
+
+std::pair<double, double> EvaluateMaeRmse(const DeepSDModel& model,
+                                          const InputSource& source) {
+  if (source.size() == 0) return {0.0, 0.0};
+  std::vector<float> preds = model.Predict(source);
+  double abs_sum = 0.0, sq_sum = 0.0;
+  for (size_t i = 0; i < source.size(); ++i) {
+    double d = static_cast<double>(preds[i]) - source.Target(i);
+    abs_sum += std::abs(d);
+    sq_sum += d * d;
+  }
+  double n = static_cast<double>(source.size());
+  return {abs_sum / n, std::sqrt(sq_sum / n)};
+}
+
+TrainResult Trainer::Train(
+    DeepSDModel* model, nn::ParameterStore* store,
+    const std::vector<feature::ModelInput>& train_inputs,
+    const std::vector<feature::ModelInput>& eval_inputs,
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  return Train(model, store, VectorSource(train_inputs),
+               VectorSource(eval_inputs), on_epoch);
+}
+
+TrainResult Trainer::Train(
+    DeepSDModel* model, nn::ParameterStore* store,
+    const InputSource& train_source, const InputSource& eval_source,
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  DEEPSD_CHECK(train_source.size() > 0);
+  TrainResult result;
+
+  util::Rng rng(config_.seed);
+  nn::Adam adam({.learning_rate = config_.learning_rate});
+  nn::Sgd sgd({.learning_rate = config_.learning_rate});
+  const bool use_adam = config_.optimizer == TrainConfig::Optimizer::kAdam;
+  auto optimizer_step = [&](nn::ParameterStore* s) {
+    return use_adam ? adam.Step(s) : sgd.Step(s);
+  };
+  auto set_lr = [&](float lr) {
+    if (use_adam) {
+      adam.set_learning_rate(lr);
+    } else {
+      sgd.set_learning_rate(lr);
+    }
+  };
+
+  std::vector<size_t> order(train_source.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Snapshots of the best epochs, kept sorted by eval RMSE (ascending).
+  struct Snapshot {
+    double rmse;
+    std::unique_ptr<nn::ParameterStore> store;
+  };
+  std::vector<Snapshot> best;
+
+  const int decay_epoch = static_cast<int>(
+      config_.lr_decay_at_fraction * config_.epochs);
+
+  auto t_start = std::chrono::steady_clock::now();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    auto e_start = std::chrono::steady_clock::now();
+    if (config_.lr_decay_factor != 1.0f && epoch == decay_epoch && epoch > 0) {
+      set_lr(config_.learning_rate * config_.lr_decay_factor);
+    }
+    if (config_.shuffle) {
+      for (size_t i = order.size(); i > 1; --i) {
+        size_t j = rng.UniformInt(i);
+        std::swap(order[i - 1], order[j]);
+      }
+    }
+
+    double loss_sum = 0.0;
+    size_t batches = 0;
+    for (size_t begin = 0; begin < order.size();
+         begin += static_cast<size_t>(config_.batch_size)) {
+      size_t end = std::min(order.size(),
+                            begin + static_cast<size_t>(config_.batch_size));
+      std::vector<size_t> idx(order.begin() + static_cast<long>(begin),
+                              order.begin() + static_cast<long>(end));
+      Batch batch = MakeBatch(train_source, idx);
+
+      nn::Graph g(&rng);
+      g.set_training(true);
+      nn::NodeId pred = model->Forward(&g, batch);
+      nn::NodeId loss = g.MseLoss(pred, batch.target);
+      store->ZeroGrads();
+      g.Backward(loss);
+      optimizer_step(store);
+      loss_sum += g.value(loss).at(0, 0);
+      ++batches;
+    }
+    auto e_end = std::chrono::steady_clock::now();
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.train_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
+    stats.seconds = std::chrono::duration<double>(e_end - e_start).count();
+    auto [mae, rmse] = EvaluateMaeRmse(*model, eval_source);
+    stats.eval_mae = mae;
+    stats.eval_rmse = rmse;
+    result.history.push_back(stats);
+
+    if (config_.verbose) {
+      DEEPSD_LOG(Info) << util::StrFormat(
+          "epoch %3d  train_mse=%.3f  eval_mae=%.3f  eval_rmse=%.3f  (%.1fs)",
+          epoch, stats.train_loss, stats.eval_mae, stats.eval_rmse,
+          stats.seconds);
+    }
+    if (on_epoch) on_epoch(stats);
+
+    if (config_.best_k > 0 && eval_source.size() > 0) {
+      Snapshot snap{rmse, store->Clone()};
+      auto pos = std::lower_bound(
+          best.begin(), best.end(), snap.rmse,
+          [](const Snapshot& s, double v) { return s.rmse < v; });
+      best.insert(pos, std::move(snap));
+      if (static_cast<int>(best.size()) > config_.best_k) best.pop_back();
+    }
+  }
+  auto t_end = std::chrono::steady_clock::now();
+  result.total_seconds = std::chrono::duration<double>(t_end - t_start).count();
+  result.seconds_per_epoch =
+      config_.epochs > 0 ? result.total_seconds / config_.epochs : 0.0;
+
+  if (!best.empty()) {
+    result.best_eval_rmse = best.front().rmse;
+    std::vector<const nn::ParameterStore*> stores;
+    stores.reserve(best.size());
+    for (const Snapshot& s : best) stores.push_back(s.store.get());
+    store->AverageFrom(stores);
+  } else if (!result.history.empty()) {
+    result.best_eval_rmse = result.history.back().eval_rmse;
+  }
+
+  auto [mae, rmse] = EvaluateMaeRmse(*model, eval_source);
+  result.final_eval_mae = mae;
+  result.final_eval_rmse = rmse;
+  return result;
+}
+
+}  // namespace core
+}  // namespace deepsd

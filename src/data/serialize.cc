@@ -1,0 +1,133 @@
+#include "data/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace deepsd {
+namespace data {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'D', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  WritePod<uint64_t>(out, v.size());
+  if (!v.empty()) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::vector<T>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(in, &n)) return false;
+  // Refuse absurd sizes rather than bad_alloc on a corrupt file.
+  if (n > (1ULL << 32)) return false;
+  v->resize(n);
+  if (n) {
+    in.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+  }
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+util::Status SaveDataset(const OrderDataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+
+  out.write(kMagic, sizeof(kMagic));
+  WritePod<int32_t>(out, dataset.num_areas());
+  WritePod<int32_t>(out, dataset.num_days());
+  WritePod<int32_t>(out, dataset.first_weekday());
+  WriteVec(out, dataset.orders());
+
+  // Re-extract environment data through the query API (dense layout).
+  std::vector<WeatherRecord> weather;
+  if (dataset.has_weather()) {
+    weather.reserve(static_cast<size_t>(dataset.num_days()) * kMinutesPerDay);
+    for (int d = 0; d < dataset.num_days(); ++d) {
+      for (int ts = 0; ts < kMinutesPerDay; ++ts) {
+        WeatherRecord w = dataset.WeatherAt(d, ts);
+        w.day = d;
+        w.ts = ts;
+        weather.push_back(w);
+      }
+    }
+  }
+  WriteVec(out, weather);
+
+  std::vector<TrafficRecord> traffic;
+  if (dataset.has_traffic()) {
+    traffic.reserve(static_cast<size_t>(dataset.num_areas()) *
+                    dataset.num_days() * kMinutesPerDay);
+    for (int a = 0; a < dataset.num_areas(); ++a) {
+      for (int d = 0; d < dataset.num_days(); ++d) {
+        for (int ts = 0; ts < kMinutesPerDay; ++ts) {
+          TrafficRecord t = dataset.TrafficAt(a, d, ts);
+          t.area = a;
+          t.day = d;
+          t.ts = ts;
+          traffic.push_back(t);
+        }
+      }
+    }
+  }
+  WriteVec(out, traffic);
+
+  if (!out) return util::Status::IoError("short write to " + path);
+  return util::Status::OK();
+}
+
+util::Status LoadDataset(const std::string& path, OrderDataset* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument("bad magic in " + path);
+  }
+  int32_t num_areas = 0, num_days = 0, first_weekday = 0;
+  if (!ReadPod(in, &num_areas) || !ReadPod(in, &num_days) ||
+      !ReadPod(in, &first_weekday)) {
+    return util::Status::IoError("truncated header in " + path);
+  }
+  if (num_areas <= 0 || num_days <= 0 || first_weekday < 0 ||
+      first_weekday >= kDaysPerWeek) {
+    return util::Status::InvalidArgument("bad header values in " + path);
+  }
+
+  std::vector<Order> orders;
+  std::vector<WeatherRecord> weather;
+  std::vector<TrafficRecord> traffic;
+  if (!ReadVec(in, &orders) || !ReadVec(in, &weather) || !ReadVec(in, &traffic)) {
+    return util::Status::IoError("truncated body in " + path);
+  }
+
+  OrderDatasetBuilder builder(num_areas, num_days, first_weekday);
+  for (const Order& o : orders) builder.AddOrder(o);
+  for (const WeatherRecord& w : weather) builder.AddWeather(w);
+  for (const TrafficRecord& t : traffic) builder.AddTraffic(t);
+  return builder.Build(out);
+}
+
+}  // namespace data
+}  // namespace deepsd

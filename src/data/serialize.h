@@ -1,0 +1,23 @@
+#ifndef DEEPSD_DATA_SERIALIZE_H_
+#define DEEPSD_DATA_SERIALIZE_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace data {
+
+/// Writes `dataset` to `path` in a compact binary format ("DSD1"). The file
+/// stores raw order / weather / traffic records; indexes are rebuilt on load
+/// so the format stays independent of in-memory layout.
+util::Status SaveDataset(const OrderDataset& dataset, const std::string& path);
+
+/// Loads a dataset previously written by SaveDataset.
+util::Status LoadDataset(const std::string& path, OrderDataset* out);
+
+}  // namespace data
+}  // namespace deepsd
+
+#endif  // DEEPSD_DATA_SERIALIZE_H_

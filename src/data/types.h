@@ -1,0 +1,66 @@
+#ifndef DEEPSD_DATA_TYPES_H_
+#define DEEPSD_DATA_TYPES_H_
+
+#include <cstdint>
+
+namespace deepsd {
+namespace data {
+
+/// Number of one-minute timeslots per day (paper Sec II).
+inline constexpr int kMinutesPerDay = 1440;
+
+/// Gap horizon C: the supply-demand gap of (a, d, t) counts invalid orders in
+/// [t, t + kGapWindow) (paper Definition 2, C fixed to 10).
+inline constexpr int kGapWindow = 10;
+
+/// Number of congestion levels in the traffic condition (paper Definition 4).
+inline constexpr int kCongestionLevels = 4;
+
+/// Days of week; day 0 of a simulation is mapped to a configurable weekday.
+inline constexpr int kDaysPerWeek = 7;
+
+/// A car-hailing order (paper Definition 1): the day and minute the request
+/// was sent, the passenger who sent it, start/destination areas, and whether
+/// a driver answered it (valid) or not (invalid).
+struct Order {
+  int32_t day = 0;            ///< 0-based simulation day d.
+  int32_t ts = 0;             ///< Minute-of-day timeslot in [0, 1440).
+  int32_t passenger_id = 0;   ///< o.pid.
+  int32_t start_area = 0;     ///< o.loc_s, area where the ride starts.
+  int32_t dest_area = 0;      ///< o.loc_d.
+  bool valid = false;         ///< True iff a driver answered the request.
+};
+
+/// Weather condition at one timeslot (paper Definition 3). Shared by all
+/// areas at the same timeslot.
+struct WeatherRecord {
+  int32_t day = 0;
+  int32_t ts = 0;
+  int32_t type = 0;       ///< Categorical weather type in [0, vocab).
+  float temperature = 0;  ///< Degrees Celsius.
+  float pm25 = 0;         ///< PM2.5 concentration.
+};
+
+/// Traffic condition of one area at one timeslot (paper Definition 4):
+/// number of road segments at each congestion level (1 = most congested).
+struct TrafficRecord {
+  int32_t day = 0;
+  int32_t ts = 0;
+  int32_t area = 0;
+  int32_t level_counts[kCongestionLevels] = {0, 0, 0, 0};
+};
+
+/// One prediction item: predict gap for `area` over [t, t+10) on day `day`.
+/// `week_id` is 0=Monday .. 6=Sunday, `gap` is the ground truth.
+struct PredictionItem {
+  int32_t area = 0;
+  int32_t day = 0;
+  int32_t t = 0;
+  int32_t week_id = 0;
+  float gap = 0;
+};
+
+}  // namespace data
+}  // namespace deepsd
+
+#endif  // DEEPSD_DATA_TYPES_H_

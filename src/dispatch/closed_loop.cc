@@ -1,0 +1,126 @@
+#include "dispatch/closed_loop.h"
+
+#include <map>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace dispatch {
+
+size_t CountUnservedPassengers(const data::OrderDataset& dataset,
+                               int day_begin, int day_end) {
+  // Last call per passenger within the day range; a passenger is unserved
+  // if that call is invalid.
+  struct Last {
+    int64_t ts_abs;
+    bool valid;
+  };
+  std::map<int32_t, Last> last;
+  for (const data::Order& o : dataset.orders()) {
+    if (o.day < day_begin || o.day >= day_end) continue;
+    int64_t ts_abs = static_cast<int64_t>(o.day) * data::kMinutesPerDay + o.ts;
+    auto [it, inserted] = last.emplace(o.passenger_id, Last{ts_abs, o.valid});
+    if (!inserted && ts_abs >= it->second.ts_abs) {
+      it->second = Last{ts_abs, o.valid};
+    }
+  }
+  size_t unserved = 0;
+  for (const auto& [pid, l] : last) unserved += !l.valid;
+  return unserved;
+}
+
+namespace {
+
+size_t CountInvalid(const data::OrderDataset& dataset, int day_begin,
+                    int day_end) {
+  size_t invalid = 0;
+  for (const data::Order& o : dataset.orders()) {
+    if (o.day >= day_begin && o.day < day_end) invalid += !o.valid;
+  }
+  return invalid;
+}
+
+}  // namespace
+
+ClosedLoopResult RunClosedLoop(const sim::CityConfig& city_config,
+                               DispatchPolicy* policy,
+                               const ClosedLoopConfig& config) {
+  DEEPSD_CHECK(policy != nullptr);
+  DEEPSD_CHECK(config.epoch_minutes > 0);
+  DEEPSD_CHECK(!city_config.supply_boost);
+
+  // 1. Baseline world.
+  data::OrderDataset baseline = sim::SimulateCity(city_config);
+
+  // 2. Policy decisions on the baseline world, normalized per epoch to the
+  // driver budget. Allocation table indexed by (day, epoch, area).
+  const int num_areas = baseline.num_areas();
+  const int epochs_per_day =
+      (config.t_end - config.t_begin) / config.epoch_minutes + 1;
+  std::vector<double> allocation(
+      static_cast<size_t>(config.day_end - config.day_begin) *
+          epochs_per_day * num_areas,
+      0.0);
+  for (int day = config.day_begin; day < config.day_end; ++day) {
+    for (int e = 0; e < epochs_per_day; ++e) {
+      int t = config.t_begin + e * config.epoch_minutes;
+      std::vector<double> w = policy->Weights(baseline, day, t);
+      DEEPSD_CHECK(static_cast<int>(w.size()) == num_areas);
+      double sum = 0;
+      for (double v : w) {
+        DEEPSD_CHECK_MSG(v >= 0.0, "policy weights must be non-negative");
+        sum += v;
+      }
+      size_t base = (static_cast<size_t>(day - config.day_begin) *
+                         epochs_per_day +
+                     static_cast<size_t>(e)) *
+                    num_areas;
+      if (sum <= 0) continue;  // nothing to chase this epoch
+      for (int a = 0; a < num_areas; ++a) {
+        allocation[base + static_cast<size_t>(a)] =
+            config.drivers_per_minute * w[static_cast<size_t>(a)] / sum;
+      }
+    }
+  }
+
+  // 3. Intervened world: same seed, extra capacity per the allocation.
+  sim::CityConfig intervened_config = city_config;
+  intervened_config.supply_boost = [&config, &allocation, epochs_per_day,
+                                    num_areas](int area, int day, int minute) {
+    if (day < config.day_begin || day >= config.day_end) return 0.0;
+    if (minute < config.t_begin || minute > config.t_end) return 0.0;
+    int e = (minute - config.t_begin) / config.epoch_minutes;
+    if (e >= epochs_per_day) return 0.0;
+    size_t idx = (static_cast<size_t>(day - config.day_begin) *
+                      epochs_per_day +
+                  static_cast<size_t>(e)) *
+                     num_areas +
+                 static_cast<size_t>(area);
+    return allocation[idx];
+  };
+  data::OrderDataset intervened = sim::SimulateCity(intervened_config);
+
+  // 4. Score.
+  ClosedLoopResult result;
+  result.policy = policy->name();
+  result.baseline_unserved =
+      CountUnservedPassengers(baseline, config.day_begin, config.day_end);
+  result.intervened_unserved =
+      CountUnservedPassengers(intervened, config.day_begin, config.day_end);
+  result.baseline_invalid_orders =
+      CountInvalid(baseline, config.day_begin, config.day_end);
+  result.intervened_invalid_orders =
+      CountInvalid(intervened, config.day_begin, config.day_end);
+  result.reduction_percent =
+      result.baseline_unserved
+          ? 100.0 *
+                (static_cast<double>(result.baseline_unserved) -
+                 static_cast<double>(result.intervened_unserved)) /
+                static_cast<double>(result.baseline_unserved)
+          : 0.0;
+  return result;
+}
+
+}  // namespace dispatch
+}  // namespace deepsd

@@ -1,0 +1,63 @@
+#ifndef DEEPSD_DISPATCH_CLOSED_LOOP_H_
+#define DEEPSD_DISPATCH_CLOSED_LOOP_H_
+
+#include <string>
+#include <vector>
+
+#include "dispatch/policies.h"
+#include "sim/city_sim.h"
+
+namespace deepsd {
+namespace dispatch {
+
+/// Closed-loop dispatch experiment parameters.
+struct ClosedLoopConfig {
+  /// Days the intervention runs on (usually the test period).
+  int day_begin = 0;
+  int day_end = 1;
+  /// Operating window per day in which the policy acts.
+  int t_begin = 420;
+  int t_end = 1410;
+  /// Decision cadence in minutes.
+  int epoch_minutes = 10;
+  /// Relocatable drivers per minute across the whole city — the budget the
+  /// policy distributes each epoch.
+  double drivers_per_minute = 6.0;
+};
+
+/// Outcome of one policy's closed-loop run.
+struct ClosedLoopResult {
+  std::string policy;
+  /// Passengers whose final call went unanswered on the eval days.
+  size_t baseline_unserved = 0;
+  size_t intervened_unserved = 0;
+  /// 100·(baseline − intervened)/baseline.
+  double reduction_percent = 0;
+  /// Total invalid orders for reference.
+  size_t baseline_invalid_orders = 0;
+  size_t intervened_invalid_orders = 0;
+};
+
+/// Unserved-passenger count over [day_begin, day_end): passengers whose
+/// last order in the dataset (within those days) is invalid.
+size_t CountUnservedPassengers(const data::OrderDataset& dataset,
+                               int day_begin, int day_end);
+
+/// Runs `policy` against the world defined by `city_config`:
+///
+///   1. simulates the no-intervention baseline;
+///   2. asks the policy for per-area weights at every decision epoch of the
+///      eval window (the policy sees the *baseline* world — a one-step
+///      approximation that ignores the feedback of the intervention on the
+///      state the policy reads, conservative for every policy equally);
+///   3. re-simulates with the allocation injected as extra service
+///      capacity (demand realization identical by construction);
+///   4. reports unserved-passenger reduction.
+ClosedLoopResult RunClosedLoop(const sim::CityConfig& city_config,
+                               DispatchPolicy* policy,
+                               const ClosedLoopConfig& config);
+
+}  // namespace dispatch
+}  // namespace deepsd
+
+#endif  // DEEPSD_DISPATCH_CLOSED_LOOP_H_

@@ -1,0 +1,59 @@
+#include "dispatch/policies.h"
+
+#include <algorithm>
+
+namespace deepsd {
+namespace dispatch {
+
+std::vector<double> UniformPolicy::Weights(const data::OrderDataset& reference,
+                                           int /*day*/, int /*t*/) {
+  return std::vector<double>(static_cast<size_t>(reference.num_areas()), 1.0);
+}
+
+std::vector<double> ReactivePolicy::Weights(const data::OrderDataset& reference,
+                                            int day, int t) {
+  std::vector<double> w(static_cast<size_t>(reference.num_areas()), 0.0);
+  for (int a = 0; a < reference.num_areas(); ++a) {
+    w[static_cast<size_t>(a)] =
+        reference.InvalidInRange(a, day, t - data::kGapWindow, t);
+  }
+  return w;
+}
+
+PredictiveGapPolicy::PredictiveGapPolicy(
+    const core::DeepSDModel* model, const feature::FeatureAssembler* assembler)
+    : model_(model), assembler_(assembler) {}
+
+std::vector<double> PredictiveGapPolicy::Weights(
+    const data::OrderDataset& reference, int day, int t) {
+  std::vector<data::PredictionItem> items;
+  items.reserve(static_cast<size_t>(reference.num_areas()));
+  for (int a = 0; a < reference.num_areas(); ++a) {
+    data::PredictionItem item;
+    item.area = a;
+    item.day = day;
+    item.t = t;
+    item.week_id = reference.WeekId(day);
+    items.push_back(item);
+  }
+  bool advanced = model_->mode() == core::DeepSDModel::Mode::kAdvanced;
+  core::AssemblerSource source(assembler_, items, advanced);
+  std::vector<float> preds = model_->Predict(source);
+  std::vector<double> w(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    w[i] = std::max(0.0, static_cast<double>(preds[i]));
+  }
+  return w;
+}
+
+std::vector<double> OraclePolicy::Weights(const data::OrderDataset& reference,
+                                          int day, int t) {
+  std::vector<double> w(static_cast<size_t>(reference.num_areas()), 0.0);
+  for (int a = 0; a < reference.num_areas(); ++a) {
+    w[static_cast<size_t>(a)] = reference.Gap(a, day, t);
+  }
+  return w;
+}
+
+}  // namespace dispatch
+}  // namespace deepsd

@@ -1,0 +1,79 @@
+#ifndef DEEPSD_DISPATCH_POLICIES_H_
+#define DEEPSD_DISPATCH_POLICIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "data/dataset.h"
+#include "feature/feature_assembler.h"
+
+namespace deepsd {
+namespace dispatch {
+
+/// A driver-repositioning policy: at each decision epoch it distributes a
+/// budget of relocatable drivers over the areas. The closed-loop evaluator
+/// (closed_loop.h) injects the allocation into the simulator as extra
+/// service capacity — the scheduling application the paper's introduction
+/// motivates ("balance the supply-demands in advance by dispatching the
+/// cars").
+class DispatchPolicy {
+ public:
+  virtual ~DispatchPolicy() = default;
+  virtual std::string name() const = 0;
+
+  /// Non-negative weights (any scale; the evaluator normalizes) expressing
+  /// where extra drivers should go for the epoch [t, t + epoch) of `day`.
+  /// `reference` is the no-intervention world the decision is based on.
+  virtual std::vector<double> Weights(const data::OrderDataset& reference,
+                                      int day, int t) = 0;
+};
+
+/// Spreads the budget evenly — the no-information baseline.
+class UniformPolicy : public DispatchPolicy {
+ public:
+  std::string name() const override { return "uniform"; }
+  std::vector<double> Weights(const data::OrderDataset& reference, int day,
+                              int t) override;
+};
+
+/// Chases the most recent observed gap (the "react after the fact"
+/// strategy a dispatcher without prediction uses): weight ∝ gap over
+/// [t-10, t).
+class ReactivePolicy : public DispatchPolicy {
+ public:
+  std::string name() const override { return "reactive"; }
+  std::vector<double> Weights(const data::OrderDataset& reference, int day,
+                              int t) override;
+};
+
+/// Allocates ∝ the gap a trained DeepSD model predicts for [t, t+10).
+class PredictiveGapPolicy : public DispatchPolicy {
+ public:
+  /// `model` and `assembler` must outlive the policy.
+  PredictiveGapPolicy(const core::DeepSDModel* model,
+                      const feature::FeatureAssembler* assembler);
+
+  std::string name() const override { return "deepsd"; }
+  std::vector<double> Weights(const data::OrderDataset& reference, int day,
+                              int t) override;
+
+ private:
+  const core::DeepSDModel* model_;
+  const feature::FeatureAssembler* assembler_;
+};
+
+/// Allocates ∝ the *true* future gap — the information-theoretic upper
+/// bound any predictor-driven policy can approach.
+class OraclePolicy : public DispatchPolicy {
+ public:
+  std::string name() const override { return "oracle"; }
+  std::vector<double> Weights(const data::OrderDataset& reference, int day,
+                              int t) override;
+};
+
+}  // namespace dispatch
+}  // namespace deepsd
+
+#endif  // DEEPSD_DISPATCH_POLICIES_H_

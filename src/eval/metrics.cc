@@ -1,0 +1,47 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace eval {
+
+Metrics ComputeMetrics(const std::vector<float>& predictions,
+                       const std::vector<float>& targets) {
+  DEEPSD_CHECK(predictions.size() == targets.size());
+  Metrics m;
+  if (predictions.empty()) return m;
+  double abs_sum = 0.0, sq_sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    double d = static_cast<double>(predictions[i]) - targets[i];
+    abs_sum += std::abs(d);
+    sq_sum += d * d;
+  }
+  m.count = predictions.size();
+  m.mae = abs_sum / static_cast<double>(m.count);
+  m.rmse = std::sqrt(sq_sum / static_cast<double>(m.count));
+  return m;
+}
+
+Metrics ComputeMetricsThresholded(const std::vector<float>& predictions,
+                                  const std::vector<float>& targets,
+                                  double threshold) {
+  DEEPSD_CHECK(predictions.size() == targets.size());
+  std::vector<float> p, t;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] <= threshold) {
+      p.push_back(predictions[i]);
+      t.push_back(targets[i]);
+    }
+  }
+  return ComputeMetrics(p, t);
+}
+
+double ImprovementPercent(double a, double b) {
+  if (b == 0.0) return 0.0;
+  return 100.0 * (b - a) / b;
+}
+
+}  // namespace eval
+}  // namespace deepsd

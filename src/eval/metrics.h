@@ -1,0 +1,34 @@
+#ifndef DEEPSD_EVAL_METRICS_H_
+#define DEEPSD_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace deepsd {
+namespace eval {
+
+/// MAE / RMSE pair (paper Sec VI-A1).
+struct Metrics {
+  double mae = 0;
+  double rmse = 0;
+  size_t count = 0;
+};
+
+/// Computes MAE and RMSE of `predictions` against `targets`.
+Metrics ComputeMetrics(const std::vector<float>& predictions,
+                       const std::vector<float>& targets);
+
+/// Metrics restricted to items with target gap <= threshold — the
+/// evaluation sweep of paper Fig 10.
+Metrics ComputeMetricsThresholded(const std::vector<float>& predictions,
+                                  const std::vector<float>& targets,
+                                  double threshold);
+
+/// Relative improvement (a vs b) in percent: 100·(b − a)/b. Positive means
+/// `a` is better (smaller error). Used for the "11.9% lower RMSE" claim.
+double ImprovementPercent(double a, double b);
+
+}  // namespace eval
+}  // namespace deepsd
+
+#endif  // DEEPSD_EVAL_METRICS_H_

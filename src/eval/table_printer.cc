@@ -1,0 +1,59 @@
+#include "eval/table_printer.h"
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace eval {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values) {
+  std::vector<std::string> row = {label};
+  for (double v : values) row.push_back(util::StrFormat("%.2f", v));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  auto render = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < cols; ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      line += " " + util::PadRight(cell, width[c]) + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < cols; ++c) {
+    sep += std::string(width[c] + 2, '-') + "+";
+  }
+  sep += "\n";
+
+  std::string out = sep + render(header_) + sep;
+  for (const auto& r : rows_) out += render(r);
+  out += sep;
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace eval
+}  // namespace deepsd

@@ -1,0 +1,33 @@
+#ifndef DEEPSD_EVAL_TABLE_PRINTER_H_
+#define DEEPSD_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace deepsd {
+namespace eval {
+
+/// ASCII table renderer used by the bench binaries to print the paper's
+/// tables. Column widths auto-fit the content.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: first cell is a label, the rest are numbers (%.2f).
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  /// Renders to a string ending in '\n'.
+  std::string ToString() const;
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eval
+}  // namespace deepsd
+
+#endif  // DEEPSD_EVAL_TABLE_PRINTER_H_

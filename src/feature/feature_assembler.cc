@@ -1,0 +1,410 @@
+#include "feature/feature_assembler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace feature {
+
+namespace {
+constexpr int kWeatherVocab = 10;
+}
+
+FeatureAssembler::FeatureAssembler(const data::OrderDataset* dataset,
+                                   const FeatureConfig& config,
+                                   int ref_day_begin, int ref_day_end)
+    : dataset_(dataset),
+      config_(config),
+      ref_day_begin_(std::max(ref_day_begin, 0)),
+      ref_day_end_(std::min(ref_day_end, dataset->num_days())) {
+  DEEPSD_CHECK(config_.window > 0);
+  DEEPSD_CHECK(ref_day_end_ > ref_day_begin_);
+  grid_points_ =
+      (data::kMinutesPerDay - config_.grid_start) / config_.grid_stride + 1;
+
+  const int num_areas = dataset_->num_areas();
+  const int L = config_.window;
+  ref_day_count_.assign(data::kDaysPerWeek, 0);
+  for (int d = ref_day_begin_; d < ref_day_end_; ++d) {
+    ++ref_day_count_[static_cast<size_t>(dataset_->WeekId(d))];
+  }
+
+  // --- Supply-demand: mean per-minute curves per (area, weekday). ---
+  sd_minute_mean_.assign(static_cast<size_t>(num_areas) * data::kDaysPerWeek *
+                             data::kMinutesPerDay * 2,
+                         0.0f);
+  for (int a = 0; a < num_areas; ++a) {
+    for (int d = ref_day_begin_; d < ref_day_end_; ++d) {
+      int w = dataset_->WeekId(d);
+      size_t base = (static_cast<size_t>(a) * data::kDaysPerWeek + w) *
+                    data::kMinutesPerDay * 2;
+      for (int ts = 0; ts < data::kMinutesPerDay; ++ts) {
+        sd_minute_mean_[base + 2 * static_cast<size_t>(ts)] +=
+            static_cast<float>(dataset_->ValidCount(a, d, ts));
+        sd_minute_mean_[base + 2 * static_cast<size_t>(ts) + 1] +=
+            static_cast<float>(dataset_->InvalidCount(a, d, ts));
+      }
+    }
+    for (int w = 0; w < data::kDaysPerWeek; ++w) {
+      int n = ref_day_count_[static_cast<size_t>(w)];
+      if (n == 0) continue;
+      size_t base = (static_cast<size_t>(a) * data::kDaysPerWeek + w) *
+                    data::kMinutesPerDay * 2;
+      for (size_t i = 0; i < static_cast<size_t>(data::kMinutesPerDay) * 2; ++i) {
+        sd_minute_mean_[base + i] /= static_cast<float>(n);
+      }
+    }
+  }
+
+  // --- Environment-real standardization statistics over the reference
+  // period (sampled every 10 minutes). ---
+  {
+    util::RunningStats temp, pm;
+    util::RunningStats tc[data::kCongestionLevels];
+    for (int d = ref_day_begin_; d < ref_day_end_; ++d) {
+      for (int ts = 0; ts < data::kMinutesPerDay; ts += 10) {
+        const data::WeatherRecord& w = dataset_->WeatherAt(d, ts);
+        temp.Add(w.temperature);
+        pm.Add(w.pm25);
+        for (int a = 0; a < num_areas; ++a) {
+          const data::TrafficRecord& t = dataset_->TrafficAt(a, d, ts);
+          for (int level = 0; level < data::kCongestionLevels; ++level) {
+            tc[level].Add(t.level_counts[level]);
+          }
+        }
+      }
+    }
+    auto safe_std = [](const util::RunningStats& s) {
+      double sd = s.stddev();
+      return static_cast<float>(sd > 1e-6 ? sd : 1.0);
+    };
+    env_stats_.temp_mean = static_cast<float>(temp.mean());
+    env_stats_.temp_std = safe_std(temp);
+    env_stats_.pm_mean = static_cast<float>(pm.mean());
+    env_stats_.pm_std = safe_std(pm);
+    for (int level = 0; level < data::kCongestionLevels; ++level) {
+      env_stats_.tc_mean[level] = static_cast<float>(tc[level].mean());
+      env_stats_.tc_std[level] = safe_std(tc[level]);
+    }
+  }
+
+  // --- Last-call / waiting-time: mean vectors per (area, weekday, slot). ---
+  size_t table_size = static_cast<size_t>(num_areas) * data::kDaysPerWeek *
+                      grid_points_ * 2 * static_cast<size_t>(L);
+  lc_table_.assign(table_size, 0.0f);
+  wt_table_.assign(table_size, 0.0f);
+  for (int a = 0; a < num_areas; ++a) {
+    for (int d = ref_day_begin_; d < ref_day_end_; ++d) {
+      int w = dataset_->WeekId(d);
+      for (int g = 0; g < grid_points_; ++g) {
+        int t = config_.grid_start + g * config_.grid_stride;
+        size_t base =
+            ((static_cast<size_t>(a) * data::kDaysPerWeek + w) * grid_points_ +
+             static_cast<size_t>(g)) *
+            2 * static_cast<size_t>(L);
+        std::vector<float> lc = LastCallVector(*dataset_, a, d, t, L);
+        std::vector<float> wt = WaitingTimeVector(*dataset_, a, d, t, L);
+        for (size_t k = 0; k < lc.size(); ++k) {
+          lc_table_[base + k] += lc[k];
+          wt_table_[base + k] += wt[k];
+        }
+      }
+    }
+    for (int w = 0; w < data::kDaysPerWeek; ++w) {
+      int n = ref_day_count_[static_cast<size_t>(w)];
+      if (n == 0) continue;
+      for (int g = 0; g < grid_points_; ++g) {
+        size_t base =
+            ((static_cast<size_t>(a) * data::kDaysPerWeek + w) * grid_points_ +
+             static_cast<size_t>(g)) *
+            2 * static_cast<size_t>(L);
+        for (size_t k = 0; k < 2 * static_cast<size_t>(L); ++k) {
+          lc_table_[base + k] /= static_cast<float>(n);
+          wt_table_[base + k] /= static_cast<float>(n);
+        }
+      }
+    }
+  }
+}
+
+int FeatureAssembler::GridIndex(int t) const {
+  if (t < config_.grid_start) return -1;
+  int off = t - config_.grid_start;
+  if (off % config_.grid_stride != 0) return -1;
+  int g = off / config_.grid_stride;
+  return g < grid_points_ ? g : -1;
+}
+
+std::vector<float> FeatureAssembler::RealtimeVector(int kind, int area,
+                                                    int day, int t) const {
+  switch (kind) {
+    case 0: return SupplyDemandVector(*dataset_, area, day, t, config_.window);
+    case 1: return LastCallVector(*dataset_, area, day, t, config_.window);
+    case 2: return WaitingTimeVector(*dataset_, area, day, t, config_.window);
+    default: DEEPSD_CHECK(false); return {};
+  }
+}
+
+std::vector<float> FeatureAssembler::HistoricalSd(int area, int week_id,
+                                                  int t) const {
+  const int L = config_.window;
+  std::vector<float> h(2 * static_cast<size_t>(L), 0.0f);
+  size_t base = (static_cast<size_t>(area) * data::kDaysPerWeek + week_id) *
+                data::kMinutesPerDay * 2;
+  for (int l = 1; l <= L; ++l) {
+    int ts = t - l;
+    if (ts < 0) break;
+    h[static_cast<size_t>(l - 1)] =
+        sd_minute_mean_[base + 2 * static_cast<size_t>(ts)];
+    h[static_cast<size_t>(L + l - 1)] =
+        sd_minute_mean_[base + 2 * static_cast<size_t>(ts) + 1];
+  }
+  return h;
+}
+
+std::vector<float> FeatureAssembler::HistoricalVectors(int kind, int area,
+                                                       int t) const {
+  // day = -1 is outside the reference period, so no exclusion applies.
+  return HistoricalAll(kind, area, /*day=*/-1, t);
+}
+
+std::vector<float> FeatureAssembler::NormalizeCounts(
+    std::vector<float> counts) const {
+  for (float& v : counts) v = NormCount(v);
+  return counts;
+}
+
+std::vector<float> FeatureAssembler::HistoricalAll(int kind, int area, int day,
+                                                   int t) const {
+  const int L = config_.window;
+  const size_t dim = 2 * static_cast<size_t>(L);
+  std::vector<float> out(data::kDaysPerWeek * dim, 0.0f);
+
+  const bool day_in_ref = day >= ref_day_begin_ && day < ref_day_end_;
+  const int day_week = dataset_->WeekId(day);
+
+  for (int w = 0; w < data::kDaysPerWeek; ++w) {
+    std::vector<float> h;
+    if (kind == 0) {
+      h = HistoricalSd(area, w, t);
+    } else {
+      h.assign(dim, 0.0f);
+      int g = GridIndex(t);
+      const std::vector<float>& table = (kind == 1) ? lc_table_ : wt_table_;
+      if (g >= 0) {
+        size_t base =
+            ((static_cast<size_t>(area) * data::kDaysPerWeek + w) *
+                 grid_points_ +
+             static_cast<size_t>(g)) *
+            dim;
+        std::copy(table.begin() + static_cast<long>(base),
+                  table.begin() + static_cast<long>(base + dim), h.begin());
+      } else {
+        // Off-grid query: average on the fly (rare; tests only).
+        int n = 0;
+        for (int d = ref_day_begin_; d < ref_day_end_; ++d) {
+          if (dataset_->WeekId(d) != w) continue;
+          std::vector<float> v = RealtimeVector(kind, area, d, t);
+          for (size_t k = 0; k < dim; ++k) h[k] += v[k];
+          ++n;
+        }
+        if (n > 0) {
+          for (float& x : h) x /= static_cast<float>(n);
+        }
+      }
+    }
+
+    // Exclude the item's own day from its historical average so E never
+    // contains the exact window being predicted from.
+    int n = ref_day_count_[static_cast<size_t>(w)];
+    if (day_in_ref && day_week == w && n > 1) {
+      std::vector<float> own = RealtimeVector(kind, area, day, t);
+      for (size_t k = 0; k < dim; ++k) {
+        h[k] = (h[k] * static_cast<float>(n) - own[k]) /
+               static_cast<float>(n - 1);
+      }
+    }
+    std::copy(h.begin(), h.end(),
+              out.begin() + static_cast<long>(w * dim));
+  }
+  return out;
+}
+
+float FeatureAssembler::NormCount(float v) const {
+  if (!config_.normalize) return v;
+  return std::log1p(std::max(v, 0.0f));
+}
+
+void FeatureAssembler::AppendNormalizedCounts(const std::vector<float>& src,
+                                              std::vector<float>* dst) const {
+  for (float v : src) dst->push_back(NormCount(v));
+}
+
+ModelInput FeatureAssembler::AssembleBasic(
+    const data::PredictionItem& item) const {
+  const int L = config_.window;
+  ModelInput in;
+  in.area_id = item.area;
+  in.time_id = item.t;
+  in.week_id = item.week_id;
+  in.target_gap = item.gap;
+
+  in.v_sd = RealtimeVector(0, item.area, item.day, item.t);
+  for (float& v : in.v_sd) v = NormCount(v);
+
+  in.weather_types.reserve(static_cast<size_t>(L));
+  in.weather_reals.reserve(2 * static_cast<size_t>(L));
+  std::vector<float> temps, pms;
+  for (int l = 1; l <= L; ++l) {
+    int ts = std::max(item.t - l, 0);
+    const data::WeatherRecord& w = dataset_->WeatherAt(item.day, ts);
+    in.weather_types.push_back(w.type);
+    temps.push_back(NormTemp(w.temperature));
+    pms.push_back(NormPm(w.pm25));
+  }
+  in.weather_reals.insert(in.weather_reals.end(), temps.begin(), temps.end());
+  in.weather_reals.insert(in.weather_reals.end(), pms.begin(), pms.end());
+
+  in.v_tc.reserve(4 * static_cast<size_t>(L));
+  for (int l = 1; l <= L; ++l) {
+    int ts = std::max(item.t - l, 0);
+    const data::TrafficRecord& tr = dataset_->TrafficAt(item.area, item.day, ts);
+    for (int level = 0; level < data::kCongestionLevels; ++level) {
+      float c = static_cast<float>(tr.level_counts[level]);
+      in.v_tc.push_back(NormTraffic(level, c));
+    }
+  }
+  return in;
+}
+
+ModelInput FeatureAssembler::AssembleAdvanced(
+    const data::PredictionItem& item) const {
+  ModelInput in = AssembleBasic(item);
+  const int t10 = item.t + data::kGapWindow;
+
+  auto norm_all = [this](std::vector<float> v) {
+    for (float& x : v) x = NormCount(x);
+    return v;
+  };
+
+  in.h_sd = norm_all(HistoricalAll(0, item.area, item.day, item.t));
+  in.h_sd10 = norm_all(HistoricalAll(0, item.area, item.day, t10));
+  in.v_lc = norm_all(RealtimeVector(1, item.area, item.day, item.t));
+  in.h_lc = norm_all(HistoricalAll(1, item.area, item.day, item.t));
+  in.h_lc10 = norm_all(HistoricalAll(1, item.area, item.day, t10));
+  in.v_wt = norm_all(RealtimeVector(2, item.area, item.day, item.t));
+  in.h_wt = norm_all(HistoricalAll(2, item.area, item.day, item.t));
+  in.h_wt10 = norm_all(HistoricalAll(2, item.area, item.day, t10));
+  return in;
+}
+
+int FeatureAssembler::FlatDim(bool onehot_categoricals) const {
+  const int L = config_.window;
+  int time_bins = data::kMinutesPerDay / config_.time_bin_minutes;
+  int id_dims = onehot_categoricals
+                    ? dataset_->num_areas() + time_bins + data::kDaysPerWeek
+                    : 3;
+  int per_signal = 2 * L + data::kDaysPerWeek * 2 * L;  // realtime + 7×hist
+  return id_dims + 3 * per_signal + (kWeatherVocab + 2) + 4 * L;
+}
+
+std::vector<float> FeatureAssembler::AssembleFlat(
+    const data::PredictionItem& item, bool onehot_categoricals) const {
+  const int L = config_.window;
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(FlatDim(onehot_categoricals)));
+
+  if (onehot_categoricals) {
+    int time_bins = data::kMinutesPerDay / config_.time_bin_minutes;
+    std::vector<float> ids(
+        static_cast<size_t>(dataset_->num_areas() + time_bins +
+                            data::kDaysPerWeek),
+        0.0f);
+    ids[static_cast<size_t>(item.area)] = 1.0f;
+    int bin = std::min(item.t / config_.time_bin_minutes, time_bins - 1);
+    ids[static_cast<size_t>(dataset_->num_areas() + bin)] = 1.0f;
+    ids[static_cast<size_t>(dataset_->num_areas() + time_bins +
+                            item.week_id)] = 1.0f;
+    out.insert(out.end(), ids.begin(), ids.end());
+  } else {
+    out.push_back(static_cast<float>(item.area));
+    out.push_back(static_cast<float>(item.t));
+    out.push_back(static_cast<float>(item.week_id));
+  }
+
+  for (int kind = 0; kind < 3; ++kind) {
+    std::vector<float> v = RealtimeVector(kind, item.area, item.day, item.t);
+    AppendNormalizedCounts(v, &out);
+    std::vector<float> h = HistoricalAll(kind, item.area, item.day, item.t);
+    AppendNormalizedCounts(h, &out);
+  }
+
+  // Weather at t-1: one-hot type + scaled temperature and PM2.5.
+  const data::WeatherRecord& w =
+      dataset_->WeatherAt(item.day, std::max(item.t - 1, 0));
+  for (int k = 0; k < kWeatherVocab; ++k) {
+    out.push_back(w.type == k ? 1.0f : 0.0f);
+  }
+  out.push_back(NormTemp(w.temperature));
+  out.push_back(NormPm(w.pm25));
+
+  for (int l = 1; l <= L; ++l) {
+    int ts = std::max(item.t - l, 0);
+    const data::TrafficRecord& tr = dataset_->TrafficAt(item.area, item.day, ts);
+    for (int level = 0; level < data::kCongestionLevels; ++level) {
+      float c = static_cast<float>(tr.level_counts[level]);
+      out.push_back(NormTraffic(level, c));
+    }
+  }
+  DEEPSD_CHECK(static_cast<int>(out.size()) == FlatDim(onehot_categoricals));
+  return out;
+}
+
+std::vector<std::string> FeatureAssembler::FlatFeatureNames(
+    bool onehot_categoricals) const {
+  const int L = config_.window;
+  std::vector<std::string> names;
+  if (onehot_categoricals) {
+    for (int a = 0; a < dataset_->num_areas(); ++a) {
+      names.push_back(util::StrFormat("area_%d", a));
+    }
+    int time_bins = data::kMinutesPerDay / config_.time_bin_minutes;
+    for (int b = 0; b < time_bins; ++b) {
+      names.push_back(util::StrFormat("timebin_%d", b));
+    }
+    for (int w = 0; w < data::kDaysPerWeek; ++w) {
+      names.push_back(util::StrFormat("week_%d", w));
+    }
+  } else {
+    names = {"area_id", "time_id", "week_id"};
+  }
+  const char* kinds[3] = {"sd", "lc", "wt"};
+  for (const char* kind : kinds) {
+    for (int k = 0; k < 2 * L; ++k) {
+      names.push_back(util::StrFormat("v_%s_%d", kind, k));
+    }
+    for (int w = 0; w < data::kDaysPerWeek; ++w) {
+      for (int k = 0; k < 2 * L; ++k) {
+        names.push_back(util::StrFormat("h_%s_w%d_%d", kind, w, k));
+      }
+    }
+  }
+  for (int k = 0; k < kWeatherVocab; ++k) {
+    names.push_back(util::StrFormat("wc_type_%d", k));
+  }
+  names.push_back("wc_temp");
+  names.push_back("wc_pm25");
+  for (int l = 1; l <= L; ++l) {
+    for (int level = 0; level < data::kCongestionLevels; ++level) {
+      names.push_back(util::StrFormat("tc_l%d_level%d", l, level + 1));
+    }
+  }
+  return names;
+}
+
+}  // namespace feature
+}  // namespace deepsd

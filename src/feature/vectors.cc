@@ -1,0 +1,115 @@
+#include "feature/vectors.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace feature {
+
+namespace {
+
+/// Per-passenger episode summary within one window.
+struct Episode {
+  int32_t pid;
+  int32_t first_ts;
+  int32_t last_ts;
+  bool last_valid;
+};
+
+/// Collects one episode per passenger with orders in [t-window, t),
+/// sorted scan over the window's per-minute buckets.
+std::vector<Episode> CollectEpisodes(const data::OrderDataset& dataset,
+                                     int area, int day, int t, int window) {
+  // Gather (pid, ts, valid) triples then reduce by pid. Window sizes are
+  // tens of orders for typical areas, so a sort beats a hash map here.
+  struct Call {
+    int32_t pid;
+    int32_t ts;
+    bool valid;
+  };
+  std::vector<Call> calls;
+  int begin = std::max(t - window, 0);
+  for (int ts = begin; ts < t && ts < data::kMinutesPerDay; ++ts) {
+    for (const data::Order& o : dataset.OrdersAt(area, day, ts)) {
+      calls.push_back({o.passenger_id, o.ts, o.valid});
+    }
+  }
+  std::sort(calls.begin(), calls.end(), [](const Call& a, const Call& b) {
+    if (a.pid != b.pid) return a.pid < b.pid;
+    return a.ts < b.ts;
+  });
+
+  std::vector<Episode> episodes;
+  for (size_t i = 0; i < calls.size();) {
+    size_t j = i;
+    while (j + 1 < calls.size() && calls[j + 1].pid == calls[i].pid) ++j;
+    episodes.push_back(
+        {calls[i].pid, calls[i].ts, calls[j].ts, calls[j].valid});
+    i = j + 1;
+  }
+  return episodes;
+}
+
+}  // namespace
+
+std::vector<float> SupplyDemandVector(const data::OrderDataset& dataset,
+                                      int area, int day, int t, int window) {
+  std::vector<float> v(2 * static_cast<size_t>(window), 0.0f);
+  for (int l = 1; l <= window; ++l) {
+    int ts = t - l;
+    if (ts < 0) break;
+    v[static_cast<size_t>(l - 1)] =
+        static_cast<float>(dataset.ValidCount(area, day, ts));
+    v[static_cast<size_t>(window + l - 1)] =
+        static_cast<float>(dataset.InvalidCount(area, day, ts));
+  }
+  return v;
+}
+
+std::vector<float> LastCallVector(const data::OrderDataset& dataset, int area,
+                                  int day, int t, int window) {
+  std::vector<float> v(2 * static_cast<size_t>(window), 0.0f);
+  for (const Episode& e : CollectEpisodes(dataset, area, day, t, window)) {
+    int l = t - e.last_ts;  // in [1, window]
+    if (l < 1 || l > window) continue;
+    size_t idx = static_cast<size_t>(e.last_valid ? l - 1 : window + l - 1);
+    v[idx] += 1.0f;
+  }
+  return v;
+}
+
+std::vector<float> WaitingTimeVector(const data::OrderDataset& dataset,
+                                     int area, int day, int t, int window) {
+  std::vector<float> v(2 * static_cast<size_t>(window), 0.0f);
+  for (const Episode& e : CollectEpisodes(dataset, area, day, t, window)) {
+    int wait = e.last_ts - e.first_ts;  // in [0, window-1]
+    if (wait < 0 || wait >= window) continue;
+    size_t idx = static_cast<size_t>(e.last_valid ? wait : window + wait);
+    v[idx] += 1.0f;
+  }
+  return v;
+}
+
+std::vector<double> DemandCurve(const data::OrderDataset& dataset, int area,
+                                int day) {
+  std::vector<double> curve(data::kMinutesPerDay, 0.0);
+  for (int ts = 0; ts < data::kMinutesPerDay; ++ts) {
+    curve[static_cast<size_t>(ts)] = dataset.ValidCount(area, day, ts) +
+                                     dataset.InvalidCount(area, day, ts);
+  }
+  return curve;
+}
+
+std::vector<double> GapCurve(const data::OrderDataset& dataset, int area,
+                             int day, int stride) {
+  DEEPSD_CHECK(stride > 0);
+  std::vector<double> curve;
+  for (int t = 0; t + data::kGapWindow <= data::kMinutesPerDay; t += stride) {
+    curve.push_back(dataset.Gap(area, day, t));
+  }
+  return curve;
+}
+
+}  // namespace feature
+}  // namespace deepsd

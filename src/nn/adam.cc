@@ -1,0 +1,58 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace deepsd {
+namespace nn {
+
+double Adam::Step(ParameterStore* store) {
+  ++t_;
+
+  // Global gradient norm over trainable parameters.
+  double sq = 0.0;
+  for (const auto& p : store->parameters()) {
+    if (p->frozen) continue;
+    sq += p->grad.SquaredNorm();
+  }
+  double norm = std::sqrt(sq);
+  float scale = 1.0f;
+  if (config_.clip_norm > 0.0f && norm > config_.clip_norm) {
+    scale = static_cast<float>(config_.clip_norm / norm);
+  }
+
+  const float b1 = config_.beta1, b2 = config_.beta2;
+  const float bc1 = 1.0f - std::pow(b1, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(b2, static_cast<float>(t_));
+
+  for (auto& p : store->parameters()) {
+    if (p->frozen) continue;
+    Moments& mom = moments_[p.get()];
+    if (mom.m.size() != p->value.size()) {
+      mom.m = Tensor(p->value.rows(), p->value.cols());
+      mom.v = Tensor(p->value.rows(), p->value.cols());
+    }
+    float* value = p->value.data();
+    const float* grad = p->grad.data();
+    float* m = mom.m.data();
+    float* v = mom.v.data();
+    const size_t n = p->value.size();
+    for (size_t i = 0; i < n; ++i) {
+      float g = grad[i] * scale + config_.weight_decay * value[i];
+      m[i] = b1 * m[i] + (1.0f - b1) * g;
+      v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+      float mhat = m[i] / bc1;
+      float vhat = v[i] / bc2;
+      value[i] -= config_.learning_rate * mhat /
+                  (std::sqrt(vhat) + config_.epsilon);
+    }
+  }
+  return norm;
+}
+
+void Adam::Reset() {
+  t_ = 0;
+  moments_.clear();
+}
+
+}  // namespace nn
+}  // namespace deepsd

@@ -1,0 +1,56 @@
+#ifndef DEEPSD_NN_ADAM_H_
+#define DEEPSD_NN_ADAM_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace deepsd {
+namespace nn {
+
+/// Adam hyperparameters (paper Sec VI-B3 uses the defaults).
+struct AdamConfig {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  /// L2 weight decay applied to the gradient (0 = off).
+  float weight_decay = 0.0f;
+  /// Global gradient-norm clip; 0 disables. Keeps training stable on the
+  /// heavy-tailed gap targets.
+  float clip_norm = 5.0f;
+};
+
+/// Adaptive Moment Estimation optimizer over a ParameterStore.
+/// Frozen parameters are skipped entirely (fine-tuning support).
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  const AdamConfig& config() const { return config_; }
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+
+  /// Applies one update from the accumulated gradients, then leaves the
+  /// gradients untouched (caller zeroes them before the next batch).
+  /// Returns the pre-clip global gradient norm (diagnostics).
+  double Step(ParameterStore* store);
+
+  /// Drops all moment state (e.g. when the model topology changed).
+  void Reset();
+
+ private:
+  struct Moments {
+    Tensor m;
+    Tensor v;
+  };
+
+  AdamConfig config_;
+  int64_t t_ = 0;
+  std::unordered_map<const Parameter*, Moments> moments_;
+};
+
+}  // namespace nn
+}  // namespace deepsd
+
+#endif  // DEEPSD_NN_ADAM_H_

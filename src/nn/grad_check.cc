@@ -1,0 +1,65 @@
+#include "nn/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepsd {
+namespace nn {
+
+GradCheckResult CheckGradients(ParameterStore* store,
+                               const std::function<double()>& loss_fn,
+                               double epsilon, int max_entries_per_param,
+                               double magnitude_floor) {
+  GradCheckResult result;
+
+  // One clean pass to record analytic gradients.
+  store->ZeroGrads();
+  loss_fn();
+  std::vector<std::vector<float>> analytic;
+  for (const auto& p : store->parameters()) {
+    analytic.push_back(p->grad.flat());
+  }
+
+  for (size_t pi = 0; pi < store->parameters().size(); ++pi) {
+    Parameter* p = store->parameters()[pi].get();
+    size_t n = p->value.size();
+    if (n == 0) continue;
+    size_t stride = std::max<size_t>(1, n / static_cast<size_t>(max_entries_per_param));
+    for (size_t i = 0; i < n; i += stride) {
+      float saved = p->value.flat()[i];
+
+      p->value.flat()[i] = saved + static_cast<float>(epsilon);
+      store->ZeroGrads();
+      double up = loss_fn();
+
+      p->value.flat()[i] = saved - static_cast<float>(epsilon);
+      store->ZeroGrads();
+      double down = loss_fn();
+
+      p->value.flat()[i] = saved;
+
+      double numeric = (up - down) / (2.0 * epsilon);
+      double ana = analytic[pi][i];
+      double abs_err = std::abs(numeric - ana);
+      double magnitude = std::abs(numeric) + std::abs(ana);
+      double rel_err = abs_err / (magnitude + 1e-8);
+      if (abs_err > result.max_abs_error) result.max_abs_error = abs_err;
+      if (magnitude > magnitude_floor) {
+        result.rel_errors.push_back(rel_err);
+        if (rel_err > result.max_rel_error) {
+          result.max_rel_error = rel_err;
+          result.worst_param = p->name;
+        }
+      }
+      ++result.checked;
+    }
+  }
+
+  // Restore analytic gradients for the caller.
+  store->ZeroGrads();
+  loss_fn();
+  return result;
+}
+
+}  // namespace nn
+}  // namespace deepsd

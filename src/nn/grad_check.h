@@ -1,0 +1,59 @@
+#ifndef DEEPSD_NN_GRAD_CHECK_H_
+#define DEEPSD_NN_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace deepsd {
+namespace nn {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  double max_abs_error = 0;
+  double max_rel_error = 0;
+  size_t checked = 0;
+  std::string worst_param;
+  /// Per-entry relative errors for entries above the magnitude floor.
+  /// Piecewise-linear activations (LReL) make occasional large relative
+  /// errors inevitable when ±epsilon straddles a kink, so callers should
+  /// bound a high quantile of this distribution rather than its max.
+  std::vector<double> rel_errors;
+
+  /// Fraction of (magnitude-filtered) entries with relative error above
+  /// `tol`. 0 when nothing was filtered in.
+  double FractionAbove(double tol) const {
+    if (rel_errors.empty()) return 0.0;
+    size_t bad = 0;
+    for (double r : rel_errors) bad += (r > tol);
+    return static_cast<double>(bad) / static_cast<double>(rel_errors.size());
+  }
+};
+
+/// Verifies the analytic gradients of `loss_fn` against central finite
+/// differences.
+///
+/// `loss_fn` must build a fresh graph over the parameters of `store`,
+/// run Backward, and return the scalar loss value (with gradients left
+/// accumulated in the parameters). It is invoked repeatedly with perturbed
+/// parameter values, so it must be deterministic (no dropout).
+///
+/// Checks at most `max_entries_per_param` entries per parameter (strided to
+/// cover the tensor). Relative error uses |num| + |ana| + 1e-8 in the
+/// denominator, and `max_rel_error` only aggregates entries whose gradient
+/// magnitude (|num| + |ana|) exceeds `magnitude_floor` — below it, float32
+/// forward-pass rounding dominates both estimates and the ratio is noise;
+/// such entries are still guarded by `max_abs_error`.
+GradCheckResult CheckGradients(
+    ParameterStore* store,
+    const std::function<double()>& loss_fn,
+    double epsilon = 1e-3,
+    int max_entries_per_param = 16,
+    double magnitude_floor = 1e-2);
+
+}  // namespace nn
+}  // namespace deepsd
+
+#endif  // DEEPSD_NN_GRAD_CHECK_H_

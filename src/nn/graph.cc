@@ -1,0 +1,404 @@
+#include "nn/graph.h"
+
+#include <cmath>
+
+namespace deepsd {
+namespace nn {
+
+NodeId Graph::AddNode(Tensor value) {
+  Node n;
+  n.value = std::move(value);
+  n.grad = Tensor(n.value.rows(), n.value.cols());
+  nodes_.push_back(std::move(n));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId Graph::Input(Tensor value) { return AddNode(std::move(value)); }
+
+NodeId Graph::Param(Parameter* p) {
+  DEEPSD_CHECK(p != nullptr);
+  NodeId id = AddNode(p->value);
+  node(id).param = p;
+  node(id).backward = [id](Graph* g) {
+    Node& n = g->node(id);
+    for (size_t i = 0; i < n.grad.size(); ++i) {
+      n.param->grad.flat()[i] += n.grad.flat()[i];
+    }
+  };
+  return id;
+}
+
+NodeId Graph::MatMul(NodeId x, NodeId w) {
+  const Tensor& xv = value(x);
+  const Tensor& wv = value(w);
+  Tensor out(xv.rows(), wv.cols());
+  nn::MatMul(xv, wv, &out);
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, x, w](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    // dX += dY · W^T ; dW += X^T · dY
+    MatMulTransposeB(dy, g->node(w).value, &g->node(x).grad);
+    MatMulTransposeA(g->node(x).value, dy, &g->node(w).grad);
+  };
+  return id;
+}
+
+NodeId Graph::AddBias(NodeId x, NodeId b) {
+  const Tensor& xv = value(x);
+  const Tensor& bv = value(b);
+  DEEPSD_CHECK(bv.rows() == 1 && bv.cols() == xv.cols());
+  Tensor out = xv;
+  for (int r = 0; r < out.rows(); ++r) {
+    float* row = out.row(r);
+    const float* brow = bv.row(0);
+    for (int c = 0; c < out.cols(); ++c) row[c] += brow[c];
+  }
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, x, b](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    Tensor& dx = g->node(x).grad;
+    Tensor& db = g->node(b).grad;
+    for (int r = 0; r < dy.rows(); ++r) {
+      const float* dyr = dy.row(r);
+      float* dxr = dx.row(r);
+      float* dbr = db.row(0);
+      for (int c = 0; c < dy.cols(); ++c) {
+        dxr[c] += dyr[c];
+        dbr[c] += dyr[c];
+      }
+    }
+  };
+  return id;
+}
+
+NodeId Graph::Add(NodeId a, NodeId b) {
+  const Tensor& av = value(a);
+  const Tensor& bv = value(b);
+  DEEPSD_CHECK(av.SameShape(bv));
+  Tensor out = av;
+  for (size_t i = 0; i < out.size(); ++i) out.flat()[i] += bv.flat()[i];
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, a, b](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    Tensor& da = g->node(a).grad;
+    Tensor& db = g->node(b).grad;
+    for (size_t i = 0; i < dy.size(); ++i) {
+      da.flat()[i] += dy.flat()[i];
+      db.flat()[i] += dy.flat()[i];
+    }
+  };
+  return id;
+}
+
+NodeId Graph::Sub(NodeId a, NodeId b) {
+  const Tensor& av = value(a);
+  const Tensor& bv = value(b);
+  DEEPSD_CHECK(av.SameShape(bv));
+  Tensor out = av;
+  for (size_t i = 0; i < out.size(); ++i) out.flat()[i] -= bv.flat()[i];
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, a, b](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    Tensor& da = g->node(a).grad;
+    Tensor& db = g->node(b).grad;
+    for (size_t i = 0; i < dy.size(); ++i) {
+      da.flat()[i] += dy.flat()[i];
+      db.flat()[i] -= dy.flat()[i];
+    }
+  };
+  return id;
+}
+
+NodeId Graph::Mul(NodeId a, NodeId b) {
+  const Tensor& av = value(a);
+  const Tensor& bv = value(b);
+  DEEPSD_CHECK(av.SameShape(bv));
+  Tensor out = av;
+  for (size_t i = 0; i < out.size(); ++i) out.flat()[i] *= bv.flat()[i];
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, a, b](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    Tensor& da = g->node(a).grad;
+    Tensor& db = g->node(b).grad;
+    const Tensor& av2 = g->node(a).value;
+    const Tensor& bv2 = g->node(b).value;
+    for (size_t i = 0; i < dy.size(); ++i) {
+      da.flat()[i] += dy.flat()[i] * bv2.flat()[i];
+      db.flat()[i] += dy.flat()[i] * av2.flat()[i];
+    }
+  };
+  return id;
+}
+
+NodeId Graph::Scale(NodeId a, float s) {
+  Tensor out = value(a);
+  for (float& v : out.flat()) v *= s;
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, a, s](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    Tensor& da = g->node(a).grad;
+    for (size_t i = 0; i < dy.size(); ++i) da.flat()[i] += dy.flat()[i] * s;
+  };
+  return id;
+}
+
+NodeId Graph::Concat(const std::vector<NodeId>& parts) {
+  DEEPSD_CHECK(!parts.empty());
+  int rows = value(parts[0]).rows();
+  int cols = 0;
+  for (NodeId p : parts) {
+    DEEPSD_CHECK(value(p).rows() == rows);
+    cols += value(p).cols();
+  }
+  Tensor out(rows, cols);
+  int offset = 0;
+  for (NodeId p : parts) {
+    const Tensor& pv = value(p);
+    for (int r = 0; r < rows; ++r) {
+      std::copy(pv.row(r), pv.row(r) + pv.cols(), out.row(r) + offset);
+    }
+    offset += pv.cols();
+  }
+  NodeId id = AddNode(std::move(out));
+  std::vector<NodeId> parts_copy = parts;
+  node(id).backward = [id, parts_copy](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    int offset2 = 0;
+    for (NodeId p : parts_copy) {
+      Tensor& dp = g->node(p).grad;
+      for (int r = 0; r < dy.rows(); ++r) {
+        const float* src = dy.row(r) + offset2;
+        float* dst = dp.row(r);
+        for (int c = 0; c < dp.cols(); ++c) dst[c] += src[c];
+      }
+      offset2 += dp.cols();
+    }
+  };
+  return id;
+}
+
+NodeId Graph::SliceCols(NodeId x, int begin, int end) {
+  const Tensor& xv = value(x);
+  DEEPSD_CHECK(begin >= 0 && end <= xv.cols() && begin < end);
+  Tensor out(xv.rows(), end - begin);
+  for (int r = 0; r < xv.rows(); ++r) {
+    std::copy(xv.row(r) + begin, xv.row(r) + end, out.row(r));
+  }
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, x, begin](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    Tensor& dx = g->node(x).grad;
+    for (int r = 0; r < dy.rows(); ++r) {
+      const float* src = dy.row(r);
+      float* dst = dx.row(r) + begin;
+      for (int c = 0; c < dy.cols(); ++c) dst[c] += src[c];
+    }
+  };
+  return id;
+}
+
+NodeId Graph::LeakyRelu(NodeId x, float alpha) {
+  Tensor out = value(x);
+  for (float& v : out.flat()) {
+    if (v < 0.0f) v *= alpha;
+  }
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, x, alpha](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    const Tensor& xv = g->node(x).value;
+    Tensor& dx = g->node(x).grad;
+    for (size_t i = 0; i < dy.size(); ++i) {
+      dx.flat()[i] += dy.flat()[i] * (xv.flat()[i] >= 0.0f ? 1.0f : alpha);
+    }
+  };
+  return id;
+}
+
+NodeId Graph::Softmax(NodeId x) {
+  const Tensor& xv = value(x);
+  Tensor out(xv.rows(), xv.cols());
+  for (int r = 0; r < xv.rows(); ++r) {
+    const float* in = xv.row(r);
+    float* o = out.row(r);
+    float mx = in[0];
+    for (int c = 1; c < xv.cols(); ++c) mx = std::max(mx, in[c]);
+    float sum = 0.0f;
+    for (int c = 0; c < xv.cols(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      sum += o[c];
+    }
+    for (int c = 0; c < xv.cols(); ++c) o[c] /= sum;
+  }
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, x](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    const Tensor& y = g->node(id).value;
+    Tensor& dx = g->node(x).grad;
+    for (int r = 0; r < dy.rows(); ++r) {
+      const float* yr = y.row(r);
+      const float* dyr = dy.row(r);
+      float* dxr = dx.row(r);
+      float dot = 0.0f;
+      for (int c = 0; c < dy.cols(); ++c) dot += yr[c] * dyr[c];
+      for (int c = 0; c < dy.cols(); ++c) {
+        dxr[c] += yr[c] * (dyr[c] - dot);
+      }
+    }
+  };
+  return id;
+}
+
+NodeId Graph::Dropout(NodeId x, float p) {
+  if (!training_ || p <= 0.0f) return x;
+  DEEPSD_CHECK_MSG(rng_ != nullptr, "Dropout in training mode needs an Rng");
+  const Tensor& xv = value(x);
+  Tensor mask(xv.rows(), xv.cols());
+  float keep = 1.0f - p;
+  float scale = 1.0f / keep;
+  for (float& m : mask.flat()) {
+    m = rng_->Bernoulli(keep) ? scale : 0.0f;
+  }
+  Tensor out = xv;
+  for (size_t i = 0; i < out.size(); ++i) out.flat()[i] *= mask.flat()[i];
+  NodeId id = AddNode(std::move(out));
+  // The mask must outlive forward; store it in the closure.
+  node(id).backward = [id, x, mask = std::move(mask)](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    Tensor& dx = g->node(x).grad;
+    for (size_t i = 0; i < dy.size(); ++i) {
+      dx.flat()[i] += dy.flat()[i] * mask.flat()[i];
+    }
+  };
+  return id;
+}
+
+NodeId Graph::Embed(Parameter* table, const std::vector<int>& ids) {
+  DEEPSD_CHECK(table != nullptr);
+  const int vocab = table->value.rows();
+  const int dim = table->value.cols();
+  Tensor out(static_cast<int>(ids.size()), dim);
+  for (size_t b = 0; b < ids.size(); ++b) {
+    DEEPSD_CHECK_MSG(ids[b] >= 0 && ids[b] < vocab,
+                     "embedding id out of range: " + table->name);
+    std::copy(table->value.row(ids[b]), table->value.row(ids[b]) + dim,
+              out.row(static_cast<int>(b)));
+  }
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, table, ids](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    for (size_t b = 0; b < ids.size(); ++b) {
+      const float* src = dy.row(static_cast<int>(b));
+      float* dst = table->grad.row(ids[b]);
+      for (int c = 0; c < dy.cols(); ++c) dst[c] += src[c];
+    }
+  };
+  return id;
+}
+
+NodeId Graph::GroupWeightedSum(NodeId p, NodeId h, int groups) {
+  const Tensor& pv = value(p);
+  const Tensor& hv = value(h);
+  DEEPSD_CHECK(pv.cols() == groups);
+  DEEPSD_CHECK(hv.cols() % groups == 0);
+  DEEPSD_CHECK(pv.rows() == hv.rows());
+  const int k = hv.cols() / groups;
+  Tensor out(pv.rows(), k);
+  for (int r = 0; r < pv.rows(); ++r) {
+    const float* pr = pv.row(r);
+    const float* hr = hv.row(r);
+    float* o = out.row(r);
+    for (int g = 0; g < groups; ++g) {
+      float w = pr[g];
+      const float* hg = hr + g * k;
+      for (int c = 0; c < k; ++c) o[c] += w * hg[c];
+    }
+  }
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, p, h, groups, k](Graph* g) {
+    const Tensor& dy = g->node(id).grad;
+    const Tensor& pv2 = g->node(p).value;
+    const Tensor& hv2 = g->node(h).value;
+    Tensor& dp = g->node(p).grad;
+    Tensor& dh = g->node(h).grad;
+    for (int r = 0; r < dy.rows(); ++r) {
+      const float* dyr = dy.row(r);
+      const float* pr = pv2.row(r);
+      const float* hr = hv2.row(r);
+      float* dpr = dp.row(r);
+      float* dhr = dh.row(r);
+      for (int grp = 0; grp < groups; ++grp) {
+        const float* hg = hr + grp * k;
+        float* dhg = dhr + grp * k;
+        float acc = 0.0f;
+        for (int c = 0; c < k; ++c) {
+          acc += dyr[c] * hg[c];
+          dhg[c] += dyr[c] * pr[grp];
+        }
+        dpr[grp] += acc;
+      }
+    }
+  };
+  return id;
+}
+
+NodeId Graph::MseLoss(NodeId pred, const Tensor& target) {
+  const Tensor& pv = value(pred);
+  DEEPSD_CHECK(pv.SameShape(target));
+  double sum = 0.0;
+  for (size_t i = 0; i < pv.size(); ++i) {
+    double d = static_cast<double>(pv.flat()[i]) - target.flat()[i];
+    sum += d * d;
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(sum / static_cast<double>(pv.size()));
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, pred, target](Graph* g) {
+    float dy = g->node(id).grad.at(0, 0);
+    const Tensor& pv2 = g->node(pred).value;
+    Tensor& dp = g->node(pred).grad;
+    float scale = 2.0f / static_cast<float>(pv2.size());
+    for (size_t i = 0; i < pv2.size(); ++i) {
+      dp.flat()[i] += dy * scale * (pv2.flat()[i] - target.flat()[i]);
+    }
+  };
+  return id;
+}
+
+NodeId Graph::MaeLoss(NodeId pred, const Tensor& target) {
+  const Tensor& pv = value(pred);
+  DEEPSD_CHECK(pv.SameShape(target));
+  double sum = 0.0;
+  for (size_t i = 0; i < pv.size(); ++i) {
+    sum += std::abs(static_cast<double>(pv.flat()[i]) - target.flat()[i]);
+  }
+  Tensor out(1, 1);
+  out.at(0, 0) = static_cast<float>(sum / static_cast<double>(pv.size()));
+  NodeId id = AddNode(std::move(out));
+  node(id).backward = [id, pred, target](Graph* g) {
+    float dy = g->node(id).grad.at(0, 0);
+    const Tensor& pv2 = g->node(pred).value;
+    Tensor& dp = g->node(pred).grad;
+    float scale = 1.0f / static_cast<float>(pv2.size());
+    for (size_t i = 0; i < pv2.size(); ++i) {
+      float d = pv2.flat()[i] - target.flat()[i];
+      dp.flat()[i] += dy * scale * (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f));
+    }
+  };
+  return id;
+}
+
+void Graph::Backward(NodeId loss) {
+  Node& l = node(loss);
+  DEEPSD_CHECK_MSG(l.value.rows() == 1 && l.value.cols() == 1,
+                   "Backward expects a scalar loss");
+  l.grad.at(0, 0) = 1.0f;
+  for (int i = loss; i >= 0; --i) {
+    Node& n = node(i);
+    if (n.backward) n.backward(this);
+  }
+}
+
+void Graph::Clear() { nodes_.clear(); }
+
+}  // namespace nn
+}  // namespace deepsd

@@ -1,0 +1,104 @@
+#ifndef DEEPSD_NN_GRAPH_H_
+#define DEEPSD_NN_GRAPH_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace deepsd {
+namespace nn {
+
+/// Handle to a node in a Graph. Valid only for the graph that produced it
+/// and only until Clear().
+using NodeId = int;
+
+/// Define-by-run autodiff tape over 2-D tensors.
+///
+/// Every op evaluates its value eagerly and records a backward closure;
+/// Backward(loss) replays the tape in reverse, accumulating gradients into
+/// node grads and — for Param leaves — into Parameter::grad. A fresh graph
+/// (or Clear()) is used per mini-batch; parameters persist outside in a
+/// ParameterStore.
+///
+/// This is deliberately the smallest op set that expresses DeepSD: dense
+/// matmul + bias, concatenation, slicing, element-wise arithmetic, LReL,
+/// row softmax, dropout, embedding lookup, a grouped weighted sum (for
+/// E = Σ_w p(w)·H(w)) and MSE/MAE losses.
+class Graph {
+ public:
+  explicit Graph(util::Rng* rng = nullptr) : rng_(rng) {}
+
+  /// True while training: dropout is active. Toggle per pass.
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Constant input (no gradient).
+  NodeId Input(Tensor value);
+  /// Leaf bound to a trainable parameter; backward accumulates into
+  /// `p->grad` (even when frozen — the optimizer decides what to apply).
+  NodeId Param(Parameter* p);
+
+  /// x:[B,M] · w:[M,N] → [B,N].
+  NodeId MatMul(NodeId x, NodeId w);
+  /// x:[B,N] + broadcast row b:[1,N].
+  NodeId AddBias(NodeId x, NodeId b);
+  /// Element-wise; shapes must match.
+  NodeId Add(NodeId a, NodeId b);
+  NodeId Sub(NodeId a, NodeId b);
+  NodeId Mul(NodeId a, NodeId b);
+  NodeId Scale(NodeId a, float s);
+  /// Column-wise concatenation of nodes with equal batch size.
+  NodeId Concat(const std::vector<NodeId>& parts);
+  /// Columns [begin, end) of x.
+  NodeId SliceCols(NodeId x, int begin, int end);
+  /// Leaky rectified linear: max(alpha*x, x). Paper uses alpha = 0.001.
+  NodeId LeakyRelu(NodeId x, float alpha = 0.001f);
+  /// Row-wise softmax.
+  NodeId Softmax(NodeId x);
+  /// Inverted dropout with keep prob 1-p; identity when not training.
+  NodeId Dropout(NodeId x, float p);
+  /// Gathers `table` rows by id: ids.size()=B → [B, table.cols()].
+  NodeId Embed(Parameter* table, const std::vector<int>& ids);
+  /// Grouped weighted sum: p:[B,G], h:[B,G*K] → out:[B,K],
+  /// out[b,k] = Σ_g p[b,g]·h[b,g*K+k]. Computes E from stacked H vectors.
+  NodeId GroupWeightedSum(NodeId p, NodeId h, int groups);
+
+  /// Mean squared error against a constant target [B,1] → scalar [1,1].
+  NodeId MseLoss(NodeId pred, const Tensor& target);
+  /// Mean absolute error (for evaluation; gradient is sign-based).
+  NodeId MaeLoss(NodeId pred, const Tensor& target);
+
+  const Tensor& value(NodeId id) const { return nodes_[static_cast<size_t>(id)].value; }
+  const Tensor& grad(NodeId id) const { return nodes_[static_cast<size_t>(id)].grad; }
+
+  /// Runs reverse-mode accumulation from `loss` (seeds d(loss)=1).
+  void Backward(NodeId loss);
+
+  /// Drops all nodes; parameters are untouched.
+  void Clear();
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    Parameter* param = nullptr;  // for Param leaves
+    std::function<void(Graph*)> backward;
+  };
+
+  NodeId AddNode(Tensor value);
+  Node& node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+
+  std::vector<Node> nodes_;
+  util::Rng* rng_;
+  bool training_ = false;
+};
+
+}  // namespace nn
+}  // namespace deepsd
+
+#endif  // DEEPSD_NN_GRAPH_H_

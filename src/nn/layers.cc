@@ -1,0 +1,56 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace deepsd {
+namespace nn {
+
+Linear::Linear(ParameterStore* store, const std::string& name, int in, int out,
+               util::Rng* rng, Init init) {
+  w_ = store->Create(name + ".w", in, out, init, rng);
+  b_ = store->Create(name + ".b", 1, out, Init::kZero, rng);
+}
+
+NodeId Linear::Apply(Graph* g, NodeId x) const {
+  NodeId w = g->Param(w_);
+  NodeId b = g->Param(b_);
+  return g->AddBias(g->MatMul(x, w), b);
+}
+
+Embedding::Embedding(ParameterStore* store, const std::string& name, int vocab,
+                     int dim, util::Rng* rng) {
+  table_ = store->Create(name + ".embed", vocab, dim, Init::kEmbedding, rng);
+}
+
+NodeId Embedding::Apply(Graph* g, const std::vector<int>& ids) const {
+  return g->Embed(table_, ids);
+}
+
+std::vector<float> Embedding::Lookup(int id) const {
+  DEEPSD_CHECK(id >= 0 && id < table_->value.rows());
+  const float* row = table_->value.row(id);
+  return std::vector<float>(row, row + table_->value.cols());
+}
+
+double Embedding::Distance(int id_a, int id_b) const {
+  std::vector<float> a = Lookup(id_a);
+  std::vector<float> b = Lookup(id_b);
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = static_cast<double>(a[i]) - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+NodeId OneHot::Apply(Graph* g, const std::vector<int>& ids) const {
+  Tensor out(static_cast<int>(ids.size()), vocab_);
+  for (size_t b = 0; b < ids.size(); ++b) {
+    DEEPSD_CHECK(ids[b] >= 0 && ids[b] < vocab_);
+    out.at(static_cast<int>(b), ids[b]) = 1.0f;
+  }
+  return g->Input(std::move(out));
+}
+
+}  // namespace nn
+}  // namespace deepsd

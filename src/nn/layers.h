@@ -1,0 +1,76 @@
+#ifndef DEEPSD_NN_LAYERS_H_
+#define DEEPSD_NN_LAYERS_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/parameter.h"
+
+namespace deepsd {
+namespace nn {
+
+/// Fully-connected layer y = f(x·W + b) (paper Sec IV-B). The activation is
+/// applied by the caller so the layer composes with linear heads and with
+/// the softmax of the weight-combination sub-network.
+class Linear {
+ public:
+  /// Creates (or rebinds to, by name) the W:[in,out] and b:[1,out]
+  /// parameters in `store`.
+  Linear(ParameterStore* store, const std::string& name, int in, int out,
+         util::Rng* rng, Init init = Init::kGlorotUniform);
+
+  /// x:[B,in] → [B,out], no activation.
+  NodeId Apply(Graph* g, NodeId x) const;
+
+  int in_dim() const { return w_->value.rows(); }
+  int out_dim() const { return w_->value.cols(); }
+  Parameter* weight() const { return w_; }
+  Parameter* bias() const { return b_; }
+
+ private:
+  Parameter* w_;
+  Parameter* b_;
+};
+
+/// Embedding layer (paper Sec III-A): maps categorical ids into R^dim by
+/// row lookup in a trainable [vocab, dim] table.
+class Embedding {
+ public:
+  Embedding(ParameterStore* store, const std::string& name, int vocab, int dim,
+            util::Rng* rng);
+
+  /// ids.size()=B → [B, dim].
+  NodeId Apply(Graph* g, const std::vector<int>& ids) const;
+
+  int vocab() const { return table_->value.rows(); }
+  int dim() const { return table_->value.cols(); }
+  Parameter* table() const { return table_; }
+
+  /// Embedded vector of one id (inference convenience; no graph).
+  std::vector<float> Lookup(int id) const;
+
+  /// Euclidean distance between two ids in the embedding space — the
+  /// measure behind the paper's Table IV.
+  double Distance(int id_a, int id_b) const;
+
+ private:
+  Parameter* table_;
+};
+
+/// One-hot "embedding" used by the representation ablation (paper Table
+/// III): fixed identity mapping with no trainable weights.
+class OneHot {
+ public:
+  explicit OneHot(int vocab) : vocab_(vocab) {}
+  NodeId Apply(Graph* g, const std::vector<int>& ids) const;
+  int dim() const { return vocab_; }
+
+ private:
+  int vocab_;
+};
+
+}  // namespace nn
+}  // namespace deepsd
+
+#endif  // DEEPSD_NN_LAYERS_H_

@@ -1,0 +1,196 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+namespace deepsd {
+namespace nn {
+
+void InitTensor(Tensor* t, Init init, util::Rng* rng) {
+  switch (init) {
+    case Init::kZero:
+      t->Zero();
+      return;
+    case Init::kGlorotUniform: {
+      double limit = std::sqrt(6.0 / (t->rows() + t->cols()));
+      for (float& v : t->flat()) {
+        v = static_cast<float>(rng->Uniform(-limit, limit));
+      }
+      return;
+    }
+    case Init::kHeUniform: {
+      double limit = std::sqrt(6.0 / t->rows());
+      for (float& v : t->flat()) {
+        v = static_cast<float>(rng->Uniform(-limit, limit));
+      }
+      return;
+    }
+    case Init::kEmbedding:
+      for (float& v : t->flat()) {
+        v = static_cast<float>(rng->Uniform(-0.05, 0.05));
+      }
+      return;
+  }
+}
+
+Parameter* ParameterStore::Create(const std::string& name, int rows, int cols,
+                                  Init init, util::Rng* rng) {
+  if (Parameter* existing = Find(name)) {
+    DEEPSD_CHECK_MSG(existing->value.rows() == rows &&
+                         existing->value.cols() == cols,
+                     "parameter re-created with different shape: " + name);
+    return existing;
+  }
+  auto p = std::make_unique<Parameter>();
+  p->name = name;
+  p->value = Tensor(rows, cols);
+  p->grad = Tensor(rows, cols);
+  InitTensor(&p->value, init, rng);
+  Parameter* raw = p.get();
+  params_.push_back(std::move(p));
+  return raw;
+}
+
+Parameter* ParameterStore::Find(const std::string& name) {
+  for (auto& p : params_) {
+    if (p->name == name) return p.get();
+  }
+  return nullptr;
+}
+
+const Parameter* ParameterStore::Find(const std::string& name) const {
+  for (const auto& p : params_) {
+    if (p->name == name) return p.get();
+  }
+  return nullptr;
+}
+
+size_t ParameterStore::NumWeights() const {
+  size_t n = 0;
+  for (const auto& p : params_) n += p->value.size();
+  return n;
+}
+
+void ParameterStore::ZeroGrads() {
+  for (auto& p : params_) p->grad.Zero();
+}
+
+void ParameterStore::SetFrozen(const std::string& prefix, bool frozen) {
+  for (auto& p : params_) {
+    if (p->name.rfind(prefix, 0) == 0) p->frozen = frozen;
+  }
+}
+
+util::Status ParameterStore::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
+  out.write("DSP1", 4);
+  uint64_t n = params_.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const auto& p : params_) {
+    uint32_t name_len = static_cast<uint32_t>(p->name.size());
+    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    out.write(p->name.data(), name_len);
+    int32_t rows = p->value.rows(), cols = p->value.cols();
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!out) return util::Status::IoError("short write to " + path);
+  return util::Status::OK();
+}
+
+util::Status ParameterStore::Load(const std::string& path, int* loaded) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, "DSP1", 4) != 0) {
+    return util::Status::InvalidArgument("bad magic in " + path);
+  }
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  int count = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    if (!in || name_len > 4096) {
+      return util::Status::IoError("corrupt parameter file " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    int32_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    if (!in || rows < 0 || cols < 0) {
+      return util::Status::IoError("corrupt parameter file " + path);
+    }
+    size_t count_floats = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+    // Refuse absurd tensor sizes from a corrupt header rather than
+    // attempting a multi-GB allocation (largest real table is ~O(10^5)).
+    if (count_floats > (1ULL << 28)) {
+      return util::Status::IoError("implausible tensor size in " + path);
+    }
+    std::vector<float> values(count_floats);
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(count_floats * sizeof(float)));
+    if (!in) return util::Status::IoError("truncated parameter file " + path);
+    Parameter* p = Find(name);
+    if (p != nullptr && p->value.rows() == rows && p->value.cols() == cols) {
+      p->value.flat() = std::move(values);
+      ++count;
+    }
+  }
+  if (loaded != nullptr) *loaded = count;
+  return util::Status::OK();
+}
+
+int ParameterStore::CopyFrom(const ParameterStore& other) {
+  int count = 0;
+  for (auto& p : params_) {
+    const Parameter* src = other.Find(p->name);
+    if (src != nullptr && src->value.SameShape(p->value)) {
+      p->value = src->value;
+      ++count;
+    }
+  }
+  return count;
+}
+
+void ParameterStore::AverageFrom(
+    const std::vector<const ParameterStore*>& stores) {
+  DEEPSD_CHECK(!stores.empty());
+  for (auto& p : params_) {
+    Tensor sum(p->value.rows(), p->value.cols());
+    for (const ParameterStore* s : stores) {
+      const Parameter* src = s->Find(p->name);
+      DEEPSD_CHECK_MSG(src != nullptr && src->value.SameShape(p->value),
+                       "AverageFrom structure mismatch: " + p->name);
+      for (size_t i = 0; i < sum.size(); ++i) {
+        sum.flat()[i] += src->value.flat()[i];
+      }
+    }
+    float inv = 1.0f / static_cast<float>(stores.size());
+    for (size_t i = 0; i < sum.size(); ++i) {
+      p->value.flat()[i] = sum.flat()[i] * inv;
+    }
+  }
+}
+
+std::unique_ptr<ParameterStore> ParameterStore::Clone() const {
+  auto out = std::make_unique<ParameterStore>();
+  for (const auto& p : params_) {
+    auto q = std::make_unique<Parameter>();
+    q->name = p->name;
+    q->value = p->value;
+    q->grad = Tensor(p->value.rows(), p->value.cols());
+    q->frozen = p->frozen;
+    out->params_.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace deepsd

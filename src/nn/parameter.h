@@ -1,0 +1,91 @@
+#ifndef DEEPSD_NN_PARAMETER_H_
+#define DEEPSD_NN_PARAMETER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace nn {
+
+/// A trainable weight matrix with its accumulated gradient.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  /// Frozen parameters are skipped by the optimizer (used to study
+  /// fine-tuning, paper Sec V-C / Fig 16).
+  bool frozen = false;
+};
+
+/// Weight initialization schemes.
+enum class Init {
+  kZero,
+  kGlorotUniform,  ///< U(±sqrt(6/(fan_in+fan_out))) — FC weights.
+  kHeUniform,      ///< U(±sqrt(6/fan_in)) — relu-family layers.
+  kEmbedding,      ///< U(±0.05), standard small-range embedding init.
+};
+
+/// Owns all parameters of a model. Parameters are created once (layer
+/// constructors) and referenced by raw pointer thereafter; the store is the
+/// unit of optimization, serialization and parameter counting.
+class ParameterStore {
+ public:
+  /// Creates (or returns, when a parameter of this name and shape already
+  /// exists) a parameter. Re-use by name is what makes fine-tuning work: a
+  /// rebuilt model picks up previously trained weights from the same store.
+  Parameter* Create(const std::string& name, int rows, int cols, Init init,
+                    util::Rng* rng);
+
+  /// Looks up by name; nullptr if absent.
+  Parameter* Find(const std::string& name);
+  const Parameter* Find(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<Parameter>>& parameters() const {
+    return params_;
+  }
+  std::vector<std::unique_ptr<Parameter>>& parameters() { return params_; }
+
+  /// Total number of scalar weights.
+  size_t NumWeights() const;
+
+  /// Zeroes every gradient (call before each batch).
+  void ZeroGrads();
+
+  /// Marks parameters whose name starts with `prefix` as frozen/unfrozen.
+  void SetFrozen(const std::string& prefix, bool frozen);
+
+  /// Binary round-trip of all parameter values (format "DSP1").
+  util::Status Save(const std::string& path) const;
+  /// Loads values into matching (same name and shape) parameters; unknown
+  /// names in the file are ignored, missing ones keep their current values.
+  /// `*loaded` (optional) reports how many parameters were filled.
+  util::Status Load(const std::string& path, int* loaded = nullptr);
+
+  /// Deep copy of all values from `other` for parameters with matching
+  /// name and shape. Returns the number copied.
+  int CopyFrom(const ParameterStore& other);
+
+  /// Element-wise average of the values of `stores` into this store
+  /// (all must have identical structure). Implements the paper's
+  /// "average of the models in the best 10 epochs".
+  void AverageFrom(const std::vector<const ParameterStore*>& stores);
+
+  /// Clone with identical names/shapes/values (fresh gradients).
+  std::unique_ptr<ParameterStore> Clone() const;
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+};
+
+/// Fills `t` in place according to `init`.
+void InitTensor(Tensor* t, Init init, util::Rng* rng);
+
+}  // namespace nn
+}  // namespace deepsd
+
+#endif  // DEEPSD_NN_PARAMETER_H_

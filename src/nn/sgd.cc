@@ -1,0 +1,42 @@
+#include "nn/sgd.h"
+
+#include <cmath>
+
+namespace deepsd {
+namespace nn {
+
+double Sgd::Step(ParameterStore* store) {
+  double sq = 0.0;
+  for (const auto& p : store->parameters()) {
+    if (p->frozen) continue;
+    sq += p->grad.SquaredNorm();
+  }
+  double norm = std::sqrt(sq);
+  float scale = 1.0f;
+  if (config_.clip_norm > 0.0f && norm > config_.clip_norm) {
+    scale = static_cast<float>(config_.clip_norm / norm);
+  }
+
+  for (auto& p : store->parameters()) {
+    if (p->frozen) continue;
+    Tensor& v = velocity_[p.get()];
+    if (v.size() != p->value.size()) {
+      v = Tensor(p->value.rows(), p->value.cols());
+    }
+    float* value = p->value.data();
+    const float* grad = p->grad.data();
+    float* vel = v.data();
+    const size_t n = p->value.size();
+    for (size_t i = 0; i < n; ++i) {
+      float g = grad[i] * scale + config_.weight_decay * value[i];
+      vel[i] = config_.momentum * vel[i] - config_.learning_rate * g;
+      value[i] += vel[i];
+    }
+  }
+  return norm;
+}
+
+void Sgd::Reset() { velocity_.clear(); }
+
+}  // namespace nn
+}  // namespace deepsd

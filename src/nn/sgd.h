@@ -1,0 +1,43 @@
+#ifndef DEEPSD_NN_SGD_H_
+#define DEEPSD_NN_SGD_H_
+
+#include <unordered_map>
+
+#include "nn/parameter.h"
+
+namespace deepsd {
+namespace nn {
+
+/// Plain SGD with classical momentum. The paper picks Adam for robustness
+/// (Sec VI-B3); this optimizer exists to let the optimizer-choice ablation
+/// quantify that decision on the same model.
+struct SgdConfig {
+  float learning_rate = 1e-2f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+  /// Global gradient-norm clip; 0 disables.
+  float clip_norm = 5.0f;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdConfig config = {}) : config_(config) {}
+
+  const SgdConfig& config() const { return config_; }
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+
+  /// Applies one update from accumulated gradients; returns the pre-clip
+  /// global gradient norm. Frozen parameters are skipped.
+  double Step(ParameterStore* store);
+
+  void Reset();
+
+ private:
+  SgdConfig config_;
+  std::unordered_map<const Parameter*, Tensor> velocity_;
+};
+
+}  // namespace nn
+}  // namespace deepsd
+
+#endif  // DEEPSD_NN_SGD_H_

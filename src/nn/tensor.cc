@@ -1,0 +1,65 @@
+#include "nn/tensor.h"
+
+namespace deepsd {
+namespace nn {
+
+double Tensor::SquaredNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out, bool accumulate) {
+  DEEPSD_CHECK(a.cols() == b.rows());
+  if (!out->SameShape(Tensor(a.rows(), b.cols()))) {
+    *out = Tensor(a.rows(), b.cols());
+  } else if (!accumulate) {
+    out->Zero();
+  }
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeA(const Tensor& a, const Tensor& b, Tensor* out) {
+  DEEPSD_CHECK(a.rows() == b.rows());
+  DEEPSD_CHECK(out->rows() == a.cols() && out->cols() == b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      float* orow = out->row(p);
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor* out) {
+  DEEPSD_CHECK(a.cols() == b.cols());
+  DEEPSD_CHECK(out->rows() == a.rows() && out->cols() == b.rows());
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float s = 0.0f;
+      for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
+      orow[j] += s;
+    }
+  }
+}
+
+}  // namespace nn
+}  // namespace deepsd

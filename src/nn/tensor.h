@@ -1,0 +1,79 @@
+#ifndef DEEPSD_NN_TENSOR_H_
+#define DEEPSD_NN_TENSOR_H_
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace nn {
+
+/// Dense row-major 2-D float tensor. Everything in the network is a matrix
+/// of shape [batch, features] or a parameter matrix, so 2-D is the whole
+/// story; 1-D data is represented as a single row.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(int rows, int cols) : rows_(rows), cols_(cols) {
+    DEEPSD_CHECK(rows >= 0 && cols >= 0);
+    data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f);
+  }
+
+  /// Single row from a vector.
+  static Tensor Row(const std::vector<float>& values) {
+    Tensor t(1, static_cast<int>(values.size()));
+    t.data_ = values;
+    return t;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& at(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float at(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0f); }
+
+  /// Frobenius-norm squared; used by gradient tests and optimizer metrics.
+  double SquaredNorm() const;
+
+  const std::vector<float>& flat() const { return data_; }
+  std::vector<float>& flat() { return data_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b for a:[m,k], b:[k,n]; accumulates into `out` when
+/// `accumulate` is true, otherwise overwrites. ikj loop order for locality.
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out,
+            bool accumulate = false);
+
+/// out += a^T * b for a:[m,k], b:[m,n] -> out:[k,n]. (Weight gradients.)
+void MatMulTransposeA(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += a * b^T for a:[m,k], b:[n,k] -> out:[m,n]. (Input gradients.)
+void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor* out);
+
+}  // namespace nn
+}  // namespace deepsd
+
+#endif  // DEEPSD_NN_TENSOR_H_

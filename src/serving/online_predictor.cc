@@ -1,0 +1,81 @@
+#include "serving/online_predictor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace serving {
+
+OnlinePredictor::OnlinePredictor(const core::DeepSDModel* model,
+                                 const feature::FeatureAssembler* history)
+    : model_(model),
+      history_(history),
+      buffer_(history->dataset().num_areas(), history->config().window) {
+  DEEPSD_CHECK(model != nullptr);
+  DEEPSD_CHECK_MSG(model->config().window == history->config().window,
+                   "model and assembler window mismatch");
+}
+
+feature::ModelInput OnlinePredictor::AssembleLive(int area) const {
+  const bool advanced =
+      model_->mode() == core::DeepSDModel::Mode::kAdvanced;
+  const int t = buffer_.minute();
+  const int t10 = t + data::kGapWindow;
+
+  feature::ModelInput in;
+  in.area_id = area;
+  in.time_id = t;
+  in.week_id = history_->dataset().WeekId(buffer_.day());
+
+  in.v_sd = history_->NormalizeCounts(buffer_.SupplyDemandVector(area));
+  if (advanced) {
+    in.h_sd = history_->NormalizeCounts(
+        history_->HistoricalVectors(0, area, t));
+    in.h_sd10 = history_->NormalizeCounts(
+        history_->HistoricalVectors(0, area, t10));
+    in.v_lc = history_->NormalizeCounts(buffer_.LastCallVector(area));
+    in.h_lc = history_->NormalizeCounts(
+        history_->HistoricalVectors(1, area, t));
+    in.h_lc10 = history_->NormalizeCounts(
+        history_->HistoricalVectors(1, area, t10));
+    in.v_wt = history_->NormalizeCounts(buffer_.WaitingTimeVector(area));
+    in.h_wt = history_->NormalizeCounts(
+        history_->HistoricalVectors(2, area, t));
+    in.h_wt10 = history_->NormalizeCounts(
+        history_->HistoricalVectors(2, area, t10));
+  }
+
+  in.weather_types = buffer_.WeatherTypes();
+  in.weather_reals = buffer_.WeatherReals();
+  const int L = history_->config().window;
+  for (int i = 0; i < L; ++i) {
+    in.weather_reals[static_cast<size_t>(i)] =
+        history_->NormTemp(in.weather_reals[static_cast<size_t>(i)]);
+    in.weather_reals[static_cast<size_t>(L + i)] =
+        history_->NormPm(in.weather_reals[static_cast<size_t>(L + i)]);
+  }
+  in.v_tc = buffer_.TrafficVector(area);
+  for (size_t i = 0; i < in.v_tc.size(); ++i) {
+    in.v_tc[i] = history_->NormTraffic(
+        static_cast<int>(i % data::kCongestionLevels), in.v_tc[i]);
+  }
+  return in;
+}
+
+float OnlinePredictor::Predict(int area) const {
+  std::vector<feature::ModelInput> inputs = {AssembleLive(area)};
+  return model_->Predict(inputs)[0];
+}
+
+std::vector<float> OnlinePredictor::PredictAll() const {
+  std::vector<feature::ModelInput> inputs;
+  inputs.reserve(static_cast<size_t>(buffer_.num_areas()));
+  for (int a = 0; a < buffer_.num_areas(); ++a) {
+    inputs.push_back(AssembleLive(a));
+  }
+  return model_->Predict(inputs);
+}
+
+}  // namespace serving
+}  // namespace deepsd

@@ -1,0 +1,57 @@
+#ifndef DEEPSD_SERVING_ONLINE_PREDICTOR_H_
+#define DEEPSD_SERVING_ONLINE_PREDICTOR_H_
+
+#include <vector>
+
+#include "core/model.h"
+#include "feature/feature_assembler.h"
+#include "serving/order_stream.h"
+
+namespace deepsd {
+namespace serving {
+
+/// Live serving front-end for a trained DeepSD model — the deployment shape
+/// the paper's conclusion describes ("incorporating our prediction model
+/// into the scheduling system of Didi").
+///
+/// Real-time vectors come from an OrderStreamBuffer fed by the live event
+/// stream; the per-day-of-week historical ("empirical") vectors come from a
+/// FeatureAssembler built over the training period. Feed events, advance
+/// the clock, query gaps:
+///
+///   OnlinePredictor predictor(&model, &assembler);
+///   predictor.buffer().AddOrder(order);              // as events arrive
+///   predictor.AdvanceTo(day, minute);                // move the clock
+///   std::vector<float> gaps = predictor.PredictAll();
+class OnlinePredictor {
+ public:
+  /// `model` and `history` must outlive the predictor and share the same
+  /// window / normalization configuration.
+  OnlinePredictor(const core::DeepSDModel* model,
+                  const feature::FeatureAssembler* history);
+
+  OrderStreamBuffer& buffer() { return buffer_; }
+  const OrderStreamBuffer& buffer() const { return buffer_; }
+
+  /// Moves the serving clock (delegates to the buffer).
+  void AdvanceTo(int day, int minute) { buffer_.AdvanceTo(day, minute); }
+
+  /// Predicted gap over [now, now+10) for one area.
+  float Predict(int area) const;
+  /// Predicted gaps for every area (one batched forward pass).
+  std::vector<float> PredictAll() const;
+
+  /// The assembled live features for one area (exposed for tests: must
+  /// agree with the offline FeatureAssembler on identical data).
+  feature::ModelInput AssembleLive(int area) const;
+
+ private:
+  const core::DeepSDModel* model_;
+  const feature::FeatureAssembler* history_;
+  OrderStreamBuffer buffer_;
+};
+
+}  // namespace serving
+}  // namespace deepsd
+
+#endif  // DEEPSD_SERVING_ONLINE_PREDICTOR_H_

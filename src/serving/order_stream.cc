@@ -1,0 +1,188 @@
+#include "serving/order_stream.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace serving {
+
+OrderStreamBuffer::OrderStreamBuffer(int num_areas, int window)
+    : num_areas_(num_areas), window_(window) {
+  DEEPSD_CHECK(num_areas > 0);
+  DEEPSD_CHECK(window > 0);
+  calls_.resize(static_cast<size_t>(num_areas));
+  weather_.resize(static_cast<size_t>(window));
+  weather_ts_.assign(static_cast<size_t>(window), -1);
+  traffic_.resize(static_cast<size_t>(num_areas) * window);
+  traffic_ts_.assign(static_cast<size_t>(num_areas) * window, -1);
+}
+
+void OrderStreamBuffer::AdvanceTo(int day, int minute) {
+  int64_t target = static_cast<int64_t>(day) * data::kMinutesPerDay + minute;
+  if (target <= now_abs_) return;
+  now_abs_ = target;
+  Evict();
+}
+
+void OrderStreamBuffer::Evict() {
+  for (auto& area_calls : calls_) {
+    while (!area_calls.empty() &&
+           area_calls.front().ts_abs < now_abs_ - window_) {
+      area_calls.pop_front();
+    }
+  }
+}
+
+void OrderStreamBuffer::AddOrder(const data::Order& order) {
+  DEEPSD_CHECK(order.start_area >= 0 && order.start_area < num_areas_);
+  int64_t ts_abs =
+      static_cast<int64_t>(order.day) * data::kMinutesPerDay + order.ts;
+  if (ts_abs < now_abs_ - window_) return;  // too old to matter
+  auto& area_calls = calls_[static_cast<size_t>(order.start_area)];
+  Call call{ts_abs, order.passenger_id, order.valid};
+  // Common case: in-order append; otherwise insert to keep ts ascending.
+  if (area_calls.empty() || area_calls.back().ts_abs <= ts_abs) {
+    area_calls.push_back(call);
+  } else {
+    auto pos = std::upper_bound(
+        area_calls.begin(), area_calls.end(), call,
+        [](const Call& a, const Call& b) { return a.ts_abs < b.ts_abs; });
+    area_calls.insert(pos, call);
+  }
+}
+
+void OrderStreamBuffer::AddWeather(const data::WeatherRecord& record) {
+  int64_t ts_abs =
+      static_cast<int64_t>(record.day) * data::kMinutesPerDay + record.ts;
+  if (ts_abs < now_abs_ - window_) return;
+  size_t slot = SlotIndex(ts_abs);
+  weather_[slot].seen = true;
+  weather_[slot].type = record.type;
+  weather_[slot].temperature = record.temperature;
+  weather_[slot].pm25 = record.pm25;
+  weather_ts_[slot] = ts_abs;
+}
+
+void OrderStreamBuffer::AddTraffic(const data::TrafficRecord& record) {
+  DEEPSD_CHECK(record.area >= 0 && record.area < num_areas_);
+  int64_t ts_abs =
+      static_cast<int64_t>(record.day) * data::kMinutesPerDay + record.ts;
+  if (ts_abs < now_abs_ - window_) return;
+  size_t slot =
+      static_cast<size_t>(record.area) * window_ + SlotIndex(ts_abs);
+  traffic_[slot].seen = true;
+  std::copy(record.level_counts,
+            record.level_counts + data::kCongestionLevels,
+            traffic_[slot].level_counts);
+  traffic_ts_[slot] = ts_abs;
+}
+
+std::vector<float> OrderStreamBuffer::SupplyDemandVector(int area) const {
+  std::vector<float> v(2 * static_cast<size_t>(window_), 0.0f);
+  for (const Call& call : calls_[static_cast<size_t>(area)]) {
+    if (!InWindow(call.ts_abs)) continue;
+    int l = static_cast<int>(now_abs_ - call.ts_abs);  // in [1, window]
+    size_t idx = static_cast<size_t>(call.valid ? l - 1 : window_ + l - 1);
+    v[idx] += 1.0f;
+  }
+  return v;
+}
+
+std::vector<float> OrderStreamBuffer::LastCallVector(int area) const {
+  std::vector<float> v(2 * static_cast<size_t>(window_), 0.0f);
+  std::map<int32_t, const Call*> last;
+  for (const Call& call : calls_[static_cast<size_t>(area)]) {
+    if (!InWindow(call.ts_abs)) continue;
+    auto [it, inserted] = last.emplace(call.pid, &call);
+    if (!inserted && call.ts_abs >= it->second->ts_abs) it->second = &call;
+  }
+  for (auto& [pid, call] : last) {
+    int l = static_cast<int>(now_abs_ - call->ts_abs);
+    size_t idx = static_cast<size_t>(call->valid ? l - 1 : window_ + l - 1);
+    v[idx] += 1.0f;
+  }
+  return v;
+}
+
+std::vector<float> OrderStreamBuffer::WaitingTimeVector(int area) const {
+  std::vector<float> v(2 * static_cast<size_t>(window_), 0.0f);
+  struct Episode {
+    int64_t first;
+    int64_t last;
+    bool last_valid;
+  };
+  std::map<int32_t, Episode> episodes;
+  for (const Call& call : calls_[static_cast<size_t>(area)]) {
+    if (!InWindow(call.ts_abs)) continue;
+    auto [it, inserted] =
+        episodes.emplace(call.pid, Episode{call.ts_abs, call.ts_abs, call.valid});
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, call.ts_abs);
+      if (call.ts_abs >= it->second.last) {
+        it->second.last = call.ts_abs;
+        it->second.last_valid = call.valid;
+      }
+    }
+  }
+  for (auto& [pid, e] : episodes) {
+    int wait = static_cast<int>(e.last - e.first);
+    if (wait < 0 || wait >= window_) continue;
+    size_t idx = static_cast<size_t>(e.last_valid ? wait : window_ + wait);
+    v[idx] += 1.0f;
+  }
+  return v;
+}
+
+std::vector<int> OrderStreamBuffer::WeatherTypes() const {
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(window_));
+  for (int l = 1; l <= window_; ++l) {
+    int64_t ts = now_abs_ - l;
+    size_t slot = ts >= 0 ? SlotIndex(ts) : 0;
+    bool fresh = ts >= 0 && weather_[slot].seen && weather_ts_[slot] == ts;
+    out.push_back(fresh ? weather_[slot].type : 0);
+  }
+  return out;
+}
+
+std::vector<float> OrderStreamBuffer::WeatherReals() const {
+  std::vector<float> temps, pms;
+  for (int l = 1; l <= window_; ++l) {
+    int64_t ts = now_abs_ - l;
+    size_t slot = ts >= 0 ? SlotIndex(ts) : 0;
+    bool fresh = ts >= 0 && weather_[slot].seen && weather_ts_[slot] == ts;
+    temps.push_back(fresh ? weather_[slot].temperature : 0.0f);
+    pms.push_back(fresh ? weather_[slot].pm25 : 0.0f);
+  }
+  temps.insert(temps.end(), pms.begin(), pms.end());
+  return temps;
+}
+
+std::vector<float> OrderStreamBuffer::TrafficVector(int area) const {
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(data::kCongestionLevels) * window_);
+  for (int l = 1; l <= window_; ++l) {
+    int64_t ts = now_abs_ - l;
+    size_t slot = ts >= 0
+                      ? static_cast<size_t>(area) * window_ + SlotIndex(ts)
+                      : 0;
+    bool fresh = ts >= 0 && traffic_[slot].seen && traffic_ts_[slot] == ts;
+    for (int level = 0; level < data::kCongestionLevels; ++level) {
+      out.push_back(fresh ? static_cast<float>(
+                                traffic_[slot].level_counts[level])
+                          : 0.0f);
+    }
+  }
+  return out;
+}
+
+size_t OrderStreamBuffer::buffered_orders() const {
+  size_t n = 0;
+  for (const auto& area_calls : calls_) n += area_calls.size();
+  return n;
+}
+
+}  // namespace serving
+}  // namespace deepsd

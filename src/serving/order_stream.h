@@ -1,0 +1,105 @@
+#ifndef DEEPSD_SERVING_ORDER_STREAM_H_
+#define DEEPSD_SERVING_ORDER_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "data/types.h"
+
+namespace deepsd {
+namespace serving {
+
+/// Rolling window over a live order / weather / traffic stream.
+///
+/// Holds exactly the last `window` minutes of state per area — everything
+/// the paper's real-time feature vectors (Definitions 5–7) need — and
+/// evicts older events as the clock advances. Events may arrive slightly
+/// out of order within the window; events older than the window are
+/// dropped.
+class OrderStreamBuffer {
+ public:
+  /// `window` is the look-back L in minutes (paper: 20).
+  OrderStreamBuffer(int num_areas, int window);
+
+  int num_areas() const { return num_areas_; }
+  int window() const { return window_; }
+
+  /// Current clock as absolute minutes (day·1440 + minute).
+  int64_t now_abs() const { return now_abs_; }
+  int day() const { return static_cast<int>(now_abs_ / data::kMinutesPerDay); }
+  int minute() const {
+    return static_cast<int>(now_abs_ % data::kMinutesPerDay);
+  }
+
+  /// Moves the clock forward (never backward) and evicts expired state.
+  void AdvanceTo(int day, int minute);
+
+  /// Ingests one order (uses order.day/order.ts for its timestamp).
+  void AddOrder(const data::Order& order);
+  /// Ingests a weather record (shared across areas).
+  void AddWeather(const data::WeatherRecord& record);
+  /// Ingests a traffic record for its area.
+  void AddTraffic(const data::TrafficRecord& record);
+
+  /// Real-time supply-demand vector over [now-L, now): 2L raw counts.
+  std::vector<float> SupplyDemandVector(int area) const;
+  /// Real-time last-call vector (Def. 6 semantics), 2L raw counts.
+  std::vector<float> LastCallVector(int area) const;
+  /// Real-time waiting-time vector (Def. 7 semantics), 2L raw counts.
+  std::vector<float> WaitingTimeVector(int area) const;
+
+  /// Weather-type ids at lags 1..L (most recent known record per lag; lags
+  /// with no data yet return type 0).
+  std::vector<int> WeatherTypes() const;
+  /// Temperatures then PM2.5 at lags 1..L (raw units).
+  std::vector<float> WeatherReals() const;
+  /// Traffic level counts at lags 1..L (4L raw values).
+  std::vector<float> TrafficVector(int area) const;
+
+  /// Number of buffered orders (diagnostics).
+  size_t buffered_orders() const;
+
+ private:
+  struct Call {
+    int64_t ts_abs;
+    int32_t pid;
+    bool valid;
+  };
+  struct WeatherSlot {
+    bool seen = false;
+    int32_t type = 0;
+    float temperature = 0;
+    float pm25 = 0;
+  };
+  struct TrafficSlot {
+    bool seen = false;
+    int32_t level_counts[data::kCongestionLevels] = {0, 0, 0, 0};
+  };
+
+  /// Index of the per-minute slot for absolute minute `ts_abs` in the
+  /// circular per-lag arrays; slots cycle every `window` minutes.
+  size_t SlotIndex(int64_t ts_abs) const {
+    return static_cast<size_t>(ts_abs % window_);
+  }
+  bool InWindow(int64_t ts_abs) const {
+    return ts_abs >= now_abs_ - window_ && ts_abs < now_abs_;
+  }
+  void Evict();
+
+  int num_areas_;
+  int window_;
+  int64_t now_abs_ = 0;
+
+  std::vector<std::deque<Call>> calls_;            // per area, ts ascending
+  std::vector<WeatherSlot> weather_;               // window slots
+  std::vector<int64_t> weather_ts_;                // slot → abs minute
+  std::vector<TrafficSlot> traffic_;               // area*window slots
+  std::vector<int64_t> traffic_ts_;
+};
+
+}  // namespace serving
+}  // namespace deepsd
+
+#endif  // DEEPSD_SERVING_ORDER_STREAM_H_

@@ -1,0 +1,129 @@
+#include "sim/area_profile.h"
+
+#include <cmath>
+
+namespace deepsd {
+namespace sim {
+
+namespace {
+
+bool IsWeekend(int week_id) { return week_id >= 5; }
+
+double EvalBumps(const std::vector<DemandBump>& bumps, int minute) {
+  double v = 0.0;
+  for (const DemandBump& b : bumps) {
+    double d = (minute - b.center_minute) / b.width_minutes;
+    v += b.weight * std::exp(-0.5 * d * d);
+  }
+  return v;
+}
+
+/// Suppresses demand in the small hours: multiplicative dip centered at 3:30.
+double NightFactor(int minute) {
+  double d = (minute - 210.0) / 150.0;
+  return 1.0 - 0.85 * std::exp(-0.5 * d * d);
+}
+
+DemandBump Jitter(const DemandBump& b, util::Rng* rng) {
+  DemandBump out = b;
+  out.center_minute += rng->Normal(0.0, 8.0);
+  out.width_minutes *= rng->Uniform(0.9, 1.1);
+  out.weight *= rng->Uniform(0.9, 1.1);
+  return out;
+}
+
+}  // namespace
+
+double AreaProfile::DemandIntensity(int minute, int week_id) const {
+  const auto& bumps = IsWeekend(week_id) ? weekend_bumps : weekday_bumps;
+  double v = base_demand + EvalBumps(bumps, minute);
+  v *= dow_multiplier[static_cast<size_t>(week_id)];
+  v *= NightFactor(minute);
+  return scale * std::max(v, 0.0);
+}
+
+double AreaProfile::SupplyIntensity(int minute, int week_id) const {
+  // Supply tracks demand 15 minutes late and compresses surges: drivers
+  // reposition slower than demand moves, which is exactly what creates gaps.
+  int lagged = minute >= 15 ? minute - 15 : 0;
+  const auto& bumps = IsWeekend(week_id) ? weekend_bumps : weekday_bumps;
+  double shape = base_demand + 0.8 * EvalBumps(bumps, lagged);
+  shape *= dow_multiplier[static_cast<size_t>(week_id)];
+  shape *= NightFactor(minute);
+  // A flat component of supply is always cruising regardless of demand.
+  double flat = 0.55 * base_demand;
+  return scale * supply_ratio * std::max(shape + flat, 0.0);
+}
+
+std::vector<AreaProfile> MakeAreaProfiles(int n, double mean_scale,
+                                          util::Rng* rng) {
+  std::vector<AreaProfile> profiles;
+  profiles.reserve(static_cast<size_t>(n));
+
+  // Cluster templates: areas in the same cluster share jittered copies of
+  // the same bumps so that their demand *shapes* match (embedding fodder).
+  struct ClusterTemplate {
+    AreaType type;
+    std::vector<DemandBump> weekday;
+    std::vector<DemandBump> weekend;
+    std::array<double, 7> dow;
+    double supply_ratio;
+  };
+  // Minutes: 8:00=480, 9:00=540, 12:00=720, 19:00=1140, 21:00=1260.
+  const std::vector<ClusterTemplate> templates = {
+      // Residential: strong morning-out peak, moderate evening return.
+      {AreaType::kResidential,
+       {{500, 50, 2.2}, {1150, 70, 1.2}},
+       {{780, 160, 0.9}},
+       {1.05, 1.0, 1.0, 1.0, 1.05, 0.75, 0.7},
+       1.12},
+      // Business: double commute peak on weekdays, dead on weekends.
+      {AreaType::kBusiness,
+       {{510, 45, 1.8}, {1145, 55, 2.6}},
+       {{840, 200, 0.4}},
+       {1.0, 1.08, 1.0, 1.0, 1.1, 0.45, 0.4},
+       1.04},
+      // Entertainment: weekday quiet, Fri/Sat/Sun evening surges.
+      {AreaType::kEntertainment,
+       {{1250, 80, 0.7}},
+       {{870, 130, 1.4}, {1290, 90, 2.8}},
+       {0.7, 0.7, 0.75, 0.8, 1.3, 1.6, 1.5},
+       0.98},
+      // Suburban: flat and light.
+      {AreaType::kSuburban,
+       {{520, 70, 0.5}, {1120, 90, 0.5}},
+       {{800, 220, 0.45}},
+       {1.0, 1.0, 1.0, 1.0, 1.0, 0.9, 0.9},
+       1.22},
+      // Mixed: broad midday plateau plus soft commute peaks. Distinct
+      // Tuesday behaviour (paper Sec V-A example of a day-specific area).
+      {AreaType::kMixed,
+       {{520, 60, 1.0}, {760, 150, 0.9}, {1140, 70, 1.1}},
+       {{820, 180, 1.0}},
+       {1.0, 1.45, 1.0, 1.0, 1.05, 0.95, 0.9},
+       1.06},
+  };
+
+  // Heavy-tailed area scales: log-normal, so a handful of areas carry most
+  // of the volume and the gap distribution becomes approximately power-law.
+  for (int i = 0; i < n; ++i) {
+    int cluster = i % static_cast<int>(templates.size());
+    const ClusterTemplate& tpl = templates[static_cast<size_t>(cluster)];
+    AreaProfile p;
+    p.type = tpl.type;
+    p.cluster_id = cluster;
+    p.scale = mean_scale * std::exp(rng->Normal(-0.45, 0.95));
+    p.base_demand = 0.18 * rng->Uniform(0.8, 1.25);
+    for (const DemandBump& b : tpl.weekday) p.weekday_bumps.push_back(Jitter(b, rng));
+    for (const DemandBump& b : tpl.weekend) p.weekend_bumps.push_back(Jitter(b, rng));
+    p.dow_multiplier = tpl.dow;
+    for (double& m : p.dow_multiplier) m *= rng->Uniform(0.95, 1.05);
+    p.supply_ratio = tpl.supply_ratio * rng->Uniform(0.92, 1.08);
+    p.road_segments = static_cast<int>(rng->UniformInt(70, 150));
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+}  // namespace sim
+}  // namespace deepsd

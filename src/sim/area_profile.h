@@ -1,0 +1,83 @@
+#ifndef DEEPSD_SIM_AREA_PROFILE_H_
+#define DEEPSD_SIM_AREA_PROFILE_H_
+
+#include <array>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepsd {
+namespace sim {
+
+/// Functional archetype of a city area. Archetypes drive the shape of the
+/// demand curve over the day and its weekday/weekend split — the structure
+/// the paper's Fig. 1 illustrates (entertainment areas surge on Sunday,
+/// business areas double-peak on weekdays).
+enum class AreaType {
+  kResidential = 0,
+  kBusiness = 1,
+  kEntertainment = 2,
+  kSuburban = 3,
+  kMixed = 4,
+};
+
+inline constexpr int kNumAreaTypes = 5;
+
+/// One Gaussian bump of a daily intensity profile.
+struct DemandBump {
+  double center_minute = 0;  ///< Peak location in minutes-of-day.
+  double width_minutes = 0;  ///< Gaussian sigma.
+  double weight = 0;         ///< Peak height multiplier.
+};
+
+/// Static description of one area's demand/supply generating process.
+/// Areas sharing a `cluster_id` share bump shapes (up to small jitter) but
+/// may differ in `scale` — this is what lets a trained embedding discover
+/// "similar pattern, different magnitude" pairs (paper Fig. 12(c)/(d)).
+struct AreaProfile {
+  AreaType type = AreaType::kMixed;
+  int cluster_id = 0;
+
+  /// Overall demand magnitude (orders/minute multiplier). Drawn from a
+  /// heavy-tailed distribution so a few hot areas dominate, giving the
+  /// power-law-ish gap distribution reported in Sec VI-A.
+  double scale = 1.0;
+
+  /// Baseline demand floor (orders/minute before bumps).
+  double base_demand = 0.2;
+
+  /// Daily demand bumps on weekdays and weekend days respectively.
+  std::vector<DemandBump> weekday_bumps;
+  std::vector<DemandBump> weekend_bumps;
+
+  /// Per-day-of-week multiplier (index 0 = Monday). Encodes effects like
+  /// "Tuesdays in this area behave unlike other days" (paper Sec V-A).
+  std::array<double, 7> dow_multiplier = {1, 1, 1, 1, 1, 1, 1};
+
+  /// Supply capacity relative to average demand. Below ~1.0 the area runs
+  /// structurally short of drivers at peaks, producing large gaps.
+  double supply_ratio = 1.1;
+
+  /// Number of road segments in the area (for the traffic condition).
+  int road_segments = 100;
+
+  /// Evaluates the deterministic demand intensity (orders/minute) at
+  /// `minute` on a day with day-of-week `week_id` (0=Monday..6=Sunday),
+  /// before weather and day-level noise multipliers.
+  double DemandIntensity(int minute, int week_id) const;
+
+  /// Evaluates the supply capacity (servable orders/minute) at `minute`,
+  /// `week_id`, before weather effects. Supply follows demand shape with a
+  /// lag and a compression of extremes (drivers cannot fully match surges).
+  double SupplyIntensity(int minute, int week_id) const;
+};
+
+/// Randomly populates `n` area profiles across archetype clusters.
+/// Deterministic given `rng`. `mean_scale` tunes overall order volume.
+std::vector<AreaProfile> MakeAreaProfiles(int n, double mean_scale,
+                                          util::Rng* rng);
+
+}  // namespace sim
+}  // namespace deepsd
+
+#endif  // DEEPSD_SIM_AREA_PROFILE_H_

@@ -1,0 +1,230 @@
+#include "sim/city_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/traffic_model.h"
+#include "sim/weather_model.h"
+#include "util/logging.h"
+
+namespace deepsd {
+namespace sim {
+
+namespace {
+
+/// A passenger scheduled to re-send a failed request.
+struct PendingRetry {
+  int32_t passenger_id;
+  int32_t first_call_ts;
+  int8_t attempts;  // how many requests this passenger already sent
+};
+
+/// One in-progress demand surge.
+struct Event {
+  int center;
+  double width;
+  double boost;  // multiplier − 1 at the peak
+};
+
+/// Order-independent per-(stream, area, day) seed so that demand, supply
+/// and passenger-behaviour draws come from separate RNG streams: a supply
+/// intervention must not perturb the demand realization.
+uint64_t SubSeed(uint64_t seed, uint64_t stream, int area, int day) {
+  uint64_t h = seed;
+  h ^= 0x9E3779B97F4A7C15ULL * (stream + 1);
+  h ^= 0xBF58476D1CE4E5B9ULL * (static_cast<uint64_t>(area) + 1);
+  h ^= 0x94D049BB133111EBULL * (static_cast<uint64_t>(day) + 3);
+  return h;
+}
+
+}  // namespace
+
+CitySim::CitySim(const CityConfig& config) : config_(config) {
+  DEEPSD_CHECK(config.num_areas > 0);
+  DEEPSD_CHECK(config.num_days > 0);
+  util::Rng rng(config.seed);
+  profiles_ = MakeAreaProfiles(config.num_areas, config.mean_scale, &rng);
+}
+
+util::Status CitySim::Generate(data::OrderDataset* out, SimSummary* summary) {
+  util::Rng master(config_.seed ^ 0xC0FFEE123456789AULL);
+  data::OrderDatasetBuilder builder(config_.num_areas, config_.num_days,
+                                    config_.first_weekday);
+
+  // Weather first: it is shared by all areas and modulates both sides.
+  std::vector<data::WeatherRecord> weather;
+  if (config_.generate_weather) {
+    WeatherModel wm(master.Fork(1));
+    weather = wm.Generate(config_.num_days);
+    for (const auto& w : weather) builder.AddWeather(w);
+  }
+  auto weather_at = [&](int day, int ts) -> WeatherType {
+    if (weather.empty()) return WeatherType::kSunny;
+    return static_cast<WeatherType>(
+        weather[static_cast<size_t>(day) * data::kMinutesPerDay + ts].type);
+  };
+
+  TrafficModel traffic_model(master.Fork(2));
+
+  int32_t next_passenger = 0;
+  size_t total_orders = 0, invalid_orders = 0, episodes = 0;
+
+  for (int area = 0; area < config_.num_areas; ++area) {
+    const AreaProfile& profile = profiles_[static_cast<size_t>(area)];
+    for (int day = 0; day < config_.num_days; ++day) {
+      int week_id = (day + config_.first_weekday) % data::kDaysPerWeek;
+      // Independent streams: demand draws never depend on supply draws.
+      util::Rng demand_rng(SubSeed(config_.seed, 11, area, day));
+      util::Rng supply_rng(SubSeed(config_.seed, 22, area, day));
+      util::Rng behavior_rng(SubSeed(config_.seed, 33, area, day));
+
+      double day_noise =
+          std::exp(demand_rng.Normal(0.0, config_.day_noise_sigma));
+
+      // Surprise events: short-lived demand surges, mostly in the evening.
+      std::vector<Event> events;
+      if (demand_rng.Bernoulli(config_.event_prob)) {
+        Event e;
+        e.center = static_cast<int>(demand_rng.UniformInt(600, 1350));
+        e.width = demand_rng.Uniform(25.0, 60.0);
+        e.boost = demand_rng.Uniform(1.0, 3.0);
+        events.push_back(e);
+      }
+
+      std::vector<std::vector<PendingRetry>> retries(data::kMinutesPerDay);
+      // Idle-driver pool: drivers freeing up roll over for a few minutes, so
+      // Poisson noise alone doesn't create gaps — only sustained demand
+      // above supply does. This is what produces the paper's "~48% of
+      // windows are balanced" shape.
+      double driver_pool = 0.0;
+      for (int ts = 0; ts < data::kMinutesPerDay; ++ts) {
+        WeatherType wt = weather_at(day, ts);
+        double demand_rate = profile.DemandIntensity(ts, week_id) * day_noise *
+                             WeatherDemandMultiplier(wt);
+        for (const Event& e : events) {
+          double d = (ts - e.center) / e.width;
+          demand_rate *= 1.0 + e.boost * std::exp(-0.5 * d * d);
+        }
+        double supply_rate = profile.SupplyIntensity(ts, week_id) *
+                             WeatherSupplyMultiplier(wt);
+
+        // New passengers arriving this minute.
+        int arrivals = demand_rng.Poisson(demand_rate);
+        episodes += static_cast<size_t>(arrivals);
+
+        // Service capacity this minute: fresh drivers plus the rolled-over
+        // idle pool (capped at ~8 minutes of supply), plus any dispatch
+        // intervention (deterministic — dispatched drivers are known).
+        double boost = config_.supply_boost
+                           ? std::max(config_.supply_boost(area, day, ts), 0.0)
+                           : 0.0;
+        driver_pool += supply_rng.Poisson(supply_rate) + boost;
+        double pool_cap = std::max(4.0, 8.0 * (supply_rate + boost));
+        if (driver_pool > pool_cap) driver_pool = pool_cap;
+        int capacity = static_cast<int>(driver_pool);
+
+        // Requests this minute = scheduled retries + fresh arrivals.
+        // Retries go first: those passengers are already waiting.
+        struct Request {
+          int32_t pid;
+          int32_t first_ts;
+          int8_t attempts;
+        };
+        std::vector<Request> requests;
+        requests.reserve(retries[static_cast<size_t>(ts)].size() +
+                         static_cast<size_t>(arrivals));
+        for (const PendingRetry& r : retries[static_cast<size_t>(ts)]) {
+          requests.push_back({r.passenger_id, r.first_call_ts, r.attempts});
+        }
+        for (int i = 0; i < arrivals; ++i) {
+          requests.push_back({next_passenger++, ts, 0});
+        }
+
+        int served = 0;
+        for (size_t i = 0; i < requests.size(); ++i) {
+          const Request& req = requests[i];
+          bool valid = static_cast<int>(i) < capacity;
+          served += valid;
+          data::Order o;
+          o.day = day;
+          o.ts = ts;
+          o.passenger_id = req.pid;
+          o.start_area = area;
+          // Destination: usually another area; loosely biased by commute
+          // direction (residential ships people out in the morning, business
+          // in the evening), otherwise uniform.
+          int dest = static_cast<int>(behavior_rng.UniformInt(
+              static_cast<uint64_t>(config_.num_areas)));
+          if (dest == area && config_.num_areas > 1) {
+            dest = (dest + 1) % config_.num_areas;
+          }
+          o.dest_area = dest;
+          o.valid = valid;
+          builder.AddOrder(o);
+          ++total_orders;
+          if (!valid) {
+            ++invalid_orders;
+            int total_attempts = req.attempts + 1;
+            if (total_attempts <= config_.max_retries &&
+                behavior_rng.Bernoulli(config_.retry_prob)) {
+              int delay = 1 + behavior_rng.Poisson(1.2);
+              int when = ts + delay;
+              if (when < data::kMinutesPerDay) {
+                retries[static_cast<size_t>(when)].push_back(
+                    {req.pid, req.first_ts,
+                     static_cast<int8_t>(total_attempts)});
+              }
+            }
+          }
+        }
+
+        driver_pool -= served;
+
+        if (config_.generate_traffic) {
+          // Congestion pressure: demand utilisation vs supply, shaped so
+          // rush hours and weather shortfalls read as congestion.
+          double util = demand_rate / std::max(supply_rate, 1e-6);
+          double pressure = std::clamp(0.75 * (util - 0.45), 0.0, 1.0);
+          builder.AddTraffic(
+              traffic_model.Sample(profile, area, day, ts, pressure));
+        }
+      }
+    }
+  }
+
+  DEEPSD_RETURN_IF_ERROR(builder.Build(out));
+
+  if (summary != nullptr) {
+    summary->total_orders = total_orders;
+    summary->invalid_orders = invalid_orders;
+    summary->total_passenger_episodes = episodes;
+    // Zero-gap fraction over the paper's test-style grid.
+    size_t zero = 0, count = 0;
+    int max_gap = 0;
+    for (int a = 0; a < out->num_areas(); ++a) {
+      for (int d = 0; d < out->num_days(); ++d) {
+        for (int t = 450; t <= 1410; t += 120) {
+          int g = out->Gap(a, d, t);
+          max_gap = std::max(max_gap, g);
+          zero += (g == 0);
+          ++count;
+        }
+      }
+    }
+    summary->zero_gap_fraction =
+        count ? static_cast<double>(zero) / static_cast<double>(count) : 0.0;
+    summary->max_gap = max_gap;
+  }
+  return util::Status::OK();
+}
+
+data::OrderDataset SimulateCity(const CityConfig& config, SimSummary* summary) {
+  CitySim sim(config);
+  data::OrderDataset dataset;
+  util::Status st = sim.Generate(&dataset, summary);
+  DEEPSD_CHECK_MSG(st.ok(), st.ToString());
+  return dataset;
+}
+
+}  // namespace sim
+}  // namespace deepsd

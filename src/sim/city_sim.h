@@ -1,0 +1,97 @@
+#ifndef DEEPSD_SIM_CITY_SIM_H_
+#define DEEPSD_SIM_CITY_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sim/area_profile.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace sim {
+
+/// Configuration of the synthetic city. Defaults mirror the paper's dataset
+/// (Sec VI-A): 58 areas, 52 days (24 train + 28 test), first day a Tuesday
+/// (Feb 23 2016 was a Tuesday), roughly 11M orders at mean_scale 1.0.
+struct CityConfig {
+  int num_areas = 58;
+  int num_days = 52;
+  /// Day-of-week of day 0; 0=Monday. Feb 23 2016 → Tuesday.
+  int first_weekday = 1;
+  uint64_t seed = 42;
+
+  /// Global demand volume multiplier. 1.0 ≈ paper-scale order counts.
+  double mean_scale = 1.0;
+
+  bool generate_weather = true;
+  bool generate_traffic = true;
+
+  /// Probability that a passenger whose request went unanswered retries.
+  double retry_prob = 0.65;
+  /// Maximum number of retries per passenger episode.
+  int max_retries = 3;
+
+  /// Per (area, day) probability of a surprise demand surge (concert,
+  /// downpour-localised rush...). Surges create the rapid gap variations of
+  /// paper Fig. 11.
+  double event_prob = 0.06;
+
+  /// Lognormal sigma of per-(area, day) demand noise.
+  double day_noise_sigma = 0.12;
+
+  /// Optional supply intervention: extra service capacity (drivers/minute)
+  /// injected into (area, day, minute) — the hook the dispatch experiments
+  /// use to act on predictions. Demand realizations are drawn from RNG
+  /// streams independent of supply, so two runs with the same seed and
+  /// different boosts face the *identical* sequence of ride requests.
+  std::function<double(int area, int day, int minute)> supply_boost;
+};
+
+/// Summary statistics of a generated city, for logging and tests.
+struct SimSummary {
+  size_t total_orders = 0;
+  size_t invalid_orders = 0;
+  size_t total_passenger_episodes = 0;
+  double zero_gap_fraction = 0;  ///< Fraction of 10-min windows with gap 0.
+  int max_gap = 0;
+};
+
+/// Generative model of a city's car-hailing activity.
+///
+/// Per minute and area, demand arrives as a Poisson process whose rate is
+/// the area profile's daily shape × day-of-week multiplier × weather demand
+/// multiplier × day-level noise × occasional event surges. Supply is an
+/// independent Poisson service capacity (profile supply shape × weather
+/// supply multiplier). Requests beyond capacity become invalid orders;
+/// their passengers retry after a short random delay with probability
+/// `retry_prob` — the behaviour the paper's last-call and waiting-time
+/// blocks are designed to exploit.
+class CitySim {
+ public:
+  explicit CitySim(const CityConfig& config);
+
+  /// Area generating processes (fixed at construction from the seed).
+  const std::vector<AreaProfile>& profiles() const { return profiles_; }
+  const CityConfig& config() const { return config_; }
+
+  /// Runs the simulation and freezes it into `*out`. Also fills `*summary`
+  /// if non-null.
+  util::Status Generate(data::OrderDataset* out, SimSummary* summary = nullptr);
+
+ private:
+  CityConfig config_;
+  std::vector<AreaProfile> profiles_;
+};
+
+/// Convenience: simulate with `config` and return the dataset, aborting on
+/// error (errors are only possible from programmer mistakes here).
+data::OrderDataset SimulateCity(const CityConfig& config,
+                                SimSummary* summary = nullptr);
+
+}  // namespace sim
+}  // namespace deepsd
+
+#endif  // DEEPSD_SIM_CITY_SIM_H_

@@ -1,0 +1,45 @@
+#include "sim/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepsd {
+namespace sim {
+
+void TrafficModel::LevelFractions(double pressure, double fractions[4]) {
+  pressure = std::clamp(pressure, 0.0, 1.0);
+  // Level 4 = free flow, level 1 = jammed. As pressure rises, mass moves
+  // smoothly from level 4 to level 1.
+  double jam = pressure * pressure;              // convex: jams appear late
+  double heavy = pressure * (1.0 - 0.5 * pressure);
+  double light = 0.6 * (1.0 - pressure) + 0.2;
+  double free_flow = (1.0 - pressure) * (1.0 - pressure) + 0.1;
+  double sum = jam + heavy + light + free_flow;
+  fractions[0] = jam / sum;
+  fractions[1] = heavy / sum;
+  fractions[2] = light / sum;
+  fractions[3] = free_flow / sum;
+}
+
+data::TrafficRecord TrafficModel::Sample(const AreaProfile& profile, int area,
+                                         int day, int ts, double pressure) {
+  double f[4];
+  LevelFractions(pressure, f);
+  data::TrafficRecord rec;
+  rec.area = area;
+  rec.day = day;
+  rec.ts = ts;
+  int total = profile.road_segments;
+  int assigned = 0;
+  for (int level = 0; level < 3; ++level) {
+    double noisy = f[level] * total + rng_.Normal(0.0, 1.5);
+    int c = std::clamp(static_cast<int>(std::lround(noisy)), 0, total - assigned);
+    rec.level_counts[level] = c;
+    assigned += c;
+  }
+  rec.level_counts[3] = total - assigned;
+  return rec;
+}
+
+}  // namespace sim
+}  // namespace deepsd

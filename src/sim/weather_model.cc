@@ -1,0 +1,105 @@
+#include "sim/weather_model.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace deepsd {
+namespace sim {
+
+double WeatherDemandMultiplier(WeatherType type) {
+  switch (type) {
+    case WeatherType::kSunny: return 1.0;
+    case WeatherType::kCloudy: return 1.02;
+    case WeatherType::kOvercast: return 1.05;
+    case WeatherType::kLightRain: return 1.25;
+    case WeatherType::kHeavyRain: return 1.55;
+    case WeatherType::kThunderstorm: return 1.7;
+    case WeatherType::kFog: return 1.15;
+    case WeatherType::kHaze: return 1.1;
+    case WeatherType::kWindy: return 1.05;
+    case WeatherType::kSnow: return 1.6;
+  }
+  return 1.0;
+}
+
+double WeatherSupplyMultiplier(WeatherType type) {
+  switch (type) {
+    case WeatherType::kSunny: return 1.0;
+    case WeatherType::kCloudy: return 1.0;
+    case WeatherType::kOvercast: return 0.99;
+    case WeatherType::kLightRain: return 0.9;
+    case WeatherType::kHeavyRain: return 0.75;
+    case WeatherType::kThunderstorm: return 0.65;
+    case WeatherType::kFog: return 0.85;
+    case WeatherType::kHaze: return 0.95;
+    case WeatherType::kWindy: return 0.97;
+    case WeatherType::kSnow: return 0.7;
+  }
+  return 1.0;
+}
+
+WeatherModel::WeatherModel(util::Rng rng) : rng_(rng) {}
+
+WeatherType WeatherModel::NextType(WeatherType current) {
+  // Sticky Markov chain: mostly stay, occasionally drift towards adjacent
+  // severities; rain episodes persist for a few hours.
+  double u = rng_.Uniform();
+  auto t = static_cast<int>(current);
+  if (u < 0.78) return current;
+  if (u < 0.90) {
+    // Drift one step along the sunny..thunderstorm axis.
+    int axis_max = static_cast<int>(WeatherType::kThunderstorm);
+    if (t <= axis_max) {
+      int next = t + (rng_.Bernoulli(0.5) ? 1 : -1);
+      if (next < 0) next = 0;
+      if (next > axis_max) next = axis_max;
+      return static_cast<WeatherType>(next);
+    }
+    return WeatherType::kCloudy;
+  }
+  // Rare jump to a special condition.
+  double v = rng_.Uniform();
+  if (v < 0.4) return WeatherType::kHaze;
+  if (v < 0.7) return WeatherType::kFog;
+  if (v < 0.95) return WeatherType::kWindy;
+  return WeatherType::kSnow;
+}
+
+std::vector<data::WeatherRecord> WeatherModel::Generate(int num_days) {
+  std::vector<data::WeatherRecord> out;
+  out.reserve(static_cast<size_t>(num_days) * data::kMinutesPerDay);
+
+  WeatherType type = WeatherType::kSunny;
+  double pm25 = 60.0;
+  for (int d = 0; d < num_days; ++d) {
+    // Season drifts slowly across the simulated weeks (late winter→spring).
+    double season_temp = 8.0 + 12.0 * static_cast<double>(d) / 60.0;
+    double day_offset = rng_.Normal(0.0, 2.5);
+    for (int hour = 0; hour < 24; ++hour) {
+      type = NextType(type);
+      pm25 = 0.92 * pm25 + 0.08 * 60.0 + rng_.Normal(0.0, 6.0);
+      if (pm25 < 5.0) pm25 = 5.0;
+      // Rain washes particulates out.
+      if (type == WeatherType::kLightRain || type == WeatherType::kHeavyRain ||
+          type == WeatherType::kThunderstorm) {
+        pm25 *= 0.9;
+      }
+      double diurnal =
+          5.5 * std::sin((hour - 9.0) / 24.0 * 2.0 * std::numbers::pi);
+      double temp = season_temp + day_offset + diurnal;
+      for (int m = 0; m < 60; ++m) {
+        data::WeatherRecord w;
+        w.day = d;
+        w.ts = hour * 60 + m;
+        w.type = static_cast<int>(type);
+        w.temperature = static_cast<float>(temp);
+        w.pm25 = static_cast<float>(pm25);
+        out.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sim
+}  // namespace deepsd

@@ -1,0 +1,68 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace deepsd {
+namespace util {
+
+CommandLine::CommandLine(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+std::string CommandLine::GetString(const std::string& key,
+                                   const std::string& default_value) const {
+  auto it = flags_.find(key);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+int64_t CommandLine::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return default_value;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& key, double default_value) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return default_value;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CommandLine::GetBool(const std::string& key, bool default_value) const {
+  auto it = flags_.find(key);
+  if (it == flags_.end()) return default_value;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+Status CommandLine::CheckKnown(const std::vector<std::string>& known) const {
+  for (const auto& [key, value] : flags_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (k == key) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return Status::InvalidArgument("unknown flag: --" + key);
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace deepsd

@@ -1,0 +1,43 @@
+#ifndef DEEPSD_UTIL_CLI_H_
+#define DEEPSD_UTIL_CLI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepsd {
+namespace util {
+
+/// Minimal command-line flag parser for the tools/ binaries.
+/// Accepts --key=value and --key value forms plus bare positionals.
+class CommandLine {
+ public:
+  /// Parses argv; unknown flags are kept (validated by the caller via
+  /// CheckKnown).
+  CommandLine(int argc, const char* const* argv);
+
+  const std::string& program() const { return program_; }
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  bool Has(const std::string& key) const { return flags_.count(key) > 0; }
+  std::string GetString(const std::string& key,
+                        const std::string& default_value = "") const;
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+  double GetDouble(const std::string& key, double default_value) const;
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Returns InvalidArgument naming the first flag not in `known`.
+  Status CheckKnown(const std::vector<std::string>& known) const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_CLI_H_

@@ -1,0 +1,86 @@
+#include "util/csv.h"
+
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_.is_open()) {
+    status_ = Status::IoError("cannot open for writing: " + path);
+  }
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!status_.ok()) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::WriteRow(const std::vector<double>& cells) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) s.push_back(StrFormat("%.6g", v));
+  WriteRow(s);
+}
+
+void CsvWriter::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+Status ReadCsv(const std::string& path,
+               std::vector<std::vector<std::string>>* rows) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open for reading: " + path);
+  rows->clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> cells;
+    std::string cur;
+    bool in_quotes = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+      char c = line[i];
+      if (in_quotes) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            cur += '"';
+            ++i;
+          } else {
+            in_quotes = false;
+          }
+        } else {
+          cur += c;
+        }
+      } else if (c == '"') {
+        in_quotes = true;
+      } else if (c == ',') {
+        cells.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    cells.push_back(cur);
+    rows->push_back(std::move(cells));
+  }
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace deepsd

@@ -1,0 +1,48 @@
+#ifndef DEEPSD_UTIL_CSV_H_
+#define DEEPSD_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepsd {
+namespace util {
+
+/// Minimal CSV writer used by benches and examples to dump series (demand
+/// curves, prediction curves, training curves) for external plotting.
+/// Values containing commas/quotes/newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; check `status()` before use.
+  explicit CsvWriter(const std::string& path);
+
+  Status status() const { return status_; }
+
+  /// Writes one row; each cell is escaped as needed.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Convenience overload for numeric rows (printed with %.6g).
+  void WriteRow(const std::vector<double>& cells);
+
+  /// Flushes and closes the underlying stream.
+  void Close();
+
+ private:
+  static std::string Escape(const std::string& cell);
+
+  std::ofstream out_;
+  Status status_;
+};
+
+/// Reads a whole CSV file into rows of string cells (no embedded-newline
+/// support; sufficient for files this library writes). Returns IoError if
+/// the file cannot be opened.
+Status ReadCsv(const std::string& path,
+               std::vector<std::vector<std::string>>* rows);
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_CSV_H_

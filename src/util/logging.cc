@@ -1,0 +1,31 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace deepsd {
+namespace util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return 'D';
+    case LogLevel::kInfo: return 'I';
+    case LogLevel::kWarning: return 'W';
+    case LogLevel::kError: return 'E';
+  }
+  return '?';
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%c] %s\n", LevelChar(level), message.c_str());
+}
+
+}  // namespace util
+}  // namespace deepsd

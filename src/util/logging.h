@@ -1,0 +1,68 @@
+#ifndef DEEPSD_UTIL_LOGGING_H_
+#define DEEPSD_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace deepsd {
+namespace util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted log line ("[I] message") to stderr if `level` is at
+/// or above the global threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+/// Stream-style helper backing the DEEPSD_LOG macro.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, ss_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+#define DEEPSD_LOG(level) \
+  ::deepsd::util::LogStream(::deepsd::util::LogLevel::k##level)
+
+/// Fatal assertion used for programmer errors (index bounds, shape
+/// mismatches). Prints the condition and aborts; compiled in all build types
+/// because silent corruption in a numeric library is far worse than an abort.
+#define DEEPSD_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::deepsd::util::LogMessage(::deepsd::util::LogLevel::kError,          \
+                                 std::string("CHECK failed: " #cond " at ") + \
+                                     __FILE__ + ":" + std::to_string(__LINE__)); \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define DEEPSD_CHECK_MSG(cond, msg)                                         \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::deepsd::util::LogMessage(::deepsd::util::LogLevel::kError,          \
+                                 std::string("CHECK failed: " #cond " — ") + \
+                                     (msg) + " at " + __FILE__ + ":" +      \
+                                     std::to_string(__LINE__));             \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_LOGGING_H_

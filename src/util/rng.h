@@ -1,0 +1,108 @@
+#ifndef DEEPSD_UTIL_RNG_H_
+#define DEEPSD_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+namespace deepsd {
+namespace util {
+
+/// Deterministic, fast pseudo-random number generator (xoshiro256** with a
+/// SplitMix64 seeding sequence). All randomness in the library flows through
+/// this type so that simulations, model initialization and dropout are fully
+/// reproducible from a single seed.
+class Rng {
+ public:
+  /// Creates a generator whose stream is fully determined by `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) { return NextU64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires hi >= lo.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    // Avoid log(0).
+    double u1 = 1.0 - Uniform();
+    double u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Poisson-distributed count with rate `lambda` (Knuth for small rates,
+  /// normal approximation above 30 to stay O(1)).
+  int Poisson(double lambda) {
+    if (lambda <= 0.0) return 0;
+    if (lambda > 30.0) {
+      double v = Normal(lambda, std::sqrt(lambda));
+      return v < 0.0 ? 0 : static_cast<int>(v + 0.5);
+    }
+    double l = std::exp(-lambda);
+    double p = 1.0;
+    int k = 0;
+    do {
+      ++k;
+      p *= Uniform();
+    } while (p > l);
+    return k - 1;
+  }
+
+  /// Exponential with rate `lambda`.
+  double Exponential(double lambda) { return -std::log(1.0 - Uniform()) / lambda; }
+
+  /// Forks an independent stream; the child is a deterministic function of
+  /// the parent state and `stream_id`, so parallel components can draw
+  /// without interleaving artifacts.
+  Rng Fork(uint64_t stream_id) {
+    return Rng(NextU64() ^ (0xD1B54A32D192ED03ULL * (stream_id + 1)));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_RNG_H_

@@ -1,0 +1,111 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepsd {
+namespace util {
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  size_t n = n_ + other.n_;
+  double delta = other.mean_ - mean_;
+  double mean = mean_ + delta * static_cast<double>(other.n_) / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / static_cast<double>(n);
+  mean_ = mean;
+  n_ = n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double Stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  double mx = Mean(xs), my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0.0) return xs.front();
+  if (p >= 100.0) return xs.back();
+  double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double LogLogSlope(const std::vector<double>& values,
+                   const std::vector<double>& counts) {
+  std::vector<double> lx, ly;
+  for (size_t i = 0; i < values.size() && i < counts.size(); ++i) {
+    if (values[i] > 0.0 && counts[i] > 0.0) {
+      lx.push_back(std::log(values[i]));
+      ly.push_back(std::log(counts[i]));
+    }
+  }
+  if (lx.size() < 2) return 0.0;
+  double mx = Mean(lx), my = Mean(ly);
+  double sxy = 0.0, sxx = 0.0;
+  for (size_t i = 0; i < lx.size(); ++i) {
+    sxy += (lx[i] - mx) * (ly[i] - my);
+    sxx += (lx[i] - mx) * (lx[i] - mx);
+  }
+  if (sxx <= 0.0) return 0.0;
+  return sxy / sxx;
+}
+
+}  // namespace util
+}  // namespace deepsd

@@ -1,0 +1,60 @@
+#ifndef DEEPSD_UTIL_STATS_H_
+#define DEEPSD_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace deepsd {
+namespace util {
+
+/// Streaming accumulator for mean / variance (Welford) plus min/max.
+/// Used by the simulator sanity checks, dataset summaries and the
+/// evaluation harness.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Mean of a vector; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than two samples.
+double Stddev(const std::vector<double>& xs);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// p-th percentile (0..100) by linear interpolation on a copy of `xs`.
+double Percentile(std::vector<double> xs, double p);
+
+/// Fits `log(count) ~ alpha * log(value)` over the positive entries of a
+/// histogram and returns the slope. Used to verify the simulator's gap
+/// distribution is approximately power-law (paper Sec VI-A).
+double LogLogSlope(const std::vector<double>& values,
+                   const std::vector<double>& counts);
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_STATS_H_

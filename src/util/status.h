@@ -1,0 +1,87 @@
+#ifndef DEEPSD_UTIL_STATUS_H_
+#define DEEPSD_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace deepsd {
+namespace util {
+
+/// Lightweight error-reporting type used across the public API instead of
+/// exceptions (paper-repro code is often embedded in services that compile
+/// with -fno-exceptions). Mirrors the shape of absl::Status / arrow::Status.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kOutOfRange,
+    kFailedPrecondition,
+    kIoError,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: batch size must be > 0".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(Code code) {
+    switch (code) {
+      case Code::kOk: return "OK";
+      case Code::kInvalidArgument: return "InvalidArgument";
+      case Code::kNotFound: return "NotFound";
+      case Code::kOutOfRange: return "OutOfRange";
+      case Code::kFailedPrecondition: return "FailedPrecondition";
+      case Code::kIoError: return "IoError";
+      case Code::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  Code code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define DEEPSD_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::deepsd::util::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_STATUS_H_

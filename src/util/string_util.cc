@@ -1,0 +1,75 @@
+#include "util/string_util.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace deepsd {
+namespace util {
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' || s[b] == '\n')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n'))
+    --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string MinuteToClock(int minute_of_day) {
+  int h = minute_of_day / 60;
+  int m = minute_of_day % 60;
+  return StrFormat("%02d:%02d", h, m);
+}
+
+std::string PadLeft(std::string s, size_t width) {
+  if (s.size() < width) s.insert(0, width - s.size(), ' ');
+  return s;
+}
+
+std::string PadRight(std::string s, size_t width) {
+  if (s.size() < width) s.append(width - s.size(), ' ');
+  return s;
+}
+
+}  // namespace util
+}  // namespace deepsd

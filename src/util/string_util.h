@@ -1,0 +1,33 @@
+#ifndef DEEPSD_UTIL_STRING_UTIL_H_
+#define DEEPSD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepsd {
+namespace util {
+
+/// Splits `s` on `delim`, keeping empty fields (CSV-style semantics).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Renders minutes-since-midnight as "HH:MM" (e.g. 450 -> "07:30").
+std::string MinuteToClock(int minute_of_day);
+
+/// Fixed-width left/right padding used by the ASCII table printers.
+std::string PadLeft(std::string s, size_t width);
+std::string PadRight(std::string s, size_t width);
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_STRING_UTIL_H_

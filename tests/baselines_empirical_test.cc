@@ -1,0 +1,65 @@
+#include "src/baselines/empirical_average.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsd {
+namespace baselines {
+namespace {
+
+data::PredictionItem Item(int area, int day, int t, float gap) {
+  data::PredictionItem item;
+  item.area = area;
+  item.day = day;
+  item.t = t;
+  item.gap = gap;
+  return item;
+}
+
+TEST(EmpiricalAverageTest, AveragesPerAreaAndTimeslot) {
+  EmpiricalAverage avg;
+  avg.Fit({Item(0, 0, 100, 2.0f), Item(0, 1, 100, 4.0f),
+           Item(0, 0, 200, 10.0f), Item(1, 0, 100, 0.0f)});
+  EXPECT_FLOAT_EQ(avg.Predict(0, 100), 3.0f);
+  EXPECT_FLOAT_EQ(avg.Predict(0, 200), 10.0f);
+  EXPECT_FLOAT_EQ(avg.Predict(1, 100), 0.0f);
+}
+
+TEST(EmpiricalAverageTest, FallsBackToAreaThenGlobalMean) {
+  EmpiricalAverage avg;
+  avg.Fit({Item(0, 0, 100, 2.0f), Item(0, 0, 200, 4.0f),
+           Item(1, 0, 100, 10.0f)});
+  // Unseen slot in a seen area → area mean.
+  EXPECT_FLOAT_EQ(avg.Predict(0, 999), 3.0f);
+  // Unseen area → global mean.
+  EXPECT_FLOAT_EQ(avg.Predict(7, 100), 16.0f / 3);
+}
+
+TEST(EmpiricalAverageTest, EmptyFitPredictsZero) {
+  EmpiricalAverage avg;
+  avg.Fit({});
+  EXPECT_FLOAT_EQ(avg.Predict(0, 0), 0.0f);
+}
+
+TEST(EmpiricalAverageTest, BatchPredictMatchesScalar) {
+  EmpiricalAverage avg;
+  std::vector<data::PredictionItem> train = {Item(0, 0, 100, 2.0f),
+                                             Item(1, 0, 100, 6.0f)};
+  avg.Fit(train);
+  std::vector<data::PredictionItem> test = {Item(0, 5, 100, 0),
+                                            Item(1, 5, 100, 0)};
+  std::vector<float> preds = avg.Predict(test);
+  ASSERT_EQ(preds.size(), 2u);
+  EXPECT_FLOAT_EQ(preds[0], avg.Predict(0, 100));
+  EXPECT_FLOAT_EQ(preds[1], avg.Predict(1, 100));
+}
+
+TEST(EmpiricalAverageTest, RefitClearsOldState) {
+  EmpiricalAverage avg;
+  avg.Fit({Item(0, 0, 100, 100.0f)});
+  avg.Fit({Item(0, 0, 100, 2.0f)});
+  EXPECT_FLOAT_EQ(avg.Predict(0, 100), 2.0f);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace deepsd

@@ -1,0 +1,83 @@
+#include "src/baselines/seasonal_ewma.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsd {
+namespace baselines {
+namespace {
+
+data::PredictionItem Item(int area, int day, int week_id, int t, float gap) {
+  data::PredictionItem item;
+  item.area = area;
+  item.day = day;
+  item.week_id = week_id;
+  item.t = t;
+  item.gap = gap;
+  return item;
+}
+
+TEST(SeasonalEwmaTest, SingleObservationIsRemembered) {
+  SeasonalEwma model;
+  model.Fit({Item(0, 0, 2, 600, 7.0f)});
+  EXPECT_FLOAT_EQ(model.Predict(0, 2, 600), 7.0f);
+  // Same bin (30-minute default).
+  EXPECT_FLOAT_EQ(model.Predict(0, 2, 615), 7.0f);
+}
+
+TEST(SeasonalEwmaTest, EwmaRecursionInDayOrder) {
+  SeasonalEwmaConfig config;
+  config.alpha = 0.5;
+  SeasonalEwma model(config);
+  // Same cell observed on three consecutive weeks; shuffled input order.
+  model.Fit({Item(0, 14, 1, 600, 8.0f), Item(0, 0, 1, 600, 2.0f),
+             Item(0, 7, 1, 600, 4.0f)});
+  // Day order: 2 → state 2; 4 → 3; 8 → 5.5.
+  EXPECT_FLOAT_EQ(model.Predict(0, 1, 600), 5.5f);
+}
+
+TEST(SeasonalEwmaTest, SeparateCellsPerWeekdayAndBin) {
+  SeasonalEwma model;
+  model.Fit({Item(0, 0, 1, 600, 3.0f), Item(0, 0, 2, 600, 9.0f),
+             Item(0, 0, 1, 700, 1.0f)});
+  EXPECT_FLOAT_EQ(model.Predict(0, 1, 600), 3.0f);
+  EXPECT_FLOAT_EQ(model.Predict(0, 2, 600), 9.0f);
+  EXPECT_FLOAT_EQ(model.Predict(0, 1, 700), 1.0f);
+}
+
+TEST(SeasonalEwmaTest, WeekdayWeekendMode) {
+  SeasonalEwmaConfig config;
+  config.per_weekday = false;
+  SeasonalEwma model(config);
+  model.Fit({Item(0, 0, 1, 600, 4.0f)});  // a weekday observation
+  // All weekdays share the bucket; weekend falls back to the global mean.
+  EXPECT_FLOAT_EQ(model.Predict(0, 3, 600), 4.0f);
+  EXPECT_FLOAT_EQ(model.Predict(0, 6, 600), 4.0f);  // global mean also 4
+}
+
+TEST(SeasonalEwmaTest, UnseenCellsFallBackToGlobalMean) {
+  SeasonalEwma model;
+  model.Fit({Item(0, 0, 1, 600, 2.0f), Item(1, 0, 1, 600, 6.0f)});
+  EXPECT_FLOAT_EQ(model.Predict(0, 5, 100), 4.0f);   // unseen cell
+  EXPECT_FLOAT_EQ(model.Predict(99, 1, 600), 4.0f);  // unseen area
+}
+
+TEST(SeasonalEwmaTest, BatchPredictMatchesScalar) {
+  SeasonalEwma model;
+  std::vector<data::PredictionItem> train = {Item(0, 0, 1, 600, 2.0f)};
+  model.Fit(train);
+  std::vector<data::PredictionItem> test = {Item(0, 9, 1, 610, 0.0f),
+                                            Item(0, 9, 4, 610, 0.0f)};
+  std::vector<float> preds = model.Predict(test);
+  EXPECT_FLOAT_EQ(preds[0], model.Predict(0, 1, 610));
+  EXPECT_FLOAT_EQ(preds[1], model.Predict(0, 4, 610));
+}
+
+TEST(SeasonalEwmaTest, EmptyFitPredictsZero) {
+  SeasonalEwma model;
+  model.Fit({});
+  EXPECT_FLOAT_EQ(model.Predict(0, 0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace deepsd

@@ -1,0 +1,124 @@
+#include "src/baselines/gbdt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace deepsd {
+namespace baselines {
+namespace {
+
+FeatureMatrix MakeRegressionData(int n, std::vector<float>* y,
+                                 uint64_t seed = 1) {
+  util::Rng rng(seed);
+  FeatureMatrix X;
+  X.rows = n;
+  X.cols = 3;
+  X.values.resize(static_cast<size_t>(n) * 3);
+  y->resize(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    float a = static_cast<float>(rng.Uniform(-2, 2));
+    float b = static_cast<float>(rng.Uniform(-2, 2));
+    float c = static_cast<float>(rng.Uniform(-2, 2));
+    X.values[static_cast<size_t>(r) * 3 + 0] = a;
+    X.values[static_cast<size_t>(r) * 3 + 1] = b;
+    X.values[static_cast<size_t>(r) * 3 + 2] = c;
+    (*y)[static_cast<size_t>(r)] =
+        std::sin(a) * 3 + b * b - c + static_cast<float>(rng.Normal(0, 0.1));
+  }
+  return X;
+}
+
+double Mse(const std::vector<float>& pred, const std::vector<float>& y) {
+  double s = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    s += (pred[i] - y[i]) * (pred[i] - y[i]);
+  }
+  return s / static_cast<double>(y.size());
+}
+
+TEST(GbdtTest, TrainingLossMonotonicallyImproves) {
+  std::vector<float> y;
+  FeatureMatrix X = MakeRegressionData(1000, &y);
+  Gbdt gbdt({.num_trees = 40, .learning_rate = 0.2, .subsample = 1.0});
+  gbdt.Fit(X, y);
+  const auto& curve = gbdt.train_curve();
+  ASSERT_EQ(curve.size(), 40u);
+  // Full-data squared-loss boosting cannot increase training MSE.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i], curve[i - 1] + 1e-9) << "round " << i;
+  }
+  EXPECT_LT(curve.back(), curve.front() * 0.3);
+}
+
+TEST(GbdtTest, BeatsMeanPredictorOnHoldout) {
+  std::vector<float> y_train, y_test;
+  FeatureMatrix X_train = MakeRegressionData(1500, &y_train, 2);
+  FeatureMatrix X_test = MakeRegressionData(400, &y_test, 3);
+  Gbdt gbdt({.num_trees = 60, .learning_rate = 0.15});
+  gbdt.Fit(X_train, y_train);
+  std::vector<float> pred = gbdt.Predict(X_test);
+
+  double mean = 0;
+  for (float v : y_train) mean += v;
+  mean /= static_cast<double>(y_train.size());
+  std::vector<float> const_pred(y_test.size(), static_cast<float>(mean));
+
+  EXPECT_LT(Mse(pred, y_test), 0.5 * Mse(const_pred, y_test));
+}
+
+TEST(GbdtTest, LearningRateZeroPredictsBase) {
+  std::vector<float> y;
+  FeatureMatrix X = MakeRegressionData(200, &y, 4);
+  Gbdt gbdt({.num_trees = 5, .learning_rate = 0.0});
+  gbdt.Fit(X, y);
+  double mean = 0;
+  for (float v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  std::vector<float> pred = gbdt.Predict(X);
+  for (float p : pred) EXPECT_NEAR(p, mean, 1e-4);
+}
+
+TEST(GbdtTest, MoreTreesFitTighter) {
+  std::vector<float> y;
+  FeatureMatrix X = MakeRegressionData(800, &y, 5);
+  Gbdt small({.num_trees = 5, .learning_rate = 0.1});
+  Gbdt large({.num_trees = 80, .learning_rate = 0.1});
+  small.Fit(X, y);
+  large.Fit(X, y);
+  EXPECT_LT(Mse(large.Predict(X), y), Mse(small.Predict(X), y));
+}
+
+TEST(GbdtTest, DeterministicGivenSeed) {
+  std::vector<float> y;
+  FeatureMatrix X = MakeRegressionData(300, &y, 6);
+  Gbdt a({.num_trees = 10, .seed = 42});
+  Gbdt b({.num_trees = 10, .seed = 42});
+  a.Fit(X, y);
+  b.Fit(X, y);
+  std::vector<float> pa = a.Predict(X), pb = b.Predict(X);
+  for (size_t i = 0; i < pa.size(); i += 29) {
+    EXPECT_FLOAT_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(GbdtTest, SubsamplingStillLearns) {
+  std::vector<float> y;
+  FeatureMatrix X = MakeRegressionData(1000, &y, 7);
+  GbdtConfig config;
+  config.num_trees = 50;
+  config.subsample = 0.5;
+  Gbdt gbdt(config);
+  gbdt.Fit(X, y);
+  double mean = 0;
+  for (float v : y) mean += v;
+  mean /= static_cast<double>(y.size());
+  std::vector<float> const_pred(y.size(), static_cast<float>(mean));
+  EXPECT_LT(Mse(gbdt.Predict(X), y), 0.5 * Mse(const_pred, y));
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace deepsd

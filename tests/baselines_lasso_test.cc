@@ -1,0 +1,152 @@
+#include "src/baselines/lasso.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace deepsd {
+namespace baselines {
+namespace {
+
+FeatureMatrix MakeMatrix(int rows, int cols,
+                         const std::function<float(int, int)>& f) {
+  FeatureMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.values.resize(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m.values[static_cast<size_t>(r) * cols + c] = f(r, c);
+    }
+  }
+  return m;
+}
+
+TEST(LassoTest, RecoversLinearModelWithTinyAlpha) {
+  util::Rng rng(1);
+  const int n = 400;
+  FeatureMatrix X = MakeMatrix(n, 3, [&](int, int) {
+    return static_cast<float>(rng.Uniform(-1, 1));
+  });
+  std::vector<float> y(n);
+  for (int r = 0; r < n; ++r) {
+    y[static_cast<size_t>(r)] =
+        2.0f * X.at(r, 0) - 3.0f * X.at(r, 1) + 0.5f * X.at(r, 2) + 1.0f;
+  }
+  Lasso lasso({.alpha = 1e-4, .max_iters = 300});
+  lasso.Fit(X, y);
+  EXPECT_NEAR(lasso.weights()[0], 2.0, 0.05);
+  EXPECT_NEAR(lasso.weights()[1], -3.0, 0.05);
+  EXPECT_NEAR(lasso.weights()[2], 0.5, 0.05);
+  EXPECT_NEAR(lasso.intercept(), 1.0, 0.05);
+}
+
+TEST(LassoTest, SoftThresholdMatchesAnalyticSolution) {
+  // Single standardized feature: ŵ = soft(cov(x,y)/var(x)… — with
+  // standardized x and objective (1/2n)‖y−xw‖² + α|w|, the optimum is
+  // w* = soft(x·y/n, α).
+  util::Rng rng(2);
+  const int n = 2000;
+  FeatureMatrix X = MakeMatrix(n, 1, [&](int, int) {
+    return static_cast<float>(rng.Normal());
+  });
+  std::vector<float> y(n);
+  for (int r = 0; r < n; ++r) {
+    y[static_cast<size_t>(r)] =
+        0.8f * X.at(r, 0) + static_cast<float>(rng.Normal(0, 0.1));
+  }
+  const double alpha = 0.3;
+  Lasso lasso({.alpha = alpha, .max_iters = 200});
+  lasso.Fit(X, y);
+
+  // Reconstruct the standardized correlation and the expected shrunk weight.
+  double mx = 0, my = 0;
+  for (int r = 0; r < n; ++r) {
+    mx += X.at(r, 0);
+    my += y[static_cast<size_t>(r)];
+  }
+  mx /= n;
+  my /= n;
+  double sx = 0, dot = 0;
+  for (int r = 0; r < n; ++r) {
+    sx += (X.at(r, 0) - mx) * (X.at(r, 0) - mx);
+  }
+  sx = std::sqrt(sx / n);
+  for (int r = 0; r < n; ++r) {
+    dot += (X.at(r, 0) - mx) / sx * (y[static_cast<size_t>(r)] - my);
+  }
+  double rho = dot / n;
+  double expected_std_w = rho > alpha ? rho - alpha : (rho < -alpha ? rho + alpha : 0.0);
+  EXPECT_NEAR(lasso.weights()[0] * sx, expected_std_w, 1e-3);
+}
+
+TEST(LassoTest, LargeAlphaZeroesEverything) {
+  util::Rng rng(3);
+  const int n = 200;
+  FeatureMatrix X = MakeMatrix(n, 4, [&](int, int) {
+    return static_cast<float>(rng.Uniform(-1, 1));
+  });
+  std::vector<float> y(n);
+  for (int r = 0; r < n; ++r) {
+    y[static_cast<size_t>(r)] = 0.2f * X.at(r, 0);
+  }
+  Lasso lasso({.alpha = 100.0, .max_iters = 50});
+  lasso.Fit(X, y);
+  EXPECT_EQ(lasso.NumNonZero(), 0);
+  // Prediction falls back to the target mean.
+  float pred = lasso.PredictRow(X.row(0));
+  double mean = 0;
+  for (float v : y) mean += v;
+  mean /= n;
+  EXPECT_NEAR(pred, mean, 1e-4);
+}
+
+TEST(LassoTest, SparsityIncreasesWithAlpha) {
+  util::Rng rng(4);
+  const int n = 300, p = 20;
+  FeatureMatrix X = MakeMatrix(n, p, [&](int, int) {
+    return static_cast<float>(rng.Uniform(-1, 1));
+  });
+  std::vector<float> y(n);
+  for (int r = 0; r < n; ++r) {
+    y[static_cast<size_t>(r)] = 3.0f * X.at(r, 0) - 2.0f * X.at(r, 1) +
+                                static_cast<float>(rng.Normal(0, 0.5));
+  }
+  Lasso weak({.alpha = 0.01, .max_iters = 100});
+  Lasso strong({.alpha = 0.5, .max_iters = 100});
+  weak.Fit(X, y);
+  strong.Fit(X, y);
+  EXPECT_GE(weak.NumNonZero(), strong.NumNonZero());
+  EXPECT_GE(strong.NumNonZero(), 1);  // the true signals survive
+}
+
+TEST(LassoTest, ConstantColumnsIgnored) {
+  util::Rng rng(5);
+  const int n = 100;
+  FeatureMatrix X = MakeMatrix(n, 2, [&](int r, int c) {
+    return c == 0 ? 1.0f : static_cast<float>(rng.Uniform(-1, 1) + r * 0);
+  });
+  std::vector<float> y(n);
+  for (int r = 0; r < n; ++r) y[static_cast<size_t>(r)] = 2.0f * X.at(r, 1);
+  Lasso lasso({.alpha = 1e-4, .max_iters = 100});
+  lasso.Fit(X, y);
+  EXPECT_EQ(lasso.weights()[0], 0.0);
+  EXPECT_NEAR(lasso.weights()[1], 2.0, 0.05);
+}
+
+TEST(LassoTest, ConvergenceStopsEarly) {
+  util::Rng rng(6);
+  const int n = 100;
+  FeatureMatrix X = MakeMatrix(n, 2, [&](int, int) {
+    return static_cast<float>(rng.Uniform(-1, 1));
+  });
+  std::vector<float> y(n);
+  for (int r = 0; r < n; ++r) y[static_cast<size_t>(r)] = X.at(r, 0);
+  Lasso lasso({.alpha = 0.01, .max_iters = 1000, .tolerance = 1e-4});
+  lasso.Fit(X, y);
+  EXPECT_LT(lasso.iterations_run(), 1000);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace deepsd

@@ -1,0 +1,101 @@
+#include "src/baselines/random_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.h"
+
+namespace deepsd {
+namespace baselines {
+namespace {
+
+FeatureMatrix MakeData(int n, std::vector<float>* y, uint64_t seed) {
+  util::Rng rng(seed);
+  FeatureMatrix X;
+  X.rows = n;
+  X.cols = 4;
+  X.values.resize(static_cast<size_t>(n) * 4);
+  y->resize(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    float f[4];
+    for (int c = 0; c < 4; ++c) {
+      f[c] = static_cast<float>(rng.Uniform(-2, 2));
+      X.values[static_cast<size_t>(r) * 4 + c] = f[c];
+    }
+    (*y)[static_cast<size_t>(r)] =
+        2 * f[0] - f[1] * f[2] + static_cast<float>(rng.Normal(0, 0.1));
+  }
+  return X;
+}
+
+double Mse(const std::vector<float>& pred, const std::vector<float>& y) {
+  double s = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    s += (pred[i] - y[i]) * (pred[i] - y[i]);
+  }
+  return s / static_cast<double>(y.size());
+}
+
+TEST(RandomForestTest, LearnsNonlinearTarget) {
+  std::vector<float> y_train, y_test;
+  FeatureMatrix X_train = MakeData(1500, &y_train, 1);
+  FeatureMatrix X_test = MakeData(300, &y_test, 2);
+  RandomForest rf({.num_trees = 20});
+  rf.Fit(X_train, y_train);
+  std::vector<float> pred = rf.Predict(X_test);
+
+  double mean = 0;
+  for (float v : y_train) mean += v;
+  mean /= static_cast<double>(y_train.size());
+  std::vector<float> const_pred(y_test.size(), static_cast<float>(mean));
+  EXPECT_LT(Mse(pred, y_test), 0.6 * Mse(const_pred, y_test));
+}
+
+TEST(RandomForestTest, AveragingReducesVarianceVsSingleTree) {
+  std::vector<float> y_train, y_test;
+  FeatureMatrix X_train = MakeData(800, &y_train, 3);
+  FeatureMatrix X_test = MakeData(300, &y_test, 4);
+  RandomForest single({.num_trees = 1, .seed = 5});
+  RandomForest forest({.num_trees = 25, .seed = 5});
+  single.Fit(X_train, y_train);
+  forest.Fit(X_train, y_train);
+  EXPECT_LT(Mse(forest.Predict(X_test), y_test),
+            Mse(single.Predict(X_test), y_test));
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  std::vector<float> y;
+  FeatureMatrix X = MakeData(300, &y, 6);
+  RandomForest a({.num_trees = 5, .seed = 9});
+  RandomForest b({.num_trees = 5, .seed = 9});
+  a.Fit(X, y);
+  b.Fit(X, y);
+  std::vector<float> pa = a.Predict(X), pb = b.Predict(X);
+  for (size_t i = 0; i < pa.size(); i += 17) EXPECT_FLOAT_EQ(pa[i], pb[i]);
+}
+
+TEST(RandomForestTest, DifferentSeedsGiveDifferentForests) {
+  std::vector<float> y;
+  FeatureMatrix X = MakeData(300, &y, 7);
+  RandomForest a({.num_trees = 3, .seed = 1});
+  RandomForest b({.num_trees = 3, .seed = 2});
+  a.Fit(X, y);
+  b.Fit(X, y);
+  std::vector<float> pa = a.Predict(X), pb = b.Predict(X);
+  int diff = 0;
+  for (size_t i = 0; i < pa.size(); ++i) diff += (pa[i] != pb[i]);
+  EXPECT_GT(diff, 0);
+}
+
+TEST(RandomForestTest, NumTreesReported) {
+  std::vector<float> y;
+  FeatureMatrix X = MakeData(100, &y, 8);
+  RandomForest rf({.num_trees = 7});
+  rf.Fit(X, y);
+  EXPECT_EQ(rf.num_trees(), 7);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace deepsd

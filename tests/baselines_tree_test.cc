@@ -1,0 +1,170 @@
+#include "src/baselines/tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/util/rng.h"
+
+namespace deepsd {
+namespace baselines {
+namespace {
+
+FeatureMatrix MakeMatrix(int rows, int cols,
+                         const std::function<float(int, int)>& f) {
+  FeatureMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.values.resize(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      m.values[static_cast<size_t>(r) * cols + c] = f(r, c);
+    }
+  }
+  return m;
+}
+
+std::vector<int> AllRows(int n) {
+  std::vector<int> rows(static_cast<size_t>(n));
+  std::iota(rows.begin(), rows.end(), 0);
+  return rows;
+}
+
+TEST(BinnedMatrixTest, QuantizeIsConsistentWithCodes) {
+  util::Rng rng(1);
+  FeatureMatrix X = MakeMatrix(500, 3, [&](int, int) {
+    return static_cast<float>(rng.Uniform(-10, 10));
+  });
+  BinnedMatrix binned(X, 32);
+  for (int r = 0; r < X.rows; r += 17) {
+    for (int c = 0; c < X.cols; ++c) {
+      EXPECT_EQ(binned.code(r, c), binned.Quantize(c, X.at(r, c)));
+    }
+  }
+}
+
+TEST(BinnedMatrixTest, FewDistinctValuesGetExactBins) {
+  FeatureMatrix X = MakeMatrix(100, 1, [&](int r, int) {
+    return static_cast<float>(r % 3);  // values 0, 1, 2
+  });
+  BinnedMatrix binned(X, 64);
+  EXPECT_EQ(binned.num_bins(0), 3);
+  EXPECT_EQ(binned.Quantize(0, 0.0f), 0);
+  EXPECT_EQ(binned.Quantize(0, 1.0f), 1);
+  EXPECT_EQ(binned.Quantize(0, 2.0f), 2);
+  // Threshold semantics: value <= BinEdge(0) ⇔ code 0.
+  EXPECT_FLOAT_EQ(binned.BinEdge(0, 0), 0.0f);
+}
+
+TEST(BinnedMatrixTest, RespectsMaxBins) {
+  util::Rng rng(2);
+  FeatureMatrix X = MakeMatrix(5000, 1, [&](int, int) {
+    return static_cast<float>(rng.Normal());
+  });
+  BinnedMatrix binned(X, 16);
+  EXPECT_LE(binned.num_bins(0), 16);
+  EXPECT_GE(binned.num_bins(0), 8);
+}
+
+TEST(TreeTest, FitsPiecewiseConstantExactly) {
+  // y = 5 if x < 0 else -2: one split suffices.
+  util::Rng rng(3);
+  FeatureMatrix X = MakeMatrix(400, 1, [&](int, int) {
+    return static_cast<float>(rng.Uniform(-1, 1));
+  });
+  std::vector<float> y(400);
+  for (int r = 0; r < 400; ++r) {
+    y[static_cast<size_t>(r)] = X.at(r, 0) < 0 ? 5.0f : -2.0f;
+  }
+  BinnedMatrix binned(X, 64);
+  RegressionTree tree({.max_depth = 3, .min_samples_leaf = 5});
+  tree.Fit(binned, y, AllRows(400), &rng);
+  for (int r = 0; r < 400; r += 13) {
+    EXPECT_NEAR(tree.PredictRow(binned, r), y[static_cast<size_t>(r)], 0.2);
+    EXPECT_NEAR(tree.PredictRaw(binned, X.row(r)), y[static_cast<size_t>(r)],
+                0.2);
+  }
+}
+
+TEST(TreeTest, DepthZeroIsMeanPredictor) {
+  util::Rng rng(4);
+  FeatureMatrix X = MakeMatrix(100, 2, [&](int, int) {
+    return static_cast<float>(rng.Uniform(-1, 1));
+  });
+  std::vector<float> y(100);
+  double mean = 0;
+  for (int r = 0; r < 100; ++r) {
+    y[static_cast<size_t>(r)] = static_cast<float>(r);
+    mean += r;
+  }
+  mean /= 100;
+  BinnedMatrix binned(X, 32);
+  RegressionTree tree({.max_depth = 0});
+  tree.Fit(binned, y, AllRows(100), &rng);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_NEAR(tree.PredictRow(binned, 0), mean, 1e-3);
+}
+
+TEST(TreeTest, RespectsMinSamplesLeaf) {
+  util::Rng rng(5);
+  FeatureMatrix X = MakeMatrix(60, 1, [&](int r, int) {
+    return static_cast<float>(r);
+  });
+  std::vector<float> y(60);
+  for (int r = 0; r < 60; ++r) y[static_cast<size_t>(r)] = static_cast<float>(r);
+  BinnedMatrix binned(X, 64);
+  RegressionTree tree({.max_depth = 20, .min_samples_leaf = 25});
+  tree.Fit(binned, y, AllRows(60), &rng);
+  // With 60 rows and min-leaf 25, only the root split is possible.
+  EXPECT_LE(tree.num_nodes(), 3);
+}
+
+TEST(TreeTest, DeeperTreesFitBetter) {
+  util::Rng rng(6);
+  FeatureMatrix X = MakeMatrix(800, 2, [&](int, int) {
+    return static_cast<float>(rng.Uniform(-3, 3));
+  });
+  std::vector<float> y(800);
+  for (int r = 0; r < 800; ++r) {
+    y[static_cast<size_t>(r)] =
+        std::sin(X.at(r, 0)) * 2 + std::cos(X.at(r, 1));
+  }
+  BinnedMatrix binned(X, 64);
+  auto mse_at_depth = [&](int depth) {
+    util::Rng tree_rng(7);
+    RegressionTree tree({.max_depth = depth, .min_samples_leaf = 5});
+    tree.Fit(binned, y, AllRows(800), &tree_rng);
+    double mse = 0;
+    for (int r = 0; r < 800; ++r) {
+      double d = tree.PredictRow(binned, r) - y[static_cast<size_t>(r)];
+      mse += d * d;
+    }
+    return mse / 800;
+  };
+  double d1 = mse_at_depth(1), d3 = mse_at_depth(3), d7 = mse_at_depth(7);
+  EXPECT_LT(d3, d1);
+  EXPECT_LT(d7, d3);
+}
+
+TEST(TreeTest, PredictRawAgreesWithPredictRow) {
+  util::Rng rng(8);
+  FeatureMatrix X = MakeMatrix(300, 4, [&](int, int) {
+    return static_cast<float>(rng.Normal());
+  });
+  std::vector<float> y(300);
+  for (int r = 0; r < 300; ++r) {
+    y[static_cast<size_t>(r)] = X.at(r, 0) * X.at(r, 1);
+  }
+  BinnedMatrix binned(X, 64);
+  RegressionTree tree({.max_depth = 6, .min_samples_leaf = 5});
+  tree.Fit(binned, y, AllRows(300), &rng);
+  for (int r = 0; r < 300; r += 11) {
+    EXPECT_FLOAT_EQ(tree.PredictRow(binned, r),
+                    tree.PredictRaw(binned, X.row(r)));
+  }
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace deepsd

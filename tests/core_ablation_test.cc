@@ -1,0 +1,173 @@
+// Tests of the ablation switches added on top of the paper's architecture:
+// per-block order-part composition, uniform weekday weights, and the
+// zero-initialized residual branches.
+
+#include <gtest/gtest.h>
+
+#include "src/core/trainer.h"
+#include "tests/test_util.h"
+
+namespace deepsd {
+namespace core {
+namespace {
+
+constexpr int kL = 6;
+
+class AblationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = deepsd::testing::MakeSmallCity(4, 10, 909);
+    feature::FeatureConfig fc;
+    fc.window = kL;
+    assembler_ = std::make_unique<feature::FeatureAssembler>(&ds_, fc, 0, 8);
+    items_ = data::MakeItems(ds_, 8, 10, 500, 1200, 300);
+  }
+
+  DeepSDConfig Config() const {
+    DeepSDConfig config;
+    config.num_areas = ds_.num_areas();
+    config.window = kL;
+    return config;
+  }
+
+  std::vector<feature::ModelInput> Advanced(size_t count) const {
+    std::vector<feature::ModelInput> out;
+    for (size_t i = 0; i < std::min(count, items_.size()); ++i) {
+      out.push_back(assembler_->AssembleAdvanced(items_[i]));
+    }
+    return out;
+  }
+
+  data::OrderDataset ds_;
+  std::unique_ptr<feature::FeatureAssembler> assembler_;
+  std::vector<data::PredictionItem> items_;
+};
+
+TEST_F(AblationTest, DisablingBlocksRemovesParameters) {
+  util::Rng rng(1);
+  DeepSDConfig config = Config();
+  config.use_last_call = false;
+  config.use_waiting_time = false;
+  nn::ParameterStore store;
+  DeepSDModel model(config, DeepSDModel::Mode::kAdvanced, &store, &rng);
+  EXPECT_NE(store.Find("ext_sd.fc1.w"), nullptr);
+  EXPECT_EQ(store.Find("ext_lc.fc1.w"), nullptr);
+  EXPECT_EQ(store.Find("ext_wt.fc1.w"), nullptr);
+}
+
+TEST_F(AblationTest, AllOrderBlockCombinationsRun) {
+  for (bool lc : {false, true}) {
+    for (bool wt : {false, true}) {
+      for (bool residual : {false, true}) {
+        DeepSDConfig config = Config();
+        config.use_last_call = lc;
+        config.use_waiting_time = wt;
+        config.use_residual = residual;
+        nn::ParameterStore store;
+        util::Rng rng(2);
+        DeepSDModel model(config, DeepSDModel::Mode::kAdvanced, &store, &rng);
+        auto inputs = Advanced(3);
+        std::vector<float> preds = model.Predict(inputs);
+        ASSERT_EQ(preds.size(), 3u)
+            << "lc=" << lc << " wt=" << wt << " res=" << residual;
+      }
+    }
+  }
+}
+
+TEST_F(AblationTest, UniformWeightsBypassSoftmaxParameters) {
+  DeepSDConfig config = Config();
+  config.uniform_weekday_weights = true;
+  nn::ParameterStore store;
+  util::Rng rng(3);
+  DeepSDModel model(config, DeepSDModel::Mode::kAdvanced, &store, &rng);
+  auto inputs = Advanced(4);
+  Batch batch = MakeBatch(VectorSource(inputs), 0, inputs.size());
+
+  // Gradient must not reach the (unused) softmax parameters.
+  nn::Graph g;
+  g.set_training(false);
+  nn::NodeId pred = model.Forward(&g, batch);
+  nn::NodeId loss = g.MseLoss(pred, batch.target);
+  store.ZeroGrads();
+  g.Backward(loss);
+  nn::Parameter* softmax_w = store.Find("ext_sd.softmax.w");
+  ASSERT_NE(softmax_w, nullptr);  // created, but bypassed
+  EXPECT_DOUBLE_EQ(softmax_w->grad.SquaredNorm(), 0.0);
+}
+
+TEST_F(AblationTest, UniformVsLearnedWeightsDiffer) {
+  // Build one synthetic advanced input whose historical vectors are
+  // markedly different per weekday, so any difference in the combining
+  // weights p must change E and hence the prediction.
+  feature::ModelInput synth = assembler_->AssembleAdvanced(items_[0]);
+  for (size_t i = 0; i < synth.h_sd.size(); ++i) {
+    synth.h_sd[i] = static_cast<float>(i % (2 * kL)) *
+                    static_cast<float>(1 + i / (2 * kL));
+    synth.h_sd10[i] = synth.h_sd[i] * 0.5f;
+  }
+  std::vector<feature::ModelInput> inputs = {synth};
+
+  auto predict_with = [&](bool uniform) {
+    DeepSDConfig config = Config();
+    config.uniform_weekday_weights = uniform;
+    nn::ParameterStore store;
+    util::Rng rng(4);  // same init either way
+    DeepSDModel model(config, DeepSDModel::Mode::kAdvanced, &store, &rng);
+    // Skew the softmax bias so the learnt p is far from uniform (a shift of
+    // the whole weight matrix would be softmax-invariant).
+    store.Find("ext_sd.softmax.b")->value.at(0, 3) += 4.0f;
+    return model.Predict(inputs)[0];
+  };
+  EXPECT_NE(predict_with(true), predict_with(false));
+}
+
+TEST_F(AblationTest, ResidualBranchesStartAsIdentity) {
+  // With zero-initialized residual branches, the advanced model's output
+  // must be unchanged when the weather/traffic blocks are added (before
+  // any training).
+  util::Rng rng(5);
+  DeepSDConfig no_env = Config();
+  no_env.use_weather = false;
+  no_env.use_traffic = false;
+
+  nn::ParameterStore store;
+  DeepSDModel without(no_env, DeepSDModel::Mode::kAdvanced, &store, &rng);
+  auto inputs = Advanced(4);
+  std::vector<float> before = without.Predict(inputs);
+
+  DeepSDConfig with_env = Config();
+  DeepSDModel with(with_env, DeepSDModel::Mode::kAdvanced, &store, &rng);
+  std::vector<float> after = with.Predict(inputs);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]);
+  }
+}
+
+TEST_F(AblationTest, LcWtResidualBranchesAlsoStartAsIdentity) {
+  util::Rng rng(6);
+  DeepSDConfig sd_only = Config();
+  sd_only.use_last_call = false;
+  sd_only.use_waiting_time = false;
+  sd_only.use_weather = false;
+  sd_only.use_traffic = false;
+
+  nn::ParameterStore store;
+  DeepSDModel small(sd_only, DeepSDModel::Mode::kAdvanced, &store, &rng);
+  auto inputs = Advanced(4);
+  std::vector<float> before = small.Predict(inputs);
+
+  DeepSDConfig full = Config();
+  full.use_weather = false;
+  full.use_traffic = false;
+  DeepSDModel big(full, DeepSDModel::Mode::kAdvanced, &store, &rng);
+  std::vector<float> after = big.Predict(inputs);
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepsd

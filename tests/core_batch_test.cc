@@ -1,0 +1,96 @@
+#include "src/core/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace deepsd {
+namespace core {
+namespace {
+
+feature::ModelInput MakeInput(int area, float seed) {
+  feature::ModelInput in;
+  in.area_id = area;
+  in.time_id = 100 + area;
+  in.week_id = area % 7;
+  in.v_sd = {seed, seed + 1, seed + 2, seed + 3};
+  in.weather_types = {area, area + 1};
+  in.weather_reals = {seed, seed, seed, seed};
+  in.v_tc = {seed, 0, 0, 0, 0, 0, 0, seed};
+  in.target_gap = seed * 10;
+  return in;
+}
+
+TEST(BatchTest, PacksRowsInIndexOrder) {
+  std::vector<feature::ModelInput> inputs = {MakeInput(0, 1.0f),
+                                             MakeInput(1, 2.0f),
+                                             MakeInput(2, 3.0f)};
+  VectorSource source(inputs);
+  Batch batch = MakeBatch(source, {2, 0});
+  ASSERT_EQ(batch.size, 2);
+  EXPECT_EQ(batch.area_ids, (std::vector<int>{2, 0}));
+  EXPECT_EQ(batch.time_ids, (std::vector<int>{102, 100}));
+  EXPECT_FLOAT_EQ(batch.v_sd.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(batch.v_sd.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(batch.target.at(0, 0), 30.0f);
+  EXPECT_FLOAT_EQ(batch.target.at(1, 0), 10.0f);
+  EXPECT_FALSE(batch.has_advanced);
+}
+
+TEST(BatchTest, WeatherTypesTransposedByLag) {
+  std::vector<feature::ModelInput> inputs = {MakeInput(3, 1.0f),
+                                             MakeInput(5, 2.0f)};
+  Batch batch = MakeBatch(VectorSource(inputs), 0, 2);
+  ASSERT_EQ(batch.weather_types_by_lag.size(), 2u);  // L = 2 lags
+  EXPECT_EQ(batch.weather_types_by_lag[0], (std::vector<int>{3, 5}));
+  EXPECT_EQ(batch.weather_types_by_lag[1], (std::vector<int>{4, 6}));
+}
+
+TEST(BatchTest, AdvancedFieldsDetected) {
+  feature::ModelInput in = MakeInput(0, 1.0f);
+  in.h_sd = {1, 2};
+  in.h_sd10 = {3, 4};
+  in.v_lc = {0, 0};
+  in.h_lc = {0, 0};
+  in.h_lc10 = {0, 0};
+  in.v_wt = {0, 0};
+  in.h_wt = {0, 0};
+  in.h_wt10 = {5, 6};
+  Batch batch = MakeBatch(VectorSource({in}), 0, 1);
+  EXPECT_TRUE(batch.has_advanced);
+  EXPECT_FLOAT_EQ(batch.h_sd.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(batch.h_wt10.at(0, 1), 6.0f);
+}
+
+TEST(BatchTest, RangeOverloadCoversAll) {
+  std::vector<feature::ModelInput> inputs = {MakeInput(0, 1.0f),
+                                             MakeInput(1, 2.0f),
+                                             MakeInput(2, 3.0f)};
+  Batch batch = MakeBatch(VectorSource(inputs), 1, 3);
+  ASSERT_EQ(batch.size, 2);
+  EXPECT_EQ(batch.area_ids[0], 1);
+  EXPECT_EQ(batch.area_ids[1], 2);
+}
+
+TEST(SourceTest, AssemblerSourceLazyAssembly) {
+  data::OrderDataset ds = deepsd::testing::MakeSmallCity(3, 5, 42);
+  feature::FeatureConfig fc;
+  fc.window = 4;
+  feature::FeatureAssembler assembler(&ds, fc, 0, 4);
+  auto items = data::MakeItems(ds, 4, 5, 600, 900, 100);
+  AssemblerSource basic(&assembler, items, false);
+  AssemblerSource advanced(&assembler, items, true);
+  ASSERT_EQ(basic.size(), items.size());
+  EXPECT_FLOAT_EQ(basic.Target(0), items[0].gap);
+  EXPECT_TRUE(basic.Get(0).h_sd.empty());
+  EXPECT_FALSE(advanced.Get(0).h_sd.empty());
+  // Lazy source agrees with direct assembly.
+  feature::ModelInput direct = assembler.AssembleBasic(items[1]);
+  feature::ModelInput lazy = basic.Get(1);
+  EXPECT_EQ(direct.v_sd, lazy.v_sd);
+  EXPECT_EQ(direct.weather_types, lazy.weather_types);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepsd

@@ -1,0 +1,134 @@
+#include "src/core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/trainer.h"
+#include "tests/test_util.h"
+
+namespace deepsd {
+namespace core {
+namespace {
+
+constexpr int kL = 8;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = deepsd::testing::MakeSmallCity(4, 12, 777);
+    feature::FeatureConfig fc;
+    fc.window = kL;
+    assembler_ = std::make_unique<feature::FeatureAssembler>(&ds_, fc, 0, 10);
+    items_ = data::MakeItems(ds_, 10, 12, 500, 1300, 200);
+  }
+
+  DeepSDConfig Config() const {
+    DeepSDConfig config;
+    config.num_areas = ds_.num_areas();
+    config.window = kL;
+    return config;
+  }
+
+  data::OrderDataset ds_;
+  std::unique_ptr<feature::FeatureAssembler> assembler_;
+  std::vector<data::PredictionItem> items_;
+};
+
+TEST_F(ExplainTest, CoversEveryWindowedScalar) {
+  nn::ParameterStore store;
+  util::Rng rng(1);
+  DeepSDModel model(Config(), DeepSDModel::Mode::kAdvanced, &store, &rng);
+  feature::ModelInput input = assembler_->AssembleAdvanced(items_[0]);
+  auto sens = ExplainPrediction(model, input);
+  // 3 signals × 2L + weather 2L + traffic 4L.
+  EXPECT_EQ(sens.size(), 3u * 2 * kL + 2 * kL + 4 * kL);
+  for (const auto& s : sens) {
+    EXPECT_GE(s.lag, 1);
+    EXPECT_LE(s.lag, kL);
+    EXPECT_FALSE(s.group.empty());
+  }
+}
+
+TEST_F(ExplainTest, BasicModeSkipsPassengerSignals) {
+  nn::ParameterStore store;
+  util::Rng rng(2);
+  DeepSDModel model(Config(), DeepSDModel::Mode::kBasic, &store, &rng);
+  feature::ModelInput input = assembler_->AssembleBasic(items_[0]);
+  auto sens = ExplainPrediction(model, input);
+  EXPECT_EQ(sens.size(), 2u * kL + 2 * kL + 4 * kL);
+  for (const auto& s : sens) {
+    EXPECT_NE(s.group.rfind("lc_", 0), 0u);
+    EXPECT_NE(s.group.rfind("wt_", 0), 0u);
+  }
+}
+
+TEST_F(ExplainTest, GradientsMatchDirectProbe) {
+  nn::ParameterStore store;
+  util::Rng rng(3);
+  DeepSDConfig config = Config();
+  config.clamp_nonnegative = false;  // keep the probe in the linear region
+  DeepSDModel model(config, DeepSDModel::Mode::kBasic, &store, &rng);
+  feature::ModelInput input = assembler_->AssembleBasic(items_[1]);
+
+  auto sens = ExplainPrediction(model, input, /*delta=*/1.0);
+  // Re-derive one entry by hand: sd_invalid at lag 3 → v_sd[kL + 2].
+  std::vector<feature::ModelInput> batch = {input};
+  float base = model.Predict(batch)[0];
+  feature::ModelInput perturbed = input;
+  perturbed.v_sd[kL + 2] += 1.0f;
+  batch[0] = perturbed;
+  float up = model.Predict(batch)[0];
+  for (const auto& s : sens) {
+    if (s.group == "sd_invalid" && s.lag == 3) {
+      EXPECT_NEAR(s.gradient, up - base, 1e-5);
+      return;
+    }
+  }
+  FAIL() << "sd_invalid lag-3 sensitivity not found";
+}
+
+TEST_F(ExplainTest, TrainedModelWeightsRecentInvalidOrders) {
+  // After training, extra unanswered orders in the immediate past should
+  // push the forecast up — and their summed influence should exceed the
+  // influence of temperature.
+  nn::ParameterStore store;
+  util::Rng rng(4);
+  DeepSDModel model(Config(), DeepSDModel::Mode::kBasic, &store, &rng);
+  auto train_items = data::MakeItems(ds_, 0, 10, 400, 1300, 60);
+  core::AssemblerSource train(assembler_.get(), train_items, false);
+  TrainConfig tc;
+  tc.epochs = 6;
+  tc.best_k = 0;
+  Trainer(tc).Train(&model, &store, train, train);
+
+  // Busiest test item (largest gap) for a meaningful probe.
+  data::PredictionItem busiest = items_[0];
+  for (const auto& item : items_) {
+    if (item.gap > busiest.gap) busiest = item;
+  }
+  feature::ModelInput input = assembler_->AssembleBasic(busiest);
+  auto sens = ExplainPrediction(model, input);
+
+  double invalid_influence = 0, temp_influence = 0;
+  double invalid_signed = 0;
+  for (const auto& s : sens) {
+    if (s.group == "sd_invalid") {
+      invalid_influence += std::abs(s.gradient);
+      invalid_signed += s.gradient;
+    }
+    if (s.group == "wc_temp") temp_influence += std::abs(s.gradient);
+  }
+  EXPECT_GT(invalid_influence, temp_influence);
+  EXPECT_GT(invalid_signed, 0.0)
+      << "more unanswered orders should raise the predicted gap";
+
+  auto importance = GroupImportance(sens);
+  ASSERT_FALSE(importance.empty());
+  double total = 0;
+  for (auto& [group, share] : importance) total += share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GE(importance.front().second, importance.back().second);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepsd

@@ -1,0 +1,236 @@
+#include "src/core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace deepsd {
+namespace core {
+namespace {
+
+constexpr int kL = 6;
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = deepsd::testing::MakeSmallCity(4, 12, 4242);
+    feature::FeatureConfig fc;
+    fc.window = kL;
+    assembler_ = std::make_unique<feature::FeatureAssembler>(&ds_, fc, 0, 10);
+    train_items_ = data::MakeItems(ds_, 0, 10, 400, 1300, 60);
+    test_items_ = data::MakeItems(ds_, 10, 12, 450, 1290, 120);
+  }
+
+  DeepSDConfig Config() const {
+    DeepSDConfig config;
+    config.num_areas = ds_.num_areas();
+    config.window = kL;
+    return config;
+  }
+
+  data::OrderDataset ds_;
+  std::unique_ptr<feature::FeatureAssembler> assembler_;
+  std::vector<data::PredictionItem> train_items_;
+  std::vector<data::PredictionItem> test_items_;
+};
+
+TEST_F(TrainerTest, LossDecreasesAndBeatsConstantPredictor) {
+  nn::ParameterStore store;
+  util::Rng rng(1);
+  DeepSDModel model(Config(), DeepSDModel::Mode::kBasic, &store, &rng);
+
+  AssemblerSource train(assembler_.get(), train_items_, false);
+  AssemblerSource test(assembler_.get(), test_items_, false);
+
+  TrainConfig tc;
+  tc.epochs = 6;
+  tc.best_k = 2;
+  Trainer trainer(tc);
+  TrainResult result = trainer.Train(&model, &store, train, test);
+
+  ASSERT_EQ(result.history.size(), 6u);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+
+  // Compare with predicting the training-set mean gap everywhere.
+  double mean_gap = 0;
+  for (const auto& it : train_items_) mean_gap += it.gap;
+  mean_gap /= static_cast<double>(train_items_.size());
+  double const_sq = 0;
+  for (const auto& it : test_items_) {
+    const_sq += (it.gap - mean_gap) * (it.gap - mean_gap);
+  }
+  double const_rmse = std::sqrt(const_sq / static_cast<double>(test_items_.size()));
+  EXPECT_LT(result.final_eval_rmse, const_rmse);
+}
+
+TEST_F(TrainerTest, BestKAveragingNotWorseThanWorstEpoch) {
+  nn::ParameterStore store;
+  util::Rng rng(2);
+  DeepSDModel model(Config(), DeepSDModel::Mode::kBasic, &store, &rng);
+  AssemblerSource train(assembler_.get(), train_items_, false);
+  AssemblerSource test(assembler_.get(), test_items_, false);
+
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.best_k = 3;
+  Trainer trainer(tc);
+  TrainResult result = trainer.Train(&model, &store, train, test);
+
+  double worst = 0;
+  for (const auto& e : result.history) worst = std::max(worst, e.eval_rmse);
+  EXPECT_LE(result.final_eval_rmse, worst * 1.05);
+  EXPECT_GT(result.best_eval_rmse, 0.0);
+  EXPECT_GT(result.seconds_per_epoch, 0.0);
+}
+
+TEST_F(TrainerTest, BestKOneRestoresExactBestEpoch) {
+  // With best_k = 1 the final store must be exactly the best epoch's
+  // snapshot, so re-evaluating gives exactly the best recorded RMSE.
+  nn::ParameterStore store;
+  util::Rng rng(11);
+  DeepSDModel model(Config(), DeepSDModel::Mode::kBasic, &store, &rng);
+  AssemblerSource train(assembler_.get(), train_items_, false);
+  AssemblerSource test(assembler_.get(), test_items_, false);
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.best_k = 1;
+  Trainer trainer(tc);
+  TrainResult result = trainer.Train(&model, &store, train, test);
+  double min_rmse = 1e18;
+  for (const auto& e : result.history) min_rmse = std::min(min_rmse, e.eval_rmse);
+  EXPECT_DOUBLE_EQ(result.best_eval_rmse, min_rmse);
+  EXPECT_NEAR(result.final_eval_rmse, min_rmse, 1e-9);
+}
+
+TEST_F(TrainerTest, OnEpochCallbackFires) {
+  nn::ParameterStore store;
+  util::Rng rng(3);
+  DeepSDModel model(Config(), DeepSDModel::Mode::kBasic, &store, &rng);
+  AssemblerSource train(assembler_.get(), train_items_, false);
+  AssemblerSource test(assembler_.get(), test_items_, false);
+
+  TrainConfig tc;
+  tc.epochs = 3;
+  Trainer trainer(tc);
+  int calls = 0;
+  trainer.Train(&model, &store, train, test,
+                [&](const EpochStats& s) {
+                  EXPECT_EQ(s.epoch, calls);
+                  ++calls;
+                });
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(TrainerTest, OverfitsTinySubset) {
+  // A capacity sanity check: the basic model memorizes 40 items.
+  std::vector<feature::ModelInput> inputs;
+  for (size_t i = 0; i < 40 && i < train_items_.size(); ++i) {
+    inputs.push_back(assembler_->AssembleBasic(train_items_[i]));
+  }
+  nn::ParameterStore store;
+  util::Rng rng(4);
+  DeepSDConfig config = Config();
+  config.dropout = 0.0f;  // memorization test wants no regularization
+  DeepSDModel model(config, DeepSDModel::Mode::kBasic, &store, &rng);
+
+  TrainConfig tc;
+  tc.epochs = 120;
+  tc.batch_size = 8;
+  tc.best_k = 0;
+  tc.learning_rate = 3e-3f;
+  Trainer trainer(tc);
+  TrainResult result = trainer.Train(&model, &store, inputs, inputs);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss * 0.2)
+      << "model failed to overfit 40 items";
+}
+
+TEST_F(TrainerTest, AdvancedModelTrains) {
+  nn::ParameterStore store;
+  util::Rng rng(5);
+  DeepSDModel model(Config(), DeepSDModel::Mode::kAdvanced, &store, &rng);
+  AssemblerSource train(assembler_.get(), train_items_, true);
+  AssemblerSource test(assembler_.get(), test_items_, true);
+
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.best_k = 2;
+  Trainer trainer(tc);
+  TrainResult result = trainer.Train(&model, &store, train, test);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+}
+
+TEST_F(TrainerTest, SgdOptimizerAlsoLearns) {
+  nn::ParameterStore store;
+  util::Rng rng(8);
+  DeepSDModel model(Config(), DeepSDModel::Mode::kBasic, &store, &rng);
+  AssemblerSource train(assembler_.get(), train_items_, false);
+  AssemblerSource test(assembler_.get(), test_items_, false);
+
+  TrainConfig tc;
+  tc.epochs = 5;
+  tc.best_k = 0;
+  tc.optimizer = TrainConfig::Optimizer::kSgdMomentum;
+  tc.learning_rate = 1e-4f;
+  Trainer trainer(tc);
+  TrainResult result = trainer.Train(&model, &store, train, test);
+  EXPECT_LT(result.history.back().train_loss,
+            result.history.front().train_loss);
+}
+
+TEST_F(TrainerTest, LrDecayKicksIn) {
+  // With an aggressive decay factor the post-decay epochs must change the
+  // parameters far less than the pre-decay ones.
+  nn::ParameterStore store;
+  util::Rng rng(9);
+  DeepSDConfig config = Config();
+  config.dropout = 0.0f;
+  DeepSDModel model(config, DeepSDModel::Mode::kBasic, &store, &rng);
+  AssemblerSource train(assembler_.get(), train_items_, false);
+  AssemblerSource test(assembler_.get(), test_items_, false);
+
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.best_k = 0;
+  tc.shuffle = false;
+  tc.lr_decay_at_fraction = 0.5;  // decay at epoch 2
+  tc.lr_decay_factor = 1e-4f;
+
+  nn::Tensor before, mid, after;
+  Trainer trainer(tc);
+  trainer.Train(&model, &store, train, test,
+                [&](const EpochStats& s) {
+                  const nn::Tensor& w = store.Find("sd.fc1.w")->value;
+                  if (s.epoch == 1) mid = w;
+                  if (s.epoch == 3) after = w;
+                  if (s.epoch == 0) before = w;
+                });
+  double early_delta = 0, late_delta = 0;
+  for (size_t i = 0; i < mid.size(); ++i) {
+    early_delta += std::abs(mid.flat()[i] - before.flat()[i]);
+    late_delta += std::abs(after.flat()[i] - mid.flat()[i]);
+  }
+  EXPECT_LT(late_delta, early_delta * 0.5);
+}
+
+TEST_F(TrainerTest, DeterministicGivenSeeds) {
+  auto run = [&]() {
+    nn::ParameterStore store;
+    util::Rng rng(6);
+    DeepSDModel model(Config(), DeepSDModel::Mode::kBasic, &store, &rng);
+    AssemblerSource train(assembler_.get(), train_items_, false);
+    AssemblerSource test(assembler_.get(), test_items_, false);
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.seed = 99;
+    Trainer trainer(tc);
+    return trainer.Train(&model, &store, train, test).final_eval_rmse;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepsd

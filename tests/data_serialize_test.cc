@@ -1,0 +1,84 @@
+#include "src/data/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "tests/test_util.h"
+
+namespace deepsd {
+namespace data {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("deepsd_ds_" + std::to_string(::getpid()) + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesEverything) {
+  OrderDataset original = deepsd::testing::MakeMicroDataset();
+  ASSERT_TRUE(SaveDataset(original, path_).ok());
+
+  OrderDataset loaded;
+  ASSERT_TRUE(LoadDataset(path_, &loaded).ok());
+
+  EXPECT_EQ(loaded.num_areas(), original.num_areas());
+  EXPECT_EQ(loaded.num_days(), original.num_days());
+  EXPECT_EQ(loaded.num_orders(), original.num_orders());
+  EXPECT_EQ(loaded.first_weekday(), original.first_weekday());
+
+  for (int a = 0; a < original.num_areas(); ++a) {
+    for (int d = 0; d < original.num_days(); ++d) {
+      for (int ts = 0; ts < kMinutesPerDay; ts += 7) {
+        ASSERT_EQ(loaded.ValidCount(a, d, ts), original.ValidCount(a, d, ts));
+        ASSERT_EQ(loaded.InvalidCount(a, d, ts),
+                  original.InvalidCount(a, d, ts));
+        ASSERT_EQ(loaded.Gap(a, d, ts), original.Gap(a, d, ts));
+      }
+    }
+  }
+  EXPECT_EQ(loaded.WeatherAt(0, 100).type, original.WeatherAt(0, 100).type);
+  EXPECT_EQ(loaded.TrafficAt(1, 1, 700).level_counts[2],
+            original.TrafficAt(1, 1, 700).level_counts[2]);
+}
+
+TEST_F(SerializeTest, RoundTripOfSimulatedCity) {
+  OrderDataset original = deepsd::testing::MakeSmallCity(3, 3, 77);
+  ASSERT_TRUE(SaveDataset(original, path_).ok());
+  OrderDataset loaded;
+  ASSERT_TRUE(LoadDataset(path_, &loaded).ok());
+  EXPECT_EQ(loaded.num_orders(), original.num_orders());
+  EXPECT_EQ(loaded.Gap(2, 1, 500), original.Gap(2, 1, 500));
+}
+
+TEST_F(SerializeTest, RejectsBadMagic) {
+  std::ofstream(path_) << "not a dataset file at all";
+  OrderDataset ds;
+  EXPECT_FALSE(LoadDataset(path_, &ds).ok());
+}
+
+TEST_F(SerializeTest, RejectsTruncatedFile) {
+  OrderDataset original = deepsd::testing::MakeMicroDataset();
+  ASSERT_TRUE(SaveDataset(original, path_).ok());
+  auto size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, size / 2);
+  OrderDataset ds;
+  EXPECT_FALSE(LoadDataset(path_, &ds).ok());
+}
+
+TEST_F(SerializeTest, MissingFileIsError) {
+  OrderDataset ds;
+  EXPECT_FALSE(LoadDataset("/no/such/file.bin", &ds).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace deepsd

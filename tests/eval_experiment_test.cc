@@ -1,0 +1,104 @@
+#include "src/eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsd {
+namespace eval {
+namespace {
+
+TEST(ScaleTest, EnvVariableSelectsScale) {
+  ::setenv("DEEPSD_BENCH_SCALE", "tiny", 1);
+  EXPECT_EQ(GetScaleFromEnv().name, "tiny");
+  ::setenv("DEEPSD_BENCH_SCALE", "full", 1);
+  EXPECT_EQ(GetScaleFromEnv().name, "full");
+  ::unsetenv("DEEPSD_BENCH_SCALE");
+  EXPECT_EQ(GetScaleFromEnv().name, "default");
+  ::setenv("DEEPSD_BENCH_SCALE", "", 1);
+  EXPECT_EQ(GetScaleFromEnv().name, "default");
+  ::unsetenv("DEEPSD_BENCH_SCALE");
+}
+
+TEST(ScaleTest, PresetsResolve) {
+  ExperimentScale tiny = MakeScale("tiny");
+  EXPECT_EQ(tiny.name, "tiny");
+  EXPECT_LT(tiny.num_areas, MakeScale("default").num_areas);
+  ExperimentScale full = MakeScale("full");
+  EXPECT_EQ(full.num_areas, 58);
+  EXPECT_EQ(full.train_days, 24);
+  EXPECT_EQ(full.test_days, 28);
+  EXPECT_EQ(full.epochs, 50);
+  EXPECT_EQ(full.best_k, 10);
+}
+
+class ExperimentTest : public ::testing::Test {
+ protected:
+  static Experiment& Exp() {
+    static Experiment* exp = new Experiment(MakeScale("tiny"), 2024);
+    return *exp;
+  }
+};
+
+TEST_F(ExperimentTest, DatasetMatchesScale) {
+  const Experiment& exp = Exp();
+  EXPECT_EQ(exp.dataset().num_areas(), exp.scale().num_areas);
+  EXPECT_EQ(exp.dataset().num_days(),
+            exp.scale().train_days + exp.scale().test_days);
+  EXPECT_GT(exp.sim_summary().total_orders, 0u);
+}
+
+TEST_F(ExperimentTest, ItemGridsDisjointAndOrdered) {
+  const Experiment& exp = Exp();
+  for (const auto& item : exp.train_items()) {
+    EXPECT_LT(item.day, exp.train_day_end());
+  }
+  for (const auto& item : exp.test_items()) {
+    EXPECT_GE(item.day, exp.test_day_begin());
+    EXPECT_LT(item.day, exp.test_day_end());
+  }
+  // Test grid: 9 slots per area-day.
+  EXPECT_EQ(exp.test_items().size(),
+            9u * static_cast<size_t>(exp.scale().num_areas) *
+                static_cast<size_t>(exp.scale().test_days));
+}
+
+TEST_F(ExperimentTest, SourcesProduceConsistentFeatures) {
+  const Experiment& exp = Exp();
+  core::AssemblerSource basic = exp.TestSource(false);
+  core::AssemblerSource advanced = exp.TestSource(true);
+  ASSERT_EQ(basic.size(), exp.test_items().size());
+  feature::ModelInput b = basic.Get(0);
+  feature::ModelInput a = advanced.Get(0);
+  EXPECT_TRUE(b.h_sd.empty());
+  EXPECT_FALSE(a.h_sd.empty());
+  EXPECT_EQ(b.area_id, a.area_id);
+  EXPECT_FLOAT_EQ(basic.Target(0), exp.test_items()[0].gap);
+}
+
+TEST_F(ExperimentTest, FlatFeaturesMatchAssemblerDim) {
+  const Experiment& exp = Exp();
+  std::vector<data::PredictionItem> subset(exp.test_items().begin(),
+                                           exp.test_items().begin() + 5);
+  baselines::FeatureMatrix m = exp.FlatFeatures(subset, false);
+  EXPECT_EQ(m.rows, 5);
+  EXPECT_EQ(m.cols, exp.assembler().FlatDim(false));
+}
+
+TEST_F(ExperimentTest, TrainDeepSDEndToEnd) {
+  // Smoke test of the one-call training path used by the benches.
+  const Experiment& exp = Exp();
+  core::DeepSDConfig config = exp.ModelConfig();
+  Experiment::TrainedModel tm =
+      exp.TrainDeepSD(core::DeepSDModel::Mode::kBasic, config, 7);
+  EXPECT_EQ(tm.test_predictions.size(), exp.test_items().size());
+  EXPECT_EQ(tm.result.history.size(),
+            static_cast<size_t>(exp.scale().epochs));
+  // Model beats the constant-zero predictor's RMSE on the simulated data.
+  std::vector<float> zeros(exp.test_items().size(), 0.0f);
+  Metrics zero_m = ComputeMetrics(zeros, exp.TestTargets());
+  Metrics model_m = ComputeMetrics(tm.test_predictions, exp.TestTargets());
+  EXPECT_LT(model_m.rmse, zero_m.rmse);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace deepsd

@@ -1,0 +1,75 @@
+#include "src/eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/eval/table_printer.h"
+
+namespace deepsd {
+namespace eval {
+namespace {
+
+TEST(MetricsTest, KnownValues) {
+  Metrics m = ComputeMetrics({1.0f, 2.0f, 3.0f}, {0.0f, 2.0f, 1.0f});
+  EXPECT_EQ(m.count, 3u);
+  EXPECT_NEAR(m.mae, (1 + 0 + 2) / 3.0, 1e-9);
+  EXPECT_NEAR(m.rmse, std::sqrt((1.0 + 0 + 4) / 3.0), 1e-9);
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  Metrics m = ComputeMetrics({5.0f, 7.0f}, {5.0f, 7.0f});
+  EXPECT_EQ(m.mae, 0.0);
+  EXPECT_EQ(m.rmse, 0.0);
+}
+
+TEST(MetricsTest, EmptyInput) {
+  Metrics m = ComputeMetrics({}, {});
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_EQ(m.mae, 0.0);
+}
+
+TEST(MetricsTest, RmseAtLeastMae) {
+  Metrics m = ComputeMetrics({1.0f, 10.0f, 2.0f}, {0.0f, 0.0f, 0.0f});
+  EXPECT_GE(m.rmse, m.mae);
+}
+
+TEST(MetricsTest, ThresholdedRestrictsByTarget) {
+  std::vector<float> pred = {1.0f, 100.0f, 3.0f};
+  std::vector<float> target = {0.0f, 50.0f, 5.0f};
+  Metrics all = ComputeMetricsThresholded(pred, target, 1e9);
+  EXPECT_EQ(all.count, 3u);
+  Metrics small = ComputeMetricsThresholded(pred, target, 10.0);
+  EXPECT_EQ(small.count, 2u);
+  EXPECT_NEAR(small.mae, (1.0 + 2.0) / 2, 1e-9);
+}
+
+TEST(MetricsTest, ImprovementPercent) {
+  EXPECT_NEAR(ImprovementPercent(13.99, 15.88), 11.9, 0.05);  // the paper's claim
+  EXPECT_EQ(ImprovementPercent(1.0, 0.0), 0.0);
+  EXPECT_LT(ImprovementPercent(2.0, 1.0), 0.0);  // regression is negative
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"Model", "MAE", "RMSE"});
+  table.AddRow("GBDT", {3.72, 15.88});
+  table.AddRow(std::vector<std::string>{"Advanced DeepSD", "3.30", "13.99"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| Model"), std::string::npos);
+  EXPECT_NE(out.find("3.72"), std::string::npos);
+  EXPECT_NE(out.find("Advanced DeepSD"), std::string::npos);
+  // All lines equal width.
+  size_t first_nl = out.find('\n');
+  std::string first_line = out.substr(0, first_nl);
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t nl = out.find('\n', pos);
+    if (nl == std::string::npos) break;
+    EXPECT_EQ(nl - pos, first_line.size());
+    pos = nl + 1;
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace deepsd

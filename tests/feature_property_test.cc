@@ -1,0 +1,157 @@
+// Property-style sweeps: the assembler's vectors must match brute-force
+// recomputations of the paper's Definitions 5-7 at arbitrary (area, day, t)
+// triples of a simulated city.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/feature/feature_assembler.h"
+#include "tests/test_util.h"
+
+namespace deepsd {
+namespace feature {
+namespace {
+
+constexpr int kL = 20;
+
+struct Query {
+  int area;
+  int day;
+  int t;
+};
+
+class VectorDefinitionTest : public ::testing::TestWithParam<Query> {
+ protected:
+  static const data::OrderDataset& Dataset() {
+    static const data::OrderDataset* ds =
+        new data::OrderDataset(deepsd::testing::MakeSmallCity(5, 9, 5150));
+    return *ds;
+  }
+};
+
+TEST_P(VectorDefinitionTest, SupplyDemandMatchesBruteForce) {
+  const Query q = GetParam();
+  const data::OrderDataset& ds = Dataset();
+  std::vector<float> v = SupplyDemandVector(ds, q.area, q.day, q.t, kL);
+
+  // Brute force straight from the raw order list.
+  std::vector<float> expected(2 * kL, 0.0f);
+  for (const data::Order& o : ds.orders()) {
+    if (o.start_area != q.area || o.day != q.day) continue;
+    int l = q.t - o.ts;
+    if (l < 1 || l > kL) continue;
+    expected[static_cast<size_t>(o.valid ? l - 1 : kL + l - 1)] += 1.0f;
+  }
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(VectorDefinitionTest, LastCallMatchesBruteForce) {
+  const Query q = GetParam();
+  const data::OrderDataset& ds = Dataset();
+  std::vector<float> v = LastCallVector(ds, q.area, q.day, q.t, kL);
+
+  std::map<int, const data::Order*> last;  // pid → last order in window
+  for (const data::Order& o : ds.orders()) {
+    if (o.start_area != q.area || o.day != q.day) continue;
+    if (o.ts < q.t - kL || o.ts >= q.t) continue;
+    auto [it, inserted] = last.emplace(o.passenger_id, &o);
+    if (!inserted && o.ts > it->second->ts) it->second = &o;
+  }
+  std::vector<float> expected(2 * kL, 0.0f);
+  for (auto& [pid, o] : last) {
+    int l = q.t - o->ts;
+    expected[static_cast<size_t>(o->valid ? l - 1 : kL + l - 1)] += 1.0f;
+  }
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(VectorDefinitionTest, WaitingTimeMatchesBruteForce) {
+  const Query q = GetParam();
+  const data::OrderDataset& ds = Dataset();
+  std::vector<float> v = WaitingTimeVector(ds, q.area, q.day, q.t, kL);
+
+  struct Episode {
+    int first = -1, last = -1;
+    bool last_valid = false;
+  };
+  std::map<int, Episode> episodes;
+  for (const data::Order& o : ds.orders()) {
+    if (o.start_area != q.area || o.day != q.day) continue;
+    if (o.ts < q.t - kL || o.ts >= q.t) continue;
+    Episode& e = episodes[o.passenger_id];
+    if (e.first < 0 || o.ts < e.first) e.first = o.ts;
+    if (o.ts > e.last) {
+      e.last = o.ts;
+      e.last_valid = o.valid;
+    }
+  }
+  std::vector<float> expected(2 * kL, 0.0f);
+  for (auto& [pid, e] : episodes) {
+    int wait = e.last - e.first;
+    expected[static_cast<size_t>(e.last_valid ? wait : kL + wait)] += 1.0f;
+  }
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(VectorDefinitionTest, GapMatchesBruteForce) {
+  const Query q = GetParam();
+  const data::OrderDataset& ds = Dataset();
+  int expected = 0;
+  for (const data::Order& o : ds.orders()) {
+    if (o.start_area == q.area && o.day == q.day && !o.valid &&
+        o.ts >= q.t && o.ts < q.t + data::kGapWindow) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(ds.Gap(q.area, q.day, q.t), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VectorDefinitionTest,
+    ::testing::Values(Query{0, 0, 30}, Query{0, 2, 500}, Query{1, 4, 520},
+                      Query{2, 1, 720}, Query{3, 3, 1145}, Query{4, 5, 1290},
+                      Query{0, 8, 1430}, Query{2, 6, 20}, Query{1, 7, 999},
+                      Query{4, 8, 450}),
+    [](const ::testing::TestParamInfo<Query>& info) {
+      return "a" + std::to_string(info.param.area) + "_d" +
+             std::to_string(info.param.day) + "_t" +
+             std::to_string(info.param.t);
+    });
+
+// The empirical vector identity: with uniform weights p = 1/7, the network's
+// E = Σ p(w)·H(w) equals the plain average of the per-weekday historicals.
+TEST(EmpiricalVectorTest, UniformWeightsGiveGlobalAverage) {
+  data::OrderDataset ds = deepsd::testing::MakeSmallCity(3, 14, 808);
+  FeatureConfig fc;
+  fc.normalize = false;
+  FeatureAssembler assembler(&ds, fc, 0, 14);
+
+  const int area = 1, t = 600;
+  std::vector<float> combined(2 * fc.window, 0.0f);
+  double total_weight = 0;
+  for (int w = 0; w < 7; ++w) {
+    int n = assembler.RefDayCount(w);
+    if (n == 0) continue;
+    std::vector<float> h = assembler.HistoricalSd(area, w, t);
+    // Weight by day counts to reconstruct the all-days average.
+    for (size_t k = 0; k < h.size(); ++k) combined[k] += h[k] * n;
+    total_weight += n;
+  }
+  for (float& x : combined) x /= static_cast<float>(total_weight);
+
+  std::vector<float> direct(2 * fc.window, 0.0f);
+  for (int d = 0; d < 14; ++d) {
+    std::vector<float> v = SupplyDemandVector(ds, area, d, t, fc.window);
+    for (size_t k = 0; k < v.size(); ++k) direct[k] += v[k];
+  }
+  for (float& x : direct) x /= 14.0f;
+
+  for (size_t k = 0; k < direct.size(); ++k) {
+    EXPECT_NEAR(combined[k], direct[k], 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace feature
+}  // namespace deepsd

@@ -1,0 +1,132 @@
+#include "src/feature/vectors.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace deepsd {
+namespace feature {
+namespace {
+
+constexpr int kL = 20;
+
+class VectorsTest : public ::testing::Test {
+ protected:
+  data::OrderDataset ds_ = deepsd::testing::MakeMicroDataset();
+};
+
+TEST_F(VectorsTest, SupplyDemandVectorMatchesDefinition) {
+  // Window [90, 110) for t=110: dimension l-1 ↔ minute 110-l.
+  std::vector<float> v = SupplyDemandVector(ds_, 0, 0, 110, kL);
+  ASSERT_EQ(v.size(), 2u * kL);
+  // Valid orders: ts=100 (pid 101), ts=101 (pid 102), ts=105 (pid 100).
+  EXPECT_FLOAT_EQ(v[110 - 100 - 1], 1.0f);  // l=10 → index 9
+  EXPECT_FLOAT_EQ(v[110 - 101 - 1], 1.0f);
+  EXPECT_FLOAT_EQ(v[110 - 105 - 1], 1.0f);
+  // Invalid: ts=100 (pid 100), 102 (pid 100), 103 (pid 103).
+  EXPECT_FLOAT_EQ(v[kL + 110 - 100 - 1], 1.0f);
+  EXPECT_FLOAT_EQ(v[kL + 110 - 102 - 1], 1.0f);
+  EXPECT_FLOAT_EQ(v[kL + 110 - 103 - 1], 1.0f);
+
+  // Totals match range counts.
+  float valid_sum = 0, invalid_sum = 0;
+  for (int i = 0; i < kL; ++i) {
+    valid_sum += v[static_cast<size_t>(i)];
+    invalid_sum += v[static_cast<size_t>(kL + i)];
+  }
+  EXPECT_FLOAT_EQ(valid_sum, ds_.ValidInRange(0, 0, 90, 110));
+  EXPECT_FLOAT_EQ(invalid_sum, ds_.InvalidInRange(0, 0, 90, 110));
+}
+
+TEST_F(VectorsTest, SupplyDemandVectorClampsAtDayStart) {
+  std::vector<float> v = SupplyDemandVector(ds_, 0, 0, 5, kL);
+  ASSERT_EQ(v.size(), 2u * kL);
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST_F(VectorsTest, LastCallKeepsOnlyLastOrderPerPassenger) {
+  // Window [90, 110) at t=110. Passenger 100 called at 100, 102, 105 — only
+  // the last call (105, valid) counts.
+  std::vector<float> v = LastCallVector(ds_, 0, 0, 110, kL);
+  // Valid side: pid 100 at 105 (l=5), pid 101 at 100 (l=10), pid 102 at 101.
+  EXPECT_FLOAT_EQ(v[5 - 1], 1.0f);
+  EXPECT_FLOAT_EQ(v[10 - 1], 1.0f);
+  EXPECT_FLOAT_EQ(v[9 - 1], 1.0f);
+  // pid 100's earlier failed calls contribute nothing to the invalid side
+  // at l=10 or l=8.
+  EXPECT_FLOAT_EQ(v[kL + 10 - 1], 0.0f);
+  EXPECT_FLOAT_EQ(v[kL + 8 - 1], 0.0f);
+  // Invalid side: pid 103 at 103 (l=7).
+  EXPECT_FLOAT_EQ(v[kL + 7 - 1], 1.0f);
+
+  float total = 0;
+  for (float x : v) total += x;
+  EXPECT_FLOAT_EQ(total, 4.0f);  // 4 unique passengers in the window
+}
+
+TEST_F(VectorsTest, LastCallWindowBoundaryExcludesT) {
+  // At t=105, the order at ts=105 is outside [85, 105); pid 100's last call
+  // inside is 102 (invalid).
+  std::vector<float> v = LastCallVector(ds_, 0, 0, 105, kL);
+  EXPECT_FLOAT_EQ(v[kL + 3 - 1], 1.0f);  // 105-102=3, invalid side
+}
+
+TEST_F(VectorsTest, WaitingTimeMeasuresFirstToLastCall) {
+  // Window [90, 110): pid 100 first 100 last 105 → wait 5, got ride.
+  std::vector<float> v = WaitingTimeVector(ds_, 0, 0, 110, kL);
+  EXPECT_FLOAT_EQ(v[5], 1.0f);  // wait 5 → index 5 (valid side)
+  // Single-call passengers: wait 0. pids 101, 102 valid → index 0 has 2.
+  EXPECT_FLOAT_EQ(v[0], 2.0f);
+  // pid 103 failed, wait 0 → invalid side index kL+0.
+  EXPECT_FLOAT_EQ(v[kL + 0], 1.0f);
+
+  float total = 0;
+  for (float x : v) total += x;
+  EXPECT_FLOAT_EQ(total, 4.0f);
+}
+
+TEST_F(VectorsTest, VectorsEmptyOutsideWindow) {
+  std::vector<float> v = LastCallVector(ds_, 0, 0, 600, kL);
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+  v = WaitingTimeVector(ds_, 1, 2, 400, kL);
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST_F(VectorsTest, ConservationAcrossVectorFamilies) {
+  // On a simulated city: Σ last-call = #unique passengers = Σ waiting-time,
+  // and Σ V_sd = #orders in window.
+  data::OrderDataset city = deepsd::testing::MakeSmallCity(4, 3, 99);
+  for (int a = 0; a < city.num_areas(); ++a) {
+    for (int t : {300, 520, 1140}) {
+      std::vector<float> sd = SupplyDemandVector(city, a, 1, t, kL);
+      std::vector<float> lc = LastCallVector(city, a, 1, t, kL);
+      std::vector<float> wt = WaitingTimeVector(city, a, 1, t, kL);
+      double sd_sum = 0, lc_sum = 0, wt_sum = 0;
+      for (float x : sd) sd_sum += x;
+      for (float x : lc) lc_sum += x;
+      for (float x : wt) wt_sum += x;
+      EXPECT_DOUBLE_EQ(lc_sum, wt_sum);
+      EXPECT_LE(lc_sum, sd_sum);  // unique passengers <= orders
+      EXPECT_DOUBLE_EQ(sd_sum, city.ValidInRange(a, 1, t - kL, t) +
+                                   city.InvalidInRange(a, 1, t - kL, t));
+    }
+  }
+}
+
+TEST_F(VectorsTest, DemandCurveMatchesCounts) {
+  std::vector<double> curve = DemandCurve(ds_, 0, 0);
+  ASSERT_EQ(curve.size(), static_cast<size_t>(data::kMinutesPerDay));
+  EXPECT_EQ(curve[100], 2.0);  // pid 100 invalid + pid 101 valid
+  EXPECT_EQ(curve[105], 1.0);
+  EXPECT_EQ(curve[700], 0.0);
+}
+
+TEST_F(VectorsTest, GapCurveStrideAndLength) {
+  std::vector<double> curve = GapCurve(ds_, 0, 0, 10);
+  ASSERT_EQ(curve.size(), static_cast<size_t>((1440 - 10) / 10) + 1);
+  EXPECT_EQ(curve[10], 3.0);  // t=100
+}
+
+}  // namespace
+}  // namespace feature
+}  // namespace deepsd

@@ -1,0 +1,121 @@
+#include "src/nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/grad_check.h"
+
+namespace deepsd {
+namespace nn {
+namespace {
+
+TEST(LinearTest, ShapesAndSharedParameters) {
+  ParameterStore store;
+  util::Rng rng(1);
+  Linear fc(&store, "fc", 4, 8, &rng);
+  EXPECT_EQ(fc.in_dim(), 4);
+  EXPECT_EQ(fc.out_dim(), 8);
+  EXPECT_EQ(store.parameters().size(), 2u);
+
+  // Re-creating by the same name binds to the same parameters.
+  Linear fc2(&store, "fc", 4, 8, &rng);
+  EXPECT_EQ(store.parameters().size(), 2u);
+  EXPECT_EQ(fc.weight(), fc2.weight());
+}
+
+TEST(LinearTest, ForwardMatchesManualCompute) {
+  ParameterStore store;
+  util::Rng rng(2);
+  Linear fc(&store, "fc", 2, 1, &rng);
+  fc.weight()->value.at(0, 0) = 2.0f;
+  fc.weight()->value.at(1, 0) = -1.0f;
+  fc.bias()->value.at(0, 0) = 0.5f;
+  Graph g;
+  NodeId y = fc.Apply(&g, g.Input(Tensor::Row({3.0f, 4.0f})));
+  EXPECT_FLOAT_EQ(g.value(y).at(0, 0), 2 * 3 - 4 + 0.5f);
+}
+
+TEST(LinearTest, GradientCheckThroughTwoLayers) {
+  ParameterStore store;
+  util::Rng rng(3);
+  Linear fc1(&store, "fc1", 3, 5, &rng);
+  Linear fc2(&store, "fc2", 5, 1, &rng);
+  Tensor x(4, 3);
+  util::Rng data_rng(5);
+  for (float& v : x.flat()) v = static_cast<float>(data_rng.Uniform(-1, 1));
+  Tensor target(4, 1);
+  target.Fill(0.7f);
+
+  auto loss_fn = [&]() {
+    Graph g;
+    NodeId h = g.LeakyRelu(fc1.Apply(&g, g.Input(x)), 0.001f);
+    NodeId out = fc2.Apply(&g, h);
+    NodeId loss = g.MseLoss(out, target);
+    g.Backward(loss);
+    return static_cast<double>(g.value(loss).at(0, 0));
+  };
+  GradCheckResult result = CheckGradients(&store, loss_fn, 1e-2, 10);
+  EXPECT_LT(result.max_rel_error, 5e-2) << result.worst_param;
+}
+
+TEST(EmbeddingTest, LookupAndDistance) {
+  ParameterStore store;
+  util::Rng rng(4);
+  Embedding emb(&store, "areas", 10, 4, &rng);
+  EXPECT_EQ(emb.vocab(), 10);
+  EXPECT_EQ(emb.dim(), 4);
+  std::vector<float> v3 = emb.Lookup(3);
+  ASSERT_EQ(v3.size(), 4u);
+  EXPECT_DOUBLE_EQ(emb.Distance(3, 3), 0.0);
+  EXPECT_GT(emb.Distance(3, 4), 0.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(emb.Distance(2, 7), emb.Distance(7, 2));
+  // Triangle inequality (sampled).
+  EXPECT_LE(emb.Distance(0, 2), emb.Distance(0, 1) + emb.Distance(1, 2) + 1e-9);
+}
+
+TEST(EmbeddingTest, ApplyGathersAndTrains) {
+  ParameterStore store;
+  util::Rng rng(6);
+  Embedding emb(&store, "e", 5, 2, &rng);
+  Graph g;
+  NodeId out = emb.Apply(&g, {1, 1, 4});
+  Tensor target(3, 2);
+  target.Fill(1.0f);
+  NodeId loss = g.MseLoss(out, target);
+  store.ZeroGrads();
+  g.Backward(loss);
+  // Row 1 used twice → gradient magnitude twice row 4's (same target pull
+  // direction for a fresh embedding is not guaranteed, so compare norms of
+  // accumulated slots via the two-use identity).
+  Parameter* table = emb.table();
+  double row1 = 0, row4 = 0, row0 = 0;
+  for (int c = 0; c < 2; ++c) {
+    row1 += std::abs(table->grad.at(1, c));
+    row4 += std::abs(table->grad.at(4, c));
+    row0 += std::abs(table->grad.at(0, c));
+  }
+  EXPECT_GT(row1, 0.0);
+  EXPECT_GT(row4, 0.0);
+  EXPECT_EQ(row0, 0.0);  // unused id gets no gradient
+}
+
+TEST(OneHotTest, ProducesIdentityRows) {
+  OneHot onehot(4);
+  Graph g;
+  NodeId out = onehot.Apply(&g, {2, 0});
+  const Tensor& v = g.value(out);
+  ASSERT_EQ(v.rows(), 2);
+  ASSERT_EQ(v.cols(), 4);
+  EXPECT_FLOAT_EQ(v.at(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(v.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(v.at(1, 0), 1.0f);
+  float sum = 0;
+  for (float x : v.flat()) sum += x;
+  EXPECT_FLOAT_EQ(sum, 2.0f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepsd

@@ -1,0 +1,152 @@
+#include "src/nn/parameter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+namespace deepsd {
+namespace nn {
+namespace {
+
+TEST(ParameterStoreTest, CreateFindAndReuse) {
+  ParameterStore store;
+  util::Rng rng(1);
+  Parameter* p = store.Create("a", 2, 3, Init::kGlorotUniform, &rng);
+  EXPECT_EQ(p->value.rows(), 2);
+  EXPECT_EQ(p->value.cols(), 3);
+  EXPECT_EQ(store.Find("a"), p);
+  EXPECT_EQ(store.Find("missing"), nullptr);
+  // Same name + shape → same parameter, values untouched.
+  float before = p->value.at(0, 0);
+  Parameter* q = store.Create("a", 2, 3, Init::kGlorotUniform, &rng);
+  EXPECT_EQ(p, q);
+  EXPECT_FLOAT_EQ(p->value.at(0, 0), before);
+  EXPECT_EQ(store.NumWeights(), 6u);
+}
+
+TEST(ParameterStoreTest, InitializersBehave) {
+  util::Rng rng(2);
+  Tensor z(3, 3);
+  InitTensor(&z, Init::kZero, &rng);
+  EXPECT_DOUBLE_EQ(z.SquaredNorm(), 0.0);
+
+  Tensor g(50, 50);
+  InitTensor(&g, Init::kGlorotUniform, &rng);
+  double limit = std::sqrt(6.0 / 100);
+  for (float v : g.flat()) {
+    EXPECT_LE(std::abs(v), limit + 1e-6);
+  }
+  EXPECT_GT(g.SquaredNorm(), 0.0);
+
+  Tensor e(10, 10);
+  InitTensor(&e, Init::kEmbedding, &rng);
+  for (float v : e.flat()) EXPECT_LE(std::abs(v), 0.05f + 1e-6f);
+}
+
+TEST(ParameterStoreTest, ZeroGrads) {
+  ParameterStore store;
+  util::Rng rng(3);
+  Parameter* p = store.Create("a", 2, 2, Init::kGlorotUniform, &rng);
+  p->grad.Fill(3.0f);
+  store.ZeroGrads();
+  EXPECT_DOUBLE_EQ(p->grad.SquaredNorm(), 0.0);
+}
+
+TEST(ParameterStoreTest, SetFrozenByPrefix) {
+  ParameterStore store;
+  util::Rng rng(4);
+  store.Create("weather.fc1.w", 1, 1, Init::kZero, &rng);
+  store.Create("weather.fc2.w", 1, 1, Init::kZero, &rng);
+  store.Create("traffic.fc1.w", 1, 1, Init::kZero, &rng);
+  store.SetFrozen("weather.", true);
+  EXPECT_TRUE(store.Find("weather.fc1.w")->frozen);
+  EXPECT_TRUE(store.Find("weather.fc2.w")->frozen);
+  EXPECT_FALSE(store.Find("traffic.fc1.w")->frozen);
+}
+
+TEST(ParameterStoreTest, SaveLoadRoundTrip) {
+  auto path = (std::filesystem::temp_directory_path() /
+               ("deepsd_params_" + std::to_string(::getpid()) + ".bin"))
+                  .string();
+  ParameterStore store;
+  util::Rng rng(5);
+  Parameter* a = store.Create("a", 3, 4, Init::kGlorotUniform, &rng);
+  Parameter* b = store.Create("b", 1, 2, Init::kGlorotUniform, &rng);
+  Tensor a_vals = a->value, b_vals = b->value;
+  ASSERT_TRUE(store.Save(path).ok());
+
+  // Perturb, then load back.
+  a->value.Fill(0.0f);
+  b->value.Fill(0.0f);
+  int loaded = 0;
+  ASSERT_TRUE(store.Load(path, &loaded).ok());
+  EXPECT_EQ(loaded, 2);
+  for (size_t i = 0; i < a_vals.size(); ++i) {
+    EXPECT_FLOAT_EQ(a->value.flat()[i], a_vals.flat()[i]);
+  }
+  for (size_t i = 0; i < b_vals.size(); ++i) {
+    EXPECT_FLOAT_EQ(b->value.flat()[i], b_vals.flat()[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ParameterStoreTest, LoadIgnoresUnknownAndMismatched) {
+  auto path = (std::filesystem::temp_directory_path() /
+               ("deepsd_params2_" + std::to_string(::getpid()) + ".bin"))
+                  .string();
+  ParameterStore writer;
+  util::Rng rng(6);
+  writer.Create("shared", 2, 2, Init::kGlorotUniform, &rng);
+  writer.Create("only_in_file", 1, 1, Init::kGlorotUniform, &rng);
+  ASSERT_TRUE(writer.Save(path).ok());
+
+  ParameterStore reader;
+  reader.Create("shared", 2, 2, Init::kZero, &rng);
+  reader.Create("wrong_shape", 3, 3, Init::kZero, &rng);
+  int loaded = 0;
+  ASSERT_TRUE(reader.Load(path, &loaded).ok());
+  EXPECT_EQ(loaded, 1);
+  std::filesystem::remove(path);
+}
+
+TEST(ParameterStoreTest, CloneIsDeepCopy) {
+  ParameterStore store;
+  util::Rng rng(7);
+  Parameter* p = store.Create("a", 1, 1, Init::kGlorotUniform, &rng);
+  p->value.at(0, 0) = 42.0f;
+  auto clone = store.Clone();
+  clone->Find("a")->value.at(0, 0) = 0.0f;
+  EXPECT_FLOAT_EQ(p->value.at(0, 0), 42.0f);
+}
+
+TEST(ParameterStoreTest, CopyFromMatchesByNameAndShape) {
+  util::Rng rng(8);
+  ParameterStore src, dst;
+  src.Create("a", 1, 2, Init::kGlorotUniform, &rng)->value.Fill(7.0f);
+  src.Create("b", 2, 2, Init::kGlorotUniform, &rng);
+  dst.Create("a", 1, 2, Init::kZero, &rng);
+  dst.Create("b", 3, 3, Init::kZero, &rng);  // shape mismatch
+  dst.Create("c", 1, 1, Init::kZero, &rng);  // absent in src
+  EXPECT_EQ(dst.CopyFrom(src), 1);
+  EXPECT_FLOAT_EQ(dst.Find("a")->value.at(0, 1), 7.0f);
+}
+
+TEST(ParameterStoreTest, AverageFrom) {
+  util::Rng rng(9);
+  ParameterStore base;
+  base.Create("w", 1, 2, Init::kZero, &rng);
+  auto s1 = base.Clone();
+  auto s2 = base.Clone();
+  s1->Find("w")->value.at(0, 0) = 2.0f;
+  s1->Find("w")->value.at(0, 1) = 4.0f;
+  s2->Find("w")->value.at(0, 0) = 6.0f;
+  s2->Find("w")->value.at(0, 1) = 0.0f;
+  base.AverageFrom({s1.get(), s2.get()});
+  EXPECT_FLOAT_EQ(base.Find("w")->value.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(base.Find("w")->value.at(0, 1), 2.0f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepsd

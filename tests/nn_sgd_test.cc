@@ -1,0 +1,111 @@
+#include "src/nn/sgd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/graph.h"
+
+namespace deepsd {
+namespace nn {
+namespace {
+
+TEST(SgdTest, MinimizesQuadratic) {
+  ParameterStore store;
+  util::Rng rng(1);
+  Parameter* w = store.Create("w", 1, 2, Init::kGlorotUniform, &rng);
+  const float c[2] = {2.0f, -1.0f};
+  Sgd sgd({.learning_rate = 0.05f, .momentum = 0.9f});
+  for (int step = 0; step < 500; ++step) {
+    store.ZeroGrads();
+    for (int i = 0; i < 2; ++i) {
+      w->grad.at(0, i) = 2.0f * (w->value.at(0, i) - c[i]);
+    }
+    sgd.Step(&store);
+  }
+  EXPECT_NEAR(w->value.at(0, 0), 2.0f, 1e-3);
+  EXPECT_NEAR(w->value.at(0, 1), -1.0f, 1e-3);
+}
+
+TEST(SgdTest, MomentumAcceleratesOverPlainSgd) {
+  // On an ill-conditioned quadratic, momentum reaches the optimum sooner.
+  auto run = [](float momentum) {
+    ParameterStore store;
+    util::Rng rng(2);
+    Parameter* w = store.Create("w", 1, 2, Init::kZero, &rng);
+    w->value.at(0, 0) = 5.0f;
+    w->value.at(0, 1) = 5.0f;
+    Sgd sgd({.learning_rate = 0.02f, .momentum = momentum, .clip_norm = 0});
+    for (int step = 0; step < 200; ++step) {
+      store.ZeroGrads();
+      w->grad.at(0, 0) = 2.0f * w->value.at(0, 0);
+      w->grad.at(0, 1) = 0.1f * 2.0f * w->value.at(0, 1);  // shallow axis
+      sgd.Step(&store);
+    }
+    return std::abs(w->value.at(0, 1));
+  };
+  EXPECT_LT(run(0.9f), run(0.0f));
+}
+
+TEST(SgdTest, FrozenParametersSkipped) {
+  ParameterStore store;
+  util::Rng rng(3);
+  Parameter* p = store.Create("a", 1, 1, Init::kZero, &rng);
+  p->frozen = true;
+  Sgd sgd;
+  store.ZeroGrads();
+  p->grad.at(0, 0) = 1.0f;
+  sgd.Step(&store);
+  EXPECT_FLOAT_EQ(p->value.at(0, 0), 0.0f);
+}
+
+TEST(SgdTest, StepReturnsGradNorm) {
+  ParameterStore store;
+  util::Rng rng(4);
+  Parameter* w = store.Create("w", 1, 2, Init::kZero, &rng);
+  Sgd sgd;
+  store.ZeroGrads();
+  w->grad.at(0, 0) = 6.0f;
+  w->grad.at(0, 1) = 8.0f;
+  EXPECT_NEAR(sgd.Step(&store), 10.0, 1e-6);
+}
+
+TEST(SgdTest, ClipBoundsStep) {
+  ParameterStore store;
+  util::Rng rng(5);
+  Parameter* w = store.Create("w", 1, 1, Init::kZero, &rng);
+  Sgd sgd({.learning_rate = 0.1f, .momentum = 0.0f, .clip_norm = 1.0f});
+  store.ZeroGrads();
+  w->grad.at(0, 0) = 1e6f;
+  sgd.Step(&store);
+  EXPECT_NEAR(w->value.at(0, 0), -0.1f, 1e-5);  // lr × clipped unit grad
+}
+
+TEST(SgdTest, TrainsLinearModelThroughGraph) {
+  ParameterStore store;
+  util::Rng rng(6);
+  Parameter* w = store.Create("w", 1, 1, Init::kGlorotUniform, &rng);
+  Parameter* b = store.Create("b", 1, 1, Init::kZero, &rng);
+  Sgd sgd({.learning_rate = 0.02f});
+  util::Rng data_rng(7);
+  for (int step = 0; step < 2000; ++step) {
+    Tensor x(8, 1), target(8, 1);
+    for (int i = 0; i < 8; ++i) {
+      float xv = static_cast<float>(data_rng.Uniform(-1, 1));
+      x.at(i, 0) = xv;
+      target.at(i, 0) = -1.5f * xv + 0.5f;
+    }
+    Graph g;
+    NodeId pred = g.AddBias(g.MatMul(g.Input(x), g.Param(w)), g.Param(b));
+    NodeId loss = g.MseLoss(pred, target);
+    store.ZeroGrads();
+    g.Backward(loss);
+    sgd.Step(&store);
+  }
+  EXPECT_NEAR(w->value.at(0, 0), -1.5f, 0.05f);
+  EXPECT_NEAR(b->value.at(0, 0), 0.5f, 0.05f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepsd

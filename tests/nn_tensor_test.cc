@@ -1,0 +1,96 @@
+#include "src/nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsd {
+namespace nn {
+namespace {
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6u);
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t.row(1)[2], 5.0f);
+}
+
+TEST(TensorTest, RowFactory) {
+  Tensor t = Tensor::Row({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rows(), 1);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_FLOAT_EQ(t.at(0, 1), 2.0f);
+}
+
+TEST(TensorTest, FillAndNorm) {
+  Tensor t(2, 2);
+  t.Fill(2.0f);
+  EXPECT_DOUBLE_EQ(t.SquaredNorm(), 16.0);
+  t.Zero();
+  EXPECT_DOUBLE_EQ(t.SquaredNorm(), 0.0);
+}
+
+TEST(TensorTest, MatMulKnownValues) {
+  Tensor a(2, 3), b(3, 2), out;
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  MatMul(a, b, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 154);
+}
+
+TEST(TensorTest, MatMulAccumulate) {
+  Tensor a(1, 1), b(1, 1), out(1, 1);
+  a.at(0, 0) = 2;
+  b.at(0, 0) = 3;
+  out.at(0, 0) = 10;
+  MatMul(a, b, &out, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 16);
+  MatMul(a, b, &out, /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 6);
+}
+
+TEST(TensorTest, MatMulTransposeAMatchesExplicit) {
+  // a:[2,3], b:[2,2] → aᵀb:[3,2].
+  Tensor a(2, 3), b(2, 2), out(3, 2);
+  for (int i = 0; i < 6; ++i) a.flat()[static_cast<size_t>(i)] = i + 1;
+  for (int i = 0; i < 4; ++i) b.flat()[static_cast<size_t>(i)] = i + 1;
+  MatMulTransposeA(a, b, &out);
+  // aᵀ = [[1,4],[2,5],[3,6]]; aᵀb = [[13,18],[17,24],[21,30]].
+  EXPECT_FLOAT_EQ(out.at(0, 0), 13);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 24);
+  EXPECT_FLOAT_EQ(out.at(2, 0), 21);
+}
+
+TEST(TensorTest, MatMulTransposeBMatchesExplicit) {
+  // a:[2,3], b:[2,3] → abᵀ:[2,2].
+  Tensor a(2, 3), b(2, 3), out(2, 2);
+  for (int i = 0; i < 6; ++i) a.flat()[static_cast<size_t>(i)] = i + 1;
+  for (int i = 0; i < 6; ++i) b.flat()[static_cast<size_t>(i)] = 7 - i;
+  MatMulTransposeB(a, b, &out);
+  // b rows: [7,6,5], [4,3,2]; a rows: [1,2,3],[4,5,6].
+  EXPECT_FLOAT_EQ(out.at(0, 0), 1 * 7 + 2 * 6 + 3 * 5);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 1 * 4 + 2 * 3 + 3 * 2);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 4 * 7 + 5 * 6 + 6 * 5);
+}
+
+TEST(TensorTest, TransposedVariantsAccumulate) {
+  Tensor a(1, 1), b(1, 1), out(1, 1);
+  a.at(0, 0) = 2;
+  b.at(0, 0) = 3;
+  out.at(0, 0) = 1;
+  MatMulTransposeA(a, b, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 7);
+  MatMulTransposeB(a, b, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 13);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepsd

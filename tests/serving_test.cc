@@ -1,0 +1,188 @@
+#include "src/serving/online_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace deepsd {
+namespace serving {
+namespace {
+
+constexpr int kL = 20;
+
+class ServingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = deepsd::testing::MakeSmallCity(4, 12, 616);
+    feature::FeatureConfig fc;
+    assembler_ = std::make_unique<feature::FeatureAssembler>(&ds_, fc, 0, 10);
+  }
+
+  /// Replays everything the dataset knows about [t-L, t) of `day` into the
+  /// buffer, mimicking a live feed.
+  void Replay(OrderStreamBuffer* buffer, int day, int t) const {
+    buffer->AdvanceTo(day, t > kL ? t - kL : 0);
+    for (int ts = std::max(t - kL, 0); ts < t; ++ts) {
+      for (int a = 0; a < ds_.num_areas(); ++a) {
+        for (const data::Order& o : ds_.OrdersAt(a, day, ts)) {
+          buffer->AddOrder(o);
+        }
+        data::TrafficRecord tr = ds_.TrafficAt(a, day, ts);
+        tr.area = a;
+        tr.day = day;
+        tr.ts = ts;
+        buffer->AddTraffic(tr);
+      }
+      data::WeatherRecord w = ds_.WeatherAt(day, ts);
+      w.day = day;
+      w.ts = ts;
+      buffer->AddWeather(w);
+    }
+    buffer->AdvanceTo(day, t);
+  }
+
+  data::OrderDataset ds_;
+  std::unique_ptr<feature::FeatureAssembler> assembler_;
+};
+
+TEST_F(ServingTest, BufferVectorsMatchOfflineDefinitions) {
+  OrderStreamBuffer buffer(ds_.num_areas(), kL);
+  const int day = 11, t = 900;
+  Replay(&buffer, day, t);
+  for (int a = 0; a < ds_.num_areas(); ++a) {
+    EXPECT_EQ(buffer.SupplyDemandVector(a),
+              feature::SupplyDemandVector(ds_, a, day, t, kL))
+        << "area " << a;
+    EXPECT_EQ(buffer.LastCallVector(a),
+              feature::LastCallVector(ds_, a, day, t, kL));
+    EXPECT_EQ(buffer.WaitingTimeVector(a),
+              feature::WaitingTimeVector(ds_, a, day, t, kL));
+  }
+}
+
+TEST_F(ServingTest, EvictionDropsExpiredCalls) {
+  OrderStreamBuffer buffer(1, 5);
+  data::Order o;
+  o.day = 0;
+  o.ts = 100;
+  o.passenger_id = 1;
+  o.start_area = 0;
+  buffer.AdvanceTo(0, 100);
+  buffer.AddOrder(o);
+  buffer.AdvanceTo(0, 103);
+  EXPECT_EQ(buffer.buffered_orders(), 1u);
+  float sum = 0;
+  for (float v : buffer.SupplyDemandVector(0)) sum += v;
+  EXPECT_EQ(sum, 1.0f);
+  buffer.AdvanceTo(0, 106);  // order now 6 minutes old, window 5
+  EXPECT_EQ(buffer.buffered_orders(), 0u);
+}
+
+TEST_F(ServingTest, ClockNeverMovesBackward) {
+  OrderStreamBuffer buffer(1, 5);
+  buffer.AdvanceTo(2, 100);
+  buffer.AdvanceTo(1, 500);  // ignored
+  EXPECT_EQ(buffer.day(), 2);
+  EXPECT_EQ(buffer.minute(), 100);
+}
+
+TEST_F(ServingTest, OutOfOrderArrivalsHandled) {
+  OrderStreamBuffer buffer(1, 10);
+  buffer.AdvanceTo(0, 100);
+  data::Order a, b;
+  a.day = b.day = 0;
+  a.ts = 95;
+  b.ts = 93;  // arrives after a but is older
+  a.passenger_id = 1;
+  b.passenger_id = 2;
+  a.valid = b.valid = true;
+  buffer.AddOrder(a);
+  buffer.AddOrder(b);
+  std::vector<float> v = buffer.SupplyDemandVector(0);
+  EXPECT_EQ(v[100 - 95 - 1], 1.0f);
+  EXPECT_EQ(v[100 - 93 - 1], 1.0f);
+}
+
+TEST_F(ServingTest, TooOldEventsIgnoredOnArrival) {
+  OrderStreamBuffer buffer(1, 5);
+  buffer.AdvanceTo(0, 100);
+  data::Order o;
+  o.day = 0;
+  o.ts = 50;
+  buffer.AddOrder(o);
+  EXPECT_EQ(buffer.buffered_orders(), 0u);
+}
+
+TEST_F(ServingTest, LivePredictionsMatchOfflineBasic) {
+  nn::ParameterStore store;
+  util::Rng rng(1);
+  core::DeepSDConfig config;
+  config.num_areas = ds_.num_areas();
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kBasic, &store,
+                          &rng);
+
+  OnlinePredictor predictor(&model, assembler_.get());
+  const int day = 11, t = 700;
+  Replay(&predictor.buffer(), day, t);
+
+  std::vector<float> live = predictor.PredictAll();
+  std::vector<feature::ModelInput> offline_inputs;
+  for (int a = 0; a < ds_.num_areas(); ++a) {
+    data::PredictionItem item;
+    item.area = a;
+    item.day = day;
+    item.t = t;
+    item.week_id = ds_.WeekId(day);
+    offline_inputs.push_back(assembler_->AssembleBasic(item));
+  }
+  std::vector<float> offline = model.Predict(offline_inputs);
+  ASSERT_EQ(live.size(), offline.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    EXPECT_NEAR(live[i], offline[i], 1e-4) << "area " << i;
+  }
+}
+
+TEST_F(ServingTest, LivePredictionsMatchOfflineAdvanced) {
+  nn::ParameterStore store;
+  util::Rng rng(2);
+  core::DeepSDConfig config;
+  config.num_areas = ds_.num_areas();
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kAdvanced, &store,
+                          &rng);
+
+  OnlinePredictor predictor(&model, assembler_.get());
+  const int day = 10, t = 1100;  // outside the reference period
+  Replay(&predictor.buffer(), day, t);
+
+  std::vector<float> live = predictor.PredictAll();
+  std::vector<feature::ModelInput> offline_inputs;
+  for (int a = 0; a < ds_.num_areas(); ++a) {
+    data::PredictionItem item;
+    item.area = a;
+    item.day = day;
+    item.t = t;
+    item.week_id = ds_.WeekId(day);
+    offline_inputs.push_back(assembler_->AssembleAdvanced(item));
+  }
+  std::vector<float> offline = model.Predict(offline_inputs);
+  for (size_t i = 0; i < live.size(); ++i) {
+    EXPECT_NEAR(live[i], offline[i], 1e-4) << "area " << i;
+  }
+}
+
+TEST_F(ServingTest, PredictSingleAreaMatchesBatch) {
+  nn::ParameterStore store;
+  util::Rng rng(3);
+  core::DeepSDConfig config;
+  config.num_areas = ds_.num_areas();
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kBasic, &store,
+                          &rng);
+  OnlinePredictor predictor(&model, assembler_.get());
+  Replay(&predictor.buffer(), 11, 800);
+  std::vector<float> all = predictor.PredictAll();
+  EXPECT_FLOAT_EQ(predictor.Predict(2), all[2]);
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace deepsd

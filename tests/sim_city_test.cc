@@ -1,0 +1,328 @@
+#include "src/sim/city_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/util/stats.h"
+
+namespace deepsd {
+namespace sim {
+namespace {
+
+class CitySimTest : public ::testing::Test {
+ protected:
+  static data::OrderDataset Simulate(SimSummary* summary = nullptr,
+                                     int areas = 6, int days = 15,
+                                     uint64_t seed = 2024) {
+    CityConfig config;
+    config.num_areas = areas;
+    config.num_days = days;
+    config.seed = seed;
+    return SimulateCity(config, summary);
+  }
+};
+
+TEST_F(CitySimTest, GeneratesOrdersForAllAreasAndDays) {
+  SimSummary summary;
+  data::OrderDataset ds = Simulate(&summary);
+  EXPECT_GT(summary.total_orders, 10000u);
+  EXPECT_GT(summary.invalid_orders, 0u);
+  for (int a = 0; a < ds.num_areas(); ++a) {
+    for (int d = 0; d < ds.num_days(); ++d) {
+      EXPECT_GT(ds.ValidInRange(a, d, 0, data::kMinutesPerDay) +
+                    ds.InvalidInRange(a, d, 0, data::kMinutesPerDay),
+                0)
+          << "area " << a << " day " << d;
+    }
+  }
+}
+
+TEST_F(CitySimTest, DeterministicGivenSeed) {
+  data::OrderDataset a = Simulate(nullptr, 3, 3, 9);
+  data::OrderDataset b = Simulate(nullptr, 3, 3, 9);
+  ASSERT_EQ(a.num_orders(), b.num_orders());
+  EXPECT_EQ(a.Gap(1, 2, 600), b.Gap(1, 2, 600));
+  EXPECT_EQ(a.ValidInRange(2, 1, 0, 1440), b.ValidInRange(2, 1, 0, 1440));
+}
+
+TEST_F(CitySimTest, DifferentSeedsDiffer) {
+  data::OrderDataset a = Simulate(nullptr, 3, 3, 9);
+  data::OrderDataset b = Simulate(nullptr, 3, 3, 10);
+  EXPECT_NE(a.num_orders(), b.num_orders());
+}
+
+TEST_F(CitySimTest, RetriesFollowFailures) {
+  // Every multi-call passenger's calls must be ordered in time with all but
+  // possibly the last being failures (a passenger only re-sends after an
+  // unanswered request).
+  data::OrderDataset ds = Simulate(nullptr, 4, 4, 7);
+  struct Call {
+    int ts;
+    bool valid;
+  };
+  std::map<int, std::vector<Call>> by_pid;
+  for (const data::Order& o : ds.orders()) {
+    by_pid[o.passenger_id].push_back({o.ts, o.valid});
+  }
+  int multi = 0;
+  for (auto& [pid, calls] : by_pid) {
+    if (calls.size() < 2) continue;
+    ++multi;
+    std::sort(calls.begin(), calls.end(),
+              [](const Call& a, const Call& b) { return a.ts < b.ts; });
+    for (size_t i = 0; i + 1 < calls.size(); ++i) {
+      EXPECT_FALSE(calls[i].valid)
+          << "passenger " << pid << " retried after a successful call";
+      EXPECT_LT(calls[i].ts, calls[i + 1].ts);
+    }
+  }
+  EXPECT_GT(multi, 50) << "simulation produced almost no retry episodes";
+}
+
+TEST_F(CitySimTest, PassengerEpisodesStayInOneArea) {
+  data::OrderDataset ds = Simulate(nullptr, 4, 3, 13);
+  std::map<int, int> pid_area;
+  for (const data::Order& o : ds.orders()) {
+    auto [it, inserted] = pid_area.emplace(o.passenger_id, o.start_area);
+    if (!inserted) EXPECT_EQ(it->second, o.start_area);
+  }
+}
+
+TEST_F(CitySimTest, CommutePeaksVisibleInDemand) {
+  data::OrderDataset ds = Simulate(nullptr, 10, 7, 21);
+  // Aggregate demand across areas on a weekday: morning rush (7:30-9:30)
+  // must exceed the small hours (2:00-4:00) by a wide margin.
+  int weekday = -1;
+  for (int d = 0; d < ds.num_days(); ++d) {
+    if (ds.WeekId(d) < 5) {
+      weekday = d;
+      break;
+    }
+  }
+  ASSERT_GE(weekday, 0);
+  int rush = 0, night = 0;
+  for (int a = 0; a < ds.num_areas(); ++a) {
+    rush += ds.ValidInRange(a, weekday, 450, 570) +
+            ds.InvalidInRange(a, weekday, 450, 570);
+    night += ds.ValidInRange(a, weekday, 120, 240) +
+             ds.InvalidInRange(a, weekday, 120, 240);
+  }
+  EXPECT_GT(rush, 3 * night);
+}
+
+TEST_F(CitySimTest, WeeklyPeriodicity) {
+  // Same weekday across two weeks correlates more strongly than
+  // weekday vs weekend (paper Sec V-A premise).
+  data::OrderDataset ds = Simulate(nullptr, 6, 15, 31);
+  int d0 = -1;
+  for (int d = 0; d + 7 < ds.num_days(); ++d) {
+    if (ds.WeekId(d) == 1) {  // a Tuesday
+      d0 = d;
+      break;
+    }
+  }
+  ASSERT_GE(d0, 0);
+  int sunday = -1;
+  for (int d = 0; d < ds.num_days(); ++d) {
+    if (ds.WeekId(d) == 6) {
+      sunday = d;
+      break;
+    }
+  }
+  ASSERT_GE(sunday, 0);
+
+  double same_sum = 0, cross_sum = 0;
+  for (int a = 0; a < ds.num_areas(); ++a) {
+    std::vector<double> c0, c7, cs;
+    for (int h = 0; h < 24; ++h) {
+      c0.push_back(ds.ValidInRange(a, d0, h * 60, (h + 1) * 60) +
+                   ds.InvalidInRange(a, d0, h * 60, (h + 1) * 60));
+      c7.push_back(ds.ValidInRange(a, d0 + 7, h * 60, (h + 1) * 60) +
+                   ds.InvalidInRange(a, d0 + 7, h * 60, (h + 1) * 60));
+      cs.push_back(ds.ValidInRange(a, sunday, h * 60, (h + 1) * 60) +
+                   ds.InvalidInRange(a, sunday, h * 60, (h + 1) * 60));
+    }
+    same_sum += util::PearsonCorrelation(c0, c7);
+    cross_sum += util::PearsonCorrelation(c0, cs);
+  }
+  EXPECT_GT(same_sum, cross_sum);
+}
+
+TEST_F(CitySimTest, GapDistributionHeavyTailedWithManyZeros) {
+  SimSummary summary;
+  data::OrderDataset ds = Simulate(&summary, 12, 14, 2027);
+  // Paper Sec VI-A: ~48% of test windows have gap 0 and the max gap is huge
+  // relative to the mean. Accept a generous band around those facts.
+  EXPECT_GT(summary.zero_gap_fraction, 0.25);
+  EXPECT_LT(summary.zero_gap_fraction, 0.80);
+  EXPECT_GT(summary.max_gap, 20);
+
+  // Histogram of positive gaps decays roughly like a power law: the fitted
+  // log-log slope is clearly negative.
+  std::map<int, int> hist;
+  for (int a = 0; a < ds.num_areas(); ++a) {
+    for (int d = 0; d < ds.num_days(); ++d) {
+      for (int t = 0; t < 1430; t += 10) {
+        ++hist[ds.Gap(a, d, t)];
+      }
+    }
+  }
+  std::vector<double> values, counts;
+  for (auto [gap, count] : hist) {
+    if (gap > 0) {
+      values.push_back(gap);
+      counts.push_back(count);
+    }
+  }
+  double slope = util::LogLogSlope(values, counts);
+  EXPECT_LT(slope, -0.7) << "gap histogram not heavy-tailed (slope " << slope
+                         << ")";
+}
+
+TEST_F(CitySimTest, RainySlotsShiftSupplyDemandBalance) {
+  // In rainy slots, demand rises and supply falls, so the invalid fraction
+  // must be higher than in sunny slots.
+  CityConfig config;
+  config.num_areas = 8;
+  config.num_days = 20;
+  config.seed = 555;
+  data::OrderDataset ds = SimulateCity(config);
+  ASSERT_TRUE(ds.has_weather());
+  int64_t rain_orders = 0, rain_invalid = 0, sun_orders = 0, sun_invalid = 0;
+  for (int d = 0; d < ds.num_days(); ++d) {
+    for (int ts = 0; ts < data::kMinutesPerDay; ++ts) {
+      int type = ds.WeatherAt(d, ts).type;
+      bool rainy = type >= 3 && type <= 5;
+      bool sunny = type == 0;
+      if (!rainy && !sunny) continue;
+      for (int a = 0; a < ds.num_areas(); ++a) {
+        int v = ds.ValidCount(a, d, ts);
+        int inv = ds.InvalidCount(a, d, ts);
+        if (rainy) {
+          rain_orders += v + inv;
+          rain_invalid += inv;
+        } else {
+          sun_orders += v + inv;
+          sun_invalid += inv;
+        }
+      }
+    }
+  }
+  ASSERT_GT(rain_orders, 1000);
+  ASSERT_GT(sun_orders, 1000);
+  double rain_frac = static_cast<double>(rain_invalid) / rain_orders;
+  double sun_frac = static_cast<double>(sun_invalid) / sun_orders;
+  EXPECT_GT(rain_frac, sun_frac);
+}
+
+TEST_F(CitySimTest, TrafficCongestionCorrelatesWithGaps) {
+  CityConfig config;
+  config.num_areas = 6;
+  config.num_days = 10;
+  config.seed = 99;
+  data::OrderDataset ds = SimulateCity(config);
+  ASSERT_TRUE(ds.has_traffic());
+  std::vector<double> jams, gaps;
+  for (int a = 0; a < ds.num_areas(); ++a) {
+    for (int d = 0; d < ds.num_days(); ++d) {
+      for (int t = 400; t < 1400; t += 60) {
+        jams.push_back(ds.TrafficAt(a, d, t).level_counts[0]);
+        gaps.push_back(ds.Gap(a, d, t));
+      }
+    }
+  }
+  EXPECT_GT(util::PearsonCorrelation(jams, gaps), 0.1);
+}
+
+TEST_F(CitySimTest, DisablingEnvironmentData) {
+  CityConfig config;
+  config.num_areas = 2;
+  config.num_days = 2;
+  config.generate_weather = false;
+  config.generate_traffic = false;
+  data::OrderDataset ds = SimulateCity(config);
+  EXPECT_FALSE(ds.has_weather());
+  EXPECT_FALSE(ds.has_traffic());
+}
+
+TEST_F(CitySimTest, SupplyBoostLeavesDemandInvariant) {
+  // Same seed with and without a supply intervention: the set of *first*
+  // calls (fresh passenger arrivals) must be identical; only validity and
+  // retries may change, and unmet demand must not increase.
+  CityConfig base;
+  base.num_areas = 4;
+  base.num_days = 3;
+  base.seed = 77;
+  CityConfig boosted = base;
+  boosted.supply_boost = [](int, int, int) { return 3.0; };
+
+  SimSummary s_base, s_boost;
+  data::OrderDataset d_base = SimulateCity(base, &s_base);
+  data::OrderDataset d_boost = SimulateCity(boosted, &s_boost);
+
+  // Fresh-arrival episodes are the demand realization.
+  EXPECT_EQ(s_base.total_passenger_episodes, s_boost.total_passenger_episodes);
+
+  // First call of each passenger matches exactly (time and area).
+  auto first_calls = [](const data::OrderDataset& ds) {
+    std::map<int, std::tuple<int, int, int>> first;  // pid → (day, ts, area)
+    for (const data::Order& o : ds.orders()) {
+      auto key = std::make_tuple(o.day, o.ts, o.start_area);
+      auto [it, inserted] = first.emplace(o.passenger_id, key);
+      if (!inserted && key < it->second) it->second = key;
+    }
+    return first;
+  };
+  EXPECT_EQ(first_calls(d_base), first_calls(d_boost));
+
+  // More drivers ⇒ not more failures.
+  EXPECT_LE(s_boost.invalid_orders, s_base.invalid_orders);
+  EXPECT_LT(s_boost.invalid_orders, s_base.invalid_orders)
+      << "boost of 3 drivers/minute should rescue at least one order";
+}
+
+TEST_F(CitySimTest, TargetedBoostReducesTargetedGaps) {
+  CityConfig base;
+  base.num_areas = 3;
+  base.num_days = 2;
+  base.seed = 555;
+  data::OrderDataset d_base = SimulateCity(base);
+
+  // Boost only area 1 during the evening peak.
+  CityConfig boosted = base;
+  boosted.supply_boost = [](int area, int, int minute) {
+    return (area == 1 && minute >= 1080 && minute < 1260) ? 5.0 : 0.0;
+  };
+  data::OrderDataset d_boost = SimulateCity(boosted);
+
+  int base_gap = 0, boost_gap = 0, other_base = 0, other_boost = 0;
+  for (int d = 0; d < 2; ++d) {
+    for (int t = 1080; t < 1260; t += 10) {
+      base_gap += d_base.Gap(1, d, t);
+      boost_gap += d_boost.Gap(1, d, t);
+      other_base += d_base.Gap(0, d, t) + d_base.Gap(2, d, t);
+      other_boost += d_boost.Gap(0, d, t) + d_boost.Gap(2, d, t);
+    }
+  }
+  EXPECT_LE(boost_gap, base_gap);
+  // Untouched areas are untouched.
+  EXPECT_EQ(other_base, other_boost);
+}
+
+TEST_F(CitySimTest, SummaryCountsConsistent) {
+  SimSummary summary;
+  data::OrderDataset ds = Simulate(&summary, 4, 4, 17);
+  size_t invalid = 0;
+  for (const data::Order& o : ds.orders()) invalid += !o.valid;
+  EXPECT_EQ(summary.total_orders, ds.num_orders());
+  EXPECT_EQ(summary.invalid_orders, invalid);
+  EXPECT_LE(summary.total_passenger_episodes, summary.total_orders);
+  EXPECT_EQ(summary.total_passenger_episodes,
+            static_cast<size_t>(ds.num_passengers()));
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace deepsd

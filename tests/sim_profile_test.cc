@@ -1,0 +1,120 @@
+#include "src/sim/area_profile.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsd {
+namespace sim {
+namespace {
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  util::Rng rng_{99};
+};
+
+TEST_F(ProfileTest, MakeAreaProfilesCoversAllClusters) {
+  std::vector<AreaProfile> ps = MakeAreaProfiles(15, 1.0, &rng_);
+  ASSERT_EQ(ps.size(), 15u);
+  bool seen[kNumAreaTypes] = {};
+  for (const auto& p : ps) seen[static_cast<int>(p.type)] = true;
+  for (int t = 0; t < kNumAreaTypes; ++t) {
+    EXPECT_TRUE(seen[t]) << "archetype " << t << " missing";
+  }
+}
+
+TEST_F(ProfileTest, IntensitiesAreNonNegative) {
+  std::vector<AreaProfile> ps = MakeAreaProfiles(10, 1.0, &rng_);
+  for (const auto& p : ps) {
+    for (int w = 0; w < 7; ++w) {
+      for (int m = 0; m < 1440; m += 30) {
+        EXPECT_GE(p.DemandIntensity(m, w), 0.0);
+        EXPECT_GE(p.SupplyIntensity(m, w), 0.0);
+      }
+    }
+  }
+}
+
+TEST_F(ProfileTest, BusinessAreaHasWeekdayCommutePeaks) {
+  std::vector<AreaProfile> ps = MakeAreaProfiles(10, 1.0, &rng_);
+  for (const auto& p : ps) {
+    if (p.type != AreaType::kBusiness) continue;
+    // Monday evening peak (~19:00) well above Monday 3am and above Sunday
+    // at the same hour.
+    double evening_peak = p.DemandIntensity(1140, 0);
+    double night = p.DemandIntensity(200, 0);
+    double sunday_evening = p.DemandIntensity(1140, 6);
+    EXPECT_GT(evening_peak, 3.0 * night);
+    EXPECT_GT(evening_peak, 1.5 * sunday_evening);
+  }
+}
+
+TEST_F(ProfileTest, EntertainmentAreaSurgesOnWeekend) {
+  std::vector<AreaProfile> ps = MakeAreaProfiles(10, 1.0, &rng_);
+  for (const auto& p : ps) {
+    if (p.type != AreaType::kEntertainment) continue;
+    // Saturday 21:30 demand well above Tuesday 21:30 (paper Fig 1 pattern).
+    EXPECT_GT(p.DemandIntensity(1290, 5), 1.5 * p.DemandIntensity(1290, 1));
+  }
+}
+
+TEST_F(ProfileTest, NightDemandSuppressed) {
+  std::vector<AreaProfile> ps = MakeAreaProfiles(10, 1.0, &rng_);
+  for (const auto& p : ps) {
+    // 3:30am is quieter than midday for every archetype.
+    EXPECT_LT(p.DemandIntensity(210, 2), p.DemandIntensity(780, 2) + 1e-9);
+  }
+}
+
+TEST_F(ProfileTest, ScaleMultipliesDemand) {
+  std::vector<AreaProfile> ps = MakeAreaProfiles(1, 1.0, &rng_);
+  AreaProfile p = ps[0];
+  double base = p.DemandIntensity(600, 2);
+  p.scale *= 3.0;
+  EXPECT_NEAR(p.DemandIntensity(600, 2), 3.0 * base, 1e-9);
+}
+
+TEST_F(ProfileTest, SameClusterSharesShapeDifferentScale) {
+  // Areas i and i+5 share a cluster template; correlation of their
+  // normalized weekday curves should be high.
+  std::vector<AreaProfile> ps = MakeAreaProfiles(10, 1.0, &rng_);
+  for (int i = 0; i < 5; ++i) {
+    const AreaProfile& a = ps[static_cast<size_t>(i)];
+    const AreaProfile& b = ps[static_cast<size_t>(i + 5)];
+    ASSERT_EQ(a.cluster_id, b.cluster_id);
+    double num = 0, da = 0, db = 0;
+    for (int m = 0; m < 1440; m += 10) {
+      double va = a.DemandIntensity(m, 2) / a.scale;
+      double vb = b.DemandIntensity(m, 2) / b.scale;
+      num += va * vb;
+      da += va * va;
+      db += vb * vb;
+    }
+    EXPECT_GT(num / std::sqrt(da * db), 0.95);
+  }
+}
+
+TEST_F(ProfileTest, HeavyTailedScalesAcrossAreas) {
+  util::Rng rng(7);
+  std::vector<AreaProfile> ps = MakeAreaProfiles(200, 1.0, &rng);
+  double max_scale = 0, sum = 0;
+  for (const auto& p : ps) {
+    max_scale = std::max(max_scale, p.scale);
+    sum += p.scale;
+  }
+  double mean = sum / 200.0;
+  // A lognormal with sigma ~0.95 gives a max several times the mean.
+  EXPECT_GT(max_scale, 3.0 * mean);
+}
+
+TEST_F(ProfileTest, DeterministicGivenRngSeed) {
+  util::Rng r1(5), r2(5);
+  auto a = MakeAreaProfiles(8, 1.0, &r1);
+  auto b = MakeAreaProfiles(8, 1.0, &r2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].scale, b[i].scale);
+    EXPECT_EQ(a[i].road_segments, b[i].road_segments);
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace deepsd

@@ -1,0 +1,72 @@
+#include "src/sim/traffic_model.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsd {
+namespace sim {
+namespace {
+
+TEST(TrafficModelTest, FractionsSumToOne) {
+  for (double p : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    double f[4];
+    TrafficModel::LevelFractions(p, f);
+    double sum = f[0] + f[1] + f[2] + f[3];
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "pressure=" << p;
+    for (int i = 0; i < 4; ++i) EXPECT_GE(f[i], 0.0);
+  }
+}
+
+TEST(TrafficModelTest, CongestionGrowsWithPressure) {
+  double lo[4], hi[4];
+  TrafficModel::LevelFractions(0.1, lo);
+  TrafficModel::LevelFractions(0.9, hi);
+  EXPECT_GT(hi[0], lo[0]);  // jammed share rises
+  EXPECT_LT(hi[3], lo[3]);  // free-flow share falls
+}
+
+TEST(TrafficModelTest, PressureClamped) {
+  double f1[4], f2[4];
+  TrafficModel::LevelFractions(-3.0, f1);
+  TrafficModel::LevelFractions(0.0, f2);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(f1[i], f2[i]);
+  TrafficModel::LevelFractions(9.0, f1);
+  TrafficModel::LevelFractions(1.0, f2);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(f1[i], f2[i]);
+}
+
+TEST(TrafficModelTest, SampleConservesSegments) {
+  TrafficModel tm(util::Rng{3});
+  AreaProfile profile;
+  profile.road_segments = 120;
+  for (double p : {0.0, 0.3, 0.7, 1.0}) {
+    for (int i = 0; i < 50; ++i) {
+      data::TrafficRecord rec = tm.Sample(profile, 1, 2, 300, p);
+      int total = 0;
+      for (int level = 0; level < 4; ++level) {
+        EXPECT_GE(rec.level_counts[level], 0);
+        total += rec.level_counts[level];
+      }
+      EXPECT_EQ(total, 120);
+      EXPECT_EQ(rec.area, 1);
+      EXPECT_EQ(rec.day, 2);
+      EXPECT_EQ(rec.ts, 300);
+    }
+  }
+}
+
+TEST(TrafficModelTest, SampledCongestionTracksPressure) {
+  TrafficModel tm(util::Rng{5});
+  AreaProfile profile;
+  profile.road_segments = 100;
+  double low_jam = 0, high_jam = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    low_jam += tm.Sample(profile, 0, 0, 0, 0.1).level_counts[0];
+    high_jam += tm.Sample(profile, 0, 0, 0, 0.9).level_counts[0];
+  }
+  EXPECT_GT(high_jam / n, low_jam / n + 10.0);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace deepsd

@@ -1,0 +1,95 @@
+#include "src/sim/weather_model.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace deepsd {
+namespace sim {
+namespace {
+
+TEST(WeatherModelTest, GeneratesMinuteResolutionRecords) {
+  WeatherModel wm(util::Rng{1});
+  auto records = wm.Generate(3);
+  ASSERT_EQ(records.size(), 3u * data::kMinutesPerDay);
+  EXPECT_EQ(records[0].day, 0);
+  EXPECT_EQ(records[0].ts, 0);
+  EXPECT_EQ(records.back().day, 2);
+  EXPECT_EQ(records.back().ts, data::kMinutesPerDay - 1);
+}
+
+TEST(WeatherModelTest, TypesStayInVocabulary) {
+  WeatherModel wm(util::Rng{2});
+  for (const auto& r : wm.Generate(10)) {
+    EXPECT_GE(r.type, 0);
+    EXPECT_LT(r.type, kWeatherVocab);
+  }
+}
+
+TEST(WeatherModelTest, ConstantWithinEachHour) {
+  WeatherModel wm(util::Rng{3});
+  auto records = wm.Generate(2);
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].ts % 60 != 0) {
+      EXPECT_EQ(records[i].type, records[i - 1].type);
+    }
+  }
+}
+
+TEST(WeatherModelTest, WeatherIsSticky) {
+  WeatherModel wm(util::Rng{4});
+  auto records = wm.Generate(20);
+  int transitions = 0, hours = 0;
+  for (size_t i = 60; i < records.size(); i += 60) {
+    transitions += (records[i].type != records[i - 60].type);
+    ++hours;
+  }
+  // Markov chain stays ~78% of the time.
+  EXPECT_LT(static_cast<double>(transitions) / hours, 0.45);
+}
+
+TEST(WeatherModelTest, TemperatureDiurnalCycle) {
+  WeatherModel wm(util::Rng{5});
+  auto records = wm.Generate(30);
+  double afternoon = 0, night = 0;
+  int days = 30;
+  for (int d = 0; d < days; ++d) {
+    afternoon += records[static_cast<size_t>(d) * 1440 + 15 * 60].temperature;
+    night += records[static_cast<size_t>(d) * 1440 + 4 * 60].temperature;
+  }
+  EXPECT_GT(afternoon / days, night / days + 3.0);
+}
+
+TEST(WeatherModelTest, Pm25StaysPositive) {
+  WeatherModel wm(util::Rng{6});
+  for (const auto& r : wm.Generate(15)) {
+    EXPECT_GE(r.pm25, 5.0f);
+  }
+}
+
+TEST(WeatherModelTest, MultipliersOrdered) {
+  // Severe weather boosts demand and cuts supply monotonically along the
+  // sunny→thunderstorm axis.
+  EXPECT_LT(WeatherDemandMultiplier(WeatherType::kSunny),
+            WeatherDemandMultiplier(WeatherType::kLightRain));
+  EXPECT_LT(WeatherDemandMultiplier(WeatherType::kLightRain),
+            WeatherDemandMultiplier(WeatherType::kHeavyRain));
+  EXPECT_GT(WeatherSupplyMultiplier(WeatherType::kSunny),
+            WeatherSupplyMultiplier(WeatherType::kLightRain));
+  EXPECT_GT(WeatherSupplyMultiplier(WeatherType::kLightRain),
+            WeatherSupplyMultiplier(WeatherType::kThunderstorm));
+}
+
+TEST(WeatherModelTest, DeterministicGivenSeed) {
+  WeatherModel a(util::Rng{11}), b(util::Rng{11});
+  auto ra = a.Generate(2), rb = b.Generate(2);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); i += 97) {
+    EXPECT_EQ(ra[i].type, rb[i].type);
+    EXPECT_FLOAT_EQ(ra[i].temperature, rb[i].temperature);
+  }
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace deepsd

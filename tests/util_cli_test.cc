@@ -1,0 +1,77 @@
+#include "src/util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace deepsd {
+namespace util {
+namespace {
+
+CommandLine Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return CommandLine(static_cast<int>(args.size()), args.data());
+}
+
+TEST(CommandLineTest, EqualsForm) {
+  CommandLine cli = Parse({"--out=file.bin", "--areas=12"});
+  EXPECT_EQ(cli.GetString("out"), "file.bin");
+  EXPECT_EQ(cli.GetInt("areas", 0), 12);
+}
+
+TEST(CommandLineTest, SpaceForm) {
+  CommandLine cli = Parse({"--out", "file.bin", "--areas", "12"});
+  EXPECT_EQ(cli.GetString("out"), "file.bin");
+  EXPECT_EQ(cli.GetInt("areas", 0), 12);
+}
+
+TEST(CommandLineTest, BareBooleanFlag) {
+  CommandLine cli = Parse({"--verbose", "--no_weather"});
+  EXPECT_TRUE(cli.GetBool("verbose", false));
+  EXPECT_TRUE(cli.GetBool("no_weather", false));
+  EXPECT_FALSE(cli.GetBool("missing", false));
+  EXPECT_TRUE(cli.GetBool("missing", true));
+}
+
+TEST(CommandLineTest, BooleanValues) {
+  CommandLine cli = Parse({"--a=true", "--b=0", "--c=yes", "--d=off"});
+  EXPECT_TRUE(cli.GetBool("a", false));
+  EXPECT_FALSE(cli.GetBool("b", true));
+  EXPECT_TRUE(cli.GetBool("c", false));
+  EXPECT_FALSE(cli.GetBool("d", true));
+}
+
+TEST(CommandLineTest, Positionals) {
+  CommandLine cli = Parse({"first", "--k=v", "second"});
+  EXPECT_EQ(cli.positionals(),
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(CommandLineTest, Defaults) {
+  CommandLine cli = Parse({});
+  EXPECT_EQ(cli.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(cli.GetInt("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("missing", 2.5), 2.5);
+}
+
+TEST(CommandLineTest, DoubleParsing) {
+  CommandLine cli = Parse({"--lr=1e-3", "--scale=0.5"});
+  EXPECT_DOUBLE_EQ(cli.GetDouble("lr", 0), 1e-3);
+  EXPECT_DOUBLE_EQ(cli.GetDouble("scale", 0), 0.5);
+}
+
+TEST(CommandLineTest, CheckKnown) {
+  CommandLine cli = Parse({"--good=1", "--bad=2"});
+  EXPECT_TRUE(cli.CheckKnown({"good", "bad"}).ok());
+  Status st = cli.CheckKnown({"good"});
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("bad"), std::string::npos);
+}
+
+TEST(CommandLineTest, NegativeNumberValue) {
+  CommandLine cli = Parse({"--offset", "-5"});
+  // "-5" does not start with "--" so it is consumed as the value.
+  EXPECT_EQ(cli.GetInt("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace deepsd

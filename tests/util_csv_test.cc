@@ -1,0 +1,82 @@
+#include "src/util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace deepsd {
+namespace util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("deepsd_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvTest, RoundTripPlain) {
+  {
+    CsvWriter w(path_.string());
+    ASSERT_TRUE(w.status().ok());
+    w.WriteRow(std::vector<std::string>{"a", "b", "c"});
+    w.WriteRow(std::vector<double>{1.5, 2.0, -3.25});
+    w.Close();
+  }
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ReadCsv(path_.string(), &rows).ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1][0], "1.5");
+  EXPECT_EQ(rows[1][2], "-3.25");
+}
+
+TEST_F(CsvTest, EscapesCommasAndQuotes) {
+  {
+    CsvWriter w(path_.string());
+    w.WriteRow(std::vector<std::string>{"hello, world", "say \"hi\"", "plain"});
+    w.Close();
+  }
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ReadCsv(path_.string(), &rows).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "hello, world");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+  EXPECT_EQ(rows[0][2], "plain");
+}
+
+TEST_F(CsvTest, EmptyFieldsPreserved) {
+  {
+    CsvWriter w(path_.string());
+    w.WriteRow(std::vector<std::string>{"", "x", ""});
+    w.Close();
+  }
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(ReadCsv(path_.string(), &rows).ok());
+  ASSERT_EQ(rows[0].size(), 3u);
+  EXPECT_EQ(rows[0][0], "");
+  EXPECT_EQ(rows[0][2], "");
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  std::vector<std::vector<std::string>> rows;
+  Status st = ReadCsv("/nonexistent/dir/file.csv", &rows);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kIoError);
+}
+
+TEST_F(CsvTest, WriterToBadPathReportsError) {
+  CsvWriter w("/nonexistent/dir/file.csv");
+  EXPECT_FALSE(w.status().ok());
+  // Writing must not crash.
+  w.WriteRow(std::vector<std::string>{"x"});
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace deepsd

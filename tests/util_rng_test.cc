@@ -1,0 +1,127 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepsd {
+namespace util {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (a.NextU64() == b.NextU64());
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(int64_t{3}, int64_t{7});
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatchesRate) {
+  Rng rng(19);
+  for (double lambda : {0.3, 2.0, 8.0, 50.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += rng.Poisson(lambda);
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.05 + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroRate) {
+  Rng rng(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Poisson(0.0), 0);
+    EXPECT_EQ(rng.Poisson(-1.0), 0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkedStreamsIndependent) {
+  Rng parent(31);
+  Rng child1 = parent.Fork(0);
+  Rng child2 = parent.Fork(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += (child1.NextU64() == child2.NextU64());
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(37);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace deepsd

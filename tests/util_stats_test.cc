@@ -1,0 +1,99 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepsd {
+namespace util {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i * 0.7) * 10;
+    (i % 2 ? a : b).Add(x);
+    all.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(StatsTest, MeanAndStddev) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(Stddev({5.0}), 0.0);
+  EXPECT_NEAR(Stddev({1.0, 3.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(StatsTest, PearsonCorrelationPerfect) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> ny = {-2, -4, -6, -8, -10};
+  EXPECT_NEAR(PearsonCorrelation(x, ny), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonDegenerate) {
+  EXPECT_EQ(PearsonCorrelation({1, 1, 1}, {2, 3, 4}), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1, 2}, {1}), 0.0);
+}
+
+TEST(StatsTest, Percentile) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_EQ(Percentile(xs, 100), 5.0);
+  EXPECT_NEAR(Percentile(xs, 50), 3.0, 1e-12);
+  EXPECT_NEAR(Percentile(xs, 25), 2.0, 1e-12);
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, LogLogSlopeOfExactPowerLaw) {
+  // counts = value^-2 → slope -2.
+  std::vector<double> values, counts;
+  for (int v = 1; v <= 50; ++v) {
+    values.push_back(v);
+    counts.push_back(std::pow(v, -2.0));
+  }
+  EXPECT_NEAR(LogLogSlope(values, counts), -2.0, 1e-9);
+}
+
+TEST(StatsTest, LogLogSlopeIgnoresNonPositive) {
+  EXPECT_EQ(LogLogSlope({0.0, -1.0}, {1.0, 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace deepsd

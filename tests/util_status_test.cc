@@ -1,0 +1,72 @@
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/logging.h"
+
+namespace deepsd {
+namespace util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  struct Case {
+    Status st;
+    Status::Code code;
+    const char* rendered;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("bad"), Status::Code::kInvalidArgument,
+       "InvalidArgument: bad"},
+      {Status::NotFound("x"), Status::Code::kNotFound, "NotFound: x"},
+      {Status::OutOfRange("y"), Status::Code::kOutOfRange, "OutOfRange: y"},
+      {Status::FailedPrecondition("z"), Status::Code::kFailedPrecondition,
+       "FailedPrecondition: z"},
+      {Status::IoError("io"), Status::Code::kIoError, "IoError: io"},
+      {Status::Internal("i"), Status::Code::kInternal, "Internal: i"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.st.ok());
+    EXPECT_EQ(c.st.code(), c.code);
+    EXPECT_EQ(c.st.ToString(), c.rendered);
+  }
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::NotFound("inner"); };
+  auto outer = [&]() -> Status {
+    DEEPSD_RETURN_IF_ERROR(fails());
+    return Status::OK();  // unreachable
+  };
+  Status st = outer();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "inner");
+
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto outer2 = [&]() -> Status {
+    DEEPSD_RETURN_IF_ERROR(succeeds());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(outer2().message(), "reached");
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold messages are dropped without crashing.
+  DEEPSD_LOG(Info) << "should be suppressed";
+  DEEPSD_LOG(Error) << "visible";
+  SetLogLevel(saved);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace deepsd

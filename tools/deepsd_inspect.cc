@@ -1,0 +1,147 @@
+// deepsd_inspect: summarize a saved dataset — volumes, gap distribution,
+// per-area activity, weather mix — or a saved parameter file.
+//
+//   deepsd_inspect --data=city.bin
+//   deepsd_inspect --params=model.bin
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "data/serialize.h"
+#include "nn/parameter.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+namespace {
+
+int InspectData(const std::string& path) {
+  using namespace deepsd;
+  data::OrderDataset ds;
+  util::Status st = data::LoadDataset(path, &ds);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset %s\n", path.c_str());
+  std::printf("  areas: %d  days: %d (day 0 weekday %d)  orders: %zu  "
+              "passengers: %d\n",
+              ds.num_areas(), ds.num_days(), ds.first_weekday(),
+              ds.num_orders(), ds.num_passengers());
+  std::printf("  weather: %s  traffic: %s\n",
+              ds.has_weather() ? "yes" : "no", ds.has_traffic() ? "yes" : "no");
+
+  size_t invalid = 0;
+  for (const data::Order& o : ds.orders()) invalid += !o.valid;
+  std::printf("  unmet requests: %zu (%.1f%%)\n", invalid,
+              100.0 * invalid / std::max<size_t>(ds.num_orders(), 1));
+
+  // Gap distribution over a busy-hours grid.
+  util::RunningStats gap_stats;
+  std::map<int, int> gap_hist;
+  size_t zero = 0, count = 0;
+  for (int a = 0; a < ds.num_areas(); ++a) {
+    for (int d = 0; d < ds.num_days(); ++d) {
+      for (int t = 450; t <= 1410; t += 30) {
+        int g = ds.Gap(a, d, t);
+        gap_stats.Add(g);
+        ++gap_hist[std::min(g / 10 * 10, 100)];
+        zero += (g == 0);
+        ++count;
+      }
+    }
+  }
+  std::printf("  gaps (07:30-23:30 grid): mean %.2f, sd %.2f, max %.0f, "
+              "zero %.1f%%\n",
+              gap_stats.mean(), gap_stats.stddev(), gap_stats.max(),
+              100.0 * zero / std::max<size_t>(count, 1));
+  std::printf("  gap histogram (bucketed by 10):\n");
+  for (auto [bucket, n] : gap_hist) {
+    std::printf("    %3d%s %8d  %s\n", bucket, bucket == 100 ? "+" : " ", n,
+                std::string(static_cast<size_t>(
+                                60.0 * n / std::max<size_t>(count, 1)),
+                            '#')
+                    .c_str());
+  }
+
+  // Per-area volumes (top 10).
+  std::vector<std::pair<int, int>> volume;  // (orders, area)
+  for (int a = 0; a < ds.num_areas(); ++a) {
+    int v = 0;
+    for (int d = 0; d < ds.num_days(); ++d) {
+      v += ds.ValidInRange(a, d, 0, data::kMinutesPerDay) +
+           ds.InvalidInRange(a, d, 0, data::kMinutesPerDay);
+    }
+    volume.push_back({v, a});
+  }
+  std::sort(volume.rbegin(), volume.rend());
+  std::printf("  busiest areas:");
+  for (size_t i = 0; i < volume.size() && i < 10; ++i) {
+    std::printf(" %d(%dk)", volume[i].second, volume[i].first / 1000);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int InspectParams(const std::string& path) {
+  using namespace deepsd;
+  // Load into an empty store is a no-op (nothing matches), so parse the
+  // file shape by creating matching parameters on the fly is not possible;
+  // instead read it directly here via a permissive loader: create-then-load
+  // is the library path, so we just report the raw table of contents.
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::string(magic, 4) != "DSP1") {
+    std::fprintf(stderr, "%s is not a DeepSD parameter file\n", path.c_str());
+    return 1;
+  }
+  uint64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  std::printf("parameter file %s: %llu tensors\n", path.c_str(),
+              static_cast<unsigned long long>(n));
+  size_t total = 0;
+  for (uint64_t i = 0; i < n && in; ++i) {
+    uint32_t name_len = 0;
+    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    int32_t rows = 0, cols = 0;
+    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+    std::vector<float> values(static_cast<size_t>(rows) * cols);
+    in.read(reinterpret_cast<char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(float)));
+    double norm = 0;
+    for (float v : values) norm += static_cast<double>(v) * v;
+    std::printf("  %-24s [%5d x %-5d]  ||w|| = %.4f\n", name.c_str(), rows,
+                cols, std::sqrt(norm));
+    total += values.size();
+  }
+  std::printf("total weights: %zu\n", total);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  deepsd::util::CommandLine cli(argc, argv);
+  deepsd::util::Status st = cli.CheckKnown({"data", "params", "help"});
+  if (!st.ok() || cli.GetBool("help", false) ||
+      (!cli.Has("data") && !cli.Has("params"))) {
+    std::fprintf(stderr,
+                 "%s\nusage: deepsd_inspect --data=city.bin | "
+                 "--params=model.bin\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+  if (cli.Has("data")) return InspectData(cli.GetString("data"));
+  return InspectParams(cli.GetString("params"));
+}

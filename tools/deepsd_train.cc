@@ -1,0 +1,108 @@
+// deepsd_train: train a DeepSD model on a saved dataset and write the
+// parameters.
+//
+//   deepsd_train --data=city.bin --model=model.bin --mode=advanced \
+//                --train_days=24 [--epochs=50] [--batch=64] [--lr=1e-3] \
+//                [--best_k=10] [--stride=5] [--no_weather] [--no_traffic] \
+//                [--no_residual] [--onehot] [--finetune_from=prev.bin]
+
+#include <cstdio>
+
+#include "core/trainer.h"
+#include "data/serialize.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace deepsd;
+  util::CommandLine cli(argc, argv);
+  util::Status st = cli.CheckKnown(
+      {"data", "model", "mode", "train_days", "eval_days", "epochs", "batch",
+       "lr", "best_k", "stride", "no_weather", "no_traffic", "no_residual",
+       "onehot", "finetune_from", "seed", "verbose", "help"});
+  if (!st.ok() || cli.GetBool("help", false) || !cli.Has("data")) {
+    std::fprintf(stderr,
+                 "%s\nusage: deepsd_train --data=city.bin --model=model.bin "
+                 "--mode=basic|advanced --train_days=N [--epochs=50] "
+                 "[--batch=64] [--lr=1e-3] [--best_k=10] [--stride=5] "
+                 "[--no_weather] [--no_traffic] [--no_residual] [--onehot] "
+                 "[--finetune_from=prev.bin] [--seed=7] [--verbose]\n",
+                 st.ToString().c_str());
+    return st.ok() ? 2 : 2;
+  }
+
+  data::OrderDataset dataset;
+  st = data::LoadDataset(cli.GetString("data"), &dataset);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  int train_days = static_cast<int>(
+      cli.GetInt("train_days", dataset.num_days() * 2 / 3));
+  int eval_days = static_cast<int>(
+      cli.GetInt("eval_days", dataset.num_days() - train_days));
+  std::printf("dataset: %d areas, %d days, %zu orders; training on days "
+              "[0,%d), evaluating on [%d,%d)\n",
+              dataset.num_areas(), dataset.num_days(), dataset.num_orders(),
+              train_days, train_days, train_days + eval_days);
+
+  feature::FeatureConfig fc;
+  feature::FeatureAssembler assembler(&dataset, fc, 0, train_days);
+  int stride = static_cast<int>(cli.GetInt("stride", 5));
+  auto train_items = data::MakeItems(dataset, 0, train_days, 20, 1430, stride);
+  auto eval_items =
+      data::MakeTestItems(dataset, train_days, train_days + eval_days);
+
+  core::DeepSDConfig config;
+  config.num_areas = dataset.num_areas();
+  config.use_weather = !cli.GetBool("no_weather", false) && dataset.has_weather();
+  config.use_traffic = !cli.GetBool("no_traffic", false) && dataset.has_traffic();
+  config.use_residual = !cli.GetBool("no_residual", false);
+  config.use_embedding = !cli.GetBool("onehot", false);
+
+  bool advanced = cli.GetString("mode", "advanced") == "advanced";
+  nn::ParameterStore params;
+  util::Rng rng(static_cast<uint64_t>(cli.GetInt("seed", 7)));
+  core::DeepSDModel model(config,
+                          advanced ? core::DeepSDModel::Mode::kAdvanced
+                                   : core::DeepSDModel::Mode::kBasic,
+                          &params, &rng);
+  std::printf("%s model: %zu parameters in %zu tensors\n",
+              advanced ? "advanced" : "basic", params.NumWeights(),
+              params.parameters().size());
+
+  if (cli.Has("finetune_from")) {
+    int loaded = 0;
+    st = params.Load(cli.GetString("finetune_from"), &loaded);
+    if (!st.ok()) {
+      std::fprintf(stderr, "finetune load failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("fine-tuning: %d tensors loaded from %s\n", loaded,
+                cli.GetString("finetune_from").c_str());
+  }
+
+  core::TrainConfig tc;
+  tc.epochs = static_cast<int>(cli.GetInt("epochs", 50));
+  tc.batch_size = static_cast<int>(cli.GetInt("batch", 64));
+  tc.learning_rate = static_cast<float>(cli.GetDouble("lr", 1e-3));
+  tc.best_k = static_cast<int>(cli.GetInt("best_k", 10));
+  tc.seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
+  tc.verbose = cli.GetBool("verbose", true);
+
+  core::AssemblerSource train(&assembler, train_items, advanced);
+  core::AssemblerSource eval(&assembler, eval_items, advanced);
+  core::Trainer trainer(tc);
+  core::TrainResult result = trainer.Train(&model, &params, train, eval);
+  std::printf("final: MAE=%.3f RMSE=%.3f (best epoch RMSE %.3f, %.1fs/epoch)\n",
+              result.final_eval_mae, result.final_eval_rmse,
+              result.best_eval_rmse, result.seconds_per_epoch);
+
+  std::string out = cli.GetString("model", "model.bin");
+  st = params.Save(out);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
