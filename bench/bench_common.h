@@ -18,6 +18,9 @@
 #include "eval/experiment.h"
 #include "eval/metrics.h"
 #include "eval/table_printer.h"
+#include "obs/metrics.h"
+#include "obs/metrics_io.h"
+#include "obs/obs.h"
 #include "util/string_util.h"
 
 namespace deepsd {
@@ -78,6 +81,23 @@ inline std::vector<float> RunRandomForest(const eval::Experiment& exp) {
   std::vector<float> pred = rf.Predict(Xt);
   for (float& p : pred) p = std::max(p, 0.0f);
   return pred;
+}
+
+/// Prints every latency histogram in the metrics registry whose name
+/// contains `filter` (all of them when empty) as a quantile table —
+/// count / mean / p50 / p90 / p99 / max in microseconds. Benches that
+/// enable obs::SetEnabled(true) get the same percentile reporting as the
+/// serving tools' --metrics-out dumps, from the same obs::Histogram
+/// measurements.
+inline void PrintRegistryLatencies(const std::string& filter = "") {
+  std::vector<obs::MetricSnapshot> kept;
+  for (obs::MetricSnapshot& s : obs::MetricsRegistry::Global().Snapshot()) {
+    if (s.kind != obs::MetricSnapshot::Kind::kHistogram) continue;
+    if (!filter.empty() && s.name.find(filter) == std::string::npos) continue;
+    kept.push_back(std::move(s));
+  }
+  if (kept.empty()) return;
+  std::fputs(obs::RenderTable(kept).c_str(), stdout);
 }
 
 }  // namespace bench

@@ -13,6 +13,10 @@ namespace deepsd {
 namespace {
 
 int Main() {
+  // Collect per-policy latency histograms (dispatch/policy_weights_us etc.)
+  // alongside the headline table.
+  obs::SetEnabled(true);
+
   eval::Experiment exp(eval::GetScaleFromEnv(), /*seed=*/42);
   eval::PrintExperimentBanner(exp, "Closed-loop dispatch: value of prediction");
 
@@ -66,7 +70,8 @@ int Main() {
   std::printf(
       "\nExpected shape: uniform < reactive < deepsd ≤ oracle in unserved-"
       "passenger reduction — prediction converts the same driver budget "
-      "into more served rides.\n");
+      "into more served rides.\n\n");
+  bench::PrintRegistryLatencies("dispatch/");
   return 0;
 }
 

@@ -21,10 +21,19 @@ echo "== train basic (no traffic) =="
     --train_days=7 --epochs=2 --stride=30 --best_k=0 --no_traffic \
     --verbose=false
 
-echo "== fine-tune with traffic =="
+echo "== fine-tune with traffic (telemetry on) =="
 "$TOOLS/deepsd_train" --data=city.bin --model=full.bin --mode=basic \
     --train_days=7 --epochs=1 --stride=30 --best_k=0 \
-    --finetune_from=base.bin --verbose=false
+    --finetune_from=base.bin --verbose=false \
+    --metrics-out=metrics.jsonl --trace-out=trace.json
+test -s metrics.jsonl
+test -s trace.json
+grep -q "traceEvents" trace.json
+grep -q "trainer/batch_us" metrics.jsonl
+
+echo "== metrics report =="
+"$TOOLS/deepsd_metrics_report" --in=metrics.jsonl --filter=trainer/ \
+    | grep -q "trainer/batch_us"
 
 echo "== inspect parameters =="
 "$TOOLS/deepsd_inspect" --params=full.bin | grep -q "traffic.fc1.w"

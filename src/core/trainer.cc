@@ -1,10 +1,11 @@
 #include "core/trainer.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -69,9 +70,18 @@ TrainResult Trainer::Train(
   const int decay_epoch = static_cast<int>(
       config_.lr_decay_at_fraction * config_.epochs);
 
-  auto t_start = std::chrono::steady_clock::now();
+  // Telemetry: spans feed both the chrome-trace export and the latency
+  // histograms; the TimedSpans below additionally supply EpochStats even
+  // when obs is disabled.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* epochs_counter = registry.GetCounter("trainer/epochs");
+  obs::Counter* batches_counter = registry.GetCounter("trainer/batches");
+  obs::Histogram* batch_us = registry.GetHistogram("trainer/batch_us");
+  obs::Gauge* last_rmse = registry.GetGauge("trainer/last_eval_rmse");
+
+  obs::TimedSpan train_span("trainer/train");
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    auto e_start = std::chrono::steady_clock::now();
+    obs::TimedSpan epoch_span("trainer/epoch");
     if (config_.lr_decay_factor != 1.0f && epoch == decay_epoch && epoch > 0) {
       set_lr(config_.learning_rate * config_.lr_decay_factor);
     }
@@ -84,8 +94,10 @@ TrainResult Trainer::Train(
 
     double loss_sum = 0.0;
     size_t batches = 0;
+    obs::TimedSpan batch_phase("trainer/epoch_batches");
     for (size_t begin = 0; begin < order.size();
          begin += static_cast<size_t>(config_.batch_size)) {
+      DEEPSD_SPAN("trainer/batch", batch_us);
       size_t end = std::min(order.size(),
                             begin + static_cast<size_t>(config_.batch_size));
       std::vector<size_t> idx(order.begin() + static_cast<long>(begin),
@@ -101,23 +113,29 @@ TrainResult Trainer::Train(
       optimizer_step(store);
       loss_sum += g.value(loss).at(0, 0);
       ++batches;
+      batches_counter->Inc();
     }
-    auto e_end = std::chrono::steady_clock::now();
 
     EpochStats stats;
     stats.epoch = epoch;
     stats.train_loss = batches ? loss_sum / static_cast<double>(batches) : 0.0;
-    stats.seconds = std::chrono::duration<double>(e_end - e_start).count();
+    stats.batch_seconds = batch_phase.Stop();
+    obs::TimedSpan eval_phase("trainer/epoch_eval");
     auto [mae, rmse] = EvaluateMaeRmse(*model, eval_source);
+    stats.eval_seconds = eval_phase.Stop();
+    stats.seconds = stats.batch_seconds + stats.eval_seconds;
     stats.eval_mae = mae;
     stats.eval_rmse = rmse;
     result.history.push_back(stats);
+    epochs_counter->Inc();
+    last_rmse->Set(rmse);
 
     if (config_.verbose) {
       DEEPSD_LOG(Info) << util::StrFormat(
-          "epoch %3d  train_mse=%.3f  eval_mae=%.3f  eval_rmse=%.3f  (%.1fs)",
+          "epoch %3d  train_mse=%.3f  eval_mae=%.3f  eval_rmse=%.3f  "
+          "(%.1fs batches + %.1fs eval)",
           epoch, stats.train_loss, stats.eval_mae, stats.eval_rmse,
-          stats.seconds);
+          stats.batch_seconds, stats.eval_seconds);
     }
     if (on_epoch) on_epoch(stats);
 
@@ -130,8 +148,7 @@ TrainResult Trainer::Train(
       if (static_cast<int>(best.size()) > config_.best_k) best.pop_back();
     }
   }
-  auto t_end = std::chrono::steady_clock::now();
-  result.total_seconds = std::chrono::duration<double>(t_end - t_start).count();
+  result.total_seconds = train_span.Stop();
   result.seconds_per_epoch =
       config_.epochs > 0 ? result.total_seconds / config_.epochs : 0.0;
 

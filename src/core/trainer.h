@@ -39,13 +39,17 @@ struct TrainConfig {
   Optimizer optimizer = Optimizer::kAdam;
 };
 
-/// Per-epoch training record.
+/// Per-epoch training record. Timings come from the obs span layer
+/// (obs/trace.h) and are always measured, whether or not telemetry export
+/// is enabled.
 struct EpochStats {
   int epoch = 0;
   double train_loss = 0;  ///< Mean MSE over the epoch's batches.
   double eval_mae = 0;
   double eval_rmse = 0;
-  double seconds = 0;  ///< Wall-clock time of the epoch's updates.
+  double seconds = 0;        ///< batch_seconds + eval_seconds.
+  double batch_seconds = 0;  ///< Wall-clock time of the epoch's updates.
+  double eval_seconds = 0;   ///< Wall-clock time of the epoch's evaluation.
 };
 
 /// Outcome of Trainer::Train. `history` holds one entry per epoch; the

@@ -3,6 +3,8 @@
 #include <map>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace deepsd {
@@ -50,8 +52,17 @@ ClosedLoopResult RunClosedLoop(const sim::CityConfig& city_config,
   DEEPSD_CHECK(config.epoch_minutes > 0);
   DEEPSD_CHECK(!city_config.supply_boost);
 
+  static obs::Histogram* weights_us =
+      obs::MetricsRegistry::Global().GetHistogram("dispatch/policy_weights_us");
+  static obs::Counter* decision_epochs =
+      obs::MetricsRegistry::Global().GetCounter("dispatch/decision_epochs");
+  DEEPSD_SPAN("dispatch/closed_loop");
+
   // 1. Baseline world.
-  data::OrderDataset baseline = sim::SimulateCity(city_config);
+  data::OrderDataset baseline = [&] {
+    DEEPSD_SPAN("dispatch/baseline_sim");
+    return sim::SimulateCity(city_config);
+  }();
 
   // 2. Policy decisions on the baseline world, normalized per epoch to the
   // driver budget. Allocation table indexed by (day, epoch, area).
@@ -65,7 +76,12 @@ ClosedLoopResult RunClosedLoop(const sim::CityConfig& city_config,
   for (int day = config.day_begin; day < config.day_end; ++day) {
     for (int e = 0; e < epochs_per_day; ++e) {
       int t = config.t_begin + e * config.epoch_minutes;
-      std::vector<double> w = policy->Weights(baseline, day, t);
+      decision_epochs->Inc();
+      std::vector<double> w;
+      {
+        DEEPSD_SPAN("dispatch/policy_weights", weights_us);
+        w = policy->Weights(baseline, day, t);
+      }
       DEEPSD_CHECK(static_cast<int>(w.size()) == num_areas);
       double sum = 0;
       for (double v : w) {
@@ -99,7 +115,10 @@ ClosedLoopResult RunClosedLoop(const sim::CityConfig& city_config,
                  static_cast<size_t>(area);
     return allocation[idx];
   };
-  data::OrderDataset intervened = sim::SimulateCity(intervened_config);
+  data::OrderDataset intervened = [&] {
+    DEEPSD_SPAN("dispatch/intervened_sim");
+    return sim::SimulateCity(intervened_config);
+  }();
 
   // 4. Score.
   ClosedLoopResult result;

@@ -1,31 +1,16 @@
 #ifndef DEEPSD_EVAL_TABLE_PRINTER_H_
 #define DEEPSD_EVAL_TABLE_PRINTER_H_
 
-#include <string>
-#include <vector>
+// The table renderer moved down to util/table_printer.h so that layers
+// below eval (notably obs) can use it; this header keeps the historical
+// eval::TablePrinter spelling working for the bench binaries.
+
+#include "util/table_printer.h"
 
 namespace deepsd {
 namespace eval {
 
-/// ASCII table renderer used by the bench binaries to print the paper's
-/// tables. Column widths auto-fit the content.
-class TablePrinter {
- public:
-  explicit TablePrinter(std::vector<std::string> header);
-
-  void AddRow(std::vector<std::string> row);
-  /// Convenience: first cell is a label, the rest are numbers (%.2f).
-  void AddRow(const std::string& label, const std::vector<double>& values);
-
-  /// Renders to a string ending in '\n'.
-  std::string ToString() const;
-  /// Renders to stdout.
-  void Print() const;
-
- private:
-  std::vector<std::string> header_;
-  std::vector<std::vector<std::string>> rows_;
-};
+using TablePrinter = ::deepsd::util::TablePrinter;
 
 }  // namespace eval
 }  // namespace deepsd

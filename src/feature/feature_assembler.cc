@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/string_util.h"
@@ -246,6 +247,9 @@ void FeatureAssembler::AppendNormalizedCounts(const std::vector<float>& src,
 
 ModelInput FeatureAssembler::AssembleBasic(
     const data::PredictionItem& item) const {
+  static obs::Counter* assembled =
+      obs::MetricsRegistry::Global().GetCounter("feature/assemble_basic");
+  assembled->Inc();
   const int L = config_.window;
   ModelInput in;
   in.area_id = item.area;
@@ -283,6 +287,9 @@ ModelInput FeatureAssembler::AssembleBasic(
 
 ModelInput FeatureAssembler::AssembleAdvanced(
     const data::PredictionItem& item) const {
+  static obs::Counter* assembled =
+      obs::MetricsRegistry::Global().GetCounter("feature/assemble_advanced");
+  assembled->Inc();
   ModelInput in = AssembleBasic(item);
   const int t10 = item.t + data::kGapWindow;
 
@@ -314,6 +321,9 @@ int FeatureAssembler::FlatDim(bool onehot_categoricals) const {
 
 std::vector<float> FeatureAssembler::AssembleFlat(
     const data::PredictionItem& item, bool onehot_categoricals) const {
+  static obs::Counter* assembled =
+      obs::MetricsRegistry::Global().GetCounter("feature/assemble_flat");
+  assembled->Inc();
   const int L = config_.window;
   std::vector<float> out;
   out.reserve(static_cast<size_t>(FlatDim(onehot_categoricals)));

@@ -1,0 +1,59 @@
+#ifndef DEEPSD_OBS_JSON_H_
+#define DEEPSD_OBS_JSON_H_
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace deepsd {
+namespace obs {
+namespace json {
+
+/// Minimal JSON support for the telemetry dump formats: enough of a writer
+/// (string quoting, number formatting) and a recursive-descent parser to
+/// round-trip the JSON this library itself emits, so the report tool and
+/// tests need no external dependency. Not a general-purpose library: no
+/// \uXXXX decoding beyond pass-through, numbers parsed as double.
+
+/// `"`-quoted JSON string with the standard escapes.
+std::string Quote(const std::string& s);
+/// Shortest round-trip double rendering ("%.17g", integers without ".0").
+std::string Number(double v);
+
+/// Parsed JSON value (tree-owning).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> array;
+  // Vector-of-pairs keeps insertion order; lookups are linear but the
+  // telemetry objects have ~10 keys.
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+  /// Member's number with a default; works only on objects.
+  double NumberOr(const std::string& key, double fallback) const;
+  /// Member's string with a default; works only on objects.
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+};
+
+/// Parses one complete JSON document (surrounding whitespace allowed).
+/// Returns false and fills `error` (with a byte offset) on malformed input.
+bool Parse(const std::string& text, Value* out, std::string* error);
+
+}  // namespace json
+}  // namespace obs
+}  // namespace deepsd
+
+#endif  // DEEPSD_OBS_JSON_H_

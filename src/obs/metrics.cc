@@ -1,0 +1,207 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace obs {
+
+void Gauge::Add(double delta) {
+  if (!Enabled()) return;
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  DEEPSD_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bound");
+  DEEPSD_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                   "histogram bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  DEEPSD_CHECK(start > 0 && factor > 1 && count > 0);
+  std::vector<double> bounds(static_cast<size_t>(count));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    bounds[static_cast<size_t>(i)] = edge;
+    edge *= factor;
+  }
+  return bounds;
+}
+
+const std::vector<double>& Histogram::LatencyUsBounds() {
+  static const std::vector<double>* bounds =
+      new std::vector<double>(ExponentialBounds(1.0, 2.0, 36));
+  return *bounds;
+}
+
+namespace {
+/// Relaxed CAS update keeping `slot` at an extreme of itself and `v`.
+template <typename Cmp>
+void UpdateExtreme(std::atomic<double>* slot, double v, Cmp better) {
+  double cur = slot->load(std::memory_order_relaxed);
+  while (better(v, cur) &&
+         !slot->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+void Histogram::ObserveAlways(double v) {
+  size_t b = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  UpdateExtreme(&min_, v, [](double a, double b2) { return a < b2; });
+  UpdateExtreme(&max_, v, [](double a, double b2) { return a > b2; });
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> counts = bucket_counts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(total);
+  const double lo_clip = min();
+  const double hi_clip = max();
+
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (static_cast<double>(cumulative + counts[b]) >= rank) {
+      // Interpolate inside bucket b. The bucket spans (lower, upper]; the
+      // observed min/max clip the open-ended first/overflow buckets.
+      double lower = b == 0 ? lo_clip : bounds_[b - 1];
+      double upper = b < bounds_.size() ? bounds_[b] : hi_clip;
+      lower = std::max(lower, lo_clip);
+      upper = std::min(upper, hi_clip);
+      if (upper < lower) upper = lower;
+      double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts[b]);
+      return lower + (upper - lower) * within;
+    }
+    cumulative += counts[b];
+  }
+  return hi_clip;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::LatencyUsBounds() : std::move(bounds));
+  }
+  return slot.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  // std::map iteration is name-sorted per kind; merge order is
+  // counters, gauges, histograms — stable enough for diffs and tests.
+  for (const auto& [name, c] : counters_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.name = name;
+    s.value = static_cast<double>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, g] : gauges_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.name = name;
+    s.value = g->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : histograms_) {
+    MetricSnapshot s;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->Quantile(0.50);
+    s.p90 = h->Quantile(0.90);
+    s.p99 = h->Quantile(0.99);
+    s.bounds = h->bounds();
+    s.bucket_counts = h->bucket_counts();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace obs
+}  // namespace deepsd

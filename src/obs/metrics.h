@@ -1,0 +1,152 @@
+#ifndef DEEPSD_OBS_METRICS_H_
+#define DEEPSD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace deepsd {
+namespace obs {
+
+/// Monotone event counter. Updates are relaxed atomic adds — safe and
+/// lock-free from any number of threads — and no-ops while obs::Enabled()
+/// is false.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    if (Enabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depths, learning rate, ...).
+/// Set is a relaxed store; Add is a CAS loop — both lock-free.
+class Gauge {
+ public:
+  void Set(double v) {
+    if (Enabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with interpolated quantile readout.
+///
+/// `bounds` are ascending bucket upper edges; an implicit overflow bucket
+/// catches values above the last edge. Observe() is a handful of relaxed
+/// atomic updates (bucket count, total count/sum, min/max CAS), so
+/// concurrent recording never loses samples; quantiles are computed at
+/// read time by linear interpolation inside the owning bucket, exactly as
+/// Prometheus-style fixed-bucket histograms do.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Geometric bucket edges: `count` edges starting at `start`, each
+  /// `factor` times the previous.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int count);
+  /// Default edges for latency-in-microseconds histograms: 1us .. ~34s in
+  /// ×2 steps (36 buckets).
+  static const std::vector<double>& LatencyUsBounds();
+
+  void Observe(double v) {
+    if (Enabled()) ObserveAlways(v);
+  }
+  /// Records regardless of the global switch (used by callers that already
+  /// checked it, e.g. an active ScopedSpan flushing its duration).
+  void ObserveAlways(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  ///< 0 when empty.
+  double max() const;  ///< 0 when empty.
+  /// q in [0, 1]; linear interpolation within the bucket holding the rank.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, bounds().size() + 1 entries (last = overflow).
+  std::vector<uint64_t> bucket_counts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // +/-inf sentinels make the extreme-update CAS loops race-free; the
+  // accessors report 0 for an empty histogram.
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Read-time snapshot of one named metric (see metrics_io.h for the dump
+/// formats built on it).
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  Kind kind = Kind::kCounter;
+  std::string name;
+
+  double value = 0;  ///< Counter / gauge value.
+
+  // Histogram-only fields.
+  uint64_t count = 0;
+  double sum = 0, min = 0, max = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;
+};
+
+/// Name → metric map. Registration takes a mutex and returns a pointer
+/// that stays valid for the life of the process (metrics are never
+/// deallocated, only value-reset), so hot paths cache the pointer in a
+/// function-local static and touch only the lock-free metric afterwards:
+///
+///   static obs::Counter* c =
+///       obs::MetricsRegistry::Global().GetCounter("feature/assemble_basic");
+///   c->Inc();
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Find-or-create; a name keeps its first-registered type and (for
+  /// histograms) first-registered bounds.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Empty `bounds` means Histogram::LatencyUsBounds().
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Snapshot of every registered metric, sorted by name.
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Zeroes every metric's value but keeps all registrations alive (cached
+  /// pointers stay valid) — for tests and between tool phases.
+  void ResetValues();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace deepsd
+
+#endif  // DEEPSD_OBS_METRICS_H_

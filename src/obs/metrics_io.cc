@@ -1,0 +1,171 @@
+#include "obs/metrics_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace deepsd {
+namespace obs {
+
+namespace {
+
+const char* KindName(MetricSnapshot::Kind kind) {
+  switch (kind) {
+    case MetricSnapshot::Kind::kCounter: return "counter";
+    case MetricSnapshot::Kind::kGauge: return "gauge";
+    case MetricSnapshot::Kind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+template <typename T>
+std::string NumberArray(const std::vector<T>& xs) {
+  std::string out = "[";
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (i) out += ',';
+    out += json::Number(static_cast<double>(xs[i]));
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+std::string ToJsonLine(const MetricSnapshot& s) {
+  std::string out = "{\"type\":";
+  out += json::Quote(KindName(s.kind));
+  out += ",\"name\":";
+  out += json::Quote(s.name);
+  if (s.kind != MetricSnapshot::Kind::kHistogram) {
+    out += ",\"value\":";
+    out += json::Number(s.value);
+    out += '}';
+    return out;
+  }
+  out += ",\"count\":" + json::Number(static_cast<double>(s.count));
+  out += ",\"sum\":" + json::Number(s.sum);
+  out += ",\"min\":" + json::Number(s.min);
+  out += ",\"max\":" + json::Number(s.max);
+  out += ",\"p50\":" + json::Number(s.p50);
+  out += ",\"p90\":" + json::Number(s.p90);
+  out += ",\"p99\":" + json::Number(s.p99);
+  out += ",\"bounds\":" + NumberArray(s.bounds);
+  out += ",\"bucket_counts\":" + NumberArray(s.bucket_counts);
+  out += '}';
+  return out;
+}
+
+util::Status WriteJsonLines(const std::vector<MetricSnapshot>& snapshots,
+                            const std::string& path) {
+  std::string body;
+  for (const MetricSnapshot& s : snapshots) {
+    body += ToJsonLine(s);
+    body += '\n';
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open metrics output: " + path);
+  }
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return util::Status::IoError("short write to metrics output: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Status LoadJsonLines(const std::string& path,
+                           std::vector<MetricSnapshot>* out) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open metrics dump: " + path);
+  out->clear();
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    json::Value v;
+    std::string error;
+    if (!json::Parse(line, &v, &error) || !v.is_object()) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("%s:%zu: %s", path.c_str(), line_no,
+                          error.empty() ? "not a JSON object" : error.c_str()));
+    }
+    MetricSnapshot s;
+    std::string type = v.StringOr("type", "");
+    if (type == "counter") {
+      s.kind = MetricSnapshot::Kind::kCounter;
+    } else if (type == "gauge") {
+      s.kind = MetricSnapshot::Kind::kGauge;
+    } else if (type == "histogram") {
+      s.kind = MetricSnapshot::Kind::kHistogram;
+    } else {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s:%zu: unknown metric type '%s'", path.c_str(), line_no,
+          type.c_str()));
+    }
+    s.name = v.StringOr("name", "");
+    s.value = v.NumberOr("value", 0);
+    s.count = static_cast<uint64_t>(v.NumberOr("count", 0));
+    s.sum = v.NumberOr("sum", 0);
+    s.min = v.NumberOr("min", 0);
+    s.max = v.NumberOr("max", 0);
+    s.p50 = v.NumberOr("p50", 0);
+    s.p90 = v.NumberOr("p90", 0);
+    s.p99 = v.NumberOr("p99", 0);
+    if (const json::Value* bounds = v.Find("bounds");
+        bounds != nullptr && bounds->is_array()) {
+      for (const json::Value& b : bounds->array) s.bounds.push_back(b.number);
+    }
+    if (const json::Value* counts = v.Find("bucket_counts");
+        counts != nullptr && counts->is_array()) {
+      for (const json::Value& c : counts->array) {
+        s.bucket_counts.push_back(static_cast<uint64_t>(c.number));
+      }
+    }
+    out->push_back(std::move(s));
+  }
+  return util::Status::OK();
+}
+
+std::string RenderTable(const std::vector<MetricSnapshot>& snapshots) {
+  util::TablePrinter scalars({"Metric", "Kind", "Value"});
+  util::TablePrinter histos(
+      {"Histogram", "Count", "Mean", "P50", "P90", "P99", "Max"});
+  bool any_scalar = false, any_histo = false;
+  for (const MetricSnapshot& s : snapshots) {
+    if (s.kind == MetricSnapshot::Kind::kHistogram) {
+      any_histo = true;
+      double mean = s.count ? s.sum / static_cast<double>(s.count) : 0.0;
+      histos.AddRow({s.name, util::StrFormat("%llu",
+                                             static_cast<unsigned long long>(
+                                                 s.count)),
+                     util::StrFormat("%.1f", mean),
+                     util::StrFormat("%.1f", s.p50),
+                     util::StrFormat("%.1f", s.p90),
+                     util::StrFormat("%.1f", s.p99),
+                     util::StrFormat("%.1f", s.max)});
+    } else {
+      any_scalar = true;
+      scalars.AddRow({s.name, KindName(s.kind),
+                      util::StrFormat("%g", s.value)});
+    }
+  }
+  std::string out;
+  if (any_scalar) out += scalars.ToString();
+  if (any_histo) {
+    if (any_scalar) out += "\n";
+    out += "Latency histograms are in microseconds unless the metric name "
+           "says otherwise.\n";
+    out += histos.ToString();
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace deepsd

@@ -1,0 +1,33 @@
+#ifndef DEEPSD_OBS_METRICS_IO_H_
+#define DEEPSD_OBS_METRICS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace obs {
+
+/// One metric snapshot as a single JSON object (no trailing newline), e.g.
+///   {"type":"histogram","name":"serving/predict_us","count":12,...}
+std::string ToJsonLine(const MetricSnapshot& snapshot);
+
+/// JSON-lines dump: one object per line, independently parseable (the CI
+/// gate pipes each line through `python3 -m json.tool`).
+util::Status WriteJsonLines(const std::vector<MetricSnapshot>& snapshots,
+                            const std::string& path);
+
+/// Re-reads a WriteJsonLines dump (blank lines ignored).
+util::Status LoadJsonLines(const std::string& path,
+                           std::vector<MetricSnapshot>* out);
+
+/// Human rendering via util::TablePrinter: a counters/gauges table followed
+/// by a histogram table with count / mean / p50 / p90 / p99 / max columns.
+std::string RenderTable(const std::vector<MetricSnapshot>& snapshots);
+
+}  // namespace obs
+}  // namespace deepsd
+
+#endif  // DEEPSD_OBS_METRICS_IO_H_

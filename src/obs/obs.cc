@@ -1,0 +1,28 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace deepsd {
+namespace obs {
+namespace internal {
+
+namespace {
+bool InitFromEnv() {
+  const char* v = std::getenv("DEEPSD_OBS_ENABLED");
+  if (v == nullptr || *v == '\0') return false;
+  return std::strcmp(v, "0") != 0 && std::strcmp(v, "false") != 0 &&
+         std::strcmp(v, "off") != 0;
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{InitFromEnv()};
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace deepsd

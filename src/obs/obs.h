@@ -1,0 +1,30 @@
+#ifndef DEEPSD_OBS_OBS_H_
+#define DEEPSD_OBS_OBS_H_
+
+#include <atomic>
+
+namespace deepsd {
+namespace obs {
+
+namespace internal {
+/// Single global switch behind Enabled(); initialized from the
+/// DEEPSD_OBS_ENABLED environment variable ("" / "0" / "false" / "off"
+/// disable, anything else enables, unset disables).
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// True when telemetry collection is on. Every metric update and span
+/// checks this exactly once with a relaxed load, so a disabled build path
+/// costs one predictable branch.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Programmatic override of the environment default (tools turn telemetry
+/// on when --metrics-out / --trace-out is passed).
+void SetEnabled(bool enabled);
+
+}  // namespace obs
+}  // namespace deepsd
+
+#endif  // DEEPSD_OBS_OBS_H_

@@ -1,0 +1,118 @@
+#ifndef DEEPSD_OBS_TRACE_H_
+#define DEEPSD_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace obs {
+
+/// One completed span, timestamps in microseconds since the process trace
+/// epoch. `name` must point at a string with static storage duration (the
+/// DEEPSD_SPAN macro passes literals), so recording never allocates.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint32_t tid = 0;  ///< Dense per-thread id assigned at first span.
+  int64_t start_us = 0;
+  int64_t dur_us = 0;
+};
+
+namespace internal {
+/// Appends to the calling thread's ring buffer (oldest events overwritten
+/// once the ring is full). Only called by an enabled span's destructor.
+void RecordSpan(const char* name, int64_t start_us, int64_t dur_us);
+/// Microseconds since the trace epoch (first use in the process).
+int64_t NowUs();
+}  // namespace internal
+
+/// RAII span timer. When obs is disabled at construction the object does
+/// nothing at all — one relaxed load and branch, no clock reads — which is
+/// what keeps instrumented hot paths at seed-bench speed. When enabled it
+/// records a TraceEvent on destruction and, if `latency_us` is given, also
+/// observes the duration (in µs) into that histogram so traces and metric
+/// quantiles come from the same measurements.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram* latency_us = nullptr)
+      : name_(Enabled() ? name : nullptr), histogram_(latency_us) {
+    if (name_ != nullptr) start_us_ = internal::NowUs();
+  }
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    int64_t dur = internal::NowUs() - start_us_;
+    internal::RecordSpan(name_, start_us_, dur);
+    if (histogram_ != nullptr) {
+      histogram_->ObserveAlways(static_cast<double>(dur));
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* histogram_;
+  int64_t start_us_ = 0;
+};
+
+/// Span that always measures wall time — for call sites whose callers
+/// consume the duration (Trainer's EpochStats) even with telemetry off.
+/// The trace event is still only recorded when obs is enabled.
+class TimedSpan {
+ public:
+  explicit TimedSpan(const char* name)
+      : name_(name), start_us_(internal::NowUs()) {}
+  ~TimedSpan() { Stop(); }
+
+  /// Ends the span (idempotent) and returns its duration in seconds.
+  double Stop() {
+    if (name_ != nullptr) {
+      dur_us_ = internal::NowUs() - start_us_;
+      if (Enabled()) internal::RecordSpan(name_, start_us_, dur_us_);
+      name_ = nullptr;
+    }
+    return static_cast<double>(dur_us_) * 1e-6;
+  }
+
+  TimedSpan(const TimedSpan&) = delete;
+  TimedSpan& operator=(const TimedSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_us_;
+  int64_t dur_us_ = 0;
+};
+
+#define DEEPSD_OBS_CONCAT_INNER(a, b) a##b
+#define DEEPSD_OBS_CONCAT(a, b) DEEPSD_OBS_CONCAT_INNER(a, b)
+/// Times the enclosing scope: DEEPSD_SPAN("serving/predict");
+#define DEEPSD_SPAN(...)                               \
+  ::deepsd::obs::ScopedSpan DEEPSD_OBS_CONCAT(         \
+      deepsd_span_, __LINE__)(__VA_ARGS__)
+
+/// Drains the per-thread rings into chrome://tracing "trace event format"
+/// JSON (complete "X" events) that chrome://tracing and Perfetto load
+/// directly.
+class TraceExporter {
+ public:
+  /// All buffered events from every thread, ordered by start time.
+  static std::vector<TraceEvent> CollectAll();
+  /// Writes {"traceEvents": [...]} to `path`.
+  static util::Status WriteJson(const std::string& path);
+  /// Serializes without touching the filesystem (tests).
+  static std::string ToJson();
+  /// Spans lost to ring overwrap since the last Clear().
+  static uint64_t dropped_count();
+  /// Empties every ring (events only; thread registrations survive).
+  static void Clear();
+};
+
+}  // namespace obs
+}  // namespace deepsd
+
+#endif  // DEEPSD_OBS_TRACE_H_

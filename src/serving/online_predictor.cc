@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace deepsd {
@@ -64,11 +66,17 @@ feature::ModelInput OnlinePredictor::AssembleLive(int area) const {
 }
 
 float OnlinePredictor::Predict(int area) const {
+  static obs::Histogram* latency_us =
+      obs::MetricsRegistry::Global().GetHistogram("serving/predict_us");
+  DEEPSD_SPAN("serving/predict", latency_us);
   std::vector<feature::ModelInput> inputs = {AssembleLive(area)};
   return model_->Predict(inputs)[0];
 }
 
 std::vector<float> OnlinePredictor::PredictAll() const {
+  static obs::Histogram* latency_us =
+      obs::MetricsRegistry::Global().GetHistogram("serving/predict_all_us");
+  DEEPSD_SPAN("serving/predict_all", latency_us);
   std::vector<feature::ModelInput> inputs;
   inputs.reserve(static_cast<size_t>(buffer_.num_areas()));
   for (int a = 0; a < buffer_.num_areas(); ++a) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace deepsd {
@@ -20,10 +22,16 @@ OrderStreamBuffer::OrderStreamBuffer(int num_areas, int window)
 }
 
 void OrderStreamBuffer::AdvanceTo(int day, int minute) {
+  static obs::Histogram* latency_us =
+      obs::MetricsRegistry::Global().GetHistogram("serving/advance_to_us");
+  static obs::Gauge* depth =
+      obs::MetricsRegistry::Global().GetGauge("serving/buffered_orders");
+  DEEPSD_SPAN("serving/advance_to", latency_us);
   int64_t target = static_cast<int64_t>(day) * data::kMinutesPerDay + minute;
   if (target <= now_abs_) return;
   now_abs_ = target;
   Evict();
+  if (obs::Enabled()) depth->Set(static_cast<double>(buffered_orders()));
 }
 
 void OrderStreamBuffer::Evict() {
@@ -36,6 +44,12 @@ void OrderStreamBuffer::Evict() {
 }
 
 void OrderStreamBuffer::AddOrder(const data::Order& order) {
+  static obs::Histogram* latency_us =
+      obs::MetricsRegistry::Global().GetHistogram("serving/add_order_us");
+  static obs::Counter* ingested =
+      obs::MetricsRegistry::Global().GetCounter("serving/orders_ingested");
+  DEEPSD_SPAN("serving/add_order", latency_us);
+  ingested->Inc();
   DEEPSD_CHECK(order.start_area >= 0 && order.start_area < num_areas_);
   int64_t ts_abs =
       static_cast<int64_t>(order.day) * data::kMinutesPerDay + order.ts;

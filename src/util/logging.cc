@@ -1,12 +1,21 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <mutex>
 
 namespace deepsd {
 namespace util {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<bool> g_timestamps{false};
+// Serializes the stderr write; the line itself is pre-formatted into one
+// buffer so even without the mutex a single write call would not shear
+// mid-line, but the mutex also keeps whole lines ordered across threads.
+std::mutex g_write_mu;
 
 char LevelChar(LogLevel level) {
   switch (level) {
@@ -17,14 +26,55 @@ char LevelChar(LogLevel level) {
   }
   return '?';
 }
+
+/// "[2026-08-06 12:34:56.789] " local wall-clock prefix.
+std::string TimestampPrefix() {
+  auto now = std::chrono::system_clock::now();
+  std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    now.time_since_epoch())
+                    .count() %
+                1000;
+  std::tm tm_buf;
+  localtime_r(&secs, &tm_buf);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "[%04d-%02d-%02d %02d:%02d:%02d.%03d] ",
+                tm_buf.tm_year + 1900, tm_buf.tm_mon + 1, tm_buf.tm_mday,
+                tm_buf.tm_hour, tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(millis));
+  return buf;
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void SetLogTimestamps(bool enabled) {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+bool GetLogTimestamps() {
+  return g_timestamps.load(std::memory_order_relaxed);
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%c] %s\n", LevelChar(level), message.c_str());
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
+  std::string line;
+  line.reserve(message.size() + 40);
+  if (g_timestamps.load(std::memory_order_relaxed)) {
+    line += TimestampPrefix();
+  }
+  line += '[';
+  line += LevelChar(level);
+  line += "] ";
+  line += message;
+  line += '\n';
+  std::lock_guard<std::mutex> lock(g_write_mu);
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 }  // namespace util

@@ -10,12 +10,20 @@ namespace util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the global minimum level; messages below it are dropped.
+/// Sets the global minimum level; messages below it are dropped. Safe to
+/// call from any thread (the level is an atomic).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Prefixes every line with a wall-clock timestamp
+/// ("[2026-08-06 12:34:56.789]"). Off by default; safe from any thread.
+void SetLogTimestamps(bool enabled);
+bool GetLogTimestamps();
+
 /// Writes one formatted log line ("[I] message") to stderr if `level` is at
-/// or above the global threshold.
+/// or above the global threshold. Thread-safe: the line is formatted into
+/// one buffer and written under a mutex, so concurrent loggers never
+/// interleave within a line.
 void LogMessage(LogLevel level, const std::string& message);
 
 /// Stream-style helper backing the DEEPSD_LOG macro.

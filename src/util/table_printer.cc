@@ -1,11 +1,12 @@
-#include "eval/table_printer.h"
+#include "util/table_printer.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "util/string_util.h"
 
 namespace deepsd {
-namespace eval {
+namespace util {
 
 TablePrinter::TablePrinter(std::vector<std::string> header)
     : header_(std::move(header)) {}
@@ -55,5 +56,5 @@ std::string TablePrinter::ToString() const {
 
 void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
 
-}  // namespace eval
+}  // namespace util
 }  // namespace deepsd

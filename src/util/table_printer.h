@@ -1,0 +1,37 @@
+#ifndef DEEPSD_UTIL_TABLE_PRINTER_H_
+#define DEEPSD_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace deepsd {
+namespace util {
+
+/// ASCII table renderer used by the bench binaries (paper tables) and the
+/// observability metric dumps. Column widths auto-fit the content.
+///
+/// Lives in util (not eval) so low-level layers such as obs can render
+/// tables without depending on the evaluation harness; eval/table_printer.h
+/// re-exports it under the historical eval:: name.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Convenience: first cell is a label, the rest are numbers (%.2f).
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  /// Renders to a string ending in '\n'.
+  std::string ToString() const;
+  /// Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,201 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics_io.h"
+#include "src/obs/obs.h"
+
+namespace deepsd {
+namespace obs {
+namespace {
+
+/// Turns telemetry on for the test and restores the prior state after, so
+/// obs tests don't leak enablement into unrelated tests in this binary.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = Enabled();
+    SetEnabled(true);
+  }
+  void TearDown() override { SetEnabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsMetricsTest, CounterIncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsMetricsTest, CounterIsNoOpWhenDisabled) {
+  Counter c;
+  SetEnabled(false);
+  c.Inc(100);
+  EXPECT_EQ(c.value(), 0u);
+  SetEnabled(true);
+  c.Inc(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  SetEnabled(false);
+  g.Set(99.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramBasicAccounting) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (double v : {0.5, 1.5, 3.0, 5.0, 100.0}) h.Observe(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 110.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  std::vector<uint64_t> expected = {1, 1, 1, 1, 1};  // one per bucket
+  EXPECT_EQ(h.bucket_counts(), expected);
+}
+
+TEST_F(ObsMetricsTest, EmptyHistogramReadsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST_F(ObsMetricsTest, QuantilesOnKnownUniformDistribution) {
+  // 1..1000 into unit-width buckets: interpolation should land within one
+  // bucket width of the exact order statistic.
+  std::vector<double> bounds;
+  for (int i = 10; i <= 1000; i += 10) bounds.push_back(i);
+  Histogram h(bounds);
+  for (int v = 1; v <= 1000; ++v) h.Observe(v);
+  EXPECT_NEAR(h.Quantile(0.50), 500.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.90), 900.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.0), 1.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 1000.0);
+}
+
+TEST_F(ObsMetricsTest, QuantileClipsOpenEndedBucketsToObservedRange) {
+  Histogram h({10.0, 100.0});
+  // Everything lands in the overflow bucket; quantiles must stay inside
+  // [min, max] rather than extrapolating to infinity.
+  for (double v : {200.0, 300.0, 400.0}) h.Observe(v);
+  EXPECT_GE(h.Quantile(0.5), 200.0);
+  EXPECT_LE(h.Quantile(0.99), 400.0);
+}
+
+TEST_F(ObsMetricsTest, ConcurrentIncrementsFromFourThreadsAreExact) {
+  Counter c;
+  Histogram h(Histogram::ExponentialBounds(1.0, 2.0, 20));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Inc();
+        h.Observe(static_cast<double>(t * kPerThread + i % 1000));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h.bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST_F(ObsMetricsTest, RegistryReturnsStablePointersAndSnapshots) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c1 = reg.GetCounter("test/registry_counter");
+  Counter* c2 = reg.GetCounter("test/registry_counter");
+  EXPECT_EQ(c1, c2);
+  c1->Reset();
+  c1->Inc(7);
+  Histogram* h = reg.GetHistogram("test/registry_histo");
+  h->Reset();
+  h->Observe(3.0);
+
+  bool saw_counter = false, saw_histo = false;
+  for (const MetricSnapshot& s : reg.Snapshot()) {
+    if (s.name == "test/registry_counter") {
+      saw_counter = true;
+      EXPECT_EQ(s.kind, MetricSnapshot::Kind::kCounter);
+      EXPECT_DOUBLE_EQ(s.value, 7.0);
+    }
+    if (s.name == "test/registry_histo") {
+      saw_histo = true;
+      EXPECT_EQ(s.kind, MetricSnapshot::Kind::kHistogram);
+      EXPECT_EQ(s.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_histo);
+}
+
+TEST_F(ObsMetricsTest, JsonLinesRoundTrip) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test/io_counter")->Reset();
+  reg.GetCounter("test/io_counter")->Inc(5);
+  Histogram* h = reg.GetHistogram("test/io_histo");
+  h->Reset();
+  for (int i = 1; i <= 100; ++i) h->Observe(static_cast<double>(i));
+
+  std::string path =
+      ::testing::TempDir() + "/obs_metrics_roundtrip.jsonl";
+  ASSERT_TRUE(WriteJsonLines(reg.Snapshot(), path).ok());
+
+  std::vector<MetricSnapshot> loaded;
+  ASSERT_TRUE(LoadJsonLines(path, &loaded).ok());
+  ASSERT_FALSE(loaded.empty());
+  bool saw_counter = false, saw_histo = false;
+  for (const MetricSnapshot& s : loaded) {
+    if (s.name == "test/io_counter") {
+      saw_counter = true;
+      EXPECT_DOUBLE_EQ(s.value, 5.0);
+    }
+    if (s.name == "test/io_histo") {
+      saw_histo = true;
+      EXPECT_EQ(s.count, 100u);
+      EXPECT_DOUBLE_EQ(s.sum, 5050.0);
+      EXPECT_NEAR(s.p50, 50.0, 20.0);  // default ×2 buckets are coarse
+      EXPECT_GT(s.p99, s.p50);
+      EXPECT_EQ(s.bucket_counts.size(), s.bounds.size() + 1);
+    }
+  }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_histo);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsMetricsTest, RenderTableListsEveryMetric) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test/render_counter")->Inc();
+  reg.GetHistogram("test/render_histo")->Observe(1.0);
+  std::string table = RenderTable(reg.Snapshot());
+  EXPECT_NE(table.find("test/render_counter"), std::string::npos);
+  EXPECT_NE(table.find("test/render_histo"), std::string::npos);
+  EXPECT_NE(table.find("P99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace deepsd

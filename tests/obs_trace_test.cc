@@ -1,0 +1,222 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+
+namespace deepsd {
+namespace obs {
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = Enabled();
+    SetEnabled(true);
+    TraceExporter::Clear();
+  }
+  void TearDown() override {
+    TraceExporter::Clear();
+    SetEnabled(was_enabled_);
+  }
+
+  static void SpinBriefly() {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+const TraceEvent* FindEvent(const std::vector<TraceEvent>& events,
+                            const std::string& name) {
+  for (const TraceEvent& e : events) {
+    if (e.name != nullptr && name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+TEST_F(ObsTraceTest, ScopedSpanRecordsEvent) {
+  {
+    DEEPSD_SPAN("test/outer_scope");
+    SpinBriefly();
+  }
+  auto events = TraceExporter::CollectAll();
+  const TraceEvent* e = FindEvent(events, "test/outer_scope");
+  ASSERT_NE(e, nullptr);
+  EXPECT_GT(e->dur_us, 0);
+  EXPECT_GE(e->start_us, 0);
+}
+
+TEST_F(ObsTraceTest, NestedSpansAreContainedInParent) {
+  {
+    ScopedSpan outer("test/nest_outer");
+    SpinBriefly();
+    {
+      ScopedSpan inner("test/nest_inner");
+      SpinBriefly();
+    }
+    SpinBriefly();
+  }
+  auto events = TraceExporter::CollectAll();
+  const TraceEvent* outer = FindEvent(events, "test/nest_outer");
+  const TraceEvent* inner = FindEvent(events, "test/nest_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->start_us + inner->dur_us, outer->start_us + outer->dur_us);
+  EXPECT_LT(inner->dur_us, outer->dur_us);
+}
+
+TEST_F(ObsTraceTest, SpansFromOtherThreadsGetDistinctTids) {
+  {
+    DEEPSD_SPAN("test/tid_main");
+    SpinBriefly();
+  }
+  std::thread worker([] {
+    DEEPSD_SPAN("test/tid_worker");
+    SpinBriefly();
+  });
+  worker.join();
+  auto events = TraceExporter::CollectAll();
+  const TraceEvent* main_ev = FindEvent(events, "test/tid_main");
+  const TraceEvent* worker_ev = FindEvent(events, "test/tid_worker");
+  ASSERT_NE(main_ev, nullptr);
+  ASSERT_NE(worker_ev, nullptr);
+  EXPECT_NE(main_ev->tid, worker_ev->tid);
+}
+
+TEST_F(ObsTraceTest, SpanFeedsLatencyHistogram) {
+  Histogram h(Histogram::LatencyUsBounds());
+  {
+    ScopedSpan span("test/span_with_histo", &h);
+    SpinBriefly();
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.sum(), 0.0);
+}
+
+TEST_F(ObsTraceTest, TimedSpanMeasuresEvenWhenDisabled) {
+  SetEnabled(false);
+  size_t before = TraceExporter::CollectAll().size();
+  TimedSpan span("test/timed_disabled");
+  SpinBriefly();
+  double seconds = span.Stop();
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_DOUBLE_EQ(span.Stop(), seconds);  // idempotent
+  EXPECT_EQ(TraceExporter::CollectAll().size(), before);
+}
+
+TEST_F(ObsTraceTest, DisabledScopedSpanIsNoOp) {
+  SetEnabled(false);
+  size_t before = TraceExporter::CollectAll().size();
+  Histogram h(Histogram::LatencyUsBounds());
+  {
+    DEEPSD_SPAN("test/disabled_span");
+    ScopedSpan with_histo("test/disabled_span_histo", &h);
+    SpinBriefly();
+  }
+  EXPECT_EQ(TraceExporter::CollectAll().size(), before);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(ObsTraceTest, ToJsonIsValidChromeTraceFormat) {
+  {
+    DEEPSD_SPAN("test/json_a");
+    SpinBriefly();
+  }
+  {
+    DEEPSD_SPAN("test/json_b");
+    SpinBriefly();
+  }
+  std::string text = TraceExporter::ToJson();
+
+  json::Value root;
+  std::string error;
+  ASSERT_TRUE(json::Parse(text, &root, &error)) << error;
+  ASSERT_TRUE(root.is_object());
+  const json::Value* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GE(events->array.size(), 2u);
+
+  bool saw_a = false, saw_b = false;
+  for (const json::Value& ev : events->array) {
+    ASSERT_TRUE(ev.is_object());
+    EXPECT_EQ(ev.StringOr("ph", ""), "X");  // complete events
+    EXPECT_NE(ev.Find("name"), nullptr);
+    EXPECT_NE(ev.Find("ts"), nullptr);
+    EXPECT_NE(ev.Find("dur"), nullptr);
+    EXPECT_NE(ev.Find("tid"), nullptr);
+    std::string name = ev.StringOr("name", "");
+    if (name == "test/json_a") saw_a = true;
+    if (name == "test/json_b") saw_b = true;
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST_F(ObsTraceTest, WriteJsonRoundTripsThroughFile) {
+  {
+    DEEPSD_SPAN("test/file_span");
+    SpinBriefly();
+  }
+  std::string path = ::testing::TempDir() + "/obs_trace_roundtrip.json";
+  ASSERT_TRUE(TraceExporter::WriteJson(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  json::Value root;
+  std::string error;
+  ASSERT_TRUE(json::Parse(text, &root, &error)) << error;
+  const json::Value* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found = false;
+  for (const json::Value& ev : events->array) {
+    if (ev.StringOr("name", "") == "test/file_span") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTraceTest, ClearDropsBufferedEvents) {
+  {
+    DEEPSD_SPAN("test/cleared_span");
+  }
+  ASSERT_NE(FindEvent(TraceExporter::CollectAll(), "test/cleared_span"),
+            nullptr);
+  TraceExporter::Clear();
+  EXPECT_EQ(FindEvent(TraceExporter::CollectAll(), "test/cleared_span"),
+            nullptr);
+  EXPECT_EQ(TraceExporter::dropped_count(), 0u);
+}
+
+TEST_F(ObsTraceTest, CollectAllIsSortedByStartTime) {
+  for (int i = 0; i < 5; ++i) {
+    DEEPSD_SPAN("test/sorted_span");
+    SpinBriefly();
+  }
+  auto events = TraceExporter::CollectAll();
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_us, events[i].start_us);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace deepsd

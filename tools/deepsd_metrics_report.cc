@@ -1,0 +1,50 @@
+// deepsd_metrics_report: pretty-print a metrics dump produced by
+// deepsd_train / deepsd_simulate --metrics-out.
+//
+//   deepsd_metrics_report --in=metrics.jsonl [--filter=serving/]
+//
+// Renders the counters/gauges table and the histogram quantile table
+// (count / mean / p50 / p90 / p99 / max, microseconds for latency
+// histograms). --filter keeps only metrics whose name contains the given
+// substring.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_io.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace deepsd;
+  util::CommandLine cli(argc, argv);
+  util::Status st = cli.CheckKnown({"in", "filter", "help"});
+  if (!st.ok() || cli.GetBool("help", false) || !cli.Has("in")) {
+    std::fprintf(stderr,
+                 "%s\nusage: deepsd_metrics_report --in=metrics.jsonl "
+                 "[--filter=substring]\n",
+                 st.ToString().c_str());
+    return st.ok() ? 2 : 2;
+  }
+
+  std::vector<obs::MetricSnapshot> snapshots;
+  st = obs::LoadJsonLines(cli.GetString("in"), &snapshots);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (cli.Has("filter")) {
+    std::string needle = cli.GetString("filter");
+    std::vector<obs::MetricSnapshot> kept;
+    for (auto& s : snapshots) {
+      if (s.name.find(needle) != std::string::npos) {
+        kept.push_back(std::move(s));
+      }
+    }
+    snapshots = std::move(kept);
+  }
+
+  std::fputs(obs::RenderTable(snapshots).c_str(), stdout);
+  return 0;
+}

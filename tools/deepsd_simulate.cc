@@ -2,28 +2,138 @@
 // binary OrderDataset for the other tools.
 //
 //   deepsd_simulate --out=city.bin --areas=58 --days=52 --seed=42 \
-//                   [--mean_scale=1.0] [--no_weather] [--no_traffic]
+//                   [--mean_scale=1.0] [--no_weather] [--no_traffic] \
+//                   [--metrics-out=metrics.jsonl] [--trace-out=trace.json]
+//
+// --metrics-out / --trace-out turn telemetry on and additionally run an
+// instrumented end-to-end pass over the generated city — a short training
+// run, a live-serving replay through OnlinePredictor, and one closed-loop
+// dispatch evaluation — so the dumps cover every subsystem's hot path
+// (trainer, predictor, order stream, feature assembly, dispatch). The
+// metrics dump is JSON lines; the trace loads in chrome://tracing and
+// Perfetto. See docs/observability.md.
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 
+#include "core/trainer.h"
 #include "data/serialize.h"
+#include "dispatch/closed_loop.h"
+#include "dispatch/policies.h"
+#include "obs/metrics_io.h"
+#include "obs/trace.h"
+#include "serving/online_predictor.h"
 #include "sim/city_sim.h"
 #include "util/cli.h"
 
-int main(int argc, char** argv) {
-  using namespace deepsd;
+namespace deepsd {
+namespace {
+
+/// Trains a small basic-mode model on the generated city, replays one
+/// serving day through the OnlinePredictor minute by minute, and runs a
+/// predictive closed-loop dispatch epoch — purely to exercise the
+/// instrumented paths end to end. Kept deliberately tiny: 2 epochs, a
+/// coarse item stride, and a single dispatch day.
+void RunInstrumentedPipeline(const data::OrderDataset& dataset,
+                             const sim::CityConfig& city_config) {
+  const int num_days = dataset.num_days();
+  if (num_days < 3) {
+    std::fprintf(stderr,
+                 "telemetry pipeline needs >= 3 days, have %d; skipping\n",
+                 num_days);
+    return;
+  }
+  const int train_days = std::max(2, num_days * 2 / 3);
+  const int serve_day = train_days;  // first held-out day
+
+  // --- Trainer spans ---
+  std::printf("telemetry: training probe model on days [0,%d)...\n",
+              train_days);
+  feature::FeatureConfig fc;
+  feature::FeatureAssembler assembler(&dataset, fc, 0, train_days);
+  auto train_items = data::MakeItems(dataset, 0, train_days, 20, 1430, 30);
+  auto eval_items = data::MakeTestItems(dataset, serve_day, serve_day + 1);
+
+  core::DeepSDConfig config;
+  config.num_areas = dataset.num_areas();
+  config.use_weather = dataset.has_weather();
+  config.use_traffic = dataset.has_traffic();
+  nn::ParameterStore params;
+  util::Rng rng(7);
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kBasic, &params,
+                          &rng);
+  core::TrainConfig tc;
+  tc.epochs = 2;
+  tc.best_k = 0;
+  core::AssemblerSource train(&assembler, train_items, /*advanced=*/false);
+  core::AssemblerSource eval(&assembler, eval_items, /*advanced=*/false);
+  core::Trainer(tc).Train(&model, &params, train, eval);
+
+  // --- Serving spans: replay the serve day like a live feed ---
+  std::printf("telemetry: replaying day %d through OnlinePredictor...\n",
+              serve_day);
+  serving::OnlinePredictor predictor(&model, &assembler);
+  serving::OrderStreamBuffer& buffer = predictor.buffer();
+  const int t_begin = 420, t_end = 600;  // morning peak is plenty
+  buffer.AdvanceTo(serve_day, t_begin - fc.window);
+  for (int ts = t_begin - fc.window; ts < t_end; ++ts) {
+    for (int a = 0; a < dataset.num_areas(); ++a) {
+      for (const data::Order& o : dataset.OrdersAt(a, serve_day, ts)) {
+        buffer.AddOrder(o);
+      }
+      if (dataset.has_traffic()) {
+        data::TrafficRecord tr = dataset.TrafficAt(a, serve_day, ts);
+        tr.area = a;
+        tr.day = serve_day;
+        tr.ts = ts;
+        buffer.AddTraffic(tr);
+      }
+    }
+    if (dataset.has_weather()) {
+      data::WeatherRecord w = dataset.WeatherAt(serve_day, ts);
+      w.day = serve_day;
+      w.ts = ts;
+      buffer.AddWeather(w);
+    }
+    predictor.AdvanceTo(serve_day, ts + 1);
+    if ((ts + 1) % 10 == 0 && ts + 1 >= t_begin) {
+      predictor.PredictAll();
+      predictor.Predict(0);
+    }
+  }
+
+  // --- Dispatch spans: one short predictive closed loop ---
+  std::printf("telemetry: running closed-loop dispatch on day %d...\n",
+              serve_day);
+  dispatch::PredictiveGapPolicy policy(&model, &assembler);
+  dispatch::ClosedLoopConfig clc;
+  clc.day_begin = serve_day;
+  clc.day_end = serve_day + 1;
+  clc.t_begin = t_begin;
+  clc.t_end = t_end;
+  clc.drivers_per_minute = 0.4 * dataset.num_areas();
+  dispatch::RunClosedLoop(city_config, &policy, clc);
+}
+
+int Main(int argc, char** argv) {
   util::CommandLine cli(argc, argv);
   util::Status st = cli.CheckKnown({"out", "areas", "days", "seed",
                                     "mean_scale", "no_weather", "no_traffic",
-                                    "first_weekday", "help"});
+                                    "first_weekday", "metrics-out",
+                                    "trace-out", "help"});
   if (!st.ok() || cli.GetBool("help", false)) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_simulate --out=city.bin [--areas=58] "
                  "[--days=52] [--seed=42] [--mean_scale=1.0] [--no_weather] "
-                 "[--no_traffic] [--first_weekday=1]\n",
+                 "[--no_traffic] [--first_weekday=1] "
+                 "[--metrics-out=metrics.jsonl] [--trace-out=trace.json]\n",
                  st.ToString().c_str());
     return st.ok() ? 0 : 2;
   }
+
+  const bool telemetry = cli.Has("metrics-out") || cli.Has("trace-out");
+  if (telemetry) obs::SetEnabled(true);
 
   std::string out = cli.GetString("out", "city.bin");
   sim::CityConfig config;
@@ -53,5 +163,35 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out.c_str());
+
+  if (telemetry) {
+    RunInstrumentedPipeline(dataset, config);
+    if (cli.Has("metrics-out")) {
+      std::string path = cli.GetString("metrics-out");
+      st = obs::WriteJsonLines(obs::MetricsRegistry::Global().Snapshot(),
+                               path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "metrics dump failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
+    if (cli.Has("trace-out")) {
+      std::string path = cli.GetString("trace-out");
+      st = obs::TraceExporter::WriteJson(path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "trace dump failed: %s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                  path.c_str());
+    }
+  }
   return 0;
 }
+
+}  // namespace
+}  // namespace deepsd
+
+int main(int argc, char** argv) { return deepsd::Main(argc, argv); }

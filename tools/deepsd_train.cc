@@ -4,12 +4,19 @@
 //   deepsd_train --data=city.bin --model=model.bin --mode=advanced \
 //                --train_days=24 [--epochs=50] [--batch=64] [--lr=1e-3] \
 //                [--best_k=10] [--stride=5] [--no_weather] [--no_traffic] \
-//                [--no_residual] [--onehot] [--finetune_from=prev.bin]
+//                [--no_residual] [--onehot] [--finetune_from=prev.bin] \
+//                [--metrics-out=metrics.jsonl] [--trace-out=trace.json]
+//
+// --metrics-out / --trace-out turn telemetry on and, after training, write
+// the metric registry as JSON lines and the span timeline as
+// chrome://tracing JSON (see docs/observability.md).
 
 #include <cstdio>
 
 #include "core/trainer.h"
 #include "data/serialize.h"
+#include "obs/metrics_io.h"
+#include "obs/trace.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
@@ -18,17 +25,22 @@ int main(int argc, char** argv) {
   util::Status st = cli.CheckKnown(
       {"data", "model", "mode", "train_days", "eval_days", "epochs", "batch",
        "lr", "best_k", "stride", "no_weather", "no_traffic", "no_residual",
-       "onehot", "finetune_from", "seed", "verbose", "help"});
+       "onehot", "finetune_from", "seed", "verbose", "metrics-out",
+       "trace-out", "help"});
   if (!st.ok() || cli.GetBool("help", false) || !cli.Has("data")) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_train --data=city.bin --model=model.bin "
                  "--mode=basic|advanced --train_days=N [--epochs=50] "
                  "[--batch=64] [--lr=1e-3] [--best_k=10] [--stride=5] "
                  "[--no_weather] [--no_traffic] [--no_residual] [--onehot] "
-                 "[--finetune_from=prev.bin] [--seed=7] [--verbose]\n",
+                 "[--finetune_from=prev.bin] [--seed=7] [--verbose] "
+                 "[--metrics-out=metrics.jsonl] [--trace-out=trace.json]\n",
                  st.ToString().c_str());
     return st.ok() ? 2 : 2;
   }
+
+  const bool telemetry = cli.Has("metrics-out") || cli.Has("trace-out");
+  if (telemetry) obs::SetEnabled(true);
 
   data::OrderDataset dataset;
   st = data::LoadDataset(cli.GetString("data"), &dataset);
@@ -104,5 +116,25 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out.c_str());
+
+  if (cli.Has("metrics-out")) {
+    std::string path = cli.GetString("metrics-out");
+    st = obs::WriteJsonLines(obs::MetricsRegistry::Global().Snapshot(), path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics dump failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (cli.Has("trace-out")) {
+    std::string path = cli.GetString("trace-out");
+    st = obs::TraceExporter::WriteJson(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace dump failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
+                path.c_str());
+  }
   return 0;
 }
