@@ -1,0 +1,185 @@
+// Parallel scaling of the data-parallel trainer and the batched serving
+// path. For threads in {1, 2, 4, 8} the same training run and the same
+// PredictAll sweep are repeated from identical seeds; the output is a JSON
+// speedup table plus a bit-identity verdict against the single-threaded
+// run (the determinism contract of docs/parallelism.md, measured rather
+// than assumed). Wall-clock speedups only materialize on machines with
+// that many cores — the identity columns must hold everywhere.
+//
+//   bench_parallel_scaling [--areas=16] [--days=12] [--epochs=3]
+//                          [--json=scaling.json] [--metrics-out=m.jsonl]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/trainer.h"
+#include "feature/feature_assembler.h"
+#include "obs/metrics.h"
+#include "obs/metrics_io.h"
+#include "obs/obs.h"
+#include "sim/city_sim.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace deepsd {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct RunResult {
+  double train_seconds = 0;
+  double predict_seconds = 0;
+  std::vector<std::vector<float>> params;  // flattened tensors, store order
+  std::vector<float> preds;
+  double final_loss = 0;
+};
+
+int Main(int argc, char** argv) {
+  util::CommandLine cli(argc, argv);
+  util::Status st = cli.CheckKnown(
+      {"areas", "days", "epochs", "json", "metrics-out", "help"});
+  if (!st.ok() || cli.GetBool("help", false)) {
+    std::fprintf(stderr,
+                 "%s\nusage: bench_parallel_scaling [--areas=16] [--days=12] "
+                 "[--epochs=3] [--json=out.json] [--metrics-out=m.jsonl]\n",
+                 st.ToString().c_str());
+    return st.ok() ? 0 : 2;
+  }
+  if (cli.Has("metrics-out")) obs::SetEnabled(true);
+
+  sim::CityConfig city;
+  city.num_areas = static_cast<int>(cli.GetInt("areas", 16));
+  city.num_days = static_cast<int>(cli.GetInt("days", 12));
+  city.seed = 42;
+  const int epochs = static_cast<int>(cli.GetInt("epochs", 3));
+  const int train_days = city.num_days * 2 / 3;
+
+  std::printf("simulating %d areas x %d days...\n", city.num_areas,
+              city.num_days);
+  data::OrderDataset dataset = sim::SimulateCity(city);
+  auto train_items = data::MakeItems(dataset, 0, train_days, 400, 1300, 20);
+  auto eval_items =
+      data::MakeTestItems(dataset, train_days, city.num_days);
+  std::printf("%zu train items, %zu eval items, %d epochs per run\n",
+              train_items.size(), eval_items.size(), epochs);
+
+  auto run = [&](int threads) {
+    util::ThreadPool::SetGlobalThreads(threads);
+
+    feature::FeatureConfig fc;
+    feature::FeatureAssembler assembler(&dataset, fc, 0, train_days);
+    core::DeepSDConfig config;
+    config.num_areas = dataset.num_areas();
+    config.use_weather = dataset.has_weather();
+    config.use_traffic = dataset.has_traffic();
+    nn::ParameterStore store;
+    util::Rng rng(7);
+    core::DeepSDModel model(config, core::DeepSDModel::Mode::kAdvanced,
+                            &store, &rng);
+    core::AssemblerSource train(&assembler, train_items, /*advanced=*/true);
+    core::AssemblerSource eval(&assembler, eval_items, /*advanced=*/true);
+
+    core::TrainConfig tc;
+    tc.epochs = epochs;
+    tc.best_k = 0;
+    RunResult r;
+    double t0 = NowSeconds();
+    core::TrainResult res = core::Trainer(tc).Train(&model, &store, train,
+                                                    eval);
+    r.train_seconds = NowSeconds() - t0;
+    r.final_loss = res.history.back().train_loss;
+
+    t0 = NowSeconds();
+    r.preds = model.Predict(eval);
+    r.predict_seconds = NowSeconds() - t0;
+
+    for (const auto& p : store.parameters()) {
+      r.params.push_back(p->value.flat());
+    }
+    return r;
+  };
+
+  auto identical = [](const RunResult& a, const RunResult& b) {
+    if (a.params.size() != b.params.size() ||
+        a.preds.size() != b.preds.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.params.size(); ++i) {
+      if (a.params[i].size() != b.params[i].size() ||
+          std::memcmp(a.params[i].data(), b.params[i].data(),
+                      a.params[i].size() * sizeof(float)) != 0) {
+        return false;
+      }
+    }
+    return std::memcmp(a.preds.data(), b.preds.data(),
+                       a.preds.size() * sizeof(float)) == 0;
+  };
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<RunResult> results;
+  for (int threads : thread_counts) {
+    std::printf("running threads=%d...\n", threads);
+    results.push_back(run(threads));
+  }
+
+  std::string json = "{\n  \"hardware_threads\": " +
+                     util::StrFormat("%u",
+                                     std::thread::hardware_concurrency()) +
+                     ",\n  \"epochs\": " + util::StrFormat("%d", epochs) +
+                     ",\n  \"runs\": [\n";
+  bool all_identical = true;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    bool same = identical(results[0], r);
+    all_identical = all_identical && same;
+    json += util::StrFormat(
+        "    {\"threads\": %d, \"train_seconds\": %.3f, "
+        "\"predict_seconds\": %.3f, \"train_speedup\": %.2f, "
+        "\"predict_speedup\": %.2f, \"final_loss\": %.6f, "
+        "\"bit_identical_to_t1\": %s}%s\n",
+        thread_counts[i], r.train_seconds, r.predict_seconds,
+        results[0].train_seconds / r.train_seconds,
+        results[0].predict_seconds / r.predict_seconds, r.final_loss,
+        same ? "true" : "false", i + 1 < results.size() ? "," : "");
+  }
+  json += "  ],\n  \"all_bit_identical\": ";
+  json += all_identical ? "true" : "false";
+  json += "\n}\n";
+
+  std::printf("\n%s", json.c_str());
+  if (cli.Has("json")) {
+    std::string path = cli.GetString("json");
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (cli.Has("metrics-out")) {
+    st = obs::WriteJsonLines(obs::MetricsRegistry::Global().Snapshot(),
+                             cli.GetString("metrics-out"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "metrics dump failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", cli.GetString("metrics-out").c_str());
+  }
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace deepsd
+
+int main(int argc, char** argv) { return deepsd::Main(argc, argv); }

@@ -16,10 +16,16 @@ echo "== simulate =="
 echo "== inspect dataset =="
 "$TOOLS/deepsd_inspect" --data=city.bin | grep -q "areas: 4"
 
-echo "== train basic (no traffic) =="
+echo "== train basic (no traffic, serial) =="
 "$TOOLS/deepsd_train" --data=city.bin --model=base.bin --mode=basic \
     --train_days=7 --epochs=2 --stride=30 --best_k=0 --no_traffic \
-    --verbose=false
+    --threads=1 --verbose=false
+
+echo "== threads=2 retrains bit-identically =="
+"$TOOLS/deepsd_train" --data=city.bin --model=base2.bin --mode=basic \
+    --train_days=7 --epochs=2 --stride=30 --best_k=0 --no_traffic \
+    --threads=2 --verbose=false
+cmp base.bin base2.bin
 
 echo "== fine-tune with traffic (telemetry on) =="
 "$TOOLS/deepsd_train" --data=city.bin --model=full.bin --mode=basic \
@@ -40,9 +46,12 @@ echo "== inspect parameters =="
 
 echo "== predict =="
 "$TOOLS/deepsd_predict" --data=city.bin --model=full.bin --mode=basic \
-    --ref_days=7 --day=8 --csv=pred.csv
+    --ref_days=7 --day=8 --csv=pred.csv --threads=2
 test -s pred.csv
 head -1 pred.csv | grep -q "predicted_gap"
+"$TOOLS/deepsd_predict" --data=city.bin --model=full.bin --mode=basic \
+    --ref_days=7 --day=8 --csv=pred1.csv --threads=1
+cmp pred.csv pred1.csv
 
 echo "== unknown flag rejected =="
 if "$TOOLS/deepsd_simulate" --bogus_flag=1 --out=x.bin 2>/dev/null; then

@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace deepsd {
 namespace core {
@@ -269,22 +270,26 @@ std::vector<float> DeepSDModel::Predict(
 
 std::vector<float> DeepSDModel::Predict(const InputSource& source,
                                         int batch_size) const {
-  std::vector<float> preds;
-  preds.reserve(source.size());
-  for (size_t begin = 0; begin < source.size();
-       begin += static_cast<size_t>(batch_size)) {
-    size_t end = std::min(source.size(), begin + static_cast<size_t>(batch_size));
-    Batch batch = MakeBatch(source, begin, end);
-    nn::Graph g;
-    g.set_training(false);
-    nn::NodeId pred = Forward(&g, batch);
-    const nn::Tensor& out = g.value(pred);
-    for (int r = 0; r < out.rows(); ++r) {
-      float v = out.at(r, 0);
-      if (config_.clamp_nonnegative) v = std::max(v, 0.0f);
-      preds.push_back(v);
-    }
-  }
+  // Chunks run in parallel on the shared pool, each writing its disjoint
+  // slice of `preds`. Every forward op computes each batch row
+  // independently, so the numbers per row never depend on which rows share
+  // a chunk — the result is bitwise-identical to the serial loop for any
+  // thread count or chunking.
+  std::vector<float> preds(source.size());
+  const size_t span = static_cast<size_t>(std::max(batch_size, 1));
+  util::ThreadPool::Global().ParallelFor(
+      0, source.size(), span, [&](size_t begin, size_t end) {
+        Batch batch = MakeBatch(source, begin, end);
+        nn::Graph g;
+        g.set_training(false);
+        nn::NodeId pred = Forward(&g, batch);
+        const nn::Tensor& out = g.value(pred);
+        for (int r = 0; r < out.rows(); ++r) {
+          float v = out.at(r, 0);
+          if (config_.clamp_nonnegative) v = std::max(v, 0.0f);
+          preds[begin + static_cast<size_t>(r)] = v;
+        }
+      });
   return preds;
 }
 

@@ -8,9 +8,42 @@
 #include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace deepsd {
 namespace core {
+
+namespace {
+
+/// SplitMix64 step — mixes a word into a seed stream.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Dropout seed of one gradient shard: a pure function of (training seed,
+/// global step, shard index), so the mask stream a shard draws is the same
+/// no matter which worker runs it or how many threads exist.
+uint64_t ShardSeed(uint64_t seed, uint64_t step, uint64_t shard) {
+  return Mix64(Mix64(seed ^ (step * 0x9E3779B97F4A7C15ULL)) ^
+               (shard + 0xD1B54A32D192ED03ULL));
+}
+
+/// Pairwise tree sum over `values` — the scalar-loss twin of the gradient
+/// reduction, with the same fixed, thread-count-independent order.
+double TreeSum(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  for (size_t stride = 1; stride < values.size(); stride *= 2) {
+    for (size_t i = 0; i + stride < values.size(); i += 2 * stride) {
+      values[i] += values[i + stride];
+    }
+  }
+  return values[0];
+}
+
+}  // namespace
 
 std::pair<double, double> EvaluateMaeRmse(const DeepSDModel& model,
                                           const InputSource& source) {
@@ -76,9 +109,28 @@ TrainResult Trainer::Train(
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   obs::Counter* epochs_counter = registry.GetCounter("trainer/epochs");
   obs::Counter* batches_counter = registry.GetCounter("trainer/batches");
+  obs::Counter* shards_counter = registry.GetCounter("trainer/shards");
   obs::Histogram* batch_us = registry.GetHistogram("trainer/batch_us");
+  obs::Histogram* shard_us = registry.GetHistogram("trainer/shard_us");
   obs::Gauge* last_rmse = registry.GetGauge("trainer/last_eval_rmse");
 
+  // Data-parallel machinery. A minibatch is cut into fixed-size shards
+  // (shard grain never depends on the thread count); each shard runs
+  // forward/backward on its own graph, accumulating into a reusable
+  // shard-local GradBuffer, and the buffers are reduced pairwise over
+  // shard index. Thread count only decides which worker executes a shard,
+  // so training is bit-identical from --threads 1 to --threads N.
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  const size_t shard_grain =
+      static_cast<size_t>(std::max(config_.shard_size, 1));
+  const size_t batch_span = static_cast<size_t>(config_.batch_size);
+  const size_t max_shards = (batch_span + shard_grain - 1) / shard_grain;
+  std::vector<nn::GradBuffer> shard_grads;
+  shard_grads.reserve(max_shards);
+  for (size_t s = 0; s < max_shards; ++s) shard_grads.emplace_back(*store);
+  const auto& params = store->parameters();
+
+  uint64_t step = 0;  // global batch counter, seeds shard dropout streams
   obs::TimedSpan train_span("trainer/train");
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     obs::TimedSpan epoch_span("trainer/epoch");
@@ -95,24 +147,61 @@ TrainResult Trainer::Train(
     double loss_sum = 0.0;
     size_t batches = 0;
     obs::TimedSpan batch_phase("trainer/epoch_batches");
-    for (size_t begin = 0; begin < order.size();
-         begin += static_cast<size_t>(config_.batch_size)) {
+    for (size_t begin = 0; begin < order.size(); begin += batch_span) {
       DEEPSD_SPAN("trainer/batch", batch_us);
-      size_t end = std::min(order.size(),
-                            begin + static_cast<size_t>(config_.batch_size));
-      std::vector<size_t> idx(order.begin() + static_cast<long>(begin),
-                              order.begin() + static_cast<long>(end));
-      Batch batch = MakeBatch(train_source, idx);
+      const size_t end = std::min(order.size(), begin + batch_span);
+      const size_t batch_size = end - begin;
+      const size_t num_shards = (batch_size + shard_grain - 1) / shard_grain;
+      std::vector<double> shard_loss(num_shards, 0.0);
 
-      nn::Graph g(&rng);
-      g.set_training(true);
-      nn::NodeId pred = model->Forward(&g, batch);
-      nn::NodeId loss = g.MseLoss(pred, batch.target);
-      store->ZeroGrads();
-      g.Backward(loss);
+      pool.ParallelFor(0, num_shards, 1, [&](size_t s0, size_t s1) {
+        for (size_t s = s0; s < s1; ++s) {
+          DEEPSD_SPAN("trainer/shard", shard_us);
+          const size_t sb = begin + s * shard_grain;
+          const size_t se = std::min(end, sb + shard_grain);
+          std::vector<size_t> idx(order.begin() + static_cast<long>(sb),
+                                  order.begin() + static_cast<long>(se));
+          Batch batch = MakeBatch(train_source, idx);
+
+          util::Rng dropout_rng(ShardSeed(config_.seed, step, s));
+          nn::GradBuffer& grads = shard_grads[s];
+          grads.Zero();
+          nn::Graph g(&dropout_rng);
+          g.set_training(true);
+          g.set_grad_buffer(&grads);
+          nn::NodeId pred = model->Forward(&g, batch);
+          // Shard losses are squared error over the shard divided by the
+          // full batch size, so per-sample gradients match the unsharded
+          // mean and the shard losses sum to the batch loss.
+          nn::NodeId loss = g.MseLoss(pred, batch.target,
+                                      static_cast<double>(batch_size));
+          g.Backward(loss);
+          shard_loss[s] = static_cast<double>(g.value(loss).at(0, 0));
+        }
+      });
+      shards_counter->Inc(num_shards);
+
+      // Deterministic reduction: pairwise tree over shard index, written
+      // into the store's gradients; one parameter per work item.
+      pool.ParallelFor(0, params.size(), 8, [&](size_t p0, size_t p1) {
+        for (size_t p = p0; p < p1; ++p) {
+          for (size_t stride = 1; stride < num_shards; stride *= 2) {
+            for (size_t i = 0; i + stride < num_shards; i += 2 * stride) {
+              nn::Tensor& dst = shard_grads[i].at(p);
+              const nn::Tensor& src = shard_grads[i + stride].at(p);
+              for (size_t k = 0; k < dst.size(); ++k) {
+                dst.flat()[k] += src.flat()[k];
+              }
+            }
+          }
+          params[p]->grad = shard_grads[0].at(p);
+        }
+      });
+
       optimizer_step(store);
-      loss_sum += g.value(loss).at(0, 0);
+      loss_sum += TreeSum(std::move(shard_loss));
       ++batches;
+      ++step;
       batches_counter->Inc();
     }
 

@@ -37,6 +37,16 @@ struct TrainConfig {
   /// for the optimizer ablation.
   enum class Optimizer { kAdam, kSgdMomentum };
   Optimizer optimizer = Optimizer::kAdam;
+
+  /// Samples per data-parallel gradient shard. Each minibatch is split
+  /// into ceil(batch/shard_size) shards that run forward/backward on
+  /// shard-local graphs (distributed over util::ThreadPool::Global());
+  /// shard gradients are reduced in a fixed tree order over shard index.
+  /// Because the decomposition depends only on this value — never on the
+  /// thread count — training is bit-identical for any --threads setting
+  /// (see docs/parallelism.md). Changing shard_size changes rounding, so
+  /// it is a training hyperparameter, not a scheduling knob.
+  int shard_size = 8;
 };
 
 /// Per-epoch training record. Timings come from the obs span layer

@@ -7,6 +7,7 @@
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace deepsd {
 namespace feature {
@@ -34,11 +35,19 @@ FeatureAssembler::FeatureAssembler(const data::OrderDataset* dataset,
     ++ref_day_count_[static_cast<size_t>(dataset_->WeekId(d))];
   }
 
+  // Table construction parallelizes over areas: each area writes only its
+  // own slice of the tables, and the per-area day-accumulation order is the
+  // same as the serial loop, so the tables are bit-identical for any thread
+  // count (see docs/parallelism.md).
+  util::ThreadPool& pool = util::ThreadPool::Global();
+
   // --- Supply-demand: mean per-minute curves per (area, weekday). ---
   sd_minute_mean_.assign(static_cast<size_t>(num_areas) * data::kDaysPerWeek *
                              data::kMinutesPerDay * 2,
                          0.0f);
-  for (int a = 0; a < num_areas; ++a) {
+  pool.ParallelFor(0, static_cast<size_t>(num_areas), 1,
+                   [&](size_t a0, size_t a1) {
+  for (int a = static_cast<int>(a0); a < static_cast<int>(a1); ++a) {
     for (int d = ref_day_begin_; d < ref_day_end_; ++d) {
       int w = dataset_->WeekId(d);
       size_t base = (static_cast<size_t>(a) * data::kDaysPerWeek + w) *
@@ -60,6 +69,7 @@ FeatureAssembler::FeatureAssembler(const data::OrderDataset* dataset,
       }
     }
   }
+                   });
 
   // --- Environment-real standardization statistics over the reference
   // period (sampled every 10 minutes). ---
@@ -98,7 +108,9 @@ FeatureAssembler::FeatureAssembler(const data::OrderDataset* dataset,
                       grid_points_ * 2 * static_cast<size_t>(L);
   lc_table_.assign(table_size, 0.0f);
   wt_table_.assign(table_size, 0.0f);
-  for (int a = 0; a < num_areas; ++a) {
+  pool.ParallelFor(0, static_cast<size_t>(num_areas), 1,
+                   [&](size_t a0, size_t a1) {
+  for (int a = static_cast<int>(a0); a < static_cast<int>(a1); ++a) {
     for (int d = ref_day_begin_; d < ref_day_end_; ++d) {
       int w = dataset_->WeekId(d);
       for (int g = 0; g < grid_points_; ++g) {
@@ -130,6 +142,7 @@ FeatureAssembler::FeatureAssembler(const data::OrderDataset* dataset,
       }
     }
   }
+                   });
 }
 
 int FeatureAssembler::GridIndex(int t) const {

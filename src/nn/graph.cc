@@ -21,8 +21,9 @@ NodeId Graph::Param(Parameter* p) {
   node(id).param = p;
   node(id).backward = [id](Graph* g) {
     Node& n = g->node(id);
+    Tensor& dst = g->param_grad(n.param);
     for (size_t i = 0; i < n.grad.size(); ++i) {
-      n.param->grad.flat()[i] += n.grad.flat()[i];
+      dst.flat()[i] += n.grad.flat()[i];
     }
   };
   return id;
@@ -286,9 +287,10 @@ NodeId Graph::Embed(Parameter* table, const std::vector<int>& ids) {
   NodeId id = AddNode(std::move(out));
   node(id).backward = [id, table, ids](Graph* g) {
     const Tensor& dy = g->node(id).grad;
+    Tensor& table_grad = g->param_grad(table);
     for (size_t b = 0; b < ids.size(); ++b) {
       const float* src = dy.row(static_cast<int>(b));
-      float* dst = table->grad.row(ids[b]);
+      float* dst = table_grad.row(ids[b]);
       for (int c = 0; c < dy.cols(); ++c) dst[c] += src[c];
     }
   };
@@ -342,21 +344,27 @@ NodeId Graph::GroupWeightedSum(NodeId p, NodeId h, int groups) {
 }
 
 NodeId Graph::MseLoss(NodeId pred, const Tensor& target) {
+  return MseLoss(pred, target,
+                 static_cast<double>(value(pred).size()));
+}
+
+NodeId Graph::MseLoss(NodeId pred, const Tensor& target, double denom) {
   const Tensor& pv = value(pred);
   DEEPSD_CHECK(pv.SameShape(target));
+  DEEPSD_CHECK(denom > 0.0);
   double sum = 0.0;
   for (size_t i = 0; i < pv.size(); ++i) {
     double d = static_cast<double>(pv.flat()[i]) - target.flat()[i];
     sum += d * d;
   }
   Tensor out(1, 1);
-  out.at(0, 0) = static_cast<float>(sum / static_cast<double>(pv.size()));
+  out.at(0, 0) = static_cast<float>(sum / denom);
   NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, pred, target](Graph* g) {
+  node(id).backward = [id, pred, target, denom](Graph* g) {
     float dy = g->node(id).grad.at(0, 0);
     const Tensor& pv2 = g->node(pred).value;
     Tensor& dp = g->node(pred).grad;
-    float scale = 2.0f / static_cast<float>(pv2.size());
+    float scale = 2.0f / static_cast<float>(denom);
     for (size_t i = 0; i < pv2.size(); ++i) {
       dp.flat()[i] += dy * scale * (pv2.flat()[i] - target.flat()[i]);
     }

@@ -35,6 +35,13 @@ class Graph {
   void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
 
+  /// Redirects parameter-gradient accumulation (Param leaves and embedding
+  /// tables) into `buffer` instead of Parameter::grad. Data-parallel
+  /// training points each shard's graph at its own buffer so concurrent
+  /// backward passes never write shared state; nullptr (the default)
+  /// restores direct accumulation. The buffer must outlive Backward().
+  void set_grad_buffer(GradBuffer* buffer) { grad_buffer_ = buffer; }
+
   /// Constant input (no gradient).
   NodeId Input(Tensor value);
   /// Leaf bound to a trainable parameter; backward accumulates into
@@ -68,6 +75,12 @@ class Graph {
 
   /// Mean squared error against a constant target [B,1] → scalar [1,1].
   NodeId MseLoss(NodeId pred, const Tensor& target);
+  /// Squared error summed over this graph's rows but divided by an
+  /// explicit `denom` — the full minibatch size when the batch is split
+  /// into data-parallel shards. Per-sample gradients are then
+  /// 2·(pred−target)/denom exactly as in the unsharded mean, and the shard
+  /// losses sum to the batch loss.
+  NodeId MseLoss(NodeId pred, const Tensor& target, double denom);
   /// Mean absolute error (for evaluation; gradient is sign-based).
   NodeId MaeLoss(NodeId pred, const Tensor& target);
 
@@ -92,9 +105,15 @@ class Graph {
 
   NodeId AddNode(Tensor value);
   Node& node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
+  /// Destination for `p`'s gradient: the shard-local buffer when one is
+  /// set, the shared Parameter::grad otherwise.
+  Tensor& param_grad(Parameter* p) {
+    return grad_buffer_ != nullptr ? grad_buffer_->grad(p) : p->grad;
+  }
 
   std::vector<Node> nodes_;
   util::Rng* rng_;
+  GradBuffer* grad_buffer_ = nullptr;
   bool training_ = false;
 };
 

@@ -179,6 +179,27 @@ void ParameterStore::AverageFrom(
   }
 }
 
+GradBuffer::GradBuffer(const ParameterStore& store) {
+  const auto& params = store.parameters();
+  grads_.reserve(params.size());
+  index_.reserve(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    grads_.emplace_back(params[i]->value.rows(), params[i]->value.cols());
+    index_.emplace(params[i].get(), i);
+  }
+}
+
+Tensor& GradBuffer::grad(const Parameter* p) {
+  auto it = index_.find(p);
+  DEEPSD_CHECK_MSG(it != index_.end(),
+                   "GradBuffer used with a foreign parameter: " + p->name);
+  return grads_[it->second];
+}
+
+void GradBuffer::Zero() {
+  for (Tensor& g : grads_) g.Zero();
+}
+
 std::unique_ptr<ParameterStore> ParameterStore::Clone() const {
   auto out = std::make_unique<ParameterStore>();
   for (const auto& p : params_) {

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "nn/tensor.h"
@@ -84,6 +85,37 @@ class ParameterStore {
 
 /// Fills `t` in place according to `init`.
 void InitTensor(Tensor* t, Init init, util::Rng* rng);
+
+/// Shard-local gradient accumulator for data-parallel training.
+///
+/// Holds one zero-initialized tensor per parameter of a store, aligned
+/// with store->parameters() order. A Graph pointed at a GradBuffer (see
+/// Graph::set_grad_buffer) accumulates parameter gradients here instead of
+/// Parameter::grad, so concurrent backward passes never touch shared
+/// state; the trainer then reduces the per-shard buffers in a fixed tree
+/// order and writes the result into the store (docs/parallelism.md).
+///
+/// Buffers are reused across batches: Zero() each shard's buffer at the
+/// start of its task rather than reallocating.
+class GradBuffer {
+ public:
+  explicit GradBuffer(const ParameterStore& store);
+
+  /// The accumulator for `p`; `p` must belong to the construction store.
+  Tensor& grad(const Parameter* p);
+
+  /// Accumulator of the parameter at `index` in store->parameters() order.
+  Tensor& at(size_t index) { return grads_[index]; }
+  const Tensor& at(size_t index) const { return grads_[index]; }
+  size_t size() const { return grads_.size(); }
+
+  /// Zeroes every accumulator.
+  void Zero();
+
+ private:
+  std::vector<Tensor> grads_;
+  std::unordered_map<const Parameter*, size_t> index_;
+};
 
 }  // namespace nn
 }  // namespace deepsd

@@ -5,6 +5,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace deepsd {
 namespace serving {
@@ -77,12 +78,36 @@ std::vector<float> OnlinePredictor::PredictAll() const {
   static obs::Histogram* latency_us =
       obs::MetricsRegistry::Global().GetHistogram("serving/predict_all_us");
   DEEPSD_SPAN("serving/predict_all", latency_us);
-  std::vector<feature::ModelInput> inputs;
-  inputs.reserve(static_cast<size_t>(buffer_.num_areas()));
+  std::vector<int> area_ids(static_cast<size_t>(buffer_.num_areas()));
   for (int a = 0; a < buffer_.num_areas(); ++a) {
-    inputs.push_back(AssembleLive(a));
+    area_ids[static_cast<size_t>(a)] = a;
   }
-  return model_->Predict(inputs);
+  return AssembleAndPredict(area_ids);
+}
+
+std::vector<float> OnlinePredictor::PredictBatch(
+    const std::vector<int>& area_ids) const {
+  static obs::Histogram* latency_us =
+      obs::MetricsRegistry::Global().GetHistogram("serving/predict_batch_us");
+  DEEPSD_SPAN("serving/predict_batch", latency_us);
+  return AssembleAndPredict(area_ids);
+}
+
+std::vector<float> OnlinePredictor::AssembleAndPredict(
+    const std::vector<int>& area_ids) const {
+  if (area_ids.empty()) return {};
+  // Assembly parallelizes over areas (each writes its own slot; the stream
+  // buffer's accessors are mutex-guarded snapshots); the forward pass then
+  // parallelizes internally over row chunks. A chunk of 16 areas keeps
+  // per-task graphs small enough to overlap across workers.
+  std::vector<feature::ModelInput> inputs(area_ids.size());
+  util::ThreadPool::Global().ParallelFor(
+      0, area_ids.size(), 4, [&](size_t i0, size_t i1) {
+        for (size_t i = i0; i < i1; ++i) {
+          inputs[i] = AssembleLive(area_ids[i]);
+        }
+      });
+  return model_->Predict(inputs, /*batch_size=*/16);
 }
 
 }  // namespace serving

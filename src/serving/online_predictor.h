@@ -38,14 +38,24 @@ class OnlinePredictor {
 
   /// Predicted gap over [now, now+10) for one area.
   float Predict(int area) const;
-  /// Predicted gaps for every area (one batched forward pass).
+  /// Predicted gaps for every area. Feature assembly and the forward pass
+  /// are distributed over the shared thread pool; results are
+  /// bit-identical for any --threads setting (docs/parallelism.md).
   std::vector<float> PredictAll() const;
+  /// Predicted gaps for an arbitrary set of areas (e.g. the areas one
+  /// dispatch shard owns), in the order given. Parallel like PredictAll;
+  /// latency lands in the serving/predict_batch_us histogram.
+  std::vector<float> PredictBatch(const std::vector<int>& area_ids) const;
 
   /// The assembled live features for one area (exposed for tests: must
   /// agree with the offline FeatureAssembler on identical data).
   feature::ModelInput AssembleLive(int area) const;
 
  private:
+  /// Shared body of PredictAll / PredictBatch: parallel per-area assembly
+  /// followed by one (internally parallel) batched forward pass.
+  std::vector<float> AssembleAndPredict(const std::vector<int>& area_ids) const;
+
   const core::DeepSDModel* model_;
   const feature::FeatureAssembler* history_;
   OrderStreamBuffer buffer_;

@@ -28,16 +28,19 @@ void OrderStreamBuffer::AdvanceTo(int day, int minute) {
       obs::MetricsRegistry::Global().GetGauge("serving/buffered_orders");
   DEEPSD_SPAN("serving/advance_to", latency_us);
   int64_t target = static_cast<int64_t>(day) * data::kMinutesPerDay + minute;
-  if (target <= now_abs_) return;
-  now_abs_ = target;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (target <= now_abs_.load(std::memory_order_relaxed)) return;
+  now_abs_.store(target, std::memory_order_release);
   Evict();
-  if (obs::Enabled()) depth->Set(static_cast<double>(buffered_orders()));
+  if (obs::Enabled()) {
+    depth->Set(static_cast<double>(BufferedOrdersLocked()));
+  }
 }
 
 void OrderStreamBuffer::Evict() {
+  int64_t cutoff = now_abs_.load(std::memory_order_relaxed) - window_;
   for (auto& area_calls : calls_) {
-    while (!area_calls.empty() &&
-           area_calls.front().ts_abs < now_abs_ - window_) {
+    while (!area_calls.empty() && area_calls.front().ts_abs < cutoff) {
       area_calls.pop_front();
     }
   }
@@ -53,7 +56,10 @@ void OrderStreamBuffer::AddOrder(const data::Order& order) {
   DEEPSD_CHECK(order.start_area >= 0 && order.start_area < num_areas_);
   int64_t ts_abs =
       static_cast<int64_t>(order.day) * data::kMinutesPerDay + order.ts;
-  if (ts_abs < now_abs_ - window_) return;  // too old to matter
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ts_abs < now_abs_.load(std::memory_order_relaxed) - window_) {
+    return;  // too old to matter
+  }
   auto& area_calls = calls_[static_cast<size_t>(order.start_area)];
   Call call{ts_abs, order.passenger_id, order.valid};
   // Common case: in-order append; otherwise insert to keep ts ascending.
@@ -70,7 +76,8 @@ void OrderStreamBuffer::AddOrder(const data::Order& order) {
 void OrderStreamBuffer::AddWeather(const data::WeatherRecord& record) {
   int64_t ts_abs =
       static_cast<int64_t>(record.day) * data::kMinutesPerDay + record.ts;
-  if (ts_abs < now_abs_ - window_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ts_abs < now_abs_.load(std::memory_order_relaxed) - window_) return;
   size_t slot = SlotIndex(ts_abs);
   weather_[slot].seen = true;
   weather_[slot].type = record.type;
@@ -83,7 +90,8 @@ void OrderStreamBuffer::AddTraffic(const data::TrafficRecord& record) {
   DEEPSD_CHECK(record.area >= 0 && record.area < num_areas_);
   int64_t ts_abs =
       static_cast<int64_t>(record.day) * data::kMinutesPerDay + record.ts;
-  if (ts_abs < now_abs_ - window_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ts_abs < now_abs_.load(std::memory_order_relaxed) - window_) return;
   size_t slot =
       static_cast<size_t>(record.area) * window_ + SlotIndex(ts_abs);
   traffic_[slot].seen = true;
@@ -94,10 +102,12 @@ void OrderStreamBuffer::AddTraffic(const data::TrafficRecord& record) {
 }
 
 std::vector<float> OrderStreamBuffer::SupplyDemandVector(int area) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_abs_.load(std::memory_order_relaxed);
   std::vector<float> v(2 * static_cast<size_t>(window_), 0.0f);
   for (const Call& call : calls_[static_cast<size_t>(area)]) {
     if (!InWindow(call.ts_abs)) continue;
-    int l = static_cast<int>(now_abs_ - call.ts_abs);  // in [1, window]
+    int l = static_cast<int>(now - call.ts_abs);  // in [1, window]
     size_t idx = static_cast<size_t>(call.valid ? l - 1 : window_ + l - 1);
     v[idx] += 1.0f;
   }
@@ -105,6 +115,8 @@ std::vector<float> OrderStreamBuffer::SupplyDemandVector(int area) const {
 }
 
 std::vector<float> OrderStreamBuffer::LastCallVector(int area) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_abs_.load(std::memory_order_relaxed);
   std::vector<float> v(2 * static_cast<size_t>(window_), 0.0f);
   std::map<int32_t, const Call*> last;
   for (const Call& call : calls_[static_cast<size_t>(area)]) {
@@ -113,7 +125,7 @@ std::vector<float> OrderStreamBuffer::LastCallVector(int area) const {
     if (!inserted && call.ts_abs >= it->second->ts_abs) it->second = &call;
   }
   for (auto& [pid, call] : last) {
-    int l = static_cast<int>(now_abs_ - call->ts_abs);
+    int l = static_cast<int>(now - call->ts_abs);
     size_t idx = static_cast<size_t>(call->valid ? l - 1 : window_ + l - 1);
     v[idx] += 1.0f;
   }
@@ -121,6 +133,7 @@ std::vector<float> OrderStreamBuffer::LastCallVector(int area) const {
 }
 
 std::vector<float> OrderStreamBuffer::WaitingTimeVector(int area) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<float> v(2 * static_cast<size_t>(window_), 0.0f);
   struct Episode {
     int64_t first;
@@ -150,10 +163,12 @@ std::vector<float> OrderStreamBuffer::WaitingTimeVector(int area) const {
 }
 
 std::vector<int> OrderStreamBuffer::WeatherTypes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_abs_.load(std::memory_order_relaxed);
   std::vector<int> out;
   out.reserve(static_cast<size_t>(window_));
   for (int l = 1; l <= window_; ++l) {
-    int64_t ts = now_abs_ - l;
+    int64_t ts = now - l;
     size_t slot = ts >= 0 ? SlotIndex(ts) : 0;
     bool fresh = ts >= 0 && weather_[slot].seen && weather_ts_[slot] == ts;
     out.push_back(fresh ? weather_[slot].type : 0);
@@ -162,9 +177,11 @@ std::vector<int> OrderStreamBuffer::WeatherTypes() const {
 }
 
 std::vector<float> OrderStreamBuffer::WeatherReals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_abs_.load(std::memory_order_relaxed);
   std::vector<float> temps, pms;
   for (int l = 1; l <= window_; ++l) {
-    int64_t ts = now_abs_ - l;
+    int64_t ts = now - l;
     size_t slot = ts >= 0 ? SlotIndex(ts) : 0;
     bool fresh = ts >= 0 && weather_[slot].seen && weather_ts_[slot] == ts;
     temps.push_back(fresh ? weather_[slot].temperature : 0.0f);
@@ -175,10 +192,12 @@ std::vector<float> OrderStreamBuffer::WeatherReals() const {
 }
 
 std::vector<float> OrderStreamBuffer::TrafficVector(int area) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_abs_.load(std::memory_order_relaxed);
   std::vector<float> out;
   out.reserve(static_cast<size_t>(data::kCongestionLevels) * window_);
   for (int l = 1; l <= window_; ++l) {
-    int64_t ts = now_abs_ - l;
+    int64_t ts = now - l;
     size_t slot = ts >= 0
                       ? static_cast<size_t>(area) * window_ + SlotIndex(ts)
                       : 0;
@@ -193,6 +212,11 @@ std::vector<float> OrderStreamBuffer::TrafficVector(int area) const {
 }
 
 size_t OrderStreamBuffer::buffered_orders() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return BufferedOrdersLocked();
+}
+
+size_t OrderStreamBuffer::BufferedOrdersLocked() const {
   size_t n = 0;
   for (const auto& area_calls : calls_) n += area_calls.size();
   return n;

@@ -1,9 +1,11 @@
 #ifndef DEEPSD_SERVING_ORDER_STREAM_H_
 #define DEEPSD_SERVING_ORDER_STREAM_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <vector>
 
 #include "data/types.h"
@@ -18,6 +20,13 @@ namespace serving {
 /// evicts older events as the clock advances. Events may arrive slightly
 /// out of order within the window; events older than the window are
 /// dropped.
+///
+/// Thread safety: every mutator (AdvanceTo / Add*) and every snapshot
+/// reader (the *Vector / Weather* accessors, buffered_orders) takes an
+/// internal mutex, so ingestion and concurrent prediction callers may race
+/// freely; each vector is a consistent snapshot of the buffer at some
+/// point between the caller's surrounding operations. The clock accessors
+/// (now_abs / day / minute) are lock-free atomic reads.
 class OrderStreamBuffer {
  public:
   /// `window` is the look-back L in minutes (paper: 20).
@@ -27,10 +36,10 @@ class OrderStreamBuffer {
   int window() const { return window_; }
 
   /// Current clock as absolute minutes (day·1440 + minute).
-  int64_t now_abs() const { return now_abs_; }
-  int day() const { return static_cast<int>(now_abs_ / data::kMinutesPerDay); }
+  int64_t now_abs() const { return now_abs_.load(std::memory_order_acquire); }
+  int day() const { return static_cast<int>(now_abs() / data::kMinutesPerDay); }
   int minute() const {
-    return static_cast<int>(now_abs_ % data::kMinutesPerDay);
+    return static_cast<int>(now_abs() % data::kMinutesPerDay);
   }
 
   /// Moves the clock forward (never backward) and evicts expired state.
@@ -84,13 +93,22 @@ class OrderStreamBuffer {
     return static_cast<size_t>(ts_abs % window_);
   }
   bool InWindow(int64_t ts_abs) const {
-    return ts_abs >= now_abs_ - window_ && ts_abs < now_abs_;
+    int64_t now = now_abs_.load(std::memory_order_relaxed);
+    return ts_abs >= now - window_ && ts_abs < now;
   }
   void Evict();
+  /// buffered_orders() body; the caller must hold mu_. AdvanceTo reports
+  /// the post-eviction depth while still inside its critical section, so
+  /// the public accessor (which takes mu_) cannot be reused there.
+  size_t BufferedOrdersLocked() const;
 
   int num_areas_;
   int window_;
-  int64_t now_abs_ = 0;
+  std::atomic<int64_t> now_abs_{0};
+
+  /// Guards every container below. All mutators and snapshot readers lock
+  /// it; now_abs_ is additionally atomic so the clock accessors need not.
+  mutable std::mutex mu_;
 
   std::vector<std::deque<Call>> calls_;            // per area, ts ascending
   std::vector<WeatherSlot> weather_;               // window slots

@@ -58,19 +58,31 @@ bool GetLogTimestamps() {
   return g_timestamps.load(std::memory_order_relaxed);
 }
 
+namespace {
+thread_local std::string t_log_tag;
+}  // namespace
+
+void SetThreadLogTag(const std::string& tag) { t_log_tag = tag; }
+const std::string& GetThreadLogTag() { return t_log_tag; }
+
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) <
       static_cast<int>(g_level.load(std::memory_order_relaxed))) {
     return;
   }
   std::string line;
-  line.reserve(message.size() + 40);
+  line.reserve(message.size() + t_log_tag.size() + 40);
   if (g_timestamps.load(std::memory_order_relaxed)) {
     line += TimestampPrefix();
   }
   line += '[';
   line += LevelChar(level);
   line += "] ";
+  if (!t_log_tag.empty()) {
+    line += '[';
+    line += t_log_tag;
+    line += "] ";
+  }
   line += message;
   line += '\n';
   std::lock_guard<std::mutex> lock(g_write_mu);

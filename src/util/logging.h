@@ -23,8 +23,15 @@ bool GetLogTimestamps();
 /// Writes one formatted log line ("[I] message") to stderr if `level` is at
 /// or above the global threshold. Thread-safe: the line is formatted into
 /// one buffer and written under a mutex, so concurrent loggers never
-/// interleave within a line.
+/// interleave within a line. Lines carry the calling thread's tag (see
+/// SetThreadLogTag) so pool workers are attributable: "[I] [w3] message".
 void LogMessage(LogLevel level, const std::string& message);
+
+/// Sets a tag included in every log line emitted by the calling thread
+/// (thread_local; empty clears it). The thread pool tags its workers
+/// "w<id>" so interleaved worker logs stay attributable.
+void SetThreadLogTag(const std::string& tag);
+const std::string& GetThreadLogTag();
 
 /// Stream-style helper backing the DEEPSD_LOG macro.
 class LogStream {

@@ -1,0 +1,241 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace util {
+
+namespace {
+
+/// The pool (if any) whose worker the current thread is. Lets nested
+/// ParallelFor / Submit calls detect self-deadlock and run inline.
+thread_local const ThreadPool* t_worker_pool = nullptr;
+
+struct PoolMetrics {
+  obs::Gauge* queue_depth;
+  obs::Counter* tasks;
+  obs::Counter* busy_us;
+  obs::Histogram* task_us;
+};
+
+/// Registry pointers are process-lifetime, so one shared set serves every
+/// pool instance (in practice only the global pool and test pools exist).
+PoolMetrics& Metrics() {
+  static PoolMetrics m = [] {
+    obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+    return PoolMetrics{r.GetGauge("pool/queue_depth"),
+                       r.GetCounter("pool/tasks"),
+                       r.GetCounter("pool/busy_us"),
+                       r.GetHistogram("pool/task_us")};
+  }();
+  return m;
+}
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+struct ThreadPool::ForState {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t active_helpers = 0;
+  /// (chunk index, exception) of every failed chunk; the lowest chunk
+  /// index is rethrown so the surfaced error is scheduling-independent.
+  std::vector<std::pair<size_t, std::exception_ptr>> errors;
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  num_threads_ = std::max(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+bool ThreadPool::InWorkerThread() const { return t_worker_pool == this; }
+
+void ThreadPool::WorkerLoop(int worker_id) {
+  t_worker_pool = this;
+  SetThreadLogTag(StrFormat("w%d", worker_id));
+  DEEPSD_LOG(Debug) << "pool worker started";
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+    }
+    if (obs::Enabled()) {
+      int64_t t0 = SteadyNowUs();
+      task();
+      int64_t dur = SteadyNowUs() - t0;
+      Metrics().tasks->Inc();
+      Metrics().busy_us->Inc(static_cast<uint64_t>(std::max<int64_t>(dur, 0)));
+      Metrics().task_us->Observe(static_cast<double>(dur));
+    } else {
+      task();
+    }
+  }
+  DEEPSD_LOG(Debug) << "pool worker stopped";
+  SetThreadLogTag("");
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  auto task =
+      std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> future = task->get_future();
+  // No workers, or called from a worker of this pool: run inline. A worker
+  // enqueueing and then waiting on the future could deadlock once every
+  // worker blocks the same way.
+  if (workers_.empty() || InWorkerThread()) {
+    (*task)();
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back([task] { (*task)(); });
+    Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::RunChunks(ForState* state) {
+  for (;;) {
+    size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state->num_chunks) return;
+    size_t chunk_begin = state->begin + c * state->grain;
+    size_t chunk_end = std::min(state->end, chunk_begin + state->grain);
+    try {
+      (*state->fn)(chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->errors.emplace_back(c, std::current_exception());
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t num_chunks = (end - begin + grain - 1) / grain;
+
+  // Serial fast path: single chunk, no workers, or nested call from one of
+  // this pool's own workers (enqueueing would risk deadlock — every worker
+  // could end up waiting for chunks only the queue can run).
+  if (num_chunks == 1 || workers_.empty() || InWorkerThread()) {
+    std::vector<std::pair<size_t, std::exception_ptr>> errors;
+    for (size_t c = 0; c < num_chunks; ++c) {
+      size_t chunk_begin = begin + c * grain;
+      size_t chunk_end = std::min(end, chunk_begin + grain);
+      try {
+        fn(chunk_begin, chunk_end);
+      } catch (...) {
+        errors.emplace_back(c, std::current_exception());
+      }
+    }
+    if (!errors.empty()) std::rethrow_exception(errors.front().second);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->end = end;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->fn = &fn;
+
+  // The caller also drains chunks, so at most num_chunks - 1 helpers.
+  const size_t num_helpers =
+      std::min(workers_.size(), num_chunks - 1);
+  state->active_helpers = num_helpers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < num_helpers; ++h) {
+      queue_.emplace_back([state] {
+        RunChunks(state.get());
+        std::lock_guard<std::mutex> state_lock(state->mu);
+        if (--state->active_helpers == 0) state->done_cv.notify_all();
+      });
+    }
+    Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_all();
+
+  RunChunks(state.get());
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock,
+                        [&state] { return state->active_helpers == 0; });
+  }
+
+  if (!state->errors.empty()) {
+    auto first = std::min_element(
+        state->errors.begin(), state->errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(first->second);
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_mu);
+  if (g_global_pool == nullptr) {
+    g_global_pool = std::make_unique<ThreadPool>(0);
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g_global_mu);
+    old = std::move(g_global_pool);
+    g_global_pool = std::make_unique<ThreadPool>(num_threads);
+  }
+  // Old pool (if any) drains and joins here, outside the registry lock.
+}
+
+int ThreadPool::GlobalThreads() { return Global().num_threads(); }
+
+}  // namespace util
+}  // namespace deepsd

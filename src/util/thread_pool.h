@@ -1,0 +1,97 @@
+#ifndef DEEPSD_UTIL_THREAD_POOL_H_
+#define DEEPSD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deepsd {
+namespace util {
+
+/// Fixed-size worker pool with a deterministic ParallelFor.
+///
+/// `num_threads` is the total parallelism: ParallelFor runs on
+/// `num_threads - 1` worker threads plus the calling thread, so a pool of
+/// size 1 owns no threads at all and executes everything inline on the
+/// caller — exactly the serial code path. Thread count only decides which
+/// thread executes a chunk, never how the work is split: callers that need
+/// bit-identical results across thread counts (the trainer's gradient
+/// shards, see docs/parallelism.md) pick a fixed grain and a fixed
+/// reduction order, and the pool guarantees every chunk runs exactly once.
+///
+/// Exception contract: if chunks throw, ParallelFor rethrows the exception
+/// of the lowest-indexed failing chunk after all chunks finished, so the
+/// surfaced error does not depend on scheduling. Submit propagates through
+/// the returned future.
+///
+/// Nested use is safe: ParallelFor or Submit called from inside a worker
+/// of the same pool executes inline instead of enqueueing (queueing would
+/// deadlock once every worker blocks on work only the queue can run).
+///
+/// Telemetry (when obs is enabled): gauge `pool/queue_depth`, counters
+/// `pool/tasks` and `pool/busy_us`, histogram `pool/task_us`.
+class ThreadPool {
+ public:
+  /// `num_threads` <= 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the participating caller). Always >= 1.
+  int num_threads() const { return num_threads_; }
+
+  /// True when called from one of this pool's worker threads.
+  bool InWorkerThread() const;
+
+  /// Runs `fn` on a worker (inline when the pool has no workers or the
+  /// caller is itself a worker). The future rethrows any exception.
+  std::future<void> Submit(std::function<void()> fn);
+
+  /// Splits [begin, end) into chunks of at most `grain` consecutive
+  /// indices and calls fn(chunk_begin, chunk_end) for every chunk exactly
+  /// once, distributing chunks over the workers and the calling thread.
+  /// Blocks until all chunks completed; rethrows the lowest-indexed
+  /// chunk's exception if any failed. `grain` == 0 is treated as 1.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// The process-wide shared pool used by the trainer, the serving layer
+  /// and feature assembly. Created on first use with hardware concurrency
+  /// unless SetGlobalThreads was called earlier.
+  static ThreadPool& Global();
+
+  /// Replaces the global pool with one of `num_threads` (<= 0 restores
+  /// hardware concurrency) — the `--threads` flag of the tools. Must not
+  /// race with work on the old pool; call it between phases.
+  static void SetGlobalThreads(int num_threads);
+
+  /// Size of the global pool (creates it if needed).
+  static int GlobalThreads();
+
+ private:
+  struct ForState;
+
+  void WorkerLoop(int worker_id);
+  /// Runs queued chunks of `state` until none remain.
+  static void RunChunks(ForState* state);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,190 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace deepsd {
+namespace util {
+namespace {
+
+TEST(ThreadPoolTest, LifecycleAndSizes) {
+  ThreadPool serial(1);
+  EXPECT_EQ(serial.num_threads(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.num_threads(), 4);
+  // <= 0 resolves to hardware concurrency, clamped to at least 1.
+  ThreadPool defaulted(0);
+  EXPECT_GE(defaulted.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTheTask) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  auto f = pool.Submit([&] { ran.fetch_add(1); });
+  f.get();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(3);
+  auto f = pool.Submit([] { throw std::runtime_error("submit boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    for (size_t n : {0ul, 1ul, 7ul, 64ul, 1001ul}) {
+      for (size_t grain : {1ul, 3ul, 16ul, 2000ul}) {
+        std::vector<std::atomic<int>> hits(n);
+        pool.ParallelFor(0, n, grain, [&](size_t b, size_t e) {
+          ASSERT_LE(b, e);
+          ASSERT_LE(e - b, grain);
+          for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+        });
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(hits[i].load(), 1)
+              << "index " << i << " threads=" << threads << " n=" << n
+              << " grain=" << grain;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNonZeroBegin) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(20);
+  pool.ParallelFor(5, 17, 4, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 5 && i < 17) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, GrainZeroIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(0, 10, 0, [&](size_t b, size_t e) {
+    EXPECT_EQ(e - b, 1u);
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 10u);
+}
+
+TEST(ThreadPoolTest, RethrowsLowestIndexedChunkException) {
+  ThreadPool pool(4);
+  // Chunks 3 and 7 throw; the surfaced message must always be chunk 3's,
+  // independent of which worker hit which chunk first.
+  for (int round = 0; round < 10; ++round) {
+    try {
+      pool.ParallelFor(0, 10, 1, [&](size_t b, size_t) {
+        if (b == 3 || b == 7) {
+          throw std::runtime_error("chunk " + std::to_string(b));
+        }
+      });
+      FAIL() << "expected ParallelFor to throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk 3");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionStillRunsEveryChunk) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(32);
+  EXPECT_THROW(pool.ParallelFor(0, 32, 1,
+                                [&](size_t b, size_t e) {
+                                  for (size_t i = b; i < e; ++i) {
+                                    hits[i].fetch_add(1);
+                                  }
+                                  if (b == 0) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<size_t> total{0};
+  // Outer chunks each launch an inner ParallelFor on the same pool. If the
+  // inner calls enqueued instead of inlining, all workers could block on
+  // inner work that no thread is left to run.
+  pool.ParallelFor(0, 8, 1, [&](size_t, size_t) {
+    pool.ParallelFor(0, 16, 2, [&](size_t b, size_t e) {
+      total.fetch_add(e - b);
+    });
+  });
+  EXPECT_EQ(total.load(), 8u * 16u);
+}
+
+TEST(ThreadPoolTest, NestedSubmitRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<bool> inner_ran{false};
+  pool.Submit([&] {
+        EXPECT_TRUE(pool.InWorkerThread());
+        pool.Submit([&] { inner_ran.store(true); }).get();
+      })
+      .get();
+  EXPECT_TRUE(inner_ran.load());
+}
+
+TEST(ThreadPoolTest, InWorkerThreadFalseOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_FALSE(pool.InWorkerThread());
+}
+
+TEST(ThreadPoolTest, StressTenThousandTinyTasks) {
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 10000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  // Many small ParallelFors back to back — exercises queue churn and the
+  // wake/sleep path far more than one big loop would.
+  for (int round = 0; round < 10; ++round) {
+    pool.ParallelFor(static_cast<size_t>(round) * 1000,
+                     static_cast<size_t>(round + 1) * 1000, 1,
+                     [&](size_t b, size_t e) {
+                       for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+                     });
+  }
+  long long sum = 0;
+  for (size_t i = 0; i < kTasks; ++i) sum += hits[i].load();
+  EXPECT_EQ(sum, static_cast<long long>(kTasks));
+}
+
+TEST(ThreadPoolTest, SerialPoolMatchesParallelResults) {
+  auto run = [](ThreadPool& pool) {
+    std::vector<double> out(257, 0.0);
+    pool.ParallelFor(0, out.size(), 8, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) {
+        out[i] = static_cast<double>(i) * 1.5 + 1.0;
+      }
+    });
+    return out;
+  };
+  ThreadPool serial(1), parallel(4);
+  EXPECT_EQ(run(serial), run(parallel));
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizable) {
+  int before = ThreadPool::GlobalThreads();
+  EXPECT_GE(before, 1);
+  ThreadPool::SetGlobalThreads(2);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 2);
+  std::atomic<int> n{0};
+  ThreadPool::Global().ParallelFor(0, 5, 1,
+                                   [&](size_t, size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 5);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 1);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace deepsd

@@ -12,22 +12,29 @@
 #include "util/cli.h"
 #include "util/string_util.h"
 #include "util/csv.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace deepsd;
   util::CommandLine cli(argc, argv);
   util::Status st = cli.CheckKnown({"data", "model", "mode", "ref_days", "day",
                                     "area", "t", "csv", "no_weather",
-                                    "no_traffic", "explain", "help"});
+                                    "no_traffic", "explain", "threads",
+                                    "help"});
   if (!st.ok() || cli.GetBool("help", false) || !cli.Has("data") ||
       !cli.Has("model")) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_predict --data=city.bin --model=model.bin "
                  "--mode=basic|advanced --ref_days=N --day=D [--area=A] "
-                 "[--t=minute] [--csv=out.csv] [--no_weather] [--no_traffic]\n",
+                 "[--t=minute] [--csv=out.csv] [--no_weather] [--no_traffic] "
+                 "[--threads=N]\n",
                  st.ToString().c_str());
     return 2;
   }
+
+  // 0 = hardware concurrency; predictions are bit-identical for any value.
+  util::ThreadPool::SetGlobalThreads(
+      static_cast<int>(cli.GetInt("threads", 0)));
 
   data::OrderDataset dataset;
   st = data::LoadDataset(cli.GetString("data"), &dataset);

@@ -26,6 +26,7 @@
 #include "serving/online_predictor.h"
 #include "sim/city_sim.h"
 #include "util/cli.h"
+#include "util/thread_pool.h"
 
 namespace deepsd {
 namespace {
@@ -120,13 +121,13 @@ int Main(int argc, char** argv) {
   util::CommandLine cli(argc, argv);
   util::Status st = cli.CheckKnown({"out", "areas", "days", "seed",
                                     "mean_scale", "no_weather", "no_traffic",
-                                    "first_weekday", "metrics-out",
+                                    "first_weekday", "threads", "metrics-out",
                                     "trace-out", "help"});
   if (!st.ok() || cli.GetBool("help", false)) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_simulate --out=city.bin [--areas=58] "
                  "[--days=52] [--seed=42] [--mean_scale=1.0] [--no_weather] "
-                 "[--no_traffic] [--first_weekday=1] "
+                 "[--no_traffic] [--first_weekday=1] [--threads=N] "
                  "[--metrics-out=metrics.jsonl] [--trace-out=trace.json]\n",
                  st.ToString().c_str());
     return st.ok() ? 0 : 2;
@@ -134,6 +135,11 @@ int Main(int argc, char** argv) {
 
   const bool telemetry = cli.Has("metrics-out") || cli.Has("trace-out");
   if (telemetry) obs::SetEnabled(true);
+
+  // Thread count for the instrumented pipeline (0 = hardware concurrency);
+  // simulation output is bit-identical regardless.
+  util::ThreadPool::SetGlobalThreads(
+      static_cast<int>(cli.GetInt("threads", 0)));
 
   std::string out = cli.GetString("out", "city.bin");
   sim::CityConfig config;

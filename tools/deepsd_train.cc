@@ -18,6 +18,7 @@
 #include "obs/metrics_io.h"
 #include "obs/trace.h"
 #include "util/cli.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace deepsd;
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
   util::Status st = cli.CheckKnown(
       {"data", "model", "mode", "train_days", "eval_days", "epochs", "batch",
        "lr", "best_k", "stride", "no_weather", "no_traffic", "no_residual",
-       "onehot", "finetune_from", "seed", "verbose", "metrics-out",
+       "onehot", "finetune_from", "seed", "threads", "verbose", "metrics-out",
        "trace-out", "help"});
   if (!st.ok() || cli.GetBool("help", false) || !cli.Has("data")) {
     std::fprintf(stderr,
@@ -33,14 +34,21 @@ int main(int argc, char** argv) {
                  "--mode=basic|advanced --train_days=N [--epochs=50] "
                  "[--batch=64] [--lr=1e-3] [--best_k=10] [--stride=5] "
                  "[--no_weather] [--no_traffic] [--no_residual] [--onehot] "
-                 "[--finetune_from=prev.bin] [--seed=7] [--verbose] "
-                 "[--metrics-out=metrics.jsonl] [--trace-out=trace.json]\n",
+                 "[--finetune_from=prev.bin] [--seed=7] [--threads=N] "
+                 "[--verbose] [--metrics-out=metrics.jsonl] "
+                 "[--trace-out=trace.json]\n",
                  st.ToString().c_str());
     return st.ok() ? 2 : 2;
   }
 
   const bool telemetry = cli.Has("metrics-out") || cli.Has("trace-out");
   if (telemetry) obs::SetEnabled(true);
+
+  // 0 = hardware concurrency. Results are bit-identical for every value
+  // (docs/parallelism.md); --threads only changes speed.
+  util::ThreadPool::SetGlobalThreads(
+      static_cast<int>(cli.GetInt("threads", 0)));
+  std::printf("threads: %d\n", util::ThreadPool::GlobalThreads());
 
   data::OrderDataset dataset;
   st = data::LoadDataset(cli.GetString("data"), &dataset);
