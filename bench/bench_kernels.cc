@@ -1,0 +1,365 @@
+// Kernel-layer and arena-reuse benchmarks (docs/performance.md), with the
+// determinism contract measured rather than assumed:
+//
+//   1. GEMM chain (4 chained matmuls) at 64x64 and 128x128 — naive vs
+//      blocked kernels, ns/op and GF/s. CI fails if blocked is slower.
+//   2. Fused LinearLRel vs the unfused MatMul→AddBias→LeakyRelu trio,
+//      full forward+backward step on a reused graph.
+//   3. End-to-end DeepSD advanced train step (forward, backward, Adam)
+//      over a prebuilt batch on a long-lived graph: ns/step, steady-state
+//      heap allocations per step (own operator-new counter; batch
+//      assembly is excluded by construction) and arena traffic.
+//   4. Parity: K train steps under naive and blocked kernels from
+//      identical seeds must produce bit-identical losses and parameters.
+//
+//   bench_kernels [--reps=400] [--steps=30] [--json=BENCH_kernels.json]
+//
+// Exit status is 0 only if parity holds and blocked is not slower than
+// naive on every GEMM-chain size.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "core/trainer.h"
+#include "nn/adam.h"
+#include "nn/kernels.h"
+#include "sim/city_sim.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+namespace {
+
+// Binary-wide allocation counter; off unless a measurement window is open.
+std::atomic<size_t> g_alloc_count{0};
+std::atomic<bool> g_alloc_counting{false};
+
+void* CountedAlloc(size_t size) {
+  if (g_alloc_counting.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace deepsd {
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-3 timing of `reps` calls to `body`; returns seconds per call.
+template <typename Fn>
+double TimePerCall(int reps, Fn&& body) {
+  double best = 1e30;
+  for (int block = 0; block < 3; ++block) {
+    double t0 = NowSeconds();
+    for (int r = 0; r < reps; ++r) body();
+    double dt = NowSeconds() - t0;
+    if (dt < best) best = dt;
+  }
+  return best / reps;
+}
+
+struct ChainResult {
+  int n = 0;
+  double naive_ns = 0;
+  double blocked_ns = 0;
+  double naive_gflops = 0;
+  double blocked_gflops = 0;
+  double speedup = 0;
+};
+
+/// Four chained n×n matmuls through nn::MatMul under each kernel mode.
+ChainResult BenchGemmChain(int n, int reps) {
+  util::Rng rng(17);
+  nn::Tensor a(n, n), w1(n, n), w2(n, n), w3(n, n), w4(n, n);
+  for (nn::Tensor* t : {&a, &w1, &w2, &w3, &w4}) {
+    for (float& v : t->flat()) v = rng.Uniform(-1.0f, 1.0f);
+  }
+  nn::Tensor t1, t2, t3, t4;
+  auto chain = [&] {
+    nn::MatMul(a, w1, &t1);
+    nn::MatMul(t1, w2, &t2);
+    nn::MatMul(t2, w3, &t3);
+    nn::MatMul(t3, w4, &t4);
+  };
+  const double flops = 4.0 * 2.0 * n * static_cast<double>(n) * n;
+
+  ChainResult r;
+  r.n = n;
+  nn::kernels::SetKernelMode(nn::kernels::KernelMode::kNaive);
+  for (int i = 0; i < 10; ++i) chain();  // warm-up
+  double naive_s = TimePerCall(reps, chain);
+  nn::kernels::SetKernelMode(nn::kernels::KernelMode::kBlocked);
+  for (int i = 0; i < 10; ++i) chain();
+  double blocked_s = TimePerCall(reps, chain);
+
+  r.naive_ns = naive_s * 1e9;
+  r.blocked_ns = blocked_s * 1e9;
+  r.naive_gflops = flops / naive_s / 1e9;
+  r.blocked_gflops = flops / blocked_s / 1e9;
+  r.speedup = naive_s / blocked_s;
+  return r;
+}
+
+struct FusedResult {
+  double unfused_ns = 0;
+  double fused_ns = 0;
+  double speedup = 0;
+};
+
+/// Forward+backward of one FC→LReL layer (batch 64, 140→64) on a reused
+/// graph, fused against the three-op composition. Blocked kernels.
+FusedResult BenchFusedLinearLRel(int reps) {
+  nn::kernels::SetKernelMode(nn::kernels::KernelMode::kBlocked);
+  nn::ParameterStore store;
+  util::Rng rng(29);
+  nn::Linear fc(&store, "fc", 140, 64, &rng);
+  nn::Tensor x(64, 140), target(64, 64);
+  for (float& v : x.flat()) v = rng.Uniform(-1.0f, 1.0f);
+  for (float& v : target.flat()) v = rng.Uniform(0.0f, 1.0f);
+
+  nn::Graph unfused_g, fused_g;
+  auto unfused = [&] {
+    unfused_g.Clear();
+    unfused_g.set_training(true);
+    nn::NodeId h = unfused_g.LeakyRelu(fc.Apply(&unfused_g, unfused_g.Input(x)),
+                                       0.001f);
+    store.ZeroGrads();
+    unfused_g.Backward(unfused_g.MseLoss(h, target));
+  };
+  auto fused = [&] {
+    fused_g.Clear();
+    fused_g.set_training(true);
+    nn::NodeId h = fc.ApplyLRel(&fused_g, fused_g.Input(x), 0.001f);
+    store.ZeroGrads();
+    fused_g.Backward(fused_g.MseLoss(h, target));
+  };
+  for (int i = 0; i < 10; ++i) {
+    unfused();
+    fused();
+  }
+  FusedResult r;
+  r.unfused_ns = TimePerCall(reps, unfused) * 1e9;
+  r.fused_ns = TimePerCall(reps, fused) * 1e9;
+  r.speedup = r.unfused_ns / r.fused_ns;
+  return r;
+}
+
+struct TrainStepResult {
+  double ns_per_step = 0;
+  double allocs_per_step = 0;
+  size_t arena_hits = 0;
+  size_t arena_misses = 0;
+  bool parity_ok = false;
+  int parity_steps = 0;
+};
+
+struct StepOutput {
+  std::vector<float> losses;
+  std::vector<std::vector<float>> params;
+};
+
+/// `steps` advanced-model train steps (forward, MSE, backward, Adam) over
+/// `batch` on one long-lived graph. Fresh model per call so naive and
+/// blocked runs start from identical parameters.
+StepOutput RunTrainSteps(const core::Batch& batch, int num_areas, int steps) {
+  core::DeepSDConfig config;
+  config.num_areas = num_areas;
+  nn::ParameterStore store;
+  util::Rng rng(11);
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kAdvanced, &store,
+                          &rng);
+  util::Rng dropout_rng(55);
+  nn::Graph g(&dropout_rng);
+  nn::Adam adam;
+  StepOutput out;
+  for (int s = 0; s < steps; ++s) {
+    g.Clear();
+    g.set_training(true);
+    nn::NodeId loss = g.MseLoss(model.Forward(&g, batch), batch.target);
+    store.ZeroGrads();
+    g.Backward(loss);
+    adam.Step(&store);
+    out.losses.push_back(g.value(loss).at(0, 0));
+  }
+  for (const auto& p : store.parameters()) out.params.push_back(p->value.flat());
+  return out;
+}
+
+TrainStepResult BenchTrainStep(int steps) {
+  sim::CityConfig city;
+  city.num_areas = 6;
+  city.num_days = 12;
+  city.seed = 9;
+  data::OrderDataset dataset = sim::SimulateCity(city);
+  feature::FeatureConfig fc;
+  feature::FeatureAssembler assembler(&dataset, fc, 0, 10);
+  auto items = data::MakeItems(dataset, 10, 12, 450, 1410, 30);
+  std::vector<feature::ModelInput> inputs;
+  for (size_t i = 0; i < 64; ++i) {
+    inputs.push_back(assembler.AssembleAdvanced(items[i % items.size()]));
+  }
+  core::Batch batch =
+      core::MakeBatch(core::VectorSource(inputs), 0, inputs.size());
+
+  TrainStepResult r;
+  r.parity_steps = steps;
+
+  // Parity: identical seeds, both kernel modes, bitwise-compared losses
+  // and final parameters.
+  nn::kernels::SetKernelMode(nn::kernels::KernelMode::kNaive);
+  StepOutput naive = RunTrainSteps(batch, dataset.num_areas(), steps);
+  nn::kernels::SetKernelMode(nn::kernels::KernelMode::kBlocked);
+  StepOutput blocked = RunTrainSteps(batch, dataset.num_areas(), steps);
+  r.parity_ok =
+      naive.losses.size() == blocked.losses.size() &&
+      std::memcmp(naive.losses.data(), blocked.losses.data(),
+                  naive.losses.size() * sizeof(float)) == 0 &&
+      naive.params.size() == blocked.params.size();
+  if (r.parity_ok) {
+    for (size_t i = 0; i < naive.params.size(); ++i) {
+      if (naive.params[i].size() != blocked.params[i].size() ||
+          std::memcmp(naive.params[i].data(), blocked.params[i].data(),
+                      naive.params[i].size() * sizeof(float)) != 0) {
+        r.parity_ok = false;
+        break;
+      }
+    }
+  }
+
+  // Timing + steady-state allocations on a warm long-lived graph.
+  core::DeepSDConfig config;
+  config.num_areas = dataset.num_areas();
+  nn::ParameterStore store;
+  util::Rng rng(11);
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kAdvanced, &store,
+                          &rng);
+  util::Rng dropout_rng(55);
+  nn::Graph g(&dropout_rng);
+  nn::Adam adam;
+  float sink = 0.0f;
+  auto step = [&] {
+    g.Clear();
+    g.set_training(true);
+    nn::NodeId loss = g.MseLoss(model.Forward(&g, batch), batch.target);
+    store.ZeroGrads();
+    g.Backward(loss);
+    adam.Step(&store);
+    sink += g.value(loss).at(0, 0);
+  };
+  for (int i = 0; i < 5; ++i) step();  // warm-up: arena + slots populated
+
+  const size_t hits0 = g.arena().hits();
+  const size_t misses0 = g.arena().misses();
+  g_alloc_count.store(0);
+  g_alloc_counting.store(true);
+  double t0 = NowSeconds();
+  for (int s = 0; s < steps; ++s) step();
+  double dt = NowSeconds() - t0;
+  g_alloc_counting.store(false);
+
+  r.ns_per_step = dt / steps * 1e9;
+  r.allocs_per_step =
+      static_cast<double>(g_alloc_count.load()) / static_cast<double>(steps);
+  r.arena_hits = g.arena().hits() - hits0;
+  r.arena_misses = g.arena().misses() - misses0;
+  if (sink == 12345.0f) std::printf("sink\n");  // defeat dead-code elim
+  return r;
+}
+
+int Main(int argc, char** argv) {
+  util::CommandLine cli(argc, argv);
+  util::Status st = cli.CheckKnown({"reps", "steps", "json", "help"});
+  if (!st.ok() || cli.GetBool("help", false)) {
+    std::fprintf(stderr,
+                 "%s\nusage: bench_kernels [--reps=400] [--steps=30] "
+                 "[--json=BENCH_kernels.json]\n",
+                 st.ToString().c_str());
+    return st.ok() ? 0 : 2;
+  }
+  const int reps = static_cast<int>(cli.GetInt("reps", 400));
+  const int steps = static_cast<int>(cli.GetInt("steps", 30));
+  const std::string json_path =
+      cli.Has("json") ? cli.GetString("json") : "BENCH_kernels.json";
+
+  std::printf("gemm chains (%d reps each)...\n", reps);
+  std::vector<ChainResult> chains;
+  chains.push_back(BenchGemmChain(64, reps));
+  chains.push_back(BenchGemmChain(128, reps / 4 > 0 ? reps / 4 : 1));
+  std::printf("fused linear+lrel...\n");
+  FusedResult fused = BenchFusedLinearLRel(reps);
+  std::printf("end-to-end train step (%d steps)...\n", steps);
+  TrainStepResult ts = BenchTrainStep(steps);
+
+  bool blocked_not_slower = true;
+  std::string json = "{\n  \"gemm_chain\": [\n";
+  for (size_t i = 0; i < chains.size(); ++i) {
+    const ChainResult& c = chains[i];
+    blocked_not_slower = blocked_not_slower && c.speedup >= 1.0;
+    json += util::StrFormat(
+        "    {\"n\": %d, \"naive_ns\": %.0f, \"blocked_ns\": %.0f, "
+        "\"naive_gflops\": %.2f, \"blocked_gflops\": %.2f, "
+        "\"speedup\": %.2f}%s\n",
+        c.n, c.naive_ns, c.blocked_ns, c.naive_gflops, c.blocked_gflops,
+        c.speedup, i + 1 < chains.size() ? "," : "");
+  }
+  json += util::StrFormat(
+      "  ],\n  \"fused_linear_lrel\": {\"unfused_ns\": %.0f, "
+      "\"fused_ns\": %.0f, \"speedup\": %.2f},\n",
+      fused.unfused_ns, fused.fused_ns, fused.speedup);
+  json += util::StrFormat(
+      "  \"train_step\": {\"ns_per_step\": %.0f, \"allocs_per_step\": %.2f, "
+      "\"arena_hits\": %zu, \"arena_misses\": %zu},\n",
+      ts.ns_per_step, ts.allocs_per_step, ts.arena_hits, ts.arena_misses);
+  json += util::StrFormat(
+      "  \"parity\": {\"steps\": %d, \"bit_identical\": %s},\n",
+      ts.parity_steps, ts.parity_ok ? "true" : "false");
+  json += util::StrFormat("  \"blocked_not_slower\": %s\n}\n",
+                          blocked_not_slower ? "true" : "false");
+
+  std::printf("\n%s", json.c_str());
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (!ts.parity_ok) {
+    std::fprintf(stderr, "FAIL: naive/blocked train steps not bit-identical\n");
+    return 1;
+  }
+  if (!blocked_not_slower) {
+    std::fprintf(stderr, "FAIL: blocked kernels slower than naive\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace deepsd
+
+int main(int argc, char** argv) { return deepsd::Main(argc, argv); }

@@ -11,6 +11,7 @@
 #include "core/trainer.h"
 #include "feature/feature_assembler.h"
 #include "nn/graph.h"
+#include "nn/kernels.h"
 #include "nn/layers.h"
 #include "sim/city_sim.h"
 
@@ -18,7 +19,11 @@ namespace deepsd {
 namespace {
 
 void BM_MatMul(benchmark::State& state) {
+  // Second arg selects the kernel: 0 = naive reference, 1 = blocked.
   int n = static_cast<int>(state.range(0));
+  nn::kernels::SetKernelMode(state.range(1) == 0
+                                 ? nn::kernels::KernelMode::kNaive
+                                 : nn::kernels::KernelMode::kBlocked);
   nn::Tensor a(64, n), b(n, n), out;
   util::Rng rng(1);
   for (float& v : a.flat()) v = static_cast<float>(rng.Uniform(-1, 1));
@@ -28,8 +33,11 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(state.iterations() * 64 * n * n);
+  nn::kernels::SetKernelMode(nn::kernels::KernelMode::kBlocked);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)
+    ->ArgsProduct({{32, 64, 128}, {0, 1}})
+    ->ArgNames({"n", "blocked"});
 
 void BM_EmbeddingLookup(benchmark::State& state) {
   nn::ParameterStore store;
@@ -63,6 +71,28 @@ void BM_BlockForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BlockForwardBackward);
+
+void BM_BlockForwardBackwardReused(benchmark::State& state) {
+  // Same block on a long-lived graph (Clear() between steps) with the
+  // fused FC→LReL op: the steady-state replay path the trainer runs.
+  nn::ParameterStore store;
+  util::Rng rng(3);
+  nn::Linear fc1(&store, "fc1", 140, 64, &rng);
+  nn::Linear fc2(&store, "fc2", 64, 32, &rng);
+  nn::Tensor x(64, 140), target(64, 32);
+  for (float& v : x.flat()) v = static_cast<float>(rng.Uniform(-1, 1));
+  nn::Graph g;
+  for (auto _ : state) {
+    g.Clear();
+    nn::NodeId h = fc1.ApplyLRel(&g, g.Input(x), 0.001f);
+    nn::NodeId out = fc2.ApplyLRel(&g, h, 0.001f);
+    nn::NodeId loss = g.MseLoss(out, target);
+    store.ZeroGrads();
+    g.Backward(loss);
+    benchmark::DoNotOptimize(g.value(loss).at(0, 0));
+  }
+}
+BENCHMARK(BM_BlockForwardBackwardReused);
 
 struct MicroFixtures {
   data::OrderDataset dataset;
@@ -172,6 +202,37 @@ void BM_DeepSDTrainStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DeepSDTrainStep)->Unit(benchmark::kMillisecond);
+
+void BM_DeepSDTrainStepReused(benchmark::State& state) {
+  // BM_DeepSDTrainStep on one long-lived graph: after warm-up every
+  // tensor is recycled in place, so this isolates pure compute.
+  MicroFixtures& f = MicroFixtures::Get();
+  core::DeepSDConfig config;
+  config.num_areas = f.dataset.num_areas();
+  nn::ParameterStore store;
+  util::Rng rng(11);
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kAdvanced, &store,
+                          &rng);
+  std::vector<feature::ModelInput> inputs;
+  for (size_t i = 0; i < 64; ++i) {
+    inputs.push_back(f.assembler->AssembleAdvanced(f.items[i % f.items.size()]));
+  }
+  core::Batch batch =
+      core::MakeBatch(core::VectorSource(inputs), 0, inputs.size());
+  nn::Adam adam;
+  nn::Graph g(&rng);
+  for (auto _ : state) {
+    g.Clear();
+    g.set_training(true);
+    nn::NodeId pred = model.Forward(&g, batch);
+    nn::NodeId loss = g.MseLoss(pred, batch.target);
+    store.ZeroGrads();
+    g.Backward(loss);
+    adam.Step(&store);
+    benchmark::DoNotOptimize(g.value(loss).at(0, 0));
+  }
+}
+BENCHMARK(BM_DeepSDTrainStepReused)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace deepsd

@@ -9,8 +9,14 @@ namespace core {
 
 namespace {
 
-nn::Tensor Pack(const std::vector<feature::ModelInput>& inputs,
-                const std::vector<float> feature::ModelInput::* field) {
+nn::Tensor Pack(std::vector<feature::ModelInput>& inputs,
+                std::vector<float> feature::ModelInput::* field) {
+  // Single-item batches (the serving Predict(area) path) adopt the input's
+  // storage via the Tensor::Row move overload instead of copying it — the
+  // ModelInput is already a batch-local copy that is discarded afterwards.
+  if (inputs.size() == 1) {
+    return nn::Tensor::Row(std::move(inputs[0].*field));
+  }
   const std::vector<float>& first = inputs[0].*field;
   nn::Tensor t(static_cast<int>(inputs.size()), static_cast<int>(first.size()));
   for (size_t b = 0; b < inputs.size(); ++b) {

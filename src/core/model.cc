@@ -138,7 +138,10 @@ nn::NodeId DeepSDModel::IdentityPart(nn::Graph* g, const Batch& batch) const {
 }
 
 nn::NodeId DeepSDModel::WeatherVector(nn::Graph* g, const Batch& batch) const {
-  std::vector<nn::NodeId> parts;
+  // Scratch is reused across calls on the same thread so the steady-state
+  // forward pass performs no allocations.
+  static thread_local std::vector<nn::NodeId> parts;
+  parts.clear();
   parts.reserve(batch.weather_types_by_lag.size() + 1);
   for (const std::vector<int>& ids : batch.weather_types_by_lag) {
     parts.push_back(config_.use_embedding ? weather_embed_->Apply(g, ids)
@@ -148,10 +151,17 @@ nn::NodeId DeepSDModel::WeatherVector(nn::Graph* g, const Batch& batch) const {
   return g->Concat(parts);
 }
 
+nn::NodeId DeepSDModel::FcLRel(nn::Graph* g, const nn::Linear& fc,
+                               nn::NodeId in) const {
+  if (config_.leaky_alpha > 0.0f) {
+    return fc.ApplyLRel(g, in, config_.leaky_alpha);
+  }
+  return g->LeakyRelu(fc.Apply(g, in), config_.leaky_alpha);
+}
+
 nn::NodeId DeepSDModel::BlockMlp(nn::Graph* g, const nn::Linear& fc1,
                                  const nn::Linear& fc2, nn::NodeId in) const {
-  nn::NodeId h = g->LeakyRelu(fc1.Apply(g, in), config_.leaky_alpha);
-  return g->LeakyRelu(fc2.Apply(g, h), config_.leaky_alpha);
+  return FcLRel(g, fc2, FcLRel(g, fc1, in));
 }
 
 nn::NodeId DeepSDModel::AttachBlock(nn::Graph* g, const nn::Linear& fc1,
@@ -174,9 +184,16 @@ nn::NodeId DeepSDModel::ExtendedQuad(nn::Graph* g, const Batch& batch,
   const ExtendedBlock& blk = ext_[static_cast<size_t>(signal)];
   nn::NodeId p;
   if (config_.uniform_weekday_weights) {
-    nn::Tensor uniform(g->value(v).rows(), data::kDaysPerWeek);
+    // Reused scratch: moving a fresh tensor into the graph every step
+    // would grow the arena pool without bound; the copy-Input below runs
+    // on recycled arena storage instead.
+    static thread_local nn::Tensor uniform;
+    const int rows = g->value(v).rows();
+    if (uniform.rows() != rows || uniform.cols() != data::kDaysPerWeek) {
+      uniform = nn::Tensor(rows, data::kDaysPerWeek);
+    }
     uniform.Fill(1.0f / data::kDaysPerWeek);
-    p = g->Input(std::move(uniform));
+    p = g->Input(uniform);
   } else {
     nn::NodeId area, week;
     if (config_.use_embedding) {
@@ -192,10 +209,9 @@ nn::NodeId DeepSDModel::ExtendedQuad(nn::Graph* g, const Batch& batch,
   nn::NodeId e_t = g->GroupWeightedSum(p, h, data::kDaysPerWeek);
   nn::NodeId e_t10 = g->GroupWeightedSum(p, h10, data::kDaysPerWeek);
 
-  nn::NodeId pv = g->LeakyRelu(blk.proj->Apply(g, v), config_.leaky_alpha);
-  nn::NodeId pe = g->LeakyRelu(blk.proj->Apply(g, e_t), config_.leaky_alpha);
-  nn::NodeId pe10 =
-      g->LeakyRelu(blk.proj->Apply(g, e_t10), config_.leaky_alpha);
+  nn::NodeId pv = FcLRel(g, *blk.proj, v);
+  nn::NodeId pe = FcLRel(g, *blk.proj, e_t);
+  nn::NodeId pe10 = FcLRel(g, *blk.proj, e_t10);
   // Estimated Proj(V^{t+10}) = Proj(E^{t+10}) ⊕ (Proj(V^t) ⊖ Proj(E^t)).
   nn::NodeId est = g->Add(pe10, g->Sub(pv, pe));
 
@@ -207,7 +223,10 @@ nn::NodeId DeepSDModel::Forward(nn::Graph* g, const Batch& batch) const {
                    "advanced model needs advanced features");
   nn::NodeId x_id = IdentityPart(g, batch);
 
-  std::vector<nn::NodeId> concat_parts;  // used when residual is off
+  // Used when residual is off; thread_local so replayed forwards reuse
+  // its capacity.
+  static thread_local std::vector<nn::NodeId> concat_parts;
+  concat_parts.clear();
 
   nn::NodeId stream;
   if (mode_ == Mode::kBasic) {
@@ -254,12 +273,13 @@ nn::NodeId DeepSDModel::Forward(nn::Graph* g, const Batch& batch) const {
   if (config_.use_residual) {
     features = g->Concat({x_id, stream});
   } else {
-    std::vector<nn::NodeId> all = {x_id};
+    static thread_local std::vector<nn::NodeId> all;
+    all.clear();
+    all.push_back(x_id);
     all.insert(all.end(), concat_parts.begin(), concat_parts.end());
     features = g->Concat(all);
   }
-  nn::NodeId hidden =
-      g->LeakyRelu(head_fc_->Apply(g, features), config_.leaky_alpha);
+  nn::NodeId hidden = FcLRel(g, *head_fc_, features);
   return head_out_->Apply(g, hidden);  // linear activation on the output
 }
 
@@ -274,13 +294,17 @@ std::vector<float> DeepSDModel::Predict(const InputSource& source,
   // slice of `preds`. Every forward op computes each batch row
   // independently, so the numbers per row never depend on which rows share
   // a chunk — the result is bitwise-identical to the serial loop for any
-  // thread count or chunking.
+  // thread count or chunking. Each pool thread keeps one long-lived graph
+  // whose arena recycles tensor storage across chunks (and across Predict
+  // calls); recycled buffers are re-zeroed on acquire, so reuse cannot
+  // change any value.
   std::vector<float> preds(source.size());
   const size_t span = static_cast<size_t>(std::max(batch_size, 1));
   util::ThreadPool::Global().ParallelFor(
       0, source.size(), span, [&](size_t begin, size_t end) {
         Batch batch = MakeBatch(source, begin, end);
-        nn::Graph g;
+        static thread_local nn::Graph g;
+        g.Clear();
         g.set_training(false);
         nn::NodeId pred = Forward(&g, batch);
         const nn::Tensor& out = g.value(pred);

@@ -82,6 +82,10 @@ class DeepSDModel {
   /// The four-projection concat of one extended block (Fig 9).
   nn::NodeId ExtendedQuad(nn::Graph* g, const Batch& batch, int signal,
                           nn::NodeId v, nn::NodeId h, nn::NodeId h10) const;
+  /// FC layer followed by LReL — fused into one kernel pass when the
+  /// configured alpha permits (alpha > 0), the unfused op pair otherwise.
+  /// Both paths are bitwise identical.
+  nn::NodeId FcLRel(nn::Graph* g, const nn::Linear& fc, nn::NodeId in) const;
   /// Two stacked FC layers with LReL: FC_hidden1 → FC_hidden2.
   nn::NodeId BlockMlp(nn::Graph* g, const nn::Linear& fc1,
                       const nn::Linear& fc2, nn::NodeId in) const;

@@ -128,6 +128,12 @@ TrainResult Trainer::Train(
   std::vector<nn::GradBuffer> shard_grads;
   shard_grads.reserve(max_shards);
   for (size_t s = 0; s < max_shards; ++s) shard_grads.emplace_back(*store);
+  // One long-lived graph per shard slot: each batch replays the same
+  // topology into the slot's arena-recycled tensor storage, so the
+  // steady-state forward/backward performs no heap allocations. Shard s
+  // always uses shard_graphs[s] no matter which worker runs it, keeping
+  // the bit-identity-for-any-thread-count contract.
+  std::vector<nn::Graph> shard_graphs(max_shards);
   const auto& params = store->parameters();
 
   uint64_t step = 0;  // global batch counter, seeds shard dropout streams
@@ -166,7 +172,9 @@ TrainResult Trainer::Train(
           util::Rng dropout_rng(ShardSeed(config_.seed, step, s));
           nn::GradBuffer& grads = shard_grads[s];
           grads.Zero();
-          nn::Graph g(&dropout_rng);
+          nn::Graph& g = shard_graphs[s];
+          g.Clear();
+          g.set_rng(&dropout_rng);
           g.set_training(true);
           g.set_grad_buffer(&grads);
           nn::NodeId pred = model->Forward(&g, batch);
@@ -177,6 +185,10 @@ TrainResult Trainer::Train(
                                       static_cast<double>(batch_size));
           g.Backward(loss);
           shard_loss[s] = static_cast<double>(g.value(loss).at(0, 0));
+          // dropout_rng and grads are loop-local; drop the references so
+          // the persistent graph never dangles between batches.
+          g.set_rng(nullptr);
+          g.set_grad_buffer(nullptr);
         }
       });
       shards_counter->Inc(num_shards);

@@ -1,46 +1,95 @@
 #include "nn/graph.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "nn/kernels.h"
 
 namespace deepsd {
 namespace nn {
 
-NodeId Graph::AddNode(Tensor value) {
-  Node n;
-  n.value = std::move(value);
-  n.grad = Tensor(n.value.rows(), n.value.cols());
-  nodes_.push_back(std::move(n));
-  return static_cast<NodeId>(nodes_.size() - 1);
+Tensor Graph::AcquireValueSlot(int rows, int cols, bool zeroed) {
+  const size_t count = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (live_ < nodes_.size() && count > 0 &&
+      nodes_[live_].value.size() == count) {
+    Tensor t(rows, cols, nodes_[live_].value.ReleaseStorage());
+    if (zeroed) std::fill(t.data(), t.data() + count, 0.0f);
+    return t;
+  }
+  if (live_ < nodes_.size()) arena_.Release(std::move(nodes_[live_].value));
+  return arena_.Acquire(rows, cols, zeroed);
 }
 
-NodeId Graph::Input(Tensor value) { return AddNode(std::move(value)); }
+Tensor Graph::AcquireAuxSlot(int rows, int cols, bool zeroed) {
+  const size_t count = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (live_ < nodes_.size() && count > 0 &&
+      nodes_[live_].aux.size() == count) {
+    Tensor t(rows, cols, nodes_[live_].aux.ReleaseStorage());
+    if (zeroed) std::fill(t.data(), t.data() + count, 0.0f);
+    return t;
+  }
+  if (live_ < nodes_.size()) arena_.Release(std::move(nodes_[live_].aux));
+  return arena_.Acquire(rows, cols, zeroed);
+}
+
+NodeId Graph::AddNode(Op op, Tensor value) {
+  if (live_ == nodes_.size()) nodes_.emplace_back();
+  Node& n = nodes_[live_];
+  n.op = op;
+  // The slot's retained value is normally already gone (AcquireValueSlot
+  // moved it into `value`); when an adopting Input bypassed that path,
+  // hand the leftover to the arena instead of freeing it.
+  arena_.Release(std::move(n.value));
+  n.value = std::move(value);
+  const size_t count = n.value.size();
+  if (n.grad.size() == count && count > 0) {
+    // Retained grad from the previous replay: rebind the shape and re-zero.
+    Tensor g(n.value.rows(), n.value.cols(), n.grad.ReleaseStorage());
+    std::fill(g.data(), g.data() + count, 0.0f);
+    n.grad = std::move(g);
+  } else {
+    arena_.Release(std::move(n.grad));
+    n.grad = arena_.Acquire(n.value.rows(), n.value.cols(), /*zeroed=*/true);
+  }
+  n.param = nullptr;
+  n.a = n.b = n.c = -1;
+  n.scalar = 0.0f;
+  n.denom = 0.0;
+  n.i0 = n.i1 = 0;
+  n.inputs.clear();
+  n.ids.clear();
+  return static_cast<NodeId>(live_++);
+}
+
+NodeId Graph::Input(const Tensor& value) {
+  Tensor out = AcquireValueSlot(value.rows(), value.cols(), /*zeroed=*/false);
+  std::copy(value.data(), value.data() + value.size(), out.data());
+  return AddNode(Op::kInput, std::move(out));
+}
+
+NodeId Graph::Input(Tensor&& value) {
+  return AddNode(Op::kInput, std::move(value));
+}
 
 NodeId Graph::Param(Parameter* p) {
   DEEPSD_CHECK(p != nullptr);
-  NodeId id = AddNode(p->value);
+  Tensor out =
+      AcquireValueSlot(p->value.rows(), p->value.cols(), /*zeroed=*/false);
+  std::copy(p->value.data(), p->value.data() + p->value.size(), out.data());
+  NodeId id = AddNode(Op::kParam, std::move(out));
   node(id).param = p;
-  node(id).backward = [id](Graph* g) {
-    Node& n = g->node(id);
-    Tensor& dst = g->param_grad(n.param);
-    for (size_t i = 0; i < n.grad.size(); ++i) {
-      dst.flat()[i] += n.grad.flat()[i];
-    }
-  };
   return id;
 }
 
 NodeId Graph::MatMul(NodeId x, NodeId w) {
   const Tensor& xv = value(x);
   const Tensor& wv = value(w);
-  Tensor out(xv.rows(), wv.cols());
+  Tensor out = AcquireValueSlot(xv.rows(), wv.cols(), /*zeroed=*/false);
   nn::MatMul(xv, wv, &out);
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, x, w](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    // dX += dY · W^T ; dW += X^T · dY
-    MatMulTransposeB(dy, g->node(w).value, &g->node(x).grad);
-    MatMulTransposeA(g->node(x).value, dy, &g->node(w).grad);
-  };
+  NodeId id = AddNode(Op::kMatMul, std::move(out));
+  Node& n = node(id);
+  n.a = x;
+  n.b = w;
   return id;
 }
 
@@ -48,27 +97,37 @@ NodeId Graph::AddBias(NodeId x, NodeId b) {
   const Tensor& xv = value(x);
   const Tensor& bv = value(b);
   DEEPSD_CHECK(bv.rows() == 1 && bv.cols() == xv.cols());
-  Tensor out = xv;
+  Tensor out = AcquireValueSlot(xv.rows(), xv.cols(), /*zeroed=*/false);
   for (int r = 0; r < out.rows(); ++r) {
-    float* row = out.row(r);
+    const float* xrow = xv.row(r);
     const float* brow = bv.row(0);
-    for (int c = 0; c < out.cols(); ++c) row[c] += brow[c];
+    float* row = out.row(r);
+    for (int c = 0; c < out.cols(); ++c) row[c] = xrow[c] + brow[c];
   }
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, x, b](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    Tensor& dx = g->node(x).grad;
-    Tensor& db = g->node(b).grad;
-    for (int r = 0; r < dy.rows(); ++r) {
-      const float* dyr = dy.row(r);
-      float* dxr = dx.row(r);
-      float* dbr = db.row(0);
-      for (int c = 0; c < dy.cols(); ++c) {
-        dxr[c] += dyr[c];
-        dbr[c] += dyr[c];
-      }
-    }
-  };
+  NodeId id = AddNode(Op::kAddBias, std::move(out));
+  Node& n = node(id);
+  n.a = x;
+  n.b = b;
+  return id;
+}
+
+NodeId Graph::LinearLRel(NodeId x, NodeId w, NodeId b, float alpha) {
+  const Tensor& xv = value(x);
+  const Tensor& wv = value(w);
+  const Tensor& bv = value(b);
+  DEEPSD_CHECK(xv.cols() == wv.rows());
+  DEEPSD_CHECK(bv.rows() == 1 && bv.cols() == wv.cols());
+  DEEPSD_CHECK_MSG(alpha > 0.0f,
+                   "LinearLRel requires alpha > 0 (mask from output sign)");
+  Tensor out = AcquireValueSlot(xv.rows(), wv.cols(), /*zeroed=*/false);
+  kernels::GemmBiasLRel(xv.data(), wv.data(), bv.data(), out.data(),
+                        xv.rows(), xv.cols(), wv.cols(), alpha);
+  NodeId id = AddNode(Op::kLinearLRel, std::move(out));
+  Node& n = node(id);
+  n.a = x;
+  n.b = w;
+  n.c = b;
+  n.scalar = alpha;
   return id;
 }
 
@@ -76,18 +135,14 @@ NodeId Graph::Add(NodeId a, NodeId b) {
   const Tensor& av = value(a);
   const Tensor& bv = value(b);
   DEEPSD_CHECK(av.SameShape(bv));
-  Tensor out = av;
-  for (size_t i = 0; i < out.size(); ++i) out.flat()[i] += bv.flat()[i];
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, a, b](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    Tensor& da = g->node(a).grad;
-    Tensor& db = g->node(b).grad;
-    for (size_t i = 0; i < dy.size(); ++i) {
-      da.flat()[i] += dy.flat()[i];
-      db.flat()[i] += dy.flat()[i];
-    }
-  };
+  Tensor out = AcquireValueSlot(av.rows(), av.cols(), /*zeroed=*/false);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.flat()[i] = av.flat()[i] + bv.flat()[i];
+  }
+  NodeId id = AddNode(Op::kAdd, std::move(out));
+  Node& n = node(id);
+  n.a = a;
+  n.b = b;
   return id;
 }
 
@@ -95,18 +150,14 @@ NodeId Graph::Sub(NodeId a, NodeId b) {
   const Tensor& av = value(a);
   const Tensor& bv = value(b);
   DEEPSD_CHECK(av.SameShape(bv));
-  Tensor out = av;
-  for (size_t i = 0; i < out.size(); ++i) out.flat()[i] -= bv.flat()[i];
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, a, b](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    Tensor& da = g->node(a).grad;
-    Tensor& db = g->node(b).grad;
-    for (size_t i = 0; i < dy.size(); ++i) {
-      da.flat()[i] += dy.flat()[i];
-      db.flat()[i] -= dy.flat()[i];
-    }
-  };
+  Tensor out = AcquireValueSlot(av.rows(), av.cols(), /*zeroed=*/false);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.flat()[i] = av.flat()[i] - bv.flat()[i];
+  }
+  NodeId id = AddNode(Op::kSub, std::move(out));
+  Node& n = node(id);
+  n.a = a;
+  n.b = b;
   return id;
 }
 
@@ -114,110 +165,89 @@ NodeId Graph::Mul(NodeId a, NodeId b) {
   const Tensor& av = value(a);
   const Tensor& bv = value(b);
   DEEPSD_CHECK(av.SameShape(bv));
-  Tensor out = av;
-  for (size_t i = 0; i < out.size(); ++i) out.flat()[i] *= bv.flat()[i];
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, a, b](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    Tensor& da = g->node(a).grad;
-    Tensor& db = g->node(b).grad;
-    const Tensor& av2 = g->node(a).value;
-    const Tensor& bv2 = g->node(b).value;
-    for (size_t i = 0; i < dy.size(); ++i) {
-      da.flat()[i] += dy.flat()[i] * bv2.flat()[i];
-      db.flat()[i] += dy.flat()[i] * av2.flat()[i];
-    }
-  };
+  Tensor out = AcquireValueSlot(av.rows(), av.cols(), /*zeroed=*/false);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.flat()[i] = av.flat()[i] * bv.flat()[i];
+  }
+  NodeId id = AddNode(Op::kMul, std::move(out));
+  Node& n = node(id);
+  n.a = a;
+  n.b = b;
   return id;
 }
 
 NodeId Graph::Scale(NodeId a, float s) {
-  Tensor out = value(a);
-  for (float& v : out.flat()) v *= s;
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, a, s](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    Tensor& da = g->node(a).grad;
-    for (size_t i = 0; i < dy.size(); ++i) da.flat()[i] += dy.flat()[i] * s;
-  };
+  const Tensor& av = value(a);
+  Tensor out = AcquireValueSlot(av.rows(), av.cols(), /*zeroed=*/false);
+  for (size_t i = 0; i < out.size(); ++i) out.flat()[i] = av.flat()[i] * s;
+  NodeId id = AddNode(Op::kScale, std::move(out));
+  Node& n = node(id);
+  n.a = a;
+  n.scalar = s;
   return id;
 }
 
-NodeId Graph::Concat(const std::vector<NodeId>& parts) {
-  DEEPSD_CHECK(!parts.empty());
+NodeId Graph::ConcatImpl(const NodeId* parts, size_t count) {
+  DEEPSD_CHECK(count > 0);
   int rows = value(parts[0]).rows();
   int cols = 0;
-  for (NodeId p : parts) {
-    DEEPSD_CHECK(value(p).rows() == rows);
-    cols += value(p).cols();
+  for (size_t i = 0; i < count; ++i) {
+    DEEPSD_CHECK(value(parts[i]).rows() == rows);
+    cols += value(parts[i]).cols();
   }
-  Tensor out(rows, cols);
+  Tensor out = AcquireValueSlot(rows, cols, /*zeroed=*/false);
   int offset = 0;
-  for (NodeId p : parts) {
-    const Tensor& pv = value(p);
+  for (size_t i = 0; i < count; ++i) {
+    const Tensor& pv = value(parts[i]);
     for (int r = 0; r < rows; ++r) {
       std::copy(pv.row(r), pv.row(r) + pv.cols(), out.row(r) + offset);
     }
     offset += pv.cols();
   }
-  NodeId id = AddNode(std::move(out));
-  std::vector<NodeId> parts_copy = parts;
-  node(id).backward = [id, parts_copy](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    int offset2 = 0;
-    for (NodeId p : parts_copy) {
-      Tensor& dp = g->node(p).grad;
-      for (int r = 0; r < dy.rows(); ++r) {
-        const float* src = dy.row(r) + offset2;
-        float* dst = dp.row(r);
-        for (int c = 0; c < dp.cols(); ++c) dst[c] += src[c];
-      }
-      offset2 += dp.cols();
-    }
-  };
+  NodeId id = AddNode(Op::kConcat, std::move(out));
+  node(id).inputs.assign(parts, parts + count);
   return id;
+}
+
+NodeId Graph::Concat(const std::vector<NodeId>& parts) {
+  return ConcatImpl(parts.data(), parts.size());
+}
+
+NodeId Graph::Concat(std::initializer_list<NodeId> parts) {
+  return ConcatImpl(parts.begin(), parts.size());
 }
 
 NodeId Graph::SliceCols(NodeId x, int begin, int end) {
   const Tensor& xv = value(x);
   DEEPSD_CHECK(begin >= 0 && end <= xv.cols() && begin < end);
-  Tensor out(xv.rows(), end - begin);
+  Tensor out = AcquireValueSlot(xv.rows(), end - begin, /*zeroed=*/false);
   for (int r = 0; r < xv.rows(); ++r) {
     std::copy(xv.row(r) + begin, xv.row(r) + end, out.row(r));
   }
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, x, begin](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    Tensor& dx = g->node(x).grad;
-    for (int r = 0; r < dy.rows(); ++r) {
-      const float* src = dy.row(r);
-      float* dst = dx.row(r) + begin;
-      for (int c = 0; c < dy.cols(); ++c) dst[c] += src[c];
-    }
-  };
+  NodeId id = AddNode(Op::kSliceCols, std::move(out));
+  Node& n = node(id);
+  n.a = x;
+  n.i0 = begin;
   return id;
 }
 
 NodeId Graph::LeakyRelu(NodeId x, float alpha) {
-  Tensor out = value(x);
-  for (float& v : out.flat()) {
-    if (v < 0.0f) v *= alpha;
+  const Tensor& xv = value(x);
+  Tensor out = AcquireValueSlot(xv.rows(), xv.cols(), /*zeroed=*/false);
+  for (size_t i = 0; i < out.size(); ++i) {
+    float v = xv.flat()[i];
+    out.flat()[i] = v < 0.0f ? v * alpha : v;
   }
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, x, alpha](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    const Tensor& xv = g->node(x).value;
-    Tensor& dx = g->node(x).grad;
-    for (size_t i = 0; i < dy.size(); ++i) {
-      dx.flat()[i] += dy.flat()[i] * (xv.flat()[i] >= 0.0f ? 1.0f : alpha);
-    }
-  };
+  NodeId id = AddNode(Op::kLeakyRelu, std::move(out));
+  Node& n = node(id);
+  n.a = x;
+  n.scalar = alpha;
   return id;
 }
 
 NodeId Graph::Softmax(NodeId x) {
   const Tensor& xv = value(x);
-  Tensor out(xv.rows(), xv.cols());
+  Tensor out = AcquireValueSlot(xv.rows(), xv.cols(), /*zeroed=*/false);
   for (int r = 0; r < xv.rows(); ++r) {
     const float* in = xv.row(r);
     float* o = out.row(r);
@@ -230,22 +260,8 @@ NodeId Graph::Softmax(NodeId x) {
     }
     for (int c = 0; c < xv.cols(); ++c) o[c] /= sum;
   }
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, x](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    const Tensor& y = g->node(id).value;
-    Tensor& dx = g->node(x).grad;
-    for (int r = 0; r < dy.rows(); ++r) {
-      const float* yr = y.row(r);
-      const float* dyr = dy.row(r);
-      float* dxr = dx.row(r);
-      float dot = 0.0f;
-      for (int c = 0; c < dy.cols(); ++c) dot += yr[c] * dyr[c];
-      for (int c = 0; c < dy.cols(); ++c) {
-        dxr[c] += yr[c] * (dyr[c] - dot);
-      }
-    }
-  };
+  NodeId id = AddNode(Op::kSoftmax, std::move(out));
+  node(id).a = x;
   return id;
 }
 
@@ -253,23 +269,20 @@ NodeId Graph::Dropout(NodeId x, float p) {
   if (!training_ || p <= 0.0f) return x;
   DEEPSD_CHECK_MSG(rng_ != nullptr, "Dropout in training mode needs an Rng");
   const Tensor& xv = value(x);
-  Tensor mask(xv.rows(), xv.cols());
+  Tensor mask = AcquireAuxSlot(xv.rows(), xv.cols(), /*zeroed=*/false);
   float keep = 1.0f - p;
   float scale = 1.0f / keep;
   for (float& m : mask.flat()) {
     m = rng_->Bernoulli(keep) ? scale : 0.0f;
   }
-  Tensor out = xv;
-  for (size_t i = 0; i < out.size(); ++i) out.flat()[i] *= mask.flat()[i];
-  NodeId id = AddNode(std::move(out));
-  // The mask must outlive forward; store it in the closure.
-  node(id).backward = [id, x, mask = std::move(mask)](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    Tensor& dx = g->node(x).grad;
-    for (size_t i = 0; i < dy.size(); ++i) {
-      dx.flat()[i] += dy.flat()[i] * mask.flat()[i];
-    }
-  };
+  Tensor out = AcquireValueSlot(xv.rows(), xv.cols(), /*zeroed=*/false);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out.flat()[i] = xv.flat()[i] * mask.flat()[i];
+  }
+  NodeId id = AddNode(Op::kDropout, std::move(out));
+  Node& n = node(id);
+  n.a = x;
+  n.aux = std::move(mask);  // must outlive forward for the backward pass
   return id;
 }
 
@@ -277,23 +290,18 @@ NodeId Graph::Embed(Parameter* table, const std::vector<int>& ids) {
   DEEPSD_CHECK(table != nullptr);
   const int vocab = table->value.rows();
   const int dim = table->value.cols();
-  Tensor out(static_cast<int>(ids.size()), dim);
+  Tensor out =
+      AcquireValueSlot(static_cast<int>(ids.size()), dim, /*zeroed=*/false);
   for (size_t b = 0; b < ids.size(); ++b) {
     DEEPSD_CHECK_MSG(ids[b] >= 0 && ids[b] < vocab,
                      "embedding id out of range: " + table->name);
     std::copy(table->value.row(ids[b]), table->value.row(ids[b]) + dim,
               out.row(static_cast<int>(b)));
   }
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, table, ids](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    Tensor& table_grad = g->param_grad(table);
-    for (size_t b = 0; b < ids.size(); ++b) {
-      const float* src = dy.row(static_cast<int>(b));
-      float* dst = table_grad.row(ids[b]);
-      for (int c = 0; c < dy.cols(); ++c) dst[c] += src[c];
-    }
-  };
+  NodeId id = AddNode(Op::kEmbed, std::move(out));
+  Node& n = node(id);
+  n.param = table;
+  n.ids.assign(ids.begin(), ids.end());
   return id;
 }
 
@@ -304,7 +312,7 @@ NodeId Graph::GroupWeightedSum(NodeId p, NodeId h, int groups) {
   DEEPSD_CHECK(hv.cols() % groups == 0);
   DEEPSD_CHECK(pv.rows() == hv.rows());
   const int k = hv.cols() / groups;
-  Tensor out(pv.rows(), k);
+  Tensor out = AcquireValueSlot(pv.rows(), k, /*zeroed=*/true);
   for (int r = 0; r < pv.rows(); ++r) {
     const float* pr = pv.row(r);
     const float* hr = hv.row(r);
@@ -315,37 +323,17 @@ NodeId Graph::GroupWeightedSum(NodeId p, NodeId h, int groups) {
       for (int c = 0; c < k; ++c) o[c] += w * hg[c];
     }
   }
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, p, h, groups, k](Graph* g) {
-    const Tensor& dy = g->node(id).grad;
-    const Tensor& pv2 = g->node(p).value;
-    const Tensor& hv2 = g->node(h).value;
-    Tensor& dp = g->node(p).grad;
-    Tensor& dh = g->node(h).grad;
-    for (int r = 0; r < dy.rows(); ++r) {
-      const float* dyr = dy.row(r);
-      const float* pr = pv2.row(r);
-      const float* hr = hv2.row(r);
-      float* dpr = dp.row(r);
-      float* dhr = dh.row(r);
-      for (int grp = 0; grp < groups; ++grp) {
-        const float* hg = hr + grp * k;
-        float* dhg = dhr + grp * k;
-        float acc = 0.0f;
-        for (int c = 0; c < k; ++c) {
-          acc += dyr[c] * hg[c];
-          dhg[c] += dyr[c] * pr[grp];
-        }
-        dpr[grp] += acc;
-      }
-    }
-  };
+  NodeId id = AddNode(Op::kGroupWeightedSum, std::move(out));
+  Node& n = node(id);
+  n.a = p;
+  n.b = h;
+  n.i0 = groups;
+  n.i1 = k;
   return id;
 }
 
 NodeId Graph::MseLoss(NodeId pred, const Tensor& target) {
-  return MseLoss(pred, target,
-                 static_cast<double>(value(pred).size()));
+  return MseLoss(pred, target, static_cast<double>(value(pred).size()));
 }
 
 NodeId Graph::MseLoss(NodeId pred, const Tensor& target, double denom) {
@@ -357,18 +345,15 @@ NodeId Graph::MseLoss(NodeId pred, const Tensor& target, double denom) {
     double d = static_cast<double>(pv.flat()[i]) - target.flat()[i];
     sum += d * d;
   }
-  Tensor out(1, 1);
+  Tensor aux = AcquireAuxSlot(target.rows(), target.cols(), /*zeroed=*/false);
+  std::copy(target.data(), target.data() + target.size(), aux.data());
+  Tensor out = AcquireValueSlot(1, 1, /*zeroed=*/false);
   out.at(0, 0) = static_cast<float>(sum / denom);
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, pred, target, denom](Graph* g) {
-    float dy = g->node(id).grad.at(0, 0);
-    const Tensor& pv2 = g->node(pred).value;
-    Tensor& dp = g->node(pred).grad;
-    float scale = 2.0f / static_cast<float>(denom);
-    for (size_t i = 0; i < pv2.size(); ++i) {
-      dp.flat()[i] += dy * scale * (pv2.flat()[i] - target.flat()[i]);
-    }
-  };
+  NodeId id = AddNode(Op::kMseLoss, std::move(out));
+  Node& n = node(id);
+  n.a = pred;
+  n.denom = denom;
+  n.aux = std::move(aux);
   return id;
 }
 
@@ -379,20 +364,224 @@ NodeId Graph::MaeLoss(NodeId pred, const Tensor& target) {
   for (size_t i = 0; i < pv.size(); ++i) {
     sum += std::abs(static_cast<double>(pv.flat()[i]) - target.flat()[i]);
   }
-  Tensor out(1, 1);
+  Tensor aux = AcquireAuxSlot(target.rows(), target.cols(), /*zeroed=*/false);
+  std::copy(target.data(), target.data() + target.size(), aux.data());
+  Tensor out = AcquireValueSlot(1, 1, /*zeroed=*/false);
   out.at(0, 0) = static_cast<float>(sum / static_cast<double>(pv.size()));
-  NodeId id = AddNode(std::move(out));
-  node(id).backward = [id, pred, target](Graph* g) {
-    float dy = g->node(id).grad.at(0, 0);
-    const Tensor& pv2 = g->node(pred).value;
-    Tensor& dp = g->node(pred).grad;
-    float scale = 1.0f / static_cast<float>(pv2.size());
-    for (size_t i = 0; i < pv2.size(); ++i) {
-      float d = pv2.flat()[i] - target.flat()[i];
-      dp.flat()[i] += dy * scale * (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f));
-    }
-  };
+  NodeId id = AddNode(Op::kMaeLoss, std::move(out));
+  Node& n = node(id);
+  n.a = pred;
+  n.aux = std::move(aux);
   return id;
+}
+
+void Graph::BackwardNode(Node& n) {
+  switch (n.op) {
+    case Op::kInput:
+      break;
+    case Op::kParam: {
+      Tensor& dst = param_grad(n.param);
+      for (size_t i = 0; i < n.grad.size(); ++i) {
+        dst.flat()[i] += n.grad.flat()[i];
+      }
+      break;
+    }
+    case Op::kMatMul: {
+      const Tensor& dy = n.grad;
+      // dX += dY · W^T ; dW += X^T · dY
+      MatMulTransposeB(dy, node(n.b).value, &node(n.a).grad);
+      MatMulTransposeA(node(n.a).value, dy, &node(n.b).grad);
+      break;
+    }
+    case Op::kAddBias: {
+      const Tensor& dy = n.grad;
+      Tensor& dx = node(n.a).grad;
+      Tensor& db = node(n.b).grad;
+      for (int r = 0; r < dy.rows(); ++r) {
+        const float* dyr = dy.row(r);
+        float* dxr = dx.row(r);
+        float* dbr = db.row(0);
+        for (int c = 0; c < dy.cols(); ++c) {
+          dxr[c] += dyr[c];
+          dbr[c] += dyr[c];
+        }
+      }
+      break;
+    }
+    case Op::kLinearLRel: {
+      const Tensor& dy = n.grad;
+      // dz = dy ∘ lrel-mask(y); then the unfused trio's gradients with
+      // the same per-target accumulation orders: db rows ascending,
+      // dX += dz·W^T, dW += X^T·dz.
+      Tensor dz = arena_.Acquire(dy.rows(), dy.cols(), /*zeroed=*/false);
+      kernels::LRelMaskBackward(n.value.data(), dy.data(), dz.data(),
+                                dy.size(), n.scalar);
+      kernels::BiasGradAccumulate(dz.data(), node(n.c).grad.row(0), dy.rows(),
+                                  dy.cols());
+      MatMulTransposeB(dz, node(n.b).value, &node(n.a).grad);
+      MatMulTransposeA(node(n.a).value, dz, &node(n.b).grad);
+      arena_.Release(std::move(dz));
+      break;
+    }
+    case Op::kAdd: {
+      const Tensor& dy = n.grad;
+      Tensor& da = node(n.a).grad;
+      Tensor& db = node(n.b).grad;
+      for (size_t i = 0; i < dy.size(); ++i) {
+        da.flat()[i] += dy.flat()[i];
+        db.flat()[i] += dy.flat()[i];
+      }
+      break;
+    }
+    case Op::kSub: {
+      const Tensor& dy = n.grad;
+      Tensor& da = node(n.a).grad;
+      Tensor& db = node(n.b).grad;
+      for (size_t i = 0; i < dy.size(); ++i) {
+        da.flat()[i] += dy.flat()[i];
+        db.flat()[i] -= dy.flat()[i];
+      }
+      break;
+    }
+    case Op::kMul: {
+      const Tensor& dy = n.grad;
+      Tensor& da = node(n.a).grad;
+      Tensor& db = node(n.b).grad;
+      const Tensor& av = node(n.a).value;
+      const Tensor& bv = node(n.b).value;
+      for (size_t i = 0; i < dy.size(); ++i) {
+        da.flat()[i] += dy.flat()[i] * bv.flat()[i];
+        db.flat()[i] += dy.flat()[i] * av.flat()[i];
+      }
+      break;
+    }
+    case Op::kScale: {
+      const Tensor& dy = n.grad;
+      Tensor& da = node(n.a).grad;
+      for (size_t i = 0; i < dy.size(); ++i) {
+        da.flat()[i] += dy.flat()[i] * n.scalar;
+      }
+      break;
+    }
+    case Op::kConcat: {
+      const Tensor& dy = n.grad;
+      int offset = 0;
+      for (NodeId p : n.inputs) {
+        Tensor& dp = node(p).grad;
+        for (int r = 0; r < dy.rows(); ++r) {
+          const float* src = dy.row(r) + offset;
+          float* dst = dp.row(r);
+          for (int c = 0; c < dp.cols(); ++c) dst[c] += src[c];
+        }
+        offset += dp.cols();
+      }
+      break;
+    }
+    case Op::kSliceCols: {
+      const Tensor& dy = n.grad;
+      Tensor& dx = node(n.a).grad;
+      for (int r = 0; r < dy.rows(); ++r) {
+        const float* src = dy.row(r);
+        float* dst = dx.row(r) + n.i0;
+        for (int c = 0; c < dy.cols(); ++c) dst[c] += src[c];
+      }
+      break;
+    }
+    case Op::kLeakyRelu: {
+      const Tensor& dy = n.grad;
+      const Tensor& xv = node(n.a).value;
+      Tensor& dx = node(n.a).grad;
+      for (size_t i = 0; i < dy.size(); ++i) {
+        dx.flat()[i] +=
+            dy.flat()[i] * (xv.flat()[i] >= 0.0f ? 1.0f : n.scalar);
+      }
+      break;
+    }
+    case Op::kSoftmax: {
+      const Tensor& dy = n.grad;
+      const Tensor& y = n.value;
+      Tensor& dx = node(n.a).grad;
+      for (int r = 0; r < dy.rows(); ++r) {
+        const float* yr = y.row(r);
+        const float* dyr = dy.row(r);
+        float* dxr = dx.row(r);
+        float dot = 0.0f;
+        for (int c = 0; c < dy.cols(); ++c) dot += yr[c] * dyr[c];
+        for (int c = 0; c < dy.cols(); ++c) {
+          dxr[c] += yr[c] * (dyr[c] - dot);
+        }
+      }
+      break;
+    }
+    case Op::kDropout: {
+      const Tensor& dy = n.grad;
+      const Tensor& mask = n.aux;
+      Tensor& dx = node(n.a).grad;
+      for (size_t i = 0; i < dy.size(); ++i) {
+        dx.flat()[i] += dy.flat()[i] * mask.flat()[i];
+      }
+      break;
+    }
+    case Op::kEmbed: {
+      const Tensor& dy = n.grad;
+      Tensor& table_grad = param_grad(n.param);
+      for (size_t b = 0; b < n.ids.size(); ++b) {
+        const float* src = dy.row(static_cast<int>(b));
+        float* dst = table_grad.row(n.ids[b]);
+        for (int c = 0; c < dy.cols(); ++c) dst[c] += src[c];
+      }
+      break;
+    }
+    case Op::kGroupWeightedSum: {
+      const Tensor& dy = n.grad;
+      const Tensor& pv = node(n.a).value;
+      const Tensor& hv = node(n.b).value;
+      Tensor& dp = node(n.a).grad;
+      Tensor& dh = node(n.b).grad;
+      const int groups = n.i0;
+      const int k = n.i1;
+      for (int r = 0; r < dy.rows(); ++r) {
+        const float* dyr = dy.row(r);
+        const float* pr = pv.row(r);
+        const float* hr = hv.row(r);
+        float* dpr = dp.row(r);
+        float* dhr = dh.row(r);
+        for (int grp = 0; grp < groups; ++grp) {
+          const float* hg = hr + grp * k;
+          float* dhg = dhr + grp * k;
+          float acc = 0.0f;
+          for (int c = 0; c < k; ++c) {
+            acc += dyr[c] * hg[c];
+            dhg[c] += dyr[c] * pr[grp];
+          }
+          dpr[grp] += acc;
+        }
+      }
+      break;
+    }
+    case Op::kMseLoss: {
+      float dy = n.grad.at(0, 0);
+      const Tensor& pv = node(n.a).value;
+      Tensor& dp = node(n.a).grad;
+      float scale = 2.0f / static_cast<float>(n.denom);
+      for (size_t i = 0; i < pv.size(); ++i) {
+        dp.flat()[i] += dy * scale * (pv.flat()[i] - n.aux.flat()[i]);
+      }
+      break;
+    }
+    case Op::kMaeLoss: {
+      float dy = n.grad.at(0, 0);
+      const Tensor& pv = node(n.a).value;
+      Tensor& dp = node(n.a).grad;
+      float scale = 1.0f / static_cast<float>(pv.size());
+      for (size_t i = 0; i < pv.size(); ++i) {
+        float d = pv.flat()[i] - n.aux.flat()[i];
+        dp.flat()[i] +=
+            dy * scale * (d > 0.0f ? 1.0f : (d < 0.0f ? -1.0f : 0.0f));
+      }
+      break;
+    }
+  }
 }
 
 void Graph::Backward(NodeId loss) {
@@ -400,13 +589,16 @@ void Graph::Backward(NodeId loss) {
   DEEPSD_CHECK_MSG(l.value.rows() == 1 && l.value.cols() == 1,
                    "Backward expects a scalar loss");
   l.grad.at(0, 0) = 1.0f;
-  for (int i = loss; i >= 0; --i) {
-    Node& n = node(i);
-    if (n.backward) n.backward(this);
-  }
+  for (int i = loss; i >= 0; --i) BackwardNode(node(i));
 }
 
-void Graph::Clear() { nodes_.clear(); }
+void Graph::Clear() {
+  // Tensors stay parked in their slots so the next replay of the same
+  // topology reuses them in place (AcquireValueSlot/AcquireAuxSlot and the
+  // grad path in AddNode). Only the dangling parameter bindings go.
+  for (size_t i = 0; i < live_; ++i) nodes_[i].param = nullptr;
+  live_ = 0;
+}
 
 }  // namespace nn
 }  // namespace deepsd

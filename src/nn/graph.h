@@ -1,9 +1,10 @@
 #ifndef DEEPSD_NN_GRAPH_H_
 #define DEEPSD_NN_GRAPH_H_
 
-#include <functional>
+#include <initializer_list>
 #include <vector>
 
+#include "nn/arena.h"
 #include "nn/parameter.h"
 #include "nn/tensor.h"
 #include "util/rng.h"
@@ -17,23 +18,39 @@ using NodeId = int;
 
 /// Define-by-run autodiff tape over 2-D tensors.
 ///
-/// Every op evaluates its value eagerly and records a backward closure;
-/// Backward(loss) replays the tape in reverse, accumulating gradients into
-/// node grads and — for Param leaves — into Parameter::grad. A fresh graph
-/// (or Clear()) is used per mini-batch; parameters persist outside in a
+/// Every op evaluates its value eagerly and records an opcode plus its
+/// operands in a fixed-size node; Backward(loss) replays the tape in
+/// reverse, accumulating gradients into node grads and — for Param
+/// leaves — into Parameter::grad. Parameters persist outside in a
 /// ParameterStore.
 ///
+/// The graph is built to be *replayed*: Clear() does not free anything.
+/// Node slots stay in place — side vectors keep their capacity and each
+/// slot *retains* its value/grad/aux storage. When the next step rebuilds
+/// the same topology, every node finds a same-sized buffer waiting in its
+/// slot and reuses it directly (stable data pointers, no pool traffic);
+/// on a shape change the slot's buffer is swapped through the graph's
+/// TensorArena instead. Steady-state replay therefore performs no heap
+/// allocations. Keep one graph alive per worker/shard and Clear() it
+/// between batches instead of constructing a fresh one.
+///
 /// This is deliberately the smallest op set that expresses DeepSD: dense
-/// matmul + bias, concatenation, slicing, element-wise arithmetic, LReL,
-/// row softmax, dropout, embedding lookup, a grouped weighted sum (for
-/// E = Σ_w p(w)·H(w)) and MSE/MAE losses.
+/// matmul + bias, the fused FC→LReL unit, concatenation, slicing,
+/// element-wise arithmetic, LReL, row softmax, dropout, embedding lookup,
+/// a grouped weighted sum (for E = Σ_w p(w)·H(w)) and MSE/MAE losses.
 class Graph {
  public:
-  explicit Graph(util::Rng* rng = nullptr) : rng_(rng) {}
+  explicit Graph(util::Rng* rng = nullptr) : rng_(rng) {
+    nodes_.reserve(kReservedNodes);
+  }
 
   /// True while training: dropout is active. Toggle per pass.
   void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
+
+  /// Rebinds the dropout RNG. Long-lived graphs (trainer shard slots) are
+  /// pointed at the current shard's deterministic RNG before each replay.
+  void set_rng(util::Rng* rng) { rng_ = rng; }
 
   /// Redirects parameter-gradient accumulation (Param leaves and embedding
   /// tables) into `buffer` instead of Parameter::grad. Data-parallel
@@ -42,16 +59,25 @@ class Graph {
   /// restores direct accumulation. The buffer must outlive Backward().
   void set_grad_buffer(GradBuffer* buffer) { grad_buffer_ = buffer; }
 
-  /// Constant input (no gradient).
-  NodeId Input(Tensor value);
-  /// Leaf bound to a trainable parameter; backward accumulates into
-  /// `p->grad` (even when frozen — the optimizer decides what to apply).
+  /// Constant input (no gradient). The const overload copies into
+  /// arena-backed storage; the rvalue overload adopts the tensor's buffer
+  /// (it joins the arena when the graph is cleared).
+  NodeId Input(const Tensor& value);
+  NodeId Input(Tensor&& value);
+  /// Leaf bound to a trainable parameter; the value is snapshotted at bind
+  /// time and backward accumulates into `p->grad` (even when frozen — the
+  /// optimizer decides what to apply).
   NodeId Param(Parameter* p);
 
   /// x:[B,M] · w:[M,N] → [B,N].
   NodeId MatMul(NodeId x, NodeId w);
   /// x:[B,N] + broadcast row b:[1,N].
   NodeId AddBias(NodeId x, NodeId b);
+  /// Fused FC→LReL unit: lrel(x·w + b) in one kernel pass with no
+  /// intermediate pre-activation node. Requires alpha > 0 (backward
+  /// recovers the LReL mask from the sign of the output). Bitwise
+  /// identical to MatMul → AddBias → LeakyRelu.
+  NodeId LinearLRel(NodeId x, NodeId w, NodeId b, float alpha);
   /// Element-wise; shapes must match.
   NodeId Add(NodeId a, NodeId b);
   NodeId Sub(NodeId a, NodeId b);
@@ -59,6 +85,7 @@ class Graph {
   NodeId Scale(NodeId a, float s);
   /// Column-wise concatenation of nodes with equal batch size.
   NodeId Concat(const std::vector<NodeId>& parts);
+  NodeId Concat(std::initializer_list<NodeId> parts);
   /// Columns [begin, end) of x.
   NodeId SliceCols(NodeId x, int begin, int end);
   /// Leaky rectified linear: max(alpha*x, x). Paper uses alpha = 0.001.
@@ -74,6 +101,7 @@ class Graph {
   NodeId GroupWeightedSum(NodeId p, NodeId h, int groups);
 
   /// Mean squared error against a constant target [B,1] → scalar [1,1].
+  /// The target is copied into node-owned (arena) storage.
   NodeId MseLoss(NodeId pred, const Tensor& target);
   /// Squared error summed over this graph's rows but divided by an
   /// explicit `denom` — the full minibatch size when the batch is split
@@ -84,26 +112,79 @@ class Graph {
   /// Mean absolute error (for evaluation; gradient is sign-based).
   NodeId MaeLoss(NodeId pred, const Tensor& target);
 
-  const Tensor& value(NodeId id) const { return nodes_[static_cast<size_t>(id)].value; }
-  const Tensor& grad(NodeId id) const { return nodes_[static_cast<size_t>(id)].grad; }
+  const Tensor& value(NodeId id) const {
+    return nodes_[static_cast<size_t>(id)].value;
+  }
+  const Tensor& grad(NodeId id) const {
+    return nodes_[static_cast<size_t>(id)].grad;
+  }
 
   /// Runs reverse-mode accumulation from `loss` (seeds d(loss)=1).
   void Backward(NodeId loss);
 
-  /// Drops all nodes; parameters are untouched.
+  /// Resets the tape for replay; parameters are untouched. Node slots keep
+  /// their tensor storage in place for the next build — nothing is freed.
   void Clear();
 
-  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_nodes() const { return live_; }
+
+  /// Fallback storage pool: backward scratch and shape-mismatch swaps go
+  /// through here (hit/miss stats). Steady-state replay bypasses it.
+  const TensorArena& arena() const { return arena_; }
 
  private:
-  struct Node {
-    Tensor value;
-    Tensor grad;
-    Parameter* param = nullptr;  // for Param leaves
-    std::function<void(Graph*)> backward;
+  // A DeepSD advanced-mode forward/backward builds ~50 nodes; reserving
+  // once up front keeps nodes_ from reallocating mid-build.
+  static constexpr size_t kReservedNodes = 64;
+
+  enum class Op {
+    kInput,
+    kParam,
+    kMatMul,
+    kAddBias,
+    kLinearLRel,
+    kAdd,
+    kSub,
+    kMul,
+    kScale,
+    kConcat,
+    kSliceCols,
+    kLeakyRelu,
+    kSoftmax,
+    kDropout,
+    kEmbed,
+    kGroupWeightedSum,
+    kMseLoss,
+    kMaeLoss,
   };
 
-  NodeId AddNode(Tensor value);
+  struct Node {
+    Op op = Op::kInput;
+    Tensor value;
+    Tensor grad;
+    /// Op-owned tensor state: dropout mask, loss target. Arena-recycled.
+    Tensor aux;
+    Parameter* param = nullptr;  // Param leaf / Embed table
+    NodeId a = -1, b = -1, c = -1;
+    float scalar = 0.0f;  // LReL alpha / Scale factor
+    double denom = 0.0;   // loss denominator
+    int i0 = 0, i1 = 0;   // SliceCols begin / GroupWeightedSum {groups, k}
+    std::vector<NodeId> inputs;  // Concat operands (capacity reused)
+    std::vector<int> ids;        // Embed ids (capacity reused)
+  };
+
+  /// Claims the next node slot (reusing a cleared one when available),
+  /// resets its per-op fields, installs `value` and a zeroed grad (the
+  /// slot's retained grad buffer when the size matches).
+  NodeId AddNode(Op op, Tensor value);
+  /// Output buffer for the node about to be created at slot `live_`:
+  /// the slot's retained value storage when the element count matches,
+  /// an arena buffer otherwise.
+  Tensor AcquireValueSlot(int rows, int cols, bool zeroed);
+  /// Same, for the slot's aux tensor (dropout mask, loss target).
+  Tensor AcquireAuxSlot(int rows, int cols, bool zeroed);
+  NodeId ConcatImpl(const NodeId* parts, size_t count);
+  void BackwardNode(Node& n);
   Node& node(NodeId id) { return nodes_[static_cast<size_t>(id)]; }
   /// Destination for `p`'s gradient: the shard-local buffer when one is
   /// set, the shared Parameter::grad otherwise.
@@ -112,6 +193,8 @@ class Graph {
   }
 
   std::vector<Node> nodes_;
+  size_t live_ = 0;  // nodes_[0, live_) are the current tape
+  TensorArena arena_;
   util::Rng* rng_;
   GradBuffer* grad_buffer_ = nullptr;
   bool training_ = false;

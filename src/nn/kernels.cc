@@ -1,0 +1,389 @@
+#include "nn/kernels.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace nn {
+namespace kernels {
+
+namespace {
+
+KernelMode ModeFromEnv() {
+  const char* env = std::getenv("DEEPSD_KERNEL");
+  if (env == nullptr || *env == '\0') return KernelMode::kBlocked;
+  if (std::strcmp(env, "naive") == 0) return KernelMode::kNaive;
+  if (std::strcmp(env, "blocked") == 0) return KernelMode::kBlocked;
+  DEEPSD_LOG(Warning) << "unknown DEEPSD_KERNEL value '" << env
+                      << "', using blocked";
+  return KernelMode::kBlocked;
+}
+
+std::atomic<KernelMode>& ModeFlag() {
+  static std::atomic<KernelMode> mode{ModeFromEnv()};
+  return mode;
+}
+
+// GCC vector extensions pin the codegen the auto-vectorizer misses when
+// it SLP-unrolls a scalar accumulator tile (shuffle soup instead of row
+// vectors). Lane ops are element-wise, so every c element keeps its single
+// ascending-k `acc += a*b` chain — bitwise identical to the naive loops.
+// Loads/stores go through memcpy: tile pointers are only float-aligned,
+// and alignment attributes on the typedef would be silently dropped when
+// the type is passed as a template argument.
+typedef float V16 __attribute__((vector_size(64)));
+typedef float V4 __attribute__((vector_size(16)));
+
+template <typename V>
+inline V LoadV(const float* p) {
+  V v;
+  __builtin_memcpy(&v, p, sizeof(V));
+  return v;
+}
+
+template <typename V>
+inline void StoreV(float* p, V v) {
+  __builtin_memcpy(p, &v, sizeof(V));
+}
+
+template <typename V>
+inline V ZeroV() {
+  V v;
+  __builtin_memset(&v, 0, sizeof(V));
+  return v;
+}
+
+// Register-blocked micro-kernel: an MR-row tile of c, one lane vector per
+// row, accumulated in registers over the full k extent. Each c element is
+// a single ascending-k chain of `acc += a*b`, matching the naive ikj loop
+// element-for-element; MR independent row vectors hide FP-add latency and
+// c is touched once instead of once per k step.
+template <int MR, typename V>
+inline void GemmTile(const float* a, const float* b, float* c, int k, int lda,
+                     int ldb, int ldc, bool accumulate) {
+  V acc[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc[r] = accumulate ? LoadV<V>(c + r * ldc) : ZeroV<V>();
+  }
+  for (int p = 0; p < k; ++p) {
+    const V bv = LoadV<V>(b + static_cast<size_t>(p) * ldb);
+    for (int r = 0; r < MR; ++r) {
+      // Scalar-vector op: GCC spreads the scalar with one vbroadcastss.
+      acc[r] += a[r * lda + p] * bv;
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    StoreV<V>(c + r * ldc, acc[r]);
+  }
+}
+
+// Column tail (n % 4): per-element ascending-k chain, same order again.
+inline void GemmEdge(const float* a, const float* b, float* c, int i0, int i1,
+                     int j0, int j1, int k, int n, bool accumulate) {
+  for (int i = i0; i < i1; ++i) {
+    for (int j = j0; j < j1; ++j) {
+      float acc = accumulate ? c[static_cast<size_t>(i) * n + j] : 0.0f;
+      for (int p = 0; p < k; ++p) {
+        acc += a[static_cast<size_t>(i) * k + p] *
+               b[static_cast<size_t>(p) * n + j];
+      }
+      c[static_cast<size_t>(i) * n + j] = acc;
+    }
+  }
+}
+
+// dW-style tile: c[k,n] += a[m,k]^T·b[m,n] over rows p∈[p0,p0+MR) of c
+// and one lane vector of columns at j0, accumulating over the shared row
+// index i of a/b in ascending order — the naive loop's per-element order.
+template <int MR, typename V>
+inline void GemmTATile(const float* a, const float* b, float* c, int m, int k,
+                       int n, int p0, int j0) {
+  V acc[MR];
+  for (int r = 0; r < MR; ++r) {
+    acc[r] = LoadV<V>(c + static_cast<size_t>(p0 + r) * n + j0);
+  }
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k + p0;
+    const V bv = LoadV<V>(b + static_cast<size_t>(i) * n + j0);
+    for (int r = 0; r < MR; ++r) {
+      acc[r] += arow[r] * bv;
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    StoreV<V>(c + static_cast<size_t>(p0 + r) * n + j0, acc[r]);
+  }
+}
+
+inline void GemmTAEdge(const float* a, const float* b, float* c, int m, int k,
+                       int n, int p0, int p1, int j0, int j1) {
+  for (int p = p0; p < p1; ++p) {
+    for (int j = j0; j < j1; ++j) {
+      float acc = c[static_cast<size_t>(p) * n + j];
+      for (int i = 0; i < m; ++i) {
+        acc += a[static_cast<size_t>(i) * k + p] *
+               b[static_cast<size_t>(i) * n + j];
+      }
+      c[static_cast<size_t>(p) * n + j] = acc;
+    }
+  }
+}
+
+// dX-style tile: c[m,n] += a[m,k]·b[n,k]^T. Each element is a fresh
+// ascending-k dot product added once into c — exactly the naive order —
+// but MR·NR dot products run as independent chains instead of one
+// latency-bound chain at a time.
+template <int MR, int NR>
+inline void GemmTBTile(const float* a, const float* b, float* c, int k, int n,
+                       int i0, int j0) {
+  float acc[MR][NR];
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < NR; ++j) acc[r][j] = 0.0f;
+  }
+  for (int p = 0; p < k; ++p) {
+    for (int r = 0; r < MR; ++r) {
+      float av = a[static_cast<size_t>(i0 + r) * k + p];
+      for (int j = 0; j < NR; ++j) {
+        acc[r][j] += av * b[static_cast<size_t>(j0 + j) * k + p];
+      }
+    }
+  }
+  for (int r = 0; r < MR; ++r) {
+    for (int j = 0; j < NR; ++j) {
+      c[static_cast<size_t>(i0 + r) * n + j0 + j] += acc[r][j];
+    }
+  }
+}
+
+inline void GemmTBEdge(const float* a, const float* b, float* c, int k, int n,
+                       int i0, int i1, int j0, int j1) {
+  for (int i = i0; i < i1; ++i) {
+    for (int j = j0; j < j1; ++j) {
+      float s = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        s += a[static_cast<size_t>(i) * k + p] *
+             b[static_cast<size_t>(j) * k + p];
+      }
+      c[static_cast<size_t>(i) * n + j] += s;
+    }
+  }
+}
+
+inline float LRel(float v, float alpha) { return v < 0.0f ? v * alpha : v; }
+
+}  // namespace
+
+KernelMode kernel_mode() {
+  return ModeFlag().load(std::memory_order_relaxed);
+}
+
+void SetKernelMode(KernelMode mode) {
+  ModeFlag().store(mode, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Naive kernels — the seed repo's loops, verbatim. These are the oracle.
+// ---------------------------------------------------------------------------
+
+void GemmNaive(const float* a, const float* b, float* c, int m, int k, int n,
+               bool accumulate) {
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
+  }
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransposeANaive(const float* a, const float* b, float* c, int m,
+                         int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    const float* brow = b + static_cast<size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransposeBNaive(const float* a, const float* b, float* c, int m,
+                         int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<size_t>(i) * k;
+    float* crow = c + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<size_t>(j) * k;
+      float s = 0.0f;
+      for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] += s;
+    }
+  }
+}
+
+void GemmBiasLRelNaive(const float* a, const float* w, const float* bias,
+                       float* y, int m, int k, int n, float alpha) {
+  GemmNaive(a, w, y, m, k, n, /*accumulate=*/false);
+  for (int i = 0; i < m; ++i) {
+    float* yrow = y + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) yrow[j] = LRel(yrow[j] + bias[j], alpha);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked kernels.
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr int kMR = 4;   // rows per tile
+constexpr int kNR = 16;  // columns per tile (two AVX vectors / four SSE)
+}  // namespace
+
+void GemmBlocked(const float* a, const float* b, float* c, int m, int k, int n,
+                 bool accumulate) {
+  int j = 0;
+  for (; j + kNR <= n; j += kNR) {
+    int i = 0;
+    for (; i + kMR <= m; i += kMR) {
+      GemmTile<kMR, V16>(a + static_cast<size_t>(i) * k, b + j,
+                         c + static_cast<size_t>(i) * n + j, k, k, n, n,
+                         accumulate);
+    }
+    for (; i < m; ++i) {
+      GemmTile<1, V16>(a + static_cast<size_t>(i) * k, b + j,
+                       c + static_cast<size_t>(i) * n + j, k, k, n, n,
+                       accumulate);
+    }
+  }
+  for (; j + 4 <= n; j += 4) {
+    int i = 0;
+    for (; i + kMR <= m; i += kMR) {
+      GemmTile<kMR, V4>(a + static_cast<size_t>(i) * k, b + j,
+                        c + static_cast<size_t>(i) * n + j, k, k, n, n,
+                        accumulate);
+    }
+    for (; i < m; ++i) {
+      GemmTile<1, V4>(a + static_cast<size_t>(i) * k, b + j,
+                      c + static_cast<size_t>(i) * n + j, k, k, n, n,
+                      accumulate);
+    }
+  }
+  if (j < n) GemmEdge(a, b, c, 0, m, j, n, k, n, accumulate);
+}
+
+void GemmTransposeABlocked(const float* a, const float* b, float* c, int m,
+                           int k, int n) {
+  int j = 0;
+  for (; j + kNR <= n; j += kNR) {
+    int p = 0;
+    for (; p + kMR <= k; p += kMR) GemmTATile<kMR, V16>(a, b, c, m, k, n, p, j);
+    for (; p < k; ++p) GemmTATile<1, V16>(a, b, c, m, k, n, p, j);
+  }
+  for (; j + 4 <= n; j += 4) {
+    int p = 0;
+    for (; p + kMR <= k; p += kMR) GemmTATile<kMR, V4>(a, b, c, m, k, n, p, j);
+    for (; p < k; ++p) GemmTATile<1, V4>(a, b, c, m, k, n, p, j);
+  }
+  if (j < n) GemmTAEdge(a, b, c, m, k, n, 0, k, j, n);
+}
+
+void GemmTransposeBBlocked(const float* a, const float* b, float* c, int m,
+                           int k, int n) {
+  int i = 0;
+  for (; i + kMR <= m; i += kMR) {
+    int j = 0;
+    for (; j + 4 <= n; j += 4) GemmTBTile<kMR, 4>(a, b, c, k, n, i, j);
+    if (j < n) GemmTBEdge(a, b, c, k, n, i, i + kMR, j, n);
+  }
+  // Row tail: remaining rows one at a time, same 4-wide column tiling.
+  for (; i < m; ++i) {
+    int j = 0;
+    for (; j + 4 <= n; j += 4) GemmTBTile<1, 4>(a, b, c, k, n, i, j);
+    if (j < n) GemmTBEdge(a, b, c, k, n, i, i + 1, j, n);
+  }
+}
+
+void GemmBiasLRelBlocked(const float* a, const float* w, const float* bias,
+                         float* y, int m, int k, int n, float alpha) {
+  GemmBlocked(a, w, y, m, k, n, /*accumulate=*/false);
+  for (int i = 0; i < m; ++i) {
+    float* yrow = y + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) yrow[j] = LRel(yrow[j] + bias[j], alpha);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatchers and mode-independent epilogues.
+// ---------------------------------------------------------------------------
+
+void Gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate) {
+  if (kernel_mode() == KernelMode::kBlocked) {
+    GemmBlocked(a, b, c, m, k, n, accumulate);
+  } else {
+    GemmNaive(a, b, c, m, k, n, accumulate);
+  }
+}
+
+void GemmTransposeA(const float* a, const float* b, float* c, int m, int k,
+                    int n) {
+  if (kernel_mode() == KernelMode::kBlocked) {
+    GemmTransposeABlocked(a, b, c, m, k, n);
+  } else {
+    GemmTransposeANaive(a, b, c, m, k, n);
+  }
+}
+
+void GemmTransposeB(const float* a, const float* b, float* c, int m, int k,
+                    int n) {
+  if (kernel_mode() == KernelMode::kBlocked) {
+    GemmTransposeBBlocked(a, b, c, m, k, n);
+  } else {
+    GemmTransposeBNaive(a, b, c, m, k, n);
+  }
+}
+
+void GemmBiasLRel(const float* a, const float* w, const float* bias, float* y,
+                  int m, int k, int n, float alpha) {
+  if (kernel_mode() == KernelMode::kBlocked) {
+    GemmBiasLRelBlocked(a, w, bias, y, m, k, n, alpha);
+  } else {
+    GemmBiasLRelNaive(a, w, bias, y, m, k, n, alpha);
+  }
+}
+
+void LRelMaskBackward(const float* y, const float* dy, float* dz, size_t size,
+                      float alpha) {
+  // The mask comes from the sign *bit*, not `y >= 0`: a tiny negative
+  // pre-activation can underflow to -0.0f after scaling by alpha, and
+  // `-0.0f >= 0.0f` is true while the pre-activation mask is alpha. The
+  // sign bit survives the underflow; +0 only arises from a +0
+  // pre-activation (a GEMM accumulation chain starting at +0 can never
+  // produce -0), so signbit(y) equals "pre-activation < 0" exactly.
+  for (size_t i = 0; i < size; ++i) {
+    dz[i] = dy[i] * (std::signbit(y[i]) ? alpha : 1.0f);
+  }
+}
+
+void BiasGradAccumulate(const float* dz, float* db, int m, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* row = dz + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) db[j] += row[j];
+  }
+}
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace deepsd

@@ -1,0 +1,111 @@
+#ifndef DEEPSD_NN_KERNELS_H_
+#define DEEPSD_NN_KERNELS_H_
+
+#include <cstddef>
+
+namespace deepsd {
+namespace nn {
+namespace kernels {
+
+/// Compute-kernel implementations for the dense hot path.
+///
+/// Two implementations exist for every GEMM entry point:
+///
+///  * `*Naive`   — the original scalar ikj loops (the oracle). These are
+///                 byte-for-byte the arithmetic the repo shipped with.
+///  * `*Blocked` — register-blocked, unrolled variants that `-O3`
+///                 vectorizes. They keep the *exact per-element
+///                 accumulation order* of the naive loops (every output
+///                 element is one ascending-index chain of
+///                 `acc += a*b`), so for finite inputs the results are
+///                 bitwise identical to the naive kernels. Blocking only
+///                 changes *which* elements are in flight together, never
+///                 the order of additions within an element.
+///
+/// The deepsd_nn library is compiled with `-ffp-contract=off` so the
+/// compiler cannot fuse `a*b + acc` into an FMA in one implementation but
+/// not the other; this is part of the determinism contract
+/// (docs/performance.md).
+///
+/// Caveat: the naive kernels skip `a == 0.0f` terms (a fast path for
+/// one-hot rows). For finite inputs adding a `±0.0f * b` term is a
+/// bitwise no-op, so the blocked kernels — which do not skip — still
+/// match; inputs containing infinities or NaNs are outside the contract.
+///
+/// The mode switch selects which implementation the dispatching wrappers
+/// (and therefore `nn::MatMul` and the graph ops) use. It is initialized
+/// from the `DEEPSD_KERNEL` environment variable (`naive` or `blocked`,
+/// default `blocked`) and can be overridden at runtime for tests and
+/// benches.
+enum class KernelMode { kNaive, kBlocked };
+
+/// Current mode (first call resolves `DEEPSD_KERNEL`). Lock-free reads;
+/// safe to call from pool workers.
+KernelMode kernel_mode();
+
+/// Overrides the mode process-wide. Not meant to be flipped while kernels
+/// are executing concurrently (tests flip it between runs).
+void SetKernelMode(KernelMode mode);
+
+// ---------------------------------------------------------------------------
+// Raw row-major GEMM kernels. All matrices are dense row-major with no
+// padding: a is [m,k], leading dimension k, etc.
+// ---------------------------------------------------------------------------
+
+/// c[m,n] = a[m,k]·b[k,n], or c += a·b when `accumulate`.
+void GemmNaive(const float* a, const float* b, float* c, int m, int k, int n,
+               bool accumulate);
+void GemmBlocked(const float* a, const float* b, float* c, int m, int k, int n,
+                 bool accumulate);
+/// Dispatches on kernel_mode().
+void Gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate);
+
+/// c[k,n] += a[m,k]^T·b[m,n]. (Weight gradients: dW += X^T·dY.)
+/// Per-element accumulation order: ascending row index of a/b.
+void GemmTransposeANaive(const float* a, const float* b, float* c, int m,
+                         int k, int n);
+void GemmTransposeABlocked(const float* a, const float* b, float* c, int m,
+                           int k, int n);
+void GemmTransposeA(const float* a, const float* b, float* c, int m, int k,
+                    int n);
+
+/// c[m,n] += a[m,k]·b[n,k]^T. (Input gradients: dX += dY·W^T.)
+/// Per-element order: a fresh ascending-k dot product, then one add into c.
+void GemmTransposeBNaive(const float* a, const float* b, float* c, int m,
+                         int k, int n);
+void GemmTransposeBBlocked(const float* a, const float* b, float* c, int m,
+                           int k, int n);
+void GemmTransposeB(const float* a, const float* b, float* c, int m, int k,
+                    int n);
+
+// ---------------------------------------------------------------------------
+// Fused epilogues for the network's FC→LReL unit (y = lrel(x·W + b)).
+// ---------------------------------------------------------------------------
+
+/// y[m,n] = lrel(a[m,k]·w[k,n] + bias[n]); lrel(v) = v < 0 ? v*alpha : v.
+/// Requires alpha > 0 (the backward mask is recovered from the sign of y).
+/// Bitwise identical to Gemm → row-broadcast bias add → element-wise LReL.
+void GemmBiasLRelNaive(const float* a, const float* w, const float* bias,
+                       float* y, int m, int k, int n, float alpha);
+void GemmBiasLRelBlocked(const float* a, const float* w, const float* bias,
+                         float* y, int m, int k, int n, float alpha);
+void GemmBiasLRel(const float* a, const float* w, const float* bias, float* y,
+                  int m, int k, int n, float alpha);
+
+/// dz[i] = dy[i] * (signbit(y[i]) ? alpha : 1) for i in [0, size). `y` is
+/// the *post*-activation value; with alpha > 0 its sign bit equals the
+/// pre-activation's "< 0" predicate (including the underflow-to--0.0f
+/// edge), so the mask matches the unfused LReL backward bitwise.
+void LRelMaskBackward(const float* y, const float* dy, float* dz, size_t size,
+                      float alpha);
+
+/// db[j] += Σ_i dz[i*n + j] — bias gradient, rows accumulated in ascending
+/// order exactly like the unfused AddBias backward.
+void BiasGradAccumulate(const float* dz, float* db, int m, int n);
+
+}  // namespace kernels
+}  // namespace nn
+}  // namespace deepsd
+
+#endif  // DEEPSD_NN_KERNELS_H_

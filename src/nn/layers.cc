@@ -17,6 +17,12 @@ NodeId Linear::Apply(Graph* g, NodeId x) const {
   return g->AddBias(g->MatMul(x, w), b);
 }
 
+NodeId Linear::ApplyLRel(Graph* g, NodeId x, float alpha) const {
+  NodeId w = g->Param(w_);
+  NodeId b = g->Param(b_);
+  return g->LinearLRel(x, w, b, alpha);
+}
+
 Embedding::Embedding(ParameterStore* store, const std::string& name, int vocab,
                      int dim, util::Rng* rng) {
   table_ = store->Create(name + ".embed", vocab, dim, Init::kEmbedding, rng);
@@ -44,12 +50,21 @@ double Embedding::Distance(int id_a, int id_b) const {
 }
 
 NodeId OneHot::Apply(Graph* g, const std::vector<int>& ids) const {
-  Tensor out(static_cast<int>(ids.size()), vocab_);
+  // Reused scratch: moving a freshly allocated tensor into the graph each
+  // step would park one more buffer in the arena pool per replay. The
+  // copy-Input below lands on recycled arena storage instead.
+  static thread_local Tensor scratch;
+  const int rows = static_cast<int>(ids.size());
+  if (scratch.rows() != rows || scratch.cols() != vocab_) {
+    scratch = Tensor(rows, vocab_);
+  } else {
+    scratch.Zero();
+  }
   for (size_t b = 0; b < ids.size(); ++b) {
     DEEPSD_CHECK(ids[b] >= 0 && ids[b] < vocab_);
-    out.at(static_cast<int>(b), ids[b]) = 1.0f;
+    scratch.at(static_cast<int>(b), ids[b]) = 1.0f;
   }
-  return g->Input(std::move(out));
+  return g->Input(scratch);
 }
 
 }  // namespace nn

@@ -23,6 +23,11 @@ class Linear {
   /// x:[B,in] → [B,out], no activation.
   NodeId Apply(Graph* g, NodeId x) const;
 
+  /// x:[B,in] → lrel(x·W + b):[B,out] via the fused Graph::LinearLRel op
+  /// (one kernel pass, no pre-activation node). Requires alpha > 0;
+  /// bitwise identical to Apply followed by LeakyRelu.
+  NodeId ApplyLRel(Graph* g, NodeId x, float alpha) const;
+
   int in_dim() const { return w_->value.rows(); }
   int out_dim() const { return w_->value.cols(); }
   Parameter* weight() const { return w_; }

@@ -1,5 +1,7 @@
 #include "nn/tensor.h"
 
+#include "nn/kernels.h"
+
 namespace deepsd {
 namespace nn {
 
@@ -11,54 +13,26 @@ double Tensor::SquaredNorm() const {
 
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out, bool accumulate) {
   DEEPSD_CHECK(a.cols() == b.rows());
-  if (!out->SameShape(Tensor(a.rows(), b.cols()))) {
+  if (out->rows() != a.rows() || out->cols() != b.cols()) {
     *out = Tensor(a.rows(), b.cols());
-  } else if (!accumulate) {
-    out->Zero();
+    accumulate = false;
   }
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int p = 0; p < k; ++p) {
-      float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(p);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::Gemm(a.data(), b.data(), out->data(), a.rows(), a.cols(), b.cols(),
+                accumulate);
 }
 
 void MatMulTransposeA(const Tensor& a, const Tensor& b, Tensor* out) {
   DEEPSD_CHECK(a.rows() == b.rows());
   DEEPSD_CHECK(out->rows() == a.cols() && out->cols() == b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    const float* brow = b.row(i);
-    for (int p = 0; p < k; ++p) {
-      float av = arow[p];
-      if (av == 0.0f) continue;
-      float* orow = out->row(p);
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::GemmTransposeA(a.data(), b.data(), out->data(), a.rows(), a.cols(),
+                          b.cols());
 }
 
 void MatMulTransposeB(const Tensor& a, const Tensor& b, Tensor* out) {
   DEEPSD_CHECK(a.cols() == b.cols());
   DEEPSD_CHECK(out->rows() == a.rows() && out->cols() == b.rows());
-  const int m = a.rows(), k = a.cols(), n = b.rows();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      float s = 0.0f;
-      for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
-      orow[j] += s;
-    }
-  }
+  kernels::GemmTransposeB(a.data(), b.data(), out->data(), a.rows(), a.cols(),
+                          b.rows());
 }
 
 }  // namespace nn

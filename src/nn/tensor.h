@@ -19,11 +19,35 @@ class Tensor {
     data_.assign(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0f);
   }
 
+  /// Adopts `storage` as the backing buffer (no allocation). The buffer
+  /// must already hold exactly rows*cols elements; used by TensorArena to
+  /// recycle storage across graph replays.
+  Tensor(int rows, int cols, std::vector<float>&& storage)
+      : rows_(rows), cols_(cols), data_(std::move(storage)) {
+    DEEPSD_CHECK(rows >= 0 && cols >= 0);
+    DEEPSD_CHECK(data_.size() ==
+                 static_cast<size_t>(rows) * static_cast<size_t>(cols));
+  }
+
   /// Single row from a vector.
   static Tensor Row(const std::vector<float>& values) {
     Tensor t(1, static_cast<int>(values.size()));
     t.data_ = values;
     return t;
+  }
+
+  /// Single row adopting the vector's storage — no copy. Used on the
+  /// serving path where the feature vector is consumed by the batch.
+  static Tensor Row(std::vector<float>&& values) {
+    return Tensor(1, static_cast<int>(values.size()), std::move(values));
+  }
+
+  /// Moves the backing buffer out, leaving an empty 0x0 tensor. The
+  /// arena uses this to reclaim storage when a graph is cleared.
+  std::vector<float> ReleaseStorage() {
+    rows_ = 0;
+    cols_ = 0;
+    return std::move(data_);
   }
 
   int rows() const { return rows_; }
@@ -63,7 +87,8 @@ class Tensor {
 };
 
 /// out = a * b for a:[m,k], b:[k,n]; accumulates into `out` when
-/// `accumulate` is true, otherwise overwrites. ikj loop order for locality.
+/// `accumulate` is true, otherwise overwrites. Dispatches to the kernel
+/// layer (nn/kernels.h); blocked and naive modes are bitwise identical.
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out,
             bool accumulate = false);
 

@@ -99,7 +99,10 @@ std::vector<float> OnlinePredictor::AssembleAndPredict(
   // Assembly parallelizes over areas (each writes its own slot; the stream
   // buffer's accessors are mutex-guarded snapshots); the forward pass then
   // parallelizes internally over row chunks. A chunk of 16 areas keeps
-  // per-task graphs small enough to overlap across workers.
+  // per-task graphs small enough to overlap across workers. Each worker's
+  // graph is long-lived and arena-backed (see docs/performance.md), so a
+  // steady request stream replays prebuilt topologies into recycled tensor
+  // storage instead of reallocating per request.
   std::vector<feature::ModelInput> inputs(area_ids.size());
   util::ThreadPool::Global().ParallelFor(
       0, area_ids.size(), 4, [&](size_t i0, size_t i1) {

@@ -1,0 +1,300 @@
+// Parity suite for the compute-kernel layer (nn/kernels.h): the blocked
+// kernels must be *bitwise* equal to the naive oracles over degenerate and
+// non-tile-aligned shapes, with and without accumulation, and the fused
+// bias+LReL unit must match its unfused composition exactly — forward and
+// backward. This is the enforcement arm of the determinism contract in
+// docs/performance.md.
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/graph.h"
+#include "nn/kernels.h"
+#include "nn/layers.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace deepsd {
+namespace nn {
+namespace {
+
+std::vector<float> RandomVec(size_t n, util::Rng* rng, bool with_zeros) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Sprinkle exact zeros to exercise the naive kernels' zero-skip fast
+    // path (one-hot-like rows) against the non-skipping blocked kernels.
+    if (with_zeros && rng->Uniform(0.0f, 1.0f) < 0.3f) {
+      v[i] = 0.0f;
+    } else {
+      v[i] = rng->Uniform(-2.0f, 2.0f);
+    }
+  }
+  return v;
+}
+
+bool SameBits(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+struct Shape {
+  int m, k, n;
+};
+
+// Degenerate (0-extent, 1×1), tile-exact (4×16 micro-kernel multiples),
+// and every remainder flavor (row tail, 4-wide column tail, scalar tail).
+const Shape kShapes[] = {
+    {0, 3, 4},  {3, 0, 4},   {3, 4, 0},    {1, 1, 1},   {1, 1, 5},
+    {4, 8, 16}, {8, 16, 32}, {5, 7, 9},    {4, 4, 17},  {13, 31, 33},
+    {7, 3, 4},  {3, 9, 21},  {64, 64, 64}, {2, 5, 130},
+};
+
+class KernelsParityTest : public ::testing::TestWithParam<bool> {
+ protected:
+  // GetParam(): whether inputs contain exact zeros.
+  bool with_zeros() const { return GetParam(); }
+};
+
+TEST_P(KernelsParityTest, GemmMatchesNaiveBitwise) {
+  util::Rng rng(11);
+  for (const Shape& s : kShapes) {
+    std::vector<float> a =
+        RandomVec(static_cast<size_t>(s.m) * s.k, &rng, with_zeros());
+    std::vector<float> b =
+        RandomVec(static_cast<size_t>(s.k) * s.n, &rng, with_zeros());
+    for (bool accumulate : {false, true}) {
+      std::vector<float> init =
+          RandomVec(static_cast<size_t>(s.m) * s.n, &rng, false);
+      std::vector<float> c_naive = init, c_blocked = init;
+      kernels::GemmNaive(a.data(), b.data(), c_naive.data(), s.m, s.k, s.n,
+                         accumulate);
+      kernels::GemmBlocked(a.data(), b.data(), c_blocked.data(), s.m, s.k,
+                           s.n, accumulate);
+      EXPECT_TRUE(SameBits(c_naive, c_blocked))
+          << "gemm " << s.m << "x" << s.k << "x" << s.n
+          << " accumulate=" << accumulate;
+    }
+  }
+}
+
+TEST_P(KernelsParityTest, GemmTransposeAMatchesNaiveBitwise) {
+  util::Rng rng(12);
+  for (const Shape& s : kShapes) {
+    // a:[m,k], b:[m,n] -> c:[k,n] += a^T b.
+    std::vector<float> a =
+        RandomVec(static_cast<size_t>(s.m) * s.k, &rng, with_zeros());
+    std::vector<float> b =
+        RandomVec(static_cast<size_t>(s.m) * s.n, &rng, with_zeros());
+    std::vector<float> init =
+        RandomVec(static_cast<size_t>(s.k) * s.n, &rng, false);
+    std::vector<float> c_naive = init, c_blocked = init;
+    kernels::GemmTransposeANaive(a.data(), b.data(), c_naive.data(), s.m, s.k,
+                                 s.n);
+    kernels::GemmTransposeABlocked(a.data(), b.data(), c_blocked.data(), s.m,
+                                   s.k, s.n);
+    EXPECT_TRUE(SameBits(c_naive, c_blocked))
+        << "gemmTA " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST_P(KernelsParityTest, GemmTransposeBMatchesNaiveBitwise) {
+  util::Rng rng(13);
+  for (const Shape& s : kShapes) {
+    // a:[m,k], b:[n,k] -> c:[m,n] += a b^T.
+    std::vector<float> a =
+        RandomVec(static_cast<size_t>(s.m) * s.k, &rng, with_zeros());
+    std::vector<float> b =
+        RandomVec(static_cast<size_t>(s.n) * s.k, &rng, with_zeros());
+    std::vector<float> init =
+        RandomVec(static_cast<size_t>(s.m) * s.n, &rng, false);
+    std::vector<float> c_naive = init, c_blocked = init;
+    kernels::GemmTransposeBNaive(a.data(), b.data(), c_naive.data(), s.m, s.k,
+                                 s.n);
+    kernels::GemmTransposeBBlocked(a.data(), b.data(), c_blocked.data(), s.m,
+                                   s.k, s.n);
+    EXPECT_TRUE(SameBits(c_naive, c_blocked))
+        << "gemmTB " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+TEST_P(KernelsParityTest, FusedBiasLRelMatchesNaiveAndComposition) {
+  util::Rng rng(14);
+  const float alpha = 0.001f;
+  for (const Shape& s : kShapes) {
+    std::vector<float> a =
+        RandomVec(static_cast<size_t>(s.m) * s.k, &rng, with_zeros());
+    std::vector<float> w =
+        RandomVec(static_cast<size_t>(s.k) * s.n, &rng, with_zeros());
+    std::vector<float> bias = RandomVec(static_cast<size_t>(s.n), &rng, false);
+    const size_t out_size = static_cast<size_t>(s.m) * s.n;
+
+    std::vector<float> y_naive(out_size), y_blocked(out_size);
+    kernels::GemmBiasLRelNaive(a.data(), w.data(), bias.data(),
+                               y_naive.data(), s.m, s.k, s.n, alpha);
+    kernels::GemmBiasLRelBlocked(a.data(), w.data(), bias.data(),
+                                 y_blocked.data(), s.m, s.k, s.n, alpha);
+    EXPECT_TRUE(SameBits(y_naive, y_blocked))
+        << "fused " << s.m << "x" << s.k << "x" << s.n;
+
+    // Unfused composition: gemm, then row-broadcast bias add, then LReL.
+    std::vector<float> y_ref(out_size);
+    kernels::GemmNaive(a.data(), w.data(), y_ref.data(), s.m, s.k, s.n,
+                       /*accumulate=*/false);
+    for (int i = 0; i < s.m; ++i) {
+      for (int j = 0; j < s.n; ++j) {
+        float v = y_ref[static_cast<size_t>(i) * s.n + j] + bias[j];
+        y_ref[static_cast<size_t>(i) * s.n + j] = v < 0.0f ? v * alpha : v;
+      }
+    }
+    EXPECT_TRUE(SameBits(y_ref, y_naive))
+        << "fused-vs-composed " << s.m << "x" << s.k << "x" << s.n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DenseAndSparse, KernelsParityTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "WithZeros" : "Dense";
+                         });
+
+TEST(KernelsModeTest, EnvDefaultIsBlockedAndSwitchWorks) {
+  kernels::KernelMode saved = kernels::kernel_mode();
+  kernels::SetKernelMode(kernels::KernelMode::kNaive);
+  EXPECT_EQ(kernels::kernel_mode(), kernels::KernelMode::kNaive);
+  kernels::SetKernelMode(kernels::KernelMode::kBlocked);
+  EXPECT_EQ(kernels::kernel_mode(), kernels::KernelMode::kBlocked);
+  kernels::SetKernelMode(saved);
+}
+
+TEST(KernelsModeTest, TensorMatMulIdenticalAcrossModes) {
+  kernels::KernelMode saved = kernels::kernel_mode();
+  util::Rng rng(15);
+  Tensor a(9, 21), b(21, 13);
+  for (float& v : a.flat()) v = rng.Uniform(-1.0f, 1.0f);
+  for (float& v : b.flat()) v = rng.Uniform(-1.0f, 1.0f);
+  Tensor out_naive(9, 13), out_blocked(9, 13);
+  kernels::SetKernelMode(kernels::KernelMode::kNaive);
+  MatMul(a, b, &out_naive);
+  kernels::SetKernelMode(kernels::KernelMode::kBlocked);
+  MatMul(a, b, &out_blocked);
+  kernels::SetKernelMode(saved);
+  EXPECT_TRUE(SameBits(out_naive.flat(), out_blocked.flat()));
+}
+
+// Graph-level: the fused LinearLRel op must match the unfused
+// MatMul→AddBias→LeakyRelu trio bitwise — output value, input gradient,
+// and both parameter gradients.
+class FusedLinearLRelTest : public ::testing::Test {
+ protected:
+  struct Result {
+    std::vector<float> y;
+    std::vector<float> dx;
+    std::vector<float> dw;
+    std::vector<float> db;
+  };
+
+  Result Run(bool fused, const Tensor& x_val, Parameter* w, Parameter* b,
+             float alpha) {
+    w->grad.Zero();
+    b->grad.Zero();
+    Graph g;
+    NodeId x = g.Input(x_val);
+    NodeId wn = g.Param(w);
+    NodeId bn = g.Param(b);
+    NodeId y = fused ? g.LinearLRel(x, wn, bn, alpha)
+                     : g.LeakyRelu(g.AddBias(g.MatMul(x, wn), bn), alpha);
+    // Drive a nontrivial upstream gradient through an MSE loss.
+    Tensor target(g.value(y).rows(), g.value(y).cols());
+    float t = 0.25f;
+    for (float& v : target.flat()) v = (t += 0.5f);
+    NodeId loss = g.MseLoss(y, target);
+    g.Backward(loss);
+    return Result{g.value(y).flat(), g.grad(x).flat(), w->grad.flat(),
+                  b->grad.flat()};
+  }
+
+  static void ExpectSame(const Result& a, const Result& b) {
+    EXPECT_TRUE(SameBits(a.y, b.y)) << "forward";
+    EXPECT_TRUE(SameBits(a.dx, b.dx)) << "dX";
+    EXPECT_TRUE(SameBits(a.dw, b.dw)) << "dW";
+    EXPECT_TRUE(SameBits(a.db, b.db)) << "db";
+  }
+};
+
+TEST_F(FusedLinearLRelTest, MatchesUnfusedBitwise) {
+  util::Rng rng(16);
+  for (const auto& [m, k, n] : {std::tuple{1, 1, 1}, {5, 7, 9}, {8, 16, 32},
+                                {13, 31, 17}}) {
+    ParameterStore store;
+    Parameter* w = store.Create("w", k, n, Init::kGlorotUniform, &rng);
+    Parameter* b = store.Create("b", 1, n, Init::kGlorotUniform, &rng);
+    Tensor x(m, k);
+    for (float& v : x.flat()) v = rng.Uniform(-1.5f, 1.5f);
+    ExpectSame(Run(/*fused=*/true, x, w, b, 0.001f),
+               Run(/*fused=*/false, x, w, b, 0.001f));
+  }
+}
+
+TEST_F(FusedLinearLRelTest, MatchesUnfusedAcrossKernelModes) {
+  kernels::KernelMode saved = kernels::kernel_mode();
+  util::Rng rng(17);
+  ParameterStore store;
+  Parameter* w = store.Create("w", 7, 19, Init::kGlorotUniform, &rng);
+  Parameter* b = store.Create("b", 1, 19, Init::kGlorotUniform, &rng);
+  Tensor x(6, 7);
+  for (float& v : x.flat()) v = rng.Uniform(-1.5f, 1.5f);
+
+  kernels::SetKernelMode(kernels::KernelMode::kNaive);
+  Result fused_naive = Run(true, x, w, b, 0.001f);
+  Result unfused_naive = Run(false, x, w, b, 0.001f);
+  kernels::SetKernelMode(kernels::KernelMode::kBlocked);
+  Result fused_blocked = Run(true, x, w, b, 0.001f);
+  kernels::SetKernelMode(saved);
+
+  ExpectSame(fused_naive, unfused_naive);
+  ExpectSame(fused_naive, fused_blocked);
+}
+
+TEST_F(FusedLinearLRelTest, UnderflowToNegativeZeroKeepsMask) {
+  // A tiny negative pre-activation whose LReL output underflows to -0.0f:
+  // `-0.0f >= 0.0f` is true, so a mask recovered with >= would flip to the
+  // positive branch; the sign-bit mask must not. x·w = -1e-45 (subnormal),
+  // y = -1e-48 → -0.0f with alpha = 1e-3.
+  ParameterStore store;
+  util::Rng rng(18);
+  Parameter* w = store.Create("w", 1, 1, Init::kZero, &rng);
+  Parameter* b = store.Create("b", 1, 1, Init::kZero, &rng);
+  w->value.at(0, 0) = -1e-40f;
+  Tensor x(1, 1);
+  x.at(0, 0) = 1e-5f;
+  Result fused = Run(true, x, w, b, 0.001f);
+  Result unfused = Run(false, x, w, b, 0.001f);
+  ASSERT_EQ(fused.y[0], 0.0f);
+  EXPECT_TRUE(std::signbit(fused.y[0]));
+  ExpectSame(fused, unfused);
+}
+
+TEST(LinearLayerTest, ApplyLRelMatchesApplyPlusLeakyRelu) {
+  util::Rng rng(19);
+  ParameterStore store;
+  Linear fc(&store, "fc", 11, 23, &rng);
+  Tensor x(4, 11);
+  for (float& v : x.flat()) v = rng.Uniform(-1.0f, 1.0f);
+
+  Graph g1;
+  NodeId y1 = fc.ApplyLRel(&g1, g1.Input(x), 0.001f);
+  Graph g2;
+  NodeId y2 = g2.LeakyRelu(fc.Apply(&g2, g2.Input(x)), 0.001f);
+  ASSERT_EQ(g1.value(y1).size(), g2.value(y2).size());
+  EXPECT_EQ(std::memcmp(g1.value(y1).data(), g2.value(y2).data(),
+                        g1.value(y1).size() * sizeof(float)),
+            0);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepsd

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/trainer.h"
+#include "nn/kernels.h"
 #include "serving/online_predictor.h"
 #include "tests/test_util.h"
 #include "util/thread_pool.h"
@@ -30,6 +31,7 @@ struct RunOutput {
 class ParallelDeterminismTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    saved_kernel_mode_ = nn::kernels::kernel_mode();
     ds_ = deepsd::testing::MakeSmallCity(4, 12, 911);
     feature::FeatureConfig fc;
     fc.window = kL;
@@ -38,7 +40,10 @@ class ParallelDeterminismTest : public ::testing::Test {
     test_items_ = data::MakeItems(ds_, 10, 12, 450, 1290, 120);
   }
 
-  void TearDown() override { util::ThreadPool::SetGlobalThreads(1); }
+  void TearDown() override {
+    util::ThreadPool::SetGlobalThreads(1);
+    nn::kernels::SetKernelMode(saved_kernel_mode_);
+  }
 
   DeepSDConfig Config() const {
     DeepSDConfig config;
@@ -124,6 +129,7 @@ class ParallelDeterminismTest : public ::testing::Test {
   std::unique_ptr<feature::FeatureAssembler> assembler_;
   std::vector<data::PredictionItem> train_items_;
   std::vector<data::PredictionItem> test_items_;
+  nn::kernels::KernelMode saved_kernel_mode_ = nn::kernels::KernelMode::kBlocked;
 };
 
 TEST_F(ParallelDeterminismTest, BasicTrainingBitIdenticalOneVsFourThreads) {
@@ -144,6 +150,26 @@ TEST_F(ParallelDeterminismTest, ThreeThreadsMatchesToo) {
   RunOutput a = Run(1, DeepSDModel::Mode::kBasic);
   RunOutput b = Run(3, DeepSDModel::Mode::kBasic);
   ExpectBitIdentical(a, b);
+}
+
+TEST_F(ParallelDeterminismTest, KernelModesBitIdenticalAcrossThreadCounts) {
+  // The determinism contract spans both axes at once: a naive-kernel
+  // single-threaded run and a blocked-kernel three-threaded run must land
+  // on byte-identical parameters, losses, and predictions
+  // (docs/performance.md).
+  nn::kernels::SetKernelMode(nn::kernels::KernelMode::kNaive);
+  RunOutput naive = Run(1, DeepSDModel::Mode::kAdvanced);
+  nn::kernels::SetKernelMode(nn::kernels::KernelMode::kBlocked);
+  RunOutput blocked = Run(3, DeepSDModel::Mode::kAdvanced);
+  ExpectBitIdentical(naive, blocked);
+}
+
+TEST_F(ParallelDeterminismTest, KernelModesBitIdenticalBasicMode) {
+  nn::kernels::SetKernelMode(nn::kernels::KernelMode::kNaive);
+  RunOutput naive = Run(1, DeepSDModel::Mode::kBasic);
+  nn::kernels::SetKernelMode(nn::kernels::KernelMode::kBlocked);
+  RunOutput blocked = Run(4, DeepSDModel::Mode::kBasic);
+  ExpectBitIdentical(naive, blocked);
 }
 
 TEST_F(ParallelDeterminismTest, FeatureTablesBitIdenticalAcrossThreads) {
