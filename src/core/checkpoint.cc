@@ -1,0 +1,308 @@
+#include "core/checkpoint.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "util/byte_io.h"
+#include "util/crc32.h"
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace core {
+
+namespace {
+
+// File layout: magic "DSC1" | u32 version | u64 payload_len | payload |
+// u32 CRC-32(payload). The CRC seals the payload, the length makes plain
+// truncation detectable before parsing, and AtomicWriteFile guarantees the
+// file at the final path is always complete.
+constexpr char kMagic[4] = {'D', 'S', 'C', '1'};
+constexpr uint32_t kVersion = 1;
+
+// Every field is written explicitly (never whole structs) so struct padding
+// can't leak indeterminate bytes into the file and two checkpoints of the
+// same state are byte-identical.
+
+void WriteConfig(util::ByteWriter* w, const TrainConfig& c) {
+  w->PutPod<int32_t>(c.epochs);
+  w->PutPod<int32_t>(c.batch_size);
+  w->PutPod<float>(c.learning_rate);
+  w->PutPod<int32_t>(c.best_k);
+  w->PutPod<uint64_t>(c.seed);
+  w->PutPod<uint8_t>(c.shuffle ? 1 : 0);
+  w->PutPod<double>(c.lr_decay_at_fraction);
+  w->PutPod<float>(c.lr_decay_factor);
+  w->PutPod<int32_t>(static_cast<int32_t>(c.optimizer));
+  w->PutPod<int32_t>(c.shard_size);
+}
+
+bool ReadConfig(util::ByteReader* r, TrainConfig* c) {
+  int32_t epochs = 0, batch_size = 0, best_k = 0, optimizer = 0, shard = 0;
+  uint8_t shuffle = 0;
+  if (!r->GetPod(&epochs) || !r->GetPod(&batch_size) ||
+      !r->GetPod(&c->learning_rate) || !r->GetPod(&best_k) ||
+      !r->GetPod(&c->seed) || !r->GetPod(&shuffle) ||
+      !r->GetPod(&c->lr_decay_at_fraction) || !r->GetPod(&c->lr_decay_factor) ||
+      !r->GetPod(&optimizer) || !r->GetPod(&shard)) {
+    return false;
+  }
+  if (optimizer < 0 || optimizer > 1) return false;
+  c->epochs = epochs;
+  c->batch_size = batch_size;
+  c->best_k = best_k;
+  c->shuffle = shuffle != 0;
+  c->optimizer = static_cast<TrainConfig::Optimizer>(optimizer);
+  c->shard_size = shard;
+  return true;
+}
+
+void WriteStats(util::ByteWriter* w, const EpochStats& s) {
+  w->PutPod<int32_t>(s.epoch);
+  w->PutPod<double>(s.train_loss);
+  w->PutPod<double>(s.eval_mae);
+  w->PutPod<double>(s.eval_rmse);
+  w->PutPod<double>(s.seconds);
+  w->PutPod<double>(s.batch_seconds);
+  w->PutPod<double>(s.eval_seconds);
+}
+
+bool ReadStats(util::ByteReader* r, EpochStats* s) {
+  int32_t epoch = 0;
+  if (!r->GetPod(&epoch) || !r->GetPod(&s->train_loss) ||
+      !r->GetPod(&s->eval_mae) || !r->GetPod(&s->eval_rmse) ||
+      !r->GetPod(&s->seconds) || !r->GetPod(&s->batch_seconds) ||
+      !r->GetPod(&s->eval_seconds)) {
+    return false;
+  }
+  s->epoch = epoch;
+  return true;
+}
+
+void WriteTensors(util::ByteWriter* w,
+                  const std::vector<nn::NamedTensor>& tensors) {
+  w->PutPod<uint64_t>(tensors.size());
+  for (const nn::NamedTensor& nt : tensors) {
+    w->PutString(nt.name);
+    w->PutPod<int32_t>(nt.value.rows());
+    w->PutPod<int32_t>(nt.value.cols());
+    if (nt.value.size() > 0) {
+      w->PutRaw(nt.value.data(), nt.value.size() * sizeof(float));
+    }
+  }
+}
+
+bool ReadTensors(util::ByteReader* r, std::vector<nn::NamedTensor>* tensors) {
+  uint64_t n = 0;
+  if (!r->GetPod(&n)) return false;
+  // A tensor costs at least its name prefix + shape, so any count beyond
+  // the remaining bytes is corrupt; reject before reserving anything.
+  if (n > r->remaining() / 12) return false;
+  tensors->clear();
+  tensors->reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    nn::NamedTensor nt;
+    int32_t rows = 0, cols = 0;
+    if (!r->GetString(&nt.name) || !r->GetPod(&rows) || !r->GetPod(&cols)) {
+      return false;
+    }
+    if (rows < 0 || cols < 0) return false;
+    const uint64_t count = static_cast<uint64_t>(rows) *
+                           static_cast<uint64_t>(cols);
+    if (count > r->remaining() / sizeof(float)) return false;
+    nt.value = nn::Tensor(rows, cols);
+    if (count > 0 &&
+        !r->GetRaw(nt.value.data(), static_cast<size_t>(count) * sizeof(float))) {
+      return false;
+    }
+    tensors->push_back(std::move(nt));
+  }
+  return true;
+}
+
+void WritePayload(util::ByteWriter* w, const TrainerCheckpoint& ck) {
+  WriteConfig(w, ck.config);
+  w->PutPod<int32_t>(ck.epoch);
+  w->PutPod<uint64_t>(ck.next_sample);
+  w->PutPod<uint64_t>(ck.step);
+  for (uint64_t word : ck.rng_state) w->PutPod<uint64_t>(word);
+  w->PutPodVec(ck.order);
+  w->PutPod<double>(ck.partial_loss_sum);
+  w->PutPod<uint64_t>(ck.partial_batches);
+  w->PutPod<uint64_t>(ck.history.size());
+  for (const EpochStats& s : ck.history) WriteStats(w, s);
+  WriteTensors(w, ck.params);
+  w->PutPod<int64_t>(ck.adam_t);
+  WriteTensors(w, ck.adam_m);
+  WriteTensors(w, ck.adam_v);
+  WriteTensors(w, ck.sgd_velocity);
+  w->PutPod<uint64_t>(ck.best.size());
+  for (const TrainerCheckpoint::BestEntry& e : ck.best) {
+    w->PutPod<double>(e.rmse);
+    WriteTensors(w, e.params);
+  }
+}
+
+bool ReadPayload(util::ByteReader* r, TrainerCheckpoint* ck) {
+  int32_t epoch = 0;
+  if (!ReadConfig(r, &ck->config) || !r->GetPod(&epoch) ||
+      !r->GetPod(&ck->next_sample) || !r->GetPod(&ck->step)) {
+    return false;
+  }
+  ck->epoch = epoch;
+  for (uint64_t& word : ck->rng_state) {
+    if (!r->GetPod(&word)) return false;
+  }
+  if (!r->GetPodVec(&ck->order) || !r->GetPod(&ck->partial_loss_sum) ||
+      !r->GetPod(&ck->partial_batches)) {
+    return false;
+  }
+  uint64_t n_history = 0;
+  if (!r->GetPod(&n_history) || n_history > r->remaining() / 52) return false;
+  ck->history.resize(static_cast<size_t>(n_history));
+  for (EpochStats& s : ck->history) {
+    if (!ReadStats(r, &s)) return false;
+  }
+  if (!ReadTensors(r, &ck->params) || !r->GetPod(&ck->adam_t) ||
+      !ReadTensors(r, &ck->adam_m) || !ReadTensors(r, &ck->adam_v) ||
+      !ReadTensors(r, &ck->sgd_velocity)) {
+    return false;
+  }
+  uint64_t n_best = 0;
+  if (!r->GetPod(&n_best) || n_best > r->remaining() / 16) return false;
+  ck->best.resize(static_cast<size_t>(n_best));
+  for (TrainerCheckpoint::BestEntry& e : ck->best) {
+    if (!r->GetPod(&e.rmse) || !ReadTensors(r, &e.params)) return false;
+  }
+  return r->remaining() == 0;
+}
+
+}  // namespace
+
+util::Status SaveCheckpoint(const TrainerCheckpoint& ck,
+                            const std::string& path) {
+  util::ByteWriter payload;
+  WritePayload(&payload, ck);
+
+  util::ByteWriter file;
+  file.PutRaw(kMagic, sizeof(kMagic));
+  file.PutPod<uint32_t>(kVersion);
+  file.PutPod<uint64_t>(payload.size());
+  file.PutRaw(payload.bytes().data(), payload.size());
+  file.PutPod<uint32_t>(
+      util::Crc32(payload.bytes().data(), payload.size()));
+  return util::AtomicWriteFile(path, file.bytes());
+}
+
+util::Status LoadCheckpoint(const std::string& path, TrainerCheckpoint* ck) {
+  std::vector<char> bytes;
+  if (util::Status s = util::ReadFileBytes(path, &bytes); !s.ok()) return s;
+
+  util::ByteReader r(bytes);
+  char magic[4] = {};
+  uint32_t version = 0;
+  uint64_t payload_len = 0;
+  if (!r.GetRaw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::InvalidArgument("not a DSC1 checkpoint: " + path);
+  }
+  if (!r.GetPod(&version) || version != kVersion) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "unsupported checkpoint version %u in %s", version, path.c_str()));
+  }
+  if (!r.GetPod(&payload_len) ||
+      payload_len + sizeof(uint32_t) != r.remaining()) {
+    return util::Status::IoError("truncated checkpoint: " + path);
+  }
+  const char* payload = bytes.data() + r.position();
+  util::ByteReader pr(payload, static_cast<size_t>(payload_len));
+  uint32_t stored_crc = 0;
+  {
+    util::ByteReader tail(payload + payload_len, sizeof(uint32_t));
+    tail.GetPod(&stored_crc);
+  }
+  const uint32_t actual_crc =
+      util::Crc32(payload, static_cast<size_t>(payload_len));
+  if (stored_crc != actual_crc) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "checkpoint checksum mismatch in %s (stored %08x, computed %08x)",
+        path.c_str(), stored_crc, actual_crc));
+  }
+  TrainerCheckpoint loaded;
+  if (!ReadPayload(&pr, &loaded)) {
+    return util::Status::InvalidArgument("malformed checkpoint payload: " +
+                                         path);
+  }
+  *ck = std::move(loaded);
+  return util::Status::OK();
+}
+
+util::Status ValidateResume(const TrainerCheckpoint& ck,
+                            const TrainConfig& config,
+                            const nn::ParameterStore& store) {
+  auto mismatch = [](const std::string& what) {
+    return util::Status::FailedPrecondition(
+        "checkpoint/config mismatch: " + what);
+  };
+  const TrainConfig& c = ck.config;
+  if (c.epochs != config.epochs) return mismatch("epochs");
+  if (c.batch_size != config.batch_size) return mismatch("batch_size");
+  if (c.learning_rate != config.learning_rate) return mismatch("learning_rate");
+  if (c.best_k != config.best_k) return mismatch("best_k");
+  if (c.seed != config.seed) return mismatch("seed");
+  if (c.shuffle != config.shuffle) return mismatch("shuffle");
+  if (c.lr_decay_at_fraction != config.lr_decay_at_fraction) {
+    return mismatch("lr_decay_at_fraction");
+  }
+  if (c.lr_decay_factor != config.lr_decay_factor) {
+    return mismatch("lr_decay_factor");
+  }
+  if (c.optimizer != config.optimizer) return mismatch("optimizer");
+  if (c.shard_size != config.shard_size) return mismatch("shard_size");
+
+  if (ck.epoch < 0 || ck.epoch > config.epochs) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "checkpoint epoch %d outside run of %d epochs", ck.epoch,
+        config.epochs));
+  }
+  if (ck.next_sample > ck.order.size()) {
+    return util::Status::FailedPrecondition(
+        "checkpoint next_sample beyond its sample order");
+  }
+
+  const auto& params = store.parameters();
+  if (ck.params.size() != params.size()) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "checkpoint has %zu parameters, model has %zu", ck.params.size(),
+        params.size()));
+  }
+  for (const auto& p : params) {
+    const nn::NamedTensor* found = nullptr;
+    for (const nn::NamedTensor& nt : ck.params) {
+      if (nt.name == p->name) {
+        found = &nt;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return util::Status::FailedPrecondition(
+          "checkpoint missing parameter: " + p->name);
+    }
+    if (!found->value.SameShape(p->value)) {
+      return util::Status::FailedPrecondition(util::StrFormat(
+          "checkpoint shape mismatch for %s: %dx%d vs %dx%d", p->name.c_str(),
+          found->value.rows(), found->value.cols(), p->value.rows(),
+          p->value.cols()));
+    }
+    for (size_t i = 0; i < found->value.size(); ++i) {
+      if (!std::isfinite(found->value.flat()[i])) {
+        return util::Status::FailedPrecondition(
+            "checkpoint holds non-finite values for parameter: " + p->name);
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace core
+}  // namespace deepsd

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -43,6 +44,27 @@ double TreeSum(std::vector<double> values) {
   return values[0];
 }
 
+/// Snapshots every parameter's value in checkpoint (name-addressed) form.
+std::vector<nn::NamedTensor> ExportParams(const nn::ParameterStore& store) {
+  std::vector<nn::NamedTensor> out;
+  out.reserve(store.parameters().size());
+  for (const auto& p : store.parameters()) {
+    out.push_back({p->name, p->value});
+  }
+  return out;
+}
+
+/// Writes checkpointed values back into the matching parameters.
+/// ValidateResume already guaranteed full name/shape coverage.
+void ApplyParams(nn::ParameterStore* store,
+                 const std::vector<nn::NamedTensor>& tensors) {
+  for (const nn::NamedTensor& nt : tensors) {
+    nn::Parameter* p = store->Find(nt.name);
+    DEEPSD_CHECK(p != nullptr && nt.value.SameShape(p->value));
+    p->value = nt.value;
+  }
+}
+
 }  // namespace
 
 std::pair<double, double> EvaluateMaeRmse(const DeepSDModel& model,
@@ -63,15 +85,17 @@ TrainResult Trainer::Train(
     DeepSDModel* model, nn::ParameterStore* store,
     const std::vector<feature::ModelInput>& train_inputs,
     const std::vector<feature::ModelInput>& eval_inputs,
-    const std::function<void(const EpochStats&)>& on_epoch) {
+    const std::function<void(const EpochStats&)>& on_epoch,
+    const TrainerCheckpoint* resume) {
   return Train(model, store, VectorSource(train_inputs),
-               VectorSource(eval_inputs), on_epoch);
+               VectorSource(eval_inputs), on_epoch, resume);
 }
 
 TrainResult Trainer::Train(
     DeepSDModel* model, nn::ParameterStore* store,
     const InputSource& train_source, const InputSource& eval_source,
-    const std::function<void(const EpochStats&)>& on_epoch) {
+    const std::function<void(const EpochStats&)>& on_epoch,
+    const TrainerCheckpoint* resume) {
   DEEPSD_CHECK(train_source.size() > 0);
   TrainResult result;
 
@@ -103,6 +127,53 @@ TrainResult Trainer::Train(
   const int decay_epoch = static_cast<int>(
       config_.lr_decay_at_fraction * config_.epochs);
 
+  // Resume: put every piece of trainer state back exactly where the
+  // checkpoint recorded it. Dropout needs no restoration — shard mask
+  // streams are pure functions of (seed, step, shard) — so the shuffle RNG
+  // and the in-flight permutation are the only stochastic state.
+  int start_epoch = 0;
+  uint64_t resume_sample = 0;  // batch offset within the resumed epoch
+  uint64_t step = 0;  // global batch counter, seeds shard dropout streams
+  double resume_loss_sum = 0.0;
+  uint64_t resume_batches = 0;
+  if (resume != nullptr) {
+    util::Status st = ValidateResume(*resume, config_, *store);
+    if (!st.ok()) {
+      DEEPSD_LOG(Error) << "cannot resume: " << st.ToString();
+    }
+    DEEPSD_CHECK(st.ok());
+    DEEPSD_CHECK(resume->order.size() == train_source.size());
+    ApplyParams(store, resume->params);
+    if (use_adam) {
+      adam.set_timestep(resume->adam_t);
+      adam.ImportState(*store, resume->adam_m, resume->adam_v);
+    } else {
+      sgd.ImportState(*store, resume->sgd_velocity);
+    }
+    rng.SetState(resume->rng_state);
+    for (size_t i = 0; i < order.size(); ++i) {
+      order[i] = static_cast<size_t>(resume->order[i]);
+    }
+    result.history = resume->history;
+    for (const TrainerCheckpoint::BestEntry& e : resume->best) {
+      Snapshot snap{e.rmse, store->Clone()};
+      ApplyParams(snap.store.get(), e.params);
+      best.push_back(std::move(snap));
+    }
+    start_epoch = resume->epoch;
+    resume_sample = resume->next_sample;
+    step = resume->step;
+    resume_loss_sum = resume->partial_loss_sum;
+    resume_batches = resume->partial_batches;
+    // Epochs at or before the decay point re-apply the decay inside the
+    // loop (set_lr writes an absolute rate, so that is idempotent); only a
+    // resume landing past the decay epoch must catch up here.
+    if (config_.lr_decay_factor != 1.0f && decay_epoch > 0 &&
+        start_epoch > decay_epoch) {
+      set_lr(config_.learning_rate * config_.lr_decay_factor);
+    }
+  }
+
   // Telemetry: spans feed both the chrome-trace export and the latency
   // histograms; the TimedSpans below additionally supply EpochStats even
   // when obs is disabled.
@@ -113,6 +184,7 @@ TrainResult Trainer::Train(
   obs::Histogram* batch_us = registry.GetHistogram("trainer/batch_us");
   obs::Histogram* shard_us = registry.GetHistogram("trainer/shard_us");
   obs::Gauge* last_rmse = registry.GetGauge("trainer/last_eval_rmse");
+  obs::Counter* checkpoints_counter = registry.GetCounter("trainer/checkpoints");
 
   // Data-parallel machinery. A minibatch is cut into fixed-size shards
   // (shard grain never depends on the thread count); each shard runs
@@ -136,24 +208,68 @@ TrainResult Trainer::Train(
   std::vector<nn::Graph> shard_graphs(max_shards);
   const auto& params = store->parameters();
 
-  uint64_t step = 0;  // global batch counter, seeds shard dropout streams
+  // Serializes the full trainer state (docs/robustness.md). Called after an
+  // optimizer step (mid-epoch, next_sample = offset of the next batch) or
+  // after an epoch fully completes (next_sample = 0, epoch = the next one).
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  auto write_checkpoint = [&](int ck_epoch, uint64_t next_sample,
+                              double loss_sum, uint64_t batches) {
+    TrainerCheckpoint ck;
+    ck.config = config_;
+    ck.epoch = ck_epoch;
+    ck.next_sample = next_sample;
+    ck.step = step;
+    ck.rng_state = rng.State();
+    ck.order.assign(order.begin(), order.end());
+    ck.partial_loss_sum = loss_sum;
+    ck.partial_batches = batches;
+    ck.history = result.history;
+    ck.params = ExportParams(*store);
+    if (use_adam) {
+      ck.adam_t = adam.timestep();
+      adam.ExportState(*store, &ck.adam_m, &ck.adam_v);
+    } else {
+      sgd.ExportState(*store, &ck.sgd_velocity);
+    }
+    ck.best.reserve(best.size());
+    for (const Snapshot& s : best) {
+      ck.best.push_back({s.rmse, ExportParams(*s.store)});
+    }
+    util::Status st = SaveCheckpoint(ck, config_.checkpoint_path);
+    if (st.ok()) {
+      checkpoints_counter->Inc();
+    } else {
+      // Training carries on: a failed checkpoint write costs resumability,
+      // not correctness.
+      DEEPSD_LOG(Error) << "checkpoint write failed: " << st.ToString();
+    }
+  };
+
   obs::TimedSpan train_span("trainer/train");
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     obs::TimedSpan epoch_span("trainer/epoch");
     if (config_.lr_decay_factor != 1.0f && epoch == decay_epoch && epoch > 0) {
       set_lr(config_.learning_rate * config_.lr_decay_factor);
     }
-    if (config_.shuffle) {
+    // A mid-epoch resume re-enters an epoch whose shuffle already happened;
+    // `order` and the RNG hold the post-shuffle state, so re-shuffling here
+    // would tear the run away from the uninterrupted trajectory.
+    const bool resumed_mid_epoch = epoch == start_epoch && resume_sample > 0;
+    if (config_.shuffle && !resumed_mid_epoch) {
       for (size_t i = order.size(); i > 1; --i) {
         size_t j = rng.UniformInt(i);
         std::swap(order[i - 1], order[j]);
       }
     }
 
-    double loss_sum = 0.0;
-    size_t batches = 0;
+    double loss_sum = resumed_mid_epoch ? resume_loss_sum : 0.0;
+    size_t batches =
+        resumed_mid_epoch ? static_cast<size_t>(resume_batches) : 0;
+    const size_t first_sample =
+        resumed_mid_epoch ? static_cast<size_t>(resume_sample) : 0;
     obs::TimedSpan batch_phase("trainer/epoch_batches");
-    for (size_t begin = 0; begin < order.size(); begin += batch_span) {
+    for (size_t begin = first_sample; begin < order.size();
+         begin += batch_span) {
       DEEPSD_SPAN("trainer/batch", batch_us);
       const size_t end = std::min(order.size(), begin + batch_span);
       const size_t batch_size = end - begin;
@@ -215,6 +331,10 @@ TrainResult Trainer::Train(
       ++batches;
       ++step;
       batches_counter->Inc();
+      if (checkpointing && config_.checkpoint_every_steps > 0 &&
+          step % config_.checkpoint_every_steps == 0) {
+        write_checkpoint(epoch, end, loss_sum, batches);
+      }
     }
 
     EpochStats stats;
@@ -248,6 +368,10 @@ TrainResult Trainer::Train(
       best.insert(pos, std::move(snap));
       if (static_cast<int>(best.size()) > config_.best_k) best.pop_back();
     }
+
+    // Epoch-end checkpoint, written only after the best-k ring absorbed
+    // this epoch so a resume can rebuild the final averaged model exactly.
+    if (checkpointing) write_checkpoint(epoch + 1, 0, 0.0, 0);
   }
   result.total_seconds = train_span.Stop();
   result.seconds_per_epoch =

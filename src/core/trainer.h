@@ -12,6 +12,8 @@
 namespace deepsd {
 namespace core {
 
+struct TrainerCheckpoint;  // core/checkpoint.h
+
 /// Training-loop configuration (paper Sec VI-B/C): Adam, batch 64, dropout
 /// handled by the model, 50 epochs, final model = average of the best 10
 /// epochs by evaluation RMSE.
@@ -37,6 +39,14 @@ struct TrainConfig {
   /// for the optimizer ablation.
   enum class Optimizer { kAdam, kSgdMomentum };
   Optimizer optimizer = Optimizer::kAdam;
+
+  /// Fault tolerance: when non-empty, write an atomic, CRC-sealed
+  /// checkpoint (core/checkpoint.h) to this path at every epoch end and —
+  /// if `checkpoint_every_steps` > 0 — after every N-th optimizer step.
+  /// Resuming from any such checkpoint reproduces the uninterrupted run
+  /// bit-for-bit (docs/robustness.md).
+  std::string checkpoint_path;
+  uint64_t checkpoint_every_steps = 0;
 
   /// Samples per data-parallel gradient shard. Each minibatch is split
   /// into ceil(batch/shard_size) shards that run forward/backward on
@@ -82,17 +92,26 @@ class Trainer {
   /// evaluating on `eval_source` after every epoch exactly as the paper
   /// does. On return `store` holds the averaged best-k snapshot.
   /// `on_epoch` (optional) observes each epoch as it completes.
+  ///
+  /// `resume` (optional) continues a checkpointed run: the trainer restores
+  /// parameters, optimizer moments, RNG and shuffle state, epoch/step
+  /// cursors and the best-k ring, then picks up at the exact batch the
+  /// checkpoint recorded. The caller must have validated the checkpoint
+  /// with ValidateResume (the trainer re-checks and aborts on mismatch,
+  /// since Train has no error channel).
   TrainResult Train(
       DeepSDModel* model, nn::ParameterStore* store,
       const InputSource& train_source, const InputSource& eval_source,
-      const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+      const std::function<void(const EpochStats&)>& on_epoch = nullptr,
+      const TrainerCheckpoint* resume = nullptr);
 
   /// Convenience overload over materialized inputs.
   TrainResult Train(
       DeepSDModel* model, nn::ParameterStore* store,
       const std::vector<feature::ModelInput>& train_inputs,
       const std::vector<feature::ModelInput>& eval_inputs,
-      const std::function<void(const EpochStats&)>& on_epoch = nullptr);
+      const std::function<void(const EpochStats&)>& on_epoch = nullptr,
+      const TrainerCheckpoint* resume = nullptr);
 
  private:
   TrainConfig config_;

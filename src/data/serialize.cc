@@ -1,10 +1,10 @@
 #include "data/serialize.h"
 
 #include <cstdint>
-#include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <vector>
+
+#include "util/byte_io.h"
 
 namespace deepsd {
 namespace data {
@@ -13,51 +13,15 @@ namespace {
 
 constexpr char kMagic[4] = {'D', 'S', 'D', '1'};
 
-template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return static_cast<bool>(in);
-}
-
-template <typename T>
-void WriteVec(std::ofstream& out, const std::vector<T>& v) {
-  WritePod<uint64_t>(out, v.size());
-  if (!v.empty()) {
-    out.write(reinterpret_cast<const char*>(v.data()),
-              static_cast<std::streamsize>(v.size() * sizeof(T)));
-  }
-}
-
-template <typename T>
-bool ReadVec(std::ifstream& in, std::vector<T>* v) {
-  uint64_t n = 0;
-  if (!ReadPod(in, &n)) return false;
-  // Refuse absurd sizes rather than bad_alloc on a corrupt file.
-  if (n > (1ULL << 32)) return false;
-  v->resize(n);
-  if (n) {
-    in.read(reinterpret_cast<char*>(v->data()),
-            static_cast<std::streamsize>(n * sizeof(T)));
-  }
-  return static_cast<bool>(in);
-}
-
 }  // namespace
 
 util::Status SaveDataset(const OrderDataset& dataset, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
-
-  out.write(kMagic, sizeof(kMagic));
-  WritePod<int32_t>(out, dataset.num_areas());
-  WritePod<int32_t>(out, dataset.num_days());
-  WritePod<int32_t>(out, dataset.first_weekday());
-  WriteVec(out, dataset.orders());
+  util::ByteWriter out;
+  out.PutRaw(kMagic, sizeof(kMagic));
+  out.PutPod<int32_t>(dataset.num_areas());
+  out.PutPod<int32_t>(dataset.num_days());
+  out.PutPod<int32_t>(dataset.first_weekday());
+  out.PutPodVec(dataset.orders());
 
   // Re-extract environment data through the query API (dense layout).
   std::vector<WeatherRecord> weather;
@@ -72,7 +36,7 @@ util::Status SaveDataset(const OrderDataset& dataset, const std::string& path) {
       }
     }
   }
-  WriteVec(out, weather);
+  out.PutPodVec(weather);
 
   std::vector<TrafficRecord> traffic;
   if (dataset.has_traffic()) {
@@ -90,24 +54,29 @@ util::Status SaveDataset(const OrderDataset& dataset, const std::string& path) {
       }
     }
   }
-  WriteVec(out, traffic);
+  out.PutPodVec(traffic);
 
-  if (!out) return util::Status::IoError("short write to " + path);
-  return util::Status::OK();
+  // Atomic replace: readers (and crash recovery) only ever see a complete
+  // dataset file.
+  return util::AtomicWriteFile(path, out.bytes());
 }
 
 util::Status LoadDataset(const std::string& path, OrderDataset* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  // ReadFileBytes is the fault-injection point (util::FaultInjector): with
+  // DEEPSD_FAULTS set, reads may come back truncated or bit-flipped, and
+  // everything below must fail with a typed Status — never UB.
+  std::vector<char> bytes;
+  if (util::Status s = util::ReadFileBytes(path, &bytes); !s.ok()) return s;
 
+  util::ByteReader in(bytes);
   char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!in.GetRaw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return util::Status::InvalidArgument("bad magic in " + path);
   }
   int32_t num_areas = 0, num_days = 0, first_weekday = 0;
-  if (!ReadPod(in, &num_areas) || !ReadPod(in, &num_days) ||
-      !ReadPod(in, &first_weekday)) {
+  if (!in.GetPod(&num_areas) || !in.GetPod(&num_days) ||
+      !in.GetPod(&first_weekday)) {
     return util::Status::IoError("truncated header in " + path);
   }
   if (num_areas <= 0 || num_days <= 0 || first_weekday < 0 ||
@@ -115,11 +84,17 @@ util::Status LoadDataset(const std::string& path, OrderDataset* out) {
     return util::Status::InvalidArgument("bad header values in " + path);
   }
 
+  // Length prefixes are validated against the actual remaining bytes, so a
+  // corrupt count can never trigger a runaway allocation.
   std::vector<Order> orders;
   std::vector<WeatherRecord> weather;
   std::vector<TrafficRecord> traffic;
-  if (!ReadVec(in, &orders) || !ReadVec(in, &weather) || !ReadVec(in, &traffic)) {
+  if (!in.GetPodVec(&orders) || !in.GetPodVec(&weather) ||
+      !in.GetPodVec(&traffic)) {
     return util::Status::IoError("truncated body in " + path);
+  }
+  if (in.remaining() != 0) {
+    return util::Status::InvalidArgument("trailing garbage in " + path);
   }
 
   OrderDatasetBuilder builder(num_areas, num_days, first_weekday);

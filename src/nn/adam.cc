@@ -1,5 +1,6 @@
 #include "nn/adam.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace deepsd {
@@ -52,6 +53,34 @@ double Adam::Step(ParameterStore* store) {
 void Adam::Reset() {
   t_ = 0;
   moments_.clear();
+}
+
+void Adam::ExportState(const ParameterStore& store,
+                       std::vector<NamedTensor>* m,
+                       std::vector<NamedTensor>* v) const {
+  m->clear();
+  v->clear();
+  for (const auto& p : store.parameters()) {
+    auto it = moments_.find(p.get());
+    if (it == moments_.end()) continue;
+    m->push_back({p->name, it->second.m});
+    v->push_back({p->name, it->second.v});
+  }
+}
+
+void Adam::ImportState(const ParameterStore& store,
+                       const std::vector<NamedTensor>& m,
+                       const std::vector<NamedTensor>& v) {
+  moments_.clear();
+  const size_t n = std::min(m.size(), v.size());
+  for (size_t i = 0; i < n; ++i) {
+    const Parameter* p = store.Find(m[i].name);
+    if (p == nullptr || !m[i].value.SameShape(p->value) ||
+        !v[i].value.SameShape(p->value)) {
+      continue;
+    }
+    moments_[p] = Moments{m[i].value, v[i].value};
+  }
 }
 
 }  // namespace nn

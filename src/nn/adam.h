@@ -39,6 +39,23 @@ class Adam {
   /// Drops all moment state (e.g. when the model topology changed).
   void Reset();
 
+  /// Checkpoint support: the number of Step() calls applied so far. Bias
+  /// correction depends on it, so a resumed run must restore it exactly.
+  int64_t timestep() const { return t_; }
+  void set_timestep(int64_t t) { t_ = t; }
+
+  /// Copies the first/second-moment tensors of every parameter of `store`
+  /// that has accumulated state into name-addressed form (aligned vectors).
+  /// Parameters that never took a step are omitted.
+  void ExportState(const ParameterStore& store, std::vector<NamedTensor>* m,
+                   std::vector<NamedTensor>* v) const;
+  /// Inverse of ExportState: drops current moments and adopts `m`/`v` for
+  /// the matching (by name and shape) parameters of `store`. Entries that
+  /// match nothing are ignored.
+  void ImportState(const ParameterStore& store,
+                   const std::vector<NamedTensor>& m,
+                   const std::vector<NamedTensor>& v);
+
  private:
   struct Moments {
     Tensor m;

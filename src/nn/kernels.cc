@@ -38,6 +38,11 @@ std::atomic<KernelMode>& ModeFlag() {
 typedef float V16 __attribute__((vector_size(64)));
 typedef float V4 __attribute__((vector_size(16)));
 
+// GCC notes that passing V16 by value would use a different ABI if AVX-512
+// were enabled (-Wpsabi). Every helper taking/returning one lives in this
+// TU and inlines, so no cross-TU call with that ABI ever exists.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
 template <typename V>
 inline V LoadV(const float* p) {
   V v;
@@ -190,8 +195,9 @@ void SetKernelMode(KernelMode mode) {
 
 void GemmNaive(const float* a, const float* b, float* c, int m, int k, int n,
                bool accumulate) {
-  if (!accumulate) {
-    std::memset(c, 0, static_cast<size_t>(m) * n * sizeof(float));
+  if (const size_t bytes = static_cast<size_t>(m) * n * sizeof(float);
+      !accumulate && bytes > 0) {
+    std::memset(c, 0, bytes);
   }
   for (int i = 0; i < m; ++i) {
     const float* arow = a + static_cast<size_t>(i) * k;

@@ -2,7 +2,8 @@
 
 #include <cmath>
 #include <cstring>
-#include <fstream>
+
+#include "util/byte_io.h"
 
 namespace deepsd {
 namespace nn {
@@ -83,63 +84,76 @@ void ParameterStore::SetFrozen(const std::string& prefix, bool frozen) {
 }
 
 util::Status ParameterStore::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return util::Status::IoError("cannot open " + path);
-  out.write("DSP1", 4);
-  uint64_t n = params_.size();
-  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  util::ByteWriter out;
+  out.PutRaw("DSP1", 4);
+  out.PutPod<uint64_t>(params_.size());
   for (const auto& p : params_) {
-    uint32_t name_len = static_cast<uint32_t>(p->name.size());
-    out.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    out.write(p->name.data(), name_len);
-    int32_t rows = p->value.rows(), cols = p->value.cols();
-    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-    out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
-    out.write(reinterpret_cast<const char*>(p->value.data()),
-              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    out.PutString(p->name);
+    out.PutPod<int32_t>(p->value.rows());
+    out.PutPod<int32_t>(p->value.cols());
+    out.PutRaw(p->value.data(), p->value.size() * sizeof(float));
   }
-  if (!out) return util::Status::IoError("short write to " + path);
-  return util::Status::OK();
+  // Atomic replace: a crash mid-save leaves the previous model intact
+  // instead of a torn file.
+  return util::AtomicWriteFile(path, out.bytes());
 }
 
 util::Status ParameterStore::Load(const std::string& path, int* loaded) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return util::Status::IoError("cannot open " + path);
+  // ReadFileBytes routes through util::FaultInjector, so injected
+  // truncation/bit-flips exercise every rejection branch below.
+  std::vector<char> bytes;
+  if (util::Status s = util::ReadFileBytes(path, &bytes); !s.ok()) return s;
+
+  util::ByteReader in(bytes);
   char magic[4];
-  in.read(magic, 4);
-  if (!in || std::memcmp(magic, "DSP1", 4) != 0) {
+  if (!in.GetRaw(magic, 4) || std::memcmp(magic, "DSP1", 4) != 0) {
     return util::Status::InvalidArgument("bad magic in " + path);
   }
   uint64_t n = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  int count = 0;
+  if (!in.GetPod(&n)) {
+    return util::Status::IoError("truncated parameter file " + path);
+  }
+  // Parse everything before touching the store: a file that turns out to
+  // be torn halfway through must not leave the model half-loaded.
+  std::vector<std::pair<std::string, Tensor>> tensors;
   for (uint64_t i = 0; i < n; ++i) {
-    uint32_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    if (!in || name_len > 4096) {
-      return util::Status::IoError("corrupt parameter file " + path);
-    }
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
+    std::string name;
     int32_t rows = 0, cols = 0;
-    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-    if (!in || rows < 0 || cols < 0) {
+    if (!in.GetString(&name, /*max_len=*/4096) || !in.GetPod(&rows) ||
+        !in.GetPod(&cols)) {
       return util::Status::IoError("corrupt parameter file " + path);
     }
-    size_t count_floats = static_cast<size_t>(rows) * static_cast<size_t>(cols);
-    // Refuse absurd tensor sizes from a corrupt header rather than
-    // attempting a multi-GB allocation (largest real table is ~O(10^5)).
-    if (count_floats > (1ULL << 28)) {
-      return util::Status::IoError("implausible tensor size in " + path);
+    if (rows < 0 || cols < 0) {
+      return util::Status::IoError("corrupt parameter file " + path);
     }
-    std::vector<float> values(count_floats);
-    in.read(reinterpret_cast<char*>(values.data()),
-            static_cast<std::streamsize>(count_floats * sizeof(float)));
-    if (!in) return util::Status::IoError("truncated parameter file " + path);
+    const uint64_t count_floats =
+        static_cast<uint64_t>(rows) * static_cast<uint64_t>(cols);
+    // The reader refuses any tensor larger than the remaining bytes, so a
+    // corrupt header can never trigger a runaway allocation.
+    if (count_floats > in.remaining() / sizeof(float)) {
+      return util::Status::IoError("truncated parameter file " + path);
+    }
+    Tensor t(rows, cols);
+    if (count_floats > 0 &&
+        !in.GetRaw(t.data(), static_cast<size_t>(count_floats) * sizeof(float))) {
+      return util::Status::IoError("truncated parameter file " + path);
+    }
+    // Weights must be finite: a bit-flip that survives parsing would
+    // otherwise silently poison every downstream prediction.
+    for (float v : t.flat()) {
+      if (!std::isfinite(v)) {
+        return util::Status::InvalidArgument(
+            "non-finite value for parameter '" + name + "' in " + path);
+      }
+    }
+    tensors.emplace_back(std::move(name), std::move(t));
+  }
+
+  int count = 0;
+  for (auto& [name, t] : tensors) {
     Parameter* p = Find(name);
-    if (p != nullptr && p->value.rows() == rows && p->value.cols() == cols) {
-      p->value.flat() = std::move(values);
+    if (p != nullptr && p->value.SameShape(t)) {
+      p->value = std::move(t);
       ++count;
     }
   }

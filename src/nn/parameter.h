@@ -23,6 +23,14 @@ struct Parameter {
   bool frozen = false;
 };
 
+/// A tensor addressed by parameter name — the serialization-friendly form
+/// used by optimizer state export and trainer checkpoints, where raw
+/// Parameter pointers cannot survive a process restart.
+struct NamedTensor {
+  std::string name;
+  Tensor value;
+};
+
 /// Weight initialization schemes.
 enum class Init {
   kZero,

@@ -38,5 +38,25 @@ double Sgd::Step(ParameterStore* store) {
 
 void Sgd::Reset() { velocity_.clear(); }
 
+void Sgd::ExportState(const ParameterStore& store,
+                      std::vector<NamedTensor>* velocity) const {
+  velocity->clear();
+  for (const auto& p : store.parameters()) {
+    auto it = velocity_.find(p.get());
+    if (it == velocity_.end()) continue;
+    velocity->push_back({p->name, it->second});
+  }
+}
+
+void Sgd::ImportState(const ParameterStore& store,
+                      const std::vector<NamedTensor>& velocity) {
+  velocity_.clear();
+  for (const NamedTensor& nt : velocity) {
+    const Parameter* p = store.Find(nt.name);
+    if (p == nullptr || !nt.value.SameShape(p->value)) continue;
+    velocity_[p] = nt.value;
+  }
+}
+
 }  // namespace nn
 }  // namespace deepsd

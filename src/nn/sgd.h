@@ -32,6 +32,13 @@ class Sgd {
 
   void Reset();
 
+  /// Checkpoint support: velocity tensors in name-addressed form (see
+  /// Adam::ExportState for the contract).
+  void ExportState(const ParameterStore& store,
+                   std::vector<NamedTensor>* velocity) const;
+  void ImportState(const ParameterStore& store,
+                   const std::vector<NamedTensor>& velocity);
+
  private:
   SgdConfig config_;
   std::unordered_map<const Parameter*, Tensor> velocity_;

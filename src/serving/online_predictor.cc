@@ -1,6 +1,8 @@
 #include "serving/online_predictor.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -10,47 +12,132 @@
 namespace deepsd {
 namespace serving {
 
+namespace {
+
+/// The current-weekday 2L block of an assembler's 7×2L historical vector —
+/// the empirical stand-in for a real-time vector whose feed has stalled.
+std::vector<float> EmpiricalBlock(const feature::FeatureAssembler& history,
+                                  int kind, int area, int t, int week_id) {
+  std::vector<float> full = history.HistoricalVectors(kind, area, t);
+  const size_t block = full.size() / data::kDaysPerWeek;
+  const size_t off = static_cast<size_t>(week_id) * block;
+  return std::vector<float>(
+      full.begin() + static_cast<long>(off),
+      full.begin() + static_cast<long>(off + block));
+}
+
+}  // namespace
+
 OnlinePredictor::OnlinePredictor(const core::DeepSDModel* model,
-                                 const feature::FeatureAssembler* history)
+                                 const feature::FeatureAssembler* history,
+                                 FallbackConfig fallback)
     : model_(model),
       history_(history),
+      fallback_(fallback),
       buffer_(history->dataset().num_areas(), history->config().window) {
   DEEPSD_CHECK(model != nullptr);
   DEEPSD_CHECK_MSG(model->config().window == history->config().window,
                    "model and assembler window mismatch");
 }
 
+FallbackTier OnlinePredictor::CurrentTier() const {
+  const int64_t now = buffer_.now_abs();
+  auto age = [now](int64_t last) {
+    return last < 0 ? std::numeric_limits<int64_t>::max() : now - last;
+  };
+
+  int tier = 0;
+  // Order-feed stall is global: at any realistic scale some area orders
+  // every minute, so a citywide gap means the feed died, while one quiet
+  // area is ordinary sparsity and must not degrade its neighbours.
+  const int64_t order_age = age(buffer_.last_order_abs());
+  if (order_age > fallback_.baseline_after_minutes) {
+    tier = static_cast<int>(FallbackTier::kBaseline);
+  } else if (order_age > fallback_.order_stall_minutes) {
+    tier = static_cast<int>(FallbackTier::kEmpiricalBlock);
+  }
+
+  // Environment feeds only matter to models that consume them.
+  if (model_->config().use_weather) {
+    const int64_t a = age(buffer_.last_weather_abs());
+    if (a > fallback_.env_fresh_minutes + fallback_.weather_hold_minutes) {
+      tier = std::max(tier, static_cast<int>(FallbackTier::kEmpiricalBlock));
+    } else if (a > fallback_.env_fresh_minutes) {
+      tier = std::max(tier, static_cast<int>(FallbackTier::kZeroOrderHold));
+    }
+  }
+  if (model_->config().use_traffic) {
+    const int64_t a = age(buffer_.last_traffic_abs());
+    if (a > fallback_.env_fresh_minutes + fallback_.traffic_hold_minutes) {
+      tier = std::max(tier, static_cast<int>(FallbackTier::kEmpiricalBlock));
+    } else if (a > fallback_.env_fresh_minutes) {
+      tier = std::max(tier, static_cast<int>(FallbackTier::kZeroOrderHold));
+    }
+  }
+  return static_cast<FallbackTier>(tier);
+}
+
 feature::ModelInput OnlinePredictor::AssembleLive(int area) const {
+  return AssembleAtTier(area, CurrentTier());
+}
+
+feature::ModelInput OnlinePredictor::AssembleAtTier(int area,
+                                                    FallbackTier tier) const {
   const bool advanced =
       model_->mode() == core::DeepSDModel::Mode::kAdvanced;
   const int t = buffer_.minute();
   const int t10 = t + data::kGapWindow;
+  // Order vectors fall back to the day-of-week empirical block once the
+  // order feed is stalled (tier >= 2); the order stream can't zero-order
+  // hold (counts are per-minute events, not levels).
+  const bool empirical_orders = tier >= FallbackTier::kEmpiricalBlock;
 
   feature::ModelInput in;
   in.area_id = area;
   in.time_id = t;
   in.week_id = history_->dataset().WeekId(buffer_.day());
 
-  in.v_sd = history_->NormalizeCounts(buffer_.SupplyDemandVector(area));
+  in.v_sd = history_->NormalizeCounts(
+      empirical_orders ? EmpiricalBlock(*history_, 0, area, t, in.week_id)
+                       : buffer_.SupplyDemandVector(area));
   if (advanced) {
     in.h_sd = history_->NormalizeCounts(
         history_->HistoricalVectors(0, area, t));
     in.h_sd10 = history_->NormalizeCounts(
         history_->HistoricalVectors(0, area, t10));
-    in.v_lc = history_->NormalizeCounts(buffer_.LastCallVector(area));
+    in.v_lc = history_->NormalizeCounts(
+        empirical_orders ? EmpiricalBlock(*history_, 1, area, t, in.week_id)
+                         : buffer_.LastCallVector(area));
     in.h_lc = history_->NormalizeCounts(
         history_->HistoricalVectors(1, area, t));
     in.h_lc10 = history_->NormalizeCounts(
         history_->HistoricalVectors(1, area, t10));
-    in.v_wt = history_->NormalizeCounts(buffer_.WaitingTimeVector(area));
+    in.v_wt = history_->NormalizeCounts(
+        empirical_orders ? EmpiricalBlock(*history_, 2, area, t, in.week_id)
+                         : buffer_.WaitingTimeVector(area));
     in.h_wt = history_->NormalizeCounts(
         history_->HistoricalVectors(2, area, t));
     in.h_wt10 = history_->NormalizeCounts(
         history_->HistoricalVectors(2, area, t10));
   }
 
-  in.weather_types = buffer_.WeatherTypes();
-  in.weather_reals = buffer_.WeatherReals();
+  // Stale (but not dead) weather/traffic feeds are zero-order held: the
+  // last accepted record stands in for the missing trailing minutes. A
+  // fresh feed makes the held variants identical to the plain ones, and a
+  // long-dead feed degrades to the unknown encoding (type 0 / zeros).
+  if (tier >= FallbackTier::kZeroOrderHold) {
+    in.weather_types = buffer_.WeatherTypesHeld(fallback_.weather_hold_minutes);
+    in.weather_reals = buffer_.WeatherRealsHeld(fallback_.weather_hold_minutes);
+  } else {
+    in.weather_types = buffer_.WeatherTypes();
+    in.weather_reals = buffer_.WeatherReals();
+  }
+  // Out-of-vocabulary type ids (possible only from a corrupted feed; the
+  // stream buffer rejects negatives but cannot know the model's vocab)
+  // degrade to the unknown type rather than tripping the embedding check.
+  for (int& type : in.weather_types) {
+    if (type < 0 || type >= model_->config().weather_vocab) type = 0;
+  }
   const int L = history_->config().window;
   for (int i = 0; i < L; ++i) {
     in.weather_reals[static_cast<size_t>(i)] =
@@ -58,7 +145,10 @@ feature::ModelInput OnlinePredictor::AssembleLive(int area) const {
     in.weather_reals[static_cast<size_t>(L + i)] =
         history_->NormPm(in.weather_reals[static_cast<size_t>(L + i)]);
   }
-  in.v_tc = buffer_.TrafficVector(area);
+  in.v_tc = tier >= FallbackTier::kZeroOrderHold
+                ? buffer_.TrafficVectorHeld(area,
+                                            fallback_.traffic_hold_minutes)
+                : buffer_.TrafficVector(area);
   for (size_t i = 0; i < in.v_tc.size(); ++i) {
     in.v_tc[i] = history_->NormTraffic(
         static_cast<int>(i % data::kCongestionLevels), in.v_tc[i]);
@@ -70,8 +160,7 @@ float OnlinePredictor::Predict(int area) const {
   static obs::Histogram* latency_us =
       obs::MetricsRegistry::Global().GetHistogram("serving/predict_us");
   DEEPSD_SPAN("serving/predict", latency_us);
-  std::vector<feature::ModelInput> inputs = {AssembleLive(area)};
-  return model_->Predict(inputs)[0];
+  return AssembleAndPredict({area})[0];
 }
 
 std::vector<float> OnlinePredictor::PredictAll() const {
@@ -95,22 +184,82 @@ std::vector<float> OnlinePredictor::PredictBatch(
 
 std::vector<float> OnlinePredictor::AssembleAndPredict(
     const std::vector<int>& area_ids) const {
+  static obs::Counter* degraded = obs::MetricsRegistry::Global().GetCounter(
+      "serving/degraded_predictions");
+  static obs::Counter* tier_zoh =
+      obs::MetricsRegistry::Global().GetCounter("serving/fallback_tier_zoh");
+  static obs::Counter* tier_empirical =
+      obs::MetricsRegistry::Global().GetCounter(
+          "serving/fallback_tier_empirical");
+  static obs::Counter* tier_baseline =
+      obs::MetricsRegistry::Global().GetCounter(
+          "serving/fallback_tier_baseline");
+  static obs::Counter* nonfinite = obs::MetricsRegistry::Global().GetCounter(
+      "serving/nonfinite_predictions");
   if (area_ids.empty()) return {};
-  // Assembly parallelizes over areas (each writes its own slot; the stream
-  // buffer's accessors are mutex-guarded snapshots); the forward pass then
-  // parallelizes internally over row chunks. A chunk of 16 areas keeps
-  // per-task graphs small enough to overlap across workers. Each worker's
-  // graph is long-lived and arena-backed (see docs/performance.md), so a
-  // steady request stream replays prebuilt topologies into recycled tensor
-  // storage instead of reallocating per request.
-  std::vector<feature::ModelInput> inputs(area_ids.size());
-  util::ThreadPool::Global().ParallelFor(
-      0, area_ids.size(), 4, [&](size_t i0, size_t i1) {
-        for (size_t i = i0; i < i1; ++i) {
-          inputs[i] = AssembleLive(area_ids[i]);
-        }
-      });
-  return model_->Predict(inputs, /*batch_size=*/16);
+
+  FallbackTier tier = CurrentTier();
+  // Without a baseline attached the ladder's last rung is the empirical
+  // block — still an answer, just a less specific one.
+  if (tier == FallbackTier::kBaseline && baseline_ == nullptr) {
+    tier = FallbackTier::kEmpiricalBlock;
+  }
+
+  std::vector<float> preds;
+  if (tier == FallbackTier::kBaseline) {
+    const int t = buffer_.minute();
+    preds.reserve(area_ids.size());
+    for (int area : area_ids) {
+      preds.push_back(baseline_->Predict(area, t));
+    }
+  } else {
+    // Assembly parallelizes over areas (each writes its own slot; the
+    // stream buffer's accessors are mutex-guarded snapshots); the forward
+    // pass then parallelizes internally over row chunks. A chunk of 16
+    // areas keeps per-task graphs small enough to overlap across workers.
+    // Each worker's graph is long-lived and arena-backed (see
+    // docs/performance.md), so a steady request stream replays prebuilt
+    // topologies into recycled tensor storage instead of reallocating per
+    // request.
+    std::vector<feature::ModelInput> inputs(area_ids.size());
+    util::ThreadPool::Global().ParallelFor(
+        0, area_ids.size(), 4, [&](size_t i0, size_t i1) {
+          for (size_t i = i0; i < i1; ++i) {
+            inputs[i] = AssembleAtTier(area_ids[i], tier);
+          }
+        });
+    preds = model_->Predict(inputs, /*batch_size=*/16);
+    // Last line of defense: a non-finite output (NaN-poisoned weights, a
+    // corrupt upstream) is replaced by the baseline (or 0), never served.
+    const int t = buffer_.minute();
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (!std::isfinite(preds[i])) {
+        preds[i] = baseline_ != nullptr ? baseline_->Predict(area_ids[i], t)
+                                        : 0.0f;
+        nonfinite->Inc();
+        tier = FallbackTier::kBaseline;
+      }
+    }
+  }
+
+  last_tier_.store(static_cast<int>(tier), std::memory_order_relaxed);
+  switch (tier) {
+    case FallbackTier::kNone:
+      break;
+    case FallbackTier::kZeroOrderHold:
+      degraded->Inc(area_ids.size());
+      tier_zoh->Inc(area_ids.size());
+      break;
+    case FallbackTier::kEmpiricalBlock:
+      degraded->Inc(area_ids.size());
+      tier_empirical->Inc(area_ids.size());
+      break;
+    case FallbackTier::kBaseline:
+      degraded->Inc(area_ids.size());
+      tier_baseline->Inc(area_ids.size());
+      break;
+  }
+  return preds;
 }
 
 }  // namespace serving

@@ -1,14 +1,48 @@
 #ifndef DEEPSD_SERVING_ONLINE_PREDICTOR_H_
 #define DEEPSD_SERVING_ONLINE_PREDICTOR_H_
 
+#include <atomic>
 #include <vector>
 
+#include "baselines/empirical_average.h"
 #include "core/model.h"
 #include "feature/feature_assembler.h"
 #include "serving/order_stream.h"
 
 namespace deepsd {
 namespace serving {
+
+/// How degraded the inputs behind a prediction were — the fallback ladder
+/// of docs/robustness.md, healthiest first. Serving never refuses to
+/// answer; it steps down this ladder instead.
+enum class FallbackTier {
+  kNone = 0,           ///< All feeds fresh; full model inputs.
+  kZeroOrderHold = 1,  ///< Weather/traffic briefly stale; last known value
+                       ///< held in place of the missing minutes.
+  kEmpiricalBlock = 2, ///< Order stream stalled (or env feeds long dead);
+                       ///< real-time blocks replaced by the day-of-week
+                       ///< empirical averages the model also trains on.
+  kBaseline = 3,       ///< Stream dead past recovery (or non-finite model
+                       ///< output); EmpiricalAverage baseline answers.
+};
+
+/// Staleness thresholds of the fallback ladder, all in minutes.
+struct FallbackConfig {
+  /// Weather/traffic lags this recent count as fresh (feeds publish once a
+  /// minute; 2 tolerates ordinary pipeline jitter without degrading).
+  int env_fresh_minutes = 2;
+  /// Zero-order-hold horizon for a stale weather/traffic feed; beyond it
+  /// the unknown-value encoding (type 0 / zeros) takes over.
+  int weather_hold_minutes = 15;
+  int traffic_hold_minutes = 15;
+  /// No order anywhere in the city for this long means the order feed is
+  /// stalled (orders arrive every minute citywide at any realistic scale;
+  /// a single quiet area is normal sparsity and never degrades).
+  int order_stall_minutes = 20;
+  /// An order-feed outage past this long falls all the way back to the
+  /// EmpiricalAverage baseline.
+  int baseline_after_minutes = 120;
+};
 
 /// Live serving front-end for a trained DeepSD model — the deployment shape
 /// the paper's conclusion describes ("incorporating our prediction model
@@ -23,15 +57,39 @@ namespace serving {
 ///   predictor.buffer().AddOrder(order);              // as events arrive
 ///   predictor.AdvanceTo(day, minute);                // move the clock
 ///   std::vector<float> gaps = predictor.PredictAll();
+///
+/// Predictions degrade gracefully instead of failing when feeds stall: see
+/// FallbackTier. CurrentTier()/last_tier() expose the degradation level,
+/// and the serving/degraded_predictions counter (with per-tier counters)
+/// tracks it in the metrics registry.
 class OnlinePredictor {
  public:
   /// `model` and `history` must outlive the predictor and share the same
   /// window / normalization configuration.
   OnlinePredictor(const core::DeepSDModel* model,
-                  const feature::FeatureAssembler* history);
+                  const feature::FeatureAssembler* history,
+                  FallbackConfig fallback = {});
 
   OrderStreamBuffer& buffer() { return buffer_; }
   const OrderStreamBuffer& buffer() const { return buffer_; }
+
+  /// Attaches the last-resort baseline (tier 3). Optional — without it the
+  /// ladder stops at the empirical block. `baseline` must outlive the
+  /// predictor and be Fit on the same training period as `history`.
+  void set_baseline(const baselines::EmpiricalAverage* baseline) {
+    baseline_ = baseline;
+  }
+
+  const FallbackConfig& fallback_config() const { return fallback_; }
+
+  /// The degradation tier the next prediction would be served at, from the
+  /// current feed staleness. Cheap (three clock reads).
+  FallbackTier CurrentTier() const;
+  /// Tier actually used by the most recent Predict/PredictAll/PredictBatch.
+  FallbackTier last_tier() const {
+    return static_cast<FallbackTier>(
+        last_tier_.load(std::memory_order_relaxed));
+  }
 
   /// Moves the serving clock (delegates to the buffer).
   void AdvanceTo(int day, int minute) { buffer_.AdvanceTo(day, minute); }
@@ -47,17 +105,24 @@ class OnlinePredictor {
   /// latency lands in the serving/predict_batch_us histogram.
   std::vector<float> PredictBatch(const std::vector<int>& area_ids) const;
 
-  /// The assembled live features for one area (exposed for tests: must
-  /// agree with the offline FeatureAssembler on identical data).
+  /// The assembled live features for one area at the current tier
+  /// (exposed for tests: with fresh feeds it must agree with the offline
+  /// FeatureAssembler on identical data).
   feature::ModelInput AssembleLive(int area) const;
 
  private:
-  /// Shared body of PredictAll / PredictBatch: parallel per-area assembly
-  /// followed by one (internally parallel) batched forward pass.
+  /// Tier-aware assembly body.
+  feature::ModelInput AssembleAtTier(int area, FallbackTier tier) const;
+  /// Shared body of Predict/PredictAll/PredictBatch: tier decision, then
+  /// parallel per-area assembly + one batched forward pass (or the
+  /// baseline at tier 3), then the non-finite output guard.
   std::vector<float> AssembleAndPredict(const std::vector<int>& area_ids) const;
 
   const core::DeepSDModel* model_;
   const feature::FeatureAssembler* history_;
+  const baselines::EmpiricalAverage* baseline_ = nullptr;
+  FallbackConfig fallback_;
+  mutable std::atomic<int> last_tier_{0};
   OrderStreamBuffer buffer_;
 };
 

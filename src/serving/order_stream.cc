@@ -1,14 +1,25 @@
 #include "serving/order_stream.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 #include <map>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault_injector.h"
 #include "util/logging.h"
 
 namespace deepsd {
 namespace serving {
+
+namespace {
+
+bool ValidDayTs(int day, int ts) {
+  return day >= 0 && ts >= 0 && ts < data::kMinutesPerDay;
+}
+
+}  // namespace
 
 OrderStreamBuffer::OrderStreamBuffer(int num_areas, int window)
     : num_areas_(num_areas), window_(window) {
@@ -19,6 +30,8 @@ OrderStreamBuffer::OrderStreamBuffer(int num_areas, int window)
   weather_ts_.assign(static_cast<size_t>(window), -1);
   traffic_.resize(static_cast<size_t>(num_areas) * window);
   traffic_ts_.assign(static_cast<size_t>(num_areas) * window, -1);
+  held_traffic_.resize(static_cast<size_t>(num_areas));
+  held_traffic_ts_.assign(static_cast<size_t>(num_areas), -1);
 }
 
 void OrderStreamBuffer::AdvanceTo(int day, int minute) {
@@ -31,10 +44,43 @@ void OrderStreamBuffer::AdvanceTo(int day, int minute) {
   std::lock_guard<std::mutex> lock(mu_);
   if (target <= now_abs_.load(std::memory_order_relaxed)) return;
   now_abs_.store(target, std::memory_order_release);
+  DrainPendingLocked();
   Evict();
   if (obs::Enabled()) {
     depth->Set(static_cast<double>(BufferedOrdersLocked()));
   }
+}
+
+void OrderStreamBuffer::DrainPendingLocked() {
+  if (pending_.empty()) return;
+  int64_t now = now_abs_.load(std::memory_order_relaxed);
+  size_t kept = 0;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    Pending& p = pending_[i];
+    if (p.release_abs > now) {
+      pending_[kept++] = p;
+      continue;
+    }
+    switch (p.kind) {
+      case Pending::Kind::kOrder:
+        if (!IngestOrderLocked(p.order)) RejectEvent();
+        break;
+      case Pending::Kind::kWeather:
+        if (!IngestWeatherLocked(p.weather)) RejectEvent();
+        break;
+      case Pending::Kind::kTraffic:
+        if (!IngestTrafficLocked(p.traffic)) RejectEvent();
+        break;
+    }
+  }
+  pending_.resize(kept);
+}
+
+void OrderStreamBuffer::RejectEvent() {
+  static obs::Counter* rejected =
+      obs::MetricsRegistry::Global().GetCounter("serving/events_rejected");
+  rejected->Inc();
+  rejected_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void OrderStreamBuffer::Evict() {
@@ -53,12 +99,40 @@ void OrderStreamBuffer::AddOrder(const data::Order& order) {
       obs::MetricsRegistry::Global().GetCounter("serving/orders_ingested");
   DEEPSD_SPAN("serving/add_order", latency_us);
   ingested->Inc();
-  DEEPSD_CHECK(order.start_area >= 0 && order.start_area < num_areas_);
+  data::Order event = order;
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  if (faults.enabled()) {
+    if (faults.DropEvent()) return;
+    if (faults.CorruptEvent(&event, sizeof(event))) {
+      // A flip inside the bool byte makes reading `valid` as bool UB;
+      // re-derive it from the raw byte before anything loads the field.
+      unsigned char raw = 0;
+      std::memcpy(&raw, &event.valid, sizeof(raw));
+      event.valid = raw != 0;
+    }
+    if (int delay = faults.DelayEventMinutes(); delay > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      Pending p{Pending::Kind::kOrder,
+                now_abs_.load(std::memory_order_relaxed) + delay};
+      p.order = event;
+      pending_.push_back(p);
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IngestOrderLocked(event)) RejectEvent();
+}
+
+bool OrderStreamBuffer::IngestOrderLocked(const data::Order& order) {
+  if (order.start_area < 0 || order.start_area >= num_areas_ ||
+      !ValidDayTs(order.day, order.ts)) {
+    return false;
+  }
   int64_t ts_abs =
       static_cast<int64_t>(order.day) * data::kMinutesPerDay + order.ts;
-  std::lock_guard<std::mutex> lock(mu_);
+  last_order_abs_ = std::max(last_order_abs_, ts_abs);
   if (ts_abs < now_abs_.load(std::memory_order_relaxed) - window_) {
-    return;  // too old to matter
+    return true;  // valid but too old to matter
   }
   auto& area_calls = calls_[static_cast<size_t>(order.start_area)];
   Call call{ts_abs, order.passenger_id, order.valid};
@@ -71,27 +145,92 @@ void OrderStreamBuffer::AddOrder(const data::Order& order) {
         [](const Call& a, const Call& b) { return a.ts_abs < b.ts_abs; });
     area_calls.insert(pos, call);
   }
+  return true;
 }
 
 void OrderStreamBuffer::AddWeather(const data::WeatherRecord& record) {
+  data::WeatherRecord event = record;
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  if (faults.enabled()) {
+    if (faults.DropEvent()) return;
+    faults.CorruptEvent(&event, sizeof(event));
+    if (int delay = faults.DelayEventMinutes(); delay > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      Pending p{Pending::Kind::kWeather,
+                now_abs_.load(std::memory_order_relaxed) + delay};
+      p.weather = event;
+      pending_.push_back(p);
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IngestWeatherLocked(event)) RejectEvent();
+}
+
+bool OrderStreamBuffer::IngestWeatherLocked(const data::WeatherRecord& record) {
+  if (!ValidDayTs(record.day, record.ts)) return false;
+  // A negative type or non-finite real is a mangled payload (a bit-flipped
+  // feed), not a weather condition. Large positive types are left to the
+  // consumer, which knows the model's vocabulary.
+  if (record.type < 0 || !std::isfinite(record.temperature) ||
+      !std::isfinite(record.pm25)) {
+    return false;
+  }
   int64_t ts_abs =
       static_cast<int64_t>(record.day) * data::kMinutesPerDay + record.ts;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ts_abs < now_abs_.load(std::memory_order_relaxed) - window_) return;
+  if (ts_abs >= last_weather_abs_) {
+    last_weather_abs_ = ts_abs;
+    held_weather_.seen = true;
+    held_weather_.type = record.type;
+    held_weather_.temperature = record.temperature;
+    held_weather_.pm25 = record.pm25;
+  }
+  if (ts_abs < now_abs_.load(std::memory_order_relaxed) - window_) return true;
   size_t slot = SlotIndex(ts_abs);
   weather_[slot].seen = true;
   weather_[slot].type = record.type;
   weather_[slot].temperature = record.temperature;
   weather_[slot].pm25 = record.pm25;
   weather_ts_[slot] = ts_abs;
+  return true;
 }
 
 void OrderStreamBuffer::AddTraffic(const data::TrafficRecord& record) {
-  DEEPSD_CHECK(record.area >= 0 && record.area < num_areas_);
+  data::TrafficRecord event = record;
+  util::FaultInjector& faults = util::FaultInjector::Global();
+  if (faults.enabled()) {
+    if (faults.DropEvent()) return;
+    faults.CorruptEvent(&event, sizeof(event));
+    if (int delay = faults.DelayEventMinutes(); delay > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      Pending p{Pending::Kind::kTraffic,
+                now_abs_.load(std::memory_order_relaxed) + delay};
+      p.traffic = event;
+      pending_.push_back(p);
+      return;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!IngestTrafficLocked(event)) RejectEvent();
+}
+
+bool OrderStreamBuffer::IngestTrafficLocked(const data::TrafficRecord& record) {
+  if (record.area < 0 || record.area >= num_areas_ ||
+      !ValidDayTs(record.day, record.ts)) {
+    return false;
+  }
   int64_t ts_abs =
       static_cast<int64_t>(record.day) * data::kMinutesPerDay + record.ts;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (ts_abs < now_abs_.load(std::memory_order_relaxed) - window_) return;
+  if (ts_abs >= held_traffic_ts_[static_cast<size_t>(record.area)]) {
+    held_traffic_ts_[static_cast<size_t>(record.area)] = ts_abs;
+    TrafficSlot& held = held_traffic_[static_cast<size_t>(record.area)];
+    held.seen = true;
+    std::copy(record.level_counts,
+              record.level_counts + data::kCongestionLevels,
+              held.level_counts);
+  }
+  last_traffic_abs_ = std::max(last_traffic_abs_, ts_abs);
+  if (ts_abs < now_abs_.load(std::memory_order_relaxed) - window_) return true;
   size_t slot =
       static_cast<size_t>(record.area) * window_ + SlotIndex(ts_abs);
   traffic_[slot].seen = true;
@@ -99,6 +238,22 @@ void OrderStreamBuffer::AddTraffic(const data::TrafficRecord& record) {
             record.level_counts + data::kCongestionLevels,
             traffic_[slot].level_counts);
   traffic_ts_[slot] = ts_abs;
+  return true;
+}
+
+int64_t OrderStreamBuffer::last_order_abs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_order_abs_;
+}
+
+int64_t OrderStreamBuffer::last_weather_abs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_weather_abs_;
+}
+
+int64_t OrderStreamBuffer::last_traffic_abs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_traffic_abs_;
 }
 
 std::vector<float> OrderStreamBuffer::SupplyDemandVector(int area) const {
@@ -206,6 +361,73 @@ std::vector<float> OrderStreamBuffer::TrafficVector(int area) const {
       out.push_back(fresh ? static_cast<float>(
                                 traffic_[slot].level_counts[level])
                           : 0.0f);
+    }
+  }
+  return out;
+}
+
+std::vector<int> OrderStreamBuffer::WeatherTypesHeld(int hold_minutes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_abs_.load(std::memory_order_relaxed);
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(window_));
+  for (int l = 1; l <= window_; ++l) {
+    int64_t ts = now - l;
+    size_t slot = ts >= 0 ? SlotIndex(ts) : 0;
+    bool fresh = ts >= 0 && weather_[slot].seen && weather_ts_[slot] == ts;
+    // Zero-order hold: a lag with no record of its own reuses the last
+    // accepted record while that is no more than `hold_minutes` stale.
+    bool held = !fresh && held_weather_.seen && last_weather_abs_ <= ts &&
+                ts - last_weather_abs_ <= hold_minutes;
+    out.push_back(fresh ? weather_[slot].type
+                        : (held ? held_weather_.type : 0));
+  }
+  return out;
+}
+
+std::vector<float> OrderStreamBuffer::WeatherRealsHeld(int hold_minutes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_abs_.load(std::memory_order_relaxed);
+  std::vector<float> temps, pms;
+  for (int l = 1; l <= window_; ++l) {
+    int64_t ts = now - l;
+    size_t slot = ts >= 0 ? SlotIndex(ts) : 0;
+    bool fresh = ts >= 0 && weather_[slot].seen && weather_ts_[slot] == ts;
+    bool held = !fresh && held_weather_.seen && last_weather_abs_ <= ts &&
+                ts - last_weather_abs_ <= hold_minutes;
+    temps.push_back(fresh ? weather_[slot].temperature
+                          : (held ? held_weather_.temperature : 0.0f));
+    pms.push_back(fresh ? weather_[slot].pm25
+                        : (held ? held_weather_.pm25 : 0.0f));
+  }
+  temps.insert(temps.end(), pms.begin(), pms.end());
+  return temps;
+}
+
+std::vector<float> OrderStreamBuffer::TrafficVectorHeld(
+    int area, int hold_minutes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = now_abs_.load(std::memory_order_relaxed);
+  const TrafficSlot& held_slot = held_traffic_[static_cast<size_t>(area)];
+  const int64_t held_ts = held_traffic_ts_[static_cast<size_t>(area)];
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(data::kCongestionLevels) * window_);
+  for (int l = 1; l <= window_; ++l) {
+    int64_t ts = now - l;
+    size_t slot = ts >= 0
+                      ? static_cast<size_t>(area) * window_ + SlotIndex(ts)
+                      : 0;
+    bool fresh = ts >= 0 && traffic_[slot].seen && traffic_ts_[slot] == ts;
+    bool held = !fresh && held_slot.seen && held_ts <= ts &&
+                ts - held_ts <= hold_minutes;
+    for (int level = 0; level < data::kCongestionLevels; ++level) {
+      float v = 0.0f;
+      if (fresh) {
+        v = static_cast<float>(traffic_[slot].level_counts[level]);
+      } else if (held) {
+        v = static_cast<float>(held_slot.level_counts[level]);
+      }
+      out.push_back(v);
     }
   }
   return out;

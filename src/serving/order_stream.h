@@ -21,6 +21,15 @@ namespace serving {
 /// out of order within the window; events older than the window are
 /// dropped.
 ///
+/// Robustness: malformed events (out-of-range area or timestamp — e.g. a
+/// bit-flipped payload from a flaky feed) are rejected with a counter
+/// bump (`serving/events_rejected`), never a crash. When the global
+/// util::FaultInjector is enabled, every Add* call is a fault point:
+/// events may be dropped, bit-flipped, or delayed (delayed events queue
+/// up and are delivered by the AdvanceTo that first reaches their release
+/// time). The buffer also tracks the freshness of each feed so the
+/// serving layer can decide when to degrade (docs/robustness.md).
+///
 /// Thread safety: every mutator (AdvanceTo / Add*) and every snapshot
 /// reader (the *Vector / Weather* accessors, buffered_orders) takes an
 /// internal mutex, so ingestion and concurrent prediction callers may race
@@ -46,11 +55,24 @@ class OrderStreamBuffer {
   void AdvanceTo(int day, int minute);
 
   /// Ingests one order (uses order.day/order.ts for its timestamp).
+  /// Malformed records are rejected, not fatal.
   void AddOrder(const data::Order& order);
   /// Ingests a weather record (shared across areas).
   void AddWeather(const data::WeatherRecord& record);
   /// Ingests a traffic record for its area.
   void AddTraffic(const data::TrafficRecord& record);
+
+  /// Absolute minute of the most recent event accepted per feed; -1 while
+  /// the feed has never produced. The serving fallback ladder reads these
+  /// to spot stalled feeds.
+  int64_t last_order_abs() const;
+  int64_t last_weather_abs() const;
+  int64_t last_traffic_abs() const;
+
+  /// Events rejected as malformed since construction.
+  uint64_t rejected_events() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
   /// Real-time supply-demand vector over [now-L, now): 2L raw counts.
   std::vector<float> SupplyDemandVector(int area) const;
@@ -66,6 +88,13 @@ class OrderStreamBuffer {
   std::vector<float> WeatherReals() const;
   /// Traffic level counts at lags 1..L (4L raw values).
   std::vector<float> TrafficVector(int area) const;
+
+  /// Zero-order-hold variants: lags with no record are filled from the
+  /// most recent accepted record as long as it is at most `hold_minutes`
+  /// older than the lag. Tier-1 degradation (docs/robustness.md).
+  std::vector<int> WeatherTypesHeld(int hold_minutes) const;
+  std::vector<float> WeatherRealsHeld(int hold_minutes) const;
+  std::vector<float> TrafficVectorHeld(int area, int hold_minutes) const;
 
   /// Number of buffered orders (diagnostics).
   size_t buffered_orders() const;
@@ -102,6 +131,25 @@ class OrderStreamBuffer {
   /// the public accessor (which takes mu_) cannot be reused there.
   size_t BufferedOrdersLocked() const;
 
+  /// A fault-delayed event waiting for the clock to reach `release_abs`.
+  struct Pending {
+    enum class Kind { kOrder, kWeather, kTraffic };
+    Kind kind;
+    int64_t release_abs;
+    data::Order order{};
+    data::WeatherRecord weather{};
+    data::TrafficRecord traffic{};
+  };
+
+  // Ingestion bodies (caller holds mu_): validate, insert, update feed
+  // freshness. Return false when the record is malformed.
+  bool IngestOrderLocked(const data::Order& order);
+  bool IngestWeatherLocked(const data::WeatherRecord& record);
+  bool IngestTrafficLocked(const data::TrafficRecord& record);
+  void RejectEvent();
+  /// Delivers pending events whose release time has arrived (holds mu_).
+  void DrainPendingLocked();
+
   int num_areas_;
   int window_;
   std::atomic<int64_t> now_abs_{0};
@@ -115,6 +163,19 @@ class OrderStreamBuffer {
   std::vector<int64_t> weather_ts_;                // slot → abs minute
   std::vector<TrafficSlot> traffic_;               // area*window slots
   std::vector<int64_t> traffic_ts_;
+
+  std::vector<Pending> pending_;  // fault-delayed events, unordered
+
+  // Feed freshness + the last accepted record per feed (the zero-order
+  // hold source). Traffic keeps one per area.
+  int64_t last_order_abs_ = -1;
+  int64_t last_weather_abs_ = -1;
+  int64_t last_traffic_abs_ = -1;
+  WeatherSlot held_weather_;
+  std::vector<TrafficSlot> held_traffic_;     // per area
+  std::vector<int64_t> held_traffic_ts_;      // per area, -1 = never
+
+  std::atomic<uint64_t> rejected_{0};
 };
 
 }  // namespace serving

@@ -1,0 +1,56 @@
+#include "util/byte_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/fault_injector.h"
+
+namespace deepsd {
+namespace util {
+
+Status ReadFileBytes(const std::string& path, std::vector<char>* out) {
+  if (FaultInjector::Global().FailOpen()) {
+    return Status::IoError("injected open failure for " + path);
+  }
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  std::streamsize size = in.tellg();
+  if (size < 0) return Status::IoError("cannot stat " + path);
+  out->resize(static_cast<size_t>(size));
+  in.seekg(0);
+  if (size > 0 && !in.read(out->data(), size)) {
+    return Status::IoError("short read from " + path);
+  }
+  FaultInjector::Global().CorruptRead(out);
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot open " + tmp);
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out) return Status::IoError("short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return Status::IoError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path,
+                       const std::vector<char>& bytes) {
+  return AtomicWriteFile(path, bytes.data(), bytes.size());
+}
+
+}  // namespace util
+}  // namespace deepsd

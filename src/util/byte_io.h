@@ -1,0 +1,122 @@
+#ifndef DEEPSD_UTIL_BYTE_IO_H_
+#define DEEPSD_UTIL_BYTE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepsd {
+namespace util {
+
+/// Append-only byte sink for the binary file formats (dataset, parameters,
+/// checkpoints). All multi-byte values are written in host order, matching
+/// the historical stream-based writers, so existing files stay readable.
+class ByteWriter {
+ public:
+  const std::vector<char>& bytes() const { return bytes_; }
+  std::vector<char> TakeBytes() { return std::move(bytes_); }
+  size_t size() const { return bytes_.size(); }
+
+  void PutRaw(const void* data, size_t size) {
+    if (size == 0) return;
+    const size_t old = bytes_.size();
+    bytes_.resize(old + size);
+    std::memcpy(bytes_.data() + old, data, size);
+  }
+
+  template <typename T>
+  void PutPod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutRaw(&v, sizeof(T));
+  }
+
+  /// u32 length prefix + bytes.
+  void PutString(const std::string& s) {
+    PutPod<uint32_t>(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  /// u64 element count + raw elements.
+  template <typename T>
+  void PutPodVec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutPod<uint64_t>(v.size());
+    if (!v.empty()) PutRaw(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  std::vector<char> bytes_;
+};
+
+/// Bounds-checked reader over an in-memory buffer. Every accessor returns
+/// false instead of reading past the end, so loaders can turn torn or
+/// truncated files into typed Status errors rather than undefined behavior.
+/// The reader never allocates more than the buffer can actually back: a
+/// length prefix larger than the remaining bytes fails immediately, which is
+/// what defuses absurd-size allocations from corrupt headers.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+  explicit ByteReader(const std::vector<char>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+  bool GetRaw(void* out, size_t size) {
+    if (size > remaining()) return false;
+    std::memcpy(out, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  template <typename T>
+  bool GetPod(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return GetRaw(out, sizeof(T));
+  }
+
+  bool GetString(std::string* out, uint32_t max_len = 1u << 20) {
+    uint32_t len = 0;
+    if (!GetPod(&len) || len > max_len || len > remaining()) return false;
+    out->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  template <typename T>
+  bool GetPodVec(std::vector<T>* out) {
+    uint64_t n = 0;
+    if (!GetPod(&n)) return false;
+    if (n > remaining() / sizeof(T)) return false;
+    out->resize(static_cast<size_t>(n));
+    return n == 0 || GetRaw(out->data(), static_cast<size_t>(n) * sizeof(T));
+  }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Reads the whole file into `*out`. Fault injection (util::FaultInjector)
+/// is applied to the returned bytes when enabled, so loaders built on this
+/// helper are exactly the ones the fault harness can exercise.
+Status ReadFileBytes(const std::string& path, std::vector<char>* out);
+
+/// Writes `bytes` to `path` atomically: the data goes to `path + ".tmp"`
+/// first and is renamed over `path` only after a complete write, so a
+/// crash (or SIGKILL) mid-write can never leave a torn file at `path`.
+Status AtomicWriteFile(const std::string& path, const void* data, size_t size);
+Status AtomicWriteFile(const std::string& path, const std::vector<char>& bytes);
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_BYTE_IO_H_

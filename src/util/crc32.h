@@ -1,0 +1,21 @@
+#ifndef DEEPSD_UTIL_CRC32_H_
+#define DEEPSD_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace deepsd {
+namespace util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `size` bytes. Used to
+/// seal checkpoint payloads so a torn or bit-flipped file is rejected with
+/// a typed error instead of being parsed (docs/robustness.md).
+uint32_t Crc32(const void* data, size_t size);
+
+/// Incremental form: feed `crc` the running value (start from 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_CRC32_H_

@@ -1,0 +1,170 @@
+#include "util/fault_injector.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace util {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = [] {
+    auto* injector = new FaultInjector();
+    if (const char* spec = std::getenv("DEEPSD_FAULTS");
+        spec != nullptr && spec[0] != '\0') {
+      Status st = injector->ConfigureFromSpec(spec);
+      if (!st.ok()) {
+        DEEPSD_LOG(Error) << "ignoring DEEPSD_FAULTS: " << st.ToString();
+      } else {
+        DEEPSD_LOG(Warning) << "fault injection enabled from DEEPSD_FAULTS=\""
+                            << spec << "\"";
+      }
+    }
+    return injector;
+  }();
+  return *instance;
+}
+
+void FaultInjector::Configure(const Config& config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  config_ = config;
+  rng_ = Rng(config.seed);
+  dropped_ = delayed_ = corrupted_ = 0;
+  truncated_reads_ = bit_flipped_reads_ = failed_opens_ = 0;
+  const bool any = config.drop_event > 0 || config.delay_event > 0 ||
+                   config.corrupt_event > 0 || config.truncate_read > 0 ||
+                   config.bit_flip_read > 0 || config.fail_open > 0;
+  enabled_.store(any, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ConfigureFromSpec(const std::string& spec) {
+  Config config;
+  for (const std::string& field : Split(spec, ',')) {
+    std::string entry = Trim(field);
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault spec entry missing '=': " + entry);
+    }
+    std::string key = Trim(entry.substr(0, eq));
+    std::string value = Trim(entry.substr(eq + 1));
+    char* end = nullptr;
+    double num = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad fault spec value: " + entry);
+    }
+
+    double* prob = nullptr;
+    if (key == "drop_event") prob = &config.drop_event;
+    else if (key == "delay_event") prob = &config.delay_event;
+    else if (key == "corrupt_event") prob = &config.corrupt_event;
+    else if (key == "truncate_read") prob = &config.truncate_read;
+    else if (key == "bit_flip_read") prob = &config.bit_flip_read;
+    else if (key == "fail_open") prob = &config.fail_open;
+
+    if (prob != nullptr) {
+      if (num < 0.0 || num > 1.0) {
+        return Status::InvalidArgument("fault probability outside [0,1]: " +
+                                       entry);
+      }
+      *prob = num;
+    } else if (key == "max_delay_minutes") {
+      if (num < 1.0) {
+        return Status::InvalidArgument("max_delay_minutes must be >= 1");
+      }
+      config.max_delay_minutes = static_cast<int>(num);
+    } else if (key == "seed") {
+      config.seed = static_cast<uint64_t>(num);
+    } else {
+      return Status::InvalidArgument("unknown fault spec key: " + key);
+    }
+  }
+  Configure(config);
+  return Status::OK();
+}
+
+void FaultInjector::Disable() { Configure(Config{}); }
+
+FaultInjector::Config FaultInjector::config() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_;
+}
+
+FaultInjector::Counts FaultInjector::counts() const {
+  Counts c;
+  c.dropped_events = dropped_.load(std::memory_order_relaxed);
+  c.delayed_events = delayed_.load(std::memory_order_relaxed);
+  c.corrupted_events = corrupted_.load(std::memory_order_relaxed);
+  c.truncated_reads = truncated_reads_.load(std::memory_order_relaxed);
+  c.bit_flipped_reads = bit_flipped_reads_.load(std::memory_order_relaxed);
+  c.failed_opens = failed_opens_.load(std::memory_order_relaxed);
+  return c;
+}
+
+bool FaultInjector::DropEvent() {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.drop_event <= 0.0 || rng_.Uniform() >= config_.drop_event) {
+    return false;
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+int FaultInjector::DelayEventMinutes() {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.delay_event <= 0.0 || rng_.Uniform() >= config_.delay_event) {
+    return 0;
+  }
+  delayed_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(
+      rng_.UniformInt(int64_t{1}, config_.max_delay_minutes));
+}
+
+bool FaultInjector::CorruptEvent(void* data, size_t size) {
+  if (!enabled() || size == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.corrupt_event <= 0.0 ||
+      rng_.Uniform() >= config_.corrupt_event) {
+    return false;
+  }
+  auto* bytes = static_cast<unsigned char*>(data);
+  uint64_t bit = rng_.UniformInt(static_cast<uint64_t>(size) * 8);
+  bytes[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  corrupted_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::FailOpen() {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.fail_open <= 0.0 || rng_.Uniform() >= config_.fail_open) {
+    return false;
+  }
+  failed_opens_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::CorruptRead(std::vector<char>* bytes) {
+  if (!enabled() || bytes->empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.truncate_read > 0.0 && rng_.Uniform() < config_.truncate_read) {
+    bytes->resize(static_cast<size_t>(rng_.UniformInt(bytes->size())));
+    truncated_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!bytes->empty() && config_.bit_flip_read > 0.0 &&
+      rng_.Uniform() < config_.bit_flip_read) {
+    // A localized burst of flips, the shape real media corruption takes.
+    int flips = static_cast<int>(rng_.UniformInt(int64_t{1}, int64_t{8}));
+    for (int i = 0; i < flips; ++i) {
+      uint64_t bit = rng_.UniformInt(static_cast<uint64_t>(bytes->size()) * 8);
+      (*bytes)[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    }
+    bit_flipped_reads_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace util
+}  // namespace deepsd

@@ -1,0 +1,114 @@
+#ifndef DEEPSD_UTIL_FAULT_INJECTOR_H_
+#define DEEPSD_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace util {
+
+/// Deterministic fault-injection harness (docs/robustness.md).
+///
+/// Production failure modes — stalled feeds, late events, torn files,
+/// flipped bits — are rare and non-reproducible in the wild, so the code
+/// paths that must absorb them rot untested. The injector makes each mode
+/// an explicit, seeded decision point: loaders ask it to corrupt the bytes
+/// they just read, stream ingestion asks it whether to drop, delay or
+/// mangle an event. With the same seed and the same call sequence the same
+/// faults fire, so every degraded behavior is testable with plain EXPECTs.
+///
+/// Off by default; the disabled fast path is one relaxed atomic load.
+/// Enable from code (Configure) or from the environment / tool flags via a
+/// spec string:
+///
+///   DEEPSD_FAULTS="drop_event=0.1,bit_flip_read=0.05,seed=42" deepsd_train ...
+///
+/// Spec keys: drop_event, delay_event, corrupt_event, truncate_read,
+/// bit_flip_read, fail_open (probabilities in [0,1]); max_delay_minutes
+/// (int >= 1); seed (uint64).
+class FaultInjector {
+ public:
+  struct Config {
+    double drop_event = 0.0;      ///< P(stream push silently dropped).
+    double delay_event = 0.0;     ///< P(stream push delivered late).
+    double corrupt_event = 0.0;   ///< P(stream push payload bit-flipped).
+    double truncate_read = 0.0;   ///< P(file read truncated at a random cut).
+    double bit_flip_read = 0.0;   ///< P(file read gets random bit flips).
+    double fail_open = 0.0;       ///< P(file open reported as failed).
+    int max_delay_minutes = 5;    ///< Delay magnitude, uniform in [1, max].
+    uint64_t seed = 1;
+  };
+
+  /// Counts of faults actually fired since Configure/Reset (diagnostics;
+  /// util cannot depend on the obs registry, so these are plain atomics).
+  struct Counts {
+    uint64_t dropped_events = 0;
+    uint64_t delayed_events = 0;
+    uint64_t corrupted_events = 0;
+    uint64_t truncated_reads = 0;
+    uint64_t bit_flipped_reads = 0;
+    uint64_t failed_opens = 0;
+  };
+
+  /// Process-wide instance. On first access, configures itself from the
+  /// DEEPSD_FAULTS environment variable when that is set (a malformed spec
+  /// logs an error and leaves injection off — a typo must not silently
+  /// disable a fault campaign's determinism, so it is loud).
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+
+  /// Replaces the configuration and reseeds the decision stream. Enables
+  /// injection iff any probability is > 0.
+  void Configure(const Config& config);
+  /// Parses "key=value,key=value" into a Config. Unknown keys, bad numbers
+  /// and out-of-range probabilities return InvalidArgument.
+  Status ConfigureFromSpec(const std::string& spec);
+  /// Turns injection off and zeroes the fault counters.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  Config config() const;
+  Counts counts() const;
+
+  // --- Stream-side decision points (order_stream.cc, sim feeds) ---
+
+  /// True → the caller should silently drop the event.
+  bool DropEvent();
+  /// Minutes to delay the event's delivery; 0 = deliver now.
+  int DelayEventMinutes();
+  /// Maybe flips one random bit in the payload; true if it did.
+  bool CorruptEvent(void* data, size_t size);
+
+  // --- File-side decision points (serialize.cc, parameter.cc, checkpoint) ---
+
+  /// True → the caller should report the open as failed.
+  bool FailOpen();
+  /// Maybe truncates `bytes` at a random cut and/or flips random bits —
+  /// the torn/corrupt-file simulation applied right after a disk read.
+  void CorruptRead(std::vector<char>* bytes);
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  Config config_;
+  Rng rng_{1};
+
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> delayed_{0};
+  std::atomic<uint64_t> corrupted_{0};
+  std::atomic<uint64_t> truncated_reads_{0};
+  std::atomic<uint64_t> bit_flipped_reads_{0};
+  std::atomic<uint64_t> failed_opens_{0};
+};
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_FAULT_INJECTOR_H_

@@ -1,6 +1,7 @@
 #ifndef DEEPSD_UTIL_RNG_H_
 #define DEEPSD_UTIL_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <numbers>
@@ -94,6 +95,17 @@ class Rng {
   /// without interleaving artifacts.
   Rng Fork(uint64_t stream_id) {
     return Rng(NextU64() ^ (0xD1B54A32D192ED03ULL * (stream_id + 1)));
+  }
+
+  /// The raw xoshiro state, for checkpointing: a generator restored with
+  /// SetState continues the exact stream it was saved from, which is what
+  /// lets a resumed training run replay the same shuffles a killed run
+  /// would have drawn (src/core/checkpoint.h).
+  std::array<uint64_t, 4> State() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void SetState(const std::array<uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[static_cast<size_t>(i)];
   }
 
  private:

@@ -38,7 +38,9 @@ std::string TablePrinter::ToString() const {
     std::string line = "|";
     for (size_t c = 0; c < cols; ++c) {
       std::string cell = c < row.size() ? row[c] : "";
-      line += " " + util::PadRight(cell, width[c]) + " |";
+      line += " ";
+      line += util::PadRight(cell, width[c]);
+      line += " |";
     }
     return line + "\n";
   };

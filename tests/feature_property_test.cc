@@ -114,9 +114,13 @@ INSTANTIATE_TEST_SUITE_P(
                       Query{0, 8, 1430}, Query{2, 6, 20}, Query{1, 7, 999},
                       Query{4, 8, 450}),
     [](const ::testing::TestParamInfo<Query>& info) {
-      return "a" + std::to_string(info.param.area) + "_d" +
-             std::to_string(info.param.day) + "_t" +
-             std::to_string(info.param.t);
+      std::string name = "a";
+      name += std::to_string(info.param.area);
+      name += "_d";
+      name += std::to_string(info.param.day);
+      name += "_t";
+      name += std::to_string(info.param.t);
+      return name;
     });
 
 // The empirical vector identity: with uniform weights p = 1/7, the network's

@@ -112,9 +112,13 @@ INSTANTIATE_TEST_SUITE_P(
                       Shape{5, 16, 8}, Shape{8, 40, 16}, Shape{3, 64, 32},
                       Shape{16, 2, 9}),
     [](const ::testing::TestParamInfo<Shape>& info) {
-      return "b" + std::to_string(info.param.batch) + "_i" +
-             std::to_string(info.param.in) + "_o" +
-             std::to_string(info.param.out);
+      std::string name = "b";
+      name += std::to_string(info.param.batch);
+      name += "_i";
+      name += std::to_string(info.param.in);
+      name += "_o";
+      name += std::to_string(info.param.out);
+      return name;
     });
 
 // Projection-deviation identity (paper Sec V-A2): with a *linear* shared

@@ -86,7 +86,9 @@ TEST_F(CitySimTest, PassengerEpisodesStayInOneArea) {
   std::map<int, int> pid_area;
   for (const data::Order& o : ds.orders()) {
     auto [it, inserted] = pid_area.emplace(o.passenger_id, o.start_area);
-    if (!inserted) EXPECT_EQ(it->second, o.start_area);
+    if (!inserted) {
+      EXPECT_EQ(it->second, o.start_area);
+    }
   }
 }
 

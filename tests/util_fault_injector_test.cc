@@ -1,0 +1,167 @@
+#include "src/util/fault_injector.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace deepsd {
+namespace util {
+namespace {
+
+TEST(FaultInjectorTest, DisabledIsANoOp) {
+  FaultInjector injector;
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_FALSE(injector.DropEvent());
+  EXPECT_EQ(injector.DelayEventMinutes(), 0);
+
+  char payload[16];
+  std::memset(payload, 0xAB, sizeof(payload));
+  EXPECT_FALSE(injector.CorruptEvent(payload, sizeof(payload)));
+  for (char c : payload) EXPECT_EQ(c, static_cast<char>(0xAB));
+
+  EXPECT_FALSE(injector.FailOpen());
+  std::vector<char> bytes(64, 'x');
+  injector.CorruptRead(&bytes);
+  EXPECT_EQ(bytes, std::vector<char>(64, 'x'));
+}
+
+TEST(FaultInjectorTest, ConfigureEnablesOnlyWithPositiveProbability) {
+  FaultInjector injector;
+  FaultInjector::Config config;
+  config.seed = 99;  // a seed alone does not enable injection
+  injector.Configure(config);
+  EXPECT_FALSE(injector.enabled());
+
+  config.drop_event = 0.5;
+  injector.Configure(config);
+  EXPECT_TRUE(injector.enabled());
+
+  injector.Disable();
+  EXPECT_FALSE(injector.enabled());
+  EXPECT_EQ(injector.counts().dropped_events, 0u);
+}
+
+TEST(FaultInjectorTest, SpecParsesAllKeys) {
+  FaultInjector injector;
+  ASSERT_TRUE(injector
+                  .ConfigureFromSpec(
+                      "drop_event=0.1, delay_event=0.2,corrupt_event=0.3,"
+                      "truncate_read=0.4,bit_flip_read=0.5,fail_open=0.6,"
+                      "max_delay_minutes=9,seed=1234")
+                  .ok());
+  FaultInjector::Config config = injector.config();
+  EXPECT_DOUBLE_EQ(config.drop_event, 0.1);
+  EXPECT_DOUBLE_EQ(config.delay_event, 0.2);
+  EXPECT_DOUBLE_EQ(config.corrupt_event, 0.3);
+  EXPECT_DOUBLE_EQ(config.truncate_read, 0.4);
+  EXPECT_DOUBLE_EQ(config.bit_flip_read, 0.5);
+  EXPECT_DOUBLE_EQ(config.fail_open, 0.6);
+  EXPECT_EQ(config.max_delay_minutes, 9);
+  EXPECT_EQ(config.seed, 1234u);
+  EXPECT_TRUE(injector.enabled());
+  injector.Disable();
+}
+
+TEST(FaultInjectorTest, SpecRejectsMalformedInput) {
+  FaultInjector injector;
+  EXPECT_EQ(injector.ConfigureFromSpec("drop_event").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(injector.ConfigureFromSpec("drop_event=maybe").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(injector.ConfigureFromSpec("drop_event=1.5").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(injector.ConfigureFromSpec("max_delay_minutes=0").code(),
+            Status::Code::kInvalidArgument);
+  EXPECT_EQ(injector.ConfigureFromSpec("launch_missiles=1").code(),
+            Status::Code::kInvalidArgument);
+  // A rejected spec must not have enabled anything.
+  EXPECT_FALSE(injector.enabled());
+}
+
+TEST(FaultInjectorTest, DecisionStreamIsDeterministic) {
+  FaultInjector::Config config;
+  config.drop_event = 0.3;
+  config.delay_event = 0.3;
+  config.seed = 42;
+
+  auto run = [&config] {
+    FaultInjector injector;
+    injector.Configure(config);
+    std::vector<int> decisions;
+    for (int i = 0; i < 200; ++i) {
+      decisions.push_back(injector.DropEvent() ? -1
+                                               : injector.DelayEventMinutes());
+    }
+    return decisions;
+  };
+  std::vector<int> seed42 = run();
+  EXPECT_EQ(seed42, run());
+
+  config.seed = 43;
+  EXPECT_NE(seed42, run());
+}
+
+TEST(FaultInjectorTest, CorruptEventFlipsExactlyOneBit) {
+  FaultInjector injector;
+  FaultInjector::Config config;
+  config.corrupt_event = 1.0;
+  config.seed = 7;
+  injector.Configure(config);
+
+  for (int trial = 0; trial < 32; ++trial) {
+    unsigned char payload[24];
+    std::memset(payload, 0, sizeof(payload));
+    ASSERT_TRUE(injector.CorruptEvent(payload, sizeof(payload)));
+    int set_bits = 0;
+    for (unsigned char byte : payload) {
+      while (byte != 0) {
+        set_bits += byte & 1;
+        byte >>= 1;
+      }
+    }
+    EXPECT_EQ(set_bits, 1) << "trial " << trial;
+  }
+  EXPECT_EQ(injector.counts().corrupted_events, 32u);
+}
+
+TEST(FaultInjectorTest, CorruptReadTruncatesAndFlips) {
+  FaultInjector injector;
+  FaultInjector::Config config;
+  config.truncate_read = 1.0;
+  config.seed = 11;
+  injector.Configure(config);
+  std::vector<char> bytes(256, 'a');
+  injector.CorruptRead(&bytes);
+  EXPECT_LT(bytes.size(), 256u);
+  EXPECT_EQ(injector.counts().truncated_reads, 1u);
+
+  config.truncate_read = 0.0;
+  config.bit_flip_read = 1.0;
+  injector.Configure(config);
+  std::vector<char> original(256, 'a');
+  bytes = original;
+  injector.CorruptRead(&bytes);
+  EXPECT_EQ(bytes.size(), original.size());
+  EXPECT_NE(bytes, original);
+  EXPECT_EQ(injector.counts().bit_flipped_reads, 1u);
+}
+
+TEST(FaultInjectorTest, DelayRespectsConfiguredMaximum) {
+  FaultInjector injector;
+  FaultInjector::Config config;
+  config.delay_event = 1.0;
+  config.max_delay_minutes = 3;
+  config.seed = 5;
+  injector.Configure(config);
+  for (int i = 0; i < 100; ++i) {
+    int delay = injector.DelayEventMinutes();
+    EXPECT_GE(delay, 1);
+    EXPECT_LE(delay, 3);
+  }
+  EXPECT_EQ(injector.counts().delayed_events, 100u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace deepsd

@@ -1,6 +1,6 @@
 // deepsd_predict: load a dataset + trained parameters and predict gaps.
 //
-//   deepsd_predict --data=city.bin --model=model.bin --mode=advanced \
+//   deepsd_predict --data=city.bin --model=model.bin --mode=advanced
 //                  --ref_days=24 --day=30 [--area=all] [--t=all] [--csv=out.csv]
 
 #include <cstdio>

@@ -1,8 +1,8 @@
 // deepsd_simulate: generate a synthetic car-hailing city and save it as a
 // binary OrderDataset for the other tools.
 //
-//   deepsd_simulate --out=city.bin --areas=58 --days=52 --seed=42 \
-//                   [--mean_scale=1.0] [--no_weather] [--no_traffic] \
+//   deepsd_simulate --out=city.bin --areas=58 --days=52 --seed=42
+//                   [--mean_scale=1.0] [--no_weather] [--no_traffic]
 //                   [--metrics-out=metrics.jsonl] [--trace-out=trace.json]
 //
 // --metrics-out / --trace-out turn telemetry on and additionally run an
@@ -26,6 +26,7 @@
 #include "serving/online_predictor.h"
 #include "sim/city_sim.h"
 #include "util/cli.h"
+#include "util/fault_injector.h"
 #include "util/thread_pool.h"
 
 namespace deepsd {
@@ -121,13 +122,14 @@ int Main(int argc, char** argv) {
   util::CommandLine cli(argc, argv);
   util::Status st = cli.CheckKnown({"out", "areas", "days", "seed",
                                     "mean_scale", "no_weather", "no_traffic",
-                                    "first_weekday", "threads", "metrics-out",
-                                    "trace-out", "help"});
+                                    "first_weekday", "threads", "faults",
+                                    "metrics-out", "trace-out", "help"});
   if (!st.ok() || cli.GetBool("help", false)) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_simulate --out=city.bin [--areas=58] "
                  "[--days=52] [--seed=42] [--mean_scale=1.0] [--no_weather] "
                  "[--no_traffic] [--first_weekday=1] [--threads=N] "
+                 "[--faults=drop_event=0.1,seed=42] "
                  "[--metrics-out=metrics.jsonl] [--trace-out=trace.json]\n",
                  st.ToString().c_str());
     return st.ok() ? 0 : 2;
@@ -135,6 +137,19 @@ int Main(int argc, char** argv) {
 
   const bool telemetry = cli.Has("metrics-out") || cli.Has("trace-out");
   if (telemetry) obs::SetEnabled(true);
+
+  // Fault injection for the instrumented pipeline's serving replay (same
+  // spec grammar as DEEPSD_FAULTS; see docs/robustness.md). The simulated
+  // city itself is always generated clean — faults hit the feeds, not the
+  // generator.
+  if (cli.Has("faults")) {
+    st = util::FaultInjector::Global().ConfigureFromSpec(
+        cli.GetString("faults"));
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad --faults spec: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
 
   // Thread count for the instrumented pipeline (0 = hardware concurrency);
   // simulation output is bit-identical regardless.

@@ -1,18 +1,28 @@
 // deepsd_train: train a DeepSD model on a saved dataset and write the
 // parameters.
 //
-//   deepsd_train --data=city.bin --model=model.bin --mode=advanced \
-//                --train_days=24 [--epochs=50] [--batch=64] [--lr=1e-3] \
-//                [--best_k=10] [--stride=5] [--no_weather] [--no_traffic] \
-//                [--no_residual] [--onehot] [--finetune_from=prev.bin] \
+//   deepsd_train --data=city.bin --model=model.bin --mode=advanced
+//                --train_days=24 [--epochs=50] [--batch=64] [--lr=1e-3]
+//                [--best_k=10] [--stride=5] [--no_weather] [--no_traffic]
+//                [--no_residual] [--onehot] [--finetune_from=prev.bin]
+//                [--checkpoint=ck.bin] [--checkpoint_every=100]
+//                [--resume=ck.bin]
 //                [--metrics-out=metrics.jsonl] [--trace-out=trace.json]
 //
 // --metrics-out / --trace-out turn telemetry on and, after training, write
 // the metric registry as JSON lines and the span timeline as
 // chrome://tracing JSON (see docs/observability.md).
+//
+// --checkpoint enables fault tolerance: training state is written
+// atomically at every epoch end and (with --checkpoint_every=N) every N
+// optimizer steps. A run killed at any point can be continued with
+// --resume=<checkpoint> plus the same data and flags, and produces a
+// final model bitwise identical to the uninterrupted run at any
+// --threads setting (docs/robustness.md).
 
 #include <cstdio>
 
+#include "core/checkpoint.h"
 #include "core/trainer.h"
 #include "data/serialize.h"
 #include "obs/metrics_io.h"
@@ -26,16 +36,17 @@ int main(int argc, char** argv) {
   util::Status st = cli.CheckKnown(
       {"data", "model", "mode", "train_days", "eval_days", "epochs", "batch",
        "lr", "best_k", "stride", "no_weather", "no_traffic", "no_residual",
-       "onehot", "finetune_from", "seed", "threads", "verbose", "metrics-out",
-       "trace-out", "help"});
+       "onehot", "finetune_from", "checkpoint", "checkpoint_every", "resume",
+       "seed", "threads", "verbose", "metrics-out", "trace-out", "help"});
   if (!st.ok() || cli.GetBool("help", false) || !cli.Has("data")) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_train --data=city.bin --model=model.bin "
                  "--mode=basic|advanced --train_days=N [--epochs=50] "
                  "[--batch=64] [--lr=1e-3] [--best_k=10] [--stride=5] "
                  "[--no_weather] [--no_traffic] [--no_residual] [--onehot] "
-                 "[--finetune_from=prev.bin] [--seed=7] [--threads=N] "
-                 "[--verbose] [--metrics-out=metrics.jsonl] "
+                 "[--finetune_from=prev.bin] [--checkpoint=ck.bin] "
+                 "[--checkpoint_every=N] [--resume=ck.bin] [--seed=7] "
+                 "[--threads=N] [--verbose] [--metrics-out=metrics.jsonl] "
                  "[--trace-out=trace.json]\n",
                  st.ToString().c_str());
     return st.ok() ? 2 : 2;
@@ -108,11 +119,31 @@ int main(int argc, char** argv) {
   tc.best_k = static_cast<int>(cli.GetInt("best_k", 10));
   tc.seed = static_cast<uint64_t>(cli.GetInt("seed", 7));
   tc.verbose = cli.GetBool("verbose", true);
+  tc.checkpoint_path = cli.GetString("checkpoint", "");
+  tc.checkpoint_every_steps =
+      static_cast<uint64_t>(cli.GetInt("checkpoint_every", 0));
+
+  core::TrainerCheckpoint checkpoint;
+  const core::TrainerCheckpoint* resume = nullptr;
+  if (cli.Has("resume")) {
+    std::string path = cli.GetString("resume");
+    st = core::LoadCheckpoint(path, &checkpoint);
+    if (st.ok()) st = core::ValidateResume(checkpoint, tc, params);
+    if (!st.ok()) {
+      std::fprintf(stderr, "resume failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    resume = &checkpoint;
+    std::printf("resuming from %s: epoch %d, step %llu\n", path.c_str(),
+                checkpoint.epoch,
+                static_cast<unsigned long long>(checkpoint.step));
+  }
 
   core::AssemblerSource train(&assembler, train_items, advanced);
   core::AssemblerSource eval(&assembler, eval_items, advanced);
   core::Trainer trainer(tc);
-  core::TrainResult result = trainer.Train(&model, &params, train, eval);
+  core::TrainResult result =
+      trainer.Train(&model, &params, train, eval, nullptr, resume);
   std::printf("final: MAE=%.3f RMSE=%.3f (best epoch RMSE %.3f, %.1fs/epoch)\n",
               result.final_eval_mae, result.final_eval_rmse,
               result.best_eval_rmse, result.seconds_per_epoch);
