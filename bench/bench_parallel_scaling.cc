@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -73,7 +74,12 @@ int Main(int argc, char** argv) {
               train_items.size(), eval_items.size(), epochs);
 
   auto run = [&](int threads) {
-    util::ThreadPool::SetGlobalThreads(threads);
+    util::Status pool_st = util::ThreadPool::SetGlobalThreads(threads);
+    if (!pool_st.ok()) {
+      std::fprintf(stderr, "SetGlobalThreads: %s\n",
+                   pool_st.ToString().c_str());
+      std::exit(1);
+    }
 
     feature::FeatureConfig fc;
     feature::FeatureAssembler assembler(&dataset, fc, 0, train_days);

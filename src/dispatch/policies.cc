@@ -1,17 +1,19 @@
 #include "dispatch/policies.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
 
 namespace deepsd {
 namespace dispatch {
 
-std::vector<double> UniformPolicy::Weights(const data::OrderDataset& reference,
-                                           int /*day*/, int /*t*/) {
-  return std::vector<double>(static_cast<size_t>(reference.num_areas()), 1.0);
-}
+namespace {
 
-std::vector<double> ReactivePolicy::Weights(const data::OrderDataset& reference,
-                                            int day, int t) {
+/// The no-model answer: weight ∝ the most recent observed gap. Shared by
+/// ReactivePolicy and PredictiveGapPolicy's breaker fallback.
+std::vector<double> ReactiveWeights(const data::OrderDataset& reference,
+                                    int day, int t) {
   std::vector<double> w(static_cast<size_t>(reference.num_areas()), 0.0);
   for (int a = 0; a < reference.num_areas(); ++a) {
     w[static_cast<size_t>(a)] =
@@ -20,12 +22,30 @@ std::vector<double> ReactivePolicy::Weights(const data::OrderDataset& reference,
   return w;
 }
 
+}  // namespace
+
+std::vector<double> UniformPolicy::Weights(const data::OrderDataset& reference,
+                                           int /*day*/, int /*t*/) {
+  return std::vector<double>(static_cast<size_t>(reference.num_areas()), 1.0);
+}
+
+std::vector<double> ReactivePolicy::Weights(const data::OrderDataset& reference,
+                                            int day, int t) {
+  return ReactiveWeights(reference, day, t);
+}
+
 PredictiveGapPolicy::PredictiveGapPolicy(
     const core::DeepSDModel* model, const feature::FeatureAssembler* assembler)
     : model_(model), assembler_(assembler) {}
 
 std::vector<double> PredictiveGapPolicy::Weights(
     const data::OrderDataset& reference, int day, int t) {
+  static obs::Counter* fallbacks = obs::MetricsRegistry::Global().GetCounter(
+      "dispatch/breaker_fallbacks");
+  if (breaker_ != nullptr && !breaker_->Allow()) {
+    fallbacks->Inc();
+    return ReactiveWeights(reference, day, t);
+  }
   std::vector<data::PredictionItem> items;
   items.reserve(static_cast<size_t>(reference.num_areas()));
   for (int a = 0; a < reference.num_areas(); ++a) {
@@ -39,9 +59,23 @@ std::vector<double> PredictiveGapPolicy::Weights(
   bool advanced = model_->mode() == core::DeepSDModel::Mode::kAdvanced;
   core::AssemblerSource source(assembler_, items, advanced);
   std::vector<float> preds = model_->Predict(source);
+  bool finite = true;
   std::vector<double> w(preds.size());
   for (size_t i = 0; i < preds.size(); ++i) {
+    if (!std::isfinite(preds[i])) finite = false;
     w[i] = std::max(0.0, static_cast<double>(preds[i]));
+  }
+  if (breaker_ != nullptr) {
+    // Non-finite output is the failure signal a dispatch-side breaker can
+    // see directly; enough consecutive bad epochs trip it and dispatch
+    // runs reactive until the model proves healthy again.
+    if (finite) {
+      breaker_->RecordSuccess();
+    } else {
+      breaker_->RecordFailure();
+      fallbacks->Inc();
+      return ReactiveWeights(reference, day, t);
+    }
   }
   return w;
 }

@@ -8,6 +8,7 @@
 #include "core/model.h"
 #include "data/dataset.h"
 #include "feature/feature_assembler.h"
+#include "util/circuit_breaker.h"
 
 namespace deepsd {
 namespace dispatch {
@@ -49,11 +50,22 @@ class ReactivePolicy : public DispatchPolicy {
 };
 
 /// Allocates ∝ the gap a trained DeepSD model predicts for [t, t+10).
+///
+/// Optionally guarded by a CircuitBreaker (set_breaker): while the breaker
+/// refuses, the policy skips the model entirely and falls back to reactive
+/// weights — the answer a dispatcher computes without a predictor — so a
+/// drowning or NaN-poisoned model can't stall every dispatch epoch. Each
+/// fallback epoch is counted in dispatch/breaker_fallbacks; model calls
+/// that produce non-finite output feed the breaker a failure.
 class PredictiveGapPolicy : public DispatchPolicy {
  public:
   /// `model` and `assembler` must outlive the policy.
   PredictiveGapPolicy(const core::DeepSDModel* model,
                       const feature::FeatureAssembler* assembler);
+
+  /// Attaches the guard. Not owned; must outlive the policy. nullptr (the
+  /// default) means every epoch asks the model.
+  void set_breaker(util::CircuitBreaker* breaker) { breaker_ = breaker; }
 
   std::string name() const override { return "deepsd"; }
   std::vector<double> Weights(const data::OrderDataset& reference, int day,
@@ -62,6 +74,7 @@ class PredictiveGapPolicy : public DispatchPolicy {
  private:
   const core::DeepSDModel* model_;
   const feature::FeatureAssembler* assembler_;
+  util::CircuitBreaker* breaker_ = nullptr;
 };
 
 /// Allocates ∝ the *true* future gap — the information-theoretic upper

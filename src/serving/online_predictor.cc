@@ -160,7 +160,7 @@ float OnlinePredictor::Predict(int area) const {
   static obs::Histogram* latency_us =
       obs::MetricsRegistry::Global().GetHistogram("serving/predict_us");
   DEEPSD_SPAN("serving/predict", latency_us);
-  return AssembleAndPredict({area})[0];
+  return AssembleAndPredict({area}, util::Deadline::Infinite()).gaps[0];
 }
 
 std::vector<float> OnlinePredictor::PredictAll() const {
@@ -171,19 +171,35 @@ std::vector<float> OnlinePredictor::PredictAll() const {
   for (int a = 0; a < buffer_.num_areas(); ++a) {
     area_ids[static_cast<size_t>(a)] = a;
   }
-  return AssembleAndPredict(area_ids);
+  return AssembleAndPredict(area_ids, util::Deadline::Infinite()).gaps;
 }
 
 std::vector<float> OnlinePredictor::PredictBatch(
     const std::vector<int>& area_ids) const {
+  return PredictBatch(area_ids, util::Deadline::Infinite()).gaps;
+}
+
+PredictResult OnlinePredictor::PredictBatch(const std::vector<int>& area_ids,
+                                            util::Deadline deadline) const {
   static obs::Histogram* latency_us =
       obs::MetricsRegistry::Global().GetHistogram("serving/predict_batch_us");
   DEEPSD_SPAN("serving/predict_batch", latency_us);
-  return AssembleAndPredict(area_ids);
+  return AssembleAndPredict(area_ids, deadline);
 }
 
-std::vector<float> OnlinePredictor::AssembleAndPredict(
+std::vector<float> OnlinePredictor::CheapGaps(
     const std::vector<int>& area_ids) const {
+  std::vector<float> gaps;
+  gaps.reserve(area_ids.size());
+  const int t = buffer_.minute();
+  for (int area : area_ids) {
+    gaps.push_back(baseline_ != nullptr ? baseline_->Predict(area, t) : 0.0f);
+  }
+  return gaps;
+}
+
+PredictResult OnlinePredictor::AssembleAndPredict(
+    const std::vector<int>& area_ids, util::Deadline deadline) const {
   static obs::Counter* degraded = obs::MetricsRegistry::Global().GetCounter(
       "serving/degraded_predictions");
   static obs::Counter* tier_zoh =
@@ -196,14 +212,36 @@ std::vector<float> OnlinePredictor::AssembleAndPredict(
           "serving/fallback_tier_baseline");
   static obs::Counter* nonfinite = obs::MetricsRegistry::Global().GetCounter(
       "serving/nonfinite_predictions");
+  static obs::Counter* expired_calls =
+      obs::MetricsRegistry::Global().GetCounter(
+          "serving/predict_deadline_expired");
   if (area_ids.empty()) return {};
 
+  PredictResult result;
   FallbackTier tier = CurrentTier();
   // Without a baseline attached the ladder's last rung is the empirical
   // block — still an answer, just a less specific one.
   if (tier == FallbackTier::kBaseline && baseline_ == nullptr) {
     tier = FallbackTier::kEmpiricalBlock;
   }
+
+  // Abandons the remaining pipeline stages: the answer a late caller gets
+  // is the cheapest one we have, reported as tier-3 so downstream breakers
+  // see it for what it is. Shared by every cancellation checkpoint below.
+  auto expire = [&]() -> PredictResult& {
+    result.gaps = CheapGaps(area_ids);
+    result.tier = FallbackTier::kBaseline;
+    result.deadline_expired = true;
+    expired_calls->Inc();
+    last_tier_.store(static_cast<int>(result.tier),
+                     std::memory_order_relaxed);
+    degraded->Inc(area_ids.size());
+    tier_baseline->Inc(area_ids.size());
+    return result;
+  };
+
+  // Checkpoint 1: already too late to start.
+  if (deadline.expired()) return expire();
 
   std::vector<float> preds;
   if (tier == FallbackTier::kBaseline) {
@@ -221,14 +259,45 @@ std::vector<float> OnlinePredictor::AssembleAndPredict(
     // docs/performance.md), so a steady request stream replays prebuilt
     // topologies into recycled tensor storage instead of reallocating per
     // request.
+    //
+    // Checkpoint 2: each assembly chunk starts only while the deadline
+    // holds — one relaxed flag load plus a clock read per chunk, so a
+    // request that expires mid-assembly stops burning pool time almost
+    // immediately instead of finishing work nobody will read.
     std::vector<feature::ModelInput> inputs(area_ids.size());
+    std::atomic<bool> assembly_expired{false};
     util::ThreadPool::Global().ParallelFor(
         0, area_ids.size(), 4, [&](size_t i0, size_t i1) {
+          if (assembly_expired.load(std::memory_order_relaxed)) return;
+          if (deadline.expired()) {
+            assembly_expired.store(true, std::memory_order_relaxed);
+            return;
+          }
           for (size_t i = i0; i < i1; ++i) {
             inputs[i] = AssembleAtTier(area_ids[i], tier);
           }
         });
-    preds = model_->Predict(inputs, /*batch_size=*/16);
+    if (assembly_expired.load(std::memory_order_relaxed)) return expire();
+
+    if (deadline.infinite()) {
+      preds = model_->Predict(inputs, /*batch_size=*/16);
+    } else {
+      // Checkpoint 3: the forward pass runs in sub-batches (multiples of
+      // the internal batch of 16 rows, so the chunk structure — and the
+      // bits — match the single-call path) with the deadline re-checked
+      // between them.
+      constexpr size_t kSubBatch = 64;
+      preds.reserve(inputs.size());
+      for (size_t begin = 0; begin < inputs.size(); begin += kSubBatch) {
+        if (deadline.expired()) return expire();
+        const size_t end = std::min(inputs.size(), begin + kSubBatch);
+        std::vector<feature::ModelInput> sub(
+            inputs.begin() + static_cast<long>(begin),
+            inputs.begin() + static_cast<long>(end));
+        std::vector<float> sub_preds = model_->Predict(sub, /*batch_size=*/16);
+        preds.insert(preds.end(), sub_preds.begin(), sub_preds.end());
+      }
+    }
     // Last line of defense: a non-finite output (NaN-poisoned weights, a
     // corrupt upstream) is replaced by the baseline (or 0), never served.
     const int t = buffer_.minute();
@@ -259,7 +328,9 @@ std::vector<float> OnlinePredictor::AssembleAndPredict(
       tier_baseline->Inc(area_ids.size());
       break;
   }
-  return preds;
+  result.gaps = std::move(preds);
+  result.tier = tier;
+  return result;
 }
 
 }  // namespace serving

@@ -8,6 +8,7 @@
 #include "core/model.h"
 #include "feature/feature_assembler.h"
 #include "serving/order_stream.h"
+#include "util/deadline.h"
 
 namespace deepsd {
 namespace serving {
@@ -24,6 +25,23 @@ enum class FallbackTier {
                        ///< empirical averages the model also trains on.
   kBaseline = 3,       ///< Stream dead past recovery (or non-finite model
                        ///< output); EmpiricalAverage baseline answers.
+};
+
+/// Per-call outcome of a prediction batch. Returned by value so concurrent
+/// PredictBatch callers each see their own tier and deadline verdict —
+/// the predictor-wide last_tier() atomic is kept only as a deprecated
+/// alias and is stomped by whichever call finishes last.
+struct PredictResult {
+  /// One gap per requested area, in request order. Always fully populated:
+  /// an expired deadline degrades the answer, it never truncates it.
+  std::vector<float> gaps;
+  /// The fallback tier this call was actually served at.
+  FallbackTier tier = FallbackTier::kNone;
+  /// True when the request's deadline expired at a cancellation checkpoint
+  /// mid-pipeline: the remaining expensive stages were abandoned and the
+  /// gaps come from the cheap path (baseline, or 0 without one), reported
+  /// as tier kBaseline. The serving queue counts these as deadline misses.
+  bool deadline_expired = false;
 };
 
 /// Staleness thresholds of the fallback ladder, all in minutes.
@@ -85,7 +103,9 @@ class OnlinePredictor {
   /// The degradation tier the next prediction would be served at, from the
   /// current feed staleness. Cheap (three clock reads).
   FallbackTier CurrentTier() const;
-  /// Tier actually used by the most recent Predict/PredictAll/PredictBatch.
+  /// Deprecated: tier of whichever Predict/PredictAll/PredictBatch call
+  /// finished last, predictor-wide — concurrent callers stomp it. Use the
+  /// per-call PredictResult::tier instead.
   FallbackTier last_tier() const {
     return static_cast<FallbackTier>(
         last_tier_.load(std::memory_order_relaxed));
@@ -104,6 +124,15 @@ class OnlinePredictor {
   /// dispatch shard owns), in the order given. Parallel like PredictAll;
   /// latency lands in the serving/predict_batch_us histogram.
   std::vector<float> PredictBatch(const std::vector<int>& area_ids) const;
+  /// Deadline-aware variant with the per-call outcome: the deadline is
+  /// checked at cheap cancellation checkpoints — on entry, per feature-
+  /// assembly chunk, and between forward-pass sub-batches — and once it
+  /// expires the remaining expensive stages are abandoned in favor of the
+  /// baseline (see PredictResult::deadline_expired). An infinite deadline
+  /// (the default Deadline) takes exactly the legacy code path, bit for
+  /// bit. Counted in serving/predict_deadline_expired when abandoned.
+  PredictResult PredictBatch(const std::vector<int>& area_ids,
+                             util::Deadline deadline) const;
 
   /// The assembled live features for one area at the current tier
   /// (exposed for tests: with fresh feeds it must agree with the offline
@@ -115,8 +144,12 @@ class OnlinePredictor {
   feature::ModelInput AssembleAtTier(int area, FallbackTier tier) const;
   /// Shared body of Predict/PredictAll/PredictBatch: tier decision, then
   /// parallel per-area assembly + one batched forward pass (or the
-  /// baseline at tier 3), then the non-finite output guard.
-  std::vector<float> AssembleAndPredict(const std::vector<int>& area_ids) const;
+  /// baseline at tier 3), then the non-finite output guard. Deadline
+  /// checkpoints abandon to the cheap path (CheapGaps).
+  PredictResult AssembleAndPredict(const std::vector<int>& area_ids,
+                                   util::Deadline deadline) const;
+  /// The cheapest answer available: baseline per area, or 0 without one.
+  std::vector<float> CheapGaps(const std::vector<int>& area_ids) const;
 
   const core::DeepSDModel* model_;
   const feature::FeatureAssembler* history_;

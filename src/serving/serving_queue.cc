@@ -1,0 +1,276 @@
+#include "serving/serving_queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace deepsd {
+namespace serving {
+
+ServingQueue::ServingQueue(const OnlinePredictor* predictor,
+                           ServingQueueConfig config)
+    : predictor_(predictor), config_(std::move(config)) {
+  DEEPSD_CHECK_MSG(predictor_ != nullptr, "ServingQueue needs a predictor");
+  config_.capacity = std::max<size_t>(config_.capacity, 1);
+  config_.num_workers = std::max(config_.num_workers, 1);
+  config_.service_ewma_alpha =
+      std::min(std::max(config_.service_ewma_alpha, 0.01), 1.0);
+
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  admitted_counter_ = r.GetCounter("serving/admitted");
+  shed_counters_[0] = r.GetCounter("serving/shed_queue_full");
+  shed_counters_[1] = r.GetCounter("serving/shed_deadline");
+  shed_counters_[2] = r.GetCounter("serving/shed_rate_limited");
+  shed_counters_[3] = r.GetCounter("serving/shed_breaker");
+  shed_counters_[4] = r.GetCounter("serving/shed_draining");
+  deadline_miss_counter_ = r.GetCounter("serving/deadline_miss");
+  queue_wait_hist_ = r.GetHistogram("serving/queue_wait_us");
+  depth_gauge_ = r.GetGauge("serving/queue_depth");
+  wedged_counter_ = r.GetCounter("serving/watchdog_wedged");
+
+  worker_states_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    worker_states_.push_back(std::make_unique<WorkerState>());
+  }
+  workers_.reserve(static_cast<size_t>(config_.num_workers));
+  for (int i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  if (config_.watchdog_stuck_us > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
+}
+
+ServingQueue::~ServingQueue() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+std::future<ServingResponse> ServingQueue::Submit(
+    std::vector<int> area_ids) {
+  util::Deadline deadline = config_.default_deadline_us > 0
+                                ? util::Deadline::After(
+                                      config_.default_deadline_us)
+                                : util::Deadline::Infinite();
+  return Submit(std::move(area_ids), deadline);
+}
+
+std::future<ServingResponse> ServingQueue::ShedNow(AdmitVerdict verdict) {
+  const int idx = static_cast<int>(verdict) - 1;
+  shed_counters_[idx]->Inc();
+  std::promise<ServingResponse> promise;
+  ServingResponse response;
+  response.verdict = verdict;
+  std::future<ServingResponse> future = promise.get_future();
+  promise.set_value(std::move(response));
+  return future;
+}
+
+std::future<ServingResponse> ServingQueue::Submit(std::vector<int> area_ids,
+                                                  util::Deadline deadline) {
+  const int64_t now_us = util::NowSteadyUs();
+  // Shed decisions happen on the caller's thread, in cheapest-first order;
+  // each tallies exactly one verdict so admitted + shed == offered.
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.offered;
+  if (draining_) {
+    ++stats_.shed_draining;
+    lock.unlock();
+    return ShedNow(AdmitVerdict::kShedDraining);
+  }
+  if (config_.breaker != nullptr && !config_.breaker->AllowAt(now_us)) {
+    ++stats_.shed_breaker;
+    lock.unlock();
+    return ShedNow(AdmitVerdict::kShedBreaker);
+  }
+  if (config_.rate_limiter != nullptr &&
+      !config_.rate_limiter->TryAcquireAt(now_us)) {
+    ++stats_.shed_rate_limited;
+    // The breaker handed out a probe slot above the request never used.
+    if (config_.breaker != nullptr) config_.breaker->CancelProbe();
+    lock.unlock();
+    return ShedNow(AdmitVerdict::kShedRateLimited);
+  }
+  if (queue_.size() >= config_.capacity) {
+    ++stats_.shed_queue_full;
+    if (config_.breaker != nullptr) config_.breaker->CancelProbe();
+    lock.unlock();
+    return ShedNow(AdmitVerdict::kShedQueueFull);
+  }
+  // Deadline feasibility: with EWMA(service) ≈ s and d requests ahead
+  // (queued + executing), this request starts in ~s·d and finishes in
+  // ~s·(d+1). If that already exceeds the remaining budget, admitting it
+  // only manufactures a deadline miss — reject now, while the caller can
+  // still do something else with the time.
+  if (!deadline.infinite()) {
+    const int64_t remaining = deadline.RemainingAt(now_us);
+    const double est_finish_us =
+        ewma_service_us_ *
+        static_cast<double>(queue_.size() + in_flight_ + 1);
+    if (remaining <= 0 ||
+        (ewma_service_us_ > 0.0 &&
+         est_finish_us > static_cast<double>(remaining))) {
+      ++stats_.shed_deadline;
+      if (config_.breaker != nullptr) config_.breaker->CancelProbe();
+      lock.unlock();
+      return ShedNow(AdmitVerdict::kShedDeadline);
+    }
+  }
+
+  ++stats_.admitted;
+  Request request;
+  request.area_ids = std::move(area_ids);
+  request.deadline = deadline;
+  request.enqueue_us = now_us;
+  std::future<ServingResponse> future = request.promise.get_future();
+  queue_.push_back(std::move(request));
+  depth_gauge_->Set(static_cast<double>(queue_.size()));
+  lock.unlock();
+  admitted_counter_->Inc();
+  work_cv_.notify_one();
+  return future;
+}
+
+void ServingQueue::WorkerLoop(int worker_index) {
+  WorkerState& state = *worker_states_[static_cast<size_t>(worker_index)];
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stop_ is set only after Drain(), so an empty queue here means
+        // every accepted request has already resolved.
+        return;
+      }
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      depth_gauge_->Set(static_cast<double>(queue_.size()));
+    }
+
+    const int64_t start_us = util::NowSteadyUs();
+    state.flagged.store(false, std::memory_order_relaxed);
+    state.busy_since_us.store(start_us, std::memory_order_relaxed);
+
+    ServingResponse response;
+    response.verdict = AdmitVerdict::kAdmitted;
+    response.queue_wait_us = start_us - request.enqueue_us;
+    queue_wait_hist_->Observe(
+        static_cast<double>(response.queue_wait_us));
+    response.result =
+        predictor_->PredictBatch(request.area_ids, request.deadline);
+    const int64_t end_us = util::NowSteadyUs();
+    response.total_us = end_us - request.enqueue_us;
+    response.deadline_missed = response.result.deadline_expired ||
+                               request.deadline.ExpiredAt(end_us);
+    if (response.deadline_missed) deadline_miss_counter_->Inc();
+
+    // Feed the breaker: a miss or a bottom-of-ladder answer is a failure
+    // signal (the caller could have produced that answer itself).
+    if (config_.breaker != nullptr) {
+      if (response.deadline_missed ||
+          response.result.tier == FallbackTier::kBaseline) {
+        config_.breaker->RecordFailureAt(end_us);
+      } else {
+        config_.breaker->RecordSuccessAt(end_us);
+      }
+    }
+
+    state.busy_since_us.store(0, std::memory_order_relaxed);
+    const double service_us = static_cast<double>(end_us - start_us);
+    // Resolve the future BEFORE dropping in_flight_: Drain() returns the
+    // moment queue-empty && in_flight==0 holds (condition_variable waits
+    // may wake spuriously), and its guarantee is that every accepted
+    // future is already resolved by then.
+    request.promise.set_value(std::move(response));
+    bool quiescent = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ewma_service_us_ = ewma_service_us_ <= 0.0
+                             ? service_us
+                             : (1.0 - config_.service_ewma_alpha) *
+                                       ewma_service_us_ +
+                                   config_.service_ewma_alpha * service_us;
+      ++stats_.completed;
+      --in_flight_;
+      quiescent = queue_.empty() && in_flight_ == 0;
+    }
+    if (quiescent) drain_cv_.notify_all();
+  }
+}
+
+void ServingQueue::WatchdogLoop() {
+  const auto poll = std::chrono::microseconds(
+      std::max<int64_t>(config_.watchdog_stuck_us / 4, 1000));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    watchdog_cv_.wait_for(lock, poll);
+    if (stop_) return;
+    const int64_t now_us = util::NowSteadyUs();
+    for (size_t i = 0; i < worker_states_.size(); ++i) {
+      WorkerState& state = *worker_states_[i];
+      const int64_t busy_since =
+          state.busy_since_us.load(std::memory_order_relaxed);
+      if (busy_since == 0) continue;
+      if (now_us - busy_since < config_.watchdog_stuck_us) continue;
+      if (state.flagged.exchange(true, std::memory_order_relaxed)) continue;
+      wedged_counter_->Inc();
+      DEEPSD_LOG(Warning)
+          << "serving worker " << i << " wedged: one request running for "
+          << (now_us - busy_since) / 1000 << " ms (threshold "
+          << config_.watchdog_stuck_us / 1000 << " ms)";
+    }
+  }
+}
+
+void ServingQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  drain_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+size_t ServingQueue::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+bool ServingQueue::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+ServingQueueStats ServingQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double ServingQueue::estimated_service_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_service_us_;
+}
+
+const char* ServingQueue::VerdictName(AdmitVerdict v) {
+  switch (v) {
+    case AdmitVerdict::kAdmitted: return "admitted";
+    case AdmitVerdict::kShedQueueFull: return "shed_queue_full";
+    case AdmitVerdict::kShedDeadline: return "shed_deadline";
+    case AdmitVerdict::kShedRateLimited: return "shed_rate_limited";
+    case AdmitVerdict::kShedBreaker: return "shed_breaker";
+    case AdmitVerdict::kShedDraining: return "shed_draining";
+  }
+  return "unknown";
+}
+
+}  // namespace serving
+}  // namespace deepsd

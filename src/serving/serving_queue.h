@@ -1,0 +1,221 @@
+#ifndef DEEPSD_SERVING_SERVING_QUEUE_H_
+#define DEEPSD_SERVING_SERVING_QUEUE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serving/online_predictor.h"
+#include "util/circuit_breaker.h"
+#include "util/deadline.h"
+#include "util/rate_limiter.h"
+
+namespace deepsd {
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace obs
+namespace serving {
+
+/// Why a request was admitted or turned away at the queue's front door.
+/// Every Submit() resolves to exactly one verdict — admitted + shed always
+/// equals offered; nothing is ever dropped silently.
+enum class AdmitVerdict {
+  kAdmitted = 0,       ///< Accepted; `result` below is a real prediction.
+  kShedQueueFull = 1,  ///< Bounded queue at capacity.
+  kShedDeadline = 2,   ///< Deadline already expired, or the estimated queue
+                       ///< wait plus one service time exceeds what is left
+                       ///< of it — serving it would only produce a miss.
+  kShedRateLimited = 3,  ///< Token-bucket rate limiter said no.
+  kShedBreaker = 4,      ///< Circuit breaker is open (or probing).
+  kShedDraining = 5,     ///< Queue is draining / shutting down.
+};
+
+/// Outcome of one Submit(). For shed requests the future resolves
+/// immediately with the verdict and an empty result; for admitted requests
+/// it resolves when a worker has produced the prediction.
+struct ServingResponse {
+  AdmitVerdict verdict = AdmitVerdict::kAdmitted;
+  /// The prediction (admitted requests only; empty when shed).
+  PredictResult result;
+  /// Microseconds the request sat queued before a worker picked it up.
+  int64_t queue_wait_us = 0;
+  /// Microseconds from enqueue to completion (admitted requests only).
+  int64_t total_us = 0;
+  /// True when the request was admitted but its deadline expired before or
+  /// during execution — the answer is the degraded cheap path. Counted in
+  /// serving/deadline_miss and fed to the breaker as a failure.
+  bool deadline_missed = false;
+
+  bool admitted() const { return verdict == AdmitVerdict::kAdmitted; }
+};
+
+/// Tuning for the admission controller.
+struct ServingQueueConfig {
+  /// Max requests waiting (executing requests don't count). At capacity,
+  /// new submissions shed with kShedQueueFull.
+  size_t capacity = 64;
+  /// Dedicated worker threads executing predictions. They are separate
+  /// from the global ThreadPool: each prediction still fans its feature
+  /// assembly / forward pass out to the pool, so queue workers are mostly
+  /// coordinators and 1–2 of them saturate the pool.
+  int num_workers = 1;
+  /// Deadline applied when Submit() is called without one. <= 0 means
+  /// infinite (no deadline).
+  int64_t default_deadline_us = 0;
+  /// Smoothing for the service-time EWMA behind the deadline-feasibility
+  /// estimate (higher = adapts faster, noisier).
+  double service_ewma_alpha = 0.2;
+  /// Optional token-bucket limiter consulted at admission. Not owned; must
+  /// outlive the queue. nullptr = unlimited.
+  util::RateLimiter* rate_limiter = nullptr;
+  /// Optional circuit breaker consulted at admission and fed outcomes
+  /// (deadline miss or tier-3 answer = failure). Not owned. nullptr = none.
+  util::CircuitBreaker* breaker = nullptr;
+  /// A worker stuck on one request longer than this is flagged (once per
+  /// request) in serving/watchdog_wedged and the log. <= 0 disables the
+  /// watchdog thread.
+  int64_t watchdog_stuck_us = 5'000'000;
+};
+
+/// Running totals, readable without scraping the metrics registry.
+struct ServingQueueStats {
+  uint64_t offered = 0;   ///< Every Submit() call.
+  uint64_t admitted = 0;  ///< Accepted into the queue.
+  uint64_t completed = 0;  ///< Admitted requests whose future resolved.
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_deadline = 0;
+  uint64_t shed_rate_limited = 0;
+  uint64_t shed_breaker = 0;
+  uint64_t shed_draining = 0;
+  uint64_t deadline_misses = 0;  ///< Admitted but expired before/mid-run.
+
+  uint64_t shed_total() const {
+    return shed_queue_full + shed_deadline + shed_rate_limited +
+           shed_breaker + shed_draining;
+  }
+};
+
+/// Admission controller and bounded request queue in front of an
+/// OnlinePredictor — the overload-resilience layer of docs/robustness.md.
+///
+/// Under load the failure mode of an unguarded predictor is a queue that
+/// grows without bound: every request eventually gets an answer, and every
+/// answer is too late to use. ServingQueue inverts that: it decides *at
+/// enqueue time* whether a request can plausibly be served within its
+/// deadline, and rejects immediately (cheaply, on the caller's thread)
+/// when it cannot — callers get a fast "no" they can act on instead of a
+/// slow, useless "yes". Admission checks run in shed-cost order:
+///
+///   1. draining        — lifecycle stop-admission flag
+///   2. circuit breaker — dependency already known unhealthy
+///   3. rate limiter    — token bucket over offered load
+///   4. queue capacity  — bounded buffer full
+///   5. deadline        — expired, or EWMA(service) × (depth+1) exceeds
+///                        the remaining budget (a CoDel-style "would this
+///                        request just wait its deadline away?" test)
+///
+/// Admitted requests are executed FIFO by dedicated workers; each carries
+/// its Deadline into OnlinePredictor::PredictBatch, which abandons
+/// expensive stages at cancellation checkpoints once it expires. A request
+/// that misses its deadline anyway still resolves (with the cheap-path
+/// answer and deadline_missed set) — accepted work is never lost, a
+/// guarantee Drain() extends through shutdown.
+///
+/// Every decision is observable: serving/admitted, serving/shed_* (one per
+/// verdict), serving/deadline_miss, serving/queue_wait_us (histogram),
+/// serving/queue_depth (gauge), serving/watchdog_wedged.
+///
+/// Thread-safe: any thread may Submit concurrently.
+class ServingQueue {
+ public:
+  /// `predictor` must outlive the queue.
+  ServingQueue(const OnlinePredictor* predictor, ServingQueueConfig config);
+  /// Drains (every accepted request resolves), then joins the workers.
+  ~ServingQueue();
+
+  ServingQueue(const ServingQueue&) = delete;
+  ServingQueue& operator=(const ServingQueue&) = delete;
+
+  /// Submit with the config's default deadline.
+  std::future<ServingResponse> Submit(std::vector<int> area_ids);
+  /// Submit with an explicit per-request deadline. Always returns a future
+  /// that resolves — immediately when shed, after execution when admitted.
+  std::future<ServingResponse> Submit(std::vector<int> area_ids,
+                                      util::Deadline deadline);
+
+  /// Stops admission (subsequent Submits shed with kShedDraining) and
+  /// blocks until every already-accepted request has resolved. Idempotent;
+  /// callable from any non-worker thread. Admission stays closed after.
+  void Drain();
+
+  /// Requests currently waiting (excludes executing).
+  size_t queue_depth() const;
+  /// True once Drain() (or the destructor) has closed admission.
+  bool draining() const;
+  /// Snapshot of the running totals.
+  ServingQueueStats stats() const;
+  /// Current service-time EWMA estimate, us (0 until first completion).
+  double estimated_service_us() const;
+
+  static const char* VerdictName(AdmitVerdict v);
+
+ private:
+  struct Request {
+    std::vector<int> area_ids;
+    util::Deadline deadline;
+    int64_t enqueue_us = 0;
+    std::promise<ServingResponse> promise;
+  };
+
+  /// Per-worker liveness slot for the watchdog. busy_since_us == 0 when
+  /// idle; flagged is reset at each request pickup.
+  struct WorkerState {
+    std::atomic<int64_t> busy_since_us{0};
+    std::atomic<bool> flagged{false};
+  };
+
+  void WorkerLoop(int worker_index);
+  void WatchdogLoop();
+  /// Shed on the caller's thread: count it, resolve the future now.
+  std::future<ServingResponse> ShedNow(AdmitVerdict verdict);
+
+  const OnlinePredictor* predictor_;
+  ServingQueueConfig config_;
+
+  // Registry pointers are process-lifetime; resolved once at construction
+  // so admission decisions never take the registry lock.
+  obs::Counter* admitted_counter_;
+  obs::Counter* shed_counters_[5];  // indexed by verdict - 1
+  obs::Counter* deadline_miss_counter_;
+  obs::Histogram* queue_wait_hist_;
+  obs::Gauge* depth_gauge_;
+  obs::Counter* wedged_counter_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Workers wait here for requests.
+  std::condition_variable drain_cv_;  ///< Drain() waits here for quiescence.
+  std::condition_variable watchdog_cv_;  ///< Wakes the watchdog to exit.
+  std::deque<Request> queue_;
+  size_t in_flight_ = 0;
+  bool draining_ = false;
+  bool stop_ = false;
+  double ewma_service_us_ = 0.0;
+  ServingQueueStats stats_;
+
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+  std::vector<std::thread> workers_;
+  std::thread watchdog_;
+};
+
+}  // namespace serving
+}  // namespace deepsd
+
+#endif  // DEEPSD_SERVING_SERVING_QUEUE_H_

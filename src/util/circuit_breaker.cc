@@ -1,0 +1,142 @@
+#include "util/circuit_breaker.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace deepsd {
+namespace util {
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Config()) {}
+
+CircuitBreaker::CircuitBreaker(Config config) : config_(std::move(config)) {
+  config_.failure_threshold = std::max(config_.failure_threshold, 1);
+  config_.half_open_probes = std::max(config_.half_open_probes, 1);
+  config_.open_duration_us = std::max<int64_t>(config_.open_duration_us, 1);
+  obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+  state_gauge_ = r.GetGauge(config_.name + "/state");
+  opened_counter_ = r.GetCounter(config_.name + "/opened");
+  rejected_counter_ = r.GetCounter(config_.name + "/rejected");
+}
+
+void CircuitBreaker::TransitionLocked(State next, int64_t now_us) {
+  if (state_ == next) return;
+  if (next == State::kOpen) {
+    opened_at_us_ = now_us;
+    ++times_opened_;
+    opened_counter_->Inc();
+    DEEPSD_LOG(Warning) << config_.name << " opened after "
+                        << consecutive_failures_ << " consecutive failures";
+  } else if (next == State::kClosed) {
+    DEEPSD_LOG(Info) << config_.name << " closed";
+  }
+  state_ = next;
+  probe_successes_ = 0;
+  probes_in_flight_ = 0;
+  if (next != State::kOpen) consecutive_failures_ = 0;
+  state_gauge_->Set(static_cast<double>(static_cast<int>(next)));
+}
+
+bool CircuitBreaker::AllowAt(int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_us - opened_at_us_ < config_.open_duration_us) {
+        ++rejected_;
+        rejected_counter_->Inc();
+        return false;
+      }
+      TransitionLocked(State::kHalfOpen, now_us);
+      [[fallthrough]];
+    case State::kHalfOpen:
+      if (probes_in_flight_ >= config_.half_open_probes) {
+        ++rejected_;
+        rejected_counter_->Inc();
+        return false;
+      }
+      ++probes_in_flight_;
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccessAt(int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kOpen:
+      // A straggler from before the trip; the open window stands.
+      break;
+    case State::kHalfOpen:
+      probes_in_flight_ = std::max(probes_in_flight_ - 1, 0);
+      if (++probe_successes_ >= config_.half_open_probes) {
+        TransitionLocked(State::kClosed, now_us);
+      }
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailureAt(int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= config_.failure_threshold) {
+        TransitionLocked(State::kOpen, now_us);
+      }
+      break;
+    case State::kOpen:
+      break;
+    case State::kHalfOpen:
+      // One failed probe re-opens and re-arms the full window.
+      TransitionLocked(State::kOpen, now_us);
+      break;
+  }
+}
+
+void CircuitBreaker::CancelProbe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    probes_in_flight_ = std::max(probes_in_flight_ - 1, 0);
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t CircuitBreaker::times_opened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return times_opened_;
+}
+
+uint64_t CircuitBreaker::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+void CircuitBreaker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_successes_ = 0;
+  probes_in_flight_ = 0;
+  state_gauge_->Set(0.0);
+}
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kClosed: return "closed";
+    case State::kOpen: return "open";
+    case State::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace util
+}  // namespace deepsd

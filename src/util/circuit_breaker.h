@@ -1,0 +1,108 @@
+#ifndef DEEPSD_UTIL_CIRCUIT_BREAKER_H_
+#define DEEPSD_UTIL_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/deadline.h"
+
+namespace deepsd {
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+namespace util {
+
+/// Classic three-state circuit breaker guarding a dependency that has
+/// started failing (here: a predictor missing its deadlines or answering
+/// from the tier-3 baseline — an answer the caller could compute itself).
+///
+///   kClosed   — healthy; requests flow. `failure_threshold` *consecutive*
+///               failures trip the breaker.
+///   kOpen     — requests are refused outright for `open_duration_us`;
+///               the caller uses its own fallback instead of queueing work
+///               on a dependency that is already drowning.
+///   kHalfOpen — after the open window, up to `half_open_probes` requests
+///               are let through as probes. Any probe failure re-opens
+///               (and re-arms the window); `half_open_probes` consecutive
+///               successes close the breaker.
+///
+/// Allow() is the gate callers ask before dispatching; RecordSuccess /
+/// RecordFailure feed outcomes back. All methods are thread-safe, and the
+/// *At variants take an explicit NowSteadyUs() timestamp so tests drive a
+/// virtual clock. State changes are observable through the `<name>/state`
+/// gauge (0 closed / 1 open / 2 half-open) and `<name>/opened` /
+/// `<name>/rejected` counters in the obs registry.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct Config {
+    /// Consecutive failures that trip a closed breaker.
+    int failure_threshold = 5;
+    /// How long an open breaker refuses everything before probing.
+    int64_t open_duration_us = 1'000'000;
+    /// Probes admitted half-open; this many consecutive successes close.
+    int half_open_probes = 2;
+    /// Metric prefix ("breaker" → breaker/state, breaker/opened, ...).
+    std::string name = "breaker";
+  };
+
+  CircuitBreaker();  ///< Default Config.
+  explicit CircuitBreaker(Config config);
+
+  /// True when a request may proceed. Transitions open → half-open once
+  /// the open window has elapsed; half-open admits at most
+  /// `half_open_probes` outstanding probes until their outcomes arrive.
+  bool Allow() { return AllowAt(NowSteadyUs()); }
+  bool AllowAt(int64_t now_us);
+
+  void RecordSuccess() { RecordSuccessAt(NowSteadyUs()); }
+  void RecordSuccessAt(int64_t now_us);
+  void RecordFailure() { RecordFailureAt(NowSteadyUs()); }
+  void RecordFailureAt(int64_t now_us);
+  /// Returns an Allow()-granted half-open probe slot without recording an
+  /// outcome — for callers that shed the request after Allow() for an
+  /// unrelated reason (rate limit, full queue) and never dispatched it.
+  void CancelProbe();
+
+  State state() const;
+  /// Times the breaker transitioned closed/half-open → open.
+  uint64_t times_opened() const;
+  /// Requests refused by Allow().
+  uint64_t rejected() const;
+
+  const Config& config() const { return config_; }
+
+  /// Back to closed with counters' consecutive streaks cleared (tests,
+  /// phase boundaries). Cumulative times_opened/rejected are kept.
+  void Reset();
+
+  static const char* StateName(State s);
+
+ private:
+  void TransitionLocked(State next, int64_t now_us);
+
+  Config config_;
+
+  // Registry pointers are process-lifetime; resolved once at construction
+  // so the deny path under overload never touches the registry lock.
+  obs::Gauge* state_gauge_;
+  obs::Counter* opened_counter_;
+  obs::Counter* rejected_counter_;
+
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  int probes_in_flight_ = 0;
+  int64_t opened_at_us_ = 0;
+  uint64_t times_opened_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_CIRCUIT_BREAKER_H_

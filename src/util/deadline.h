@@ -1,0 +1,75 @@
+#ifndef DEEPSD_UTIL_DEADLINE_H_
+#define DEEPSD_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace deepsd {
+namespace util {
+
+/// Steady-clock microseconds since an arbitrary epoch — the time base every
+/// overload-protection component shares (deadlines, rate limiter refills,
+/// breaker open windows). Monotonic, so wall-clock jumps never expire or
+/// resurrect a request.
+inline int64_t NowSteadyUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A point on the steady clock after which a request's answer is worthless.
+///
+/// The paper predicts the gap over the *next ten minutes*; an answer that
+/// arrives after the dispatch epoch it was meant to inform is not late, it
+/// is wrong. Deadline makes that explicit: callers attach one to each
+/// request, the serving queue refuses work it cannot finish in time, and
+/// the predictor checks it at cheap points between pipeline stages.
+///
+/// Default-constructed deadlines are infinite (never expire), so existing
+/// call sites keep their semantics. Copyable, trivially small — pass by
+/// value.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  /// Expires `us` microseconds from now (clamped to now for negatives).
+  static Deadline After(int64_t us) {
+    return Deadline(NowSteadyUs() + (us > 0 ? us : 0));
+  }
+  static Deadline AfterMillis(int64_t ms) { return After(ms * 1000); }
+  /// Expires at an absolute NowSteadyUs() value (for tests and replay).
+  static Deadline AtSteadyUs(int64_t abs_us) { return Deadline(abs_us); }
+
+  bool infinite() const { return deadline_us_ == kInfiniteUs; }
+
+  bool expired() const { return ExpiredAt(NowSteadyUs()); }
+  bool ExpiredAt(int64_t now_us) const {
+    return !infinite() && now_us >= deadline_us_;
+  }
+
+  /// Microseconds left; 0 when expired, a very large value when infinite.
+  int64_t remaining_us() const { return RemainingAt(NowSteadyUs()); }
+  int64_t RemainingAt(int64_t now_us) const {
+    if (infinite()) return kInfiniteUs;
+    return deadline_us_ > now_us ? deadline_us_ - now_us : 0;
+  }
+
+  /// The absolute expiry in NowSteadyUs() time; kInfiniteUs when infinite.
+  int64_t deadline_us() const { return deadline_us_; }
+
+  static constexpr int64_t kInfiniteUs =
+      std::numeric_limits<int64_t>::max();
+
+ private:
+  explicit Deadline(int64_t deadline_us) : deadline_us_(deadline_us) {}
+
+  int64_t deadline_us_ = kInfiniteUs;
+};
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_DEADLINE_H_

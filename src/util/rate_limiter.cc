@@ -1,0 +1,45 @@
+#include "util/rate_limiter.h"
+
+#include <algorithm>
+
+namespace deepsd {
+namespace util {
+
+RateLimiter::RateLimiter(double rate_per_second, double burst)
+    : rate_per_second_(rate_per_second),
+      burst_(std::max(burst, 1.0)),
+      tokens_(burst_),
+      last_refill_us_(NowSteadyUs()) {}
+
+void RateLimiter::RefillLocked(int64_t now_us) const {
+  if (now_us <= last_refill_us_) return;  // clock handed in out of order
+  const double elapsed_s =
+      static_cast<double>(now_us - last_refill_us_) * 1e-6;
+  tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_per_second_);
+  last_refill_us_ = now_us;
+}
+
+bool RateLimiter::TryAcquireAt(int64_t now_us, double tokens) {
+  if (unlimited()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(now_us);
+  if (tokens_ + 1e-9 < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double RateLimiter::AvailableAt(int64_t now_us) const {
+  if (unlimited()) return burst_;
+  std::lock_guard<std::mutex> lock(mu_);
+  RefillLocked(now_us);
+  return tokens_;
+}
+
+void RateLimiter::ResetAt(int64_t now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tokens_ = burst_;
+  last_refill_us_ = now_us;
+}
+
+}  // namespace util
+}  // namespace deepsd

@@ -1,0 +1,60 @@
+#ifndef DEEPSD_UTIL_RATE_LIMITER_H_
+#define DEEPSD_UTIL_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "util/deadline.h"
+
+namespace deepsd {
+namespace util {
+
+/// Token-bucket rate limiter: `rate_per_second` tokens refill continuously
+/// into a bucket capped at `burst`, and a request proceeds only if it can
+/// take its tokens now — the classic admission primitive for protecting a
+/// shared backend from a caller that suddenly offers 10× its usual load.
+///
+/// TryAcquire never blocks; a denied caller sheds (or retries later) rather
+/// than queueing, which is the behavior the serving queue wants: by the
+/// time a blocked request would reach the model its deadline is gone.
+///
+/// Thread-safe (one mutex; the critical section is a few arithmetic ops).
+/// The *At variants take an explicit NowSteadyUs() timestamp so tests can
+/// drive a virtual clock deterministically.
+class RateLimiter {
+ public:
+  /// `rate_per_second` <= 0 disables limiting (every TryAcquire succeeds).
+  /// `burst` is the bucket capacity; values below 1 are clamped to 1 so a
+  /// configured limiter can always pass at least one request.
+  RateLimiter(double rate_per_second, double burst);
+
+  bool TryAcquire(double tokens = 1.0) {
+    return TryAcquireAt(NowSteadyUs(), tokens);
+  }
+  bool TryAcquireAt(int64_t now_us, double tokens = 1.0);
+
+  /// Tokens currently available (after refilling to `now_us`).
+  double AvailableAt(int64_t now_us) const;
+
+  /// Refills the bucket to full and restarts the refill clock at `now_us`.
+  void ResetAt(int64_t now_us);
+
+  double rate_per_second() const { return rate_per_second_; }
+  double burst() const { return burst_; }
+  bool unlimited() const { return rate_per_second_ <= 0; }
+
+ private:
+  void RefillLocked(int64_t now_us) const;
+
+  double rate_per_second_;
+  double burst_;
+
+  mutable std::mutex mu_;
+  mutable double tokens_;
+  mutable int64_t last_refill_us_;
+};
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_RATE_LIMITER_H_

@@ -102,6 +102,7 @@ void ThreadPool::WorkerLoop(int worker_id) {
       if (stop_ && queue_.empty()) break;
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
       Metrics().queue_depth->Set(static_cast<double>(queue_.size()));
     }
     if (obs::Enabled()) {
@@ -113,6 +114,11 @@ void ThreadPool::WorkerLoop(int worker_id) {
       Metrics().task_us->Observe(static_cast<double>(dur));
     } else {
       task();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (active_ == 0 && queue_.empty()) idle_cv_.notify_all();
     }
   }
   DEEPSD_LOG(Debug) << "pool worker stopped";
@@ -217,6 +223,26 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   }
 }
 
+size_t ThreadPool::pending_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() + active_;
+}
+
+void ThreadPool::Drain() {
+  // A worker draining its own pool would wait for itself to finish.
+  DEEPSD_CHECK_MSG(!InWorkerThread(),
+                   "ThreadPool::Drain called from a worker of the same pool");
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+bool ThreadPool::WaitIdleFor(int64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(
+      lock, std::chrono::microseconds(timeout_us),
+      [this] { return queue_.empty() && active_ == 0; });
+}
+
 ThreadPool& ThreadPool::Global() {
   std::lock_guard<std::mutex> lock(g_global_mu);
   if (g_global_pool == nullptr) {
@@ -225,14 +251,31 @@ ThreadPool& ThreadPool::Global() {
   return *g_global_pool;
 }
 
-void ThreadPool::SetGlobalThreads(int num_threads) {
+Status ThreadPool::SetGlobalThreads(int num_threads) {
   std::unique_ptr<ThreadPool> old;
   {
     std::lock_guard<std::mutex> lock(g_global_mu);
+    if (g_global_pool != nullptr) {
+      // Swapping pools under live work used to be a documented-but-silent
+      // footgun: callers racing the old pool would lose its workers mid
+      // task. Refuse instead. The grace wait absorbs the microseconds a
+      // ParallelFor's helpers spend unwinding after the call has already
+      // returned to the caller — logically-complete work, not a misuse.
+      // (Best-effort: a caller that submits right after this check is
+      // still violating the "between phases" contract, but every observed
+      // misuse is now loud.)
+      if (!g_global_pool->WaitIdleFor(100'000)) {
+        return Status::FailedPrecondition(StrFormat(
+            "SetGlobalThreads while the old pool still has %zu queued or "
+            "in-flight task(s); Drain() it or call between phases",
+            g_global_pool->pending_tasks()));
+      }
+    }
     old = std::move(g_global_pool);
     g_global_pool = std::make_unique<ThreadPool>(num_threads);
   }
-  // Old pool (if any) drains and joins here, outside the registry lock.
+  // Old pool (if any) joins its idle workers here, outside the lock.
+  return Status::OK();
 }
 
 int ThreadPool::GlobalThreads() { return Global().num_threads(); }

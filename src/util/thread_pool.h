@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 namespace deepsd {
 namespace util {
 
@@ -62,6 +64,20 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const std::function<void(size_t, size_t)>& fn);
 
+  /// Queued tasks plus tasks a worker is currently executing. Zero means
+  /// the pool is quiescent (inline-executed work never enters the queue
+  /// and is synchronous, so it cannot be pending). A snapshot: concurrent
+  /// Submit calls can change it immediately after.
+  size_t pending_tasks() const;
+
+  /// Blocks until the pool is quiescent — every queued task popped and
+  /// every in-flight task finished. Accepted work is never discarded:
+  /// drain waits for it rather than cancelling it. Tasks submitted *while*
+  /// draining are also waited for (admission control is the serving
+  /// queue's job, not the pool's); callers that want a true phase boundary
+  /// stop submitting first, as SetGlobalThreads requires.
+  void Drain();
+
   /// The process-wide shared pool used by the trainer, the serving layer
   /// and feature assembly. Created on first use with hardware concurrency
   /// unless SetGlobalThreads was called earlier.
@@ -69,8 +85,13 @@ class ThreadPool {
 
   /// Replaces the global pool with one of `num_threads` (<= 0 restores
   /// hardware concurrency) — the `--threads` flag of the tools. Must not
-  /// race with work on the old pool; call it between phases.
-  static void SetGlobalThreads(int num_threads);
+  /// race with work on the old pool; call it between phases. That
+  /// precondition is now enforced rather than documented: if the old pool
+  /// still has queued or in-flight tasks after a short grace wait (which
+  /// absorbs the microseconds a just-completed ParallelFor's helpers spend
+  /// unwinding), the swap is refused with FailedPrecondition and the old
+  /// pool stays in place.
+  [[nodiscard]] static Status SetGlobalThreads(int num_threads);
 
   /// Size of the global pool (creates it if needed).
   static int GlobalThreads();
@@ -81,13 +102,20 @@ class ThreadPool {
   void WorkerLoop(int worker_id);
   /// Runs queued chunks of `state` until none remain.
   static void RunChunks(ForState* state);
+  /// Bounded Drain: true if the pool went quiescent within the timeout.
+  bool WaitIdleFor(int64_t timeout_us);
 
   int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  /// Signalled whenever the pool may have become quiescent (a worker
+  /// finished a task and the queue is empty). Drain waits on it.
+  std::condition_variable idle_cv_;
   std::deque<std::function<void()>> queue_;
+  /// Tasks popped from the queue and currently executing (guarded by mu_).
+  size_t active_ = 0;
   bool stop_ = false;
 };
 

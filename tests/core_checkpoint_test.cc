@@ -48,7 +48,7 @@ class CheckpointTest : public ::testing::Test {
   }
 
   void TearDown() override {
-    util::ThreadPool::SetGlobalThreads(1);
+    EXPECT_TRUE(util::ThreadPool::SetGlobalThreads(1).ok());
     std::filesystem::remove_all(dir_);
   }
 
@@ -83,7 +83,7 @@ class CheckpointTest : public ::testing::Test {
                 uint64_t every = 0,
                 const std::function<void(const EpochStats&)>& on_epoch = nullptr,
                 const TrainerCheckpoint* resume = nullptr) {
-    util::ThreadPool::SetGlobalThreads(threads);
+    EXPECT_TRUE(util::ThreadPool::SetGlobalThreads(threads).ok());
     RunOutput out;
     out.store = std::make_unique<nn::ParameterStore>();
     util::Rng rng(5);

@@ -41,7 +41,7 @@ class ParallelDeterminismTest : public ::testing::Test {
   }
 
   void TearDown() override {
-    util::ThreadPool::SetGlobalThreads(1);
+    EXPECT_TRUE(util::ThreadPool::SetGlobalThreads(1).ok());
     nn::kernels::SetKernelMode(saved_kernel_mode_);
   }
 
@@ -53,7 +53,7 @@ class ParallelDeterminismTest : public ::testing::Test {
   }
 
   RunOutput Run(int threads, DeepSDModel::Mode mode) {
-    util::ThreadPool::SetGlobalThreads(threads);
+    EXPECT_TRUE(util::ThreadPool::SetGlobalThreads(threads).ok());
     RunOutput out;
     out.store = std::make_unique<nn::ParameterStore>();
     util::Rng rng(5);
@@ -175,9 +175,9 @@ TEST_F(ParallelDeterminismTest, KernelModesBitIdenticalBasicMode) {
 TEST_F(ParallelDeterminismTest, FeatureTablesBitIdenticalAcrossThreads) {
   feature::FeatureConfig fc;
   fc.window = kL;
-  util::ThreadPool::SetGlobalThreads(1);
+  EXPECT_TRUE(util::ThreadPool::SetGlobalThreads(1).ok());
   feature::FeatureAssembler serial(&ds_, fc, 0, 10);
-  util::ThreadPool::SetGlobalThreads(4);
+  EXPECT_TRUE(util::ThreadPool::SetGlobalThreads(4).ok());
   feature::FeatureAssembler parallel(&ds_, fc, 0, 10);
   for (int area = 0; area < ds_.num_areas(); ++area) {
     for (int kind = 0; kind < 3; ++kind) {
@@ -194,13 +194,13 @@ TEST_F(ParallelDeterminismTest, FeatureTablesBitIdenticalAcrossThreads) {
 }
 
 TEST_F(ParallelDeterminismTest, PredictBitIdenticalForAnyChunking) {
-  util::ThreadPool::SetGlobalThreads(1);
+  EXPECT_TRUE(util::ThreadPool::SetGlobalThreads(1).ok());
   nn::ParameterStore store;
   util::Rng rng(5);
   DeepSDModel model(Config(), DeepSDModel::Mode::kBasic, &store, &rng);
   AssemblerSource test(assembler_.get(), test_items_, /*advanced=*/false);
   std::vector<float> base = model.Predict(test, /*batch_size=*/256);
-  util::ThreadPool::SetGlobalThreads(4);
+  EXPECT_TRUE(util::ThreadPool::SetGlobalThreads(4).ok());
   for (int batch : {1, 7, 64, 256}) {
     std::vector<float> p = model.Predict(test, batch);
     ASSERT_EQ(p.size(), base.size());
@@ -215,7 +215,7 @@ TEST_F(ParallelDeterminismTest, ServingPredictAllAndBatchBitIdentical) {
   DeepSDModel model(Config(), DeepSDModel::Mode::kAdvanced, &store, &rng);
 
   auto run = [&](int threads) {
-    util::ThreadPool::SetGlobalThreads(threads);
+    EXPECT_TRUE(util::ThreadPool::SetGlobalThreads(threads).ok());
     serving::OnlinePredictor predictor(&model, assembler_.get());
     Replay(&predictor.buffer(), /*day=*/10, /*t=*/520);
     return predictor.PredictAll();
@@ -228,7 +228,7 @@ TEST_F(ParallelDeterminismTest, ServingPredictAllAndBatchBitIdentical) {
             0);
 
   // PredictBatch over a subset must agree element-wise with PredictAll.
-  util::ThreadPool::SetGlobalThreads(4);
+  EXPECT_TRUE(util::ThreadPool::SetGlobalThreads(4).ok());
   serving::OnlinePredictor predictor(&model, assembler_.get());
   Replay(&predictor.buffer(), 10, 520);
   std::vector<float> all = predictor.PredictAll();

@@ -1,5 +1,7 @@
+#include <atomic>
 #include <cmath>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,6 +10,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/obs.h"
 #include "src/serving/online_predictor.h"
+#include "src/util/deadline.h"
 #include "src/util/fault_injector.h"
 #include "tests/test_util.h"
 
@@ -256,6 +259,78 @@ TEST_F(ServingDegradationTest, MalformedEventsRejectedNotFatal) {
   buffer.AddOrder(good);
   EXPECT_EQ(buffer.buffered_orders(), 1u);
   EXPECT_EQ(buffer.rejected_events(), 4u);
+}
+
+TEST_F(ServingDegradationTest, ConcurrentFaultyIngestionWhilePredicting) {
+  // Live-feed threads hammer the buffer through a lossy fault injector
+  // (drops, delays, corruption) while other threads run deadline-carrying
+  // PredictBatch calls. Whatever the interleaving, every answer must be
+  // complete and finite and every expired call reported as baseline —
+  // the TSAN job runs this test to certify the locking.
+  ASSERT_TRUE(util::FaultInjector::Global()
+                  .ConfigureFromSpec(
+                      "drop_event=0.15,delay_event=0.15,corrupt_event=0.15,"
+                      "seed=99")
+                  .ok());
+  OnlinePredictor predictor(model_.get(), assembler_.get());
+  ReplayWithCutoffs(&predictor.buffer(), 11, 700, 0, 0, 0);
+  std::vector<int> areas;
+  for (int a = 0; a < ds_.num_areas(); ++a) areas.push_back(a);
+
+  std::atomic<bool> stop{false};
+  std::thread feeder([this, &predictor, &stop] {
+    OrderStreamBuffer& buffer = predictor.buffer();
+    int ts = 700;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Feed the (already-fault-filtered) day-11 tail minute by minute;
+      // past the end of the day, keep re-sending the last minute so the
+      // feeder runs as long as the predictors do.
+      const int minute = std::min(ts, data::kMinutesPerDay - 1);
+      for (int a = 0; a < ds_.num_areas(); ++a) {
+        for (const data::Order& o : ds_.OrdersAt(a, 11, minute)) {
+          buffer.AddOrder(o);
+        }
+        data::TrafficRecord tr = ds_.TrafficAt(a, 11, minute);
+        tr.area = a;
+        tr.day = 11;
+        tr.ts = minute;
+        buffer.AddTraffic(tr);
+      }
+      data::WeatherRecord w = ds_.WeatherAt(11, minute);
+      w.day = 11;
+      w.ts = minute;
+      buffer.AddWeather(w);
+      if (ts < data::kMinutesPerDay - 1) {
+        buffer.AdvanceTo(11, ts + 1);
+      }
+      ++ts;
+    }
+  });
+
+  std::atomic<int> bad{0};
+  std::vector<std::thread> predictors;
+  for (int t = 0; t < 3; ++t) {
+    predictors.emplace_back([&predictor, &areas, &bad, t] {
+      for (int i = 0; i < 30; ++i) {
+        const bool expire = (i + t) % 3 == 0;
+        PredictResult r = predictor.PredictBatch(
+            areas, expire ? util::Deadline::AtSteadyUs(1)
+                          : util::Deadline::Infinite());
+        if (r.gaps.size() != areas.size()) {
+          bad.fetch_add(1);
+          continue;
+        }
+        for (float g : r.gaps) {
+          if (!std::isfinite(g)) bad.fetch_add(1);
+        }
+        if (expire && !r.deadline_expired) bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : predictors) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  feeder.join();
+  EXPECT_EQ(bad.load(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,251 @@
+// Unit tests for the overload-protection primitives: Deadline,
+// RateLimiter, CircuitBreaker. Everything time-dependent goes through the
+// *At(now_us) variants with a hand-advanced virtual clock, so the tests
+// are deterministic on any machine (including the 1-core CI runners).
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/circuit_breaker.h"
+#include "util/deadline.h"
+#include "util/rate_limiter.h"
+
+namespace deepsd {
+namespace util {
+namespace {
+
+// ---------------------------------------------------------------- Deadline
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_FALSE(d.ExpiredAt(Deadline::kInfiniteUs - 1));
+  EXPECT_EQ(d.remaining_us(), Deadline::kInfiniteUs);
+  EXPECT_EQ(d.deadline_us(), Deadline::kInfiniteUs);
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+}
+
+TEST(DeadlineTest, AtSteadyUsExpiresExactlyAtTheInstant) {
+  Deadline d = Deadline::AtSteadyUs(1000);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.ExpiredAt(999));
+  EXPECT_TRUE(d.ExpiredAt(1000));
+  EXPECT_TRUE(d.ExpiredAt(2000));
+  EXPECT_EQ(d.RemainingAt(400), 600);
+  EXPECT_EQ(d.RemainingAt(1000), 0);
+  EXPECT_EQ(d.RemainingAt(5000), 0);
+}
+
+TEST(DeadlineTest, AfterClampsNegativeToNow) {
+  Deadline d = Deadline::After(-50);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_us(), 0);
+}
+
+TEST(DeadlineTest, AfterMillisExpiresOnTheRealClock) {
+  Deadline d = Deadline::AfterMillis(1);
+  EXPECT_FALSE(d.infinite());
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(DeadlineTest, NowSteadyUsIsMonotone) {
+  int64_t a = NowSteadyUs();
+  int64_t b = NowSteadyUs();
+  EXPECT_LE(a, b);
+}
+
+// ------------------------------------------------------------- RateLimiter
+
+TEST(RateLimiterTest, BurstThenRefill) {
+  // 10 tokens/sec, burst 3: three immediate acquires pass, the fourth
+  // fails until 100ms of virtual time refills one token.
+  RateLimiter limiter(10.0, 3.0);
+  int64_t now = 1'000'000;
+  limiter.ResetAt(now);
+  EXPECT_TRUE(limiter.TryAcquireAt(now));
+  EXPECT_TRUE(limiter.TryAcquireAt(now));
+  EXPECT_TRUE(limiter.TryAcquireAt(now));
+  EXPECT_FALSE(limiter.TryAcquireAt(now));
+  EXPECT_FALSE(limiter.TryAcquireAt(now + 50'000));   // half a token
+  EXPECT_TRUE(limiter.TryAcquireAt(now + 100'000));   // one token
+  EXPECT_FALSE(limiter.TryAcquireAt(now + 100'000));  // spent again
+}
+
+TEST(RateLimiterTest, BucketCapsAtBurst) {
+  RateLimiter limiter(100.0, 2.0);
+  int64_t now = 0;
+  limiter.ResetAt(now);
+  // A long idle period must not bank more than `burst` tokens.
+  now += 10'000'000;
+  EXPECT_DOUBLE_EQ(limiter.AvailableAt(now), 2.0);
+  EXPECT_TRUE(limiter.TryAcquireAt(now));
+  EXPECT_TRUE(limiter.TryAcquireAt(now));
+  EXPECT_FALSE(limiter.TryAcquireAt(now));
+}
+
+TEST(RateLimiterTest, ZeroRateIsUnlimited) {
+  RateLimiter limiter(0.0, 1.0);
+  EXPECT_TRUE(limiter.unlimited());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(limiter.TryAcquireAt(123));
+}
+
+TEST(RateLimiterTest, BurstBelowOneIsClampedToOne) {
+  RateLimiter limiter(1.0, 0.0);
+  EXPECT_DOUBLE_EQ(limiter.burst(), 1.0);
+  limiter.ResetAt(0);
+  EXPECT_TRUE(limiter.TryAcquireAt(0));
+  EXPECT_FALSE(limiter.TryAcquireAt(0));
+}
+
+TEST(RateLimiterTest, MultiTokenAcquire) {
+  RateLimiter limiter(10.0, 5.0);
+  limiter.ResetAt(0);
+  EXPECT_FALSE(limiter.TryAcquireAt(0, 6.0));  // more than the bucket holds
+  EXPECT_TRUE(limiter.TryAcquireAt(0, 5.0));
+  EXPECT_FALSE(limiter.TryAcquireAt(0, 1.0));
+}
+
+TEST(RateLimiterTest, BackwardsClockDoesNotMintTokens) {
+  RateLimiter limiter(10.0, 1.0);
+  limiter.ResetAt(1'000'000);
+  EXPECT_TRUE(limiter.TryAcquireAt(1'000'000));
+  // An out-of-order timestamp (clock observed on another thread) must not
+  // refill or crash; the bucket stays empty.
+  EXPECT_FALSE(limiter.TryAcquireAt(500'000));
+  EXPECT_FALSE(limiter.TryAcquireAt(1'000'000));
+}
+
+// ---------------------------------------------------------- CircuitBreaker
+
+CircuitBreaker::Config TestBreakerConfig() {
+  CircuitBreaker::Config c;
+  c.failure_threshold = 3;
+  c.open_duration_us = 1000;
+  c.half_open_probes = 2;
+  c.name = "test_breaker";
+  return c;
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  int64_t now = 0;
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailureAt(now);
+  breaker.RecordFailureAt(now);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailureAt(now);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_FALSE(breaker.AllowAt(now + 1));
+  EXPECT_EQ(breaker.rejected(), 1u);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  for (int round = 0; round < 5; ++round) {
+    breaker.RecordFailureAt(0);
+    breaker.RecordFailureAt(0);
+    breaker.RecordSuccessAt(0);  // streak broken before the threshold
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.times_opened(), 0u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbesThenClose) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  int64_t now = 0;
+  for (int i = 0; i < 3; ++i) breaker.RecordFailureAt(now);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // Open window holds...
+  EXPECT_FALSE(breaker.AllowAt(now + 999));
+  // ...then the first Allow transitions to half-open and admits a probe.
+  EXPECT_TRUE(breaker.AllowAt(now + 1000));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowAt(now + 1001));   // second probe slot
+  EXPECT_FALSE(breaker.AllowAt(now + 1002));  // both slots in flight
+  breaker.RecordSuccessAt(now + 1100);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  breaker.RecordSuccessAt(now + 1200);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowAt(now + 1300));
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensAndRearms) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  int64_t now = 0;
+  for (int i = 0; i < 3; ++i) breaker.RecordFailureAt(now);
+  EXPECT_TRUE(breaker.AllowAt(now + 1000));  // half-open probe
+  breaker.RecordFailureAt(now + 1100);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  // The window restarts from the re-open instant.
+  EXPECT_FALSE(breaker.AllowAt(now + 1100 + 999));
+  EXPECT_TRUE(breaker.AllowAt(now + 1100 + 1000));
+}
+
+TEST(CircuitBreakerTest, CancelProbeFreesTheSlotWithoutClosing) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  int64_t now = 0;
+  for (int i = 0; i < 3; ++i) breaker.RecordFailureAt(now);
+  EXPECT_TRUE(breaker.AllowAt(now + 1000));
+  EXPECT_TRUE(breaker.AllowAt(now + 1001));
+  EXPECT_FALSE(breaker.AllowAt(now + 1002));
+  // Cancelling returns a slot but records no outcome: another probe can
+  // start and the breaker must still be half-open, not closed.
+  breaker.CancelProbe();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.AllowAt(now + 1003));
+}
+
+TEST(CircuitBreakerTest, ResetClosesButKeepsCumulativeCounters) {
+  CircuitBreaker breaker(TestBreakerConfig());
+  for (int i = 0; i < 3; ++i) breaker.RecordFailureAt(0);
+  EXPECT_FALSE(breaker.AllowAt(1));
+  breaker.Reset();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowAt(2));
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_EQ(breaker.rejected(), 1u);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kClosed),
+               "closed");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kOpen),
+               "open");
+  EXPECT_STREQ(CircuitBreaker::StateName(CircuitBreaker::State::kHalfOpen),
+               "half-open");
+}
+
+TEST(CircuitBreakerTest, ConcurrentTrafficNeverDeadlocksOrMiscounts) {
+  CircuitBreaker::Config c = TestBreakerConfig();
+  c.failure_threshold = 2;
+  CircuitBreaker breaker(c);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&breaker, t] {
+      for (int i = 0; i < 500; ++i) {
+        if (breaker.Allow()) {
+          if ((i + t) % 3 == 0) {
+            breaker.RecordFailure();
+          } else {
+            breaker.RecordSuccess();
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // No strict final-state assertion (timing-dependent); the invariant is
+  // that the state machine stayed coherent enough to answer.
+  (void)breaker.state();
+  EXPECT_GE(breaker.times_opened(), 0u);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace deepsd

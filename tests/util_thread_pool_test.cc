@@ -1,12 +1,17 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+
+#include "util/status.h"
 
 namespace deepsd {
 namespace util {
@@ -172,16 +177,94 @@ TEST(ThreadPoolTest, SerialPoolMatchesParallelResults) {
   EXPECT_EQ(run(serial), run(parallel));
 }
 
+TEST(ThreadPoolTest, SubmitExceptionDoesNotKillTheWorker) {
+  ThreadPool pool(2);  // exactly one background worker
+  auto boom = pool.Submit([] { throw std::runtime_error("queued boom"); });
+  EXPECT_THROW(boom.get(), std::runtime_error);
+  // The same (sole) worker must still be alive to run the next task.
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] { ran.fetch_add(1); }).get();
+  }
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, DrainWaitsForQueuedAndExecutingTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  // Two workers park on the gate; more tasks pile up behind them.
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done, opened] {
+      opened.wait();
+      done.fetch_add(1);
+    });
+  }
+  EXPECT_GT(pool.pending_tasks(), 0u);
+  EXPECT_EQ(done.load(), 0);
+  gate.set_value();
+  pool.Drain();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_EQ(pool.pending_tasks(), 0u);
+}
+
+TEST(ThreadPoolTest, DrainOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(4);
+  pool.Drain();
+  pool.Drain();
+  EXPECT_EQ(pool.pending_tasks(), 0u);
+}
+
+TEST(ThreadPoolTest, DestructorRunsAlreadyQueuedTasks) {
+  // Tasks accepted before the destructor must run, not be dropped — same
+  // accepted-work guarantee the serving queue builds on.
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  {
+    ThreadPool pool(3);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    for (int i = 0; i < 50; ++i) {
+      futures.push_back(pool.Submit([&ran, opened] {
+        opened.wait();
+        ran.fetch_add(1);
+      }));
+    }
+    gate.set_value();
+  }  // destructor joins the workers after they empty the queue
+  EXPECT_EQ(ran.load(), 50);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+  }
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsRefusedWhileGlobalPoolBusy) {
+  ASSERT_TRUE(ThreadPool::SetGlobalThreads(2).ok());
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  auto busy = ThreadPool::Global().Submit([opened] { opened.wait(); });
+  Status st = ThreadPool::SetGlobalThreads(4);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), Status::Code::kFailedPrecondition);
+  // The old pool is untouched: the blocked task still completes.
+  gate.set_value();
+  busy.get();
+  ThreadPool::Global().Drain();
+  EXPECT_TRUE(ThreadPool::SetGlobalThreads(1).ok());
+}
+
 TEST(ThreadPoolTest, GlobalPoolResizable) {
   int before = ThreadPool::GlobalThreads();
   EXPECT_GE(before, 1);
-  ThreadPool::SetGlobalThreads(2);
+  EXPECT_TRUE(ThreadPool::SetGlobalThreads(2).ok());
   EXPECT_EQ(ThreadPool::GlobalThreads(), 2);
   std::atomic<int> n{0};
   ThreadPool::Global().ParallelFor(0, 5, 1,
                                    [&](size_t, size_t) { n.fetch_add(1); });
   EXPECT_EQ(n.load(), 5);
-  ThreadPool::SetGlobalThreads(1);
+  EXPECT_TRUE(ThreadPool::SetGlobalThreads(1).ok());
   EXPECT_EQ(ThreadPool::GlobalThreads(), 1);
 }
 

@@ -1,12 +1,14 @@
 // deepsd_metrics_report: pretty-print a metrics dump produced by
 // deepsd_train / deepsd_simulate --metrics-out.
 //
-//   deepsd_metrics_report --in=metrics.jsonl [--filter=serving/]
+//   deepsd_metrics_report --in=metrics.jsonl [--filter=serving/] [--overload]
 //
 // Renders the counters/gauges table and the histogram quantile table
 // (count / mean / p50 / p90 / p99 / max, microseconds for latency
 // histograms). --filter keeps only metrics whose name contains the given
-// substring.
+// substring. --overload appends an admission-control summary (offered /
+// admitted / shed-by-reason / deadline misses / queue-wait quantiles)
+// derived from the serving/* metrics of docs/robustness.md.
 
 #include <cstdio>
 #include <string>
@@ -15,14 +17,68 @@
 #include "obs/metrics_io.h"
 #include "util/cli.h"
 
+namespace {
+
+/// Overload-protection digest: turns the raw serving/* metrics into the
+/// one accounting identity an operator checks first — offered == admitted
+/// + shed — plus where the sheds went and how long admitted work waited.
+void PrintOverloadSummary(
+    const std::vector<deepsd::obs::MetricSnapshot>& snapshots) {
+  auto counter = [&](const char* name) -> double {
+    for (const auto& s : snapshots) {
+      if (s.name == name) return s.value;
+    }
+    return 0.0;
+  };
+  const deepsd::obs::MetricSnapshot* wait = nullptr;
+  for (const auto& s : snapshots) {
+    if (s.name == "serving/queue_wait_us" &&
+        s.kind == deepsd::obs::MetricSnapshot::Kind::kHistogram) {
+      wait = &s;
+    }
+  }
+  const double admitted = counter("serving/admitted");
+  const double shed_full = counter("serving/shed_queue_full");
+  const double shed_deadline = counter("serving/shed_deadline");
+  const double shed_rate = counter("serving/shed_rate_limited");
+  const double shed_breaker = counter("serving/shed_breaker");
+  const double shed_draining = counter("serving/shed_draining");
+  const double shed =
+      shed_full + shed_deadline + shed_rate + shed_breaker + shed_draining;
+  const double offered = admitted + shed;
+  std::printf("\noverload summary\n");
+  std::printf("  offered          %12.0f\n", offered);
+  std::printf("  admitted         %12.0f (%.1f%%)\n", admitted,
+              offered > 0 ? 100.0 * admitted / offered : 0.0);
+  std::printf("  shed             %12.0f (%.1f%%)\n", shed,
+              offered > 0 ? 100.0 * shed / offered : 0.0);
+  std::printf("    queue full     %12.0f\n", shed_full);
+  std::printf("    deadline       %12.0f\n", shed_deadline);
+  std::printf("    rate limited   %12.0f\n", shed_rate);
+  std::printf("    breaker        %12.0f\n", shed_breaker);
+  std::printf("    draining       %12.0f\n", shed_draining);
+  std::printf("  deadline misses  %12.0f (admitted but late)\n",
+              counter("serving/deadline_miss"));
+  std::printf("  predict expired  %12.0f (abandoned mid-pipeline)\n",
+              counter("serving/predict_deadline_expired"));
+  std::printf("  watchdog wedged  %12.0f\n",
+              counter("serving/watchdog_wedged"));
+  if (wait != nullptr && wait->count > 0) {
+    std::printf("  queue wait us    p50 %.0f  p90 %.0f  p99 %.0f  max %.0f\n",
+                wait->p50, wait->p90, wait->p99, wait->max);
+  }
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace deepsd;
   util::CommandLine cli(argc, argv);
-  util::Status st = cli.CheckKnown({"in", "filter", "help"});
+  util::Status st = cli.CheckKnown({"in", "filter", "overload", "help"});
   if (!st.ok() || cli.GetBool("help", false) || !cli.Has("in")) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_metrics_report --in=metrics.jsonl "
-                 "[--filter=substring]\n",
+                 "[--filter=substring] [--overload]\n",
                  st.ToString().c_str());
     return st.ok() ? 2 : 2;
   }
@@ -46,5 +102,6 @@ int main(int argc, char** argv) {
   }
 
   std::fputs(obs::RenderTable(snapshots).c_str(), stdout);
+  if (cli.GetBool("overload", false)) PrintOverloadSummary(snapshots);
   return 0;
 }

@@ -33,8 +33,12 @@ int main(int argc, char** argv) {
   }
 
   // 0 = hardware concurrency; predictions are bit-identical for any value.
-  util::ThreadPool::SetGlobalThreads(
+  st = util::ThreadPool::SetGlobalThreads(
       static_cast<int>(cli.GetInt("threads", 0)));
+  if (!st.ok()) {
+    std::fprintf(stderr, "--threads: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   data::OrderDataset dataset;
   st = data::LoadDataset(cli.GetString("data"), &dataset);

@@ -14,8 +14,12 @@
 // Perfetto. See docs/observability.md.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "core/trainer.h"
 #include "data/serialize.h"
@@ -24,9 +28,13 @@
 #include "obs/metrics_io.h"
 #include "obs/trace.h"
 #include "serving/online_predictor.h"
+#include "serving/serving_queue.h"
 #include "sim/city_sim.h"
+#include "util/circuit_breaker.h"
 #include "util/cli.h"
+#include "util/deadline.h"
 #include "util/fault_injector.h"
+#include "util/rate_limiter.h"
 #include "util/thread_pool.h"
 
 namespace deepsd {
@@ -118,19 +126,236 @@ void RunInstrumentedPipeline(const data::OrderDataset& dataset,
   dispatch::RunClosedLoop(city_config, &policy, clc);
 }
 
+/// Closed-loop overload spike against a ServingQueue-fronted predictor:
+/// calibrate the per-request service time, then offer load in three phases
+/// — a ramp (1x..5x the sustainable rate), a burst (`burst_mult`x), and a
+/// sustained 2x tail — with per-request deadlines a few service times
+/// long. Verifies the overload invariants the robustness docs promise:
+/// admitted + shed == offered, every accepted request resolves (zero
+/// losses), and Drain() closes admission without abandoning work. Returns
+/// false (and prints why) when any invariant breaks.
+bool RunOverloadScenario(const data::OrderDataset& dataset, double burst_mult,
+                         int requests_per_phase) {
+  const int num_days = dataset.num_days();
+  if (num_days < 3) {
+    std::fprintf(stderr, "--overload needs >= 3 days, have %d\n", num_days);
+    return false;
+  }
+  const int train_days = std::max(2, num_days * 2 / 3);
+  const int serve_day = train_days;
+
+  std::printf("overload: training probe model on days [0,%d)...\n",
+              train_days);
+  feature::FeatureConfig fc;
+  feature::FeatureAssembler assembler(&dataset, fc, 0, train_days);
+  auto train_items = data::MakeItems(dataset, 0, train_days, 20, 1430, 60);
+  core::DeepSDConfig config;
+  config.num_areas = dataset.num_areas();
+  config.use_weather = dataset.has_weather();
+  config.use_traffic = dataset.has_traffic();
+  nn::ParameterStore params;
+  util::Rng rng(7);
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kBasic, &params,
+                          &rng);
+  core::TrainConfig tc;
+  tc.epochs = 1;
+  tc.best_k = 0;
+  core::AssemblerSource train(&assembler, train_items, /*advanced=*/false);
+  core::Trainer(tc).Train(&model, &params, train, train);
+
+  // Feed the live buffer a healthy morning window so admission decisions,
+  // not staleness fallbacks, are what the scenario exercises.
+  serving::OnlinePredictor predictor(&model, &assembler);
+  serving::OrderStreamBuffer& buffer = predictor.buffer();
+  const int t_now = 480;
+  buffer.AdvanceTo(serve_day, t_now - fc.window);
+  for (int ts = t_now - fc.window; ts < t_now; ++ts) {
+    for (int a = 0; a < dataset.num_areas(); ++a) {
+      for (const data::Order& o : dataset.OrdersAt(a, serve_day, ts)) {
+        buffer.AddOrder(o);
+      }
+      if (dataset.has_traffic()) {
+        data::TrafficRecord tr = dataset.TrafficAt(a, serve_day, ts);
+        tr.area = a;
+        tr.day = serve_day;
+        tr.ts = ts;
+        buffer.AddTraffic(tr);
+      }
+    }
+    if (dataset.has_weather()) {
+      data::WeatherRecord w = dataset.WeatherAt(serve_day, ts);
+      w.day = serve_day;
+      w.ts = ts;
+      buffer.AddWeather(w);
+    }
+  }
+  predictor.AdvanceTo(serve_day, t_now);
+
+  std::vector<int> all_areas(static_cast<size_t>(dataset.num_areas()));
+  for (int a = 0; a < dataset.num_areas(); ++a) {
+    all_areas[static_cast<size_t>(a)] = a;
+  }
+
+  // Calibrate: a few unhurried requests establish the service-time EWMA
+  // the deadline-feasibility shed relies on.
+  int64_t calib_start = util::NowSteadyUs();
+  for (int i = 0; i < 4; ++i) {
+    predictor.PredictBatch(all_areas, util::Deadline::Infinite());
+  }
+  const double service_us = std::max(
+      static_cast<double>(util::NowSteadyUs() - calib_start) / 4.0, 100.0);
+  std::printf("overload: calibrated service time %.0f us/request\n",
+              service_us);
+
+  // The guard rails: a rate limiter at ~3x the sustainable rate (so the
+  // ramp passes but the burst trips it) and a breaker that opens after a
+  // run of deadline misses and recovers quickly enough to probe within
+  // the scenario.
+  util::RateLimiter limiter(3.0 * 1e6 / service_us, /*burst=*/8.0);
+  util::CircuitBreaker::Config bc;
+  bc.failure_threshold = 8;
+  bc.open_duration_us = static_cast<int64_t>(service_us * 4);
+  bc.name = "overload_breaker";
+  util::CircuitBreaker breaker(bc);
+
+  serving::ServingQueueConfig qc;
+  qc.capacity = 16;
+  qc.num_workers = 1;
+  qc.default_deadline_us = static_cast<int64_t>(service_us * 4);
+  qc.rate_limiter = &limiter;
+  qc.breaker = &breaker;
+  qc.watchdog_stuck_us = 10'000'000;
+  serving::ServingQueue queue(&predictor, qc);
+
+  struct Phase {
+    const char* name;
+    double mult;
+  };
+  const Phase phases[] = {{"ramp_1x", 1.0},
+                          {"ramp_2x", 2.0},
+                          {"ramp_5x", 5.0},
+                          {"burst", burst_mult},
+                          {"sustained_2x", 2.0}};
+  std::vector<std::future<serving::ServingResponse>> futures;
+  futures.reserve(static_cast<size_t>(requests_per_phase) * 5);
+  for (const Phase& phase : phases) {
+    // Below ~50us the sleep's own scheduling latency throttles the offered
+    // load; a genuinely overloading phase just submits back to back.
+    const int64_t inter_us =
+        static_cast<int64_t>(service_us / phase.mult);
+    const serving::ServingQueueStats before = queue.stats();
+    for (int i = 0; i < requests_per_phase; ++i) {
+      futures.push_back(queue.Submit(all_areas));
+      if (inter_us >= 50) {
+        std::this_thread::sleep_for(std::chrono::microseconds(inter_us));
+      }
+    }
+    const serving::ServingQueueStats after = queue.stats();
+    std::printf(
+        "overload: phase %-12s offered %3llu admitted %3llu shed %3llu "
+        "(full %llu deadline %llu rate %llu breaker %llu)\n",
+        phase.name,
+        static_cast<unsigned long long>(after.offered - before.offered),
+        static_cast<unsigned long long>(after.admitted - before.admitted),
+        static_cast<unsigned long long>(after.shed_total() -
+                                        before.shed_total()),
+        static_cast<unsigned long long>(after.shed_queue_full -
+                                        before.shed_queue_full),
+        static_cast<unsigned long long>(after.shed_deadline -
+                                        before.shed_deadline),
+        static_cast<unsigned long long>(after.shed_rate_limited -
+                                        before.shed_rate_limited),
+        static_cast<unsigned long long>(after.shed_breaker -
+                                        before.shed_breaker));
+  }
+
+  // Every future must resolve — shed ones immediately, admitted ones once
+  // served. A hung future is a lost request, the one failure mode the
+  // queue exists to rule out.
+  size_t lost = 0, resolved_admitted = 0, misses = 0;
+  for (auto& f : futures) {
+    if (f.wait_for(std::chrono::seconds(30)) != std::future_status::ready) {
+      ++lost;
+      continue;
+    }
+    serving::ServingResponse r = f.get();
+    if (r.admitted()) {
+      ++resolved_admitted;
+      if (r.deadline_missed) ++misses;
+    }
+  }
+
+  queue.Drain();
+  // Admission must stay closed after a drain.
+  serving::ServingResponse post_drain =
+      queue.Submit(all_areas, util::Deadline::Infinite()).get();
+
+  const serving::ServingQueueStats s = queue.stats();
+  std::printf(
+      "overload: total offered %llu admitted %llu shed %llu "
+      "deadline_miss %llu breaker_opened %llu\n",
+      static_cast<unsigned long long>(s.offered),
+      static_cast<unsigned long long>(s.admitted),
+      static_cast<unsigned long long>(s.shed_total()),
+      static_cast<unsigned long long>(s.deadline_misses),
+      static_cast<unsigned long long>(breaker.times_opened()));
+
+  bool ok = true;
+  if (lost != 0) {
+    std::fprintf(stderr, "overload FAIL: %zu request(s) never resolved\n",
+                 lost);
+    ok = false;
+  }
+  if (s.offered != s.admitted + s.shed_total()) {
+    std::fprintf(stderr,
+                 "overload FAIL: offered %llu != admitted %llu + shed %llu "
+                 "(silent drop)\n",
+                 static_cast<unsigned long long>(s.offered),
+                 static_cast<unsigned long long>(s.admitted),
+                 static_cast<unsigned long long>(s.shed_total()));
+    ok = false;
+  }
+  if (resolved_admitted != s.completed || s.completed != s.admitted) {
+    std::fprintf(stderr,
+                 "overload FAIL: admitted %llu completed %llu resolved %zu\n",
+                 static_cast<unsigned long long>(s.admitted),
+                 static_cast<unsigned long long>(s.completed),
+                 resolved_admitted);
+    ok = false;
+  }
+  if (s.admitted == 0) {
+    std::fprintf(stderr, "overload FAIL: everything was shed\n");
+    ok = false;
+  }
+  if (post_drain.verdict != serving::AdmitVerdict::kShedDraining) {
+    std::fprintf(stderr,
+                 "overload FAIL: post-drain submit was not shed as draining "
+                 "(got %s)\n",
+                 serving::ServingQueue::VerdictName(post_drain.verdict));
+    ok = false;
+  }
+  if (ok) std::printf("overload scenario OK (%zu misses of admitted)\n",
+                      misses);
+  return ok;
+}
+
 int Main(int argc, char** argv) {
   util::CommandLine cli(argc, argv);
   util::Status st = cli.CheckKnown({"out", "areas", "days", "seed",
                                     "mean_scale", "no_weather", "no_traffic",
                                     "first_weekday", "threads", "faults",
-                                    "metrics-out", "trace-out", "help"});
+                                    "metrics-out", "trace-out", "overload",
+                                    "overload_burst", "overload_requests",
+                                    "help"});
   if (!st.ok() || cli.GetBool("help", false)) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_simulate --out=city.bin [--areas=58] "
                  "[--days=52] [--seed=42] [--mean_scale=1.0] [--no_weather] "
                  "[--no_traffic] [--first_weekday=1] [--threads=N] "
                  "[--faults=drop_event=0.1,seed=42] "
-                 "[--metrics-out=metrics.jsonl] [--trace-out=trace.json]\n",
+                 "[--metrics-out=metrics.jsonl] [--trace-out=trace.json] "
+                 "[--overload] [--overload_burst=10] "
+                 "[--overload_requests=40]\n",
                  st.ToString().c_str());
     return st.ok() ? 0 : 2;
   }
@@ -153,8 +378,12 @@ int Main(int argc, char** argv) {
 
   // Thread count for the instrumented pipeline (0 = hardware concurrency);
   // simulation output is bit-identical regardless.
-  util::ThreadPool::SetGlobalThreads(
+  st = util::ThreadPool::SetGlobalThreads(
       static_cast<int>(cli.GetInt("threads", 0)));
+  if (!st.ok()) {
+    std::fprintf(stderr, "--threads: %s\n", st.ToString().c_str());
+    return 1;
+  }
 
   std::string out = cli.GetString("out", "city.bin");
   sim::CityConfig config;
@@ -184,6 +413,16 @@ int Main(int argc, char** argv) {
     return 1;
   }
   std::printf("wrote %s\n", out.c_str());
+
+  if (cli.GetBool("overload", false)) {
+    const double burst = cli.GetDouble("overload_burst", 10.0);
+    const int requests =
+        static_cast<int>(cli.GetInt("overload_requests", 40));
+    if (!RunOverloadScenario(dataset, std::max(burst, 1.0),
+                             std::max(requests, 1))) {
+      return 1;
+    }
+  }
 
   if (telemetry) {
     RunInstrumentedPipeline(dataset, config);

@@ -57,8 +57,12 @@ int main(int argc, char** argv) {
 
   // 0 = hardware concurrency. Results are bit-identical for every value
   // (docs/parallelism.md); --threads only changes speed.
-  util::ThreadPool::SetGlobalThreads(
+  st = util::ThreadPool::SetGlobalThreads(
       static_cast<int>(cli.GetInt("threads", 0)));
+  if (!st.ok()) {
+    std::fprintf(stderr, "--threads: %s\n", st.ToString().c_str());
+    return 1;
+  }
   std::printf("threads: %d\n", util::ThreadPool::GlobalThreads());
 
   data::OrderDataset dataset;
