@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Format gate for the OpenMetrics text exposition deepsd emits.
+
+Re-parses the document the way a Prometheus scraper would and fails on:
+  - a sample whose family has no preceding # HELP / # TYPE lines
+  - a counter sample whose name does not end in _total
+  - a histogram whose _bucket series is not cumulative (non-monotone) or
+    whose +Inf bucket disagrees with _count
+  - a missing `# EOF` terminator (or content after it)
+
+Usage: check_openmetrics.py <metrics.txt>
+"""
+
+import re
+import sys
+
+
+SAMPLE_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^}]*)\})?'
+    r' (?P<value>[^ ]+)(?: [0-9.e+-]+)?$'
+)
+
+
+def fail(lineno, message):
+    print(f"check_openmetrics: line {lineno}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def family_of(sample_name):
+    """Strips the per-sample suffixes back to the declared family name."""
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1], encoding="utf-8") as f:
+        lines = f.read().splitlines()
+    if not lines or lines[-1] != "# EOF":
+        fail(len(lines), "document must end with '# EOF'")
+
+    helps = {}
+    types = {}
+    buckets = {}   # family -> list of (le, value)
+    counts = {}    # family -> _count value
+    samples = 0
+
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if not line:
+            fail(lineno, "blank line in exposition")
+        if line == "# EOF":
+            fail(lineno, "'# EOF' before end of document")
+        if line.startswith("# HELP "):
+            helps[line.split(" ", 3)[2]] = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                                   "histogram"):
+                fail(lineno, f"malformed TYPE line: {line}")
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            fail(lineno, f"unexpected comment: {line}")
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(lineno, f"unparseable sample: {line}")
+        samples += 1
+        name = m.group("name")
+        # Prometheus 0.0.4 declares counters as `# TYPE foo_total counter`;
+        # OpenMetrics 1.0 drops the suffix from the family — accept both.
+        family = family_of(name)
+        if name in types:
+            family = name
+        if family not in types:
+            fail(lineno, f"sample '{name}' has no # TYPE for '{family}'")
+        if family not in helps:
+            fail(lineno, f"sample '{name}' has no # HELP for '{family}'")
+        try:
+            value = float(m.group("value").replace("+Inf", "inf"))
+        except ValueError:
+            fail(lineno, f"non-numeric value in: {line}")
+        kind = types[family]
+        if kind == "counter":
+            if not name.endswith("_total"):
+                fail(lineno, f"counter sample '{name}' must end in _total")
+            if value < 0:
+                fail(lineno, f"negative counter: {line}")
+        elif kind == "histogram":
+            if name.endswith("_bucket"):
+                labels = m.group("labels") or ""
+                le = re.search(r'le="([^"]*)"', labels)
+                if not le:
+                    fail(lineno, f"bucket without le label: {line}")
+                buckets.setdefault(family, []).append(
+                    (lineno, le.group(1), value))
+            elif name.endswith("_count"):
+                counts[family] = (lineno, value)
+
+    for family, series in buckets.items():
+        prev = -1.0
+        saw_inf = False
+        for lineno, le, value in series:
+            if value < prev:
+                fail(lineno,
+                     f"histogram '{family}' buckets not cumulative: "
+                     f"{value} < {prev} at le={le}")
+            prev = value
+            if le == "+Inf":
+                saw_inf = True
+                if family in counts and value != counts[family][1]:
+                    fail(lineno,
+                         f"histogram '{family}' +Inf bucket {value} != "
+                         f"_count {counts[family][1]}")
+        if not saw_inf:
+            fail(series[-1][0], f"histogram '{family}' missing +Inf bucket")
+
+    if samples == 0:
+        fail(0, "no samples in document")
+    print(f"check_openmetrics: OK ({samples} samples, "
+          f"{len(types)} families, {len(buckets)} histograms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,8 +17,14 @@ namespace {
 // u32 CRC-32(payload). The CRC seals the payload, the length makes plain
 // truncation detectable before parsing, and AtomicWriteFile guarantees the
 // file at the final path is always complete.
+//
+// Version history: v1 is the original trainer state; v2 appends the
+// input-reference histogram (core/drift.h) at the end of the payload.
+// v1 files still load (with an empty reference) so pre-existing
+// checkpoints survive the upgrade.
 constexpr char kMagic[4] = {'D', 'S', 'C', '1'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 // Every field is written explicitly (never whole structs) so struct padding
 // can't leak indeterminate bytes into the file and two checkpoints of the
@@ -120,6 +126,19 @@ bool ReadTensors(util::ByteReader* r, std::vector<nn::NamedTensor>* tensors) {
   return true;
 }
 
+void WriteReference(util::ByteWriter* w, const ReferenceHistogram& ref) {
+  w->PutPodVec(ref.bounds);
+  w->PutPodVec(ref.counts);
+}
+
+bool ReadReference(util::ByteReader* r, ReferenceHistogram* ref) {
+  if (!r->GetPodVec(&ref->bounds) || !r->GetPodVec(&ref->counts)) {
+    return false;
+  }
+  // A non-empty reference must keep the bounds/counts shape invariant.
+  return ref->counts.empty() || ref->counts.size() == ref->bounds.size() + 1;
+}
+
 void WritePayload(util::ByteWriter* w, const TrainerCheckpoint& ck) {
   WriteConfig(w, ck.config);
   w->PutPod<int32_t>(ck.epoch);
@@ -141,9 +160,11 @@ void WritePayload(util::ByteWriter* w, const TrainerCheckpoint& ck) {
     w->PutPod<double>(e.rmse);
     WriteTensors(w, e.params);
   }
+  WriteReference(w, ck.input_reference);
 }
 
-bool ReadPayload(util::ByteReader* r, TrainerCheckpoint* ck) {
+bool ReadPayload(util::ByteReader* r, uint32_t version,
+                 TrainerCheckpoint* ck) {
   int32_t epoch = 0;
   if (!ReadConfig(r, &ck->config) || !r->GetPod(&epoch) ||
       !r->GetPod(&ck->next_sample) || !r->GetPod(&ck->step)) {
@@ -173,6 +194,11 @@ bool ReadPayload(util::ByteReader* r, TrainerCheckpoint* ck) {
   ck->best.resize(static_cast<size_t>(n_best));
   for (TrainerCheckpoint::BestEntry& e : ck->best) {
     if (!r->GetPod(&e.rmse) || !ReadTensors(r, &e.params)) return false;
+  }
+  if (version >= 2) {
+    if (!ReadReference(r, &ck->input_reference)) return false;
+  } else {
+    ck->input_reference = ReferenceHistogram{};
   }
   return r->remaining() == 0;
 }
@@ -206,7 +232,7 @@ util::Status LoadCheckpoint(const std::string& path, TrainerCheckpoint* ck) {
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return util::Status::InvalidArgument("not a DSC1 checkpoint: " + path);
   }
-  if (!r.GetPod(&version) || version != kVersion) {
+  if (!r.GetPod(&version) || version < kMinVersion || version > kVersion) {
     return util::Status::InvalidArgument(util::StrFormat(
         "unsupported checkpoint version %u in %s", version, path.c_str()));
   }
@@ -229,7 +255,7 @@ util::Status LoadCheckpoint(const std::string& path, TrainerCheckpoint* ck) {
         path.c_str(), stored_crc, actual_crc));
   }
   TrainerCheckpoint loaded;
-  if (!ReadPayload(&pr, &loaded)) {
+  if (!ReadPayload(&pr, version, &loaded)) {
     return util::Status::InvalidArgument("malformed checkpoint payload: " +
                                          path);
   }

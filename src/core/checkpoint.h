@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/drift.h"
 #include "core/trainer.h"
 #include "nn/parameter.h"
 #include "util/status.h"
@@ -63,6 +64,13 @@ struct TrainerCheckpoint {
     std::vector<nn::NamedTensor> params;
   };
   std::vector<BestEntry> best;
+
+  /// Training-time distribution of the input activity feature (format
+  /// version >= 2), the anchor for serving-side PSI drift scoring
+  /// (core/drift.h, eval::OnlineAccuracyTracker). Empty in version-1
+  /// checkpoints and when the trainer could not sample the source; not
+  /// part of the resume determinism contract.
+  ReferenceHistogram input_reference;
 };
 
 /// Writes `ck` to `path` atomically (temp file + rename) with a CRC-32

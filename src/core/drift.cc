@@ -1,0 +1,75 @@
+#include "core/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepsd {
+namespace core {
+
+size_t ReferenceHistogram::BucketOf(float v) const {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  return static_cast<size_t>(it - bounds.begin());
+}
+
+float InputActivity(const feature::ModelInput& input) {
+  float sum = 0;
+  for (float v : input.v_sd) sum += v;
+  return sum;
+}
+
+ReferenceHistogram BuildInputReference(const InputSource& source, int bins,
+                                       size_t max_items) {
+  ReferenceHistogram ref;
+  const size_t n = source.size();
+  if (n == 0 || bins < 1 || max_items == 0) return ref;
+
+  const size_t stride = n > max_items ? (n + max_items - 1) / max_items : 1;
+  std::vector<float> values;
+  values.reserve(n / stride + 1);
+  for (size_t i = 0; i < n; i += stride) {
+    values.push_back(InputActivity(source.Get(i)));
+  }
+  if (values.empty()) return ref;
+
+  std::vector<float> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  // Quantile edges at k/bins for k = 1..bins-1, deduplicated: heavy ties
+  // (e.g. many all-zero windows) collapse into one bucket instead of
+  // producing empty zero-width ones.
+  for (int k = 1; k < bins; ++k) {
+    const size_t idx = std::min(
+        sorted.size() - 1, static_cast<size_t>(k) * sorted.size() /
+                               static_cast<size_t>(bins));
+    const float edge = sorted[idx];
+    if (ref.bounds.empty() || edge > ref.bounds.back()) {
+      ref.bounds.push_back(edge);
+    }
+  }
+  ref.counts.assign(ref.bounds.size() + 1, 0);
+  for (float v : values) ++ref.counts[ref.BucketOf(v)];
+  return ref;
+}
+
+double PopulationStabilityIndex(const ReferenceHistogram& ref,
+                                const std::vector<uint64_t>& live) {
+  if (ref.empty() || live.size() != ref.counts.size()) return 0.0;
+  double ref_total = 0, live_total = 0;
+  for (uint64_t c : ref.counts) ref_total += static_cast<double>(c);
+  for (uint64_t c : live) live_total += static_cast<double>(c);
+  if (ref_total <= 0 || live_total <= 0) return 0.0;
+
+  // Epsilon-smoothing: an empty bucket on either side contributes a large
+  // but finite term instead of +inf.
+  constexpr double kEps = 1e-4;
+  double psi = 0;
+  for (size_t b = 0; b < ref.counts.size(); ++b) {
+    const double p =
+        std::max(static_cast<double>(ref.counts[b]) / ref_total, kEps);
+    const double q = std::max(static_cast<double>(live[b]) / live_total, kEps);
+    psi += (q - p) * std::log(q / p);
+  }
+  return psi;
+}
+
+}  // namespace core
+}  // namespace deepsd

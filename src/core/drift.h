@@ -1,0 +1,60 @@
+#ifndef DEEPSD_CORE_DRIFT_H_
+#define DEEPSD_CORE_DRIFT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/batch.h"
+
+namespace deepsd {
+namespace core {
+
+/// Training-time reference distribution of one scalar input feature —
+/// the anchor the serving side compares its live inputs against to score
+/// input drift (PSI, docs/observability.md). Captured at checkpoint time
+/// and carried inside the DSC1 checkpoint (version >= 2), so a served
+/// model always travels with the distribution it was trained on.
+struct ReferenceHistogram {
+  /// Ascending bucket upper edges; counts has bounds.size() + 1 entries,
+  /// the last being the overflow bucket.
+  std::vector<float> bounds;
+  std::vector<uint64_t> counts;
+
+  bool empty() const { return counts.empty(); }
+  uint64_t total() const {
+    uint64_t n = 0;
+    for (uint64_t c : counts) n += c;
+    return n;
+  }
+  /// Index of the bucket holding `v` (first bound >= v, else overflow).
+  size_t BucketOf(float v) const;
+};
+
+/// Builds the reference over the per-item input activity — the sum of each
+/// item's supply-demand block (ModelInput::v_sd), i.e. how much order
+/// traffic the look-back window held — sampling at most `max_items` items
+/// of `source` with an even stride. Edges are `bins` sample quantiles
+/// (deduplicated, so low-variance features get fewer, wider buckets).
+/// Deterministic for a fixed source. Empty when the source is empty.
+ReferenceHistogram BuildInputReference(const InputSource& source,
+                                       int bins = 12,
+                                       size_t max_items = 4096);
+
+/// The activity scalar BuildInputReference histograms — exposed so the
+/// serving side bins the exact same quantity.
+float InputActivity(const feature::ModelInput& input);
+
+/// Population Stability Index between the reference distribution and a
+/// live count vector over the same buckets (live.size() must equal
+/// ref.counts.size()). Empty sides score 0. Both distributions are
+/// epsilon-smoothed so empty buckets don't blow up the log term.
+/// Rule of thumb: < 0.1 stable, 0.1–0.25 moderate drift, > 0.25 major
+/// shift.
+double PopulationStabilityIndex(const ReferenceHistogram& ref,
+                                const std::vector<uint64_t>& live);
+
+}  // namespace core
+}  // namespace deepsd
+
+#endif  // DEEPSD_CORE_DRIFT_H_

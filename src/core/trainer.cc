@@ -212,8 +212,17 @@ TrainResult Trainer::Train(
   // optimizer step (mid-epoch, next_sample = offset of the next batch) or
   // after an epoch fully completes (next_sample = 0, epoch = the next one).
   const bool checkpointing = !config_.checkpoint_path.empty();
+  // Input-reference histogram for serving-side drift scoring (core/drift.h):
+  // sampled from the training source once — the distribution is a property
+  // of the run, not of the step — and attached to every checkpoint written.
+  ReferenceHistogram input_reference;
+  bool input_reference_built = false;
   auto write_checkpoint = [&](int ck_epoch, uint64_t next_sample,
                               double loss_sum, uint64_t batches) {
+    if (!input_reference_built) {
+      input_reference = BuildInputReference(train_source);
+      input_reference_built = true;
+    }
     TrainerCheckpoint ck;
     ck.config = config_;
     ck.epoch = ck_epoch;
@@ -235,6 +244,7 @@ TrainResult Trainer::Train(
     for (const Snapshot& s : best) {
       ck.best.push_back({s.rmse, ExportParams(*s.store)});
     }
+    ck.input_reference = input_reference;
     util::Status st = SaveCheckpoint(ck, config_.checkpoint_path);
     if (st.ok()) {
       checkpoints_counter->Inc();

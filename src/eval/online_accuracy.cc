@@ -1,0 +1,304 @@
+#include "eval/online_accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace deepsd {
+namespace eval {
+namespace {
+
+constexpr int kNumTiers = 4;
+
+const char* const kTierSuffix[kNumTiers] = {"fresh", "zoh", "empirical",
+                                            "baseline"};
+
+}  // namespace
+
+/// The accuracy/* metric handles, resolved once per process (registry
+/// pointers are process-lifetime, so one tracker instance after another —
+/// e.g. per test — reuses the same metrics).
+struct OnlineAccuracyTracker::Published {
+  obs::Gauge* mae;
+  obs::Gauge* rmse;
+  obs::Gauge* er;
+  obs::Gauge* tier_mae[kNumTiers];
+  obs::Gauge* tier_rmse[kNumTiers];
+  obs::Gauge* tier_er[kNumTiers];
+  obs::Gauge* tier_count[kNumTiers];
+  obs::Gauge* worst_area_mae;
+  obs::Gauge* worst_area_id;
+  obs::Gauge* prediction_drift;
+  obs::Gauge* residual_drift;
+  obs::Gauge* input_psi;
+  obs::Gauge* pending;
+  obs::Counter* joined;
+  obs::Counter* dropped_pending;
+
+  static const Published* Get() {
+    static const Published* p = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* out = new Published();
+      out->mae = reg.GetGauge("accuracy/mae");
+      out->rmse = reg.GetGauge("accuracy/rmse");
+      out->er = reg.GetGauge("accuracy/er");
+      for (int t = 0; t < kNumTiers; ++t) {
+        const std::string suffix = kTierSuffix[t];
+        out->tier_mae[t] = reg.GetGauge("accuracy/mae_" + suffix);
+        out->tier_rmse[t] = reg.GetGauge("accuracy/rmse_" + suffix);
+        out->tier_er[t] = reg.GetGauge("accuracy/er_" + suffix);
+        out->tier_count[t] = reg.GetGauge("accuracy/window_" + suffix);
+      }
+      out->worst_area_mae = reg.GetGauge("accuracy/worst_area_mae");
+      out->worst_area_id = reg.GetGauge("accuracy/worst_area_id");
+      out->prediction_drift = reg.GetGauge("accuracy/prediction_drift");
+      out->residual_drift = reg.GetGauge("accuracy/residual_drift");
+      out->input_psi = reg.GetGauge("accuracy/input_psi");
+      out->pending = reg.GetGauge("accuracy/pending");
+      out->joined = reg.GetCounter("accuracy/joined");
+      out->dropped_pending = reg.GetCounter("accuracy/pending_dropped");
+      return out;
+    }();
+    return p;
+  }
+};
+
+OnlineAccuracyTracker::OnlineAccuracyTracker(const OnlineAccuracyConfig& config)
+    : config_(config), pub_(Published::Get()) {
+  DEEPSD_CHECK_MSG(config_.num_areas > 0,
+                   "OnlineAccuracyTracker needs num_areas");
+  DEEPSD_CHECK_MSG(config_.horizon > 0,
+                   "OnlineAccuracyTracker needs horizon > 0");
+  pending_.resize(static_cast<size_t>(config_.num_areas));
+  per_area_.resize(static_cast<size_t>(config_.num_areas));
+}
+
+void OnlineAccuracyTracker::SetInputReference(
+    const core::ReferenceHistogram& reference) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reference_ = reference;
+  live_counts_.assign(reference_.counts.size(), 0);
+  live_window_.clear();
+}
+
+void OnlineAccuracyTracker::OnPrediction(const std::vector<int>& area_ids,
+                                         const serving::PredictResult& result,
+                                         const std::vector<float>& activity,
+                                         int64_t now_abs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int8_t tier = static_cast<int8_t>(result.tier);
+  for (size_t i = 0; i < area_ids.size(); ++i) {
+    const int area = area_ids[i];
+    if (area < 0 || area >= config_.num_areas) continue;
+    if (i >= result.gaps.size()) break;
+    auto& q = pending_[static_cast<size_t>(area)];
+    q.push_back(PendingPrediction{now_abs, result.gaps[i], tier, 0.0f});
+    if (q.size() > config_.max_pending_per_area) {
+      q.pop_front();
+      ++dropped_pending_;
+      pub_->dropped_pending->Inc();
+    }
+  }
+  if (!reference_.empty()) {
+    for (size_t i = 0; i < activity.size() && i < area_ids.size(); ++i) {
+      const size_t bucket = reference_.BucketOf(activity[i]);
+      ++live_counts_[bucket];
+      live_window_.push_back(static_cast<uint16_t>(bucket));
+      if (live_window_.size() > config_.window_samples) {
+        --live_counts_[live_window_.front()];
+        live_window_.pop_front();
+      }
+    }
+  }
+}
+
+void OnlineAccuracyTracker::OnOrderAccepted(const data::Order& order,
+                                            int64_t ts_abs) {
+  // The paper's target counts *invalid* orders in [t, t+10); valid orders
+  // carry no gap signal.
+  if (order.valid) return;
+  if (order.start_area < 0 || order.start_area >= config_.num_areas) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PendingPrediction& p : pending_[static_cast<size_t>(order.start_area)]) {
+    if (ts_abs >= p.start_abs && ts_abs < p.start_abs + config_.horizon) {
+      p.truth += 1.0f;
+    }
+  }
+}
+
+void OnlineAccuracyTracker::OnClockAdvance(int64_t now_abs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CloseMaturedLocked(now_abs);
+}
+
+void OnlineAccuracyTracker::CloseMaturedLocked(int64_t now_abs) {
+  bool closed_any = false;
+  for (int area = 0; area < config_.num_areas; ++area) {
+    auto& q = pending_[static_cast<size_t>(area)];
+    // Pending predictions are in issue order, but slots may interleave when
+    // a deadline-expired retry lands late; scan rather than assume sorted.
+    for (size_t i = 0; i < q.size();) {
+      if (q[i].start_abs + config_.horizon <= now_abs) {
+        AddJoinLocked(Joined{area, q[i].tier, q[i].predicted, q[i].truth});
+        q.erase(q.begin() + static_cast<ptrdiff_t>(i));
+        closed_any = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  if (closed_any) PublishLocked();
+}
+
+void OnlineAccuracyTracker::AddJoinLocked(const Joined& join) {
+  const double err = static_cast<double>(join.predicted) - join.truth;
+  auto add = [&](RollingSums& s) {
+    s.abs_err += std::abs(err);
+    s.sq_err += err * err;
+    s.truth += static_cast<double>(join.truth);
+    ++s.n;
+  };
+  // Evict the oldest join once the window is full, subtracting its exact
+  // contribution from every rolling aggregate it entered.
+  if (window_.size() >= config_.window_samples && !window_.empty()) {
+    const Joined& old = window_.front();
+    const double old_err =
+        static_cast<double>(old.predicted) - static_cast<double>(old.truth);
+    auto sub = [&](RollingSums& s) {
+      s.abs_err -= std::abs(old_err);
+      s.sq_err -= old_err * old_err;
+      s.truth -= static_cast<double>(old.truth);
+      --s.n;
+    };
+    sub(overall_);
+    sub(per_tier_[std::clamp<int>(old.tier, 0, kNumTiers - 1)]);
+    sub(per_area_[static_cast<size_t>(old.area)]);
+    window_.pop_front();
+  }
+  window_.push_back(join);
+  add(overall_);
+  add(per_tier_[std::clamp<int>(join.tier, 0, kNumTiers - 1)]);
+  add(per_area_[static_cast<size_t>(join.area)]);
+
+  ++joined_total_;
+  pub_->joined->Inc();
+
+  const double pred = static_cast<double>(join.predicted);
+  if (!ewma_seeded_) {
+    pred_fast_ = pred_slow_ = pred;
+    resid_fast_ = resid_slow_ = err;
+    ewma_seeded_ = true;
+  } else {
+    const double fa = config_.drift_fast_alpha;
+    const double sa = config_.drift_slow_alpha;
+    pred_fast_ += fa * (pred - pred_fast_);
+    pred_slow_ += sa * (pred - pred_slow_);
+    resid_fast_ += fa * (err - resid_fast_);
+    resid_slow_ += sa * (err - resid_slow_);
+  }
+}
+
+TierAccuracy OnlineAccuracyTracker::FromSums(const RollingSums& sums) {
+  TierAccuracy acc;
+  acc.count = sums.n;
+  if (sums.n == 0) return acc;
+  acc.mae = sums.abs_err / static_cast<double>(sums.n);
+  acc.rmse = std::sqrt(std::max(0.0, sums.sq_err / static_cast<double>(sums.n)));
+  acc.er = sums.truth > 0 ? sums.abs_err / sums.truth : 0.0;
+  return acc;
+}
+
+void OnlineAccuracyTracker::PublishLocked() {
+  const TierAccuracy overall = FromSums(overall_);
+  pub_->mae->Set(overall.mae);
+  pub_->rmse->Set(overall.rmse);
+  pub_->er->Set(overall.er);
+  for (int t = 0; t < kNumTiers; ++t) {
+    const TierAccuracy acc = FromSums(per_tier_[t]);
+    pub_->tier_mae[t]->Set(acc.mae);
+    pub_->tier_rmse[t]->Set(acc.rmse);
+    pub_->tier_er[t]->Set(acc.er);
+    pub_->tier_count[t]->Set(static_cast<double>(acc.count));
+  }
+
+  int worst_area = -1;
+  double worst_mae = -1;
+  for (int a = 0; a < config_.num_areas; ++a) {
+    const RollingSums& s = per_area_[static_cast<size_t>(a)];
+    if (s.n == 0) continue;
+    const double mae = s.abs_err / static_cast<double>(s.n);
+    if (mae > worst_mae) {
+      worst_mae = mae;
+      worst_area = a;
+    }
+  }
+  if (worst_area >= 0) {
+    pub_->worst_area_mae->Set(worst_mae);
+    pub_->worst_area_id->Set(worst_area);
+  }
+
+  if (ewma_seeded_) {
+    pub_->prediction_drift->Set(std::abs(pred_fast_ - pred_slow_));
+    pub_->residual_drift->Set(std::abs(resid_fast_ - resid_slow_));
+  }
+  if (!reference_.empty()) {
+    pub_->input_psi->Set(
+        core::PopulationStabilityIndex(reference_, live_counts_));
+  }
+  uint64_t pending_count = 0;
+  for (const auto& q : pending_) pending_count += q.size();
+  pub_->pending->Set(static_cast<double>(pending_count));
+}
+
+TierAccuracy OnlineAccuracyTracker::Overall() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FromSums(overall_);
+}
+
+TierAccuracy OnlineAccuracyTracker::ForTier(serving::FallbackTier tier) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FromSums(per_tier_[std::clamp(static_cast<int>(tier), 0, 3)]);
+}
+
+TierAccuracy OnlineAccuracyTracker::ForArea(int area) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (area < 0 || area >= config_.num_areas) return TierAccuracy{};
+  return FromSums(per_area_[static_cast<size_t>(area)]);
+}
+
+double OnlineAccuracyTracker::PredictionDrift() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_seeded_ ? std::abs(pred_fast_ - pred_slow_) : 0.0;
+}
+
+double OnlineAccuracyTracker::ResidualDrift() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ewma_seeded_ ? std::abs(resid_fast_ - resid_slow_) : 0.0;
+}
+
+double OnlineAccuracyTracker::InputPsi() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (reference_.empty()) return 0.0;
+  return core::PopulationStabilityIndex(reference_, live_counts_);
+}
+
+uint64_t OnlineAccuracyTracker::joined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return joined_total_;
+}
+
+uint64_t OnlineAccuracyTracker::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const auto& q : pending_) n += q.size();
+  return n;
+}
+
+uint64_t OnlineAccuracyTracker::dropped_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_pending_;
+}
+
+}  // namespace eval
+}  // namespace deepsd

@@ -1,0 +1,161 @@
+#ifndef DEEPSD_EVAL_ONLINE_ACCURACY_H_
+#define DEEPSD_EVAL_ONLINE_ACCURACY_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/drift.h"
+#include "data/types.h"
+#include "obs/metrics.h"
+#include "serving/online_predictor.h"
+#include "serving/order_stream.h"
+
+namespace deepsd {
+namespace eval {
+
+/// OnlineAccuracyTracker configuration.
+struct OnlineAccuracyConfig {
+  int num_areas = 0;                 ///< Required.
+  int horizon = data::kGapWindow;    ///< Slot length in minutes (paper: 10).
+  /// Rolling window of joined (prediction, truth) samples backing every
+  /// reported statistic; older joins age out.
+  size_t window_samples = 4096;
+  /// Outstanding (not yet matured) predictions kept per area; the oldest
+  /// is dropped (and counted) beyond this — a stalled clock must not grow
+  /// memory without bound.
+  size_t max_pending_per_area = 16;
+  /// EWMA smoothing for the drift gauges: |fast - slow| of the prediction
+  /// (and residual) stream. Fast tracks the last ~1/fast_alpha joins.
+  double drift_fast_alpha = 0.2;
+  double drift_slow_alpha = 0.02;
+};
+
+/// Rolling accuracy of one fallback tier (or overall / one area).
+struct TierAccuracy {
+  double mae = 0;
+  double rmse = 0;
+  /// Paper-style error rate: sum|err| / sum(true gap) over the window
+  /// (0 when the window saw no true gap).
+  double er = 0;
+  uint64_t count = 0;  ///< Joined samples in the window.
+};
+
+/// Joins live predictions against arriving ground truth — the paper's
+/// windowed MAE/RMSE/ER (Table II) measured *in production* instead of
+/// offline.
+///
+/// Wiring: attach to both taps of a serving predictor —
+///
+///   eval::OnlineAccuracyTracker tracker({.num_areas = N});
+///   predictor.set_prediction_observer(&tracker);
+///   predictor.buffer().set_stream_observer(&tracker);
+///
+/// Every prediction for slot [T, T+horizon) is held until the clock
+/// reaches T+horizon; by then every order of the slot has been observed
+/// (late events included — the stream tap fires even for events too old
+/// for the feature window), so the true gap (invalid-order count) is
+/// complete and the residual is exact. Closed joins feed rolling
+/// MAE/RMSE/ER — overall, per fallback tier, and per area — plus
+/// prediction/residual drift EWMAs and, when a training-time reference
+/// (core::ReferenceHistogram) is attached, a PSI input-drift score over
+/// the live input-activity distribution. Everything is published as
+/// accuracy/* gauges (see docs/observability.md) and exposed through
+/// accessors for exact offline recomputation in tests.
+///
+/// Thread safety: all entry points and accessors take one internal mutex.
+/// The stream callbacks run under the buffer's lock (see StreamObserver);
+/// the tracker never calls back into buffer or predictor.
+class OnlineAccuracyTracker : public serving::PredictionObserver,
+                              public serving::StreamObserver {
+ public:
+  explicit OnlineAccuracyTracker(const OnlineAccuracyConfig& config);
+
+  /// Attaches the training-time input reference for PSI scoring (usually
+  /// TrainerCheckpoint::input_reference). Resets the live histogram.
+  void SetInputReference(const core::ReferenceHistogram& reference);
+
+  // serving::PredictionObserver
+  void OnPrediction(const std::vector<int>& area_ids,
+                    const serving::PredictResult& result,
+                    const std::vector<float>& activity,
+                    int64_t now_abs) override;
+  // serving::StreamObserver
+  void OnOrderAccepted(const data::Order& order, int64_t ts_abs) override;
+  void OnClockAdvance(int64_t now_abs) override;
+
+  /// Rolling accuracy over every joined sample in the window.
+  TierAccuracy Overall() const;
+  /// Rolling accuracy of one fallback tier.
+  TierAccuracy ForTier(serving::FallbackTier tier) const;
+  /// Rolling accuracy of one area (all tiers).
+  TierAccuracy ForArea(int area) const;
+
+  double PredictionDrift() const;
+  double ResidualDrift() const;
+  /// PSI of live input activity vs the attached reference (0 without one).
+  double InputPsi() const;
+
+  uint64_t joined() const;           ///< Total joins since construction.
+  uint64_t pending() const;          ///< Predictions awaiting slot close.
+  uint64_t dropped_pending() const;  ///< Evicted past max_pending_per_area.
+
+ private:
+  struct PendingPrediction {
+    int64_t start_abs = 0;  ///< Slot [start_abs, start_abs + horizon).
+    float predicted = 0;
+    int8_t tier = 0;
+    float truth = 0;  ///< Invalid orders observed in the slot so far.
+  };
+  struct RollingSums {
+    double abs_err = 0;
+    double sq_err = 0;
+    double truth = 0;
+    uint64_t n = 0;
+  };
+  /// One closed join retained in the window deque so aging out can
+  /// subtract its exact contribution from the rolling sums.
+  struct Joined {
+    int area = 0;
+    int8_t tier = 0;
+    float predicted = 0;
+    float truth = 0;
+  };
+
+  static TierAccuracy FromSums(const RollingSums& sums);
+  void CloseMaturedLocked(int64_t now_abs);
+  void AddJoinLocked(const Joined& join);
+  void PublishLocked();
+
+  const OnlineAccuracyConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<std::deque<PendingPrediction>> pending_;  // per area
+  std::deque<Joined> window_;
+  RollingSums overall_;
+  RollingSums per_tier_[4];
+  std::vector<RollingSums> per_area_;
+
+  // Drift EWMAs (valid once ewma_seeded_).
+  bool ewma_seeded_ = false;
+  double pred_fast_ = 0, pred_slow_ = 0;
+  double resid_fast_ = 0, resid_slow_ = 0;
+
+  // Input-activity distribution vs the training reference.
+  core::ReferenceHistogram reference_;
+  std::vector<uint64_t> live_counts_;
+  std::deque<uint16_t> live_window_;  ///< Bucket per recent activity value.
+
+  uint64_t joined_total_ = 0;
+  uint64_t dropped_pending_ = 0;
+
+  // Cached gauge/counter pointers (process-lifetime, see MetricsRegistry).
+  struct Published;
+  const Published* pub_;
+};
+
+}  // namespace eval
+}  // namespace deepsd
+
+#endif  // DEEPSD_EVAL_ONLINE_ACCURACY_H_

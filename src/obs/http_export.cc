@@ -1,0 +1,217 @@
+#include "obs/http_export.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/openmetrics.h"
+
+namespace deepsd {
+namespace obs {
+
+namespace {
+
+/// Writes the whole buffer, riding out short writes; false on error.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.1 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(MetricsRegistry* registry)
+    : registry_(registry) {}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+util::Status MetricsHttpServer::Start(int port) {
+  if (listen_fd_.load(std::memory_order_acquire) >= 0) {
+    return util::Status::FailedPrecondition("metrics server already started");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::IoError("bind 127.0.0.1:" + std::to_string(port) +
+                                 ": " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::IoError("listen: " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = port;
+  }
+
+  stopping_.store(false, std::memory_order_release);
+  listen_fd_.store(fd, std::memory_order_release);
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return util::Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd < 0) return;
+  stopping_.store(true, std::memory_order_release);
+  // shutdown() wakes the blocked accept(); close() then releases the fd.
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = listen_fd_.load(std::memory_order_acquire);
+    if (fd < 0) break;
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (Stop) or broken beyond retry
+    }
+    HandleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // One read is enough for the GETs we serve; a slow client that splits
+  // its request line across packets gets retried until the header
+  // terminator or 4 KiB, whichever first.
+  std::string request;
+  char buf[1024];
+  while (request.size() < 4096 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+
+  std::string method, path;
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 != std::string::npos && sp2 != std::string::npos) {
+    method = line.substr(0, sp1);
+    path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string response;
+  if (method != "GET") {
+    response = HttpResponse("405 Method Not Allowed", "text/plain",
+                            "method not allowed\n");
+  } else if (path == "/metrics") {
+    response = HttpResponse("200 OK", "text/plain; version=0.0.4",
+                            ToOpenMetrics(registry_->Snapshot()));
+  } else if (path == "/healthz") {
+    response = HttpResponse("200 OK", "text/plain", "ok\n");
+  } else {
+    response = HttpResponse("404 Not Found", "text/plain", "not found\n");
+  }
+  WriteAll(fd, response);
+}
+
+util::Status MetricsHttpServer::Get(int port, const std::string& path,
+                                    std::string* body) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::IoError(std::string("socket: ") +
+                                 std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::IoError("connect 127.0.0.1:" + std::to_string(port) +
+                                 ": " + err);
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!WriteAll(fd, request)) {
+    ::close(fd);
+    return util::Status::IoError("request write failed");
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  if (response.rfind("HTTP/1.1 200", 0) != 0 &&
+      response.rfind("HTTP/1.0 200", 0) != 0) {
+    const size_t eol = response.find("\r\n");
+    return util::Status::Internal(
+        "non-200 response: " +
+        (eol == std::string::npos ? response : response.substr(0, eol)));
+  }
+  const size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return util::Status::Internal("malformed HTTP response");
+  }
+  if (body != nullptr) *body = response.substr(header_end + 4);
+  return util::Status::OK();
+}
+
+}  // namespace obs
+}  // namespace deepsd

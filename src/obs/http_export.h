@@ -1,0 +1,64 @@
+#ifndef DEEPSD_OBS_HTTP_EXPORT_H_
+#define DEEPSD_OBS_HTTP_EXPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace obs {
+
+/// Minimal blocking HTTP exporter for the Prometheus pull model: one
+/// loopback listener, one accept thread, GET /metrics answered with the
+/// OpenMetrics rendering of the registry (obs/openmetrics.h). GET /healthz
+/// answers "ok" for liveness probes; everything else is 404. Deliberately
+/// not a web server — no keep-alive, no TLS, one request per connection —
+/// just enough for `curl` and a Prometheus scrape during a simulate run.
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(
+      MetricsRegistry* registry = &MetricsRegistry::Global());
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// starts the accept thread.
+  util::Status Start(int port);
+  /// Closes the listener and joins the accept thread (idempotent).
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Tiny loopback HTTP client: GET `path` from 127.0.0.1:`port`, filling
+  /// `*body` with the response body on a 200. Used by tests and by
+  /// deepsd_simulate's --serve-metrics self-check, so the endpoint is
+  /// exercised without an external curl.
+  static util::Status Get(int port, const std::string& path,
+                          std::string* body);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  MetricsRegistry* const registry_;
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace deepsd
+
+#endif  // DEEPSD_OBS_HTTP_EXPORT_H_

@@ -1,0 +1,115 @@
+#include "obs/openmetrics.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace deepsd {
+namespace obs {
+
+namespace {
+
+bool ValidNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+      c == ':') {
+    return true;
+  }
+  return !first && c >= '0' && c <= '9';
+}
+
+/// HELP text escaping per the exposition format: backslash and newline.
+std::string EscapeHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Sample values: integers render without a fraction, everything else via
+/// the shortest-round-trip double formatting shared with the JSON dumps.
+std::string SampleValue(double v) { return json::Number(v); }
+
+void AppendFamilyHeader(std::string* out, const std::string& family,
+                        const std::string& orig, const char* type) {
+  *out += "# HELP " + family + " DeepSD metric " + EscapeHelp(orig) + "\n";
+  *out += "# TYPE " + family + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string OpenMetricsName(const std::string& name) {
+  std::string out = "deepsd_";
+  for (char c : name) {
+    out += ValidNameChar(c, /*first=*/false) ? c : '_';
+  }
+  return out;
+}
+
+std::string ToOpenMetrics(const std::vector<MetricSnapshot>& snapshots) {
+  std::string out;
+  out.reserve(snapshots.size() * 96);
+  for (const MetricSnapshot& s : snapshots) {
+    const std::string base = OpenMetricsName(s.name);
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter: {
+        const std::string family = base + "_total";
+        AppendFamilyHeader(&out, family, s.name, "counter");
+        out += family + " " + SampleValue(s.value) + "\n";
+        break;
+      }
+      case MetricSnapshot::Kind::kGauge: {
+        AppendFamilyHeader(&out, base, s.name, "gauge");
+        out += base + " " + SampleValue(s.value) + "\n";
+        break;
+      }
+      case MetricSnapshot::Kind::kHistogram: {
+        AppendFamilyHeader(&out, base, s.name, "histogram");
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < s.bucket_counts.size(); ++b) {
+          cumulative += s.bucket_counts[b];
+          const std::string le = b < s.bounds.size()
+                                     ? json::Number(s.bounds[b])
+                                     : std::string("+Inf");
+          out += base + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        // A histogram registered but never observed still exposes a
+        // complete family (one +Inf bucket) so series never flap.
+        if (s.bucket_counts.empty()) {
+          out += base + "_bucket{le=\"+Inf\"} 0\n";
+        }
+        out += base + "_sum " + SampleValue(s.sum) + "\n";
+        out += base + "_count " + std::to_string(s.count) + "\n";
+        break;
+      }
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+util::Status WriteOpenMetrics(const std::vector<MetricSnapshot>& snapshots,
+                              const std::string& path) {
+  const std::string body = ToOpenMetrics(snapshots);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open openmetrics output: " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return util::Status::IoError("short write to openmetrics output: " + path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace obs
+}  // namespace deepsd

@@ -1,0 +1,38 @@
+#ifndef DEEPSD_OBS_OPENMETRICS_H_
+#define DEEPSD_OBS_OPENMETRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace obs {
+
+/// Prometheus/OpenMetrics text exposition of a metrics snapshot.
+///
+/// Registry names ("serving/predict_us") are sanitized into the metric-name
+/// grammar ([a-zA-Z_:][a-zA-Z0-9_:]*) and prefixed with "deepsd_", counters
+/// get the conventional "_total" suffix, and histograms expand into the
+/// cumulative `_bucket{le="..."}` series plus `_sum` / `_count`. Every
+/// family carries `# HELP` / `# TYPE` lines and the document ends with
+/// `# EOF`, so the output is accepted both by a Prometheus scrape
+/// (text/plain; version=0.0.4) and by OpenMetrics parsers. The CI format
+/// gate re-parses it line by line.
+
+/// Sanitized exposition name for a registry name (no kind suffix), e.g.
+/// "serving/predict_us" -> "deepsd_serving_predict_us".
+std::string OpenMetricsName(const std::string& name);
+
+/// Renders the full exposition document (terminated by "# EOF\n").
+std::string ToOpenMetrics(const std::vector<MetricSnapshot>& snapshots);
+
+/// Writes ToOpenMetrics(snapshots) to `path`.
+util::Status WriteOpenMetrics(const std::vector<MetricSnapshot>& snapshots,
+                              const std::string& path);
+
+}  // namespace obs
+}  // namespace deepsd
+
+#endif  // DEEPSD_OBS_OPENMETRICS_H_

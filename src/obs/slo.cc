@@ -1,0 +1,317 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "obs/json.h"
+#include "obs/metrics_io.h"
+#include "obs/openmetrics.h"
+#include "obs/trace.h"
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace obs {
+
+namespace {
+
+const char* KindName(SloSpec::Kind kind) {
+  switch (kind) {
+    case SloSpec::Kind::kAvailability: return "availability";
+    case SloSpec::Kind::kLatencyP99: return "latency_p99";
+    case SloSpec::Kind::kGaugeMax: return "gauge_max";
+  }
+  return "unknown";
+}
+
+util::Status WriteTextFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open for write: " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return util::Status::IoError("short write: " + path);
+  }
+  return util::Status::OK();
+}
+
+double SumWindow(const std::deque<double>& values, size_t window) {
+  double sum = 0;
+  const size_t n = std::min(window, values.size());
+  for (size_t i = values.size() - n; i < values.size(); ++i) sum += values[i];
+  return sum;
+}
+
+}  // namespace
+
+// --- AlertLog ---------------------------------------------------------------
+
+void AlertLog::Append(const AlertEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<AlertEvent> AlertLog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<AlertEvent>(events_.begin(), events_.end());
+}
+
+size_t AlertLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string AlertLog::ToJsonLine(const AlertEvent& event) {
+  std::string out = "{\"seq\":" + std::to_string(event.seq);
+  out += ",\"t_ms\":" + json::Number(static_cast<double>(event.t_us) * 1e-3);
+  out += ",\"spec\":" + json::Quote(event.spec);
+  out += ",\"kind\":" + json::Quote(event.kind);
+  out += ",\"value\":" + json::Number(event.value);
+  out += ",\"threshold\":" + json::Number(event.threshold);
+  out += ",\"message\":" + json::Quote(event.message);
+  out += "}";
+  return out;
+}
+
+util::Status AlertLog::WriteJsonLines(const std::string& path) const {
+  std::string body;
+  for (const AlertEvent& e : events()) {
+    body += ToJsonLine(e);
+    body += '\n';
+  }
+  return WriteTextFile(path, body);
+}
+
+// --- FlightRecorder ---------------------------------------------------------
+
+util::Status FlightRecorder::Dump(const TimelineRecorder* timeline,
+                                  const AlertLog* alerts,
+                                  const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dumped_.load(std::memory_order_relaxed)) return util::Status::OK();
+
+  std::error_code ec;
+  std::filesystem::create_directories(config_.bundle_dir, ec);
+  if (ec) {
+    return util::Status::IoError("cannot create bundle dir " +
+                                 config_.bundle_dir + ": " + ec.message());
+  }
+  const std::string dir = config_.bundle_dir + "/";
+
+  size_t timeline_samples = 0;
+  if (timeline != nullptr) {
+    std::vector<TimelineSample> tail =
+        timeline->TailSamples(config_.last_samples);
+    timeline_samples = tail.size();
+    DEEPSD_RETURN_IF_ERROR(
+        TimelineRecorder::WriteJsonLines(tail, dir + "timeline.jsonl"));
+  }
+  size_t alert_count = 0;
+  if (alerts != nullptr) {
+    alert_count = alerts->size();
+    DEEPSD_RETURN_IF_ERROR(alerts->WriteJsonLines(dir + "alerts.jsonl"));
+  }
+  DEEPSD_RETURN_IF_ERROR(TraceExporter::WriteJson(dir + "trace.json"));
+  const std::vector<MetricSnapshot> snapshot =
+      MetricsRegistry::Global().Snapshot();
+  DEEPSD_RETURN_IF_ERROR(WriteJsonLines(snapshot, dir + "metrics.jsonl"));
+  DEEPSD_RETURN_IF_ERROR(WriteOpenMetrics(snapshot, dir + "metrics.txt"));
+
+  std::string manifest = "{\n  \"reason\": " + json::Quote(reason) + ",\n";
+  manifest += "  \"timeline_samples\": " + std::to_string(timeline_samples) +
+              ",\n";
+  manifest += "  \"alerts\": " + std::to_string(alert_count) + ",\n";
+  manifest += "  \"dropped_spans\": " +
+              std::to_string(TraceExporter::dropped_count()) + ",\n";
+  manifest +=
+      "  \"files\": [\"alerts.jsonl\", \"timeline.jsonl\", \"trace.json\", "
+      "\"metrics.jsonl\", \"metrics.txt\"]\n}\n";
+  DEEPSD_RETURN_IF_ERROR(WriteTextFile(dir + "manifest.json", manifest));
+
+  dumped_.store(true, std::memory_order_release);
+  return util::Status::OK();
+}
+
+// --- SloMonitor -------------------------------------------------------------
+
+SloMonitor::SloMonitor(std::vector<SloSpec> specs, MetricsRegistry* registry)
+    : specs_(std::move(specs)),
+      registry_(registry),
+      states_(specs_.size()) {}
+
+bool SloMonitor::EvaluateSpec(const SloSpec& spec, SpecState* state,
+                              const TimelineSample& sample, double* value,
+                              double* threshold) {
+  auto delta_of = [&sample](const std::string& name) {
+    auto it = sample.counter_deltas.find(name);
+    return it == sample.counter_deltas.end() ? 0.0 : it->second;
+  };
+  auto metric_of = [&sample](const std::string& name) -> const MetricSnapshot* {
+    for (const MetricSnapshot& m : sample.metrics) {
+      if (m.name == name) return &m;
+    }
+    return nullptr;
+  };
+
+  switch (spec.kind) {
+    case SloSpec::Kind::kAvailability: {
+      double bad = 0;
+      for (const std::string& name : spec.bad_counters) bad += delta_of(name);
+      state->good.push_back(delta_of(spec.good_counter));
+      state->bad.push_back(bad);
+      const size_t keep = static_cast<size_t>(std::max(spec.long_window, 1));
+      while (state->good.size() > keep) {
+        state->good.pop_front();
+        state->bad.pop_front();
+      }
+      const double budget = std::max(1.0 - spec.objective, 1e-9);
+      auto burn = [&](int window) {
+        const double good = SumWindow(state->good, static_cast<size_t>(window));
+        const double bad_sum =
+            SumWindow(state->bad, static_cast<size_t>(window));
+        const double total = good + bad_sum;
+        if (total <= 0) return 0.0;
+        return (bad_sum / total) / budget;
+      };
+      const double good_long =
+          SumWindow(state->good, static_cast<size_t>(spec.long_window));
+      const double bad_long =
+          SumWindow(state->bad, static_cast<size_t>(spec.long_window));
+      const double burn_short = burn(spec.short_window);
+      const double burn_long = burn(spec.long_window);
+      *value = std::min(burn_short, burn_long);
+      *threshold = spec.burn_threshold;
+      registry_->GetGauge("slo/" + spec.name + "_burn")->Set(*value);
+      // Too little traffic in the long window proves nothing either way.
+      if (good_long + bad_long < spec.min_events) return false;
+      return burn_short > spec.burn_threshold &&
+             burn_long > spec.burn_threshold;
+    }
+    case SloSpec::Kind::kLatencyP99:
+    case SloSpec::Kind::kGaugeMax: {
+      const MetricSnapshot* m = metric_of(spec.metric);
+      double measured = 0;
+      if (m != nullptr) {
+        measured = spec.kind == SloSpec::Kind::kLatencyP99 ? m->p99 : m->value;
+      }
+      *value = measured;
+      *threshold = spec.bound;
+      registry_->GetGauge("slo/" + spec.name + "_value")->Set(measured);
+      if (measured > spec.bound) {
+        ++state->breach_streak;
+      } else {
+        state->breach_streak = 0;
+      }
+      return state->breach_streak >= std::max(spec.short_window, 1);
+    }
+  }
+  return false;
+}
+
+void SloMonitor::Evaluate(const TimelineSample& sample,
+                          const TimelineRecorder* timeline) {
+  std::vector<AlertEvent> fired_now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    int firing_count = 0;
+    for (size_t i = 0; i < specs_.size(); ++i) {
+      const SloSpec& spec = specs_[i];
+      SpecState& state = states_[i];
+      double value = 0, threshold = 0;
+      const bool breach = EvaluateSpec(spec, &state, sample, &value,
+                                       &threshold);
+      if (breach) {
+        state.healthy_streak = 0;
+        if (!state.firing) {
+          state.firing = true;
+          ++fired_;
+          AlertEvent event;
+          event.seq = sample.seq;
+          event.t_us = sample.t_us;
+          event.spec = spec.name;
+          event.kind = KindName(spec.kind);
+          event.value = value;
+          event.threshold = threshold;
+          event.message = util::StrFormat(
+              "SLO %s breached: %s %.4g exceeds %.4g", spec.name.c_str(),
+              event.kind.c_str(), value, threshold);
+          fired_now.push_back(event);
+        }
+      } else if (state.firing) {
+        if (++state.healthy_streak >= std::max(spec.clear_scrapes, 1)) {
+          state.firing = false;
+          state.healthy_streak = 0;
+        }
+      }
+      if (state.firing) ++firing_count;
+    }
+    registry_->GetGauge("slo/firing")->Set(static_cast<double>(firing_count));
+  }
+  // Alert emission and the flight-recorder dump run outside mu_: the dump
+  // re-enters the registry and the timeline ring.
+  for (const AlertEvent& event : fired_now) {
+    registry_->GetCounter("slo/alerts")->Inc();
+    if (alerts_ != nullptr) alerts_->Append(event);
+  }
+  if (!fired_now.empty() && flight_ != nullptr) {
+    util::Status st = flight_->Dump(timeline, alerts_,
+                                    "alert: " + fired_now.front().message);
+    if (!st.ok()) {
+      std::fprintf(stderr, "flight recorder dump failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+uint64_t SloMonitor::alerts_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+bool SloMonitor::firing(const std::string& spec_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == spec_name) return states_[i].firing;
+  }
+  return false;
+}
+
+std::vector<SloSpec> DefaultServingSlos(double availability_objective,
+                                        double queue_wait_p99_us,
+                                        double mae_bound) {
+  std::vector<SloSpec> specs;
+  if (availability_objective > 0) {
+    SloSpec avail;
+    avail.name = "serving-availability";
+    avail.kind = SloSpec::Kind::kAvailability;
+    avail.good_counter = "serving/admitted";
+    avail.bad_counters = {"serving/shed_queue_full", "serving/shed_deadline",
+                          "serving/shed_rate_limited", "serving/shed_breaker",
+                          "serving/shed_draining"};
+    avail.objective = availability_objective;
+    specs.push_back(std::move(avail));
+  }
+  if (queue_wait_p99_us > 0) {
+    SloSpec latency;
+    latency.name = "serving-queue-wait-p99";
+    latency.kind = SloSpec::Kind::kLatencyP99;
+    latency.metric = "serving/queue_wait_us";
+    latency.bound = queue_wait_p99_us;
+    specs.push_back(std::move(latency));
+  }
+  if (mae_bound > 0) {
+    SloSpec mae;
+    mae.name = "accuracy-mae";
+    mae.kind = SloSpec::Kind::kGaugeMax;
+    mae.metric = "accuracy/mae";
+    mae.bound = mae_bound;
+    specs.push_back(std::move(mae));
+  }
+  return specs;
+}
+
+}  // namespace obs
+}  // namespace deepsd

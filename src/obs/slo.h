@@ -1,0 +1,180 @@
+#ifndef DEEPSD_OBS_SLO_H_
+#define DEEPSD_OBS_SLO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace obs {
+
+/// One declarative service-level objective, evaluated once per timeline
+/// scrape (docs/observability.md).
+///
+/// - kAvailability: good / (good + bad) must stay >= `objective`, where
+///   good/bad are per-scrape counter increments. Evaluated as a
+///   multi-window burn rate: error_fraction / (1 - objective) over both
+///   the short and the long trailing window must exceed `burn_threshold`
+///   to fire — the classic fast-burn page condition (short window reacts,
+///   long window de-flakes).
+/// - kLatencyP99: the named histogram's p99 must stay <= `bound`; fires
+///   after `short_window` consecutive breaching scrapes.
+/// - kGaugeMax: the named gauge must stay <= `bound` (e.g. a rolling MAE
+///   from the online accuracy tracker); same consecutive-scrape rule.
+struct SloSpec {
+  enum class Kind { kAvailability, kLatencyP99, kGaugeMax };
+
+  std::string name;  ///< Alert identity, e.g. "serving-availability".
+  Kind kind = Kind::kAvailability;
+
+  // kAvailability only.
+  std::string good_counter;               ///< e.g. "serving/admitted".
+  std::vector<std::string> bad_counters;  ///< e.g. the serving/shed_* set.
+  double objective = 0.99;                ///< Availability target in (0,1).
+  double burn_threshold = 2.0;            ///< Multiples of the error budget.
+  double min_events = 10;                 ///< Long-window traffic floor.
+
+  // kLatencyP99 / kGaugeMax only.
+  std::string metric;  ///< Histogram / gauge registry name.
+  double bound = 0;
+
+  int short_window = 3;   ///< Scrapes in the fast window.
+  int long_window = 12;   ///< Scrapes in the slow window.
+  /// Consecutive healthy scrapes before a fired alert re-arms. Large
+  /// values make "exactly one alert per incident" robust against brief
+  /// dips during a sustained breach.
+  int clear_scrapes = 12;
+};
+
+/// One structured alert emission.
+struct AlertEvent {
+  uint64_t seq = 0;       ///< Timeline sample seq that tripped the spec.
+  int64_t t_us = 0;       ///< Sample timestamp (recorder-relative).
+  std::string spec;       ///< SloSpec::name.
+  std::string kind;       ///< "availability" | "latency_p99" | "gauge_max".
+  double value = 0;       ///< Measured burn rate / p99 / gauge value.
+  double threshold = 0;   ///< The limit it crossed.
+  std::string message;    ///< Human one-liner.
+};
+
+/// Bounded, thread-safe alert sink with a JSON-lines export.
+class AlertLog {
+ public:
+  explicit AlertLog(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void Append(const AlertEvent& event);
+  std::vector<AlertEvent> events() const;
+  size_t size() const;
+
+  /// {"seq":4,"spec":"serving-availability","kind":"availability",...}
+  static std::string ToJsonLine(const AlertEvent& event);
+  util::Status WriteJsonLines(const std::string& path) const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<AlertEvent> events_;
+};
+
+/// Post-mortem bundle writer: on the first alert of an incident it dumps
+/// everything needed to reconstruct the minutes before the page into
+/// `bundle_dir` —
+///   manifest.json   what fired, when, and what the bundle holds
+///   alerts.jsonl    the alert log
+///   timeline.jsonl  the last N timeline samples
+///   trace.json      the per-thread trace rings (chrome://tracing format)
+///   metrics.jsonl   the current registry snapshot (report-tool format)
+///   metrics.txt     the same snapshot as OpenMetrics text
+/// Dump() is idempotent: only the first call writes.
+class FlightRecorder {
+ public:
+  struct Config {
+    std::string bundle_dir;
+    size_t last_samples = 64;  ///< Timeline tail length.
+  };
+
+  explicit FlightRecorder(Config config) : config_(std::move(config)) {}
+
+  /// Writes the bundle (creating `bundle_dir` as needed). `timeline` and
+  /// `alerts` may be null; `reason` lands in the manifest.
+  util::Status Dump(const TimelineRecorder* timeline, const AlertLog* alerts,
+                    const std::string& reason);
+
+  bool dumped() const { return dumped_.load(std::memory_order_acquire); }
+  const std::string& bundle_dir() const { return config_.bundle_dir; }
+
+ private:
+  const Config config_;
+  std::mutex mu_;
+  std::atomic<bool> dumped_{false};
+};
+
+/// Evaluates a fixed set of SloSpecs against each timeline sample,
+/// appending one AlertEvent per spec per breach episode to the AlertLog
+/// and triggering the FlightRecorder on the first alert. Also publishes
+/// per-spec gauges ("slo/<name>_burn" or "slo/<name>_value", plus
+/// "slo/firing") into the scraped registry, so the SLO state itself shows
+/// up in the next timeline sample.
+///
+/// An alert fires on the rising edge of a breach and re-arms only after
+/// `clear_scrapes` consecutive healthy evaluations, so one sustained
+/// incident produces exactly one alert.
+class SloMonitor {
+ public:
+  explicit SloMonitor(std::vector<SloSpec> specs,
+                      MetricsRegistry* registry = &MetricsRegistry::Global());
+
+  void set_alert_log(AlertLog* log) { alerts_ = log; }
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
+
+  /// Evaluates every spec against `sample`. `timeline` (may be null) is
+  /// handed to the flight recorder for the timeline tail. Called by
+  /// TimelineRecorder after each scrape; safe to call directly in tests.
+  void Evaluate(const TimelineSample& sample, const TimelineRecorder* timeline);
+
+  uint64_t alerts_fired() const;
+  /// Whether `spec_name` is currently in the firing state.
+  bool firing(const std::string& spec_name) const;
+
+ private:
+  struct SpecState {
+    std::deque<double> good;  ///< Per-scrape good increments (availability).
+    std::deque<double> bad;
+    int breach_streak = 0;    ///< Consecutive breaching scrapes (bound kinds).
+    int healthy_streak = 0;
+    bool firing = false;
+  };
+
+  /// Returns true when the spec is breaching at this sample and fills
+  /// `value`/`threshold` for the alert.
+  bool EvaluateSpec(const SloSpec& spec, SpecState* state,
+                    const TimelineSample& sample, double* value,
+                    double* threshold);
+
+  const std::vector<SloSpec> specs_;
+  MetricsRegistry* const registry_;
+  mutable std::mutex mu_;
+  std::vector<SpecState> states_;
+  uint64_t fired_ = 0;
+  AlertLog* alerts_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
+};
+
+/// The default serving SLO set used by deepsd_simulate --slo: availability
+/// over the admission-control counters, a p99 bound on
+/// serving/queue_wait_us, and a bound on the online accuracy tracker's
+/// rolling MAE gauge. Bounds <= 0 drop the corresponding spec.
+std::vector<SloSpec> DefaultServingSlos(double availability_objective,
+                                        double queue_wait_p99_us,
+                                        double mae_bound);
+
+}  // namespace obs
+}  // namespace deepsd
+
+#endif  // DEEPSD_OBS_SLO_H_

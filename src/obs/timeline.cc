@@ -1,0 +1,200 @@
+#include "obs/timeline.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
+
+namespace deepsd {
+namespace obs {
+
+TimelineRecorder::TimelineRecorder(TimelineConfig config,
+                                   MetricsRegistry* registry)
+    : config_(config), registry_(registry), epoch_us_(internal::NowUs()) {}
+
+TimelineRecorder::~TimelineRecorder() { Stop(); }
+
+void TimelineRecorder::Start() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { RunLoop(); });
+}
+
+void TimelineRecorder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(run_mu_);
+  running_ = false;
+}
+
+bool TimelineRecorder::running() const {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  return running_;
+}
+
+void TimelineRecorder::RunLoop() {
+  std::unique_lock<std::mutex> lock(run_mu_);
+  while (!stop_) {
+    const auto wait = std::chrono::milliseconds(
+        config_.interval_ms > 0 ? config_.interval_ms : 1);
+    if (stop_cv_.wait_for(lock, wait, [this] { return stop_; })) break;
+    lock.unlock();
+    Scrape();
+    lock.lock();
+  }
+}
+
+uint64_t TimelineRecorder::SampleNow() { return Scrape().seq; }
+
+void TimelineRecorder::set_slo_monitor(SloMonitor* monitor) {
+  std::lock_guard<std::mutex> lock(scrape_mu_);
+  slo_ = monitor;
+}
+
+TimelineSample TimelineRecorder::Scrape() {
+  std::lock_guard<std::mutex> scrape_lock(scrape_mu_);
+  // Surface the trace-ring overwrite count as a gauge so dumps and the
+  // report tool can warn about lossy traces (the rings are bounded; see
+  // DEEPSD_TRACE_RING in obs/trace.h).
+  registry_->GetGauge("obs/trace_dropped_spans")
+      ->Set(static_cast<double>(TraceExporter::dropped_count()));
+  registry_->GetCounter("obs/timeline_scrapes")->Inc();
+
+  TimelineSample sample;
+  sample.metrics = registry_->Snapshot();
+  sample.t_us = internal::NowUs() - epoch_us_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sample.seq = next_seq_++;
+    if (last_scrape_us_ >= 0) {
+      sample.interval_s =
+          static_cast<double>(sample.t_us - last_scrape_us_) * 1e-6;
+    }
+    last_scrape_us_ = sample.t_us;
+    for (const MetricSnapshot& m : sample.metrics) {
+      double monotone = 0;
+      if (m.kind == MetricSnapshot::Kind::kCounter) {
+        monotone = m.value;
+      } else if (m.kind == MetricSnapshot::Kind::kHistogram) {
+        monotone = static_cast<double>(m.count);
+      } else {
+        continue;
+      }
+      auto it = last_monotone_.find(m.name);
+      // A monotone series can step backwards only across a ResetValues()
+      // (tool phase boundaries); clamp the delta at zero so rates never go
+      // negative.
+      const double delta =
+          it == last_monotone_.end()
+              ? monotone
+              : (monotone >= it->second ? monotone - it->second : 0.0);
+      sample.counter_deltas[m.name] = delta;
+      last_monotone_[m.name] = monotone;
+    }
+    samples_.push_back(sample);
+    while (samples_.size() > config_.capacity && !samples_.empty()) {
+      samples_.pop_front();
+    }
+  }
+  if (slo_ != nullptr) slo_->Evaluate(sample, this);
+  return sample;
+}
+
+std::vector<TimelineSample> TimelineRecorder::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TimelineSample>(samples_.begin(), samples_.end());
+}
+
+std::vector<TimelineSample> TimelineRecorder::TailSamples(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t take = n < samples_.size() ? n : samples_.size();
+  return std::vector<TimelineSample>(samples_.end() - static_cast<long>(take),
+                                     samples_.end());
+}
+
+uint64_t TimelineRecorder::scrape_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+std::string TimelineRecorder::SampleToJsonLine(const TimelineSample& sample) {
+  std::string out = "{\"seq\":" + std::to_string(sample.seq);
+  out += ",\"t_ms\":" + json::Number(static_cast<double>(sample.t_us) * 1e-3);
+  out += ",\"interval_s\":" + json::Number(sample.interval_s);
+
+  auto delta_of = [&sample](const std::string& name) {
+    auto it = sample.counter_deltas.find(name);
+    return it == sample.counter_deltas.end() ? 0.0 : it->second;
+  };
+
+  std::string counters, gauges, histograms;
+  for (const MetricSnapshot& m : sample.metrics) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter: {
+        if (!counters.empty()) counters += ',';
+        const double delta = delta_of(m.name);
+        const double rate =
+            sample.interval_s > 0 ? delta / sample.interval_s : 0.0;
+        counters += json::Quote(m.name) + ":{\"value\":" +
+                    json::Number(m.value) + ",\"delta\":" +
+                    json::Number(delta) + ",\"rate\":" + json::Number(rate) +
+                    "}";
+        break;
+      }
+      case MetricSnapshot::Kind::kGauge:
+        if (!gauges.empty()) gauges += ',';
+        gauges += json::Quote(m.name) + ":" + json::Number(m.value);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        if (!histograms.empty()) histograms += ',';
+        histograms += json::Quote(m.name) + ":{\"count\":" +
+                      std::to_string(m.count) + ",\"delta\":" +
+                      json::Number(delta_of(m.name)) + ",\"p50\":" +
+                      json::Number(m.p50) + ",\"p90\":" + json::Number(m.p90) +
+                      ",\"p99\":" + json::Number(m.p99) + ",\"max\":" +
+                      json::Number(m.max) + "}";
+        break;
+    }
+  }
+  out += ",\"counters\":{" + counters + "}";
+  out += ",\"gauges\":{" + gauges + "}";
+  out += ",\"histograms\":{" + histograms + "}";
+  out += "}";
+  return out;
+}
+
+util::Status TimelineRecorder::WriteJsonLines(
+    const std::vector<TimelineSample>& samples, const std::string& path) {
+  std::string body;
+  for (const TimelineSample& s : samples) {
+    body += SampleToJsonLine(s);
+    body += '\n';
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open timeline output: " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != body.size() || close_rc != 0) {
+    return util::Status::IoError("short write to timeline output: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Status TimelineRecorder::WriteJsonLines(const std::string& path) const {
+  return WriteJsonLines(Samples(), path);
+}
+
+}  // namespace obs
+}  // namespace deepsd

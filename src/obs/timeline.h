@@ -1,0 +1,125 @@
+#ifndef DEEPSD_OBS_TIMELINE_H_
+#define DEEPSD_OBS_TIMELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace obs {
+
+class SloMonitor;  // obs/slo.h
+
+/// TimelineRecorder configuration.
+struct TimelineConfig {
+  /// Background scrape period. Ignored by manual SampleNow() calls.
+  int64_t interval_ms = 1000;
+  /// Bounded sample ring: once full, the oldest sample is evicted.
+  size_t capacity = 512;
+};
+
+/// One scrape of the registry: the full metric snapshot plus the
+/// per-interval increments of every monotone series (counter values and
+/// histogram counts), keyed by registry name. Deltas are computed against
+/// the previous scrape even after that sample aged out of the ring.
+struct TimelineSample {
+  uint64_t seq = 0;        ///< 1-based scrape number.
+  int64_t t_us = 0;        ///< Microseconds since the recorder was created.
+  double interval_s = 0;   ///< Seconds since the previous scrape (0 = first).
+  std::vector<MetricSnapshot> metrics;
+  std::map<std::string, double> counter_deltas;
+};
+
+/// Periodic scraper that turns the cumulative MetricsRegistry into a
+/// time series: how fast counters moved in each interval, not just where
+/// they ended up. A background thread (Start/Stop) scrapes every
+/// `interval_ms`; SampleNow() scrapes synchronously (tests and tools mix
+/// both freely). Each scrape also refreshes the `obs/trace_dropped_spans`
+/// gauge from the trace rings and, when an SloMonitor is attached,
+/// evaluates every SLO spec against the new sample.
+///
+/// Thread safety: all public methods may be called concurrently; the
+/// attached SloMonitor is evaluated outside the internal lock, one scrape
+/// at a time.
+class TimelineRecorder {
+ public:
+  explicit TimelineRecorder(
+      TimelineConfig config = {},
+      MetricsRegistry* registry = &MetricsRegistry::Global());
+  ~TimelineRecorder();
+
+  TimelineRecorder(const TimelineRecorder&) = delete;
+  TimelineRecorder& operator=(const TimelineRecorder&) = delete;
+
+  /// Starts the background scrape thread (no-op when already running).
+  void Start();
+  /// Stops and joins the background thread (no-op when not running).
+  void Stop();
+  bool running() const;
+
+  /// Synchronous scrape; returns the new sample's seq.
+  uint64_t SampleNow();
+
+  /// SLO monitor evaluated after every scrape; may be null. Attach before
+  /// Start() — the pointer is read by the scrape thread.
+  void set_slo_monitor(SloMonitor* monitor);
+
+  /// Copy of the retained samples, oldest first.
+  std::vector<TimelineSample> Samples() const;
+  /// Copy of the newest `n` retained samples, oldest first.
+  std::vector<TimelineSample> TailSamples(size_t n) const;
+  uint64_t scrape_count() const;
+
+  /// One sample as a single JSON object (no trailing newline):
+  ///   {"seq":3,"t_ms":2500.1,"interval_s":0.5,
+  ///    "counters":{"serving/admitted":{"value":80,"delta":40,"rate":80}},
+  ///    "gauges":{"serving/queue_depth":3},
+  ///    "histograms":{"serving/predict_us":{"count":12,"delta":4,
+  ///                  "p50":810,"p99":1900,"max":2100}}}
+  static std::string SampleToJsonLine(const TimelineSample& sample);
+
+  /// JSON-lines export of `samples` (one SampleToJsonLine per line).
+  static util::Status WriteJsonLines(const std::vector<TimelineSample>& samples,
+                                     const std::string& path);
+  /// JSON-lines export of every retained sample.
+  util::Status WriteJsonLines(const std::string& path) const;
+
+ private:
+  void RunLoop();
+  /// Builds the next sample (locks mu_) and returns a copy for SLO
+  /// evaluation, which runs without the lock.
+  TimelineSample Scrape();
+
+  const TimelineConfig config_;
+  MetricsRegistry* const registry_;
+  const int64_t epoch_us_;
+
+  mutable std::mutex mu_;
+  std::deque<TimelineSample> samples_;
+  std::map<std::string, double> last_monotone_;  ///< name -> last value.
+  uint64_t next_seq_ = 1;
+  int64_t last_scrape_us_ = -1;
+
+  /// Guards thread_ / stop_ against Start/Stop races.
+  mutable std::mutex run_mu_;
+  std::condition_variable stop_cv_;
+  std::thread thread_;
+  bool stop_ = false;
+  bool running_ = false;
+
+  SloMonitor* slo_ = nullptr;
+  std::mutex scrape_mu_;  ///< Serializes Scrape + SLO evaluation.
+};
+
+}  // namespace obs
+}  // namespace deepsd
+
+#endif  // DEEPSD_OBS_TIMELINE_H_

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 
@@ -21,23 +22,33 @@ std::chrono::steady_clock::time_point TraceEpoch() {
   return epoch;
 }
 
+/// Per-thread ring capacity: kDefaultTraceRingCapacity unless the
+/// DEEPSD_TRACE_RING environment variable overrides it. Read once, at the
+/// first ring registration, so every ring in the process has one size.
+size_t RingCapacity() {
+  static const size_t capacity =
+      ParseTraceRingCapacity(std::getenv("DEEPSD_TRACE_RING"));
+  return capacity;
+}
+
 /// Fixed-capacity per-thread span ring. A thread only ever appends to its
 /// own ring; the exporter snapshots under the ring mutex, which a recording
 /// thread grabs uncontended (~20ns) only while tracing is enabled.
 class TraceRing {
  public:
-  static constexpr size_t kCapacity = 1 << 14;  // 16384 spans per thread
-
-  explicit TraceRing(uint32_t tid) : tid_(tid) { events_.reserve(kCapacity); }
+  explicit TraceRing(uint32_t tid)
+      : tid_(tid), capacity_(RingCapacity()) {
+    events_.reserve(capacity_);
+  }
 
   void Record(const char* name, int64_t start_us, int64_t dur_us) {
     std::lock_guard<std::mutex> lock(mu_);
     TraceEvent ev{name, tid_, start_us, dur_us};
-    if (events_.size() < kCapacity) {
+    if (events_.size() < capacity_) {
       events_.push_back(ev);
     } else {
       events_[head_] = ev;
-      head_ = (head_ + 1) % kCapacity;
+      head_ = (head_ + 1) % capacity_;
       ++dropped_;
     }
   }
@@ -64,6 +75,7 @@ class TraceRing {
  private:
   mutable std::mutex mu_;
   uint32_t tid_;
+  size_t capacity_;
   std::vector<TraceEvent> events_;
   size_t head_ = 0;  ///< Overwrite cursor once the ring is full.
   uint64_t dropped_ = 0;
@@ -90,6 +102,20 @@ TraceRing* ThreadRing() {
 }
 
 }  // namespace
+
+size_t ParseTraceRingCapacity(const char* value) {
+  if (value == nullptr || *value == '\0') return kDefaultTraceRingCapacity;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || parsed <= 0) {
+    return kDefaultTraceRingCapacity;  // malformed: keep the default
+  }
+  // Clamp to something that still works: a few spans minimum, and a hard
+  // upper bound so a typo can't allocate gigabytes per thread.
+  constexpr long long kMin = 64;
+  constexpr long long kMax = 1 << 22;  // ~4M spans (~128 MiB/thread)
+  return static_cast<size_t>(std::min(std::max(parsed, kMin), kMax));
+}
 
 int64_t NowUs() {
   return std::chrono::duration_cast<std::chrono::microseconds>(

@@ -1,6 +1,7 @@
 #ifndef DEEPSD_OBS_TRACE_H_
 #define DEEPSD_OBS_TRACE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -28,6 +29,14 @@ namespace internal {
 void RecordSpan(const char* name, int64_t start_us, int64_t dur_us);
 /// Microseconds since the trace epoch (first use in the process).
 int64_t NowUs();
+
+/// Per-thread ring capacity when DEEPSD_TRACE_RING is unset.
+constexpr size_t kDefaultTraceRingCapacity = 1 << 14;  // 16384 spans
+/// Parses a DEEPSD_TRACE_RING value: a positive decimal span count,
+/// clamped to [64, 1<<22]; null/empty/malformed falls back to the
+/// default. Exposed so tests can pin the parsing without mutating the
+/// process environment (the real value is read once at first ring use).
+size_t ParseTraceRingCapacity(const char* value);
 }  // namespace internal
 
 /// RAII span timer. When obs is disabled at construction the object does

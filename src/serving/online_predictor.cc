@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/drift.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -217,6 +218,10 @@ PredictResult OnlinePredictor::AssembleAndPredict(
           "serving/predict_deadline_expired");
   if (area_ids.empty()) return {};
 
+  PredictionObserver* observer = observer_.load(std::memory_order_acquire);
+  const int64_t now_abs = buffer_.now_abs();
+  std::vector<float> activity;
+
   PredictResult result;
   FallbackTier tier = CurrentTier();
   // Without a baseline attached the ladder's last rung is the empirical
@@ -237,6 +242,11 @@ PredictResult OnlinePredictor::AssembleAndPredict(
                      std::memory_order_relaxed);
     degraded->Inc(area_ids.size());
     tier_baseline->Inc(area_ids.size());
+    // Expired answers are still served answers; the tap sees them at the
+    // tier they actually went out at (no activity: assembly was skipped).
+    if (observer != nullptr) {
+      observer->OnPrediction(area_ids, result, {}, now_abs);
+    }
     return result;
   };
 
@@ -278,6 +288,13 @@ PredictResult OnlinePredictor::AssembleAndPredict(
           }
         });
     if (assembly_expired.load(std::memory_order_relaxed)) return expire();
+
+    if (observer != nullptr) {
+      activity.reserve(inputs.size());
+      for (const feature::ModelInput& in : inputs) {
+        activity.push_back(core::InputActivity(in));
+      }
+    }
 
     if (deadline.infinite()) {
       preds = model_->Predict(inputs, /*batch_size=*/16);
@@ -330,6 +347,9 @@ PredictResult OnlinePredictor::AssembleAndPredict(
   }
   result.gaps = std::move(preds);
   result.tier = tier;
+  if (observer != nullptr) {
+    observer->OnPrediction(area_ids, result, activity, now_abs);
+  }
   return result;
 }
 

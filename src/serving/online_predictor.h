@@ -44,6 +44,25 @@ struct PredictResult {
   bool deadline_expired = false;
 };
 
+/// Tap on completed prediction batches — the online accuracy tracker's
+/// feed (eval/online_accuracy.h). Invoked on the predicting thread after
+/// the batch is fully resolved (including deadline-expired answers, which
+/// are served predictions too). Implementations must be thread-safe:
+/// concurrent PredictBatch callers invoke it concurrently.
+class PredictionObserver {
+ public:
+  virtual ~PredictionObserver() = default;
+  /// `result.gaps[i]` answers `area_ids[i]` for the gap window starting at
+  /// absolute minute `now_abs`. `activity[i]` is the input-activity scalar
+  /// of area_ids[i]'s assembled features (core::InputActivity — the PSI
+  /// drift feature); empty when the batch skipped assembly (baseline tier
+  /// or an expired deadline).
+  virtual void OnPrediction(const std::vector<int>& area_ids,
+                            const PredictResult& result,
+                            const std::vector<float>& activity,
+                            int64_t now_abs) = 0;
+};
+
 /// Staleness thresholds of the fallback ladder, all in minutes.
 struct FallbackConfig {
   /// Weather/traffic lags this recent count as fresh (feeds publish once a
@@ -77,9 +96,9 @@ struct FallbackConfig {
 ///   std::vector<float> gaps = predictor.PredictAll();
 ///
 /// Predictions degrade gracefully instead of failing when feeds stall: see
-/// FallbackTier. CurrentTier()/last_tier() expose the degradation level,
-/// and the serving/degraded_predictions counter (with per-tier counters)
-/// tracks it in the metrics registry.
+/// FallbackTier. CurrentTier() and the per-call PredictResult::tier expose
+/// the degradation level, and the serving/degraded_predictions counter
+/// (with per-tier counters) tracks it in the metrics registry.
 class OnlinePredictor {
  public:
   /// `model` and `history` must outlive the predictor and share the same
@@ -103,12 +122,21 @@ class OnlinePredictor {
   /// The degradation tier the next prediction would be served at, from the
   /// current feed staleness. Cheap (three clock reads).
   FallbackTier CurrentTier() const;
-  /// Deprecated: tier of whichever Predict/PredictAll/PredictBatch call
-  /// finished last, predictor-wide — concurrent callers stomp it. Use the
-  /// per-call PredictResult::tier instead.
+  /// Deprecated (scheduled for deletion): tier of whichever
+  /// Predict/PredictAll/PredictBatch call finished last, predictor-wide —
+  /// concurrent callers stomp it. Use the per-call PredictResult::tier
+  /// instead. No in-tree callers remain; the CI -Werror build rejects new
+  /// ones.
+  [[deprecated("stompable under concurrency; use PredictResult::tier")]]
   FallbackTier last_tier() const {
     return static_cast<FallbackTier>(
         last_tier_.load(std::memory_order_relaxed));
+  }
+
+  /// Attaches (or detaches, with nullptr) the prediction tap. The observer
+  /// must be thread-safe and outlive the predictor or be detached first.
+  void set_prediction_observer(PredictionObserver* observer) {
+    observer_.store(observer, std::memory_order_release);
   }
 
   /// Moves the serving clock (delegates to the buffer).
@@ -156,6 +184,7 @@ class OnlinePredictor {
   const baselines::EmpiricalAverage* baseline_ = nullptr;
   FallbackConfig fallback_;
   mutable std::atomic<int> last_tier_{0};
+  std::atomic<PredictionObserver*> observer_{nullptr};
   OrderStreamBuffer buffer_;
 };
 

@@ -49,6 +49,12 @@ void OrderStreamBuffer::AdvanceTo(int day, int minute) {
   if (obs::Enabled()) {
     depth->Set(static_cast<double>(BufferedOrdersLocked()));
   }
+  if (observer_ != nullptr) observer_->OnClockAdvance(target);
+}
+
+void OrderStreamBuffer::set_stream_observer(StreamObserver* observer) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observer_ = observer;
 }
 
 void OrderStreamBuffer::DrainPendingLocked() {
@@ -131,6 +137,7 @@ bool OrderStreamBuffer::IngestOrderLocked(const data::Order& order) {
   int64_t ts_abs =
       static_cast<int64_t>(order.day) * data::kMinutesPerDay + order.ts;
   last_order_abs_ = std::max(last_order_abs_, ts_abs);
+  if (observer_ != nullptr) observer_->OnOrderAccepted(order, ts_abs);
   if (ts_abs < now_abs_.load(std::memory_order_relaxed) - window_) {
     return true;  // valid but too old to matter
   }

@@ -13,6 +13,23 @@
 namespace deepsd {
 namespace serving {
 
+/// Tap on the live stream — e.g. the online accuracy tracker
+/// (eval/online_accuracy.h) joining predictions against arriving ground
+/// truth. Callbacks run on the ingesting/advancing thread with the
+/// buffer's internal mutex HELD, so the tap observes events in buffer
+/// order; implementations must be fast and must never call back into the
+/// buffer.
+class StreamObserver {
+ public:
+  virtual ~StreamObserver() = default;
+  /// A well-formed order passed validation (ts_abs = day·1440 + ts).
+  /// Fires even for orders older than the buffer's window — stale events
+  /// are useless for feature vectors but still real ground truth.
+  virtual void OnOrderAccepted(const data::Order& order, int64_t ts_abs) = 0;
+  /// The serving clock moved forward to `now_abs`.
+  virtual void OnClockAdvance(int64_t now_abs) = 0;
+};
+
 /// Rolling window over a live order / weather / traffic stream.
 ///
 /// Holds exactly the last `window` minutes of state per area — everything
@@ -99,6 +116,11 @@ class OrderStreamBuffer {
   /// Number of buffered orders (diagnostics).
   size_t buffered_orders() const;
 
+  /// Attaches (or detaches, with nullptr) the stream tap. The observer
+  /// must outlive the buffer or be detached first; see StreamObserver for
+  /// the locking contract.
+  void set_stream_observer(StreamObserver* observer);
+
  private:
   struct Call {
     int64_t ts_abs;
@@ -174,6 +196,8 @@ class OrderStreamBuffer {
   WeatherSlot held_weather_;
   std::vector<TrafficSlot> held_traffic_;     // per area
   std::vector<int64_t> held_traffic_ts_;      // per area, -1 = never
+
+  StreamObserver* observer_ = nullptr;  // guarded by mu_
 
   std::atomic<uint64_t> rejected_{0};
 };

@@ -202,6 +202,39 @@ TEST_F(CheckpointTest, SaveLoadRoundTrip) {
   ASSERT_EQ(out.best[0].params.size(), 1u);
 }
 
+TEST_F(CheckpointTest, InputReferenceHistogramRoundTrips) {
+  TrainerCheckpoint ck;
+  ck.config.epochs = 1;
+  ck.input_reference.bounds = {1.5f, 3.0f, 9.0f};
+  ck.input_reference.counts = {10, 20, 30, 5};
+  ASSERT_TRUE(SaveCheckpoint(ck, Path("ref.ck")).ok());
+  TrainerCheckpoint out;
+  ASSERT_TRUE(LoadCheckpoint(Path("ref.ck"), &out).ok());
+  EXPECT_EQ(out.input_reference.bounds, ck.input_reference.bounds);
+  EXPECT_EQ(out.input_reference.counts, ck.input_reference.counts);
+
+  // An empty reference (the v1 state) roundtrips as empty.
+  TrainerCheckpoint empty_ck;
+  ASSERT_TRUE(SaveCheckpoint(empty_ck, Path("noref.ck")).ok());
+  TrainerCheckpoint empty_out;
+  empty_out.input_reference.bounds = {9.9f};  // must be overwritten
+  empty_out.input_reference.counts = {1, 1};
+  ASSERT_TRUE(LoadCheckpoint(Path("noref.ck"), &empty_out).ok());
+  EXPECT_TRUE(empty_out.input_reference.empty());
+}
+
+TEST_F(CheckpointTest, TrainerCapturesInputReferenceAtCheckpointTime) {
+  std::string path = CaptureCheckpoint(/*copy_at_epoch=*/1, /*every=*/4);
+  TrainerCheckpoint ck;
+  ASSERT_TRUE(LoadCheckpoint(path, &ck).ok());
+  // The trainer snapshots the training inputs' activity distribution so
+  // serving-side PSI always has an anchor.
+  ASSERT_FALSE(ck.input_reference.empty());
+  EXPECT_EQ(ck.input_reference.counts.size(),
+            ck.input_reference.bounds.size() + 1);
+  EXPECT_GT(ck.input_reference.total(), 0u);
+}
+
 TEST_F(CheckpointTest, TruncationIsTypedErrorNeverCrash) {
   std::string path = CaptureCheckpoint(/*copy_at_epoch=*/1, /*every=*/4);
   std::vector<char> bytes = ReadAll(path);

@@ -1,0 +1,225 @@
+#include "src/obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/timeline.h"
+
+namespace deepsd {
+namespace obs {
+namespace {
+
+class ObsSloTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = Enabled();
+    SetEnabled(true);
+  }
+  void TearDown() override { SetEnabled(was_enabled_); }
+
+  /// Hand-built timeline sample: availability specs read counter_deltas,
+  /// bound specs read the metric snapshots.
+  TimelineSample MakeSample(uint64_t seq, double good, double bad,
+                            double gauge_value = 0,
+                            const std::string& gauge_name = "") {
+    TimelineSample s;
+    s.seq = seq;
+    s.t_us = static_cast<int64_t>(seq) * 1000000;
+    s.interval_s = 1.0;
+    s.counter_deltas["t/good"] = good;
+    s.counter_deltas["t/bad"] = bad;
+    if (!gauge_name.empty()) {
+      MetricSnapshot m;
+      m.kind = MetricSnapshot::Kind::kGauge;
+      m.name = gauge_name;
+      m.value = gauge_value;
+      s.metrics.push_back(m);
+    }
+    return s;
+  }
+
+  SloSpec AvailabilitySpec() {
+    SloSpec spec;
+    spec.name = "avail";
+    spec.kind = SloSpec::Kind::kAvailability;
+    spec.good_counter = "t/good";
+    spec.bad_counters = {"t/bad"};
+    spec.objective = 0.9;  // 10% error budget
+    spec.burn_threshold = 2.0;
+    spec.min_events = 10;
+    spec.short_window = 2;
+    spec.long_window = 4;
+    spec.clear_scrapes = 3;
+    return spec;
+  }
+
+  MetricsRegistry registry_;
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsSloTest, AvailabilityBurnFiresOnceAndRearmsAfterClear) {
+  SloMonitor monitor({AvailabilitySpec()}, &registry_);
+  AlertLog log;
+  monitor.set_alert_log(&log);
+
+  // Healthy traffic: 100 good, 1 bad -> 1% errors, burn 0.1.
+  uint64_t seq = 0;
+  for (int i = 0; i < 4; ++i) {
+    monitor.Evaluate(MakeSample(++seq, 100, 1), nullptr);
+  }
+  EXPECT_EQ(monitor.alerts_fired(), 0u);
+  EXPECT_FALSE(monitor.firing("avail"));
+
+  // Sustained 50% shed rate: burn 5 in both windows -> fire exactly once.
+  for (int i = 0; i < 5; ++i) {
+    monitor.Evaluate(MakeSample(++seq, 50, 50), nullptr);
+  }
+  EXPECT_EQ(monitor.alerts_fired(), 1u);
+  EXPECT_TRUE(monitor.firing("avail"));
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.events()[0].spec, "avail");
+  EXPECT_EQ(log.events()[0].kind, "availability");
+  EXPECT_GT(log.events()[0].value, 2.0);
+
+  // Recovery: clear_scrapes healthy evaluations re-arm, then a second
+  // incident fires a second alert.
+  for (int i = 0; i < 6; ++i) {
+    monitor.Evaluate(MakeSample(++seq, 100, 0), nullptr);
+  }
+  EXPECT_FALSE(monitor.firing("avail"));
+  for (int i = 0; i < 5; ++i) {
+    monitor.Evaluate(MakeSample(++seq, 10, 90), nullptr);
+  }
+  EXPECT_EQ(monitor.alerts_fired(), 2u);
+}
+
+TEST_F(ObsSloTest, MinEventsFloorSuppressesLowTrafficNoise) {
+  SloSpec spec = AvailabilitySpec();
+  spec.min_events = 100;
+  SloMonitor monitor({spec}, &registry_);
+  // 100% errors, but only 4 events per long window: proves nothing.
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    monitor.Evaluate(MakeSample(seq, 0, 1), nullptr);
+  }
+  EXPECT_EQ(monitor.alerts_fired(), 0u);
+}
+
+TEST_F(ObsSloTest, GaugeBoundNeedsConsecutiveBreaches) {
+  SloSpec spec;
+  spec.name = "mae";
+  spec.kind = SloSpec::Kind::kGaugeMax;
+  spec.metric = "t/mae";
+  spec.bound = 2.0;
+  spec.short_window = 3;
+  SloMonitor monitor({spec}, &registry_);
+
+  // Two breaching scrapes, then a healthy one: streak resets, no alert.
+  monitor.Evaluate(MakeSample(1, 0, 0, 5.0, "t/mae"), nullptr);
+  monitor.Evaluate(MakeSample(2, 0, 0, 5.0, "t/mae"), nullptr);
+  monitor.Evaluate(MakeSample(3, 0, 0, 1.0, "t/mae"), nullptr);
+  EXPECT_EQ(monitor.alerts_fired(), 0u);
+
+  // Three consecutive breaches fire.
+  monitor.Evaluate(MakeSample(4, 0, 0, 5.0, "t/mae"), nullptr);
+  monitor.Evaluate(MakeSample(5, 0, 0, 5.0, "t/mae"), nullptr);
+  monitor.Evaluate(MakeSample(6, 0, 0, 5.0, "t/mae"), nullptr);
+  EXPECT_EQ(monitor.alerts_fired(), 1u);
+  // The per-spec gauge mirrors the measured value into the registry.
+  EXPECT_DOUBLE_EQ(registry_.GetGauge("slo/mae_value")->value(), 5.0);
+}
+
+TEST_F(ObsSloTest, FirstAlertDumpsCompleteFlightBundle) {
+  const std::string dir =
+      ::testing::TempDir() + "/slo_flight_bundle_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  std::filesystem::remove_all(dir);
+
+  TimelineRecorder recorder(TimelineConfig{}, &registry_);
+  SloMonitor monitor({AvailabilitySpec()}, &registry_);
+  AlertLog log;
+  FlightRecorder flight(FlightRecorder::Config{dir, 16});
+  monitor.set_alert_log(&log);
+  monitor.set_flight_recorder(&flight);
+  recorder.set_slo_monitor(&monitor);
+
+  Counter* good = registry_.GetCounter("t/good");
+  Counter* bad = registry_.GetCounter("t/bad");
+  for (int i = 0; i < 4; ++i) {
+    good->Inc(100);
+    bad->Inc(1);
+    recorder.SampleNow();
+  }
+  EXPECT_FALSE(flight.dumped());
+  for (int i = 0; i < 5; ++i) {
+    good->Inc(10);
+    bad->Inc(90);
+    recorder.SampleNow();
+  }
+  EXPECT_EQ(monitor.alerts_fired(), 1u);
+  ASSERT_TRUE(flight.dumped());
+
+  for (const char* name : {"manifest.json", "alerts.jsonl", "timeline.jsonl",
+                           "trace.json", "metrics.jsonl", "metrics.txt"}) {
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + name)) << name;
+  }
+  std::ifstream manifest(dir + "/manifest.json");
+  std::stringstream buf;
+  buf << manifest.rdbuf();
+  EXPECT_NE(buf.str().find("\"reason\""), std::string::npos);
+  EXPECT_NE(buf.str().find("avail"), std::string::npos);
+
+  // A second incident must not overwrite the first bundle.
+  ASSERT_TRUE(flight.Dump(&recorder, &log, "second").ok());
+  std::ifstream manifest2(dir + "/manifest.json");
+  std::stringstream buf2;
+  buf2 << manifest2.rdbuf();
+  EXPECT_EQ(buf2.str().find("second"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ObsSloTest, AlertLogIsBoundedAndExportsJsonLines) {
+  AlertLog log(2);
+  for (int i = 0; i < 5; ++i) {
+    AlertEvent e;
+    e.seq = static_cast<uint64_t>(i);
+    e.spec = "s";
+    e.spec += std::to_string(i);  // (split concat dodges gcc-12 -Wrestrict)
+    log.Append(e);
+  }
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events()[0].spec, "s3");  // oldest evicted
+
+  AlertEvent e;
+  e.seq = 4;
+  e.spec = "avail";
+  e.kind = "availability";
+  e.value = 5.5;
+  e.threshold = 2.0;
+  e.message = "boom";
+  const std::string line = AlertLog::ToJsonLine(e);
+  EXPECT_NE(line.find("\"spec\":\"avail\""), std::string::npos);
+  EXPECT_NE(line.find("\"value\":5.5"), std::string::npos);
+  EXPECT_NE(line.find("\"message\":\"boom\""), std::string::npos);
+}
+
+TEST_F(ObsSloTest, DefaultServingSlosDropDisabledSpecs) {
+  EXPECT_EQ(DefaultServingSlos(0.99, 1000, 2.0).size(), 3u);
+  EXPECT_EQ(DefaultServingSlos(0.99, 0, 0).size(), 1u);
+  EXPECT_EQ(DefaultServingSlos(0, 0, 0).size(), 0u);
+  std::vector<SloSpec> specs = DefaultServingSlos(0.99, 0, 2.0);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].good_counter, "serving/admitted");
+  EXPECT_EQ(specs[1].metric, "accuracy/mae");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace deepsd

@@ -1,0 +1,232 @@
+#include "src/obs/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/http_export.h"
+#include "src/obs/metrics.h"
+#include "src/obs/obs.h"
+#include "src/obs/openmetrics.h"
+
+namespace deepsd {
+namespace obs {
+namespace {
+
+/// Telemetry on for the test, prior state restored after (the pattern of
+/// obs_metrics_test.cc). Each test scrapes its own local registry so
+/// metrics registered by other tests in this binary can't interfere.
+class ObsTimelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = Enabled();
+    SetEnabled(true);
+  }
+  void TearDown() override { SetEnabled(was_enabled_); }
+
+  MetricsRegistry registry_;
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsTimelineTest, SampleNowComputesCounterDeltasAndRates) {
+  Counter* c = registry_.GetCounter("tl/requests");
+  TimelineRecorder recorder(TimelineConfig{}, &registry_);
+
+  c->Inc(5);
+  EXPECT_EQ(recorder.SampleNow(), 1u);
+  c->Inc(7);
+  EXPECT_EQ(recorder.SampleNow(), 2u);
+
+  std::vector<TimelineSample> samples = recorder.Samples();
+  ASSERT_EQ(samples.size(), 2u);
+  // First scrape: the whole cumulative value counts as this interval's
+  // increment (there is no earlier scrape to diff against).
+  EXPECT_DOUBLE_EQ(samples[0].counter_deltas.at("tl/requests"), 5.0);
+  EXPECT_DOUBLE_EQ(samples[1].counter_deltas.at("tl/requests"), 7.0);
+  EXPECT_GT(samples[1].interval_s, 0.0);
+  EXPECT_GT(samples[1].t_us, samples[0].t_us);
+}
+
+TEST_F(ObsTimelineTest, HistogramCountsAreMonotoneSeriesToo) {
+  Histogram* h = registry_.GetHistogram("tl/latency");
+  TimelineRecorder recorder(TimelineConfig{}, &registry_);
+  h->Observe(10.0);
+  h->Observe(20.0);
+  recorder.SampleNow();
+  h->Observe(30.0);
+  recorder.SampleNow();
+  std::vector<TimelineSample> samples = recorder.Samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].counter_deltas.at("tl/latency"), 2.0);
+  EXPECT_DOUBLE_EQ(samples[1].counter_deltas.at("tl/latency"), 1.0);
+}
+
+TEST_F(ObsTimelineTest, ResetValuesClampsDeltaToZeroNotNegative) {
+  Counter* c = registry_.GetCounter("tl/reset_me");
+  TimelineRecorder recorder(TimelineConfig{}, &registry_);
+  c->Inc(100);
+  recorder.SampleNow();
+  registry_.ResetValues();
+  c->Inc(3);
+  recorder.SampleNow();
+  std::vector<TimelineSample> samples = recorder.Samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_GE(samples[1].counter_deltas.at("tl/reset_me"), 0.0);
+}
+
+TEST_F(ObsTimelineTest, RingEvictsOldestBeyondCapacity) {
+  TimelineConfig config;
+  config.capacity = 4;
+  TimelineRecorder recorder(config, &registry_);
+  for (int i = 0; i < 6; ++i) recorder.SampleNow();
+  std::vector<TimelineSample> samples = recorder.Samples();
+  ASSERT_EQ(samples.size(), 4u);
+  EXPECT_EQ(samples.front().seq, 3u);  // 1 and 2 aged out
+  EXPECT_EQ(samples.back().seq, 6u);
+  EXPECT_EQ(recorder.scrape_count(), 6u);
+
+  std::vector<TimelineSample> tail = recorder.TailSamples(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail.front().seq, 5u);
+  EXPECT_EQ(tail.back().seq, 6u);
+}
+
+TEST_F(ObsTimelineTest, BackgroundThreadScrapesOnItsOwn) {
+  TimelineConfig config;
+  config.interval_ms = 5;
+  TimelineRecorder recorder(config, &registry_);
+  EXPECT_FALSE(recorder.running());
+  recorder.Start();
+  EXPECT_TRUE(recorder.running());
+  // Generous bound: just prove the thread scrapes without manual calls.
+  for (int i = 0; i < 200 && recorder.scrape_count() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  recorder.Stop();
+  EXPECT_FALSE(recorder.running());
+  EXPECT_GE(recorder.scrape_count(), 3u);
+  const uint64_t after_stop = recorder.scrape_count();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(recorder.scrape_count(), after_stop);
+}
+
+TEST_F(ObsTimelineTest, JsonLinesExportHoldsOneObjectPerScrape) {
+  Counter* c = registry_.GetCounter("tl/jsonl");
+  Gauge* g = registry_.GetGauge("tl/depth");
+  TimelineRecorder recorder(TimelineConfig{}, &registry_);
+  c->Inc(2);
+  g->Set(7.0);
+  recorder.SampleNow();
+  c->Inc(1);
+  recorder.SampleNow();
+
+  const std::string path = ::testing::TempDir() + "/timeline_test.jsonl";
+  ASSERT_TRUE(recorder.WriteJsonLines(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"seq\":"), std::string::npos);
+    EXPECT_NE(line.find("\"tl/jsonl\""), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+
+  const std::string one =
+      TimelineRecorder::SampleToJsonLine(recorder.Samples().front());
+  EXPECT_NE(one.find("\"counters\""), std::string::npos);
+  EXPECT_NE(one.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(one.find("\"tl/depth\":7"), std::string::npos);
+}
+
+// ------------------------------------------------------------ OpenMetrics
+
+TEST_F(ObsTimelineTest, OpenMetricsNameSanitizesAndPrefixes) {
+  EXPECT_EQ(OpenMetricsName("serving/predict_us"),
+            "deepsd_serving_predict_us");
+  EXPECT_EQ(OpenMetricsName("weird-name.x"), "deepsd_weird_name_x");
+}
+
+TEST_F(ObsTimelineTest, OpenMetricsRendersAllThreeKinds) {
+  registry_.GetCounter("om/events")->Inc(3);
+  registry_.GetGauge("om/depth")->Set(1.5);
+  Histogram* h = registry_.GetHistogram("om/lat", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(100.0);
+
+  const std::string text = ToOpenMetrics(registry_.Snapshot());
+  // Counter: _total on both the family header and the sample line.
+  EXPECT_NE(text.find("# TYPE deepsd_om_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepsd_om_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# HELP deepsd_om_events_total"), std::string::npos);
+  // Gauge.
+  EXPECT_NE(text.find("# TYPE deepsd_om_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("deepsd_om_depth 1.5"), std::string::npos);
+  // Histogram: cumulative buckets ending at +Inf, then _sum/_count.
+  EXPECT_NE(text.find("# TYPE deepsd_om_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("deepsd_om_lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("deepsd_om_lat_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("deepsd_om_lat_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepsd_om_lat_count 3"), std::string::npos);
+  // Document framing.
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+}
+
+TEST_F(ObsTimelineTest, OpenMetricsWriteCreatesFile) {
+  registry_.GetCounter("om/file")->Inc();
+  const std::string path = ::testing::TempDir() + "/metrics_test.txt";
+  ASSERT_TRUE(WriteOpenMetrics(registry_.Snapshot(), path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), ToOpenMetrics(registry_.Snapshot()));
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------ HTTP export
+
+TEST_F(ObsTimelineTest, HttpServerServesMetricsAndHealth) {
+  registry_.GetCounter("http/hits")->Inc(9);
+  MetricsHttpServer server(&registry_);
+  ASSERT_TRUE(server.Start(0).ok());  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+
+  std::string body;
+  ASSERT_TRUE(MetricsHttpServer::Get(server.port(), "/metrics", &body).ok());
+  EXPECT_NE(body.find("deepsd_http_hits_total 9"), std::string::npos);
+  EXPECT_NE(body.find("# EOF"), std::string::npos);
+
+  body.clear();
+  ASSERT_TRUE(MetricsHttpServer::Get(server.port(), "/healthz", &body).ok());
+  EXPECT_EQ(body, "ok\n");
+
+  EXPECT_FALSE(MetricsHttpServer::Get(server.port(), "/nope", &body).ok());
+  EXPECT_GE(server.requests_served(), 3u);
+  server.Stop();
+  EXPECT_FALSE(MetricsHttpServer::Get(server.port(), "/metrics", &body).ok());
+}
+
+TEST_F(ObsTimelineTest, HttpServerStopIsIdempotent) {
+  MetricsHttpServer server(&registry_);
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Stop();
+  server.Stop();  // second stop must be a no-op, not a crash
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace deepsd

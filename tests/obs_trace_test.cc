@@ -217,6 +217,21 @@ TEST_F(ObsTraceTest, CollectAllIsSortedByStartTime) {
   }
 }
 
+TEST_F(ObsTraceTest, RingCapacityParserDefaultsAndClamps) {
+  // The DEEPSD_TRACE_RING parser (env read happens once per process, so
+  // the parsing is tested directly rather than via setenv).
+  const size_t def = internal::kDefaultTraceRingCapacity;
+  EXPECT_EQ(internal::ParseTraceRingCapacity(nullptr), def);
+  EXPECT_EQ(internal::ParseTraceRingCapacity(""), def);
+  EXPECT_EQ(internal::ParseTraceRingCapacity("garbage"), def);
+  EXPECT_EQ(internal::ParseTraceRingCapacity("0"), def);
+  EXPECT_EQ(internal::ParseTraceRingCapacity("-5"), def);
+  EXPECT_EQ(internal::ParseTraceRingCapacity("1024"), 1024u);
+  EXPECT_EQ(internal::ParseTraceRingCapacity("7"), 64u);  // floor
+  EXPECT_EQ(internal::ParseTraceRingCapacity("999999999999"),
+            static_cast<size_t>(1) << 22);  // ceiling
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace deepsd

@@ -78,6 +78,15 @@ class ServingDegradationTest : public ::testing::Test {
     buffer->AdvanceTo(day, t);
   }
 
+  /// PredictAll with the per-call outcome: the tier assertions below read
+  /// PredictResult::tier (the deprecated predictor-wide last_tier() is
+  /// stompable under concurrency and has no remaining in-tree callers).
+  PredictResult PredictAllTiered(const OnlinePredictor& predictor) const {
+    std::vector<int> areas;
+    for (int a = 0; a < ds_.num_areas(); ++a) areas.push_back(a);
+    return predictor.PredictBatch(areas, util::Deadline::Infinite());
+  }
+
   data::OrderDataset ds_;
   std::unique_ptr<feature::FeatureAssembler> assembler_;
   std::unique_ptr<nn::ParameterStore> store_;
@@ -89,9 +98,9 @@ TEST_F(ServingDegradationTest, FreshFeedsServeTierNone) {
   OnlinePredictor predictor(model_.get(), assembler_.get());
   ReplayWithCutoffs(&predictor.buffer(), 11, 700, 0, 0, 0);
   EXPECT_EQ(predictor.CurrentTier(), FallbackTier::kNone);
-  std::vector<float> preds = predictor.PredictAll();
-  EXPECT_EQ(predictor.last_tier(), FallbackTier::kNone);
-  for (float p : preds) EXPECT_TRUE(std::isfinite(p));
+  PredictResult r = PredictAllTiered(predictor);
+  EXPECT_EQ(r.tier, FallbackTier::kNone);
+  for (float p : r.gaps) EXPECT_TRUE(std::isfinite(p));
 }
 
 TEST_F(ServingDegradationTest, StaleWeatherTriggersZeroOrderHold) {
@@ -101,9 +110,9 @@ TEST_F(ServingDegradationTest, StaleWeatherTriggersZeroOrderHold) {
   ReplayWithCutoffs(&predictor.buffer(), 11, 700, 0, 7, 0);
   EXPECT_EQ(predictor.CurrentTier(), FallbackTier::kZeroOrderHold);
 
-  std::vector<float> preds = predictor.PredictAll();
-  EXPECT_EQ(predictor.last_tier(), FallbackTier::kZeroOrderHold);
-  for (float p : preds) EXPECT_TRUE(std::isfinite(p));
+  PredictResult r = PredictAllTiered(predictor);
+  EXPECT_EQ(r.tier, FallbackTier::kZeroOrderHold);
+  for (float p : r.gaps) EXPECT_TRUE(std::isfinite(p));
 
   // The held assembly fills the trailing weather lags from the last
   // accepted record instead of the unknown encoding (type 0).
@@ -120,9 +129,9 @@ TEST_F(ServingDegradationTest, OrderStallFallsBackToEmpiricalBlock) {
   ReplayWithCutoffs(&predictor.buffer(), day, t, 26, 0, 0);
   EXPECT_EQ(predictor.CurrentTier(), FallbackTier::kEmpiricalBlock);
 
-  std::vector<float> preds = predictor.PredictAll();
-  EXPECT_EQ(predictor.last_tier(), FallbackTier::kEmpiricalBlock);
-  for (float p : preds) EXPECT_TRUE(std::isfinite(p));
+  PredictResult r = PredictAllTiered(predictor);
+  EXPECT_EQ(r.tier, FallbackTier::kEmpiricalBlock);
+  for (float p : r.gaps) EXPECT_TRUE(std::isfinite(p));
 
   // The real-time supply-demand block is replaced by the day-of-week
   // empirical block the assembler serves for training.
@@ -147,11 +156,11 @@ TEST_F(ServingDegradationTest, DeadStreamServesBaseline) {
   predictor.AdvanceTo(11, 830);
   EXPECT_EQ(predictor.CurrentTier(), FallbackTier::kBaseline);
 
-  std::vector<float> preds = predictor.PredictAll();
-  EXPECT_EQ(predictor.last_tier(), FallbackTier::kBaseline);
-  ASSERT_EQ(preds.size(), static_cast<size_t>(ds_.num_areas()));
+  PredictResult r = PredictAllTiered(predictor);
+  EXPECT_EQ(r.tier, FallbackTier::kBaseline);
+  ASSERT_EQ(r.gaps.size(), static_cast<size_t>(ds_.num_areas()));
   for (int a = 0; a < ds_.num_areas(); ++a) {
-    EXPECT_FLOAT_EQ(preds[static_cast<size_t>(a)], baseline.Predict(a, 830));
+    EXPECT_FLOAT_EQ(r.gaps[static_cast<size_t>(a)], baseline.Predict(a, 830));
   }
 }
 
@@ -160,9 +169,9 @@ TEST_F(ServingDegradationTest, WithoutBaselineLadderStopsAtEmpiricalBlock) {
   ReplayWithCutoffs(&predictor.buffer(), 11, 700, 0, 0, 0);
   predictor.AdvanceTo(11, 830);
   EXPECT_EQ(predictor.CurrentTier(), FallbackTier::kBaseline);
-  std::vector<float> preds = predictor.PredictAll();
-  EXPECT_EQ(predictor.last_tier(), FallbackTier::kEmpiricalBlock);
-  for (float p : preds) EXPECT_TRUE(std::isfinite(p));
+  PredictResult r = PredictAllTiered(predictor);
+  EXPECT_EQ(r.tier, FallbackTier::kEmpiricalBlock);
+  for (float p : r.gaps) EXPECT_TRUE(std::isfinite(p));
 }
 
 TEST_F(ServingDegradationTest, DegradedPredictionsCounterTracksFallbacks) {

@@ -116,16 +116,16 @@ TEST_F(ServingQueueTest, ExpiredDeadlineStillAnswersEveryArea) {
   for (float g : r.gaps) EXPECT_TRUE(std::isfinite(g));
 }
 
-TEST_F(ServingQueueTest, PerCallResultSurvivesLastTierStomp) {
-  // The deprecated predictor-wide last_tier() is stomped by later calls;
-  // the per-call result must not be.
+TEST_F(ServingQueueTest, PerCallResultSurvivesLaterCalls) {
+  // Each call's PredictResult is its own value: a later call at another
+  // tier must not retroactively change an earlier result (the failure mode
+  // of the deprecated predictor-wide last_tier() alias).
   PredictResult expired =
       predictor_->PredictBatch(areas_, util::Deadline::AtSteadyUs(1));
-  EXPECT_EQ(predictor_->last_tier(), FallbackTier::kBaseline);
+  EXPECT_EQ(expired.tier, FallbackTier::kBaseline);
   PredictResult fresh =
       predictor_->PredictBatch(areas_, util::Deadline::Infinite());
   EXPECT_EQ(fresh.tier, FallbackTier::kNone);
-  EXPECT_EQ(predictor_->last_tier(), FallbackTier::kNone);
   EXPECT_EQ(expired.tier, FallbackTier::kBaseline);  // unchanged
 }
 

@@ -1,19 +1,28 @@
-// deepsd_metrics_report: pretty-print a metrics dump produced by
-// deepsd_train / deepsd_simulate --metrics-out.
+// deepsd_metrics_report: pretty-print telemetry dumps produced by
+// deepsd_train / deepsd_simulate.
 //
 //   deepsd_metrics_report --in=metrics.jsonl [--filter=serving/] [--overload]
+//   deepsd_metrics_report --timeline=timeline.jsonl [--filter=serving/]
+//   deepsd_metrics_report --slo=alerts.jsonl
 //
-// Renders the counters/gauges table and the histogram quantile table
+// --in renders the counters/gauges table and the histogram quantile table
 // (count / mean / p50 / p90 / p99 / max, microseconds for latency
-// histograms). --filter keeps only metrics whose name contains the given
-// substring. --overload appends an admission-control summary (offered /
-// admitted / shed-by-reason / deadline misses / queue-wait quantiles)
-// derived from the serving/* metrics of docs/robustness.md.
+// histograms); --overload appends an admission-control summary derived
+// from the serving/* metrics of docs/robustness.md. --timeline renders a
+// per-scrape rate table from a TimelineRecorder export (events/second for
+// the busiest counters). --slo renders the structured alert log. When a
+// metrics dump shows dropped trace spans, a warning points at the
+// DEEPSD_TRACE_RING knob. --filter keeps only metrics whose name contains
+// the given substring.
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "obs/json.h"
 #include "obs/metrics_io.h"
 #include "util/cli.h"
 
@@ -69,39 +78,211 @@ void PrintOverloadSummary(
   }
 }
 
+/// Trace rings overwrite the oldest span on overflow, so a dump taken
+/// after heavy tracing may be missing history. Surface that loudly: the
+/// operator cure is a bigger DEEPSD_TRACE_RING, not a longer stare at an
+/// incomplete trace.
+void WarnIfTraceDropped(double dropped) {
+  if (dropped <= 0) return;
+  std::fprintf(stderr,
+               "warning: %.0f trace spans were dropped (per-thread ring "
+               "overflow); raise DEEPSD_TRACE_RING to keep more history\n",
+               dropped);
+}
+
+/// Reads a whole file into per-line strings; empty vector + message on
+/// failure.
+bool ReadLines(const std::string& path, std::vector<std::string>* lines) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines->push_back(line);
+  }
+  return true;
+}
+
+/// Renders a TimelineRecorder JSON-lines export as a per-scrape rate table.
+/// Columns are the busiest counters by total delta over the capture
+/// (ties broken by name), capped so the table stays terminal-width sane.
+int PrintTimeline(const std::string& path, const std::string& filter) {
+  using deepsd::obs::json::Parse;
+  using deepsd::obs::json::Value;
+  std::vector<std::string> lines;
+  if (!ReadLines(path, &lines)) {
+    std::fprintf(stderr, "cannot read timeline: %s\n", path.c_str());
+    return 1;
+  }
+
+  std::vector<Value> samples;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    Value v;
+    std::string error;
+    if (!Parse(lines[i], &v, &error) || !v.is_object()) {
+      std::fprintf(stderr, "timeline line %zu unparseable: %s\n", i + 1,
+                   error.c_str());
+      return 1;
+    }
+    samples.push_back(std::move(v));
+  }
+  if (samples.empty()) {
+    std::printf("timeline: no scrapes\n");
+    return 0;
+  }
+
+  // Total delta per counter across the capture decides the columns.
+  std::map<std::string, double> total_delta;
+  for (const Value& s : samples) {
+    const Value* counters = s.Find("counters");
+    if (counters == nullptr || !counters->is_object()) continue;
+    for (const auto& kv : counters->object) {
+      if (!filter.empty() && kv.first.find(filter) == std::string::npos) {
+        continue;
+      }
+      total_delta[kv.first] += kv.second.NumberOr("delta", 0.0);
+    }
+  }
+  std::vector<std::pair<std::string, double>> ranked(total_delta.begin(),
+                                                     total_delta.end());
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  constexpr size_t kMaxColumns = 6;
+  if (ranked.size() > kMaxColumns) ranked.resize(kMaxColumns);
+  std::vector<std::string> columns;
+  for (const auto& r : ranked) columns.push_back(r.first);
+
+  std::printf("timeline: %zu scrapes from %s\n", samples.size(), path.c_str());
+  if (columns.empty()) {
+    std::printf("  (no counters matched%s)\n",
+                filter.empty() ? "" : (" filter '" + filter + "'").c_str());
+    return 0;
+  }
+  std::printf("  rates are events/second per scrape interval\n\n");
+  std::printf("  %5s %9s", "seq", "t_s");
+  for (const std::string& c : columns) {
+    // Last path segment keeps the header compact: serving/admitted ->
+    // admitted.
+    const size_t slash = c.rfind('/');
+    std::printf(" %14s",
+                (slash == std::string::npos ? c : c.substr(slash + 1)).c_str());
+  }
+  std::printf("\n");
+
+  const double t0_ms = samples.front().NumberOr("t_ms", 0.0);
+  double last_dropped = 0.0;
+  for (const Value& s : samples) {
+    std::printf("  %5.0f %9.2f", s.NumberOr("seq", 0.0),
+                (s.NumberOr("t_ms", 0.0) - t0_ms) * 1e-3);
+    const Value* counters = s.Find("counters");
+    for (const std::string& c : columns) {
+      const Value* cell =
+          counters != nullptr ? counters->Find(c) : nullptr;
+      std::printf(" %14.1f", cell != nullptr ? cell->NumberOr("rate", 0.0)
+                                             : 0.0);
+    }
+    std::printf("\n");
+    const Value* gauges = s.Find("gauges");
+    if (gauges != nullptr) {
+      last_dropped = gauges->NumberOr("obs/trace_dropped_spans", last_dropped);
+    }
+  }
+  WarnIfTraceDropped(last_dropped);
+  return 0;
+}
+
+/// Renders an AlertLog JSON-lines export as a table; one row per alert.
+int PrintAlerts(const std::string& path) {
+  using deepsd::obs::json::Parse;
+  using deepsd::obs::json::Value;
+  std::vector<std::string> lines;
+  if (!ReadLines(path, &lines)) {
+    std::fprintf(stderr, "cannot read alert log: %s\n", path.c_str());
+    return 1;
+  }
+  if (lines.empty()) {
+    std::printf("slo: no alerts fired\n");
+    return 0;
+  }
+  std::printf("slo: %zu alert%s\n\n", lines.size(),
+              lines.size() == 1 ? "" : "s");
+  std::printf("  %5s %9s %-26s %-14s %12s %12s  %s\n", "seq", "t_s", "spec",
+              "kind", "value", "threshold", "message");
+  for (size_t i = 0; i < lines.size(); ++i) {
+    Value v;
+    std::string error;
+    if (!Parse(lines[i], &v, &error) || !v.is_object()) {
+      std::fprintf(stderr, "alert line %zu unparseable: %s\n", i + 1,
+                   error.c_str());
+      return 1;
+    }
+    std::printf("  %5.0f %9.2f %-26s %-14s %12.4g %12.4g  %s\n",
+                v.NumberOr("seq", 0.0), v.NumberOr("t_ms", 0.0) * 1e-3,
+                v.StringOr("spec", "?").c_str(),
+                v.StringOr("kind", "?").c_str(), v.NumberOr("value", 0.0),
+                v.NumberOr("threshold", 0.0),
+                v.StringOr("message", "").c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace deepsd;
   util::CommandLine cli(argc, argv);
-  util::Status st = cli.CheckKnown({"in", "filter", "overload", "help"});
-  if (!st.ok() || cli.GetBool("help", false) || !cli.Has("in")) {
+  util::Status st =
+      cli.CheckKnown({"in", "filter", "overload", "timeline", "slo", "help"});
+  const bool has_input =
+      cli.Has("in") || cli.Has("timeline") || cli.Has("slo");
+  if (!st.ok() || cli.GetBool("help", false) || !has_input) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_metrics_report --in=metrics.jsonl "
-                 "[--filter=substring] [--overload]\n",
+                 "[--filter=substring] [--overload]\n"
+                 "       deepsd_metrics_report --timeline=timeline.jsonl "
+                 "[--filter=substring]\n"
+                 "       deepsd_metrics_report --slo=alerts.jsonl\n",
                  st.ToString().c_str());
-    return st.ok() ? 2 : 2;
+    return 2;
   }
 
-  std::vector<obs::MetricSnapshot> snapshots;
-  st = obs::LoadJsonLines(cli.GetString("in"), &snapshots);
-  if (!st.ok()) {
-    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
+  const std::string filter =
+      cli.Has("filter") ? cli.GetString("filter") : std::string();
 
-  if (cli.Has("filter")) {
-    std::string needle = cli.GetString("filter");
-    std::vector<obs::MetricSnapshot> kept;
-    for (auto& s : snapshots) {
-      if (s.name.find(needle) != std::string::npos) {
-        kept.push_back(std::move(s));
-      }
+  int rc = 0;
+  if (cli.Has("in")) {
+    std::vector<obs::MetricSnapshot> snapshots;
+    st = obs::LoadJsonLines(cli.GetString("in"), &snapshots);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+      return 1;
     }
-    snapshots = std::move(kept);
-  }
 
-  std::fputs(obs::RenderTable(snapshots).c_str(), stdout);
-  if (cli.GetBool("overload", false)) PrintOverloadSummary(snapshots);
-  return 0;
+    // The drop check runs before --filter so it fires even when the
+    // operator narrowed the table to serving/.
+    for (const auto& s : snapshots) {
+      if (s.name == "obs/trace_dropped_spans") WarnIfTraceDropped(s.value);
+    }
+
+    if (!filter.empty()) {
+      std::vector<obs::MetricSnapshot> kept;
+      for (auto& s : snapshots) {
+        if (s.name.find(filter) != std::string::npos) {
+          kept.push_back(std::move(s));
+        }
+      }
+      snapshots = std::move(kept);
+    }
+
+    std::fputs(obs::RenderTable(snapshots).c_str(), stdout);
+    if (cli.GetBool("overload", false)) PrintOverloadSummary(snapshots);
+  }
+  if (rc == 0 && cli.Has("timeline")) {
+    rc = PrintTimeline(cli.GetString("timeline"), filter);
+  }
+  if (rc == 0 && cli.Has("slo")) {
+    rc = PrintAlerts(cli.GetString("slo"));
+  }
+  return rc;
 }

@@ -21,11 +21,17 @@
 #include <thread>
 #include <vector>
 
+#include "core/drift.h"
 #include "core/trainer.h"
 #include "data/serialize.h"
 #include "dispatch/closed_loop.h"
 #include "dispatch/policies.h"
+#include "eval/online_accuracy.h"
+#include "obs/http_export.h"
 #include "obs/metrics_io.h"
+#include "obs/openmetrics.h"
+#include "obs/slo.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "serving/online_predictor.h"
 #include "serving/serving_queue.h"
@@ -80,10 +86,18 @@ void RunInstrumentedPipeline(const data::OrderDataset& dataset,
   core::AssemblerSource eval(&assembler, eval_items, /*advanced=*/false);
   core::Trainer(tc).Train(&model, &params, train, eval);
 
-  // --- Serving spans: replay the serve day like a live feed ---
+  // --- Serving spans: replay the serve day like a live feed, with the
+  // online accuracy tracker joining predictions against the arriving
+  // ground truth and scoring input drift against the training reference.
   std::printf("telemetry: replaying day %d through OnlinePredictor...\n",
               serve_day);
   serving::OnlinePredictor predictor(&model, &assembler);
+  eval::OnlineAccuracyConfig ac;
+  ac.num_areas = dataset.num_areas();
+  eval::OnlineAccuracyTracker tracker(ac);
+  tracker.SetInputReference(core::BuildInputReference(train));
+  predictor.set_prediction_observer(&tracker);
+  predictor.buffer().set_stream_observer(&tracker);
   serving::OrderStreamBuffer& buffer = predictor.buffer();
   const int t_begin = 420, t_end = 600;  // morning peak is plenty
   buffer.AdvanceTo(serve_day, t_begin - fc.window);
@@ -112,6 +126,16 @@ void RunInstrumentedPipeline(const data::OrderDataset& dataset,
       predictor.Predict(0);
     }
   }
+  // Let the last open prediction slots mature, then report.
+  predictor.AdvanceTo(serve_day, t_end + data::kGapWindow);
+  const eval::TierAccuracy acc = tracker.Overall();
+  std::printf(
+      "telemetry: online accuracy over %llu joined slots: MAE %.3f RMSE %.3f "
+      "ER %.3f, input PSI %.3f\n",
+      static_cast<unsigned long long>(acc.count), acc.mae, acc.rmse, acc.er,
+      tracker.InputPsi());
+  predictor.set_prediction_observer(nullptr);
+  predictor.buffer().set_stream_observer(nullptr);
 
   // --- Dispatch spans: one short predictive closed loop ---
   std::printf("telemetry: running closed-loop dispatch on day %d...\n",
@@ -135,7 +159,8 @@ void RunInstrumentedPipeline(const data::OrderDataset& dataset,
 /// losses), and Drain() closes admission without abandoning work. Returns
 /// false (and prints why) when any invariant breaks.
 bool RunOverloadScenario(const data::OrderDataset& dataset, double burst_mult,
-                         int requests_per_phase) {
+                         int requests_per_phase,
+                         obs::TimelineRecorder* recorder) {
   const int num_days = dataset.num_days();
   if (num_days < 3) {
     std::fprintf(stderr, "--overload needs >= 3 days, have %d\n", num_days);
@@ -238,6 +263,8 @@ bool RunOverloadScenario(const data::OrderDataset& dataset, double burst_mult,
                           {"sustained_2x", 2.0}};
   std::vector<std::future<serving::ServingResponse>> futures;
   futures.reserve(static_cast<size_t>(requests_per_phase) * 5);
+  // Baseline scrape before load so the phase deltas stand out.
+  if (recorder != nullptr) recorder->SampleNow();
   for (const Phase& phase : phases) {
     // Below ~50us the sleep's own scheduling latency throttles the offered
     // load; a genuinely overloading phase just submits back to back.
@@ -251,6 +278,10 @@ bool RunOverloadScenario(const data::OrderDataset& dataset, double burst_mult,
       }
     }
     const serving::ServingQueueStats after = queue.stats();
+    // One deterministic timeline sample per phase: the burst phase shows
+    // up as a shed-rate spike in exactly one scrape interval, and the SLO
+    // monitor (if attached to the recorder) sees each phase once.
+    if (recorder != nullptr) recorder->SampleNow();
     std::printf(
         "overload: phase %-12s offered %3llu admitted %3llu shed %3llu "
         "(full %llu deadline %llu rate %llu breaker %llu)\n",
@@ -341,12 +372,13 @@ bool RunOverloadScenario(const data::OrderDataset& dataset, double burst_mult,
 
 int Main(int argc, char** argv) {
   util::CommandLine cli(argc, argv);
-  util::Status st = cli.CheckKnown({"out", "areas", "days", "seed",
-                                    "mean_scale", "no_weather", "no_traffic",
-                                    "first_weekday", "threads", "faults",
-                                    "metrics-out", "trace-out", "overload",
-                                    "overload_burst", "overload_requests",
-                                    "help"});
+  util::Status st = cli.CheckKnown(
+      {"out", "areas", "days", "seed", "mean_scale", "no_weather",
+       "no_traffic", "first_weekday", "threads", "faults", "metrics-out",
+       "trace-out", "overload", "overload_burst", "overload_requests",
+       "timeline-out", "timeline-interval-ms", "openmetrics-out",
+       "serve-metrics", "alerts-out", "flight-dir", "slo", "slo_availability",
+       "slo_queue_p99_us", "slo_mae", "help"});
   if (!st.ok() || cli.GetBool("help", false)) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_simulate --out=city.bin [--areas=58] "
@@ -354,13 +386,22 @@ int Main(int argc, char** argv) {
                  "[--no_traffic] [--first_weekday=1] [--threads=N] "
                  "[--faults=drop_event=0.1,seed=42] "
                  "[--metrics-out=metrics.jsonl] [--trace-out=trace.json] "
-                 "[--overload] [--overload_burst=10] "
+                 "[--timeline-out=timeline.jsonl] [--timeline-interval-ms=200] "
+                 "[--openmetrics-out=metrics.txt] [--serve-metrics=PORT] "
+                 "[--slo] [--slo_availability=0.99] [--slo_queue_p99_us=0] "
+                 "[--slo_mae=0] [--alerts-out=alerts.jsonl] "
+                 "[--flight-dir=DIR] [--overload] [--overload_burst=10] "
                  "[--overload_requests=40]\n",
                  st.ToString().c_str());
     return st.ok() ? 0 : 2;
   }
 
-  const bool telemetry = cli.Has("metrics-out") || cli.Has("trace-out");
+  const bool want_timeline = cli.Has("timeline-out") ||
+                             cli.Has("openmetrics-out") ||
+                             cli.Has("serve-metrics") || cli.GetBool("slo",
+                                                                     false);
+  const bool telemetry =
+      cli.Has("metrics-out") || cli.Has("trace-out") || want_timeline;
   if (telemetry) obs::SetEnabled(true);
 
   // Fault injection for the instrumented pipeline's serving replay (same
@@ -414,13 +455,74 @@ int Main(int argc, char** argv) {
   }
   std::printf("wrote %s\n", out.c_str());
 
+  // Time-series observability: a TimelineRecorder scraping in the
+  // background (plus one deterministic scrape per overload phase), an
+  // optional SLO monitor with alert log + flight recorder, and an optional
+  // loopback /metrics endpoint. See docs/observability.md.
+  std::unique_ptr<obs::TimelineRecorder> recorder;
+  std::unique_ptr<obs::SloMonitor> slo_monitor;
+  obs::AlertLog alert_log;
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (want_timeline) {
+    obs::TimelineConfig tlc;
+    tlc.interval_ms =
+        std::max<int64_t>(cli.GetInt("timeline-interval-ms", 200), 10);
+    recorder = std::make_unique<obs::TimelineRecorder>(tlc);
+    if (cli.GetBool("slo", false)) {
+      std::vector<obs::SloSpec> specs = obs::DefaultServingSlos(
+          cli.GetDouble("slo_availability", 0.99),
+          cli.GetDouble("slo_queue_p99_us", 0.0),
+          cli.GetDouble("slo_mae", 0.0));
+      slo_monitor = std::make_unique<obs::SloMonitor>(std::move(specs));
+      slo_monitor->set_alert_log(&alert_log);
+      if (cli.Has("flight-dir")) {
+        flight = std::make_unique<obs::FlightRecorder>(
+            obs::FlightRecorder::Config{cli.GetString("flight-dir"), 64});
+        slo_monitor->set_flight_recorder(flight.get());
+      }
+      recorder->set_slo_monitor(slo_monitor.get());
+    }
+    recorder->Start();
+  }
+  obs::MetricsHttpServer http_server;
+  if (cli.Has("serve-metrics")) {
+    const int port = static_cast<int>(cli.GetInt("serve-metrics", 0));
+    st = http_server.Start(port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "--serve-metrics: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving OpenMetrics on http://127.0.0.1:%d/metrics\n",
+                http_server.port());
+  }
+
   if (cli.GetBool("overload", false)) {
     const double burst = cli.GetDouble("overload_burst", 10.0);
     const int requests =
         static_cast<int>(cli.GetInt("overload_requests", 40));
     if (!RunOverloadScenario(dataset, std::max(burst, 1.0),
-                             std::max(requests, 1))) {
+                             std::max(requests, 1), recorder.get())) {
       return 1;
+    }
+    if (slo_monitor != nullptr) {
+      recorder->SampleNow();  // post-drain state
+      const uint64_t fired = slo_monitor->alerts_fired();
+      std::printf("slo: %llu alert(s) fired\n",
+                  static_cast<unsigned long long>(fired));
+      if (fired == 0) {
+        std::fprintf(stderr,
+                     "slo FAIL: overload scenario fired no alert — either "
+                     "the breach induction or the burn-rate logic broke\n");
+        return 1;
+      }
+      if (flight != nullptr && !flight->dumped()) {
+        std::fprintf(stderr, "slo FAIL: alert fired but no flight bundle\n");
+        return 1;
+      }
+      if (flight != nullptr) {
+        std::printf("flight bundle written to %s\n",
+                    flight->bundle_dir().c_str());
+      }
     }
   }
 
@@ -447,6 +549,55 @@ int Main(int argc, char** argv) {
       std::printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n",
                   path.c_str());
     }
+  }
+
+  if (cli.Has("serve-metrics")) {
+    // Self-check: scrape our own endpoint once, so a CI run proves the
+    // HTTP path end to end without an external curl.
+    std::string body;
+    st = obs::MetricsHttpServer::Get(http_server.port(), "/metrics", &body);
+    if (!st.ok() || body.find("# EOF") == std::string::npos) {
+      std::fprintf(stderr, "serve-metrics self-check failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("serve-metrics self-check OK (%zu bytes)\n", body.size());
+    http_server.Stop();
+  }
+  if (recorder != nullptr) {
+    recorder->SampleNow();  // final state always makes the timeline
+    recorder->Stop();
+    if (cli.Has("timeline-out")) {
+      const std::string path = cli.GetString("timeline-out");
+      st = recorder->WriteJsonLines(path);
+      if (!st.ok()) {
+        std::fprintf(stderr, "timeline dump failed: %s\n",
+                     st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%llu scrapes)\n", path.c_str(),
+                  static_cast<unsigned long long>(recorder->scrape_count()));
+    }
+  }
+  if (cli.Has("openmetrics-out")) {
+    const std::string path = cli.GetString("openmetrics-out");
+    st = obs::WriteOpenMetrics(obs::MetricsRegistry::Global().Snapshot(),
+                               path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "openmetrics dump failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (cli.Has("alerts-out")) {
+    const std::string path = cli.GetString("alerts-out");
+    st = alert_log.WriteJsonLines(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "alerts dump failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu alert(s))\n", path.c_str(), alert_log.size());
   }
   return 0;
 }
