@@ -238,8 +238,6 @@ PredictResult OnlinePredictor::AssembleAndPredict(
     result.tier = FallbackTier::kBaseline;
     result.deadline_expired = true;
     expired_calls->Inc();
-    last_tier_.store(static_cast<int>(result.tier),
-                     std::memory_order_relaxed);
     degraded->Inc(area_ids.size());
     tier_baseline->Inc(area_ids.size());
     // Expired answers are still served answers; the tap sees them at the
@@ -328,7 +326,6 @@ PredictResult OnlinePredictor::AssembleAndPredict(
     }
   }
 
-  last_tier_.store(static_cast<int>(tier), std::memory_order_relaxed);
   switch (tier) {
     case FallbackTier::kNone:
       break;

@@ -28,9 +28,7 @@ enum class FallbackTier {
 };
 
 /// Per-call outcome of a prediction batch. Returned by value so concurrent
-/// PredictBatch callers each see their own tier and deadline verdict —
-/// the predictor-wide last_tier() atomic is kept only as a deprecated
-/// alias and is stomped by whichever call finishes last.
+/// PredictBatch callers each see their own tier and deadline verdict.
 struct PredictResult {
   /// One gap per requested area, in request order. Always fully populated:
   /// an expired deadline degrades the answer, it never truncates it.
@@ -122,16 +120,6 @@ class OnlinePredictor {
   /// The degradation tier the next prediction would be served at, from the
   /// current feed staleness. Cheap (three clock reads).
   FallbackTier CurrentTier() const;
-  /// Deprecated (scheduled for deletion): tier of whichever
-  /// Predict/PredictAll/PredictBatch call finished last, predictor-wide —
-  /// concurrent callers stomp it. Use the per-call PredictResult::tier
-  /// instead. No in-tree callers remain; the CI -Werror build rejects new
-  /// ones.
-  [[deprecated("stompable under concurrency; use PredictResult::tier")]]
-  FallbackTier last_tier() const {
-    return static_cast<FallbackTier>(
-        last_tier_.load(std::memory_order_relaxed));
-  }
 
   /// Attaches (or detaches, with nullptr) the prediction tap. The observer
   /// must be thread-safe and outlive the predictor or be detached first.
@@ -167,6 +155,12 @@ class OnlinePredictor {
   /// FeatureAssembler on identical data).
   feature::ModelInput AssembleLive(int area) const;
 
+  /// The cheapest answer available — the baseline per area, or 0 without
+  /// one. This is the bottom rung every degraded path lands on; the
+  /// sharded scatter-gather also answers a *shed* shard's areas from it so
+  /// one drowning shard degrades instead of failing the whole city call.
+  std::vector<float> CheapGaps(const std::vector<int>& area_ids) const;
+
  private:
   /// Tier-aware assembly body.
   feature::ModelInput AssembleAtTier(int area, FallbackTier tier) const;
@@ -176,14 +170,11 @@ class OnlinePredictor {
   /// checkpoints abandon to the cheap path (CheapGaps).
   PredictResult AssembleAndPredict(const std::vector<int>& area_ids,
                                    util::Deadline deadline) const;
-  /// The cheapest answer available: baseline per area, or 0 without one.
-  std::vector<float> CheapGaps(const std::vector<int>& area_ids) const;
 
   const core::DeepSDModel* model_;
   const feature::FeatureAssembler* history_;
   const baselines::EmpiricalAverage* baseline_ = nullptr;
   FallbackConfig fallback_;
-  mutable std::atomic<int> last_tier_{0};
   std::atomic<PredictionObserver*> observer_{nullptr};
   OrderStreamBuffer buffer_;
 };

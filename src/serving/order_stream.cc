@@ -129,6 +129,14 @@ void OrderStreamBuffer::AddOrder(const data::Order& order) {
   if (!IngestOrderLocked(event)) RejectEvent();
 }
 
+void OrderStreamBuffer::NoteOrderSeen(int day, int ts) {
+  if (!ValidDayTs(day, ts)) return;
+  const int64_t ts_abs =
+      static_cast<int64_t>(day) * data::kMinutesPerDay + ts;
+  std::lock_guard<std::mutex> lock(mu_);
+  last_order_abs_ = std::max(last_order_abs_, ts_abs);
+}
+
 bool OrderStreamBuffer::IngestOrderLocked(const data::Order& order) {
   if (order.start_area < 0 || order.start_area >= num_areas_ ||
       !ValidDayTs(order.day, order.ts)) {

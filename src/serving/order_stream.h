@@ -74,6 +74,15 @@ class OrderStreamBuffer {
   /// Ingests one order (uses order.day/order.ts for its timestamp).
   /// Malformed records are rejected, not fatal.
   void AddOrder(const data::Order& order);
+  /// Advances the citywide order-feed freshness clock without storing an
+  /// order. The sharded router feeds each order to its owning shard's
+  /// buffer and *notes* it on the siblings: order-stall detection is
+  /// citywide by design (one quiet area is ordinary sparsity and must not
+  /// degrade its neighbours — see FallbackConfig::order_stall_minutes), so
+  /// every replica must agree on when the feed last produced, no matter
+  /// which shard the event landed in. Ignores out-of-range timestamps; no
+  /// observer fires (the owning shard delivers the real event).
+  void NoteOrderSeen(int day, int ts);
   /// Ingests a weather record (shared across areas).
   void AddWeather(const data::WeatherRecord& record);
   /// Ingests a traffic record for its area.

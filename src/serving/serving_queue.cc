@@ -19,17 +19,19 @@ ServingQueue::ServingQueue(const OnlinePredictor* predictor,
   config_.service_ewma_alpha =
       std::min(std::max(config_.service_ewma_alpha, 0.01), 1.0);
 
+  if (config_.metric_prefix.empty()) config_.metric_prefix = "serving";
+  const std::string& p = config_.metric_prefix;
   obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
-  admitted_counter_ = r.GetCounter("serving/admitted");
-  shed_counters_[0] = r.GetCounter("serving/shed_queue_full");
-  shed_counters_[1] = r.GetCounter("serving/shed_deadline");
-  shed_counters_[2] = r.GetCounter("serving/shed_rate_limited");
-  shed_counters_[3] = r.GetCounter("serving/shed_breaker");
-  shed_counters_[4] = r.GetCounter("serving/shed_draining");
-  deadline_miss_counter_ = r.GetCounter("serving/deadline_miss");
-  queue_wait_hist_ = r.GetHistogram("serving/queue_wait_us");
-  depth_gauge_ = r.GetGauge("serving/queue_depth");
-  wedged_counter_ = r.GetCounter("serving/watchdog_wedged");
+  admitted_counter_ = r.GetCounter(p + "/admitted");
+  shed_counters_[0] = r.GetCounter(p + "/shed_queue_full");
+  shed_counters_[1] = r.GetCounter(p + "/shed_deadline");
+  shed_counters_[2] = r.GetCounter(p + "/shed_rate_limited");
+  shed_counters_[3] = r.GetCounter(p + "/shed_breaker");
+  shed_counters_[4] = r.GetCounter(p + "/shed_draining");
+  deadline_miss_counter_ = r.GetCounter(p + "/deadline_miss");
+  queue_wait_hist_ = r.GetHistogram(p + "/queue_wait_us");
+  depth_gauge_ = r.GetGauge(p + "/queue_depth");
+  wedged_counter_ = r.GetCounter(p + "/watchdog_wedged");
 
   worker_states_.reserve(static_cast<size_t>(config_.num_workers));
   for (int i = 0; i < config_.num_workers; ++i) {
@@ -189,12 +191,10 @@ void ServingQueue::WorkerLoop(int worker_index) {
 
     state.busy_since_us.store(0, std::memory_order_relaxed);
     const double service_us = static_cast<double>(end_us - start_us);
-    // Resolve the future BEFORE dropping in_flight_: Drain() returns the
-    // moment queue-empty && in_flight==0 holds (condition_variable waits
-    // may wake spuriously), and its guarantee is that every accepted
-    // future is already resolved by then.
-    request.promise.set_value(std::move(response));
-    bool quiescent = false;
+    // Publish the request's accounting BEFORE resolving its future: a
+    // caller whose future.get() has returned must already find its own
+    // request in stats() (the sharded gather reads per-shard
+    // deadline_misses right after the merge completes).
     {
       std::lock_guard<std::mutex> lock(mu_);
       ewma_service_us_ = ewma_service_us_ <= 0.0
@@ -203,6 +203,16 @@ void ServingQueue::WorkerLoop(int worker_index) {
                                        ewma_service_us_ +
                                    config_.service_ewma_alpha * service_us;
       ++stats_.completed;
+      if (response.deadline_missed) ++stats_.deadline_misses;
+    }
+    // ...and resolve the future BEFORE dropping in_flight_: Drain()
+    // returns the moment queue-empty && in_flight==0 holds
+    // (condition_variable waits may wake spuriously), and its guarantee is
+    // that every accepted future is already resolved by then.
+    request.promise.set_value(std::move(response));
+    bool quiescent = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;
       quiescent = queue_.empty() && in_flight_ == 0;
     }

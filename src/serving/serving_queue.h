@@ -8,6 +8,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -83,6 +84,12 @@ struct ServingQueueConfig {
   /// request) in serving/watchdog_wedged and the log. <= 0 disables the
   /// watchdog thread.
   int64_t watchdog_stuck_us = 5'000'000;
+  /// Metric namespace for this queue's counters/gauges/histograms. The
+  /// default keeps the historical names (serving/admitted, ...); the
+  /// sharded router gives each shard queue its own prefix
+  /// ("serving/shard0", "serving/shard1", ...) so a hotspot shard's shed
+  /// storm is attributable per shard instead of smearing into one total.
+  std::string metric_prefix = "serving";
 };
 
 /// Running totals, readable without scraping the metrics registry.

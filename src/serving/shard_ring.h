@@ -1,0 +1,84 @@
+#ifndef DEEPSD_SERVING_SHARD_RING_H_
+#define DEEPSD_SERVING_SHARD_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace deepsd {
+namespace serving {
+
+/// Tuning for the area→shard consistent-hash ring.
+struct ShardRingConfig {
+  /// Number of shards. Must be >= 1.
+  int num_shards = 1;
+  /// Virtual nodes each shard places on the ring. More vnodes means a
+  /// tighter load balance (a shard's owned arc is a sum of vnode arcs, so
+  /// its relative spread shrinks with 1/sqrt(vnodes)) at the cost of a
+  /// larger sorted ring; 512 keeps the max/min owned-area ratio under 2
+  /// at 8 shards × 1000 areas (pinned by serving_shard_ring_test.cc)
+  /// while the ring stays tens of KB and lookups O(log 4096).
+  int vnodes_per_shard = 512;
+  /// Salts every ring-point hash. Two rings with the same seed and shard
+  /// count are identical; changing the seed reshuffles every placement.
+  uint64_t seed = 0x5eedC17D;
+};
+
+/// Consistent-hash ring mapping area ids onto shards.
+///
+/// Each shard hashes `vnodes_per_shard` virtual points onto a 64-bit ring;
+/// an area belongs to the shard owning the first point clockwise of the
+/// area's hash. The properties serving cares about (and the property tests
+/// in serving_shard_ring_test.cc pin down):
+///
+///   * Deterministic — placement is a pure function of (seed, num_shards,
+///     vnodes_per_shard, area id). No RNG state, no insertion order.
+///   * Balanced — with enough vnodes, shard loads concentrate around
+///     areas/num_shards even for adversarially consecutive area ids.
+///   * Minimal movement — growing the ring from S to S+1 shards moves an
+///     area only if the new shard's points capture it: every relocated
+///     area moves *to* the new shard (≈ areas/(S+1) of them), everything
+///     else keeps its owner. Shrinking is symmetric: only the removed
+///     shard's areas move. A mod-N table would instead reshuffle
+///     (1 − 1/S) of the city on every resize — a reshard storm of cold
+///     caches and replica churn.
+///
+/// This is the same trade PISA's score-mass partitioning makes for posting
+/// lists: placement keyed on content, not position, so incremental growth
+/// touches only the data that must move.
+///
+/// Immutable after construction, so lookups are lock-free and safe from
+/// any thread.
+class ShardRing {
+ public:
+  explicit ShardRing(ShardRingConfig config);
+
+  int num_shards() const { return config_.num_shards; }
+  const ShardRingConfig& config() const { return config_; }
+
+  /// The shard owning `area`. O(log(num_shards · vnodes)).
+  int ShardOf(int area) const;
+
+  /// Splits `area_ids` into per-shard id lists, preserving the relative
+  /// order of ids within each shard (the scatter-gather merge relies on
+  /// it). result[s] holds the ids owned by shard s; empty for idle shards.
+  std::vector<std::vector<int>> Partition(
+      const std::vector<int>& area_ids) const;
+
+  /// Owned-area count per shard over a whole city of `num_areas`
+  /// consecutive ids (diagnostics, balance tests, bench labels).
+  std::vector<int> LoadHistogram(int num_areas) const;
+
+ private:
+  struct Point {
+    uint64_t hash;
+    int shard;
+  };
+
+  ShardRingConfig config_;
+  std::vector<Point> ring_;  // sorted ascending by hash
+};
+
+}  // namespace serving
+}  // namespace deepsd
+
+#endif  // DEEPSD_SERVING_SHARD_RING_H_

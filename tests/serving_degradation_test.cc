@@ -79,8 +79,8 @@ class ServingDegradationTest : public ::testing::Test {
   }
 
   /// PredictAll with the per-call outcome: the tier assertions below read
-  /// PredictResult::tier (the deprecated predictor-wide last_tier() is
-  /// stompable under concurrency and has no remaining in-tree callers).
+  /// PredictResult::tier (the predictor-wide last-tier alias was removed —
+  /// it was stompable under concurrency).
   PredictResult PredictAllTiered(const OnlinePredictor& predictor) const {
     std::vector<int> areas;
     for (int a = 0; a < ds_.num_areas(); ++a) areas.push_back(a);

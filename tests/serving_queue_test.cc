@@ -119,7 +119,7 @@ TEST_F(ServingQueueTest, ExpiredDeadlineStillAnswersEveryArea) {
 TEST_F(ServingQueueTest, PerCallResultSurvivesLaterCalls) {
   // Each call's PredictResult is its own value: a later call at another
   // tier must not retroactively change an earlier result (the failure mode
-  // of the deprecated predictor-wide last_tier() alias).
+  // of the predictor-wide last-tier alias removed in favour of this API).
   PredictResult expired =
       predictor_->PredictBatch(areas_, util::Deadline::AtSteadyUs(1));
   EXPECT_EQ(expired.tier, FallbackTier::kBaseline);
@@ -131,8 +131,8 @@ TEST_F(ServingQueueTest, PerCallResultSurvivesLaterCalls) {
 
 TEST_F(ServingQueueTest, ConcurrentPredictBatchEachSeeOwnVerdict) {
   // Mixed expired/infinite deadlines from several threads: every call's
-  // result must be internally consistent (expired => baseline tier), no
-  // matter how the shared last_tier_ atomic gets stomped.
+  // result must be internally consistent (expired => baseline tier), with
+  // no shared per-predictor state for concurrent calls to stomp.
   std::atomic<int> bad{0};
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
@@ -345,6 +345,59 @@ TEST_F(ServingQueueTest, DestructorDrainsWithoutExplicitCall) {
               std::future_status::ready);
     EXPECT_TRUE(f.get().admitted());
   }
+}
+
+TEST_F(ServingQueueTest, DrainWhileCallerStillHoldsUnresolvedFutures) {
+  // Regression for the scatter-gather shutdown path: a sharded
+  // PredictCity caller submits to several queues and then blocks in
+  // future.get() while an operator drains the queue. Drain()'s contract —
+  // return only once every accepted future is RESOLVED — must hold even
+  // when it races callers who have not collected their futures yet, and
+  // the promise must be fulfilled before in_flight_ is decremented (a
+  // drain that returns between decrement and set_value would hand the
+  // caller a future that hangs after "drain complete").
+  ServingQueueConfig qc;
+  qc.capacity = 128;
+  qc.num_workers = 1;
+  ServingQueue queue(predictor_.get(), qc);
+
+  constexpr int kCallers = 3;
+  constexpr int kPerCaller = 8;
+  std::atomic<int> unresolved_after_drain{0};
+  std::atomic<bool> drained{false};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([this, &queue, &drained, &unresolved_after_drain] {
+      std::vector<std::future<ServingResponse>> futures;
+      for (int i = 0; i < kPerCaller; ++i) {
+        futures.push_back(queue.Submit(areas_));
+      }
+      // Hold the futures unresolved until the drain has started, then
+      // collect — exactly what a gather loop racing shutdown does.
+      while (!drained.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (auto& f : futures) {
+        // Drain returned, so every admitted future must already be ready;
+        // shed futures were ready at Submit.
+        if (f.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+          unresolved_after_drain.fetch_add(1);
+        }
+        f.get();  // must never hang
+      }
+    });
+  }
+
+  queue.Drain();
+  drained.store(true, std::memory_order_release);
+  for (auto& th : callers) th.join();
+
+  EXPECT_EQ(unresolved_after_drain.load(), 0);
+  ServingQueueStats s = queue.stats();
+  EXPECT_EQ(s.offered, static_cast<uint64_t>(kCallers * kPerCaller));
+  EXPECT_EQ(s.offered, s.admitted + s.shed_total());
+  EXPECT_EQ(s.completed, s.admitted);
 }
 
 TEST_F(ServingQueueTest, WatchdogRunsQuietlyOnHealthyWorkers) {

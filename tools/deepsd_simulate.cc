@@ -35,6 +35,7 @@
 #include "obs/trace.h"
 #include "serving/online_predictor.h"
 #include "serving/serving_queue.h"
+#include "serving/sharded_predictor.h"
 #include "sim/city_sim.h"
 #include "util/circuit_breaker.h"
 #include "util/cli.h"
@@ -370,10 +371,171 @@ bool RunOverloadScenario(const data::OrderDataset& dataset, double burst_mult,
   return ok;
 }
 
+/// Sharded serving smoke at city scale (docs/sharding.md): trains a probe
+/// model on the generated city, replays identical fresh feeds into a
+/// direct OnlinePredictor and ShardedPredictors at 1 and `shards` shards,
+/// and checks the invariants the sharded design promises — PredictCity()
+/// bitwise identical to the direct path at every shard count under an
+/// infinite deadline, the ring placing every area with every shard owning
+/// some, and admitted + shed == offered per shard and merged. This is the
+/// CI gate behind `deepsd_simulate --shards 4 --areas 1000`; returns false
+/// (and prints why) when any invariant breaks.
+bool RunShardedScenario(const data::OrderDataset& dataset, int shards) {
+  const int num_days = dataset.num_days();
+  if (num_days < 3) {
+    std::fprintf(stderr, "--shards needs >= 3 days, have %d\n", num_days);
+    return false;
+  }
+  if (shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1, got %d\n", shards);
+    return false;
+  }
+  const int train_days = std::max(2, num_days * 2 / 3);
+  const int serve_day = train_days;
+
+  std::printf("sharded: training probe model on days [0,%d)...\n",
+              train_days);
+  feature::FeatureConfig fc;
+  feature::FeatureAssembler assembler(&dataset, fc, 0, train_days);
+  auto train_items = data::MakeItems(dataset, 0, train_days, 20, 1430, 60);
+  core::DeepSDConfig config;
+  config.num_areas = dataset.num_areas();
+  config.use_weather = dataset.has_weather();
+  config.use_traffic = dataset.has_traffic();
+  nn::ParameterStore params;
+  util::Rng rng(7);
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kBasic, &params,
+                          &rng);
+  core::TrainConfig tc;
+  tc.epochs = 1;
+  tc.best_k = 0;
+  core::AssemblerSource train(&assembler, train_items, /*advanced=*/false);
+  core::Trainer(tc).Train(&model, &params, train, train);
+
+  // Identical fresh feeds into the direct predictor and each sharded
+  // configuration: the equivalence check below compares like with like.
+  const int t_now = 480;
+  auto replay = [&](auto& sink) {
+    sink.AdvanceTo(serve_day, t_now - fc.window);
+    for (int ts = t_now - fc.window; ts < t_now; ++ts) {
+      for (int a = 0; a < dataset.num_areas(); ++a) {
+        for (const data::Order& o : dataset.OrdersAt(a, serve_day, ts)) {
+          sink.AddOrder(o);
+        }
+        if (dataset.has_traffic()) {
+          data::TrafficRecord tr = dataset.TrafficAt(a, serve_day, ts);
+          tr.area = a;
+          tr.day = serve_day;
+          tr.ts = ts;
+          sink.AddTraffic(tr);
+        }
+      }
+      if (dataset.has_weather()) {
+        data::WeatherRecord w = dataset.WeatherAt(serve_day, ts);
+        w.day = serve_day;
+        w.ts = ts;
+        sink.AddWeather(w);
+      }
+    }
+    sink.AdvanceTo(serve_day, t_now);
+  };
+
+  serving::OnlinePredictor direct(&model, &assembler);
+  replay(direct.buffer());
+  std::vector<int> all_areas(static_cast<size_t>(dataset.num_areas()));
+  for (int a = 0; a < dataset.num_areas(); ++a) {
+    all_areas[static_cast<size_t>(a)] = a;
+  }
+  const std::vector<float> want = direct.PredictBatch(all_areas);
+
+  bool ok = true;
+  for (int n : {1, shards}) {
+    if (n == 1 && shards == 1) continue;  // don't run 1-shard twice
+    serving::ShardedPredictorConfig sc;
+    sc.ring.num_shards = n;
+    sc.queue.num_workers = 1;
+    sc.queue.capacity = 64;
+    sc.queue.watchdog_stuck_us = 0;
+    serving::ShardedPredictor sharded(&model, &assembler, sc);
+    replay(sharded);
+
+    const std::vector<int> loads =
+        sharded.ring().LoadHistogram(dataset.num_areas());
+    const int max_load = *std::max_element(loads.begin(), loads.end());
+    const int min_load = *std::min_element(loads.begin(), loads.end());
+    if (min_load == 0) {
+      std::fprintf(stderr, "sharded FAIL: an idle shard at %d shards x %d "
+                   "areas — the ring is unbalanced\n",
+                   n, dataset.num_areas());
+      ok = false;
+    }
+
+    serving::CityPredictResult city =
+        sharded.PredictCity(all_areas, util::Deadline::Infinite());
+    size_t mismatches = 0;
+    if (city.gaps.size() != want.size()) {
+      mismatches = want.size();
+    } else {
+      for (size_t i = 0; i < want.size(); ++i) {
+        if (city.gaps[i] != want[i]) ++mismatches;
+      }
+    }
+    if (mismatches != 0 || city.tier != serving::FallbackTier::kNone ||
+        !city.fully_served || city.deadline_expired) {
+      std::fprintf(stderr,
+                   "sharded FAIL: %d-shard PredictCity diverged from the "
+                   "direct path (%zu mismatching area(s), tier %d) — the "
+                   "equivalence contract is broken\n",
+                   n, mismatches, static_cast<int>(city.tier));
+      ok = false;
+    }
+
+    sharded.Drain();
+    serving::ShardedStats stats = sharded.stats();
+    uint64_t offered = 0, admitted = 0, shed = 0;
+    for (size_t s = 0; s < stats.per_shard.size(); ++s) {
+      const serving::ServingQueueStats& q = stats.per_shard[s];
+      if (q.offered != q.admitted + q.shed_total() ||
+          q.completed != q.admitted) {
+        std::fprintf(stderr,
+                     "sharded FAIL: shard %zu accounting broke (offered "
+                     "%llu admitted %llu shed %llu completed %llu)\n",
+                     s, static_cast<unsigned long long>(q.offered),
+                     static_cast<unsigned long long>(q.admitted),
+                     static_cast<unsigned long long>(q.shed_total()),
+                     static_cast<unsigned long long>(q.completed));
+        ok = false;
+      }
+      offered += q.offered;
+      admitted += q.admitted;
+      shed += q.shed_total();
+    }
+    const serving::ServingQueueStats merged = stats.merged();
+    if (merged.offered != offered || merged.admitted != admitted ||
+        merged.offered != merged.admitted + merged.shed_total()) {
+      std::fprintf(stderr, "sharded FAIL: merged accounting broke\n");
+      ok = false;
+    }
+    std::printf(
+        "sharded: %d shard(s), ring %d..%d areas/shard, offered %llu "
+        "admitted %llu shed %llu — %s\n",
+        n, min_load, max_load, static_cast<unsigned long long>(offered),
+        static_cast<unsigned long long>(admitted),
+        static_cast<unsigned long long>(shed),
+        ok ? "invariants hold" : "INVARIANT BREACH");
+  }
+  if (ok) {
+    std::printf("sharded scenario OK: %d-shard PredictCity bitwise equal "
+                "to the direct path over %d areas\n",
+                shards, dataset.num_areas());
+  }
+  return ok;
+}
+
 int Main(int argc, char** argv) {
   util::CommandLine cli(argc, argv);
   util::Status st = cli.CheckKnown(
-      {"out", "areas", "days", "seed", "mean_scale", "no_weather",
+      {"out", "areas", "days", "seed", "mean_scale", "no_weather", "shards",
        "no_traffic", "first_weekday", "threads", "faults", "metrics-out",
        "trace-out", "overload", "overload_burst", "overload_requests",
        "timeline-out", "timeline-interval-ms", "openmetrics-out",
@@ -391,7 +553,7 @@ int Main(int argc, char** argv) {
                  "[--slo] [--slo_availability=0.99] [--slo_queue_p99_us=0] "
                  "[--slo_mae=0] [--alerts-out=alerts.jsonl] "
                  "[--flight-dir=DIR] [--overload] [--overload_burst=10] "
-                 "[--overload_requests=40]\n",
+                 "[--overload_requests=40] [--shards=N]\n",
                  st.ToString().c_str());
     return st.ok() ? 0 : 2;
   }
@@ -494,6 +656,13 @@ int Main(int argc, char** argv) {
     }
     std::printf("serving OpenMetrics on http://127.0.0.1:%d/metrics\n",
                 http_server.port());
+  }
+
+  if (cli.Has("shards")) {
+    if (!RunShardedScenario(dataset,
+                            static_cast<int>(cli.GetInt("shards", 4)))) {
+      return 1;
+    }
   }
 
   if (cli.GetBool("overload", false)) {
