@@ -2,7 +2,9 @@
 // determinism contract measured rather than assumed:
 //
 //   1. GEMM chain (4 chained matmuls) at 64x64 and 128x128 — naive vs
-//      blocked kernels, ns/op and GF/s. CI fails if blocked is slower.
+//      blocked vs int8-quantized kernels, ns/op and GF/s. CI fails if
+//      blocked is slower than naive (the quant row is informational here;
+//      bench_quant owns the quant gates).
 //   2. Fused LinearLRel vs the unfused MatMul→AddBias→LeakyRelu trio,
 //      full forward+backward step on a reused graph.
 //   3. End-to-end DeepSD advanced train step (forward, backward, Adam)
@@ -84,12 +86,17 @@ struct ChainResult {
   int n = 0;
   double naive_ns = 0;
   double blocked_ns = 0;
+  double quant_ns = 0;
   double naive_gflops = 0;
   double blocked_gflops = 0;
+  double quant_gflops = 0;
   double speedup = 0;
 };
 
-/// Four chained n×n matmuls through nn::MatMul under each kernel mode.
+/// Four chained n×n matmuls through nn::MatMul under each kernel mode,
+/// plus the same chain through the int8 GEMM (weights pre-quantized as a
+/// serving replica holds them; per-row activation quantization is part of
+/// the measured call, as in real inference).
 ChainResult BenchGemmChain(int n, int reps) {
   util::Rng rng(17);
   nn::Tensor a(n, n), w1(n, n), w2(n, n), w3(n, n), w4(n, n);
@@ -114,10 +121,27 @@ ChainResult BenchGemmChain(int n, int reps) {
   for (int i = 0; i < 10; ++i) chain();
   double blocked_s = TimePerCall(reps, chain);
 
+  nn::kernels::QuantizedWeights q1, q2, q3, q4;
+  nn::kernels::QuantizeWeights(w1.data(), n, n, &q1);
+  nn::kernels::QuantizeWeights(w2.data(), n, n, &q2);
+  nn::kernels::QuantizeWeights(w3.data(), n, n, &q3);
+  nn::kernels::QuantizeWeights(w4.data(), n, n, &q4);
+  nn::Tensor u1(n, n), u2(n, n), u3(n, n), u4(n, n);
+  auto quant_chain = [&] {
+    nn::kernels::GemmQuant(a.data(), q1, u1.data(), n, n, n, 0.0f, false);
+    nn::kernels::GemmQuant(u1.data(), q2, u2.data(), n, n, n, 0.0f, false);
+    nn::kernels::GemmQuant(u2.data(), q3, u3.data(), n, n, n, 0.0f, false);
+    nn::kernels::GemmQuant(u3.data(), q4, u4.data(), n, n, n, 0.0f, false);
+  };
+  for (int i = 0; i < 10; ++i) quant_chain();
+  double quant_s = TimePerCall(reps, quant_chain);
+
   r.naive_ns = naive_s * 1e9;
   r.blocked_ns = blocked_s * 1e9;
+  r.quant_ns = quant_s * 1e9;
   r.naive_gflops = flops / naive_s / 1e9;
   r.blocked_gflops = flops / blocked_s / 1e9;
+  r.quant_gflops = flops / quant_s / 1e9;
   r.speedup = naive_s / blocked_s;
   return r;
 }
@@ -319,10 +343,12 @@ int Main(int argc, char** argv) {
     blocked_not_slower = blocked_not_slower && c.speedup >= 1.0;
     json += util::StrFormat(
         "    {\"n\": %d, \"naive_ns\": %.0f, \"blocked_ns\": %.0f, "
-        "\"naive_gflops\": %.2f, \"blocked_gflops\": %.2f, "
+        "\"quant_ns\": %.0f, \"naive_gflops\": %.2f, "
+        "\"blocked_gflops\": %.2f, \"quant_gflops\": %.2f, "
         "\"speedup\": %.2f}%s\n",
-        c.n, c.naive_ns, c.blocked_ns, c.naive_gflops, c.blocked_gflops,
-        c.speedup, i + 1 < chains.size() ? "," : "");
+        c.n, c.naive_ns, c.blocked_ns, c.quant_ns, c.naive_gflops,
+        c.blocked_gflops, c.quant_gflops, c.speedup,
+        i + 1 < chains.size() ? "," : "");
   }
   json += util::StrFormat(
       "  ],\n  \"fused_linear_lrel\": {\"unfused_ns\": %.0f, "

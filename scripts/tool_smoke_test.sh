@@ -30,7 +30,7 @@ cmp base.bin base2.bin
 echo "== fine-tune with traffic (telemetry on) =="
 "$TOOLS/deepsd_train" --data=city.bin --model=full.bin --mode=basic \
     --train_days=7 --epochs=1 --stride=30 --best_k=0 \
-    --finetune_from=base.bin --verbose=false \
+    --finetune_from=base.bin --verbose=false --checkpoint=ck.bin \
     --metrics-out=metrics.jsonl --trace-out=trace.json
 test -s metrics.jsonl
 test -s trace.json
@@ -43,6 +43,22 @@ echo "== metrics report =="
 
 echo "== inspect parameters =="
 "$TOOLS/deepsd_inspect" --params=full.bin | grep -q "traffic.fc1.w"
+
+echo "== model info (params + checkpoint) =="
+"$TOOLS/deepsd_model_info" --params=full.bin | grep -q "format DSP2/full"
+"$TOOLS/deepsd_model_info" --params=full.bin | grep -q "traffic.fc1.w"
+"$TOOLS/deepsd_model_info" --checkpoint=ck.bin | grep -q "int8 bytes"
+
+echo "== quantized model format serves under DEEPSD_KERNEL=quant =="
+"$TOOLS/deepsd_train" --data=city.bin --model=quant.bin --mode=basic \
+    --train_days=7 --epochs=1 --stride=30 --best_k=0 \
+    --finetune_from=full.bin --verbose=false --model_format=quant
+"$TOOLS/deepsd_model_info" --params=quant.bin | grep -q "format DSP2/quant"
+"$TOOLS/deepsd_model_info" --params=quant.bin | grep -q "int8"
+DEEPSD_KERNEL=quant "$TOOLS/deepsd_predict" --data=city.bin --model=quant.bin \
+    --mode=basic --ref_days=7 --day=8 --csv=predq.csv --threads=2
+test -s predq.csv
+head -1 predq.csv | grep -q "predicted_gap"
 
 echo "== predict =="
 "$TOOLS/deepsd_predict" --data=city.bin --model=full.bin --mode=basic \

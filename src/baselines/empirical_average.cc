@@ -1,7 +1,149 @@
 #include "baselines/empirical_average.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/crc32.h"
+
 namespace deepsd {
 namespace baselines {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'E', 'A', '1'};
+constexpr uint8_t kVersion = 1;
+
+util::Status Corrupt(const char* what) {
+  return util::Status::InvalidArgument(
+      std::string("empirical-average file: ") + what);
+}
+
+// A table of (key, sum, count) rows in key order. Keys are written as a
+// zigzag base followed by strictly-positive deltas (sorted, unique), counts
+// as varints, and sums — which are sums of integer gap counts, hence
+// integral in every real fit — as zigzag varints behind a per-table flag;
+// any non-integral or out-of-range sum drops the whole table back to raw
+// doubles so the round-trip stays bit-exact.
+struct TableRow {
+  int64_t key = 0;
+  double sum = 0;
+  int64_t count = 0;
+};
+
+bool IntegralSum(double sum, int64_t* out) {
+  // Exact-integer doubles up to 2^53 survive the int64 round-trip bitwise.
+  if (!(std::fabs(sum) <= 9007199254740992.0)) return false;
+  const int64_t i = static_cast<int64_t>(sum);
+  if (static_cast<double>(i) != sum) return false;
+  *out = i;
+  return true;
+}
+
+void WriteTable(util::ByteWriter* w, std::vector<TableRow> rows,
+                EmpiricalAverage::Encoding encoding) {
+  std::sort(rows.begin(), rows.end(),
+            [](const TableRow& a, const TableRow& b) { return a.key < b.key; });
+  w->PutVarint64(rows.size());
+  if (encoding == EmpiricalAverage::Encoding::kRaw) {
+    for (const TableRow& r : rows) {
+      w->PutPod<int64_t>(r.key);
+      w->PutPod<double>(r.sum);
+      w->PutPod<int64_t>(r.count);
+    }
+    return;
+  }
+  int64_t scratch = 0;
+  uint8_t sums_integral = 1;
+  for (const TableRow& r : rows) {
+    if (!IntegralSum(r.sum, &scratch)) {
+      sums_integral = 0;
+      break;
+    }
+  }
+  w->PutPod<uint8_t>(sums_integral);
+  int64_t prev = 0;
+  bool first = true;
+  for (const TableRow& r : rows) {
+    if (first) {
+      w->PutZigzag64(r.key);
+      first = false;
+    } else {
+      w->PutVarint64(static_cast<uint64_t>(r.key - prev));
+    }
+    prev = r.key;
+  }
+  for (const TableRow& r : rows) w->PutVarint64(static_cast<uint64_t>(r.count));
+  for (const TableRow& r : rows) {
+    if (sums_integral) {
+      IntegralSum(r.sum, &scratch);
+      w->PutZigzag64(scratch);
+    } else {
+      w->PutPod<double>(r.sum);
+    }
+  }
+}
+
+bool ReadTable(util::ByteReader* r, EmpiricalAverage::Encoding encoding,
+               std::vector<TableRow>* rows) {
+  uint64_t n = 0;
+  if (!r->GetVarint64(&n)) return false;
+  // Each row costs at least 3 bytes compressed (key delta + count + sum)
+  // and 24 raw; reject corrupt counts before allocating.
+  if (n > r->remaining() / 3) return false;
+  rows->assign(static_cast<size_t>(n), TableRow{});
+  if (encoding == EmpiricalAverage::Encoding::kRaw) {
+    for (TableRow& row : *rows) {
+      if (!r->GetPod(&row.key) || !r->GetPod(&row.sum) ||
+          !r->GetPod(&row.count)) {
+        return false;
+      }
+      if (!std::isfinite(row.sum) || row.count < 0) return false;
+    }
+    return true;
+  }
+  uint8_t sums_integral = 0;
+  if (!r->GetPod(&sums_integral) || sums_integral > 1) return false;
+  int64_t prev = 0;
+  for (size_t i = 0; i < rows->size(); ++i) {
+    int64_t key = 0;
+    if (i == 0) {
+      if (!r->GetZigzag64(&key)) return false;
+    } else {
+      uint64_t delta = 0;
+      if (!r->GetVarint64(&delta)) return false;
+      if (delta == 0 ||
+          delta > static_cast<uint64_t>(
+                      std::numeric_limits<int64_t>::max() - prev)) {
+        return false;  // keys must be strictly increasing, no overflow
+      }
+      key = prev + static_cast<int64_t>(delta);
+    }
+    (*rows)[i].key = key;
+    prev = key;
+  }
+  for (TableRow& row : *rows) {
+    uint64_t count = 0;
+    if (!r->GetVarint64(&count)) return false;
+    if (count > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+      return false;
+    }
+    row.count = static_cast<int64_t>(count);
+  }
+  for (TableRow& row : *rows) {
+    if (sums_integral) {
+      int64_t sum = 0;
+      if (!r->GetZigzag64(&sum)) return false;
+      row.sum = static_cast<double>(sum);
+    } else {
+      if (!r->GetPod(&row.sum) || !std::isfinite(row.sum)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 void EmpiricalAverage::Fit(const std::vector<data::PredictionItem>& train_items) {
   by_area_t_.clear();
@@ -41,6 +183,118 @@ std::vector<float> EmpiricalAverage::Predict(
     out.push_back(Predict(item.area, item.t));
   }
   return out;
+}
+
+void EmpiricalAverage::EncodeTo(util::ByteWriter* w,
+                                Encoding encoding) const {
+  w->PutPod<uint8_t>(static_cast<uint8_t>(encoding));
+  w->PutPod<double>(global_.sum);
+  w->PutPod<int64_t>(global_.count);
+  std::vector<TableRow> rows;
+  rows.reserve(by_area_.size());
+  for (const auto& kv : by_area_) {
+    rows.push_back({kv.first, kv.second.sum, kv.second.count});
+  }
+  WriteTable(w, std::move(rows), encoding);
+  rows.clear();
+  rows.reserve(by_area_t_.size());
+  for (const auto& kv : by_area_t_) {
+    rows.push_back({kv.first, kv.second.sum, kv.second.count});
+  }
+  WriteTable(w, std::move(rows), encoding);
+}
+
+util::Status EmpiricalAverage::DecodeFrom(util::ByteReader* r) {
+  uint8_t enc_byte = 0;
+  if (!r->GetPod(&enc_byte) || enc_byte > 1) {
+    return Corrupt("unknown encoding");
+  }
+  const Encoding encoding = static_cast<Encoding>(enc_byte);
+  Accumulator global;
+  if (!r->GetPod(&global.sum)) return Corrupt("truncated header");
+  int64_t global_count = 0;
+  if (!r->GetPod(&global_count) || global_count < 0 ||
+      !std::isfinite(global.sum)) {
+    return Corrupt("bad global accumulator");
+  }
+  global.count = static_cast<int>(
+      std::min<int64_t>(global_count, std::numeric_limits<int>::max()));
+  std::vector<TableRow> area_rows, area_t_rows;
+  if (!ReadTable(r, encoding, &area_rows)) return Corrupt("bad area table");
+  if (!ReadTable(r, encoding, &area_t_rows)) {
+    return Corrupt("bad (area, t) table");
+  }
+  for (const TableRow& row : area_rows) {
+    if (row.key < std::numeric_limits<int>::min() ||
+        row.key > std::numeric_limits<int>::max()) {
+      return Corrupt("area key out of range");
+    }
+  }
+  // Parse fully validated — only now touch the live tables.
+  global_ = global;
+  by_area_.clear();
+  by_area_.reserve(area_rows.size());
+  for (const TableRow& row : area_rows) {
+    by_area_[static_cast<int>(row.key)] = {row.sum,
+                                           static_cast<int>(row.count)};
+  }
+  by_area_t_.clear();
+  by_area_t_.reserve(area_t_rows.size());
+  for (const TableRow& row : area_t_rows) {
+    by_area_t_[row.key] = {row.sum, static_cast<int>(row.count)};
+  }
+  return util::Status::OK();
+}
+
+util::Status EmpiricalAverage::Save(const std::string& path,
+                                    Encoding encoding) const {
+  util::ByteWriter payload;
+  EncodeTo(&payload, encoding);
+  util::ByteWriter file;
+  file.PutRaw(kMagic, sizeof(kMagic));
+  file.PutPod<uint8_t>(kVersion);
+  file.PutPod<uint8_t>(0);  // reserved
+  file.PutPod<uint64_t>(payload.size());
+  file.PutRaw(payload.bytes().data(), payload.size());
+  file.PutPod<uint32_t>(util::Crc32(payload.bytes().data(), payload.size()));
+  return util::AtomicWriteFile(path, file.bytes());
+}
+
+util::Status EmpiricalAverage::Load(const std::string& path) {
+  std::vector<char> bytes;
+  util::Status st = util::ReadFileBytes(path, &bytes);
+  if (!st.ok()) return st;
+  util::ByteReader r(bytes.data(), bytes.size());
+  char magic[4] = {};
+  if (!r.GetRaw(magic, sizeof(magic))) {
+    return util::Status::IoError("empirical-average file truncated: " + path);
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic");
+  }
+  uint8_t version = 0, reserved = 0;
+  uint64_t payload_len = 0;
+  if (!r.GetPod(&version) || !r.GetPod(&reserved) || !r.GetPod(&payload_len)) {
+    return util::Status::IoError("empirical-average file truncated: " + path);
+  }
+  if (version != kVersion) return Corrupt("unsupported version");
+  if (payload_len + sizeof(uint32_t) > r.remaining()) {
+    return util::Status::IoError("empirical-average file truncated: " + path);
+  }
+  const char* payload = bytes.data() + (bytes.size() - r.remaining());
+  util::ByteReader pr(payload, static_cast<size_t>(payload_len));
+  r.Skip(static_cast<size_t>(payload_len));
+  uint32_t crc = 0;
+  if (!r.GetPod(&crc) || r.remaining() != 0) {
+    return Corrupt("trailing bytes or missing checksum");
+  }
+  if (crc != util::Crc32(payload, static_cast<size_t>(payload_len))) {
+    return Corrupt("checksum mismatch");
+  }
+  util::Status ds = DecodeFrom(&pr);
+  if (!ds.ok()) return ds;
+  if (pr.remaining() != 0) return Corrupt("payload length mismatch");
+  return util::Status::OK();
 }
 
 }  // namespace baselines

@@ -1,10 +1,13 @@
 #ifndef DEEPSD_BASELINES_EMPIRICAL_AVERAGE_H_
 #define DEEPSD_BASELINES_EMPIRICAL_AVERAGE_H_
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "data/types.h"
+#include "util/byte_io.h"
+#include "util/status.h"
 
 namespace deepsd {
 namespace baselines {
@@ -15,10 +18,35 @@ namespace baselines {
 /// timeslots.
 class EmpiricalAverage {
  public:
+  /// On-disk/wire encodings of the fitted tables ("DEA1" format,
+  /// docs/performance.md). Both round-trip bit-exactly.
+  enum class Encoding : uint8_t {
+    /// Raw key/sum/count triples, fixed width.
+    kRaw = 0,
+    /// Keys sorted + delta-varint, counts varint, sums zigzag-varint when
+    /// every sum is integral (gap sums are sums of integer counts, so
+    /// normally all of them) with a raw-double fallback per table.
+    kCompressed = 1,
+  };
+
   void Fit(const std::vector<data::PredictionItem>& train_items);
 
   float Predict(int area, int t) const;
   std::vector<float> Predict(const std::vector<data::PredictionItem>& items) const;
+
+  /// Serializes the fitted tables (encoding byte + payload, no framing).
+  /// Deterministic: equal fitted state yields equal bytes.
+  void EncodeTo(util::ByteWriter* w, Encoding encoding) const;
+  /// Inverse of EncodeTo; typed InvalidArgument on malformed bytes.
+  util::Status DecodeFrom(util::ByteReader* r);
+
+  /// Atomic, CRC-sealed file round-trip:
+  /// "DEA1" | u8 version | u8 reserved | u64 payload_len | payload | crc32.
+  /// Load detects truncation (IoError) and corruption (InvalidArgument)
+  /// before touching the tables.
+  util::Status Save(const std::string& path,
+                    Encoding encoding = Encoding::kCompressed) const;
+  util::Status Load(const std::string& path);
 
  private:
   struct Accumulator {

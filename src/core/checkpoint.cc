@@ -1,5 +1,6 @@
 #include "core/checkpoint.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -19,11 +20,16 @@ namespace {
 // file at the final path is always complete.
 //
 // Version history: v1 is the original trainer state; v2 appends the
-// input-reference histogram (core/drift.h) at the end of the payload.
-// v1 files still load (with an empty reference) so pre-existing
-// checkpoints survive the upgrade.
+// input-reference histogram (core/drift.h) at the end of the payload;
+// v3 compresses the bulk payload — the sample order is bit-packed at the
+// width of its largest index and every tensor goes through the lossless
+// float-block codec (util::PutFloatBlock; best-k snapshots and optimizer
+// moments delta against the current params) — and appends the per-
+// parameter int8 calibration table. v1/v2 files still load (with an empty
+// reference/calibration) so pre-existing checkpoints survive upgrades.
+// All v3 encodings are bit-exact, so crash-resume stays bitwise.
 constexpr char kMagic[4] = {'D', 'S', 'C', '1'};
-constexpr uint32_t kVersion = 2;
+constexpr uint32_t kVersion = 3;
 constexpr uint32_t kMinVersion = 1;
 
 // Every field is written explicitly (never whole structs) so struct padding
@@ -85,20 +91,42 @@ bool ReadStats(util::ByteReader* r, EpochStats* s) {
   return true;
 }
 
+// The delta reference for a tensor: the same-named, same-shaped tensor of
+// `refs` (the checkpoint's current params). Writer and reader run the
+// identical lookup, so a ref-delta block always decodes against the bytes
+// it was encoded against.
+const nn::Tensor* FindRef(const std::vector<nn::NamedTensor>* refs,
+                          const std::string& name, int rows, int cols) {
+  if (refs == nullptr) return nullptr;
+  for (const nn::NamedTensor& nt : *refs) {
+    if (nt.name == name && nt.value.rows() == rows &&
+        nt.value.cols() == cols) {
+      return &nt.value;
+    }
+  }
+  return nullptr;
+}
+
 void WriteTensors(util::ByteWriter* w,
-                  const std::vector<nn::NamedTensor>& tensors) {
+                  const std::vector<nn::NamedTensor>& tensors,
+                  const std::vector<nn::NamedTensor>* refs = nullptr) {
   w->PutPod<uint64_t>(tensors.size());
   for (const nn::NamedTensor& nt : tensors) {
     w->PutString(nt.name);
     w->PutPod<int32_t>(nt.value.rows());
     w->PutPod<int32_t>(nt.value.cols());
     if (nt.value.size() > 0) {
-      w->PutRaw(nt.value.data(), nt.value.size() * sizeof(float));
+      const nn::Tensor* ref =
+          FindRef(refs, nt.name, nt.value.rows(), nt.value.cols());
+      util::PutFloatBlock(w, nt.value.data(), nt.value.size(),
+                          ref != nullptr ? ref->data() : nullptr);
     }
   }
 }
 
-bool ReadTensors(util::ByteReader* r, std::vector<nn::NamedTensor>* tensors) {
+bool ReadTensors(util::ByteReader* r, uint32_t version,
+                 std::vector<nn::NamedTensor>* tensors,
+                 const std::vector<nn::NamedTensor>* refs = nullptr) {
   uint64_t n = 0;
   if (!r->GetPod(&n)) return false;
   // A tensor costs at least its name prefix + shape, so any count beyond
@@ -115,15 +143,59 @@ bool ReadTensors(util::ByteReader* r, std::vector<nn::NamedTensor>* tensors) {
     if (rows < 0 || cols < 0) return false;
     const uint64_t count = static_cast<uint64_t>(rows) *
                            static_cast<uint64_t>(cols);
-    if (count > r->remaining() / sizeof(float)) return false;
+    if (version >= 3) {
+      // Packed blocks can be much smaller than their element count; this
+      // still bounds the allocation a corrupt length could request.
+      if (count / 64 > r->remaining()) return false;
+    } else {
+      if (count > r->remaining() / sizeof(float)) return false;
+    }
     nt.value = nn::Tensor(rows, cols);
-    if (count > 0 &&
-        !r->GetRaw(nt.value.data(), static_cast<size_t>(count) * sizeof(float))) {
-      return false;
+    if (count > 0) {
+      if (version >= 3) {
+        const nn::Tensor* ref = FindRef(refs, nt.name, rows, cols);
+        if (!util::GetFloatBlock(r, nt.value.data(),
+                                 static_cast<size_t>(count),
+                                 ref != nullptr ? ref->data() : nullptr)) {
+          return false;
+        }
+      } else if (!r->GetRaw(nt.value.data(),
+                            static_cast<size_t>(count) * sizeof(float))) {
+        return false;
+      }
     }
     tensors->push_back(std::move(nt));
   }
   return true;
+}
+
+// v3 sample order: the permutation's values are < order.size(), so each
+// index packs into BitWidth64(max) bits instead of a raw u64 — the order
+// vector is one entry per training sample and dominates small checkpoints.
+void WriteOrder(util::ByteWriter* w, const std::vector<uint64_t>& order) {
+  w->PutVarint64(order.size());
+  uint64_t max = 0;
+  for (uint64_t v : order) max = std::max(max, v);
+  // bits == 0 with n > 1 is what corrupt headers use to claim huge counts
+  // backed by zero payload bytes, so the reader rejects it; spend one bit
+  // per element on the (degenerate, non-permutation) all-zero case instead.
+  int bits = util::BitWidth64(max);
+  if (bits == 0 && order.size() > 1) bits = 1;
+  w->PutPod<uint8_t>(static_cast<uint8_t>(bits));
+  w->PutBitPacked(order.data(), order.size(), bits);
+}
+
+bool ReadOrder(util::ByteReader* r, std::vector<uint64_t>* order) {
+  uint64_t n = 0;
+  uint8_t bits = 0;
+  if (!r->GetVarint64(&n) || !r->GetPod(&bits) || bits > 64) return false;
+  // bits == 0 encodes only all-zero content, legitimate for n <= 1.
+  if (bits == 0 && n > 1) return false;
+  if (util::BitPackedBytes(static_cast<size_t>(n), bits) > r->remaining()) {
+    return false;
+  }
+  order->resize(static_cast<size_t>(n));
+  return n == 0 || r->GetBitPacked(order->data(), order->size(), bits);
 }
 
 void WriteReference(util::ByteWriter* w, const ReferenceHistogram& ref) {
@@ -145,22 +217,30 @@ void WritePayload(util::ByteWriter* w, const TrainerCheckpoint& ck) {
   w->PutPod<uint64_t>(ck.next_sample);
   w->PutPod<uint64_t>(ck.step);
   for (uint64_t word : ck.rng_state) w->PutPod<uint64_t>(word);
-  w->PutPodVec(ck.order);
+  WriteOrder(w, ck.order);
   w->PutPod<double>(ck.partial_loss_sum);
   w->PutPod<uint64_t>(ck.partial_batches);
   w->PutPod<uint64_t>(ck.history.size());
   for (const EpochStats& s : ck.history) WriteStats(w, s);
   WriteTensors(w, ck.params);
   w->PutPod<int64_t>(ck.adam_t);
-  WriteTensors(w, ck.adam_m);
-  WriteTensors(w, ck.adam_v);
-  WriteTensors(w, ck.sgd_velocity);
+  // Optimizer moments and best-k snapshots delta against the current
+  // params: best snapshots are a few epochs stale (small XOR deltas) and
+  // even loosely correlated moments pack tighter than raw fp32.
+  WriteTensors(w, ck.adam_m, &ck.params);
+  WriteTensors(w, ck.adam_v, &ck.params);
+  WriteTensors(w, ck.sgd_velocity, &ck.params);
   w->PutPod<uint64_t>(ck.best.size());
   for (const TrainerCheckpoint::BestEntry& e : ck.best) {
     w->PutPod<double>(e.rmse);
-    WriteTensors(w, e.params);
+    WriteTensors(w, e.params, &ck.params);
   }
   WriteReference(w, ck.input_reference);
+  w->PutPod<uint64_t>(ck.calibration.size());
+  for (const TrainerCheckpoint::Calibration& c : ck.calibration) {
+    w->PutString(c.name);
+    w->PutPod<float>(c.act_absmax);
+  }
 }
 
 bool ReadPayload(util::ByteReader* r, uint32_t version,
@@ -174,8 +254,12 @@ bool ReadPayload(util::ByteReader* r, uint32_t version,
   for (uint64_t& word : ck->rng_state) {
     if (!r->GetPod(&word)) return false;
   }
-  if (!r->GetPodVec(&ck->order) || !r->GetPod(&ck->partial_loss_sum) ||
-      !r->GetPod(&ck->partial_batches)) {
+  if (version >= 3) {
+    if (!ReadOrder(r, &ck->order)) return false;
+  } else if (!r->GetPodVec(&ck->order)) {
+    return false;
+  }
+  if (!r->GetPod(&ck->partial_loss_sum) || !r->GetPod(&ck->partial_batches)) {
     return false;
   }
   uint64_t n_history = 0;
@@ -184,21 +268,35 @@ bool ReadPayload(util::ByteReader* r, uint32_t version,
   for (EpochStats& s : ck->history) {
     if (!ReadStats(r, &s)) return false;
   }
-  if (!ReadTensors(r, &ck->params) || !r->GetPod(&ck->adam_t) ||
-      !ReadTensors(r, &ck->adam_m) || !ReadTensors(r, &ck->adam_v) ||
-      !ReadTensors(r, &ck->sgd_velocity)) {
+  if (!ReadTensors(r, version, &ck->params) || !r->GetPod(&ck->adam_t) ||
+      !ReadTensors(r, version, &ck->adam_m, &ck->params) ||
+      !ReadTensors(r, version, &ck->adam_v, &ck->params) ||
+      !ReadTensors(r, version, &ck->sgd_velocity, &ck->params)) {
     return false;
   }
   uint64_t n_best = 0;
   if (!r->GetPod(&n_best) || n_best > r->remaining() / 16) return false;
   ck->best.resize(static_cast<size_t>(n_best));
   for (TrainerCheckpoint::BestEntry& e : ck->best) {
-    if (!r->GetPod(&e.rmse) || !ReadTensors(r, &e.params)) return false;
+    if (!r->GetPod(&e.rmse) ||
+        !ReadTensors(r, version, &e.params, &ck->params)) {
+      return false;
+    }
   }
   if (version >= 2) {
     if (!ReadReference(r, &ck->input_reference)) return false;
   } else {
     ck->input_reference = ReferenceHistogram{};
+  }
+  ck->calibration.clear();
+  if (version >= 3) {
+    uint64_t n_cal = 0;
+    if (!r->GetPod(&n_cal) || n_cal > r->remaining() / 8) return false;
+    ck->calibration.resize(static_cast<size_t>(n_cal));
+    for (TrainerCheckpoint::Calibration& c : ck->calibration) {
+      if (!r->GetString(&c.name) || !r->GetPod(&c.act_absmax)) return false;
+      if (!std::isfinite(c.act_absmax) || c.act_absmax < 0.0f) return false;
+    }
   }
   return r->remaining() == 0;
 }

@@ -71,6 +71,16 @@ struct TrainerCheckpoint {
   /// checkpoints and when the trainer could not sample the source; not
   /// part of the resume determinism contract.
   ReferenceHistogram input_reference;
+
+  /// Per-parameter int8 calibration (nn::Parameter::act_absmax), format
+  /// version >= 3. Zero/absent entries mean "uncalibrated" (the quant
+  /// kernels fall back to dynamic per-row ranges); not part of the resume
+  /// determinism contract — calibration never changes fp32 math.
+  struct Calibration {
+    std::string name;
+    float act_absmax = 0.0f;
+  };
+  std::vector<Calibration> calibration;
 };
 
 /// Writes `ck` to `path` atomically (temp file + rename) with a CRC-32

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
+#include "core/batch.h"
 #include "core/checkpoint.h"
+#include "nn/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -62,6 +65,7 @@ void ApplyParams(nn::ParameterStore* store,
     nn::Parameter* p = store->Find(nt.name);
     DEEPSD_CHECK(p != nullptr && nt.value.SameShape(p->value));
     p->value = nt.value;
+    p->BumpVersion();
   }
 }
 
@@ -81,6 +85,27 @@ std::pair<double, double> EvaluateMaeRmse(const DeepSDModel& model,
   return {abs_sum / n, std::sqrt(sq_sum / n)};
 }
 
+void CalibrateActivations(const DeepSDModel& model, const InputSource& source,
+                          size_t max_samples, int batch_size) {
+  // Quant mode would calibrate against already-quantized activations;
+  // ranges must come from the fp32 forward.
+  std::optional<nn::kernels::ScopedKernelMode> fp32_guard;
+  if (nn::kernels::kernel_mode() == nn::kernels::KernelMode::kQuant) {
+    fp32_guard.emplace(nn::kernels::KernelMode::kBlocked);
+  }
+  const size_t limit = std::min(source.size(), max_samples);
+  const size_t span = static_cast<size_t>(std::max(batch_size, 1));
+  nn::Graph g;
+  g.set_training(false);
+  g.set_calibrating(true);
+  for (size_t begin = 0; begin < limit; begin += span) {
+    const size_t end = std::min(begin + span, limit);
+    Batch batch = MakeBatch(source, begin, end);
+    g.Clear();
+    model.Forward(&g, batch);
+  }
+}
+
 TrainResult Trainer::Train(
     DeepSDModel* model, nn::ParameterStore* store,
     const std::vector<feature::ModelInput>& train_inputs,
@@ -97,6 +122,15 @@ TrainResult Trainer::Train(
     const std::function<void(const EpochStats&)>& on_epoch,
     const TrainerCheckpoint* resume) {
   DEEPSD_CHECK(train_source.size() > 0);
+  // Training is fp32 by contract: under DEEPSD_KERNEL=quant the whole
+  // Train() call — forward, backward, and the epoch evals that drive
+  // best-k selection — runs on the blocked kernels, bitwise identical to
+  // DEEPSD_KERNEL=blocked. The mode is restored on return, so serving the
+  // trained model still picks up the int8 path.
+  std::optional<nn::kernels::ScopedKernelMode> fp32_guard;
+  if (nn::kernels::kernel_mode() == nn::kernels::KernelMode::kQuant) {
+    fp32_guard.emplace(nn::kernels::KernelMode::kBlocked);
+  }
   TrainResult result;
 
   util::Rng rng(config_.seed);
@@ -144,6 +178,13 @@ TrainResult Trainer::Train(
     DEEPSD_CHECK(st.ok());
     DEEPSD_CHECK(resume->order.size() == train_source.size());
     ApplyParams(store, resume->params);
+    // Restore int8 calibration (v3 checkpoints). Harmless for resume
+    // determinism: act_absmax never enters fp32 math, and the trainer
+    // recalibrates at the end of the run anyway.
+    for (const TrainerCheckpoint::Calibration& c : resume->calibration) {
+      nn::Parameter* p = store->Find(c.name);
+      if (p != nullptr) p->act_absmax = c.act_absmax;
+    }
     if (use_adam) {
       adam.set_timestep(resume->adam_t);
       adam.ImportState(*store, resume->adam_m, resume->adam_v);
@@ -245,6 +286,12 @@ TrainResult Trainer::Train(
       ck.best.push_back({s.rmse, ExportParams(*s.store)});
     }
     ck.input_reference = input_reference;
+    ck.calibration.reserve(store->parameters().size());
+    for (const auto& p : store->parameters()) {
+      if (p->act_absmax > 0.0f) {
+        ck.calibration.push_back({p->name, p->act_absmax});
+      }
+    }
     util::Status st = SaveCheckpoint(ck, config_.checkpoint_path);
     if (st.ok()) {
       checkpoints_counter->Inc();
@@ -400,6 +447,14 @@ TrainResult Trainer::Train(
   auto [mae, rmse] = EvaluateMaeRmse(*model, eval_source);
   result.final_eval_mae = mae;
   result.final_eval_rmse = rmse;
+
+  // Int8 calibration pass over (a bounded prefix of) the training data:
+  // one single-threaded run of the final averaged model with the graph in
+  // calibration mode fills every weight's activation-range EWMA
+  // (Parameter::act_absmax), which Save() and the v3 checkpoint persist so
+  // serving replicas run the static quantization scales. Values are
+  // untouched; this costs one small forward sweep.
+  CalibrateActivations(*model, train_source);
   return result;
 }
 

@@ -46,6 +46,7 @@ double Adam::Step(ParameterStore* store) {
       value[i] -= config_.learning_rate * mhat /
                   (std::sqrt(vhat) + config_.epsilon);
     }
+    p->BumpVersion();
   }
   return norm;
 }

@@ -81,11 +81,46 @@ NodeId Graph::Param(Parameter* p) {
   return id;
 }
 
+namespace {
+
+// Calibration EWMA: first observation seeds the range, later ones blend
+// in at 10% so a few outlier batches cannot blow up the static scale.
+void CalibrateActivation(Parameter* wp, const Tensor& x) {
+  float amax = 0.0f;
+  for (float v : x.flat()) {
+    const float a = std::fabs(v);
+    if (a > amax) amax = a;
+  }
+  if (!std::isfinite(amax)) return;
+  wp->act_absmax =
+      wp->act_absmax == 0.0f ? amax : 0.9f * wp->act_absmax + 0.1f * amax;
+}
+
+// True when this forward multiply should take the int8 path: quant mode,
+// inference (training stays fp32 bitwise), and a Parameter-backed weight
+// whose cached quantized form matches the multiply's shape.
+bool UseQuant(bool training, const Parameter* wp, const Tensor& xv,
+              const Tensor& wv) {
+  return !training && wp != nullptr &&
+         kernels::kernel_mode() == kernels::KernelMode::kQuant &&
+         wv.rows() == xv.cols();
+}
+
+}  // namespace
+
 NodeId Graph::MatMul(NodeId x, NodeId w) {
   const Tensor& xv = value(x);
   const Tensor& wv = value(w);
+  Parameter* wp = node(w).param;
+  if (calibrating_ && wp != nullptr) CalibrateActivation(wp, xv);
   Tensor out = AcquireValueSlot(xv.rows(), wv.cols(), /*zeroed=*/false);
-  nn::MatMul(xv, wv, &out);
+  if (UseQuant(training_, wp, xv, wv)) {
+    kernels::GemmQuant(xv.data(), wp->Quantized(), out.data(), xv.rows(),
+                       xv.cols(), wv.cols(), wp->act_absmax,
+                       /*accumulate=*/false);
+  } else {
+    nn::MatMul(xv, wv, &out);
+  }
   NodeId id = AddNode(Op::kMatMul, std::move(out));
   Node& n = node(id);
   n.a = x;
@@ -119,9 +154,17 @@ NodeId Graph::LinearLRel(NodeId x, NodeId w, NodeId b, float alpha) {
   DEEPSD_CHECK(bv.rows() == 1 && bv.cols() == wv.cols());
   DEEPSD_CHECK_MSG(alpha > 0.0f,
                    "LinearLRel requires alpha > 0 (mask from output sign)");
+  Parameter* wp = node(w).param;
+  if (calibrating_ && wp != nullptr) CalibrateActivation(wp, xv);
   Tensor out = AcquireValueSlot(xv.rows(), wv.cols(), /*zeroed=*/false);
-  kernels::GemmBiasLRel(xv.data(), wv.data(), bv.data(), out.data(),
-                        xv.rows(), xv.cols(), wv.cols(), alpha);
+  if (UseQuant(training_, wp, xv, wv)) {
+    kernels::GemmBiasLRelQuant(xv.data(), wp->Quantized(), bv.data(),
+                               out.data(), xv.rows(), xv.cols(), wv.cols(),
+                               alpha, wp->act_absmax);
+  } else {
+    kernels::GemmBiasLRel(xv.data(), wv.data(), bv.data(), out.data(),
+                          xv.rows(), xv.cols(), wv.cols(), alpha);
+  }
   NodeId id = AddNode(Op::kLinearLRel, std::move(out));
   Node& n = node(id);
   n.a = x;

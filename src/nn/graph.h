@@ -48,6 +48,15 @@ class Graph {
   void set_training(bool training) { training_ = training; }
   bool training() const { return training_; }
 
+  /// Calibration mode: forward passes record an EWMA of the absmax of
+  /// every activation multiplied against a Parameter-backed weight into
+  /// that Parameter's act_absmax (the static range the int8 kernels use).
+  /// Values are untouched — a calibrating pass computes exactly what a
+  /// plain one does. Single-threaded by design: the trainer runs its
+  /// calibration pass on one graph after training (core/trainer.cc).
+  void set_calibrating(bool calibrating) { calibrating_ = calibrating; }
+  bool calibrating() const { return calibrating_; }
+
   /// Rebinds the dropout RNG. Long-lived graphs (trainer shard slots) are
   /// pointed at the current shard's deterministic RNG before each replay.
   void set_rng(util::Rng* rng) { rng_ = rng; }
@@ -198,6 +207,7 @@ class Graph {
   util::Rng* rng_;
   GradBuffer* grad_buffer_ = nullptr;
   bool training_ = false;
+  bool calibrating_ = false;
 };
 
 }  // namespace nn

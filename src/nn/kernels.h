@@ -2,6 +2,8 @@
 #define DEEPSD_NN_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 namespace deepsd {
 namespace nn {
@@ -9,7 +11,7 @@ namespace kernels {
 
 /// Compute-kernel implementations for the dense hot path.
 ///
-/// Two implementations exist for every GEMM entry point:
+/// Two fp32 implementations exist for every GEMM entry point:
 ///
 ///  * `*Naive`   — the original scalar ikj loops (the oracle). These are
 ///                 byte-for-byte the arithmetic the repo shipped with.
@@ -32,20 +34,54 @@ namespace kernels {
 /// bitwise no-op, so the blocked kernels — which do not skip — still
 /// match; inputs containing infinities or NaNs are outside the contract.
 ///
+/// A third mode, `kQuant`, is inference-only: int8 GEMM with symmetric
+/// per-output-channel weight scales (see QuantizedWeights below). It
+/// applies where a graph forward op multiplies by a Parameter-backed
+/// weight outside training; everywhere else — training, backward, and the
+/// raw fp32 entry points below — `kQuant` behaves exactly like `kBlocked`,
+/// so the fp32 determinism contract is untouched. Int8 products accumulate
+/// in int32, which is exact and associative, so quant results are
+/// bit-reproducible under any blocking or thread count too.
+///
 /// The mode switch selects which implementation the dispatching wrappers
 /// (and therefore `nn::MatMul` and the graph ops) use. It is initialized
-/// from the `DEEPSD_KERNEL` environment variable (`naive` or `blocked`,
-/// default `blocked`) and can be overridden at runtime for tests and
-/// benches.
-enum class KernelMode { kNaive, kBlocked };
+/// from the `DEEPSD_KERNEL` environment variable (`naive`, `blocked` or
+/// `quant`, default `blocked`) and can be overridden at runtime for tests
+/// and benches.
+enum class KernelMode { kNaive, kBlocked, kQuant };
 
 /// Current mode (first call resolves `DEEPSD_KERNEL`). Lock-free reads;
 /// safe to call from pool workers.
 KernelMode kernel_mode();
 
-/// Overrides the mode process-wide. Not meant to be flipped while kernels
-/// are executing concurrently (tests flip it between runs).
+/// Overrides the mode process-wide. Accepts any of `kNaive` (scalar
+/// oracle), `kBlocked` (vectorized fp32, the default) or `kQuant`
+/// (int8 inference, fp32 elsewhere). Not meant to be flipped while
+/// kernels are executing concurrently (tests flip it between runs).
 void SetKernelMode(KernelMode mode);
+
+/// Parses a DEEPSD_KERNEL-style name ("naive" | "blocked" | "quant").
+/// Returns false and leaves `*out` untouched on anything else — the env
+/// fallback path logs a warning and keeps the blocked default.
+bool ParseKernelMode(const char* name, KernelMode* out);
+
+/// RAII mode override: sets `mode` for its scope, restores the previous
+/// mode on destruction. The trainer uses this to demote `kQuant` to
+/// `kBlocked` for the whole Train() call, so training (and its epoch
+/// evals, which drive best-k selection) stays bitwise fp32 no matter what
+/// DEEPSD_KERNEL says.
+class ScopedKernelMode {
+ public:
+  explicit ScopedKernelMode(KernelMode mode) : prev_(kernel_mode()) {
+    SetKernelMode(mode);
+  }
+  ~ScopedKernelMode() { SetKernelMode(prev_); }
+  ScopedKernelMode(const ScopedKernelMode&) = delete;
+  ScopedKernelMode& operator=(const ScopedKernelMode&) = delete;
+
+ private:
+  KernelMode prev_;
+};
 
 // ---------------------------------------------------------------------------
 // Raw row-major GEMM kernels. All matrices are dense row-major with no
@@ -92,6 +128,55 @@ void GemmBiasLRelBlocked(const float* a, const float* w, const float* bias,
                          float* y, int m, int k, int n, float alpha);
 void GemmBiasLRel(const float* a, const float* w, const float* bias, float* y,
                   int m, int k, int n, float alpha);
+
+// ---------------------------------------------------------------------------
+// Int8 quantized inference kernels (KernelMode::kQuant).
+// ---------------------------------------------------------------------------
+
+/// A weight matrix quantized to int8 with symmetric per-output-channel
+/// scales: data[p*cols + j] = round(w[p,j] / scales[j]), scales[j] =
+/// absmax(w[:,j]) / 127. Produced once per Parameter version by
+/// QuantizeWeights and cached on the Parameter (nn/parameter.h), or
+/// loaded ready-made from a quantized parameter file.
+struct QuantizedWeights {
+  int rows = 0;  ///< k — the contraction extent
+  int cols = 0;  ///< n — output channels
+  std::vector<int8_t> data;   ///< row-major [rows, cols]
+  std::vector<float> scales;  ///< per-column dequant scale, [cols]
+};
+
+/// Quantizes a row-major fp32 weight matrix. Deterministic (round-to-
+/// nearest-even via lrintf); an all-zero column gets scale 0 and zero
+/// codes.
+void QuantizeWeights(const float* w, int rows, int cols,
+                     QuantizedWeights* out);
+
+/// y[m,n] = a[m,k]·dequant(w) computed in int8×int8→int32: each row of
+/// `a` is quantized at dispatch with its own symmetric per-row absmax
+/// scale, the integer GEMM accumulates exactly, and the epilogue applies
+/// `row_scale · scales[j]`. `act_absmax > 0` acts as a saturation guard,
+/// not a static range: a row's range is clipped at kActRangeHeadroom
+/// (32x) the calibrated absmax, so corrupt or drifted inputs saturate at
+/// ±127 instead of starving the quantization grid for the whole row. (A
+/// static per-tensor range was measured at +46-78% relative RMSE on the
+/// heavy-tailed gap-count activations; per-row dynamic is ~0.1%.) `act_absmax
+/// <= 0` means uncalibrated: pure per-row dynamic. `accumulate` adds into
+/// `y` instead of overwriting. Requires k < 2^31 / 127^2 (≈ 133k) so the
+/// int32 accumulator cannot overflow.
+void GemmQuant(const float* a, const QuantizedWeights& w, float* y, int m,
+               int k, int n, float act_absmax, bool accumulate);
+
+/// Fused quantized inference epilogue:
+/// y[m,n] = lrel(a·dequant(w) + bias[n]). Bitwise identical to
+/// GemmQuant → bias add → LReL.
+void GemmBiasLRelQuant(const float* a, const QuantizedWeights& w,
+                       const float* bias, float* y, int m, int k, int n,
+                       float alpha, float act_absmax);
+
+/// Process-wide count of quantized GEMM dispatches (GemmQuant +
+/// GemmBiasLRelQuant calls). Tests use deltas of this to prove the quant
+/// path actually ran (or stayed off during training).
+uint64_t QuantGemmCount();
 
 /// dz[i] = dy[i] * (signbit(y[i]) ? alpha : 1) for i in [0, size). `y` is
 /// the *post*-activation value; with alpha > 0 its sign bit equals the

@@ -1,11 +1,15 @@
 #ifndef DEEPSD_NN_PARAMETER_H_
 #define DEEPSD_NN_PARAMETER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "nn/kernels.h"
 #include "nn/tensor.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -21,6 +25,39 @@ struct Parameter {
   /// Frozen parameters are skipped by the optimizer (used to study
   /// fine-tuning, paper Sec V-C / Fig 16).
   bool frozen = false;
+  /// EWMA'd absmax of the activations multiplied against this weight,
+  /// captured by the trainer's calibration pass (core/trainer.cc) and
+  /// serialized with the values. 0 means "uncalibrated": the quant
+  /// kernels then fall back to per-row dynamic ranges.
+  float act_absmax = 0.0f;
+
+  /// Monotonic value-mutation tag. Every code path that rewrites `value`
+  /// (optimizer steps, Load, CopyFrom, AverageFrom, the trainer's
+  /// apply-checkpoint) bumps it, which is what invalidates the cached
+  /// int8 weights below — fine-tuning a loaded model can never serve
+  /// stale quantized weights.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  void BumpVersion() { version_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// The int8 form of `value` for KernelMode::kQuant, quantized lazily
+  /// once per version and cached. Thread-safe against concurrent readers
+  /// (double-checked under a mutex); concurrent mutation of `value` while
+  /// serving is outside the contract, exactly as for the fp32 path.
+  const kernels::QuantizedWeights& Quantized() const;
+
+  /// Installs a ready-made quantized form for the *current* version —
+  /// used by the parameter loader so replicas that load a quantized file
+  /// serve the exact int8 weights that were saved, with no requantization
+  /// round-trip.
+  void InstallQuantized(kernels::QuantizedWeights qw);
+
+ private:
+  std::atomic<uint64_t> version_{1};
+  mutable std::mutex quant_mu_;
+  mutable std::atomic<uint64_t> quant_version_{0};  // 0 = never filled
+  mutable kernels::QuantizedWeights quant_;
 };
 
 /// A tensor addressed by parameter name — the serialization-friendly form
@@ -68,10 +105,33 @@ class ParameterStore {
   /// Marks parameters whose name starts with `prefix` as frozen/unfrozen.
   void SetFrozen(const std::string& prefix, bool frozen);
 
-  /// Binary round-trip of all parameter values (format "DSP1").
-  util::Status Save(const std::string& path) const;
+  /// On-disk encodings of Save. Every format round-trips through Load;
+  /// see docs/performance.md ("File formats and versioning").
+  enum class SaveFormat {
+    /// Legacy "DSP1": raw fp32 tensors, no checksum. Kept so existing
+    /// tooling and files stay exchangeable.
+    kRaw,
+    /// "DSP2" full precision: losslessly compressed float blocks +
+    /// calibration, CRC-sealed. Bit-exact round-trip — the default.
+    kCompressed,
+    /// "DSP2" quantized: calibrated GEMM weights (act_absmax > 0) as int8
+    /// with per-output-channel scales; biases and embedding tables stay
+    /// losslessly compressed fp32 (embeddings are consumed by lookup, not
+    /// through a quant GEMM). CRC-sealed, ~4x smaller on the GEMM weights;
+    /// lossy only where the quant kernels already round. Loading installs
+    /// the int8 weights straight into the quant cache, so a serving
+    /// replica under DEEPSD_KERNEL=quant runs exactly the saved integer
+    /// weights — bit-identical to in-memory quant serving.
+    kQuantized,
+  };
+
+  /// Binary round-trip of all parameter values (+ calibration for the
+  /// DSP2 formats).
+  util::Status Save(const std::string& path,
+                    SaveFormat format = SaveFormat::kCompressed) const;
   /// Loads values into matching (same name and shape) parameters; unknown
   /// names in the file are ignored, missing ones keep their current values.
+  /// Accepts every SaveFormat (the magic/version header picks the parser).
   /// `*loaded` (optional) reports how many parameters were filled.
   util::Status Load(const std::string& path, int* loaded = nullptr);
 
@@ -93,6 +153,26 @@ class ParameterStore {
 
 /// Fills `t` in place according to `init`.
 void InitTensor(Tensor* t, Init init, util::Rng* rng);
+
+/// One tensor's table-of-contents entry in a saved parameter file, as
+/// reported by ReadParameterFileSummary — the shared parser behind
+/// deepsd_inspect and deepsd_model_info.
+struct ParameterFileEntry {
+  std::string name;
+  int32_t rows = 0;
+  int32_t cols = 0;
+  bool quantized = false;    ///< stored as int8 codes + per-column scales
+  size_t stored_bytes = 0;   ///< on-disk bytes of this tensor's value payload
+  float act_absmax = 0.0f;   ///< calibration (0 in DSP1 files)
+  double norm = 0.0;         ///< ||w|| of the (de)quantized values
+};
+
+/// Parses a parameter file of any SaveFormat without needing a matching
+/// store. `*format` gets a human-readable format tag ("DSP1",
+/// "DSP2/full", "DSP2/quant").
+util::Status ReadParameterFileSummary(const std::string& path,
+                                      std::string* format,
+                                      std::vector<ParameterFileEntry>* out);
 
 /// Shard-local gradient accumulator for data-parallel training.
 ///

@@ -32,6 +32,7 @@ double Sgd::Step(ParameterStore* store) {
       vel[i] = config_.momentum * vel[i] - config_.learning_rate * g;
       value[i] += vel[i];
     }
+    p->BumpVersion();
   }
   return norm;
 }

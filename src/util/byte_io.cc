@@ -1,5 +1,6 @@
 #include "util/byte_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +10,130 @@
 
 namespace deepsd {
 namespace util {
+
+namespace {
+
+enum FloatBlockMode : uint8_t {
+  kFloatRaw = 0,       // raw little-endian IEEE bits
+  kFloatSelfXor = 1,   // chunked bit-packed XOR with the previous element
+  kFloatRefXor = 2,    // chunked bit-packed XOR with a caller-supplied ref
+};
+
+// XOR deltas are packed in chunks of this many values, each chunk at the
+// width of its own widest delta. A single outlier (one weight crossing an
+// exponent boundary against the reference) then costs 8 wide bytes once
+// instead of widening the whole tensor.
+constexpr size_t kFloatChunk = 512;
+
+// XOR-delta stream for one mode.
+void XorDeltas(const float* data, size_t n, const float* ref, bool self,
+               std::vector<uint64_t>* out) {
+  out->resize(n);
+  uint32_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, &data[i], sizeof(bits));
+    uint32_t base = 0;
+    if (self) {
+      base = prev;
+      prev = bits;
+    } else if (ref != nullptr) {
+      std::memcpy(&base, &ref[i], sizeof(base));
+    }
+    (*out)[i] = bits ^ base;
+  }
+}
+
+// Encoded size of `deltas` under per-chunk widths: u8 width + packed
+// payload per chunk.
+size_t ChunkedBytes(const std::vector<uint64_t>& deltas) {
+  size_t total = 0;
+  for (size_t begin = 0; begin < deltas.size(); begin += kFloatChunk) {
+    const size_t len = std::min(kFloatChunk, deltas.size() - begin);
+    uint64_t max = 0;
+    for (size_t i = begin; i < begin + len; ++i) {
+      max = std::max(max, deltas[i]);
+    }
+    total += 1 + BitPackedBytes(len, BitWidth64(max));
+  }
+  return total;
+}
+
+void PutChunked(ByteWriter* w, const std::vector<uint64_t>& deltas) {
+  for (size_t begin = 0; begin < deltas.size(); begin += kFloatChunk) {
+    const size_t len = std::min(kFloatChunk, deltas.size() - begin);
+    uint64_t max = 0;
+    for (size_t i = begin; i < begin + len; ++i) {
+      max = std::max(max, deltas[i]);
+    }
+    const int bits = BitWidth64(max);
+    w->PutPod<uint8_t>(static_cast<uint8_t>(bits));
+    w->PutBitPacked(deltas.data() + begin, len, bits);
+  }
+}
+
+bool GetChunked(ByteReader* r, size_t n, std::vector<uint64_t>* deltas) {
+  deltas->resize(n);
+  for (size_t begin = 0; begin < n; begin += kFloatChunk) {
+    const size_t len = std::min(kFloatChunk, n - begin);
+    uint8_t bits = 0;
+    if (!r->GetPod(&bits) || bits > 32) return false;
+    if (!r->GetBitPacked(deltas->data() + begin, len, bits)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void PutFloatBlock(ByteWriter* w, const float* data, size_t n,
+                   const float* ref) {
+  std::vector<uint64_t> self_deltas;
+  XorDeltas(data, n, nullptr, /*self=*/true, &self_deltas);
+  size_t best_size = n * sizeof(float);
+  uint8_t best_mode = kFloatRaw;
+  if (ChunkedBytes(self_deltas) < best_size) {
+    best_size = ChunkedBytes(self_deltas);
+    best_mode = kFloatSelfXor;
+  }
+  std::vector<uint64_t> ref_deltas;
+  if (ref != nullptr) {
+    XorDeltas(data, n, ref, /*self=*/false, &ref_deltas);
+    if (ChunkedBytes(ref_deltas) < best_size) {
+      best_mode = kFloatRefXor;
+    }
+  }
+  w->PutPod<uint8_t>(best_mode);
+  switch (best_mode) {
+    case kFloatRaw:
+      w->PutRaw(data, n * sizeof(float));
+      break;
+    case kFloatSelfXor:
+      PutChunked(w, self_deltas);
+      break;
+    case kFloatRefXor:
+      PutChunked(w, ref_deltas);
+      break;
+  }
+}
+
+bool GetFloatBlock(ByteReader* r, float* out, size_t n, const float* ref) {
+  uint8_t mode = 0;
+  if (!r->GetPod(&mode)) return false;
+  if (mode == kFloatRaw) return r->GetRaw(out, n * sizeof(float));
+  if (mode != kFloatSelfXor && mode != kFloatRefXor) return false;
+  if (mode == kFloatRefXor && ref == nullptr) return false;
+  std::vector<uint64_t> deltas;
+  if (!GetChunked(r, n, &deltas)) return false;
+  uint32_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t base = prev;
+    if (mode == kFloatRefXor) std::memcpy(&base, &ref[i], sizeof(base));
+    const uint32_t v = static_cast<uint32_t>(deltas[i]) ^ base;
+    if (mode == kFloatSelfXor) prev = v;
+    std::memcpy(&out[i], &v, sizeof(float));
+  }
+  return true;
+}
 
 Status ReadFileBytes(const std::string& path, std::vector<char>* out) {
   if (FaultInjector::Global().FailOpen()) {

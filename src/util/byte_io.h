@@ -49,9 +49,71 @@ class ByteWriter {
     if (!v.empty()) PutRaw(v.data(), v.size() * sizeof(T));
   }
 
+  /// LEB128 variable-width unsigned integer: 7 value bits per byte, high
+  /// bit marks continuation. Small values cost one byte; the worst case
+  /// (>= 2^63) costs ten.
+  void PutVarint64(uint64_t v) {
+    while (v >= 0x80) {
+      PutPod<uint8_t>(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutPod<uint8_t>(static_cast<uint8_t>(v));
+  }
+
+  /// Zigzag-mapped signed varint: small-magnitude values of either sign
+  /// encode small (0→0, -1→1, 1→2, -2→3, ...).
+  void PutZigzag64(int64_t v) {
+    PutVarint64((static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63));
+  }
+
+  /// Fixed-width bit packing: each value stored in exactly `bits` bits
+  /// (0 <= bits <= 64), little-endian within the packed stream. Values
+  /// must fit in `bits` bits; callers size `bits` from the maximum.
+  /// Writes only the packed payload — callers record `n` and `bits`.
+  void PutBitPacked(const uint64_t* vals, size_t n, int bits) {
+    uint64_t acc = 0;
+    int filled = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (bits == 0) continue;
+      acc |= vals[i] << filled;
+      filled += bits;
+      if (filled >= 64) {
+        PutPod<uint64_t>(acc);
+        filled -= 64;
+        // Bits of vals[i] that did not fit in the flushed word.
+        acc = (filled == 0) ? 0 : vals[i] >> (bits - filled);
+      }
+    }
+    while (filled > 0) {
+      PutPod<uint8_t>(static_cast<uint8_t>(acc));
+      acc >>= 8;
+      filled -= 8;
+    }
+  }
+
  private:
   std::vector<char> bytes_;
 };
+
+/// Number of bits needed to represent `v` (0 for v == 0).
+inline int BitWidth64(uint64_t v) {
+  int bits = 0;
+  while (v != 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+/// Packed byte length of `n` values at `bits` bits each, as PutBitPacked
+/// lays them out (whole u64 words, then the byte-granular tail).
+inline size_t BitPackedBytes(size_t n, int bits) {
+  const uint64_t total_bits = static_cast<uint64_t>(n) * bits;
+  const uint64_t words = total_bits / 64;
+  const uint64_t tail_bits = total_bits % 64;
+  return static_cast<size_t>(words * 8 + (tail_bits + 7) / 8);
+}
 
 /// Bounds-checked reader over an in-memory buffer. Every accessor returns
 /// false instead of reading past the end, so loaders can turn torn or
@@ -68,6 +130,13 @@ class ByteReader {
 
   size_t remaining() const { return size_ - pos_; }
   size_t position() const { return pos_; }
+
+  /// Advances past `size` bytes without copying them.
+  bool Skip(size_t size) {
+    if (size > remaining()) return false;
+    pos_ += size;
+    return true;
+  }
 
   bool GetRaw(void* out, size_t size) {
     if (size > remaining()) return false;
@@ -99,11 +168,77 @@ class ByteReader {
     return n == 0 || GetRaw(out->data(), static_cast<size_t>(n) * sizeof(T));
   }
 
+  /// Decodes a PutVarint64 value. Fails on truncation and on encodings
+  /// longer than the 10-byte maximum (corrupt continuation bits).
+  bool GetVarint64(uint64_t* out) {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+      uint8_t byte = 0;
+      if (!GetPod(&byte)) return false;
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        *out = v;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool GetZigzag64(int64_t* out) {
+    uint64_t v = 0;
+    if (!GetVarint64(&v)) return false;
+    *out = static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+    return true;
+  }
+
+  /// Decodes `n` values of `bits` bits each, as PutBitPacked laid them out.
+  bool GetBitPacked(uint64_t* out, size_t n, int bits) {
+    if (bits < 0 || bits > 64) return false;
+    if (bits == 0) {
+      for (size_t i = 0; i < n; ++i) out[i] = 0;
+      return true;
+    }
+    const size_t nbytes = BitPackedBytes(n, bits);
+    if (nbytes > remaining()) return false;
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(data_ + pos_);
+    const uint64_t mask =
+        bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t bitpos = static_cast<uint64_t>(i) * bits;
+      size_t byte = static_cast<size_t>(bitpos >> 3);
+      const int off = static_cast<int>(bitpos & 7);
+      uint64_t v = static_cast<uint64_t>(p[byte++]) >> off;
+      // A value spans at most nine bytes (64 bits + a 7-bit offset); bits
+      // of the final byte past the value's end belong to the next value
+      // and are shifted out by the mask.
+      for (int got = 8 - off; got < bits; got += 8) {
+        v |= static_cast<uint64_t>(p[byte++]) << got;
+      }
+      out[i] = v & mask;
+    }
+    pos_ += nbytes;
+    return true;
+  }
+
  private:
   const char* data_;
   size_t size_;
   size_t pos_ = 0;
 };
+
+/// Lossless float-array codec for checkpoint and parameter tensors. Each
+/// block self-describes with a one-byte mode: raw floats, bit-packed
+/// XOR deltas between consecutive elements, or bit-packed XOR deltas
+/// against a same-length reference array (e.g. the live params a best-k
+/// snapshot was taken near). The writer measures all applicable modes and
+/// emits the smallest, so a block is never larger than raw + 1 byte.
+/// Bit-exact for every value including NaN/Inf payloads — safe for the
+/// bitwise crash-resume contract.
+void PutFloatBlock(ByteWriter* w, const float* data, size_t n,
+                   const float* ref = nullptr);
+bool GetFloatBlock(ByteReader* r, float* out, size_t n,
+                   const float* ref = nullptr);
 
 /// Reads the whole file into `*out`. Fault injection (util::FaultInjector)
 /// is applied to the returned bytes when enabled, so loaders built on this

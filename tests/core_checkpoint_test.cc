@@ -223,6 +223,102 @@ TEST_F(CheckpointTest, InputReferenceHistogramRoundTrips) {
   EXPECT_TRUE(empty_out.input_reference.empty());
 }
 
+TEST_F(CheckpointTest, CalibrationRoundTrips) {
+  TrainerCheckpoint ck;
+  ck.config.epochs = 1;
+  ck.calibration.push_back({"fc1/w", 3.75f});
+  ck.calibration.push_back({"fc2/w", 0.5f});
+  ASSERT_TRUE(SaveCheckpoint(ck, Path("cal.ck")).ok());
+  TrainerCheckpoint out;
+  out.calibration.push_back({"stale", 9.0f});  // must be replaced
+  ASSERT_TRUE(LoadCheckpoint(Path("cal.ck"), &out).ok());
+  ASSERT_EQ(out.calibration.size(), 2u);
+  EXPECT_EQ(out.calibration[0].name, "fc1/w");
+  EXPECT_FLOAT_EQ(out.calibration[0].act_absmax, 3.75f);
+  EXPECT_EQ(out.calibration[1].name, "fc2/w");
+  EXPECT_FLOAT_EQ(out.calibration[1].act_absmax, 0.5f);
+
+  // No calibration (an uncalibrated run) round-trips as empty.
+  TrainerCheckpoint none;
+  none.config.epochs = 1;
+  ASSERT_TRUE(SaveCheckpoint(none, Path("nocal.ck")).ok());
+  TrainerCheckpoint none_out;
+  none_out.calibration.push_back({"stale", 1.0f});
+  ASSERT_TRUE(LoadCheckpoint(Path("nocal.ck"), &none_out).ok());
+  EXPECT_TRUE(none_out.calibration.empty());
+}
+
+TEST_F(CheckpointTest, PackedOrderRoundTripsExtremes) {
+  TrainerCheckpoint ck;
+  ck.config.epochs = 1;
+  // Empty, single, wide-value, and all-zero orders cover every bit-width
+  // branch of the packed encoding (bits 0, small, >32).
+  const std::vector<std::vector<uint64_t>> orders = {
+      {},
+      {0},
+      {0, 0, 0, 0},
+      {7, 0, 3, 1, 6, 2, 5, 4},
+      {(uint64_t{1} << 40) + 3, 17, 0, (uint64_t{1} << 40)},
+  };
+  for (size_t i = 0; i < orders.size(); ++i) {
+    ck.order = orders[i];
+    ASSERT_TRUE(SaveCheckpoint(ck, Path("ord.ck")).ok());
+    TrainerCheckpoint out;
+    ASSERT_TRUE(LoadCheckpoint(Path("ord.ck"), &out).ok());
+    EXPECT_EQ(out.order, orders[i]) << "case " << i;
+  }
+}
+
+TEST_F(CheckpointTest, BestSnapshotsCompressAgainstLiveParams) {
+  // Best-k snapshots are usually a few optimizer steps away from the live
+  // params, so ref-XOR against them must beat encoding each copy alone.
+  auto make_ck = [](bool nearby) {
+    TrainerCheckpoint ck;
+    ck.config.epochs = 1;
+    util::Rng rng(nearby ? 5u : 6u);
+    nn::Tensor w(64, 64);
+    for (float& v : w.flat()) v = rng.Uniform(-1.0f, 1.0f);
+    ck.params.push_back({"w", w});
+    for (int s = 0; s < 3; ++s) {
+      nn::Tensor snap = w;
+      if (nearby) {
+        for (float& v : snap.flat()) v *= 1.0f + 1e-6f * (s + 1);
+      } else {
+        for (float& v : snap.flat()) v = rng.Uniform(-1.0f, 1.0f);
+      }
+      ck.best.push_back({0.5 + s, {{"w", snap}}});
+    }
+    return ck;
+  };
+  ASSERT_TRUE(SaveCheckpoint(make_ck(true), Path("near.ck")).ok());
+  ASSERT_TRUE(SaveCheckpoint(make_ck(false), Path("far.ck")).ok());
+  const auto near_size = std::filesystem::file_size(Path("near.ck"));
+  const auto far_size = std::filesystem::file_size(Path("far.ck"));
+  EXPECT_LT(near_size, far_size);
+  // And the round-trip stays bit-exact through the ref-XOR path.
+  TrainerCheckpoint out;
+  ASSERT_TRUE(LoadCheckpoint(Path("near.ck"), &out).ok());
+  TrainerCheckpoint ref = make_ck(true);
+  for (size_t s = 0; s < 3; ++s) {
+    EXPECT_EQ(0, std::memcmp(out.best[s].params[0].value.data(),
+                             ref.best[s].params[0].value.data(),
+                             sizeof(float) * 64 * 64));
+  }
+}
+
+TEST_F(CheckpointTest, UnsupportedFutureVersionRejected) {
+  TrainerCheckpoint ck;
+  ck.config.epochs = 1;
+  ASSERT_TRUE(SaveCheckpoint(ck, Path("ver.ck")).ok());
+  std::vector<char> bytes = ReadAll(Path("ver.ck"));
+  bytes[4] = 99;  // u32 version little-endian low byte, after "DSC1"
+  WriteAll(Path("ver.ck"), bytes);
+  TrainerCheckpoint out;
+  util::Status st = LoadCheckpoint(Path("ver.ck"), &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), util::Status::Code::kInvalidArgument);
+}
+
 TEST_F(CheckpointTest, TrainerCapturesInputReferenceAtCheckpointTime) {
   std::string path = CaptureCheckpoint(/*copy_at_epoch=*/1, /*every=*/4);
   TrainerCheckpoint ck;

@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/byte_io.h"
 
 namespace deepsd {
 namespace nn {
@@ -145,6 +150,139 @@ TEST(ParameterStoreTest, AverageFrom) {
   base.AverageFrom({s1.get(), s2.get()});
   EXPECT_FLOAT_EQ(base.Find("w")->value.at(0, 0), 4.0f);
   EXPECT_FLOAT_EQ(base.Find("w")->value.at(0, 1), 2.0f);
+}
+
+// --- DSP1 / DSP2 save formats ---------------------------------------------
+
+std::string TempPath(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          (std::string("deepsd_params_") + tag + "_" +
+           std::to_string(::getpid()) + ".bin"))
+      .string();
+}
+
+// A store shaped like a real model slice: a calibrated GEMM weight, an
+// uncalibrated embedding table, and a bias row.
+void MakeModelishStore(ParameterStore* store, util::Rng* rng) {
+  Parameter* w = store->Create("fc.w", 24, 16, Init::kGlorotUniform, rng);
+  w->act_absmax = 3.5f;
+  store->Create("embed.table", 50, 8, Init::kEmbedding, rng);
+  store->Create("fc.b", 1, 16, Init::kGlorotUniform, rng);
+}
+
+bool BitEqual(const Tensor& a, const Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+TEST(ParameterFormatTest, CompressedRoundTripsBitExactWithCalibration) {
+  const std::string path = TempPath("dsp2");
+  ParameterStore store;
+  util::Rng rng(11);
+  MakeModelishStore(&store, &rng);
+  Tensor w = store.Find("fc.w")->value;
+  ASSERT_TRUE(store.Save(path, ParameterStore::SaveFormat::kCompressed).ok());
+
+  ParameterStore loaded;
+  util::Rng rng2(12);  // different init: values must come from the file
+  MakeModelishStore(&loaded, &rng2);
+  loaded.Find("fc.w")->act_absmax = 0.0f;
+  int n = 0;
+  ASSERT_TRUE(loaded.Load(path, &n).ok());
+  EXPECT_EQ(n, 3);
+  EXPECT_TRUE(BitEqual(loaded.Find("fc.w")->value, w));
+  EXPECT_TRUE(
+      BitEqual(loaded.Find("embed.table")->value, store.Find("embed.table")->value));
+  EXPECT_FLOAT_EQ(loaded.Find("fc.w")->act_absmax, 3.5f);  // calibration travels
+  std::filesystem::remove(path);
+}
+
+TEST(ParameterFormatTest, LegacyRawFormatStillRoundTrips) {
+  const std::string path = TempPath("dsp1");
+  ParameterStore store;
+  util::Rng rng(13);
+  MakeModelishStore(&store, &rng);
+  ASSERT_TRUE(store.Save(path, ParameterStore::SaveFormat::kRaw).ok());
+  // DSP1 has no calibration section: magic must be the legacy one and the
+  // values must still load bit-exactly.
+  std::vector<char> bytes;
+  ASSERT_TRUE(util::ReadFileBytes(path, &bytes).ok());
+  ASSERT_GE(bytes.size(), 4u);
+  EXPECT_EQ(std::string(bytes.data(), 4), "DSP1");
+
+  ParameterStore loaded;
+  util::Rng rng2(14);
+  MakeModelishStore(&loaded, &rng2);
+  int n = 0;
+  ASSERT_TRUE(loaded.Load(path, &n).ok());
+  EXPECT_EQ(n, 3);
+  EXPECT_TRUE(BitEqual(loaded.Find("fc.w")->value, store.Find("fc.w")->value));
+  std::filesystem::remove(path);
+}
+
+TEST(ParameterFormatTest, QuantizedOnlyCoversCalibratedGemmWeights) {
+  const std::string path = TempPath("quant");
+  ParameterStore store;
+  util::Rng rng(15);
+  MakeModelishStore(&store, &rng);
+  ASSERT_TRUE(store.Save(path, ParameterStore::SaveFormat::kQuantized).ok());
+
+  std::string format;
+  std::vector<ParameterFileEntry> entries;
+  ASSERT_TRUE(ReadParameterFileSummary(path, &format, &entries).ok());
+  ASSERT_EQ(entries.size(), 3u);
+  for (const ParameterFileEntry& e : entries) {
+    if (e.name == "fc.w") {
+      EXPECT_TRUE(e.quantized);  // calibrated GEMM weight → int8
+      EXPECT_FLOAT_EQ(e.act_absmax, 3.5f);
+    } else {
+      // Embedding tables (fp32 lookups) and bias rows stay lossless.
+      EXPECT_FALSE(e.quantized) << e.name;
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(ParameterFormatTest, QuantizedLoadInstallsExactSavedCodes) {
+  const std::string path = TempPath("quant_cache");
+  ParameterStore store;
+  util::Rng rng(16);
+  MakeModelishStore(&store, &rng);
+  const kernels::QuantizedWeights saved = store.Find("fc.w")->Quantized();
+  ASSERT_TRUE(store.Save(path, ParameterStore::SaveFormat::kQuantized).ok());
+
+  ParameterStore loaded;
+  util::Rng rng2(17);
+  MakeModelishStore(&loaded, &rng2);
+  ASSERT_TRUE(loaded.Load(path, nullptr).ok());
+  // The loader installed the file's int8 codes directly — identical to
+  // what the saver quantized, with no fp32 round-trip in between.
+  const kernels::QuantizedWeights& q = loaded.Find("fc.w")->Quantized();
+  EXPECT_EQ(q.data, saved.data);
+  EXPECT_EQ(q.scales, saved.scales);
+  // Lossless tensors are untouched by the quantized format.
+  EXPECT_TRUE(BitEqual(loaded.Find("embed.table")->value,
+                       store.Find("embed.table")->value));
+  EXPECT_TRUE(BitEqual(loaded.Find("fc.b")->value, store.Find("fc.b")->value));
+  std::filesystem::remove(path);
+}
+
+TEST(ParameterFormatTest, CorruptDsp2Rejected) {
+  const std::string path = TempPath("corrupt");
+  ParameterStore store;
+  util::Rng rng(18);
+  MakeModelishStore(&store, &rng);
+  ASSERT_TRUE(store.Save(path, ParameterStore::SaveFormat::kCompressed).ok());
+  std::vector<char> bytes;
+  ASSERT_TRUE(util::ReadFileBytes(path, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x10;  // payload bit flip → CRC mismatch
+  ASSERT_TRUE(util::AtomicWriteFile(path, bytes).ok());
+  ParameterStore victim;
+  util::Rng rng2(19);
+  MakeModelishStore(&victim, &rng2);
+  EXPECT_FALSE(victim.Load(path, nullptr).ok());
+  std::filesystem::remove(path);
 }
 
 }  // namespace

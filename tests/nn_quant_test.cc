@@ -1,0 +1,440 @@
+// Int8 quantized inference path (DEEPSD_KERNEL=quant): QuantizeWeights
+// round-trip error bounds, GemmQuant accuracy against the fp32 oracle,
+// determinism and batch-composition independence (per-row activation
+// scales make each row's result independent of its batch neighbors), the
+// fused bias+LReL epilogue's bitwise parity with its unfused composition,
+// the calibrated saturation guard, graph-level dispatch gating (inference
+// only, Parameter-backed weights only), the per-version quant cache, and
+// the DEEPSD_KERNEL parsing contract incl. the unknown-value fallback.
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/graph.h"
+#include "nn/kernels.h"
+#include "nn/parameter.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace deepsd {
+namespace nn {
+namespace {
+
+std::vector<float> RandomVec(size_t n, util::Rng* rng, float lo = -2.0f,
+                             float hi = 2.0f) {
+  std::vector<float> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng->Uniform(lo, hi);
+  return v;
+}
+
+bool SameBits(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+double RelErr(const std::vector<float>& ref, const std::vector<float>& got) {
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    const double d = static_cast<double>(ref[i]) - got[i];
+    num += d * d;
+    den += static_cast<double>(ref[i]) * ref[i];
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+TEST(QuantizeWeightsTest, RoundTripWithinHalfScale) {
+  util::Rng rng(7);
+  const int rows = 13, cols = 9;
+  std::vector<float> w = RandomVec(static_cast<size_t>(rows) * cols, &rng);
+  kernels::QuantizedWeights q;
+  kernels::QuantizeWeights(w.data(), rows, cols, &q);
+  ASSERT_EQ(q.rows, rows);
+  ASSERT_EQ(q.cols, cols);
+  ASSERT_EQ(q.data.size(), static_cast<size_t>(rows) * cols);
+  ASSERT_EQ(q.scales.size(), static_cast<size_t>(cols));
+  for (int p = 0; p < rows; ++p) {
+    for (int j = 0; j < cols; ++j) {
+      const float orig = w[static_cast<size_t>(p) * cols + j];
+      const float deq =
+          q.data[static_cast<size_t>(p) * cols + j] * q.scales[j];
+      // Symmetric round-to-nearest: at most half a quantization step off.
+      EXPECT_LE(std::fabs(orig - deq), q.scales[j] * 0.5f + 1e-7f)
+          << "(" << p << "," << j << ")";
+    }
+  }
+}
+
+TEST(QuantizeWeightsTest, ZeroColumnGetsZeroScaleAndCodes) {
+  const int rows = 4, cols = 3;
+  std::vector<float> w(static_cast<size_t>(rows) * cols, 0.0f);
+  for (int p = 0; p < rows; ++p) w[static_cast<size_t>(p) * cols + 1] = 1.5f;
+  kernels::QuantizedWeights q;
+  kernels::QuantizeWeights(w.data(), rows, cols, &q);
+  for (int j : {0, 2}) {
+    EXPECT_EQ(q.scales[j], 0.0f);
+    for (int p = 0; p < rows; ++p) {
+      EXPECT_EQ(q.data[static_cast<size_t>(p) * cols + j], 0);
+    }
+  }
+  EXPECT_GT(q.scales[1], 0.0f);
+}
+
+TEST(QuantizeWeightsTest, Deterministic) {
+  util::Rng rng(8);
+  std::vector<float> w = RandomVec(24 * 17, &rng);
+  kernels::QuantizedWeights q1, q2;
+  kernels::QuantizeWeights(w.data(), 24, 17, &q1);
+  kernels::QuantizeWeights(w.data(), 24, 17, &q2);
+  EXPECT_EQ(q1.data, q2.data);
+  EXPECT_EQ(q1.scales, q2.scales);
+}
+
+TEST(GemmQuantTest, CloseToFp32Oracle) {
+  util::Rng rng(21);
+  const int m = 6, k = 64, n = 32;
+  std::vector<float> a = RandomVec(static_cast<size_t>(m) * k, &rng);
+  std::vector<float> w = RandomVec(static_cast<size_t>(k) * n, &rng);
+  std::vector<float> ref(static_cast<size_t>(m) * n);
+  kernels::GemmNaive(a.data(), w.data(), ref.data(), m, k, n,
+                     /*accumulate=*/false);
+  kernels::QuantizedWeights q;
+  kernels::QuantizeWeights(w.data(), k, n, &q);
+  std::vector<float> y(static_cast<size_t>(m) * n);
+  kernels::GemmQuant(a.data(), q, y.data(), m, k, n, /*act_absmax=*/0.0f,
+                     /*accumulate=*/false);
+  // Two int8 roundings over a k=64 contraction: ~1% relative is typical,
+  // 3% is a loose ceiling that still catches any scale-handling bug.
+  EXPECT_LT(RelErr(ref, y), 0.03);
+}
+
+TEST(GemmQuantTest, AccumulateAddsIntoOutput) {
+  util::Rng rng(22);
+  const int m = 3, k = 16, n = 8;
+  std::vector<float> a = RandomVec(static_cast<size_t>(m) * k, &rng);
+  std::vector<float> w = RandomVec(static_cast<size_t>(k) * n, &rng);
+  kernels::QuantizedWeights q;
+  kernels::QuantizeWeights(w.data(), k, n, &q);
+  std::vector<float> base = RandomVec(static_cast<size_t>(m) * n, &rng);
+  std::vector<float> fresh(static_cast<size_t>(m) * n);
+  kernels::GemmQuant(a.data(), q, fresh.data(), m, k, n, 0.0f, false);
+  std::vector<float> acc = base;
+  kernels::GemmQuant(a.data(), q, acc.data(), m, k, n, 0.0f, true);
+  for (size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_FLOAT_EQ(acc[i], base[i] + fresh[i]) << i;
+  }
+}
+
+TEST(GemmQuantTest, DeterministicAndBatchCompositionIndependent) {
+  util::Rng rng(23);
+  const int m = 5, k = 40, n = 24;
+  std::vector<float> a = RandomVec(static_cast<size_t>(m) * k, &rng);
+  std::vector<float> w = RandomVec(static_cast<size_t>(k) * n, &rng);
+  kernels::QuantizedWeights q;
+  kernels::QuantizeWeights(w.data(), k, n, &q);
+  std::vector<float> y1(static_cast<size_t>(m) * n),
+      y2(static_cast<size_t>(m) * n);
+  kernels::GemmQuant(a.data(), q, y1.data(), m, k, n, 0.0f, false);
+  kernels::GemmQuant(a.data(), q, y2.data(), m, k, n, 0.0f, false);
+  EXPECT_TRUE(SameBits(y1, y2));
+  // Per-row activation scales: row i of the batch result must equal the
+  // m=1 result for that row alone (no cross-row coupling).
+  for (int i = 0; i < m; ++i) {
+    std::vector<float> yrow(static_cast<size_t>(n));
+    kernels::GemmQuant(a.data() + static_cast<size_t>(i) * k, q, yrow.data(),
+                       1, k, n, 0.0f, false);
+    EXPECT_EQ(0, std::memcmp(yrow.data(), y1.data() + static_cast<size_t>(i) * n,
+                             sizeof(float) * n))
+        << "row " << i;
+  }
+}
+
+TEST(GemmQuantTest, ZeroRowProducesZeros) {
+  const int k = 12, n = 6;
+  std::vector<float> a(k, 0.0f);
+  util::Rng rng(24);
+  std::vector<float> w = RandomVec(static_cast<size_t>(k) * n, &rng);
+  kernels::QuantizedWeights q;
+  kernels::QuantizeWeights(w.data(), k, n, &q);
+  std::vector<float> y(n, 42.0f);
+  kernels::GemmQuant(a.data(), q, y.data(), 1, k, n, 0.0f, false);
+  for (float v : y) EXPECT_EQ(v, 0.0f);
+  std::vector<float> yacc(n, 42.0f);
+  kernels::GemmQuant(a.data(), q, yacc.data(), 1, k, n, 0.0f, true);
+  for (float v : yacc) EXPECT_EQ(v, 42.0f);  // accumulate leaves y alone
+}
+
+TEST(GemmQuantTest, FusedBiasLRelMatchesComposition) {
+  util::Rng rng(25);
+  const int m = 4, k = 32, n = 16;
+  const float alpha = 0.001f;
+  std::vector<float> a = RandomVec(static_cast<size_t>(m) * k, &rng);
+  std::vector<float> w = RandomVec(static_cast<size_t>(k) * n, &rng);
+  std::vector<float> bias = RandomVec(static_cast<size_t>(n), &rng);
+  kernels::QuantizedWeights q;
+  kernels::QuantizeWeights(w.data(), k, n, &q);
+  for (float act_absmax : {0.0f, 2.0f}) {
+    std::vector<float> fused(static_cast<size_t>(m) * n);
+    kernels::GemmBiasLRelQuant(a.data(), q, bias.data(), fused.data(), m, k,
+                               n, alpha, act_absmax);
+    std::vector<float> composed(static_cast<size_t>(m) * n);
+    kernels::GemmQuant(a.data(), q, composed.data(), m, k, n, act_absmax,
+                       false);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        float& v = composed[static_cast<size_t>(i) * n + j];
+        v += bias[j];
+        v = v < 0.0f ? v * alpha : v;
+      }
+    }
+    EXPECT_TRUE(SameBits(fused, composed)) << "act_absmax=" << act_absmax;
+  }
+}
+
+// The calibrated range acts as a saturation guard: a corrupt spike in one
+// activation row saturates at the ceiling instead of blowing up the
+// dynamic scale and crushing every other entry of that row to zero code.
+TEST(GemmQuantTest, CalibrationClipsCorruptSpike) {
+  const int k = 32, n = 8;
+  util::Rng rng(26);
+  std::vector<float> a = RandomVec(static_cast<size_t>(k), &rng, -1.0f, 1.0f);
+  a[k - 1] = 1.0e30f;  // corrupt feature spike
+  std::vector<float> w = RandomVec(static_cast<size_t>(k) * n, &rng);
+  // Columns ignore the spiked input so the clean fp32 reference is
+  // well-defined.
+  for (int j = 0; j < n; ++j) w[static_cast<size_t>(k - 1) * n + j] = 0.0f;
+  std::vector<float> ref(n);
+  kernels::GemmNaive(a.data(), w.data(), ref.data(), 1, k, n, false);
+  kernels::QuantizedWeights q;
+  kernels::QuantizeWeights(w.data(), k, n, &q);
+
+  std::vector<float> guarded(n), dynamic(n);
+  kernels::GemmQuant(a.data(), q, guarded.data(), 1, k, n,
+                     /*act_absmax=*/1.0f, false);
+  kernels::GemmQuant(a.data(), q, dynamic.data(), 1, k, n,
+                     /*act_absmax=*/0.0f, false);
+  for (float v : guarded) EXPECT_TRUE(std::isfinite(v));
+  // Unguarded: the 1e30 spike owns the whole int8 range, every sane entry
+  // quantizes to code 0 and the row collapses.
+  for (float v : dynamic) EXPECT_EQ(v, 0.0f);
+  // Guarded: the clipped 32x ceiling is coarse (a couple of codes for the
+  // sane entries) but the row keeps real signal instead of collapsing —
+  // rel error well under the unguarded row's 1.0.
+  EXPECT_LT(RelErr(ref, guarded), 0.6);
+  bool any_nonzero = false;
+  for (float v : guarded) any_nonzero |= (v != 0.0f);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(GemmQuantTest, CleanRowsUnaffectedByCalibrationCeiling) {
+  util::Rng rng(27);
+  const int m = 3, k = 24, n = 12;
+  std::vector<float> a = RandomVec(static_cast<size_t>(m) * k, &rng);
+  std::vector<float> w = RandomVec(static_cast<size_t>(k) * n, &rng);
+  kernels::QuantizedWeights q;
+  kernels::QuantizeWeights(w.data(), k, n, &q);
+  // Rows stay below the ceiling (32x the calibrated range), so calibrated
+  // and uncalibrated dispatch must agree bitwise.
+  std::vector<float> with(static_cast<size_t>(m) * n),
+      without(static_cast<size_t>(m) * n);
+  kernels::GemmQuant(a.data(), q, with.data(), m, k, n, /*act_absmax=*/2.0f,
+                     false);
+  kernels::GemmQuant(a.data(), q, without.data(), m, k, n, 0.0f, false);
+  EXPECT_TRUE(SameBits(with, without));
+}
+
+// --- graph-level dispatch -------------------------------------------------
+
+Tensor MakeTensor(int rows, int cols, util::Rng* rng) {
+  Tensor t(rows, cols);
+  for (float& v : t.flat()) v = rng->Uniform(-1.0f, 1.0f);
+  return t;
+}
+
+TEST(GraphQuantTest, DispatchGatedOnModeAndTrainingAndParam) {
+  util::Rng rng(31);
+  ParameterStore store;
+  Parameter* w = store.Create("w", 16, 8, Init::kGlorotUniform, &rng);
+  Parameter* b = store.Create("b", 1, 8, Init::kZero, &rng);
+  Parameter* w2 = store.Create("w2", 8, 4, Init::kGlorotUniform, &rng);
+  Tensor x = MakeTensor(4, 16, &rng);
+
+  auto run = [&](kernels::KernelMode mode, bool training) {
+    kernels::ScopedKernelMode scoped(mode);
+    Graph g(&rng);
+    g.set_training(training);
+    const uint64_t before = kernels::QuantGemmCount();
+    NodeId xn = g.Input(x);
+    NodeId y = g.LinearLRel(xn, g.Param(w), g.Param(b), 0.001f);
+    NodeId z = g.MatMul(y, g.Param(w2));
+    (void)z;
+    return kernels::QuantGemmCount() - before;
+  };
+
+  EXPECT_EQ(run(kernels::KernelMode::kBlocked, false), 0u);
+  EXPECT_EQ(run(kernels::KernelMode::kNaive, false), 0u);
+  EXPECT_EQ(run(kernels::KernelMode::kQuant, true), 0u);   // training: fp32
+  EXPECT_EQ(run(kernels::KernelMode::kQuant, false), 2u);  // both multiplies
+
+  // A weight that is a plain Input (not Parameter-backed) never takes the
+  // quant path, whatever the mode.
+  {
+    kernels::ScopedKernelMode scoped(kernels::KernelMode::kQuant);
+    Graph g(&rng);
+    g.set_training(false);
+    const uint64_t before = kernels::QuantGemmCount();
+    NodeId xn = g.Input(x);
+    NodeId wn = g.Input(MakeTensor(16, 8, &rng));
+    (void)g.MatMul(xn, wn);
+    EXPECT_EQ(kernels::QuantGemmCount() - before, 0u);
+  }
+}
+
+TEST(GraphQuantTest, QuantForwardCloseToFp32Forward) {
+  util::Rng rng(32);
+  ParameterStore store;
+  Parameter* w1 = store.Create("w1", 20, 16, Init::kGlorotUniform, &rng);
+  Parameter* b1 = store.Create("b1", 1, 16, Init::kZero, &rng);
+  Parameter* w2 = store.Create("w2", 16, 1, Init::kGlorotUniform, &rng);
+  Tensor x = MakeTensor(6, 20, &rng);
+
+  auto forward = [&]() {
+    Graph g(&rng);
+    g.set_training(false);
+    NodeId h = g.LinearLRel(g.Input(x), g.Param(w1), g.Param(b1), 0.001f);
+    NodeId out = g.MatMul(h, g.Param(w2));
+    const Tensor& v = g.value(out);
+    return std::vector<float>(v.flat().begin(), v.flat().end());
+  };
+  std::vector<float> fp32, quant;
+  {
+    kernels::ScopedKernelMode scoped(kernels::KernelMode::kBlocked);
+    fp32 = forward();
+  }
+  {
+    kernels::ScopedKernelMode scoped(kernels::KernelMode::kQuant);
+    quant = forward();
+  }
+  ASSERT_EQ(fp32.size(), quant.size());
+  EXPECT_LT(RelErr(fp32, quant), 0.05);
+  EXPECT_FALSE(SameBits(fp32, quant));  // it really took the int8 path
+}
+
+TEST(GraphQuantTest, CalibrationRecordsEwmaWithoutChangingValues) {
+  util::Rng rng(33);
+  ParameterStore store;
+  Parameter* w = store.Create("w", 8, 4, Init::kGlorotUniform, &rng);
+  ASSERT_EQ(w->act_absmax, 0.0f);
+
+  Tensor x1(1, 8), x2(1, 8);
+  for (float& v : x1.flat()) v = 0.5f;
+  x1.flat()[3] = -3.0f;  // absmax 3
+  for (float& v : x2.flat()) v = 0.25f;
+  x2.flat()[5] = 5.0f;  // absmax 5
+
+  kernels::ScopedKernelMode scoped(kernels::KernelMode::kBlocked);
+  Graph g(&rng);
+  g.set_training(false);
+
+  // Reference pass without calibration.
+  NodeId ref = g.MatMul(g.Input(x1), g.Param(w));
+  std::vector<float> ref_v(g.value(ref).flat().begin(),
+                           g.value(ref).flat().end());
+  g.Clear();
+
+  g.set_calibrating(true);
+  NodeId y1 = g.MatMul(g.Input(x1), g.Param(w));
+  std::vector<float> cal_v(g.value(y1).flat().begin(),
+                           g.value(y1).flat().end());
+  EXPECT_TRUE(SameBits(ref_v, cal_v));  // calibration never changes values
+  EXPECT_FLOAT_EQ(w->act_absmax, 3.0f);  // first observation seeds
+  g.Clear();
+  (void)g.MatMul(g.Input(x2), g.Param(w));
+  EXPECT_FLOAT_EQ(w->act_absmax, 0.9f * 3.0f + 0.1f * 5.0f);  // EWMA blend
+}
+
+// --- quant cache ----------------------------------------------------------
+
+TEST(ParameterQuantCacheTest, InvalidatedByBumpVersion) {
+  util::Rng rng(41);
+  ParameterStore store;
+  Parameter* p = store.Create("w", 6, 3, Init::kGlorotUniform, &rng);
+  const kernels::QuantizedWeights& q1 = p->Quantized();
+  std::vector<int8_t> codes1 = q1.data;
+  // Same version: cached object, no requantization.
+  EXPECT_EQ(&p->Quantized(), &q1);
+  EXPECT_EQ(p->Quantized().data, codes1);
+
+  for (float& v : p->value.flat()) v *= 2.0f;
+  p->BumpVersion();
+  // The cache requantized from the new values: dequantized magnitudes
+  // track the doubled weights (codes keep the same relative layout, so
+  // compare through dequantization, not raw codes).
+  const kernels::QuantizedWeights& q2 = p->Quantized();
+  ASSERT_EQ(q2.scales.size(), 3u);
+  float max_abs = 0.0f;
+  for (float v : p->value.flat()) max_abs = std::max(max_abs, std::fabs(v));
+  float max_deq = 0.0f;
+  for (size_t i = 0; i < q2.data.size(); ++i) {
+    max_deq = std::max(max_deq, std::fabs(q2.data[i] * q2.scales[i % 3]));
+  }
+  EXPECT_NEAR(max_deq, max_abs, max_abs * 0.02f);
+}
+
+TEST(ParameterQuantCacheTest, InstallQuantizedServesInstalledCodes) {
+  util::Rng rng(42);
+  ParameterStore store;
+  Parameter* p = store.Create("w", 4, 2, Init::kGlorotUniform, &rng);
+  kernels::QuantizedWeights custom;
+  custom.rows = 4;
+  custom.cols = 2;
+  custom.data = {1, -2, 3, -4, 5, -6, 7, -8};
+  custom.scales = {0.5f, 0.25f};
+  p->InstallQuantized(std::move(custom));
+  const kernels::QuantizedWeights& q = p->Quantized();
+  EXPECT_EQ(q.data, (std::vector<int8_t>{1, -2, 3, -4, 5, -6, 7, -8}));
+  // A version bump discards the installed form and requantizes from fp32.
+  p->BumpVersion();
+  EXPECT_NE(p->Quantized().data, (std::vector<int8_t>{1, -2, 3, -4, 5, -6, 7, -8}));
+}
+
+// --- mode parsing (satellite: DEEPSD_KERNEL fallback contract) ------------
+
+TEST(KernelModeTest, ParseKnownNames) {
+  kernels::KernelMode m = kernels::KernelMode::kBlocked;
+  EXPECT_TRUE(kernels::ParseKernelMode("naive", &m));
+  EXPECT_EQ(m, kernels::KernelMode::kNaive);
+  EXPECT_TRUE(kernels::ParseKernelMode("blocked", &m));
+  EXPECT_EQ(m, kernels::KernelMode::kBlocked);
+  EXPECT_TRUE(kernels::ParseKernelMode("quant", &m));
+  EXPECT_EQ(m, kernels::KernelMode::kQuant);
+}
+
+TEST(KernelModeTest, UnknownNameRejectedAndOutUntouched) {
+  for (const char* bad : {"", "int8", "QUANT", "fast", "blocked ", "q"}) {
+    kernels::KernelMode m = kernels::KernelMode::kNaive;
+    EXPECT_FALSE(kernels::ParseKernelMode(bad, &m)) << "'" << bad << "'";
+    EXPECT_EQ(m, kernels::KernelMode::kNaive) << "'" << bad << "'";
+  }
+}
+
+TEST(KernelModeTest, ScopedOverrideRestores) {
+  const kernels::KernelMode before = kernels::kernel_mode();
+  {
+    kernels::ScopedKernelMode scoped(kernels::KernelMode::kQuant);
+    EXPECT_EQ(kernels::kernel_mode(), kernels::KernelMode::kQuant);
+    {
+      kernels::ScopedKernelMode inner(kernels::KernelMode::kNaive);
+      EXPECT_EQ(kernels::kernel_mode(), kernels::KernelMode::kNaive);
+    }
+    EXPECT_EQ(kernels::kernel_mode(), kernels::KernelMode::kQuant);
+  }
+  EXPECT_EQ(kernels::kernel_mode(), before);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace deepsd

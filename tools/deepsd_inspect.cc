@@ -12,8 +12,6 @@
 #include "nn/parameter.h"
 #include "util/cli.h"
 #include "util/stats.h"
-#include <cmath>
-#include <fstream>
 #include <vector>
 
 namespace {
@@ -88,42 +86,21 @@ int InspectData(const std::string& path) {
 
 int InspectParams(const std::string& path) {
   using namespace deepsd;
-  // Load into an empty store is a no-op (nothing matches), so parse the
-  // file shape by creating matching parameters on the fly is not possible;
-  // instead read it directly here via a permissive loader: create-then-load
-  // is the library path, so we just report the raw table of contents.
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+  std::string format;
+  std::vector<nn::ParameterFileEntry> entries;
+  util::Status st = nn::ReadParameterFileSummary(path, &format, &entries);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
     return 1;
   }
-  char magic[4];
-  in.read(magic, 4);
-  if (!in || std::string(magic, 4) != "DSP1") {
-    std::fprintf(stderr, "%s is not a DeepSD parameter file\n", path.c_str());
-    return 1;
-  }
-  uint64_t n = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof(n));
-  std::printf("parameter file %s: %llu tensors\n", path.c_str(),
-              static_cast<unsigned long long>(n));
+  std::printf("parameter file %s (%s): %zu tensors\n", path.c_str(),
+              format.c_str(), entries.size());
   size_t total = 0;
-  for (uint64_t i = 0; i < n && in; ++i) {
-    uint32_t name_len = 0;
-    in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    int32_t rows = 0, cols = 0;
-    in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-    in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
-    std::vector<float> values(static_cast<size_t>(rows) * cols);
-    in.read(reinterpret_cast<char*>(values.data()),
-            static_cast<std::streamsize>(values.size() * sizeof(float)));
-    double norm = 0;
-    for (float v : values) norm += static_cast<double>(v) * v;
-    std::printf("  %-24s [%5d x %-5d]  ||w|| = %.4f\n", name.c_str(), rows,
-                cols, std::sqrt(norm));
-    total += values.size();
+  for (const nn::ParameterFileEntry& e : entries) {
+    std::printf("  %-24s [%5d x %-5d]  ||w|| = %.4f%s\n", e.name.c_str(),
+                e.rows, e.cols, e.norm, e.quantized ? "  (int8)" : "");
+    total += static_cast<size_t>(e.rows) * static_cast<size_t>(e.cols);
   }
   std::printf("total weights: %zu\n", total);
   return 0;

@@ -1,0 +1,148 @@
+// deepsd_model_info: storage breakdown of a saved model or trainer
+// checkpoint — per-tensor shapes and sizes under the three encodings
+// (raw fp32, lossless float-block, int8 + per-column scales), calibration
+// coverage, and the whole-file compression ratio. Companion to
+// docs/performance.md ("Int8 inference and bit-packed storage").
+//
+//   deepsd_model_info --params=model.bin
+//   deepsd_model_info --checkpoint=ck.bin
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "nn/kernels.h"
+#include "nn/parameter.h"
+#include "util/byte_io.h"
+#include "util/cli.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace deepsd;
+
+size_t FileSize(const std::string& path) {
+  struct stat st{};
+  return stat(path.c_str(), &st) == 0 ? static_cast<size_t>(st.st_size) : 0;
+}
+
+std::string Bytes(size_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%zu", n);
+  return buf;
+}
+
+std::string Ratio(size_t raw, size_t stored) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx",
+                stored > 0 ? static_cast<double>(raw) / stored : 0.0);
+  return buf;
+}
+
+int InfoParams(const std::string& path) {
+  std::string format;
+  std::vector<nn::ParameterFileEntry> entries;
+  util::Status st = nn::ReadParameterFileSummary(path, &format, &entries);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("model %s  format %s  file bytes %zu\n", path.c_str(),
+              format.c_str(), FileSize(path));
+  util::TablePrinter table(
+      {"tensor", "shape", "enc", "fp32_bytes", "stored_bytes", "ratio",
+       "act_absmax"});
+  size_t total_fp32 = 0, total_stored = 0, calibrated = 0;
+  for (const nn::ParameterFileEntry& e : entries) {
+    const size_t fp32 = static_cast<size_t>(e.rows) *
+                        static_cast<size_t>(e.cols) * sizeof(float);
+    total_fp32 += fp32;
+    total_stored += e.stored_bytes;
+    calibrated += e.act_absmax > 0.0f;
+    char shape[32], absmax[32];
+    std::snprintf(shape, sizeof(shape), "%dx%d", e.rows, e.cols);
+    std::snprintf(absmax, sizeof(absmax), "%.4g", e.act_absmax);
+    table.AddRow({e.name, shape, e.quantized ? "int8" : "fp32", Bytes(fp32),
+                  Bytes(e.stored_bytes), Ratio(fp32, e.stored_bytes), absmax});
+  }
+  table.Print();
+  std::printf("tensors %zu  calibrated %zu  fp32 bytes %zu  "
+              "stored bytes %zu  ratio %s\n",
+              entries.size(), calibrated, total_fp32, total_stored,
+              Ratio(total_fp32, total_stored).c_str());
+  return 0;
+}
+
+// A checkpoint stores tensor values losslessly; for each one report what
+// the three encodings would cost so the fp32/compressed/int8 tradeoff is
+// visible before choosing a serving format.
+int InfoCheckpoint(const std::string& path) {
+  core::TrainerCheckpoint ck;
+  util::Status st = core::LoadCheckpoint(path, &ck);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoint %s  file bytes %zu  epoch %d  step %llu  "
+              "best-k %zu  calibration entries %zu\n",
+              path.c_str(), FileSize(path), ck.epoch,
+              static_cast<unsigned long long>(ck.step), ck.best.size(),
+              ck.calibration.size());
+  util::TablePrinter table({"tensor", "shape", "fp32_bytes", "block_bytes",
+                            "int8_bytes", "best_ratio"});
+  size_t total_fp32 = 0, total_block = 0, total_int8 = 0;
+  for (const nn::NamedTensor& nt : ck.params) {
+    const size_t n = nt.value.size();
+    const size_t fp32 = n * sizeof(float);
+    util::ByteWriter block;
+    util::PutFloatBlock(&block, nt.value.data(), n);
+    // Int8 encoding as ParameterStore::Save(kQuantized) would store it:
+    // one code per weight + one fp32 scale per output column; bias rows
+    // stay fp32 there, mirrored here.
+    size_t int8 = fp32;
+    if (nt.value.rows() > 1) {
+      nn::kernels::QuantizedWeights qw;
+      nn::kernels::QuantizeWeights(nt.value.data(), nt.value.rows(),
+                                   nt.value.cols(), &qw);
+      int8 = qw.data.size() + qw.scales.size() * sizeof(float);
+    }
+    total_fp32 += fp32;
+    total_block += block.size();
+    total_int8 += int8;
+    char shape[32];
+    std::snprintf(shape, sizeof(shape), "%dx%d", nt.value.rows(),
+                  nt.value.cols());
+    table.AddRow({nt.name, shape, Bytes(fp32), Bytes(block.size()),
+                  Bytes(int8),
+                  Ratio(fp32, std::min(block.size(), int8))});
+  }
+  table.Print();
+  std::printf("tensors %zu  fp32 bytes %zu  float-block bytes %zu (%s)  "
+              "int8 bytes %zu (%s)\n",
+              ck.params.size(), total_fp32, total_block,
+              Ratio(total_fp32, total_block).c_str(), total_int8,
+              Ratio(total_fp32, total_int8).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  deepsd::util::CommandLine cli(argc, argv);
+  deepsd::util::Status st = cli.CheckKnown({"params", "checkpoint", "help"});
+  if (!st.ok() || cli.GetBool("help", false) ||
+      (!cli.Has("params") && !cli.Has("checkpoint"))) {
+    std::fprintf(stderr,
+                 "%s\nusage: deepsd_model_info --params=model.bin | "
+                 "--checkpoint=ck.bin\n",
+                 st.ToString().c_str());
+    return 2;
+  }
+  if (cli.Has("params")) return InfoParams(cli.GetString("params"));
+  return InfoCheckpoint(cli.GetString("checkpoint"));
+}

@@ -6,7 +6,7 @@
 //                [--best_k=10] [--stride=5] [--no_weather] [--no_traffic]
 //                [--no_residual] [--onehot] [--finetune_from=prev.bin]
 //                [--checkpoint=ck.bin] [--checkpoint_every=100]
-//                [--resume=ck.bin]
+//                [--resume=ck.bin] [--model_format=raw|compressed|quant]
 //                [--metrics-out=metrics.jsonl] [--trace-out=trace.json]
 //
 // --metrics-out / --trace-out turn telemetry on and, after training, write
@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
       {"data", "model", "mode", "train_days", "eval_days", "epochs", "batch",
        "lr", "best_k", "stride", "no_weather", "no_traffic", "no_residual",
        "onehot", "finetune_from", "checkpoint", "checkpoint_every", "resume",
-       "seed", "threads", "verbose", "metrics-out", "trace-out", "help"});
+       "seed", "threads", "verbose", "model_format", "metrics-out",
+       "trace-out", "help"});
   if (!st.ok() || cli.GetBool("help", false) || !cli.Has("data")) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_train --data=city.bin --model=model.bin "
@@ -46,8 +47,9 @@ int main(int argc, char** argv) {
                  "[--no_weather] [--no_traffic] [--no_residual] [--onehot] "
                  "[--finetune_from=prev.bin] [--checkpoint=ck.bin] "
                  "[--checkpoint_every=N] [--resume=ck.bin] [--seed=7] "
-                 "[--threads=N] [--verbose] [--metrics-out=metrics.jsonl] "
-                 "[--trace-out=trace.json]\n",
+                 "[--threads=N] [--verbose] "
+                 "[--model_format=raw|compressed|quant] "
+                 "[--metrics-out=metrics.jsonl] [--trace-out=trace.json]\n",
                  st.ToString().c_str());
     return st.ok() ? 2 : 2;
   }
@@ -152,8 +154,25 @@ int main(int argc, char** argv) {
               result.final_eval_mae, result.final_eval_rmse,
               result.best_eval_rmse, result.seconds_per_epoch);
 
+  // --model_format picks the on-disk encoding (docs/performance.md):
+  // raw = legacy DSP1, compressed = lossless DSP2 (default), quant = int8
+  // DSP2 so serving replicas load ready-to-run quantized weights.
+  std::string format = cli.GetString("model_format", "compressed");
+  nn::ParameterStore::SaveFormat save_format =
+      nn::ParameterStore::SaveFormat::kCompressed;
+  if (format == "raw") {
+    save_format = nn::ParameterStore::SaveFormat::kRaw;
+  } else if (format == "quant") {
+    save_format = nn::ParameterStore::SaveFormat::kQuantized;
+  } else if (format != "compressed") {
+    std::fprintf(stderr,
+                 "--model_format: unknown value '%s' "
+                 "(expected raw|compressed|quant)\n",
+                 format.c_str());
+    return 2;
+  }
   std::string out = cli.GetString("model", "model.bin");
-  st = params.Save(out);
+  st = params.Save(out, save_format);
   if (!st.ok()) {
     std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
     return 1;
