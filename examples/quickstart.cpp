@@ -15,8 +15,13 @@
 #include "util/string_util.h"
 #include "sim/city_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace deepsd;
+
+  // Where to save the trained parameters. Pass a path (e.g. a temp dir) to
+  // keep the artifact out of your working tree; the default lands in the
+  // current directory.
+  const char* model_path = argc > 1 ? argv[1] : "quickstart_model.bin";
 
   // 1. A small city: 10 areas, 3 weeks. Replace with data::LoadDataset(...)
   //    to use a previously saved real dataset.
@@ -77,7 +82,8 @@ int main() {
 
   // Persist the trained model for later fine-tuning (see
   // extend_with_traffic.cpp).
-  util::Status st = params.Save("quickstart_model.bin");
-  std::printf("\nsaved parameters: %s\n", st.ToString().c_str());
+  util::Status st = params.Save(model_path);
+  std::printf("\nsaved parameters to %s: %s\n", model_path,
+              st.ToString().c_str());
   return st.ok() ? 0 : 1;
 }

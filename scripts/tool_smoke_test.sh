@@ -60,6 +60,37 @@ DEEPSD_KERNEL=quant "$TOOLS/deepsd_predict" --data=city.bin --model=quant.bin \
 test -s predq.csv
 head -1 predq.csv | grep -q "predicted_gap"
 
+echo "== model store: pack / verify / inspect / diff =="
+"$TOOLS/deepsd_store" pack --params=full.bin --data=city.bin --mode=basic \
+    --out=full.dsar --version_id=smoke-v1 --ea --ref_days=7
+"$TOOLS/deepsd_store" verify full.dsar | grep -q "OK"
+"$TOOLS/deepsd_store" inspect full.dsar | grep -q "params.bin"
+"$TOOLS/deepsd_store" inspect full.dsar | grep -q "smoke-v1"
+"$TOOLS/deepsd_store" pack --params=full.bin --data=city.bin --mode=basic \
+    --out=full_c.dsar --version_id=smoke-v1 --encoding=compressed
+"$TOOLS/deepsd_store" diff full.dsar full_c.dsar | grep -q "value-identical"
+"$TOOLS/deepsd_store" pack --params=base.bin --data=city.bin --mode=basic \
+    --no_traffic --out=base.dsar --version_id=smoke-v0
+if "$TOOLS/deepsd_store" diff full.dsar base.dsar >/dev/null; then
+  echo "expected diff to report differing artifacts" >&2
+  exit 1
+fi
+echo "== corrupt artifact rejected with a typed error =="
+cp full.dsar corrupt.dsar
+# Corrupt the first payload byte (section 0 sits at the first page
+# boundary); verify must catch it via the section CRC.
+printf '\xff' | dd of=corrupt.dsar bs=1 seek=4096 count=1 conv=notrunc \
+    status=none
+if "$TOOLS/deepsd_store" verify corrupt.dsar 2>/dev/null; then
+  echo "expected verify to fail on a flipped bit" >&2
+  exit 1
+fi
+
+echo "== swap-under-load: 100 hot swaps, zero drops, zero torn reads =="
+"$TOOLS/deepsd_simulate" --out=swap_city.bin --areas=12 --days=4 --seed=13 \
+    --mean_scale=0.5 --shards=2 --swap --swap_publishes=100 \
+    | grep -q "swap scenario OK"
+
 echo "== predict =="
 "$TOOLS/deepsd_predict" --data=city.bin --model=full.bin --mode=basic \
     --ref_days=7 --day=8 --csv=pred.csv --threads=2

@@ -175,6 +175,42 @@ float EmpiricalAverage::Predict(int area, int t) const {
              : 0.0f;
 }
 
+EmpiricalAverage::DenseTables EmpiricalAverage::ToDense(int num_areas) const {
+  if (num_areas < 0) {
+    int64_t max_area = -1;
+    for (const auto& [key, acc] : by_area_t_) {
+      max_area = std::max(max_area, key / data::kMinutesPerDay);
+    }
+    for (const auto& [area, acc] : by_area_) {
+      max_area = std::max(max_area, static_cast<int64_t>(area));
+    }
+    num_areas = static_cast<int>(max_area + 1);
+  }
+  DenseTables dense;
+  dense.num_areas = num_areas;
+  const float kAbsent = std::numeric_limits<float>::quiet_NaN();
+  dense.cell_means.assign(
+      static_cast<size_t>(num_areas) * data::kMinutesPerDay, kAbsent);
+  dense.area_means.assign(static_cast<size_t>(num_areas), kAbsent);
+  // Means are materialized with the exact expression Predict() evaluates,
+  // so dense lookups reproduce the hash-table answers bit for bit.
+  for (const auto& [key, acc] : by_area_t_) {
+    const int64_t area = key / data::kMinutesPerDay;
+    if (key < 0 || area >= num_areas || acc.count <= 0) continue;
+    dense.cell_means[static_cast<size_t>(key)] =
+        static_cast<float>(acc.sum / acc.count);
+  }
+  for (const auto& [area, acc] : by_area_) {
+    if (area < 0 || area >= num_areas || acc.count <= 0) continue;
+    dense.area_means[static_cast<size_t>(area)] =
+        static_cast<float>(acc.sum / acc.count);
+  }
+  dense.global_mean = global_.count > 0
+                          ? static_cast<float>(global_.sum / global_.count)
+                          : kAbsent;
+  return dense;
+}
+
 std::vector<float> EmpiricalAverage::Predict(
     const std::vector<data::PredictionItem>& items) const {
   std::vector<float> out;

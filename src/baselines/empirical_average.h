@@ -12,11 +12,23 @@
 namespace deepsd {
 namespace baselines {
 
+/// Minimal interface of a per-(area, minute) gap baseline — what serving's
+/// fallback ladder (serving::OnlinePredictor tier 3) actually consumes.
+/// Implemented by the fitted EmpiricalAverage below and by the model
+/// store's zero-copy MappedEmpiricalAverage (store/stored_model.h), so a
+/// predictor can answer from either without caring where the tables live.
+class GapBaseline {
+ public:
+  virtual ~GapBaseline() = default;
+  /// Predicted gap for (area, minute-of-day t). Must be thread-safe.
+  virtual float Predict(int area, int t) const = 0;
+};
+
 /// The paper's "Empirical Average" baseline (Sec VI-C): for a query
 /// (area, t) predict the mean gap of the same (area, t) over the training
 /// days. Falls back to the area mean, then the global mean, for unseen
 /// timeslots.
-class EmpiricalAverage {
+class EmpiricalAverage : public GapBaseline {
  public:
   /// On-disk/wire encodings of the fitted tables ("DEA1" format,
   /// docs/performance.md). Both round-trip bit-exactly.
@@ -31,8 +43,26 @@ class EmpiricalAverage {
 
   void Fit(const std::vector<data::PredictionItem>& train_items);
 
-  float Predict(int area, int t) const;
+  float Predict(int area, int t) const override;
   std::vector<float> Predict(const std::vector<data::PredictionItem>& items) const;
+
+  /// Dense snapshot of the fitted tables for the model store's flat,
+  /// mmap-able "ea" section. Means are precomputed exactly as Predict
+  /// computes them — static_cast<float>(sum / count) — and absent slots
+  /// are NaN, so a lookup over the dense form walks the same
+  /// cell → area → global fallback chain bit for bit.
+  struct DenseTables {
+    int num_areas = 0;
+    /// Row-major [num_areas * kMinutesPerDay]; NaN = no training sample.
+    std::vector<float> cell_means;
+    /// [num_areas]; NaN = area never seen.
+    std::vector<float> area_means;
+    /// NaN when nothing was fitted (Predict then answers 0).
+    float global_mean = 0.0f;
+  };
+  /// `num_areas` < 0 derives the area count from the largest fitted key.
+  /// Fitted keys at or past a caller-provided `num_areas` are dropped.
+  DenseTables ToDense(int num_areas = -1) const;
 
   /// Serializes the fitted tables (encoding byte + payload, no framing).
   /// Deterministic: equal fitted state yields equal bytes.

@@ -428,5 +428,24 @@ util::Status ValidateResume(const TrainerCheckpoint& ck,
   return util::Status::OK();
 }
 
+void ApplyNamedTensors(const std::vector<nn::NamedTensor>& tensors,
+                       nn::ParameterStore* store) {
+  for (const nn::NamedTensor& nt : tensors) {
+    nn::Parameter* p = store->Find(nt.name);
+    DEEPSD_CHECK(p != nullptr && nt.value.SameShape(p->value));
+    p->value = nt.value;
+    p->BumpVersion();
+  }
+}
+
+void ApplyCheckpointParams(const TrainerCheckpoint& ck,
+                           nn::ParameterStore* store) {
+  ApplyNamedTensors(ck.params, store);
+  for (const TrainerCheckpoint::Calibration& c : ck.calibration) {
+    nn::Parameter* p = store->Find(c.name);
+    if (p != nullptr) p->act_absmax = c.act_absmax;
+  }
+}
+
 }  // namespace core
 }  // namespace deepsd

@@ -104,6 +104,20 @@ util::Status ValidateResume(const TrainerCheckpoint& ck,
                             const TrainConfig& config,
                             const nn::ParameterStore& store);
 
+/// Writes name-addressed tensors back into the matching parameters of
+/// `store`, bumping versions so derived caches (int8 weights) invalidate.
+/// Name and shape must match — CHECK otherwise; callers validate first
+/// (ValidateResume or an explicit coverage check).
+void ApplyNamedTensors(const std::vector<nn::NamedTensor>& tensors,
+                       nn::ParameterStore* store);
+
+/// The full "make `store` serve this checkpoint's model" step shared by
+/// trainer resume and the model-store packer (store/pack.h): applies
+/// ck.params via ApplyNamedTensors, then restores the per-parameter int8
+/// calibration.
+void ApplyCheckpointParams(const TrainerCheckpoint& ck,
+                           nn::ParameterStore* store);
+
 }  // namespace core
 }  // namespace deepsd
 

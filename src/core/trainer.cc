@@ -57,18 +57,6 @@ std::vector<nn::NamedTensor> ExportParams(const nn::ParameterStore& store) {
   return out;
 }
 
-/// Writes checkpointed values back into the matching parameters.
-/// ValidateResume already guaranteed full name/shape coverage.
-void ApplyParams(nn::ParameterStore* store,
-                 const std::vector<nn::NamedTensor>& tensors) {
-  for (const nn::NamedTensor& nt : tensors) {
-    nn::Parameter* p = store->Find(nt.name);
-    DEEPSD_CHECK(p != nullptr && nt.value.SameShape(p->value));
-    p->value = nt.value;
-    p->BumpVersion();
-  }
-}
-
 }  // namespace
 
 std::pair<double, double> EvaluateMaeRmse(const DeepSDModel& model,
@@ -177,14 +165,10 @@ TrainResult Trainer::Train(
     }
     DEEPSD_CHECK(st.ok());
     DEEPSD_CHECK(resume->order.size() == train_source.size());
-    ApplyParams(store, resume->params);
-    // Restore int8 calibration (v3 checkpoints). Harmless for resume
-    // determinism: act_absmax never enters fp32 math, and the trainer
-    // recalibrates at the end of the run anyway.
-    for (const TrainerCheckpoint::Calibration& c : resume->calibration) {
-      nn::Parameter* p = store->Find(c.name);
-      if (p != nullptr) p->act_absmax = c.act_absmax;
-    }
+    // Parameter values + int8 calibration. Calibration is harmless for
+    // resume determinism: act_absmax never enters fp32 math, and the
+    // trainer recalibrates at the end of the run anyway.
+    ApplyCheckpointParams(*resume, store);
     if (use_adam) {
       adam.set_timestep(resume->adam_t);
       adam.ImportState(*store, resume->adam_m, resume->adam_v);
@@ -198,7 +182,7 @@ TrainResult Trainer::Train(
     result.history = resume->history;
     for (const TrainerCheckpoint::BestEntry& e : resume->best) {
       Snapshot snap{e.rmse, store->Clone()};
-      ApplyParams(snap.store.get(), e.params);
+      ApplyNamedTensors(e.params, snap.store.get());
       best.push_back(std::move(snap));
     }
     start_epoch = resume->epoch;

@@ -73,9 +73,11 @@ NodeId Graph::Input(Tensor&& value) {
 
 NodeId Graph::Param(Parameter* p) {
   DEEPSD_CHECK(p != nullptr);
-  Tensor out =
-      AcquireValueSlot(p->value.rows(), p->value.cols(), /*zeroed=*/false);
-  std::copy(p->value.data(), p->value.data() + p->value.size(), out.data());
+  // Read through a const ref: the value may be a read-only view into a
+  // model-store mapping (nn/tensor.h).
+  const Tensor& value = p->value;
+  Tensor out = AcquireValueSlot(value.rows(), value.cols(), /*zeroed=*/false);
+  std::copy(value.data(), value.data() + value.size(), out.data());
   NodeId id = AddNode(Op::kParam, std::move(out));
   node(id).param = p;
   return id;
@@ -331,14 +333,15 @@ NodeId Graph::Dropout(NodeId x, float p) {
 
 NodeId Graph::Embed(Parameter* table, const std::vector<int>& ids) {
   DEEPSD_CHECK(table != nullptr);
-  const int vocab = table->value.rows();
-  const int dim = table->value.cols();
+  const Tensor& value = table->value;  // may be a read-only store view
+  const int vocab = value.rows();
+  const int dim = value.cols();
   Tensor out =
       AcquireValueSlot(static_cast<int>(ids.size()), dim, /*zeroed=*/false);
   for (size_t b = 0; b < ids.size(); ++b) {
     DEEPSD_CHECK_MSG(ids[b] >= 0 && ids[b] < vocab,
                      "embedding id out of range: " + table->name);
-    std::copy(table->value.row(ids[b]), table->value.row(ids[b]) + dim,
+    std::copy(value.row(ids[b]), value.row(ids[b]) + dim,
               out.row(static_cast<int>(b)));
   }
   NodeId id = AddNode(Op::kEmbed, std::move(out));

@@ -33,9 +33,10 @@ NodeId Embedding::Apply(Graph* g, const std::vector<int>& ids) const {
 }
 
 std::vector<float> Embedding::Lookup(int id) const {
-  DEEPSD_CHECK(id >= 0 && id < table_->value.rows());
-  const float* row = table_->value.row(id);
-  return std::vector<float>(row, row + table_->value.cols());
+  const nn::Tensor& value = table_->value;  // may be a read-only store view
+  DEEPSD_CHECK(id >= 0 && id < value.rows());
+  const float* row = value.row(id);
+  return std::vector<float>(row, row + value.cols());
 }
 
 double Embedding::Distance(int id_a, int id_b) const {

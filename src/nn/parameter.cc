@@ -309,18 +309,20 @@ util::Status ParameterStore::Save(const std::string& path,
     out.PutRaw("DSP1", 4);
     out.PutPod<uint64_t>(params_.size());
     for (const auto& p : params_) {
+      const Tensor& value = p->value;  // may be a read-only store view
       out.PutString(p->name);
-      out.PutPod<int32_t>(p->value.rows());
-      out.PutPod<int32_t>(p->value.cols());
-      out.PutRaw(p->value.data(), p->value.size() * sizeof(float));
+      out.PutPod<int32_t>(value.rows());
+      out.PutPod<int32_t>(value.cols());
+      out.PutRaw(value.data(), value.size() * sizeof(float));
     }
   } else {
     util::ByteWriter payload;
     payload.PutPod<uint64_t>(params_.size());
     for (const auto& p : params_) {
+      const Tensor& value = p->value;  // may be a read-only store view
       payload.PutString(p->name);
-      payload.PutPod<int32_t>(p->value.rows());
-      payload.PutPod<int32_t>(p->value.cols());
+      payload.PutPod<int32_t>(value.rows());
+      payload.PutPod<int32_t>(value.cols());
       payload.PutPod<float>(p->act_absmax);
       // Only calibrated GEMM weights (act_absmax > 0) go int8. Bias rows
       // ([1, n]) are a rounding-error-sized fraction of the bytes and the
@@ -328,7 +330,7 @@ util::Status ParameterStore::Save(const std::string& path,
       // fp32 lookups, never through a quant GEMM, so quantizing them would
       // make a loaded quant file diverge from in-memory quant serving.
       const bool int8_tensor = format == SaveFormat::kQuantized &&
-                               p->value.rows() > 1 && p->act_absmax > 0.0f;
+                               value.rows() > 1 && p->act_absmax > 0.0f;
       if (int8_tensor) {
         const kernels::QuantizedWeights& q = p->Quantized();
         payload.PutPod<uint8_t>(kTensorInt8);
@@ -336,7 +338,7 @@ util::Status ParameterStore::Save(const std::string& path,
         payload.PutRaw(q.data.data(), q.data.size());
       } else {
         payload.PutPod<uint8_t>(kTensorFloat);
-        util::PutFloatBlock(&payload, p->value.data(), p->value.size());
+        util::PutFloatBlock(&payload, value.data(), value.size());
       }
     }
     out.PutRaw("DSP2", 4);

@@ -53,6 +53,17 @@ struct Parameter {
   /// round-trip.
   void InstallQuantized(kernels::QuantizedWeights qw);
 
+  /// Replaces `value` (and the int8 calibration) under the version
+  /// discipline every other value-mutation path follows. The model store
+  /// binds artifact tensors — including read-only Tensor::View aliases
+  /// into the file mapping — through this, so a stale quant cache can
+  /// never survive a rebind.
+  void InstallValue(Tensor new_value, float new_act_absmax) {
+    value = std::move(new_value);
+    act_absmax = new_act_absmax;
+    BumpVersion();
+  }
+
  private:
   std::atomic<uint64_t> version_{1};
   mutable std::mutex quant_mu_;

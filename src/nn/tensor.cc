@@ -7,7 +7,9 @@ namespace nn {
 
 double Tensor::SquaredNorm() const {
   double s = 0.0;
-  for (float v : data_) s += static_cast<double>(v) * v;
+  const float* p = data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) s += static_cast<double>(p[i]) * p[i];
   return s;
 }
 

@@ -41,7 +41,55 @@ OnlinePredictor::OnlinePredictor(const core::DeepSDModel* model,
                    "model and assembler window mismatch");
 }
 
+OnlinePredictor::OnlinePredictor(store::VersionedModel* versions,
+                                 const feature::FeatureAssembler* history,
+                                 FallbackConfig fallback)
+    : versions_(versions),
+      history_(history),
+      fallback_(fallback),
+      buffer_(history->dataset().num_areas(), history->config().window) {
+  DEEPSD_CHECK(versions != nullptr);
+  DEEPSD_CHECK_MSG(versions->has_version(),
+                   "versioned predictor needs an initial published version");
+  // Later publishes are config-gated by VersionedModel::Publish, so the
+  // window agreed on here stays agreed for the predictor's lifetime.
+  store::VersionedModel::Ref ref = versions->Acquire();
+  DEEPSD_CHECK_MSG(
+      ref.version()->model().config().window == history->config().window,
+      "model and assembler window mismatch");
+}
+
+util::Status OnlinePredictor::SwapModel(
+    std::shared_ptr<const store::ModelVersion> version) {
+  if (versions_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "predictor serves a static model; build it over a "
+        "store::VersionedModel to hot-swap");
+  }
+  return versions_->Publish(std::move(version));
+}
+
+OnlinePredictor::Resolved OnlinePredictor::Resolve(
+    store::PinnedModel pinned) const {
+  if (pinned.version != nullptr) {
+    const baselines::GapBaseline* vb = pinned.version->baseline();
+    return {&pinned.version->model(), vb != nullptr ? vb : baseline_,
+            pinned.sequence};
+  }
+  DEEPSD_CHECK_MSG(model_ != nullptr,
+                   "versioned predictor resolved without a pin");
+  return {model_, baseline_, 0};
+}
+
 FallbackTier OnlinePredictor::CurrentTier() const {
+  if (versions_ != nullptr) {
+    store::VersionedModel::Ref ref = versions_->Acquire();
+    return TierFor(ref.version()->model());
+  }
+  return TierFor(*model_);
+}
+
+FallbackTier OnlinePredictor::TierFor(const core::DeepSDModel& model) const {
   const int64_t now = buffer_.now_abs();
   auto age = [now](int64_t last) {
     return last < 0 ? std::numeric_limits<int64_t>::max() : now - last;
@@ -59,7 +107,7 @@ FallbackTier OnlinePredictor::CurrentTier() const {
   }
 
   // Environment feeds only matter to models that consume them.
-  if (model_->config().use_weather) {
+  if (model.config().use_weather) {
     const int64_t a = age(buffer_.last_weather_abs());
     if (a > fallback_.env_fresh_minutes + fallback_.weather_hold_minutes) {
       tier = std::max(tier, static_cast<int>(FallbackTier::kEmpiricalBlock));
@@ -67,7 +115,7 @@ FallbackTier OnlinePredictor::CurrentTier() const {
       tier = std::max(tier, static_cast<int>(FallbackTier::kZeroOrderHold));
     }
   }
-  if (model_->config().use_traffic) {
+  if (model.config().use_traffic) {
     const int64_t a = age(buffer_.last_traffic_abs());
     if (a > fallback_.env_fresh_minutes + fallback_.traffic_hold_minutes) {
       tier = std::max(tier, static_cast<int>(FallbackTier::kEmpiricalBlock));
@@ -79,13 +127,18 @@ FallbackTier OnlinePredictor::CurrentTier() const {
 }
 
 feature::ModelInput OnlinePredictor::AssembleLive(int area) const {
-  return AssembleAtTier(area, CurrentTier());
+  if (versions_ != nullptr) {
+    store::VersionedModel::Ref ref = versions_->Acquire();
+    const core::DeepSDModel& model = ref.version()->model();
+    return AssembleAtTier(area, TierFor(model), model);
+  }
+  return AssembleAtTier(area, TierFor(*model_), *model_);
 }
 
-feature::ModelInput OnlinePredictor::AssembleAtTier(int area,
-                                                    FallbackTier tier) const {
+feature::ModelInput OnlinePredictor::AssembleAtTier(
+    int area, FallbackTier tier, const core::DeepSDModel& model) const {
   const bool advanced =
-      model_->mode() == core::DeepSDModel::Mode::kAdvanced;
+      model.mode() == core::DeepSDModel::Mode::kAdvanced;
   const int t = buffer_.minute();
   const int t10 = t + data::kGapWindow;
   // Order vectors fall back to the day-of-week empirical block once the
@@ -137,7 +190,7 @@ feature::ModelInput OnlinePredictor::AssembleAtTier(int area,
   // stream buffer rejects negatives but cannot know the model's vocab)
   // degrade to the unknown type rather than tripping the embedding check.
   for (int& type : in.weather_types) {
-    if (type < 0 || type >= model_->config().weather_vocab) type = 0;
+    if (type < 0 || type >= model.config().weather_vocab) type = 0;
   }
   const int L = history_->config().window;
   for (int i = 0; i < L; ++i) {
@@ -161,7 +214,7 @@ float OnlinePredictor::Predict(int area) const {
   static obs::Histogram* latency_us =
       obs::MetricsRegistry::Global().GetHistogram("serving/predict_us");
   DEEPSD_SPAN("serving/predict", latency_us);
-  return AssembleAndPredict({area}, util::Deadline::Infinite()).gaps[0];
+  return AssembleAndPredict({area}, util::Deadline::Infinite(), {}).gaps[0];
 }
 
 std::vector<float> OnlinePredictor::PredictAll() const {
@@ -172,7 +225,7 @@ std::vector<float> OnlinePredictor::PredictAll() const {
   for (int a = 0; a < buffer_.num_areas(); ++a) {
     area_ids[static_cast<size_t>(a)] = a;
   }
-  return AssembleAndPredict(area_ids, util::Deadline::Infinite()).gaps;
+  return AssembleAndPredict(area_ids, util::Deadline::Infinite(), {}).gaps;
 }
 
 std::vector<float> OnlinePredictor::PredictBatch(
@@ -182,25 +235,48 @@ std::vector<float> OnlinePredictor::PredictBatch(
 
 PredictResult OnlinePredictor::PredictBatch(const std::vector<int>& area_ids,
                                             util::Deadline deadline) const {
+  return PredictBatch(area_ids, deadline, {});
+}
+
+PredictResult OnlinePredictor::PredictBatch(const std::vector<int>& area_ids,
+                                            util::Deadline deadline,
+                                            store::PinnedModel pinned) const {
   static obs::Histogram* latency_us =
       obs::MetricsRegistry::Global().GetHistogram("serving/predict_batch_us");
   DEEPSD_SPAN("serving/predict_batch", latency_us);
-  return AssembleAndPredict(area_ids, deadline);
+  return AssembleAndPredict(area_ids, deadline, pinned);
 }
 
-std::vector<float> OnlinePredictor::CheapGaps(
-    const std::vector<int>& area_ids) const {
+std::vector<float> OnlinePredictor::CheapGapsFrom(
+    const std::vector<int>& area_ids,
+    const baselines::GapBaseline* baseline) const {
   std::vector<float> gaps;
   gaps.reserve(area_ids.size());
   const int t = buffer_.minute();
   for (int area : area_ids) {
-    gaps.push_back(baseline_ != nullptr ? baseline_->Predict(area, t) : 0.0f);
+    gaps.push_back(baseline != nullptr ? baseline->Predict(area, t) : 0.0f);
   }
   return gaps;
 }
 
+std::vector<float> OnlinePredictor::CheapGaps(
+    const std::vector<int>& area_ids) const {
+  return CheapGaps(area_ids, {});
+}
+
+std::vector<float> OnlinePredictor::CheapGaps(
+    const std::vector<int>& area_ids, store::PinnedModel pinned) const {
+  store::VersionedModel::Ref own;
+  if (pinned.version == nullptr && versions_ != nullptr) {
+    own = versions_->Acquire();
+    pinned = own.pinned();
+  }
+  return CheapGapsFrom(area_ids, Resolve(pinned).baseline);
+}
+
 PredictResult OnlinePredictor::AssembleAndPredict(
-    const std::vector<int>& area_ids, util::Deadline deadline) const {
+    const std::vector<int>& area_ids, util::Deadline deadline,
+    store::PinnedModel pinned) const {
   static obs::Counter* degraded = obs::MetricsRegistry::Global().GetCounter(
       "serving/degraded_predictions");
   static obs::Counter* tier_zoh =
@@ -218,15 +294,27 @@ PredictResult OnlinePredictor::AssembleAndPredict(
           "serving/predict_deadline_expired");
   if (area_ids.empty()) return {};
 
+  // Pin one model version for the whole call (no-op for a static
+  // predictor or when the caller — the scatter-gather coordinator —
+  // already pinned). Everything below resolves against `rm`, so a
+  // concurrent SwapModel can never mix versions within this result.
+  store::VersionedModel::Ref own;
+  if (pinned.version == nullptr && versions_ != nullptr) {
+    own = versions_->Acquire();
+    pinned = own.pinned();
+  }
+  const Resolved rm = Resolve(pinned);
+
   PredictionObserver* observer = observer_.load(std::memory_order_acquire);
   const int64_t now_abs = buffer_.now_abs();
   std::vector<float> activity;
 
   PredictResult result;
-  FallbackTier tier = CurrentTier();
+  result.model_sequence = rm.sequence;
+  FallbackTier tier = TierFor(*rm.model);
   // Without a baseline attached the ladder's last rung is the empirical
   // block — still an answer, just a less specific one.
-  if (tier == FallbackTier::kBaseline && baseline_ == nullptr) {
+  if (tier == FallbackTier::kBaseline && rm.baseline == nullptr) {
     tier = FallbackTier::kEmpiricalBlock;
   }
 
@@ -234,7 +322,7 @@ PredictResult OnlinePredictor::AssembleAndPredict(
   // is the cheapest one we have, reported as tier-3 so downstream breakers
   // see it for what it is. Shared by every cancellation checkpoint below.
   auto expire = [&]() -> PredictResult& {
-    result.gaps = CheapGaps(area_ids);
+    result.gaps = CheapGapsFrom(area_ids, rm.baseline);
     result.tier = FallbackTier::kBaseline;
     result.deadline_expired = true;
     expired_calls->Inc();
@@ -256,7 +344,7 @@ PredictResult OnlinePredictor::AssembleAndPredict(
     const int t = buffer_.minute();
     preds.reserve(area_ids.size());
     for (int area : area_ids) {
-      preds.push_back(baseline_->Predict(area, t));
+      preds.push_back(rm.baseline->Predict(area, t));
     }
   } else {
     // Assembly parallelizes over areas (each writes its own slot; the
@@ -282,7 +370,7 @@ PredictResult OnlinePredictor::AssembleAndPredict(
             return;
           }
           for (size_t i = i0; i < i1; ++i) {
-            inputs[i] = AssembleAtTier(area_ids[i], tier);
+            inputs[i] = AssembleAtTier(area_ids[i], tier, *rm.model);
           }
         });
     if (assembly_expired.load(std::memory_order_relaxed)) return expire();
@@ -295,7 +383,7 @@ PredictResult OnlinePredictor::AssembleAndPredict(
     }
 
     if (deadline.infinite()) {
-      preds = model_->Predict(inputs, /*batch_size=*/16);
+      preds = rm.model->Predict(inputs, /*batch_size=*/16);
     } else {
       // Checkpoint 3: the forward pass runs in sub-batches (multiples of
       // the internal batch of 16 rows, so the chunk structure — and the
@@ -309,7 +397,7 @@ PredictResult OnlinePredictor::AssembleAndPredict(
         std::vector<feature::ModelInput> sub(
             inputs.begin() + static_cast<long>(begin),
             inputs.begin() + static_cast<long>(end));
-        std::vector<float> sub_preds = model_->Predict(sub, /*batch_size=*/16);
+        std::vector<float> sub_preds = rm.model->Predict(sub, /*batch_size=*/16);
         preds.insert(preds.end(), sub_preds.begin(), sub_preds.end());
       }
     }
@@ -318,8 +406,9 @@ PredictResult OnlinePredictor::AssembleAndPredict(
     const int t = buffer_.minute();
     for (size_t i = 0; i < preds.size(); ++i) {
       if (!std::isfinite(preds[i])) {
-        preds[i] = baseline_ != nullptr ? baseline_->Predict(area_ids[i], t)
-                                        : 0.0f;
+        preds[i] = rm.baseline != nullptr
+                       ? rm.baseline->Predict(area_ids[i], t)
+                       : 0.0f;
         nonfinite->Inc();
         tier = FallbackTier::kBaseline;
       }

@@ -8,7 +8,9 @@
 #include "core/model.h"
 #include "feature/feature_assembler.h"
 #include "serving/order_stream.h"
+#include "store/versioned_model.h"
 #include "util/deadline.h"
+#include "util/status.h"
 
 namespace deepsd {
 namespace serving {
@@ -40,6 +42,11 @@ struct PredictResult {
   /// gaps come from the cheap path (baseline, or 0 without one), reported
   /// as tier kBaseline. The serving queue counts these as deadline misses.
   bool deadline_expired = false;
+  /// Publish sequence of the model version this call was served from; 0
+  /// when the predictor serves a static (unversioned) model. Every gap in
+  /// `gaps` — including degraded and expired answers — came from this one
+  /// version: a hot swap mid-call can never mix versions within a result.
+  uint64_t model_sequence = 0;
 };
 
 /// Tap on completed prediction batches — the online accuracy tracker's
@@ -105,13 +112,40 @@ class OnlinePredictor {
                   const feature::FeatureAssembler* history,
                   FallbackConfig fallback = {});
 
+  /// Versioned (hot-swappable) variant: predictions resolve against
+  /// `versions`' current published model — pinned per call, so one call
+  /// never mixes versions — and SwapModel() publishes replacements with
+  /// zero dropped or blocked requests (store/versioned_model.h).
+  /// `versions` must already hold a published version (the swap path
+  /// replaces models, it does not bootstrap an empty predictor) and must
+  /// outlive the predictor.
+  OnlinePredictor(store::VersionedModel* versions,
+                  const feature::FeatureAssembler* history,
+                  FallbackConfig fallback = {});
+
   OrderStreamBuffer& buffer() { return buffer_; }
   const OrderStreamBuffer& buffer() const { return buffer_; }
 
+  /// Publishes a new model version for a versioned predictor: requests
+  /// already in flight finish on the version they pinned, every later
+  /// request sees the new one. Typed failures: FailedPrecondition when the
+  /// predictor was built over a static model, InvalidArgument when the
+  /// version is serving-incompatible with the current one.
+  util::Status SwapModel(std::shared_ptr<const store::ModelVersion> version);
+
+  /// True when this predictor serves hot-swappable versions.
+  bool versioned() const { return versions_ != nullptr; }
+  /// The publish sequence the next request would pin (0 when static).
+  uint64_t current_model_sequence() const {
+    return versions_ != nullptr ? versions_->stats().current_sequence : 0;
+  }
+
   /// Attaches the last-resort baseline (tier 3). Optional — without it the
   /// ladder stops at the empirical block. `baseline` must outlive the
-  /// predictor and be Fit on the same training period as `history`.
-  void set_baseline(const baselines::EmpiricalAverage* baseline) {
+  /// predictor and be Fit on the same training period as `history`. A
+  /// versioned predictor prefers the baseline packaged with the pinned
+  /// model version and uses this one only when the version ships none.
+  void set_baseline(const baselines::GapBaseline* baseline) {
     baseline_ = baseline;
   }
 
@@ -149,6 +183,15 @@ class OnlinePredictor {
   /// bit. Counted in serving/predict_deadline_expired when abandoned.
   PredictResult PredictBatch(const std::vector<int>& area_ids,
                              util::Deadline deadline) const;
+  /// Variant serving from an externally pinned model version — the
+  /// scatter-gather path: ShardedPredictor::PredictCity pins ONE version
+  /// and passes it to every shard's queue, so all slices of one city call
+  /// resolve against the same model even while SwapModel publishes
+  /// concurrently. An empty pin (default PinnedModel) resolves exactly
+  /// like the two-argument overload.
+  PredictResult PredictBatch(const std::vector<int>& area_ids,
+                             util::Deadline deadline,
+                             store::PinnedModel pinned) const;
 
   /// The assembled live features for one area at the current tier
   /// (exposed for tests: with fresh feeds it must agree with the offline
@@ -160,20 +203,44 @@ class OnlinePredictor {
   /// sharded scatter-gather also answers a *shed* shard's areas from it so
   /// one drowning shard degrades instead of failing the whole city call.
   std::vector<float> CheapGaps(const std::vector<int>& area_ids) const;
+  /// Pinned-version variant (see PredictBatch): a shed shard slice must be
+  /// answered from the same version as its siblings.
+  std::vector<float> CheapGaps(const std::vector<int>& area_ids,
+                               store::PinnedModel pinned) const;
 
  private:
+  /// The (model, baseline, sequence) one call serves from — a static
+  /// predictor's members, or the pinned version's payload.
+  struct Resolved {
+    const core::DeepSDModel* model = nullptr;
+    const baselines::GapBaseline* baseline = nullptr;
+    uint64_t sequence = 0;
+  };
+  /// Resolves an external pin, or the members for an empty pin on a
+  /// static predictor. An empty pin on a *versioned* predictor is resolved
+  /// by the caller acquiring a Ref first (AssembleAndPredict does).
+  Resolved Resolve(store::PinnedModel pinned) const;
+  /// CurrentTier against a specific model (the tier depends on which
+  /// input blocks the model consumes).
+  FallbackTier TierFor(const core::DeepSDModel& model) const;
   /// Tier-aware assembly body.
-  feature::ModelInput AssembleAtTier(int area, FallbackTier tier) const;
+  feature::ModelInput AssembleAtTier(int area, FallbackTier tier,
+                                     const core::DeepSDModel& model) const;
+  std::vector<float> CheapGapsFrom(const std::vector<int>& area_ids,
+                                   const baselines::GapBaseline* baseline) const;
   /// Shared body of Predict/PredictAll/PredictBatch: tier decision, then
   /// parallel per-area assembly + one batched forward pass (or the
   /// baseline at tier 3), then the non-finite output guard. Deadline
-  /// checkpoints abandon to the cheap path (CheapGaps).
+  /// checkpoints abandon to the cheap path (CheapGaps). Pins the current
+  /// version for the whole call when versioned and not already pinned.
   PredictResult AssembleAndPredict(const std::vector<int>& area_ids,
-                                   util::Deadline deadline) const;
+                                   util::Deadline deadline,
+                                   store::PinnedModel pinned) const;
 
-  const core::DeepSDModel* model_;
+  const core::DeepSDModel* model_ = nullptr;  ///< null when versioned
+  store::VersionedModel* versions_ = nullptr;  ///< null when static
   const feature::FeatureAssembler* history_;
-  const baselines::EmpiricalAverage* baseline_ = nullptr;
+  const baselines::GapBaseline* baseline_ = nullptr;
   FallbackConfig fallback_;
   std::atomic<PredictionObserver*> observer_{nullptr};
   OrderStreamBuffer buffer_;

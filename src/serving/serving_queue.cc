@@ -80,6 +80,12 @@ std::future<ServingResponse> ServingQueue::ShedNow(AdmitVerdict verdict) {
 
 std::future<ServingResponse> ServingQueue::Submit(std::vector<int> area_ids,
                                                   util::Deadline deadline) {
+  return Submit(std::move(area_ids), deadline, {});
+}
+
+std::future<ServingResponse> ServingQueue::Submit(std::vector<int> area_ids,
+                                                  util::Deadline deadline,
+                                                  store::PinnedModel pinned) {
   const int64_t now_us = util::NowSteadyUs();
   // Shed decisions happen on the caller's thread, in cheapest-first order;
   // each tallies exactly one verdict so admitted + shed == offered.
@@ -133,6 +139,7 @@ std::future<ServingResponse> ServingQueue::Submit(std::vector<int> area_ids,
   Request request;
   request.area_ids = std::move(area_ids);
   request.deadline = deadline;
+  request.pinned = pinned;
   request.enqueue_us = now_us;
   std::future<ServingResponse> future = request.promise.get_future();
   queue_.push_back(std::move(request));
@@ -170,8 +177,8 @@ void ServingQueue::WorkerLoop(int worker_index) {
     response.queue_wait_us = start_us - request.enqueue_us;
     queue_wait_hist_->Observe(
         static_cast<double>(response.queue_wait_us));
-    response.result =
-        predictor_->PredictBatch(request.area_ids, request.deadline);
+    response.result = predictor_->PredictBatch(
+        request.area_ids, request.deadline, request.pinned);
     const int64_t end_us = util::NowSteadyUs();
     response.total_us = end_us - request.enqueue_us;
     response.deadline_missed = response.result.deadline_expired ||

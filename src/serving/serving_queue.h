@@ -157,6 +157,14 @@ class ServingQueue {
   /// that resolves — immediately when shed, after execution when admitted.
   std::future<ServingResponse> Submit(std::vector<int> area_ids,
                                       util::Deadline deadline);
+  /// Submit pinned to a model version: the worker serves the request from
+  /// exactly `pinned` (see OnlinePredictor::PredictBatch). The pinning
+  /// caller must keep its VersionedModel::Ref alive until the returned
+  /// future resolves — ShardedPredictor::PredictCity holds it across the
+  /// gather. An empty pin behaves like the two-argument overload.
+  std::future<ServingResponse> Submit(std::vector<int> area_ids,
+                                      util::Deadline deadline,
+                                      store::PinnedModel pinned);
 
   /// Stops admission (subsequent Submits shed with kShedDraining) and
   /// blocks until every already-accepted request has resolved. Idempotent;
@@ -178,6 +186,9 @@ class ServingQueue {
   struct Request {
     std::vector<int> area_ids;
     util::Deadline deadline;
+    /// Model-version pin, passed by value to the worker's PredictBatch;
+    /// its validity is guaranteed by the submitting coordinator's Ref.
+    store::PinnedModel pinned;
     int64_t enqueue_us = 0;
     std::promise<ServingResponse> promise;
   };

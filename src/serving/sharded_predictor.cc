@@ -20,13 +20,36 @@ ShardedPredictor::ShardedPredictor(const core::DeepSDModel* model,
       num_areas_(history->dataset().num_areas()) {
   DEEPSD_CHECK_MSG(model != nullptr, "ShardedPredictor needs a model");
   DEEPSD_CHECK_MSG(history != nullptr, "ShardedPredictor needs history");
+  BuildShards([&](int) {
+    return std::make_unique<OnlinePredictor>(model, history,
+                                             config_.fallback);
+  });
+}
 
+ShardedPredictor::ShardedPredictor(store::VersionedModel* versions,
+                                   const feature::FeatureAssembler* history,
+                                   ShardedPredictorConfig config)
+    : config_(std::move(config)),
+      ring_(config_.ring),
+      num_areas_(history->dataset().num_areas()),
+      versions_(versions) {
+  DEEPSD_CHECK_MSG(versions_ != nullptr,
+                   "versioned ShardedPredictor needs a VersionedModel");
+  DEEPSD_CHECK_MSG(history != nullptr, "ShardedPredictor needs history");
+  BuildShards([&](int) {
+    return std::make_unique<OnlinePredictor>(versions_, history,
+                                             config_.fallback);
+  });
+}
+
+void ShardedPredictor::BuildShards(
+    const std::function<std::unique_ptr<OnlinePredictor>(int)>&
+        make_predictor) {
   const int n = ring_.num_shards();
   shards_.resize(static_cast<size_t>(n));
   for (int s = 0; s < n; ++s) {
     Shard& shard = shards_[static_cast<size_t>(s)];
-    shard.predictor = std::make_unique<OnlinePredictor>(model, history,
-                                                        config_.fallback);
+    shard.predictor = make_predictor(s);
     ServingQueueConfig qc = config_.queue;
     qc.metric_prefix = util::StrFormat("serving/shard%d", s);
     if (config_.per_shard_breakers) {
@@ -54,8 +77,22 @@ ServingQueue& ShardedPredictor::shard_queue(int shard) {
 }
 
 void ShardedPredictor::set_baseline(
-    const baselines::EmpiricalAverage* baseline) {
+    const baselines::GapBaseline* baseline) {
   for (Shard& shard : shards_) shard.predictor->set_baseline(baseline);
+}
+
+util::Status ShardedPredictor::SwapModel(
+    std::shared_ptr<const store::ModelVersion> version) {
+  if (versions_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "sharded predictor serves a static model; build it over a "
+        "store::VersionedModel to enable hot swap");
+  }
+  // One Publish flips the version for every shard at once — the replicas
+  // all read the same VersionedModel, so there is no per-shard rollout
+  // window in which different shards would serve different versions to
+  // newly arriving calls. (In-flight calls still finish on their pin.)
+  return versions_->Publish(std::move(version));
 }
 
 void ShardedPredictor::AddOrder(const data::Order& order) {
@@ -105,6 +142,19 @@ CityPredictResult ShardedPredictor::PredictCity(
   city.gaps.resize(area_ids.size(), 0.0f);
   if (area_ids.empty()) return city;
 
+  // Pin ONE version for the whole call, before the scatter, and hold the
+  // Ref across the gather: every shard slice — admitted, shed, or expired
+  // — resolves against this exact version, so a SwapModel racing this
+  // call can never produce a version-torn city answer, and the pinned
+  // mapping cannot be reclaimed while any slice still reads it.
+  store::VersionedModel::Ref pin;
+  store::PinnedModel pinned;
+  if (versions_ != nullptr) {
+    pin = versions_->Acquire();
+    pinned = pin.pinned();
+    city.model_sequence = pinned.sequence;
+  }
+
   const int n = ring_.num_shards();
   // Scatter: partition the request by the ring, remembering where each
   // area sits in the caller's order so the gather can write answers back
@@ -126,7 +176,7 @@ CityPredictResult ShardedPredictor::PredictCity(
     if (parts[static_cast<size_t>(s)].empty()) continue;
     futures[static_cast<size_t>(s)] =
         shards_[static_cast<size_t>(s)].queue->Submit(
-            parts[static_cast<size_t>(s)], ShardBudget(s, deadline));
+            parts[static_cast<size_t>(s)], ShardBudget(s, deadline), pinned);
   }
 
   // Gather + merge: worst tier wins, and only the shards that missed
@@ -149,9 +199,11 @@ CityPredictResult ShardedPredictor::PredictCity(
       slice = std::move(response.result.gaps);
       outcome.tier = response.result.tier;
       outcome.deadline_expired = response.deadline_missed;
+      outcome.model_sequence = response.result.model_sequence;
     } else {
-      slice = shards_[si].predictor->CheapGaps(parts[si]);
+      slice = shards_[si].predictor->CheapGaps(parts[si], pinned);
       outcome.tier = FallbackTier::kBaseline;
+      outcome.model_sequence = pinned.sequence;
       city.fully_served = false;
     }
     DEEPSD_CHECK_MSG(slice.size() == parts[si].size(),

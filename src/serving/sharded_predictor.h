@@ -59,6 +59,11 @@ struct ShardOutcome {
   FallbackTier tier = FallbackTier::kNone;
   /// True when the shard's budget expired before or during its batch.
   bool deadline_expired = false;
+  /// Publish sequence of the model version the shard's slice was served
+  /// from (0 when the predictor serves a static model). Under a versioned
+  /// predictor every shard of one call reports the SAME sequence — the
+  /// swap-under-load harness fails the build if it ever observes a mix.
+  uint64_t model_sequence = 0;
   int64_t queue_wait_us = 0;
   int64_t total_us = 0;
 };
@@ -76,6 +81,10 @@ struct CityPredictResult {
   bool deadline_expired = false;
   /// False when any shard was shed at admission (its slice is CheapGaps).
   bool fully_served = true;
+  /// Publish sequence the whole call was pinned to (0 when static). All
+  /// entries in `shards` carry this same value — PredictCity pins ONE
+  /// version before the scatter and holds it across the gather.
+  uint64_t model_sequence = 0;
   /// Per-shard outcomes for every shard this call touched, ascending by
   /// shard index. Idle shards (no areas routed to them) are absent.
   std::vector<ShardOutcome> shards;
@@ -153,6 +162,15 @@ class ShardedPredictor {
   ShardedPredictor(const core::DeepSDModel* model,
                    const feature::FeatureAssembler* history,
                    ShardedPredictorConfig config = {});
+  /// Versioned (hot-swappable) variant: every shard replica resolves
+  /// against the SAME VersionedModel — one read-only artifact mapping
+  /// shared by all N replicas instead of N parsed copies — and
+  /// PredictCity pins one version per call so a concurrent SwapModel can
+  /// never mix versions within a city answer. `versions` must already
+  /// hold a published version and must outlive the predictor.
+  ShardedPredictor(store::VersionedModel* versions,
+                   const feature::FeatureAssembler* history,
+                   ShardedPredictorConfig config = {});
   /// Drains every shard queue, then joins their workers.
   ~ShardedPredictor();
 
@@ -169,7 +187,21 @@ class ShardedPredictor {
   ServingQueue& shard_queue(int shard);
 
   /// Attaches the last-resort baseline to every shard replica.
-  void set_baseline(const baselines::EmpiricalAverage* baseline);
+  void set_baseline(const baselines::GapBaseline* baseline);
+
+  /// Publishes a new model version for a versioned predictor (see
+  /// OnlinePredictor::SwapModel): in-flight city calls finish on the
+  /// version they pinned, later calls see the new one, and no request is
+  /// dropped or blocked by the swap. FailedPrecondition when built over a
+  /// static model; InvalidArgument on a serving-incompatible version.
+  util::Status SwapModel(std::shared_ptr<const store::ModelVersion> version);
+
+  /// True when this predictor serves hot-swappable versions.
+  bool versioned() const { return versions_ != nullptr; }
+  /// The publish sequence the next city call would pin (0 when static).
+  uint64_t current_model_sequence() const {
+    return versions_ != nullptr ? versions_->stats().current_sequence : 0;
+  }
 
   // ---- feed routing -------------------------------------------------
   /// Routes the order to its owning shard and notes it on the others
@@ -210,10 +242,16 @@ class ShardedPredictor {
   };
 
   util::Deadline ShardBudget(int shard, util::Deadline caller) const;
+  /// Shared ctor body (shard construction); `make_predictor` builds one
+  /// replica (static or versioned).
+  void BuildShards(
+      const std::function<std::unique_ptr<OnlinePredictor>(int)>&
+          make_predictor);
 
   ShardedPredictorConfig config_;
   ShardRing ring_;
   int num_areas_;
+  store::VersionedModel* versions_ = nullptr;  ///< null when static
   std::vector<Shard> shards_;
 };
 

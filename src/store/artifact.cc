@@ -1,0 +1,84 @@
+#include "store/artifact.h"
+
+#include <cstring>
+
+#include "util/byte_io.h"
+#include "util/crc32.h"
+#include "util/logging.h"
+
+namespace deepsd {
+namespace store {
+
+void ArtifactWriter::AddSection(const std::string& kind,
+                                std::vector<char> payload) {
+  DEEPSD_CHECK_MSG(!kind.empty() && kind.size() < sizeof(SectionEntry::kind),
+                   "section kind must be 1..15 bytes");
+  sections_.push_back({kind, std::move(payload)});
+}
+
+std::vector<char> ArtifactWriter::Serialize() const {
+  const uint64_t toc_offset = sizeof(FileHeader);
+  const uint64_t toc_bytes = sections_.size() * sizeof(SectionEntry);
+
+  std::vector<SectionEntry> toc(sections_.size());
+  uint64_t offset = PageAlign(toc_offset + toc_bytes, kPageSize);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    SectionEntry& e = toc[i];
+    std::memset(&e, 0, sizeof(e));
+    std::memcpy(e.kind, sections_[i].kind.data(), sections_[i].kind.size());
+    e.offset = offset;
+    e.length = sections_[i].payload.size();
+    e.crc = util::Crc32(sections_[i].payload.data(),
+                        sections_[i].payload.size());
+    offset = PageAlign(offset + e.length, kPageSize);
+  }
+  const uint64_t file_size =
+      sections_.empty() ? PageAlign(toc_offset + toc_bytes, kPageSize)
+                        : offset;
+
+  FileHeader header;
+  std::memset(&header, 0, sizeof(header));
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kFormatVersion;
+  header.min_reader = kMinReaderVersion;
+  header.file_size = file_size;
+  header.section_count = static_cast<uint32_t>(sections_.size());
+  header.page_size = kPageSize;
+  header.toc_offset = toc_offset;
+  header.toc_bytes = toc_bytes;
+  header.toc_crc = util::Crc32(toc.data(), toc_bytes);
+  header.header_crc = util::Crc32(&header, kHeaderCrcBytes);
+
+  std::vector<char> out(static_cast<size_t>(file_size), '\0');
+  std::memcpy(out.data(), &header, sizeof(header));
+  if (toc_bytes > 0) {
+    std::memcpy(out.data() + toc_offset, toc.data(), toc_bytes);
+  }
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    if (!sections_[i].payload.empty()) {
+      std::memcpy(out.data() + toc[i].offset, sections_[i].payload.data(),
+                  sections_[i].payload.size());
+    }
+  }
+  return out;
+}
+
+util::Status ArtifactWriter::WriteFile(const std::string& path) const {
+  return util::AtomicWriteFile(path, Serialize());
+}
+
+uint64_t AppendAligned(std::vector<char>* section, const void* bytes,
+                       size_t size, size_t align) {
+  DEEPSD_CHECK(align > 0 && (align & (align - 1)) == 0);
+  const size_t aligned = (section->size() + align - 1) & ~(align - 1);
+  section->resize(aligned, '\0');
+  const uint64_t offset = aligned;
+  if (size > 0) {
+    section->resize(aligned + size);
+    std::memcpy(section->data() + aligned, bytes, size);
+  }
+  return offset;
+}
+
+}  // namespace store
+}  // namespace deepsd

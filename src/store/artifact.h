@@ -1,0 +1,53 @@
+#ifndef DEEPSD_STORE_ARTIFACT_H_
+#define DEEPSD_STORE_ARTIFACT_H_
+
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace store {
+
+/// Assembles a DSAR1 artifact in memory and writes it atomically.
+/// Sections are laid out in AddSection order, each payload page-aligned
+/// and CRC-sealed per the format header (store/format.h). The writer is
+/// deliberately dumb — it knows bytes, not models; the model-aware packing
+/// lives in store/pack.h.
+class ArtifactWriter {
+ public:
+  /// Appends a section. `kind` must be 1..15 bytes (the on-disk tag is a
+  /// NUL-padded char[16]); duplicate kinds are allowed by the format but
+  /// nothing in v1 writes them.
+  void AddSection(const std::string& kind, std::vector<char> payload);
+
+  /// Serializes header + TOC + padded payloads and writes the result to
+  /// `path` via util::AtomicWriteFile (tmp + rename — a crash mid-write
+  /// can never leave a torn artifact at `path`).
+  util::Status WriteFile(const std::string& path) const;
+
+  /// The serialized artifact bytes (exposed for tests and for callers
+  /// that frame artifacts into something else).
+  std::vector<char> Serialize() const;
+
+ private:
+  struct PendingSection {
+    std::string kind;
+    std::vector<char> payload;
+  };
+  std::vector<PendingSection> sections_;
+};
+
+/// Helper for building blob sections: appends `bytes`, padding first so
+/// the payload starts `align`-byte aligned within the section, and returns
+/// the payload's offset within the section. Section payloads are page
+/// aligned in the file, so section-relative alignment is absolute
+/// alignment.
+uint64_t AppendAligned(std::vector<char>* section, const void* bytes,
+                       size_t size, size_t align);
+
+}  // namespace store
+}  // namespace deepsd
+
+#endif  // DEEPSD_STORE_ARTIFACT_H_

@@ -1,0 +1,156 @@
+#include "store/model_store.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace store {
+
+namespace {
+
+util::Status Corrupt(const std::string& path, const std::string& what) {
+  return util::Status::InvalidArgument("model store " + path + ": " + what);
+}
+
+}  // namespace
+
+util::Status ModelStore::Open(const std::string& path,
+                              std::shared_ptr<const ModelStore>* out) {
+  // make_shared needs a public ctor; the store is immutable after Open so
+  // handing out shared_ptr<const> keeps the read-only contract.
+  std::shared_ptr<ModelStore> store(new ModelStore());
+  store->path_ = path;
+  DEEPSD_RETURN_IF_ERROR(store->map_.Open(path));
+  DEEPSD_RETURN_IF_ERROR(store->Validate());
+  *out = std::move(store);
+  return util::Status::OK();
+}
+
+ModelStore::~ModelStore() {
+  const int64_t pins = pins_.load(std::memory_order_acquire);
+  DEEPSD_CHECK_MSG(pins == 0,
+                   "unmapping a model store with outstanding read pins — a "
+                   "reader could dereference unmapped memory");
+}
+
+util::Status ModelStore::Validate() {
+  if (map_.size() < sizeof(FileHeader)) {
+    return util::Status::IoError(
+        util::StrFormat("model store %s: truncated (%zu bytes, header needs "
+                        "%zu)",
+                        path_.c_str(), map_.size(), sizeof(FileHeader)));
+  }
+  std::memcpy(&header_, map_.data(), sizeof(FileHeader));
+  if (std::memcmp(header_.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt(path_, "bad magic (not a DSAR1 artifact)");
+  }
+  if (util::Crc32(&header_, kHeaderCrcBytes) != header_.header_crc) {
+    return Corrupt(path_, "header CRC mismatch");
+  }
+  if (header_.min_reader > kFormatVersion) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "model store %s: written for reader version >= %u but this reader "
+        "is version %u — upgrade the binary to open this artifact",
+        path_.c_str(), header_.min_reader, kFormatVersion));
+  }
+  if (header_.page_size == 0 ||
+      (header_.page_size & (header_.page_size - 1)) != 0) {
+    return Corrupt(path_, "page_size is not a power of two");
+  }
+  if (header_.file_size != map_.size()) {
+    return util::Status::IoError(util::StrFormat(
+        "model store %s: truncated (header says %llu bytes, file has %zu)",
+        path_.c_str(),
+        static_cast<unsigned long long>(header_.file_size), map_.size()));
+  }
+  if (header_.toc_bytes !=
+      static_cast<uint64_t>(header_.section_count) * sizeof(SectionEntry)) {
+    return Corrupt(path_, "TOC size disagrees with section count");
+  }
+  if (header_.toc_offset < sizeof(FileHeader) ||
+      header_.toc_offset > map_.size() ||
+      header_.toc_bytes > map_.size() - header_.toc_offset) {
+    return Corrupt(path_, "TOC out of bounds");
+  }
+  const char* toc_bytes = map_.data() + header_.toc_offset;
+  if (util::Crc32(toc_bytes, header_.toc_bytes) != header_.toc_crc) {
+    return Corrupt(path_, "TOC CRC mismatch");
+  }
+  toc_.resize(header_.section_count);
+  if (header_.toc_bytes > 0) {
+    std::memcpy(toc_.data(), toc_bytes, header_.toc_bytes);
+  }
+  for (size_t i = 0; i < toc_.size(); ++i) {
+    const SectionEntry& e = toc_[i];
+    // The TOC CRC passed, so these only fire on a writer bug — but the
+    // reader still refuses rather than trusting offsets into the void.
+    if (e.offset % header_.page_size != 0) {
+      return Corrupt(path_, "section " + SectionKindToString(e.kind) +
+                                " is not page-aligned");
+    }
+    if (e.offset > map_.size() || e.length > map_.size() - e.offset) {
+      return Corrupt(path_, "section " + SectionKindToString(e.kind) +
+                                " extends past end of file");
+    }
+  }
+  verified_ = std::vector<std::atomic<uint8_t>>(toc_.size());
+  for (auto& v : verified_) v.store(0, std::memory_order_relaxed);
+  return util::Status::OK();
+}
+
+int ModelStore::FindSection(const std::string& kind) const {
+  for (size_t i = 0; i < toc_.size(); ++i) {
+    if (SectionKindToString(toc_[i].kind) == kind) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+util::Status ModelStore::Section(const std::string& kind, const char** data,
+                                 size_t* size) const {
+  const int index = FindSection(kind);
+  if (index < 0) {
+    return util::Status::NotFound("model store " + path_ +
+                                  ": no section of kind '" + kind + "'");
+  }
+  return SectionAt(static_cast<size_t>(index), data, size);
+}
+
+util::Status ModelStore::SectionAt(size_t index, const char** data,
+                                   size_t* size) const {
+  DEEPSD_CHECK(index < toc_.size());
+  const SectionEntry& e = toc_[index];
+  uint8_t state = verified_[index].load(std::memory_order_acquire);
+  if (state == 0) {
+    std::lock_guard<std::mutex> lock(verify_mu_);
+    state = verified_[index].load(std::memory_order_relaxed);
+    if (state == 0) {
+      const uint32_t crc = util::Crc32(map_.data() + e.offset, e.length);
+      state = crc == e.crc ? 1 : 2;
+      verified_[index].store(state, std::memory_order_release);
+    }
+  }
+  if (state != 1) {
+    return Corrupt(path_, "section " + SectionKindToString(e.kind) +
+                              " CRC mismatch (corrupt payload)");
+  }
+  *data = map_.data() + e.offset;
+  *size = e.length;
+  return util::Status::OK();
+}
+
+util::Status ModelStore::VerifyAll() const {
+  for (size_t i = 0; i < toc_.size(); ++i) {
+    const char* data = nullptr;
+    size_t size = 0;
+    DEEPSD_RETURN_IF_ERROR(SectionAt(i, &data, &size));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace store
+}  // namespace deepsd

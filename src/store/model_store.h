@@ -1,0 +1,133 @@
+#ifndef DEEPSD_STORE_MODEL_STORE_H_
+#define DEEPSD_STORE_MODEL_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "store/format.h"
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace store {
+
+/// Read-only handle on one mmap'd DSAR1 artifact.
+///
+/// Open() is O(mmap): it maps the file and validates only the 64-byte
+/// header and the section TOC (their CRCs seal the layout metadata, so a
+/// corrupt offset can never send a reader out of bounds). Section payloads
+/// are *lazily* verified — the first Section() call for a given section
+/// CRCs its bytes once and caches the verdict — so opening a multi-MB
+/// artifact costs microseconds and replicas that never touch a section
+/// never page it in.
+///
+/// Every failure mode is a typed util::Status: NotFound (missing file),
+/// IoError (unmappable / truncated), InvalidArgument (bad magic, CRC
+/// mismatch, malformed TOC), FailedPrecondition (the file's min_reader
+/// version is newer than this reader). Never UB, never abort — the
+/// robustness contract of docs/robustness.md extended to mapped input.
+///
+/// Thread safety: all const methods are safe to call concurrently; lazy
+/// verification is internally synchronized.
+class ModelStore {
+ public:
+  /// Maps and validates `path`. On success `*out` owns the mapping.
+  static util::Status Open(const std::string& path,
+                           std::shared_ptr<const ModelStore>* out);
+
+  ~ModelStore();
+
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  const std::string& path() const { return path_; }
+  const FileHeader& header() const { return header_; }
+  size_t file_size() const { return map_.size(); }
+  size_t section_count() const { return toc_.size(); }
+
+  /// The i-th TOC entry (layout metadata only; does not verify payload).
+  const SectionEntry& entry(size_t i) const { return toc_[i]; }
+
+  /// Index of the first section of `kind`, or -1.
+  int FindSection(const std::string& kind) const;
+
+  /// Pointer/length of a section's payload after verifying its CRC (first
+  /// call only; later calls are two atomic loads). InvalidArgument on CRC
+  /// mismatch — including any single flipped bit anywhere in the payload.
+  util::Status Section(const std::string& kind, const char** data,
+                       size_t* size) const;
+  util::Status SectionAt(size_t index, const char** data, size_t* size) const;
+
+  /// Eagerly verifies every section (deepsd_store verify).
+  util::Status VerifyAll() const;
+
+  /// Outstanding read pins (see Pin). Exposed for tests.
+  int64_t pin_count() const {
+    return pins_.load(std::memory_order_acquire);
+  }
+
+  /// RAII token marking the mapping as actively read. Destroying the
+  /// ModelStore while pins are outstanding is a hard CHECK — unmapping
+  /// memory a reader may still dereference is the one corruption this
+  /// layer cannot turn into a typed error, so it refuses loudly instead.
+  /// VersionedModel's epoch reclamation exists to make this impossible in
+  /// normal operation (store/versioned_model.h).
+  class Pin {
+   public:
+    Pin() = default;
+    explicit Pin(const ModelStore* store) : store_(store) {
+      if (store_ != nullptr) {
+        store_->pins_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    ~Pin() { Reset(); }
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    Pin(Pin&& other) noexcept : store_(other.store_) {
+      other.store_ = nullptr;
+    }
+    Pin& operator=(Pin&& other) noexcept {
+      if (this != &other) {
+        Reset();
+        store_ = other.store_;
+        other.store_ = nullptr;
+      }
+      return *this;
+    }
+    void Reset() {
+      if (store_ != nullptr) {
+        store_->pins_.fetch_sub(1, std::memory_order_acq_rel);
+        store_ = nullptr;
+      }
+    }
+
+   private:
+    const ModelStore* store_ = nullptr;
+  };
+  Pin AcquirePin() const { return Pin(this); }
+
+ private:
+  ModelStore() = default;
+
+  util::Status Validate();
+
+  std::string path_;
+  util::MappedFile map_;
+  FileHeader header_{};
+  std::vector<SectionEntry> toc_;
+
+  /// Lazy verification state per section: 0 = unverified, 1 = ok,
+  /// 2 = corrupt. Double-checked under verify_mu_ so a section is CRC'd
+  /// at most once.
+  mutable std::vector<std::atomic<uint8_t>> verified_;
+  mutable std::mutex verify_mu_;
+  mutable std::atomic<int64_t> pins_{0};
+};
+
+}  // namespace store
+}  // namespace deepsd
+
+#endif  // DEEPSD_STORE_MODEL_STORE_H_

@@ -1,0 +1,48 @@
+#ifndef DEEPSD_STORE_PACK_H_
+#define DEEPSD_STORE_PACK_H_
+
+#include <string>
+
+#include "baselines/empirical_average.h"
+#include "core/checkpoint.h"
+#include "core/model.h"
+#include "nn/parameter.h"
+#include "store/stored_model.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace store {
+
+struct PackOptions {
+  /// Manifest version tag; surfaces as ModelVersion::version_id() and in
+  /// deepsd_store inspect/diff output.
+  std::string version_id = "unversioned";
+  ParamEncoding encoding = ParamEncoding::kRaw;
+};
+
+/// Packs a live model into a DSAR1 artifact at `path` (atomic write).
+/// `ea` is optional: when non-null its fitted tables ship as the "ea"
+/// section and the stored model serves tier-3 from the mapping.
+/// Deterministic: same model state and options yield identical bytes.
+util::Status PackModelArtifact(const core::DeepSDModel& model,
+                               const nn::ParameterStore& params,
+                               const baselines::EmpiricalAverage* ea,
+                               const PackOptions& options,
+                               const std::string& path);
+
+/// Packs a trainer checkpoint without a live training process: rebuilds
+/// the model structure from `config` + `mode` (which the checkpoint's
+/// TrainConfig does not carry), applies the checkpointed parameter values
+/// and calibration, and packs. The checkpoint must cover the rebuilt
+/// model's parameters exactly (FailedPrecondition otherwise).
+util::Status PackCheckpointArtifact(const core::TrainerCheckpoint& ck,
+                                    const core::DeepSDConfig& config,
+                                    core::DeepSDModel::Mode mode,
+                                    const baselines::EmpiricalAverage* ea,
+                                    const PackOptions& options,
+                                    const std::string& path);
+
+}  // namespace store
+}  // namespace deepsd
+
+#endif  // DEEPSD_STORE_PACK_H_

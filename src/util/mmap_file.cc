@@ -1,0 +1,72 @@
+#include "util/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace util {
+
+Status MappedFile::Open(const std::string& path) {
+  Reset();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    if (err == ENOENT) {
+      return Status::NotFound(
+          StrFormat("cannot open %s: %s", path.c_str(), std::strerror(err)));
+    }
+    return Status::IoError(
+        StrFormat("cannot open %s: %s", path.c_str(), std::strerror(err)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(
+        StrFormat("cannot stat %s: %s", path.c_str(), std::strerror(err)));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::IoError(
+        StrFormat("cannot map %s: not a regular file", path.c_str()));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap(0) is EINVAL; an empty file is a valid (empty) mapping.
+    ::close(fd);
+    size_ = 0;
+    mapped_ = true;
+    return Status::OK();
+  }
+  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int map_err = errno;
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (data == MAP_FAILED) {
+    return Status::IoError(StrFormat("cannot mmap %s (%zu bytes): %s",
+                                     path.c_str(), size,
+                                     std::strerror(map_err)));
+  }
+  data_ = data;
+  size_ = size;
+  mapped_ = true;
+  return Status::OK();
+}
+
+void MappedFile::Reset() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+}  // namespace util
+}  // namespace deepsd

@@ -1,0 +1,63 @@
+#ifndef DEEPSD_UTIL_MMAP_FILE_H_
+#define DEEPSD_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace deepsd {
+namespace util {
+
+/// Read-only memory mapping of a whole file (RAII). Opening is O(mmap):
+/// no bytes are read eagerly — the kernel pages them in on first touch and
+/// keeps them in the shared page cache, so N mappings of the same file cost
+/// one resident copy. This is the zero-copy substrate of the model store
+/// (store/model_store.h).
+///
+/// All failures are typed util::Status, never UB or abort: a missing file
+/// is NotFound, an unreadable or unmappable one IoError. An empty file maps
+/// successfully with size() == 0 and data() == nullptr.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = other.data_;
+      size_ = other.size_;
+      mapped_ = other.mapped_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.mapped_ = false;
+    }
+    return *this;
+  }
+
+  /// Maps `path` read-only. On failure the object stays unmapped.
+  Status Open(const std::string& path);
+
+  /// Unmaps (no-op when nothing is mapped).
+  void Reset();
+
+  bool mapped() const { return mapped_; }
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_MMAP_FILE_H_

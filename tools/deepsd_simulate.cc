@@ -14,7 +14,9 @@
 // Perfetto. See docs/observability.md.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -37,6 +39,9 @@
 #include "serving/serving_queue.h"
 #include "serving/sharded_predictor.h"
 #include "sim/city_sim.h"
+#include "store/pack.h"
+#include "store/stored_model.h"
+#include "store/versioned_model.h"
 #include "util/circuit_breaker.h"
 #include "util/cli.h"
 #include "util/deadline.h"
@@ -532,6 +537,285 @@ bool RunShardedScenario(const data::OrderDataset& dataset, int shards) {
   return ok;
 }
 
+/// Swap-under-load harness (docs/model_store.md): trains a probe model,
+/// packs it into two bitwise-distinct DSAR1 artifacts (v1, and v2 after
+/// one further training epoch), serves a `shards`-shard city over one
+/// store::VersionedModel shared by every replica, and publishes the two
+/// versions alternately `publishes` times while `readers` threads keep
+/// PredictCity under sustained load. Returns false (and prints why) on:
+///
+///   * a dropped or failed request — any city answer that is not fully
+///     served at tier kNone with every area populated;
+///   * a non-finite prediction;
+///   * a version-torn output — shards of one call reporting mixed publish
+///     sequences, or the answer's bytes not matching, bitwise, the single
+///     version its pinned sequence names.
+///
+/// This is the CI gate behind `deepsd_simulate --shards 4 --swap`; on
+/// failure the caller dumps the flight-recorder bundle.
+bool RunSwapScenario(const data::OrderDataset& dataset, int shards,
+                     int publishes, int readers,
+                     const std::string& scratch) {
+  const int num_days = dataset.num_days();
+  if (num_days < 3) {
+    std::fprintf(stderr, "--swap needs >= 3 days, have %d\n", num_days);
+    return false;
+  }
+  if (shards < 1 || publishes < 1 || readers < 1) {
+    std::fprintf(stderr,
+                 "--swap needs positive --shards/--swap_publishes/"
+                 "--swap_readers\n");
+    return false;
+  }
+  const int train_days = std::max(2, num_days * 2 / 3);
+  const int serve_day = train_days;
+
+  std::printf("swap: training probe model on days [0,%d)...\n", train_days);
+  feature::FeatureConfig fc;
+  feature::FeatureAssembler assembler(&dataset, fc, 0, train_days);
+  auto train_items = data::MakeItems(dataset, 0, train_days, 20, 1430, 60);
+  core::DeepSDConfig config;
+  config.num_areas = dataset.num_areas();
+  config.use_weather = dataset.has_weather();
+  config.use_traffic = dataset.has_traffic();
+  nn::ParameterStore params;
+  util::Rng rng(7);
+  core::DeepSDModel model(config, core::DeepSDModel::Mode::kBasic, &params,
+                          &rng);
+  core::TrainConfig tc;
+  tc.epochs = 1;
+  tc.best_k = 0;
+  core::AssemblerSource train(&assembler, train_items, /*advanced=*/false);
+  core::Trainer(tc).Train(&model, &params, train, train);
+
+  // Two bitwise-distinct versions: v1 as trained, v2 after one further
+  // epoch — the realistic "freshly fine-tuned model replaces the serving
+  // one" swap the store exists for.
+  const std::string v1_path = scratch + ".swap_v1.dsar";
+  const std::string v2_path = scratch + ".swap_v2.dsar";
+  store::PackOptions po;
+  po.version_id = "swap-v1";
+  util::Status st = store::PackModelArtifact(model, params, nullptr, po,
+                                             v1_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "swap: pack v1 failed: %s\n", st.ToString().c_str());
+    return false;
+  }
+  core::Trainer(tc).Train(&model, &params, train, train);
+  po.version_id = "swap-v2";
+  st = store::PackModelArtifact(model, params, nullptr, po, v2_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "swap: pack v2 failed: %s\n", st.ToString().c_str());
+    return false;
+  }
+
+  std::shared_ptr<const store::StoredModel> v1, v2;
+  st = store::StoredModel::Open(v1_path, &v1);
+  if (st.ok()) st = store::StoredModel::Open(v2_path, &v2);
+  if (!st.ok()) {
+    std::fprintf(stderr, "swap: open failed: %s\n", st.ToString().c_str());
+    return false;
+  }
+
+  bool ok = true;
+  {
+    store::VersionedModel versions;
+    st = versions.Publish(v1);  // sequence 1
+    if (!st.ok()) {
+      std::fprintf(stderr, "swap: publish v1 failed: %s\n",
+                   st.ToString().c_str());
+      return false;
+    }
+
+    serving::ShardedPredictorConfig sc;
+    sc.ring.num_shards = shards;
+    sc.queue.num_workers = 1;
+    sc.queue.capacity = 64;
+    sc.queue.watchdog_stuck_us = 0;
+    serving::ShardedPredictor sharded(&versions, &assembler, sc);
+
+    // A healthy morning window into every shard so the run exercises the
+    // swap path, not staleness fallbacks.
+    const int t_now = 480;
+    sharded.AdvanceTo(serve_day, t_now - fc.window);
+    for (int ts = t_now - fc.window; ts < t_now; ++ts) {
+      for (int a = 0; a < dataset.num_areas(); ++a) {
+        for (const data::Order& o : dataset.OrdersAt(a, serve_day, ts)) {
+          sharded.AddOrder(o);
+        }
+        if (dataset.has_traffic()) {
+          data::TrafficRecord tr = dataset.TrafficAt(a, serve_day, ts);
+          tr.area = a;
+          tr.day = serve_day;
+          tr.ts = ts;
+          sharded.AddTraffic(tr);
+        }
+      }
+      if (dataset.has_weather()) {
+        data::WeatherRecord w = dataset.WeatherAt(serve_day, ts);
+        w.day = serve_day;
+        w.ts = ts;
+        sharded.AddWeather(w);
+      }
+    }
+    sharded.AdvanceTo(serve_day, t_now);
+
+    std::vector<int> all_areas(static_cast<size_t>(dataset.num_areas()));
+    for (int a = 0; a < dataset.num_areas(); ++a) {
+      all_areas[static_cast<size_t>(a)] = a;
+    }
+
+    // Reference answers per version. Publishes alternate v1/v2 from
+    // sequence 1 on, so an odd pinned sequence must serve exactly want_v1
+    // and an even one exactly want_v2 — any other bytes are a torn read.
+    serving::CityPredictResult ref1 =
+        sharded.PredictCity(all_areas, util::Deadline::Infinite());
+    st = versions.Publish(v2);  // sequence 2
+    if (!st.ok()) {
+      std::fprintf(stderr, "swap: publish v2 failed: %s\n",
+                   st.ToString().c_str());
+      return false;
+    }
+    serving::CityPredictResult ref2 =
+        sharded.PredictCity(all_areas, util::Deadline::Infinite());
+    if (ref1.model_sequence != 1 || ref2.model_sequence != 2 ||
+        !ref1.fully_served || !ref2.fully_served) {
+      std::fprintf(stderr, "swap FAIL: reference answers were not served "
+                   "cleanly from sequences 1 and 2\n");
+      return false;
+    }
+    const std::vector<float> want_v1 = ref1.gaps;
+    const std::vector<float> want_v2 = ref2.gaps;
+    size_t distinct = 0;
+    for (size_t i = 0; i < want_v1.size(); ++i) {
+      if (want_v1[i] != want_v2[i]) ++distinct;
+    }
+    if (distinct == 0) {
+      std::fprintf(stderr, "swap FAIL: v1 and v2 predict identically — the "
+                   "torn-read detector would be blind\n");
+      return false;
+    }
+    std::printf("swap: versions differ on %zu/%zu areas; running %d "
+                "publishes under %d reader thread(s) x %d shard(s)...\n",
+                distinct, want_v1.size(), publishes, readers, shards);
+
+    std::atomic<uint64_t> requests{0}, failed{0}, non_finite{0}, torn{0};
+    std::atomic<uint64_t> seen_v1{0}, seen_v2{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(readers));
+    for (int r = 0; r < readers; ++r) {
+      threads.emplace_back([&]() {
+        while (!stop.load(std::memory_order_acquire)) {
+          serving::CityPredictResult city =
+              sharded.PredictCity(all_areas, util::Deadline::Infinite());
+          requests.fetch_add(1, std::memory_order_relaxed);
+          if (!city.fully_served || city.deadline_expired ||
+              city.tier != serving::FallbackTier::kNone ||
+              city.gaps.size() != all_areas.size()) {
+            failed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          bool finite = true;
+          for (float g : city.gaps) {
+            if (!std::isfinite(g)) finite = false;
+          }
+          if (!finite) non_finite.fetch_add(1, std::memory_order_relaxed);
+          bool mixed = false;
+          for (const serving::ShardOutcome& s : city.shards) {
+            if (s.model_sequence != city.model_sequence) mixed = true;
+          }
+          const std::vector<float>& want =
+              (city.model_sequence % 2 == 1) ? want_v1 : want_v2;
+          (city.model_sequence % 2 == 1 ? seen_v1 : seen_v2)
+              .fetch_add(1, std::memory_order_relaxed);
+          if (mixed ||
+              std::memcmp(city.gaps.data(), want.data(),
+                          want.size() * sizeof(float)) != 0) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+
+    // The publish loop: alternate versions with a breather between flips
+    // so readers land on both sides of every swap.
+    for (int i = 0; i < publishes && ok; ++i) {
+      st = versions.Publish(i % 2 == 0 ? v1 : v2);
+      if (!st.ok()) {
+        std::fprintf(stderr, "swap FAIL: publish %d failed: %s\n", i,
+                     st.ToString().c_str());
+        ok = false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+    sharded.Drain();
+    versions.TryReclaim();
+
+    const store::VersionedModel::Stats vs = versions.stats();
+    const serving::ServingQueueStats merged = sharded.stats().merged();
+    std::printf(
+        "swap: %llu requests (%llu on v1-odd, %llu on v2-even), %llu "
+        "failed, %llu non-finite, %llu torn; %llu published, %llu "
+        "reclaimed, %llu retired live, %llu slot overflow(s)\n",
+        static_cast<unsigned long long>(requests.load()),
+        static_cast<unsigned long long>(seen_v1.load()),
+        static_cast<unsigned long long>(seen_v2.load()),
+        static_cast<unsigned long long>(failed.load()),
+        static_cast<unsigned long long>(non_finite.load()),
+        static_cast<unsigned long long>(torn.load()),
+        static_cast<unsigned long long>(vs.published),
+        static_cast<unsigned long long>(vs.reclaimed),
+        static_cast<unsigned long long>(vs.retired_live),
+        static_cast<unsigned long long>(vs.slot_overflows));
+
+    if (requests.load() == 0 || seen_v1.load() == 0 || seen_v2.load() == 0) {
+      std::fprintf(stderr, "swap FAIL: the load never observed both "
+                   "versions — the harness proved nothing\n");
+      ok = false;
+    }
+    if (failed.load() != 0) {
+      std::fprintf(stderr, "swap FAIL: %llu request(s) dropped or degraded "
+                   "during hot swaps\n",
+                   static_cast<unsigned long long>(failed.load()));
+      ok = false;
+    }
+    if (non_finite.load() != 0) {
+      std::fprintf(stderr, "swap FAIL: non-finite predictions served\n");
+      ok = false;
+    }
+    if (torn.load() != 0) {
+      std::fprintf(stderr, "swap FAIL: %llu version-torn answer(s) — a "
+                   "request mixed old and new model state\n",
+                   static_cast<unsigned long long>(torn.load()));
+      ok = false;
+    }
+    if (merged.offered != merged.admitted + merged.shed_total() ||
+        merged.shed_total() != 0) {
+      std::fprintf(stderr,
+                   "swap FAIL: shard accounting broke under swaps (offered "
+                   "%llu admitted %llu shed %llu)\n",
+                   static_cast<unsigned long long>(merged.offered),
+                   static_cast<unsigned long long>(merged.admitted),
+                   static_cast<unsigned long long>(merged.shed_total()));
+      ok = false;
+    }
+    if (vs.retired_live != 0) {
+      std::fprintf(stderr, "swap FAIL: %llu retired version(s) still live "
+                   "after all readers released — reclamation leaked\n",
+                   static_cast<unsigned long long>(vs.retired_live));
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::printf("swap scenario OK: zero drops and zero torn reads across "
+                "%d hot swaps\n", publishes);
+  }
+  return ok;
+}
+
 int Main(int argc, char** argv) {
   util::CommandLine cli(argc, argv);
   util::Status st = cli.CheckKnown(
@@ -540,7 +824,8 @@ int Main(int argc, char** argv) {
        "trace-out", "overload", "overload_burst", "overload_requests",
        "timeline-out", "timeline-interval-ms", "openmetrics-out",
        "serve-metrics", "alerts-out", "flight-dir", "slo", "slo_availability",
-       "slo_queue_p99_us", "slo_mae", "help"});
+       "slo_queue_p99_us", "slo_mae", "swap", "swap_publishes",
+       "swap_readers", "help"});
   if (!st.ok() || cli.GetBool("help", false)) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_simulate --out=city.bin [--areas=58] "
@@ -553,7 +838,8 @@ int Main(int argc, char** argv) {
                  "[--slo] [--slo_availability=0.99] [--slo_queue_p99_us=0] "
                  "[--slo_mae=0] [--alerts-out=alerts.jsonl] "
                  "[--flight-dir=DIR] [--overload] [--overload_burst=10] "
-                 "[--overload_requests=40] [--shards=N]\n",
+                 "[--overload_requests=40] [--shards=N] [--swap] "
+                 "[--swap_publishes=120] [--swap_readers=4]\n",
                  st.ToString().c_str());
     return st.ok() ? 0 : 2;
   }
@@ -625,6 +911,13 @@ int Main(int argc, char** argv) {
   std::unique_ptr<obs::SloMonitor> slo_monitor;
   obs::AlertLog alert_log;
   std::unique_ptr<obs::FlightRecorder> flight;
+  // The flight recorder serves two masters: the SLO monitor dumps it on
+  // the first alert, and the swap-under-load harness dumps it on an
+  // invariant breach — so it exists whenever --flight-dir is given.
+  if (cli.Has("flight-dir")) {
+    flight = std::make_unique<obs::FlightRecorder>(
+        obs::FlightRecorder::Config{cli.GetString("flight-dir"), 64});
+  }
   if (want_timeline) {
     obs::TimelineConfig tlc;
     tlc.interval_ms =
@@ -637,11 +930,7 @@ int Main(int argc, char** argv) {
           cli.GetDouble("slo_mae", 0.0));
       slo_monitor = std::make_unique<obs::SloMonitor>(std::move(specs));
       slo_monitor->set_alert_log(&alert_log);
-      if (cli.Has("flight-dir")) {
-        flight = std::make_unique<obs::FlightRecorder>(
-            obs::FlightRecorder::Config{cli.GetString("flight-dir"), 64});
-        slo_monitor->set_flight_recorder(flight.get());
-      }
+      if (flight != nullptr) slo_monitor->set_flight_recorder(flight.get());
       recorder->set_slo_monitor(slo_monitor.get());
     }
     recorder->Start();
@@ -658,7 +947,25 @@ int Main(int argc, char** argv) {
                 http_server.port());
   }
 
-  if (cli.Has("shards")) {
+  if (cli.GetBool("swap", false)) {
+    // --swap implies sharded serving over --shards replicas; it subsumes
+    // the static sharded scenario's checks with per-version references.
+    if (!RunSwapScenario(dataset, static_cast<int>(cli.GetInt("shards", 4)),
+                         static_cast<int>(cli.GetInt("swap_publishes", 120)),
+                         static_cast<int>(cli.GetInt("swap_readers", 4)),
+                         out)) {
+      if (flight != nullptr) {
+        obs::TimelineRecorder* tl = recorder.get();
+        if (tl != nullptr) tl->SampleNow();
+        st = flight->Dump(tl, &alert_log, "swap-under-load invariant breach");
+        if (st.ok()) {
+          std::fprintf(stderr, "flight bundle written to %s\n",
+                       flight->bundle_dir().c_str());
+        }
+      }
+      return 1;
+    }
+  } else if (cli.Has("shards")) {
     if (!RunShardedScenario(dataset,
                             static_cast<int>(cli.GetInt("shards", 4)))) {
       return 1;
