@@ -1,0 +1,247 @@
+// Continuous-learning loop overhead gates (docs/continuous_learning.md):
+// the crash-safety and shadow machinery must be cheap enough to ride the
+// live ingest path.
+//
+//   1. Ledger throughput: PromotionLedger::Append (frame + CRC + flush)
+//      must sustain >= 2000 appends/s, and Replay of the resulting log
+//      must reproduce every record and Derive a consistent state. The
+//      loop writes a handful of records per candidate, so this bounds
+//      ledger overhead at far below one ingest minute.
+//   2. Shadow overhead: driving a full simulated day through a
+//      ShadowEvaluator (serving tap + candidate re-answer + double
+//      ground-truth join) is measured against the same feed through a
+//      bare OnlineAccuracyTracker. The comparison must join samples on
+//      both sides; the per-prediction overhead is reported.
+//
+//   bench_learn_loop [--ledger-records=20000] [--areas=8] [--json=PATH]
+//
+// Exit status is 0 only if every gate holds.
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "feature/feature_assembler.h"
+#include "learn/ledger.h"
+#include "learn/shadow_eval.h"
+#include "nn/parameter.h"
+#include "sim/city_sim.h"
+#include "store/pack.h"
+#include "store/stored_model.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace deepsd {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct LedgerResult {
+  double appends_per_sec = 0;
+  double replays_per_sec = 0;
+  bool ok = false;
+};
+
+LedgerResult RunLedgerGate(const std::string& dir, int records) {
+  LedgerResult out;
+  const std::string path = dir + "/bench.ledger";
+  std::remove(path.c_str());
+  learn::PromotionLedger ledger(path);
+  if (!ledger.Open().ok()) return out;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < records; ++i) {
+    learn::LedgerRecord r;
+    // Cycle through the lifecycle so replay exercises every event decoder.
+    r.event = static_cast<learn::LedgerEvent>(1 + i % 10);
+    r.t_abs = i;
+    r.candidate_id = "ft-" + std::to_string(i / 10 + 1);
+    r.artifact_path = dir + "/" + r.candidate_id + ".dsar";
+    r.prior_version = "init";
+    r.serving_mae = 4.0;
+    r.candidate_mae = 3.0;
+    r.shadow_samples = 128;
+    if (!ledger.Append(std::move(r)).ok()) return out;
+  }
+  const double append_s = SecondsSince(t0);
+
+  std::vector<learn::LedgerRecord> replayed;
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!learn::PromotionLedger::Replay(path, &replayed).ok()) return out;
+  const double replay_s = SecondsSince(t1);
+
+  out.appends_per_sec = records / append_s;
+  out.replays_per_sec = records / replay_s;
+  const learn::LedgerState state = learn::PromotionLedger::Derive(replayed);
+  out.ok = static_cast<int>(replayed.size()) == records &&
+           state.next_seq == static_cast<uint64_t>(records) + 1 &&
+           out.appends_per_sec >= 2000.0;
+  std::remove(path.c_str());
+  return out;
+}
+
+struct ShadowResult {
+  double bare_us_per_pred = 0;
+  double shadow_us_per_pred = 0;
+  uint64_t samples = 0;
+  bool ok = false;
+};
+
+ShadowResult RunShadowGate(const std::string& dir, int areas) {
+  ShadowResult out;
+
+  sim::CityConfig city;
+  city.num_areas = areas;
+  city.num_days = 4;
+  city.seed = 7;
+  city.mean_scale = 0.8;
+  const data::OrderDataset dataset = sim::SimulateCity(city, nullptr);
+
+  feature::FeatureConfig features;
+  feature::FeatureAssembler assembler(&dataset, features, /*ref_day_begin=*/0,
+                                      /*ref_day_end=*/3);
+
+  core::DeepSDConfig model_config;
+  model_config.num_areas = areas;
+  nn::ParameterStore params;
+  util::Rng rng(17);
+  core::DeepSDModel model(model_config, core::DeepSDModel::Mode::kBasic,
+                          &params, &rng);
+  store::PackOptions pack;
+  pack.version_id = "bench";
+  const std::string artifact = dir + "/bench.dsar";
+  if (!store::PackModelArtifact(model, params, nullptr, pack, artifact)
+           .ok()) {
+    return out;
+  }
+  std::shared_ptr<const store::StoredModel> candidate;
+  if (!store::StoredModel::Open(artifact, &candidate).ok()) return out;
+
+  eval::OnlineAccuracyConfig acc;
+  acc.num_areas = areas;
+  acc.publish_metrics = false;
+
+  // Index the replay day once so both runs iterate identical events.
+  const int day = 3;
+  std::vector<std::vector<data::Order>> by_minute(data::kMinutesPerDay);
+  for (const data::Order& o : dataset.orders()) {
+    if (o.day == day) by_minute[o.ts].push_back(o);
+  }
+  std::vector<int> all_areas(static_cast<size_t>(areas));
+  for (int a = 0; a < areas; ++a) all_areas[static_cast<size_t>(a)] = a;
+  serving::PredictResult served;
+  served.gaps.assign(static_cast<size_t>(areas), 1.0f);
+  served.tier = serving::FallbackTier::kNone;
+
+  int predictions = 0;
+  // Bare tracker: the cost serving already pays without a shadow.
+  eval::OnlineAccuracyTracker bare(acc);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int minute = 0; minute < data::kMinutesPerDay; ++minute) {
+    const int64_t now_abs = day * data::kMinutesPerDay + minute;
+    bare.OnClockAdvance(now_abs);
+    if (minute % 10 == 0 && minute >= 20) {
+      bare.OnPrediction(all_areas, served, {}, now_abs);
+      ++predictions;
+    }
+    for (const data::Order& o : by_minute[static_cast<size_t>(minute)]) {
+      bare.OnOrderAccepted(o, now_abs);
+    }
+  }
+  const double bare_s = SecondsSince(t0);
+
+  // Shadow: same feed through the evaluator — tap, candidate re-answer on
+  // the private predictor, and the double-sided ground-truth join.
+  learn::ShadowEvaluator shadow(candidate, &assembler, acc);
+  const auto t1 = std::chrono::steady_clock::now();
+  for (int minute = 0; minute < data::kMinutesPerDay; ++minute) {
+    const int64_t now_abs = day * data::kMinutesPerDay + minute;
+    shadow.AdvanceTo(day, minute);
+    if (minute % 10 == 0 && minute >= 20) {
+      shadow.OnPrediction(all_areas, served, {}, now_abs);
+    }
+    for (const data::Order& o : by_minute[static_cast<size_t>(minute)]) {
+      shadow.AddOrder(o);
+    }
+  }
+  const double shadow_s = SecondsSince(t1);
+
+  const learn::ShadowComparison cmp = shadow.Compare();
+  out.bare_us_per_pred = bare_s * 1e6 / predictions;
+  out.shadow_us_per_pred = shadow_s * 1e6 / predictions;
+  out.samples = cmp.samples;
+  // The gate is functional, not a latency race: both sides must have
+  // joined the same slots (the overhead numbers are informational).
+  out.ok = cmp.samples > 0 && cmp.serving.count == cmp.candidate.count;
+  std::remove(artifact.c_str());
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  util::CommandLine cli(argc, argv);
+  const util::Status st =
+      cli.CheckKnown({"ledger-records", "areas", "json"});
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 2;
+  }
+  const int records = static_cast<int>(cli.GetInt("ledger-records", 20000));
+  const int areas = static_cast<int>(cli.GetInt("areas", 8));
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bench_learn_loop").string();
+  std::filesystem::create_directories(dir);
+
+  const LedgerResult ledger = RunLedgerGate(dir, records);
+  std::printf(
+      "ledger    %d records: %.0f appends/s, %.0f replays/s  [%s]\n", records,
+      ledger.appends_per_sec, ledger.replays_per_sec,
+      ledger.ok ? "ok" : "FAIL");
+
+  const ShadowResult shadow = RunShadowGate(dir, areas);
+  std::printf(
+      "shadow    %d areas, one day: %.1f us/pred bare, %.1f us/pred "
+      "shadowed (%llu joined samples)  [%s]\n",
+      areas, shadow.bare_us_per_pred, shadow.shadow_us_per_pred,
+      static_cast<unsigned long long>(shadow.samples),
+      shadow.ok ? "ok" : "FAIL");
+
+  const bool all_ok = ledger.ok && shadow.ok;
+  const std::string json_path = cli.GetString("json", "");
+  if (!json_path.empty()) {
+    std::string json = util::StrFormat(
+        "{\n  \"ledger_appends_per_sec\": %.0f,\n"
+        "  \"ledger_replays_per_sec\": %.0f,\n"
+        "  \"shadow_us_per_pred\": %.1f,\n"
+        "  \"bare_us_per_pred\": %.1f,\n"
+        "  \"shadow_samples\": %llu,\n  \"all_gates_ok\": %s\n}\n",
+        ledger.appends_per_sec, ledger.replays_per_sec,
+        shadow.shadow_us_per_pred, shadow.bare_us_per_pred,
+        static_cast<unsigned long long>(shadow.samples),
+        all_ok ? "true" : "false");
+    FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!ledger.ok) std::fprintf(stderr, "FAIL: ledger gate\n");
+  if (!shadow.ok) std::fprintf(stderr, "FAIL: shadow gate\n");
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace deepsd
+
+int main(int argc, char** argv) { return deepsd::Main(argc, argv); }

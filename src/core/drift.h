@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/batch.h"
+#include "util/status.h"
 
 namespace deepsd {
 namespace core {
@@ -29,6 +30,14 @@ struct ReferenceHistogram {
   }
   /// Index of the bucket holding `v` (first bound >= v, else overflow).
   size_t BucketOf(float v) const;
+
+  /// Structural validity: a non-empty histogram must have
+  /// counts.size() == bounds.size() + 1 and strictly ascending, finite
+  /// bounds. A reference that fails this (e.g. rebuilt from a corrupted
+  /// checkpoint) would mis-bucket live values in BucketOf's binary search
+  /// and score garbage, so drift consumers check before trusting it.
+  /// An empty histogram (no counts, no bounds) is valid — it just scores 0.
+  util::Status Validate() const;
 };
 
 /// Builds the reference over the per-item input activity — the sum of each
@@ -46,11 +55,26 @@ ReferenceHistogram BuildInputReference(const InputSource& source,
 float InputActivity(const feature::ModelInput& input);
 
 /// Population Stability Index between the reference distribution and a
-/// live count vector over the same buckets (live.size() must equal
-/// ref.counts.size()). Empty sides score 0. Both distributions are
-/// epsilon-smoothed so empty buckets don't blow up the log term.
-/// Rule of thumb: < 0.1 stable, 0.1–0.25 moderate drift, > 0.25 major
-/// shift.
+/// live count vector over the same buckets, with typed edge handling:
+///
+///   * empty reference, empty live, or zero totals → *psi = 0 (no
+///     evidence is not drift);
+///   * degenerate single-bucket reference (every sample tied at one
+///     value, so quantile dedup collapsed the edges) → *psi = 0: with all
+///     mass in the only bin on both sides, p == q == 1 exactly;
+///   * malformed reference (count/bound size mismatch, non-finite or
+///     non-ascending bounds) → InvalidArgument;
+///   * live.size() != ref.counts.size() → InvalidArgument.
+///
+/// Both distributions are epsilon-smoothed so empty buckets contribute a
+/// large but finite term, never inf/NaN. Rule of thumb: < 0.1 stable,
+/// 0.1–0.25 moderate drift, > 0.25 major shift.
+util::Status PopulationStabilityIndex(const ReferenceHistogram& ref,
+                                      const std::vector<uint64_t>& live,
+                                      double* psi);
+
+/// Legacy non-erroring form: malformed inputs score 0 (callers that can
+/// surface a typed error should prefer the Status overload).
 double PopulationStabilityIndex(const ReferenceHistogram& ref,
                                 const std::vector<uint64_t>& live);
 

@@ -104,6 +104,16 @@ TrainResult Trainer::Train(
                VectorSource(eval_inputs), on_epoch, resume);
 }
 
+TrainResult Trainer::FineTuneFrom(
+    DeepSDModel* model, nn::ParameterStore* store,
+    const nn::ParameterStore& source, const InputSource& train_source,
+    const InputSource& eval_source,
+    const std::function<void(const EpochStats&)>& on_epoch,
+    const TrainerCheckpoint* resume) {
+  if (resume == nullptr) store->CopyFrom(source);
+  return Train(model, store, train_source, eval_source, on_epoch, resume);
+}
+
 TrainResult Trainer::Train(
     DeepSDModel* model, nn::ParameterStore* store,
     const InputSource& train_source, const InputSource& eval_source,

@@ -113,6 +113,19 @@ class Trainer {
       const std::function<void(const EpochStats&)>& on_epoch = nullptr,
       const TrainerCheckpoint* resume = nullptr);
 
+  /// Incremental fine-tune entry for the continuous-learning loop: warm-
+  /// starts `store` from `source` (matching name/shape parameters copied,
+  /// including activation-calibration state — ParameterStore::CopyFrom),
+  /// then runs the ordinary Train loop. With `resume` the warm start is
+  /// skipped: the checkpoint already holds the mid-fine-tune parameters,
+  /// and re-copying the source would break the bitwise resume contract.
+  TrainResult FineTuneFrom(
+      DeepSDModel* model, nn::ParameterStore* store,
+      const nn::ParameterStore& source, const InputSource& train_source,
+      const InputSource& eval_source,
+      const std::function<void(const EpochStats&)>& on_epoch = nullptr,
+      const TrainerCheckpoint* resume = nullptr);
+
  private:
   TrainConfig config_;
 };

@@ -74,12 +74,22 @@ OnlineAccuracyTracker::OnlineAccuracyTracker(const OnlineAccuracyConfig& config)
   per_area_.resize(static_cast<size_t>(config_.num_areas));
 }
 
-void OnlineAccuracyTracker::SetInputReference(
+util::Status OnlineAccuracyTracker::SetInputReference(
     const core::ReferenceHistogram& reference) {
   std::lock_guard<std::mutex> lock(mu_);
+  util::Status valid = reference.Validate();
+  if (!valid.ok()) {
+    // A corrupt reference must not silently mis-bucket live activity:
+    // detach PSI scoring entirely and surface the typed error.
+    reference_ = core::ReferenceHistogram{};
+    live_counts_.clear();
+    live_window_.clear();
+    return valid;
+  }
   reference_ = reference;
   live_counts_.assign(reference_.counts.size(), 0);
   live_window_.clear();
+  return util::Status::OK();
 }
 
 void OnlineAccuracyTracker::OnPrediction(const std::vector<int>& area_ids,
@@ -97,7 +107,7 @@ void OnlineAccuracyTracker::OnPrediction(const std::vector<int>& area_ids,
     if (q.size() > config_.max_pending_per_area) {
       q.pop_front();
       ++dropped_pending_;
-      pub_->dropped_pending->Inc();
+      if (config_.publish_metrics) pub_->dropped_pending->Inc();
     }
   }
   if (!reference_.empty()) {
@@ -180,9 +190,10 @@ void OnlineAccuracyTracker::AddJoinLocked(const Joined& join) {
   add(overall_);
   add(per_tier_[std::clamp<int>(join.tier, 0, kNumTiers - 1)]);
   add(per_area_[static_cast<size_t>(join.area)]);
+  add(since_mark_);
 
   ++joined_total_;
-  pub_->joined->Inc();
+  if (config_.publish_metrics) pub_->joined->Inc();
 
   const double pred = static_cast<double>(join.predicted);
   if (!ewma_seeded_) {
@@ -210,6 +221,7 @@ TierAccuracy OnlineAccuracyTracker::FromSums(const RollingSums& sums) {
 }
 
 void OnlineAccuracyTracker::PublishLocked() {
+  if (!config_.publish_metrics) return;
   const TierAccuracy overall = FromSums(overall_);
   pub_->mae->Set(overall.mae);
   pub_->rmse->Set(overall.rmse);
@@ -265,6 +277,16 @@ TierAccuracy OnlineAccuracyTracker::ForArea(int area) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (area < 0 || area >= config_.num_areas) return TierAccuracy{};
   return FromSums(per_area_[static_cast<size_t>(area)]);
+}
+
+void OnlineAccuracyTracker::Mark() {
+  std::lock_guard<std::mutex> lock(mu_);
+  since_mark_ = RollingSums{};
+}
+
+TierAccuracy OnlineAccuracyTracker::SinceMark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FromSums(since_mark_);
 }
 
 double OnlineAccuracyTracker::PredictionDrift() const {

@@ -30,6 +30,11 @@ struct OnlineAccuracyConfig {
   /// (and residual) stream. Fast tracks the last ~1/fast_alpha joins.
   double drift_fast_alpha = 0.2;
   double drift_slow_alpha = 0.02;
+  /// Export the rolling stats as accuracy/* gauges. The *live* tracker
+  /// keeps this on; auxiliary trackers (e.g. the continuous-learning
+  /// shadow evaluator's side-by-side pair) turn it off so they never
+  /// clobber the production gauges they are being compared against.
+  bool publish_metrics = true;
 };
 
 /// Rolling accuracy of one fallback tier (or overall / one area).
@@ -74,7 +79,10 @@ class OnlineAccuracyTracker : public serving::PredictionObserver,
 
   /// Attaches the training-time input reference for PSI scoring (usually
   /// TrainerCheckpoint::input_reference). Resets the live histogram.
-  void SetInputReference(const core::ReferenceHistogram& reference);
+  /// A structurally invalid reference (ReferenceHistogram::Validate) is
+  /// rejected — PSI then scores 0 rather than garbage — and returned as a
+  /// typed error.
+  util::Status SetInputReference(const core::ReferenceHistogram& reference);
 
   // serving::PredictionObserver
   void OnPrediction(const std::vector<int>& area_ids,
@@ -91,6 +99,17 @@ class OnlineAccuracyTracker : public serving::PredictionObserver,
   TierAccuracy ForTier(serving::FallbackTier tier) const;
   /// Rolling accuracy of one area (all tiers).
   TierAccuracy ForArea(int area) const;
+
+  /// Starts a fresh cumulative epoch: SinceMark() aggregates every join
+  /// from this point on, unaffected by the rolling window's aging. The
+  /// continuous-learning watchdog marks at promotion time, so a
+  /// post-promotion regression is measured purely on samples the new
+  /// model served — the rolling window would still be diluted with
+  /// pre-promotion joins.
+  void Mark();
+  /// Cumulative accuracy over joins since the last Mark() (since
+  /// construction when never marked).
+  TierAccuracy SinceMark() const;
 
   double PredictionDrift() const;
   double ResidualDrift() const;
@@ -136,6 +155,8 @@ class OnlineAccuracyTracker : public serving::PredictionObserver,
   RollingSums overall_;
   RollingSums per_tier_[4];
   std::vector<RollingSums> per_area_;
+  /// Cumulative since the last Mark(); never decremented by window aging.
+  RollingSums since_mark_;
 
   // Drift EWMAs (valid once ewma_seeded_).
   bool ewma_seeded_ = false;

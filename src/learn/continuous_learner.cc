@@ -1,0 +1,770 @@
+#include "learn/continuous_learner.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "data/dataset.h"
+#include "obs/metrics.h"
+#include "store/pack.h"
+#include "util/logging.h"
+
+namespace deepsd {
+namespace learn {
+
+namespace {
+
+/// The learn/* metric handles (process-lifetime registry pointers).
+struct Metrics {
+  obs::Gauge* stage;
+  obs::Gauge* shadow_samples;
+  obs::Gauge* shadow_mae_delta;
+  obs::Gauge* watch_mae_ratio;
+  obs::Gauge* rejected_total;
+  obs::Counter* fine_tunes;
+  obs::Counter* fine_tune_resumes;
+  obs::Counter* candidates_packed;
+  obs::Counter* candidates_rejected;
+  obs::Counter* promotions;
+  obs::Counter* rollbacks;
+  obs::Counter* io_retries;
+
+  static Metrics* Get() {
+    static Metrics* m = [] {
+      auto& reg = obs::MetricsRegistry::Global();
+      auto* out = new Metrics();
+      out->stage = reg.GetGauge("learn/stage");
+      out->shadow_samples = reg.GetGauge("learn/shadow_samples");
+      out->shadow_mae_delta = reg.GetGauge("learn/shadow_mae_delta");
+      out->watch_mae_ratio = reg.GetGauge("learn/watch_mae_ratio");
+      out->rejected_total = reg.GetGauge("learn/candidates_rejected_total");
+      out->fine_tunes = reg.GetCounter("learn/fine_tunes");
+      out->fine_tune_resumes = reg.GetCounter("learn/fine_tune_resumes");
+      out->candidates_packed = reg.GetCounter("learn/candidates_packed");
+      out->candidates_rejected = reg.GetCounter("learn/candidates_rejected");
+      out->promotions = reg.GetCounter("learn/promotions");
+      out->rollbacks = reg.GetCounter("learn/rollbacks");
+      out->io_retries = reg.GetCounter("learn/io_retries");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+const char* LearnerStageName(LearnerStage stage) {
+  switch (stage) {
+    case LearnerStage::kIdle: return "idle";
+    case LearnerStage::kFineTuning: return "fine_tuning";
+    case LearnerStage::kPacking: return "packing";
+    case LearnerStage::kShadowing: return "shadowing";
+    case LearnerStage::kPromoting: return "promoting";
+    case LearnerStage::kWatching: return "watching";
+  }
+  return "unknown";
+}
+
+ContinuousLearner::ContinuousLearner(const LearnerOptions& options,
+                                     const feature::FeatureAssembler* history,
+                                     eval::OnlineAccuracyTracker* live_tracker,
+                                     PublishFn publish, PublishFn rollback)
+    : options_(options),
+      history_(history),
+      live_tracker_(live_tracker),
+      publish_(std::move(publish)),
+      rollback_(rollback != nullptr ? std::move(rollback) : publish_),
+      ledger_(options.state_dir + "/promotions.ledger") {
+  DEEPSD_CHECK_MSG(!options_.state_dir.empty(), "learner needs state_dir");
+  DEEPSD_CHECK_MSG(!options_.initial_artifact.empty(),
+                   "learner needs initial_artifact");
+  DEEPSD_CHECK_MSG(options_.num_areas > 0, "learner needs num_areas");
+  DEEPSD_CHECK_MSG(history_ != nullptr, "learner needs the serving assembler");
+  DEEPSD_CHECK_MSG(live_tracker_ != nullptr, "learner needs the live tracker");
+  DEEPSD_CHECK_MSG(publish_ != nullptr, "learner needs a publish hook");
+  options_.finetune.checkpoint_path = options_.state_dir + "/finetune.ck";
+  options_.shadow_acc.num_areas = options_.num_areas;
+  if (options_.watch_pass_samples == 0) {
+    options_.watch_pass_samples = 2 * options_.watch_min_samples;
+  }
+}
+
+void ContinuousLearner::SetStageGauge() {
+  Metrics::Get()->stage->Set(static_cast<double>(stage_));
+}
+
+util::Status ContinuousLearner::OpenArtifact(
+    const std::string& path, std::shared_ptr<const store::StoredModel>* out) {
+  util::RetryPolicy retry(options_.io_retry, ledger_.state().next_seq);
+  std::shared_ptr<const store::StoredModel> opened;
+  util::Status st = retry.Run([&] { return store::StoredModel::Open(path, &opened); });
+  if (retry.attempts() > 1) {
+    for (int i = 1; i < retry.attempts(); ++i) Metrics::Get()->io_retries->Inc();
+  }
+  if (st.ok()) *out = std::move(opened);
+  return st;
+}
+
+util::Status ContinuousLearner::Recover(
+    std::shared_ptr<const store::StoredModel>* boot) {
+  if (recovered_) {
+    return util::Status::FailedPrecondition("Recover already ran");
+  }
+  DEEPSD_RETURN_IF_ERROR(ledger_.Open());
+  const LedgerState state = ledger_.state();
+
+  // The committed version: last promotion not undone by a rollback. An
+  // unreadable committed artifact falls back to the initial one — serving
+  // must always boot from *something* valid.
+  serving_artifact_ = state.committed_artifact.empty()
+                          ? options_.initial_artifact
+                          : state.committed_artifact;
+  util::Status open = OpenArtifact(serving_artifact_, &serving_model_);
+  if (!open.ok() && serving_artifact_ != options_.initial_artifact) {
+    LedgerRecord note;
+    note.event = LedgerEvent::kAborted;
+    note.t_abs = now_abs_;
+    note.candidate_id = state.committed_version;
+    note.note = "committed artifact unreadable (" + open.ToString() +
+                "); serving the initial artifact";
+    DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(note)));
+    serving_artifact_ = options_.initial_artifact;
+    open = OpenArtifact(serving_artifact_, &serving_model_);
+  }
+  DEEPSD_RETURN_IF_ERROR(open);
+
+  recovered_ = true;
+
+  // The cooldown epoch survives the crash: without this, a restart right
+  // after a fine-tune would immediately start another one.
+  for (const LedgerRecord& r : ledger_.records()) {
+    if (r.event == LedgerEvent::kFineTuneStarted) {
+      last_finetune_abs_ = std::max(last_finetune_abs_, r.t_abs);
+    }
+  }
+
+  // Resolve a crash-interrupted stage.
+  if (state.in_flight) {
+    candidate_id_ = state.in_flight_candidate;
+    candidate_artifact_ = state.in_flight_artifact;
+    switch (state.last_event) {
+      case LedgerEvent::kFineTuneStarted:
+        // The checkpoint (if any) resumes the killed fine-tune bitwise at
+        // the next Tick.
+        stage_ = LearnerStage::kFineTuning;
+        resume_pending_ = true;
+        break;
+      case LedgerEvent::kCandidatePacked:
+      case LedgerEvent::kShadowStarted:
+      case LedgerEvent::kShadowResult:
+        // The artifact is durable; shadow accounting was in-memory and
+        // died with the process — restart the shadow from scratch.
+        DEEPSD_RETURN_IF_ERROR(StartShadow());
+        break;
+      case LedgerEvent::kPromoting:
+        // Publication is an in-memory pointer flip: an open kPromoting
+        // means it never happened. The gate's verdict is durable, so the
+        // promotion re-runs at the next Tick.
+        stage_ = LearnerStage::kPromoting;
+        watch_baseline_mae_ = state.in_flight_serving_mae;
+        break;
+      default:
+        break;
+    }
+  } else if (state.last_event == LedgerEvent::kRollbackStarted) {
+    // Derive() already resolved the committed version to the rollback
+    // target; make the ledger terminal.
+    LedgerRecord done;
+    done.event = LedgerEvent::kRolledBack;
+    done.t_abs = now_abs_;
+    done.candidate_id = ledger_.records().back().candidate_id;
+    done.prior_version = state.in_flight_prior_version;
+    done.artifact_path = serving_artifact_;
+    done.note = "resolved on restart";
+    DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(done)));
+  }
+
+  SetStageGauge();
+  if (boot != nullptr) *boot = serving_model_;
+  return util::Status::OK();
+}
+
+void ContinuousLearner::OnOrder(const data::Order& order) {
+  if (order.start_area < 0 || order.start_area >= options_.num_areas) return;
+  if (order.ts < 0 || order.ts >= data::kMinutesPerDay || order.day < 0) return;
+  log_[order.day].orders.push_back(order);
+  const int64_t ts_abs =
+      static_cast<int64_t>(order.day) * data::kMinutesPerDay + order.ts;
+  if (options_.drive_live_tracker) {
+    live_tracker_->OnOrderAccepted(order, ts_abs);
+  }
+  std::shared_ptr<ShadowEvaluator> shadow;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow = shadow_;
+  }
+  if (shadow != nullptr) shadow->AddOrder(order);
+}
+
+void ContinuousLearner::OnWeather(const data::WeatherRecord& record) {
+  if (record.ts < 0 || record.ts >= data::kMinutesPerDay || record.day < 0) {
+    return;
+  }
+  log_[record.day].weather.push_back(record);
+  std::shared_ptr<ShadowEvaluator> shadow;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow = shadow_;
+  }
+  if (shadow != nullptr) shadow->AddWeather(record);
+}
+
+void ContinuousLearner::OnTraffic(const data::TrafficRecord& record) {
+  if (record.ts < 0 || record.ts >= data::kMinutesPerDay || record.day < 0 ||
+      record.area < 0 || record.area >= options_.num_areas) {
+    return;
+  }
+  log_[record.day].traffic.push_back(record);
+  std::shared_ptr<ShadowEvaluator> shadow;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow = shadow_;
+  }
+  if (shadow != nullptr) shadow->AddTraffic(record);
+}
+
+void ContinuousLearner::OnPrediction(const std::vector<int>& area_ids,
+                                     const serving::PredictResult& result,
+                                     const std::vector<float>& activity,
+                                     int64_t now_abs) {
+  live_tracker_->OnPrediction(area_ids, result, activity, now_abs);
+  std::shared_ptr<ShadowEvaluator> shadow;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow = shadow_;
+  }
+  if (shadow != nullptr) {
+    shadow->OnPrediction(area_ids, result, activity, now_abs);
+  }
+}
+
+int ContinuousLearner::CompleteSnapshotDays() const {
+  int complete = 0;
+  for (const auto& [d, day_log] : log_) {
+    if (d < day_ && d >= day_ - options_.snapshot_days) ++complete;
+  }
+  return complete;
+}
+
+bool ContinuousLearner::ShouldFineTune() const {
+  if (!finetune_requested_) {
+    if (now_abs_ - last_finetune_abs_ <
+        static_cast<int64_t>(options_.cooldown_minutes)) {
+      return false;
+    }
+    if (options_.psi_trigger > 0 &&
+        live_tracker_->InputPsi() < options_.psi_trigger) {
+      return false;
+    }
+  }
+  // An explicit request skips the cooldown and the PSI trigger, but a
+  // fine-tune still needs complete days to train on.
+  return CompleteSnapshotDays() >= options_.min_train_days;
+}
+
+util::Status ContinuousLearner::Tick(int day, int minute) {
+  if (!recovered_) {
+    return util::Status::FailedPrecondition("Tick before Recover");
+  }
+  const int64_t now = static_cast<int64_t>(day) * data::kMinutesPerDay + minute;
+  if (now < now_abs_) return util::Status::OK();  // clock never runs back
+  now_abs_ = now;
+  day_ = day;
+  minute_ = minute;
+
+  if (options_.drive_live_tracker) live_tracker_->OnClockAdvance(now_abs_);
+  {
+    std::shared_ptr<ShadowEvaluator> shadow;
+    {
+      std::lock_guard<std::mutex> lock(shadow_mu_);
+      shadow = shadow_;
+    }
+    if (shadow != nullptr) shadow->AdvanceTo(day, minute);
+  }
+
+  // Evict log days no snapshot can reach anymore.
+  const int keep_from = day_ - options_.snapshot_days - 1;
+  while (!log_.empty() && log_.begin()->first < keep_from) {
+    log_.erase(log_.begin());
+  }
+
+  switch (stage_) {
+    case LearnerStage::kIdle:
+      if (ShouldFineTune()) {
+        finetune_requested_ = false;
+        DEEPSD_RETURN_IF_ERROR(StartFineTune());
+        DEEPSD_RETURN_IF_ERROR(RunFineTune());
+        if (stage_ == LearnerStage::kPacking) {
+          DEEPSD_RETURN_IF_ERROR(RunPack());
+        }
+        if (stage_ == LearnerStage::kShadowing && shadow_ == nullptr) {
+          DEEPSD_RETURN_IF_ERROR(StartShadow());
+        }
+      }
+      break;
+    case LearnerStage::kFineTuning:
+      // Only reachable via crash recovery: resume (or restart) the
+      // interrupted fine-tune, then continue the pipeline. The restarted
+      // process replays the live stream from scratch, so hold the stage
+      // until a snapshot's worth of complete days is back in the log.
+      if (CompleteSnapshotDays() < options_.min_train_days) break;
+      DEEPSD_RETURN_IF_ERROR(RunFineTune());
+      if (stage_ == LearnerStage::kPacking) DEEPSD_RETURN_IF_ERROR(RunPack());
+      if (stage_ == LearnerStage::kShadowing && shadow_ == nullptr) {
+        DEEPSD_RETURN_IF_ERROR(StartShadow());
+      }
+      break;
+    case LearnerStage::kPacking:
+      DEEPSD_RETURN_IF_ERROR(RunPack());
+      if (stage_ == LearnerStage::kShadowing && shadow_ == nullptr) {
+        DEEPSD_RETURN_IF_ERROR(StartShadow());
+      }
+      break;
+    case LearnerStage::kShadowing:
+      DEEPSD_RETURN_IF_ERROR(EvaluateGate());
+      break;
+    case LearnerStage::kPromoting: {
+      // Crash-recovery path: the gate's verdict is on the ledger, publish
+      // never happened. Re-open the sealed artifact and re-run it.
+      std::shared_ptr<const store::StoredModel> candidate;
+      util::Status st = OpenArtifact(candidate_artifact_, &candidate);
+      if (!st.ok()) {
+        Reject("candidate artifact unreadable at promotion: " + st.ToString(),
+               nullptr);
+        break;
+      }
+      DEEPSD_RETURN_IF_ERROR(RunPromote(std::move(candidate)));
+      break;
+    }
+    case LearnerStage::kWatching:
+      DEEPSD_RETURN_IF_ERROR(CheckWatch());
+      break;
+  }
+  SetStageGauge();
+  return util::Status::OK();
+}
+
+util::Status ContinuousLearner::StartFineTune() {
+  candidate_id_ = "ft-" + std::to_string(ledger_.state().next_seq);
+  candidate_artifact_.clear();
+  resume_pending_ = false;
+
+  LedgerRecord started;
+  started.event = LedgerEvent::kFineTuneStarted;
+  started.t_abs = now_abs_;
+  started.candidate_id = candidate_id_;
+  started.note = "snapshot days [" +
+                 std::to_string(std::max(0, day_ - options_.snapshot_days)) +
+                 ", " + std::to_string(day_) + ")";
+  DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(started)));
+  last_finetune_abs_ = now_abs_;
+  stage_ = LearnerStage::kFineTuning;
+  return util::Status::OK();
+}
+
+util::Status ContinuousLearner::RunFineTune() {
+  // Freeze the snapshot: the last snapshot_days complete days, remapped to
+  // day 0..n-1 with their weekday identity preserved.
+  const int day_end = day_;
+  int day_begin = std::max(0, day_end - options_.snapshot_days);
+  while (day_begin < day_end && log_.find(day_begin) == log_.end()) {
+    ++day_begin;
+  }
+  const int n_days = day_end - day_begin;
+  if (n_days < options_.min_train_days || n_days <= 0) {
+    return Abort("snapshot too small: " + std::to_string(n_days) +
+                 " complete days");
+  }
+
+  data::OrderDatasetBuilder builder(
+      options_.num_areas, n_days,
+      (options_.first_weekday + day_begin) % data::kDaysPerWeek);
+  for (int d = day_begin; d < day_end; ++d) {
+    auto it = log_.find(d);
+    if (it == log_.end()) continue;
+    for (data::Order order : it->second.orders) {
+      order.day -= day_begin;
+      builder.AddOrder(order);
+    }
+    for (data::WeatherRecord w : it->second.weather) {
+      w.day -= day_begin;
+      builder.AddWeather(w);
+    }
+    for (data::TrafficRecord t : it->second.traffic) {
+      t.day -= day_begin;
+      builder.AddTraffic(t);
+    }
+  }
+  data::OrderDataset snapshot;
+  DEEPSD_RETURN_IF_ERROR(builder.Build(&snapshot));
+
+  feature::FeatureAssembler assembler(&snapshot, options_.features, 0, n_days);
+  const int t_begin = std::max(options_.features.window, 20);
+  const int t_end = data::kMinutesPerDay - data::kGapWindow;
+  // More than one day: hold the most recent out for the per-epoch eval
+  // (best-k selection); a single day evaluates in-sample.
+  const int train_end = n_days > 1 ? n_days - 1 : n_days;
+  std::vector<data::PredictionItem> train_items = data::MakeItems(
+      snapshot, 0, train_end, t_begin, t_end, options_.item_stride);
+  std::vector<data::PredictionItem> eval_items =
+      n_days > 1 ? data::MakeItems(snapshot, train_end, n_days, t_begin, t_end,
+                                   options_.item_stride)
+                 : train_items;
+  if (train_items.empty() || eval_items.empty()) {
+    return Abort("empty snapshot item set");
+  }
+
+  const store::Manifest& manifest = serving_model_->manifest();
+  const bool advanced = manifest.mode == core::DeepSDModel::Mode::kAdvanced;
+  core::AssemblerSource train_src(&assembler, std::move(train_items), advanced);
+  core::AssemblerSource eval_src(&assembler, std::move(eval_items), advanced);
+
+  core::TrainConfig config = options_.finetune;
+  candidate_params_ = std::make_unique<nn::ParameterStore>();
+  util::Rng init_rng(config.seed);
+  candidate_model_ = std::make_unique<core::DeepSDModel>(
+      manifest.config, manifest.mode, candidate_params_.get(), &init_rng);
+
+  core::Trainer trainer(config);
+  core::TrainerCheckpoint resume;
+  bool resumed = false;
+  if (resume_pending_) {
+    resume_pending_ = false;
+    util::Status loaded = core::LoadCheckpoint(config.checkpoint_path, &resume);
+    if (loaded.ok()) {
+      loaded = core::ValidateResume(resume, config, *candidate_params_);
+    }
+    // An unusable checkpoint (missing, torn, config drifted) restarts the
+    // fine-tune from scratch — never resume into silent divergence.
+    resumed = loaded.ok();
+  }
+  if (resumed) {
+    Metrics::Get()->fine_tune_resumes->Inc();
+    trainer.Train(candidate_model_.get(), candidate_params_.get(), train_src,
+                  eval_src, nullptr, &resume);
+  } else {
+    trainer.FineTuneFrom(candidate_model_.get(), candidate_params_.get(),
+                         serving_model_->params(), train_src, eval_src);
+  }
+  ++fine_tunes_;
+  Metrics::Get()->fine_tunes->Inc();
+  stage_ = LearnerStage::kPacking;
+  return util::Status::OK();
+}
+
+util::Status ContinuousLearner::RunPack() {
+  if (candidate_model_ == nullptr) {
+    // Crash between fine-tune and pack lands in kFineTuning via the ledger
+    // (kPacking is never a recovery entry state); an in-memory miss here is
+    // a programming error turned typed.
+    return Abort("no in-memory candidate to pack");
+  }
+  candidate_artifact_ = options_.state_dir + "/" + candidate_id_ + ".dsar";
+
+  store::PackOptions pack;
+  pack.version_id = candidate_id_;
+  util::RetryPolicy retry(options_.io_retry, ledger_.state().next_seq);
+  util::Status st = retry.Run([&] {
+    return store::PackModelArtifact(*candidate_model_, *candidate_params_,
+                                    nullptr, pack, candidate_artifact_);
+  });
+  for (int i = 1; i < retry.attempts(); ++i) Metrics::Get()->io_retries->Inc();
+  if (!st.ok()) {
+    return Abort("candidate pack failed: " + st.ToString());
+  }
+
+  LedgerRecord packed;
+  packed.event = LedgerEvent::kCandidatePacked;
+  packed.t_abs = now_abs_;
+  packed.candidate_id = candidate_id_;
+  packed.artifact_path = candidate_artifact_;
+  DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(packed)));
+  Metrics::Get()->candidates_packed->Inc();
+
+  // The artifact is the candidate's durable form now; the fine-tune
+  // checkpoint would only resume a finished run.
+  std::remove(options_.finetune.checkpoint_path.c_str());
+  candidate_model_.reset();
+  candidate_params_.reset();
+  stage_ = LearnerStage::kShadowing;
+  return util::Status::OK();
+}
+
+util::Status ContinuousLearner::StartShadow() {
+  // The corruption gate: a candidate that cannot be opened and validated
+  // (CRC seal, section bounds, parameter coverage) is rejected here and
+  // never reaches Publish.
+  std::shared_ptr<const store::StoredModel> candidate;
+  util::Status st = OpenArtifact(candidate_artifact_, &candidate);
+  if (!st.ok()) {
+    Reject("candidate artifact rejected: " + st.ToString(), nullptr);
+    return util::Status::OK();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow_ = std::make_shared<ShadowEvaluator>(
+        std::move(candidate), history_, options_.shadow_acc,
+        options_.fallback);
+  }
+
+  LedgerRecord started;
+  started.event = LedgerEvent::kShadowStarted;
+  started.t_abs = now_abs_;
+  started.candidate_id = candidate_id_;
+  started.artifact_path = candidate_artifact_;
+  DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(started)));
+  stage_ = LearnerStage::kShadowing;
+  return util::Status::OK();
+}
+
+util::Status ContinuousLearner::EvaluateGate() {
+  std::shared_ptr<ShadowEvaluator> shadow;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow = shadow_;
+  }
+  if (shadow == nullptr) {
+    return Abort("shadow evaluator missing");
+  }
+  const ShadowComparison cmp = shadow->Compare();
+  Metrics::Get()->shadow_samples->Set(static_cast<double>(cmp.samples));
+  if (cmp.samples < options_.shadow_min_samples) return util::Status::OK();
+
+  Metrics::Get()->shadow_mae_delta->Set(cmp.candidate.mae - cmp.serving.mae);
+
+  LedgerRecord result;
+  result.event = LedgerEvent::kShadowResult;
+  result.t_abs = now_abs_;
+  result.candidate_id = candidate_id_;
+  result.artifact_path = candidate_artifact_;
+  result.serving_mae = cmp.serving.mae;
+  result.candidate_mae = cmp.candidate.mae;
+  result.serving_rmse = cmp.serving.rmse;
+  result.candidate_rmse = cmp.candidate.rmse;
+  result.shadow_samples = cmp.samples;
+  DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(result)));
+
+  const bool wins =
+      cmp.serving.mae > 0
+          ? cmp.candidate.mae <=
+                options_.promote_max_mae_ratio * cmp.serving.mae
+          : cmp.candidate.mae <= 0;
+  if (!wins) {
+    Reject("lost shadow comparison", &cmp);
+    return util::Status::OK();
+  }
+
+  LedgerRecord promoting;
+  promoting.event = LedgerEvent::kPromoting;
+  promoting.t_abs = now_abs_;
+  promoting.candidate_id = candidate_id_;
+  promoting.artifact_path = candidate_artifact_;
+  promoting.serving_mae = cmp.serving.mae;
+  promoting.candidate_mae = cmp.candidate.mae;
+  promoting.shadow_samples = cmp.samples;
+  DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(promoting)));
+  watch_baseline_mae_ = cmp.serving.mae;
+  stage_ = LearnerStage::kPromoting;
+  return RunPromote(shadow->candidate());
+}
+
+util::Status ContinuousLearner::RunPromote(
+    std::shared_ptr<const store::StoredModel> candidate) {
+  util::Status st = publish_(candidate);
+  if (!st.ok()) {
+    // Serving-compat refusal (or a publish-path failure): the candidate
+    // never went live, serving is untouched.
+    Reject("publish refused: " + st.ToString(), nullptr);
+    return util::Status::OK();
+  }
+
+  prior_model_ = serving_model_;
+  prior_artifact_ = serving_artifact_;
+  serving_model_ = std::move(candidate);
+  serving_artifact_ = candidate_artifact_;
+
+  LedgerRecord promoted;
+  promoted.event = LedgerEvent::kPromoted;
+  promoted.t_abs = now_abs_;
+  promoted.candidate_id = candidate_id_;
+  promoted.artifact_path = candidate_artifact_;
+  promoted.prior_version = prior_model_->version_id();
+  promoted.serving_mae = watch_baseline_mae_;
+  DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(promoted)));
+  ++promotions_;
+  Metrics::Get()->promotions->Inc();
+  Metrics::Get()->watch_mae_ratio->Set(1.0);
+
+  // Arm the watchdog: the prior model keeps answering in shadow, so the
+  // watch compares the promoted model against its rollback target over
+  // the same post-promotion slots — a counterfactual baseline that a
+  // time-of-day error swing cannot fool, unlike a cumulative pre-promotion
+  // average.
+  live_tracker_->Mark();
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow_ = std::make_shared<ShadowEvaluator>(
+        prior_model_, history_, options_.shadow_acc, options_.fallback);
+  }
+  stage_ = LearnerStage::kWatching;
+  return util::Status::OK();
+}
+
+util::Status ContinuousLearner::CheckWatch() {
+  std::shared_ptr<ShadowEvaluator> shadow;
+  {
+    std::lock_guard<std::mutex> lock(shadow_mu_);
+    shadow = shadow_;
+  }
+  if (shadow == nullptr) {
+    return Abort("watch shadow missing");
+  }
+  // serving = the promoted model live; candidate = the prior model
+  // re-answering the same slots in shadow.
+  const ShadowComparison cmp = shadow->Compare();
+  if (cmp.samples < options_.watch_min_samples) return util::Status::OK();
+
+  double ratio;
+  if (cmp.candidate.mae > 0) {
+    ratio = cmp.serving.mae / cmp.candidate.mae;
+  } else {
+    // A zero counterfactual can't scale; any real error is a regression.
+    ratio = cmp.serving.mae <= 0 ? 1.0 : options_.rollback_mae_ratio + 1.0;
+  }
+  Metrics::Get()->watch_mae_ratio->Set(ratio);
+
+  if (ratio > options_.rollback_mae_ratio) {
+    return Rollback(ratio, cmp);
+  }
+  if (cmp.samples >= options_.watch_pass_samples) {
+    // Healthy through the full watch window: the promotion sticks.
+    DropShadow();
+    prior_model_.reset();
+    prior_artifact_.clear();
+    stage_ = LearnerStage::kIdle;
+  }
+  return util::Status::OK();
+}
+
+util::Status ContinuousLearner::Rollback(double ratio,
+                                         const ShadowComparison& watched) {
+  if (prior_model_ == nullptr) {
+    return Abort("no prior version to roll back to");
+  }
+  DropShadow();
+
+  LedgerRecord starting;
+  starting.event = LedgerEvent::kRollbackStarted;
+  starting.t_abs = now_abs_;
+  starting.candidate_id = serving_model_->version_id();
+  starting.prior_version = prior_model_->version_id();
+  starting.artifact_path = prior_artifact_;
+  starting.serving_mae = watched.serving.mae;
+  starting.candidate_mae = watched.candidate.mae;
+  starting.shadow_samples = watched.samples;
+  DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(starting)));
+
+  DEEPSD_RETURN_IF_ERROR(rollback_(prior_model_));
+
+  LedgerRecord done;
+  done.event = LedgerEvent::kRolledBack;
+  done.t_abs = now_abs_;
+  done.candidate_id = serving_model_->version_id();
+  done.prior_version = prior_model_->version_id();
+  done.artifact_path = prior_artifact_;
+  DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(done)));
+
+  // Exactly one rollback per incident: the regressed version is retired
+  // and the stage returns to idle — the next fine-tune needs a fresh
+  // trigger and a fresh cooldown window.
+  const std::string regressed = serving_model_->version_id();
+  serving_model_ = prior_model_;
+  serving_artifact_ = prior_artifact_;
+  prior_model_.reset();
+  prior_artifact_.clear();
+  ++rollbacks_;
+  Metrics::Get()->rollbacks->Inc();
+  last_finetune_abs_ = now_abs_;
+  stage_ = LearnerStage::kIdle;
+
+  if (alerts_ != nullptr) {
+    obs::AlertEvent alert;
+    alert.t_us = now_abs_ * 60 * 1000000;
+    alert.spec = "learn-rollback";
+    alert.kind = "rollback";
+    alert.value = ratio;
+    alert.threshold = options_.rollback_mae_ratio;
+    alert.message = "rolled back " + regressed + " to " +
+                    serving_model_->version_id() + ": post-promotion MAE " +
+                    std::to_string(watched.serving.mae) +
+                    " vs the prior model's " +
+                    std::to_string(watched.candidate.mae) +
+                    " on the same slots";
+    alerts_->Append(alert);
+  }
+  if (flight_ != nullptr) {
+    // Idempotent: one bundle per incident, however often this fires.
+    (void)flight_->Dump(timeline_, alerts_,
+                        "continuous-learning rollback of " + regressed);
+  }
+  return util::Status::OK();
+}
+
+void ContinuousLearner::Reject(const std::string& why,
+                               const ShadowComparison* cmp) {
+  LedgerRecord rejected;
+  rejected.event = LedgerEvent::kRejected;
+  rejected.t_abs = now_abs_;
+  rejected.candidate_id = candidate_id_;
+  rejected.artifact_path = candidate_artifact_;
+  rejected.note = why;
+  if (cmp != nullptr) {
+    rejected.serving_mae = cmp->serving.mae;
+    rejected.candidate_mae = cmp->candidate.mae;
+    rejected.shadow_samples = cmp->samples;
+  }
+  // Best-effort append: rejection must land in idle even if the disk is
+  // unhappy — the candidate is simply never published either way.
+  (void)ledger_.Append(std::move(rejected));
+  ++rejected_;
+  Metrics::Get()->candidates_rejected->Inc();
+  Metrics::Get()->rejected_total->Set(static_cast<double>(rejected_));
+  DropShadow();
+  candidate_model_.reset();
+  candidate_params_.reset();
+  stage_ = LearnerStage::kIdle;
+}
+
+util::Status ContinuousLearner::Abort(const std::string& why) {
+  LedgerRecord aborted;
+  aborted.event = LedgerEvent::kAborted;
+  aborted.t_abs = now_abs_;
+  aborted.candidate_id = candidate_id_;
+  aborted.note = why;
+  DEEPSD_RETURN_IF_ERROR(ledger_.Append(std::move(aborted)));
+  DropShadow();
+  candidate_model_.reset();
+  candidate_params_.reset();
+  stage_ = LearnerStage::kIdle;
+  return util::Status::OK();
+}
+
+void ContinuousLearner::DropShadow() {
+  std::lock_guard<std::mutex> lock(shadow_mu_);
+  shadow_.reset();
+}
+
+}  // namespace learn
+}  // namespace deepsd

@@ -1,0 +1,271 @@
+#ifndef DEEPSD_LEARN_CONTINUOUS_LEARNER_H_
+#define DEEPSD_LEARN_CONTINUOUS_LEARNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "eval/online_accuracy.h"
+#include "feature/feature_assembler.h"
+#include "learn/ledger.h"
+#include "learn/shadow_eval.h"
+#include "obs/slo.h"
+#include "serving/online_predictor.h"
+#include "store/stored_model.h"
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace learn {
+
+/// Where the loop currently is. Exported as the learn/stage gauge.
+enum class LearnerStage {
+  kIdle = 0,
+  kFineTuning = 1,
+  kPacking = 2,
+  kShadowing = 3,
+  kPromoting = 4,
+  kWatching = 5,
+};
+
+const char* LearnerStageName(LearnerStage stage);
+
+/// Continuous-learning configuration. Required: state_dir,
+/// initial_artifact, num_areas.
+struct LearnerOptions {
+  /// Durable state home: promotions.ledger, finetune.ck, candidate
+  /// artifacts. Must exist.
+  std::string state_dir;
+  /// The artifact serving boots from before any promotion — also the
+  /// terminal rollback target.
+  std::string initial_artifact;
+  int num_areas = 0;
+  /// Day-of-week of absolute day 0 (0=Monday), so snapshots keep their
+  /// weekday identity.
+  int first_weekday = 0;
+
+  /// Fine-tune hyperparameters. checkpoint_path is overridden to
+  /// <state_dir>/finetune.ck (the crash-resume anchor); set
+  /// checkpoint_every_steps for sub-epoch resume granularity.
+  core::TrainConfig finetune;
+  feature::FeatureConfig features;
+  serving::FallbackConfig fallback;
+  /// Shadow-side accuracy tracking (num_areas is filled in; metric export
+  /// is forced off for the shadow pair).
+  eval::OnlineAccuracyConfig shadow_acc;
+
+  /// Snapshot: train on the last `snapshot_days` *complete* days of the
+  /// live stream (the most recent complete day is the eval split when more
+  /// than one).
+  int snapshot_days = 2;
+  /// Complete logged days required before a fine-tune may start.
+  int min_train_days = 1;
+  /// Minutes between training items (paper protocol uses 5; 30 keeps a
+  /// background fine-tune cheap).
+  int item_stride = 30;
+  /// Fine-tune trigger: live input PSI (accuracy tracker) must exceed this;
+  /// <= 0 triggers on the cooldown alone.
+  double psi_trigger = 0.0;
+  /// Minimum minutes between fine-tune starts.
+  int cooldown_minutes = 1440;
+
+  /// Promotion gate: both sides of the shadow comparison need this many
+  /// joined samples, and the candidate's shadow MAE must be at most
+  /// `promote_max_mae_ratio` of serving's.
+  uint64_t shadow_min_samples = 128;
+  double promote_max_mae_ratio = 0.98;
+
+  /// Watchdog: after a promotion the prior model keeps answering in
+  /// shadow, so the watch compares the promoted model's live MAE against
+  /// the prior's over the same post-promotion slots (a counterfactual
+  /// baseline that a time-of-day error swing cannot fool). Once
+  /// `watch_min_samples` joins accumulate, a live/prior ratio above
+  /// `rollback_mae_ratio` rolls back; staying healthy through
+  /// `watch_pass_samples` (0 = 2 × watch_min_samples) retires the watch.
+  uint64_t watch_min_samples = 128;
+  uint64_t watch_pass_samples = 0;
+  double rollback_mae_ratio = 1.15;
+
+  /// Backoff for transient IoError on artifact pack/open.
+  util::RetryOptions io_retry;
+
+  /// Forward order events and clock advances to the live tracker. Keep on
+  /// when the tracker is not attached to a stream buffer (the sharded
+  /// deployment, where no single shard buffer sees the whole city); turn
+  /// off when the deployment attaches the tracker to a buffer itself.
+  bool drive_live_tracker = true;
+};
+
+/// The crash-safe continuous-learning loop: background fine-tune on live
+/// traffic snapshots → shadow evaluation → guarded promotion → post-
+/// promotion watchdog with automatic rollback (docs/continuous_learning.md).
+///
+/// The loop is driven synchronously by Tick() — "background" means decoupled
+/// from the serving path (serving never waits on it), not a hidden thread;
+/// determinism is what makes the fault-injection suite possible. Every
+/// stage writes its durable work (checkpoint, artifact, ledger record)
+/// before advancing, so a SIGKILL at any point leaves serving answering
+/// from a valid version and Recover() replays the ledger back to a
+/// well-defined state: an interrupted fine-tune resumes bitwise from the
+/// DSC1 checkpoint, an interrupted shadow restarts from the sealed
+/// artifact, an interrupted promotion re-runs its publish, an interrupted
+/// rollback resolves rolled-back.
+///
+/// Wiring (see tools/deepsd_simulate.cc --drift):
+///   ContinuousLearner learner(options, &assembler, &tracker, publish_fn);
+///   std::shared_ptr<const store::StoredModel> boot;
+///   learner.Recover(&boot);          // replay ledger, open committed model
+///   publish_fn(boot);                // serving answers from it
+///   ...per minute: learner.Tick(day, minute); feed serving + learner;
+///      predictions flow through learner (the PredictionObserver tap).
+class ContinuousLearner : public serving::PredictionObserver {
+ public:
+  using PublishFn =
+      std::function<util::Status(std::shared_ptr<const store::ModelVersion>)>;
+
+  /// `history` is the serving feature assembler (outlives the learner);
+  /// `live_tracker` the production accuracy tracker (the watchdog's signal
+  /// source); `publish` flips serving to a new version (e.g.
+  /// ShardedPredictor::SwapModel); `rollback` reverts (defaults to
+  /// `publish`; ShardedPredictor::RollbackModel also counts the revert).
+  ContinuousLearner(const LearnerOptions& options,
+                    const feature::FeatureAssembler* history,
+                    eval::OnlineAccuracyTracker* live_tracker,
+                    PublishFn publish, PublishFn rollback = nullptr);
+
+  /// Crash recovery — must run before the first Tick. Replays the ledger
+  /// (dropping any torn tail), resolves an interrupted stage per the rules
+  /// above, and opens the committed artifact; `*boot` (optional) receives
+  /// the version serving should publish at startup.
+  util::Status Recover(
+      std::shared_ptr<const store::StoredModel>* boot = nullptr);
+
+  // Live feed copies — call alongside feeding the serving predictor.
+  void OnOrder(const data::Order& order);
+  void OnWeather(const data::WeatherRecord& record);
+  void OnTraffic(const data::TrafficRecord& record);
+
+  /// Advances the learner clock and runs any due stage work synchronously.
+  /// Call before advancing/serving the same minute on the serving side, so
+  /// the shadow's clock is never behind serving's.
+  util::Status Tick(int day, int minute);
+
+  /// The serving tap: forwards to the live tracker, then (when a shadow is
+  /// active) to the shadow evaluator. Attach to every serving predictor
+  /// (each shard replica of a ShardedPredictor). Thread-safe.
+  void OnPrediction(const std::vector<int>& area_ids,
+                    const serving::PredictResult& result,
+                    const std::vector<float>& activity,
+                    int64_t now_abs) override;
+
+  /// Forces a fine-tune at the next Tick regardless of PSI and cooldown.
+  void RequestFineTune() { finetune_requested_ = true; }
+
+  /// Optional incident sinks: the rollback path appends one alert and
+  /// dumps one flight bundle per incident.
+  void set_alert_log(obs::AlertLog* log) { alerts_ = log; }
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+  void set_timeline(const obs::TimelineRecorder* timeline) {
+    timeline_ = timeline;
+  }
+
+  LearnerStage stage() const { return stage_; }
+  const PromotionLedger& ledger() const { return ledger_; }
+  const std::shared_ptr<const store::StoredModel>& serving_model() const {
+    return serving_model_;
+  }
+  uint64_t fine_tunes() const { return fine_tunes_; }
+  uint64_t promotions() const { return promotions_; }
+  uint64_t rollbacks() const { return rollbacks_; }
+  uint64_t rejected() const { return rejected_; }
+
+ private:
+  struct DayLog {
+    std::vector<data::Order> orders;
+    std::vector<data::WeatherRecord> weather;
+    std::vector<data::TrafficRecord> traffic;
+  };
+
+  /// Complete (strictly past) days currently in the log that a snapshot
+  /// starting now could train on.
+  int CompleteSnapshotDays() const;
+  bool ShouldFineTune() const;
+  /// Appends kFineTuneStarted and enters kFineTuning.
+  util::Status StartFineTune();
+  /// Snapshot → (resume or warm-start) train → in-memory candidate.
+  util::Status RunFineTune();
+  /// Seals the candidate artifact (retry on transient IoError).
+  util::Status RunPack();
+  /// Opens the artifact (the corruption gate) and starts the shadow.
+  util::Status StartShadow();
+  /// Checks the min-sample floor, records the verdict, promotes/rejects.
+  util::Status EvaluateGate();
+  /// Publishes the candidate and arms the watchdog.
+  util::Status RunPromote(std::shared_ptr<const store::StoredModel> candidate);
+  util::Status CheckWatch();
+  util::Status Rollback(double ratio, const ShadowComparison& watched);
+  /// Terminal "stage abandoned" bookkeeping.
+  util::Status Abort(const std::string& why);
+  void Reject(const std::string& why, const ShadowComparison* cmp);
+
+  util::Status OpenArtifact(const std::string& path,
+                            std::shared_ptr<const store::StoredModel>* out);
+  void DropShadow();
+  void SetStageGauge();
+
+  LearnerOptions options_;
+  const feature::FeatureAssembler* history_;
+  eval::OnlineAccuracyTracker* live_tracker_;
+  PublishFn publish_;
+  PublishFn rollback_;
+
+  PromotionLedger ledger_;
+  bool recovered_ = false;
+
+  LearnerStage stage_ = LearnerStage::kIdle;
+  int64_t now_abs_ = -1;
+  int day_ = 0;
+  int minute_ = 0;
+
+  std::map<int, DayLog> log_;  ///< Bounded: last snapshot_days + 1 days.
+
+  std::shared_ptr<const store::StoredModel> serving_model_;
+  std::string serving_artifact_;
+  std::shared_ptr<const store::StoredModel> prior_model_;
+  std::string prior_artifact_;
+
+  // In-flight candidate.
+  std::string candidate_id_;
+  std::string candidate_artifact_;
+  std::unique_ptr<nn::ParameterStore> candidate_params_;
+  std::unique_ptr<core::DeepSDModel> candidate_model_;
+  bool resume_pending_ = false;
+
+  mutable std::mutex shadow_mu_;  ///< Guards shadow_ against OnPrediction.
+  std::shared_ptr<ShadowEvaluator> shadow_;
+
+  double watch_baseline_mae_ = 0;
+  int64_t last_finetune_abs_ = -(1 << 30);
+  bool finetune_requested_ = false;
+
+  uint64_t fine_tunes_ = 0;
+  uint64_t promotions_ = 0;
+  uint64_t rollbacks_ = 0;
+  uint64_t rejected_ = 0;
+
+  obs::AlertLog* alerts_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  const obs::TimelineRecorder* timeline_ = nullptr;
+};
+
+}  // namespace learn
+}  // namespace deepsd
+
+#endif  // DEEPSD_LEARN_CONTINUOUS_LEARNER_H_

@@ -1,0 +1,234 @@
+#include "learn/ledger.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/byte_io.h"
+#include "util/crc32.h"
+
+namespace deepsd {
+namespace learn {
+
+namespace {
+
+constexpr char kMagic[8] = {'D', 'S', 'P', 'L', '1', '\0', '\0', '\0'};
+constexpr uint32_t kMaxPayload = 1u << 20;
+
+std::vector<char> EncodeRecord(const LedgerRecord& r) {
+  util::ByteWriter w;
+  w.PutPod<uint64_t>(r.seq);
+  w.PutPod<uint8_t>(static_cast<uint8_t>(r.event));
+  w.PutPod<int64_t>(r.t_abs);
+  w.PutString(r.candidate_id);
+  w.PutString(r.artifact_path);
+  w.PutString(r.prior_version);
+  w.PutPod<double>(r.serving_mae);
+  w.PutPod<double>(r.candidate_mae);
+  w.PutPod<double>(r.serving_rmse);
+  w.PutPod<double>(r.candidate_rmse);
+  w.PutPod<uint64_t>(r.shadow_samples);
+  w.PutString(r.note);
+  return w.TakeBytes();
+}
+
+bool DecodeRecord(const char* data, size_t size, LedgerRecord* r) {
+  util::ByteReader reader(data, size);
+  uint8_t event = 0;
+  if (!reader.GetPod(&r->seq) || !reader.GetPod(&event) ||
+      !reader.GetPod(&r->t_abs) || !reader.GetString(&r->candidate_id) ||
+      !reader.GetString(&r->artifact_path) ||
+      !reader.GetString(&r->prior_version) ||
+      !reader.GetPod(&r->serving_mae) || !reader.GetPod(&r->candidate_mae) ||
+      !reader.GetPod(&r->serving_rmse) ||
+      !reader.GetPod(&r->candidate_rmse) ||
+      !reader.GetPod(&r->shadow_samples) || !reader.GetString(&r->note)) {
+    return false;
+  }
+  if (event < 1 || event > 10) return false;
+  if (reader.remaining() != 0) return false;
+  r->event = static_cast<LedgerEvent>(event);
+  return true;
+}
+
+/// Parses every intact frame of `bytes` (which must start with the magic).
+/// Returns the byte offset where the intact prefix ends; everything past
+/// it is a torn/corrupt tail.
+size_t ParseFrames(const std::vector<char>& bytes,
+                   std::vector<LedgerRecord>* out) {
+  size_t pos = sizeof(kMagic);
+  while (pos + 8 <= bytes.size()) {
+    uint32_t len = 0, crc = 0;
+    std::memcpy(&len, bytes.data() + pos, 4);
+    std::memcpy(&crc, bytes.data() + pos + 4, 4);
+    if (len == 0 || len > kMaxPayload || pos + 8 + len > bytes.size()) break;
+    const char* payload = bytes.data() + pos + 8;
+    if (util::Crc32(payload, len) != crc) break;
+    LedgerRecord record;
+    if (!DecodeRecord(payload, len, &record)) break;
+    out->push_back(std::move(record));
+    pos += 8 + len;
+  }
+  return pos;
+}
+
+}  // namespace
+
+const char* LedgerEventName(LedgerEvent event) {
+  switch (event) {
+    case LedgerEvent::kFineTuneStarted: return "fine_tune_started";
+    case LedgerEvent::kCandidatePacked: return "candidate_packed";
+    case LedgerEvent::kShadowStarted: return "shadow_started";
+    case LedgerEvent::kShadowResult: return "shadow_result";
+    case LedgerEvent::kPromoting: return "promoting";
+    case LedgerEvent::kPromoted: return "promoted";
+    case LedgerEvent::kRejected: return "rejected";
+    case LedgerEvent::kRollbackStarted: return "rollback_started";
+    case LedgerEvent::kRolledBack: return "rolled_back";
+    case LedgerEvent::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+PromotionLedger::~PromotionLedger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+util::Status PromotionLedger::Open() {
+  static obs::Counter* torn_counter =
+      obs::MetricsRegistry::Global().GetCounter("learn/ledger_torn_tail");
+  if (file_ != nullptr) {
+    return util::Status::FailedPrecondition("ledger already open");
+  }
+
+  std::vector<char> bytes;
+  util::Status read = util::ReadFileBytes(path_, &bytes);
+  if (read.ok()) {
+    if (bytes.size() < sizeof(kMagic) ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+      return util::Status::IoError("not a promotion ledger: " + path_);
+    }
+    records_.clear();
+    const size_t intact = ParseFrames(bytes, &records_);
+    torn_bytes_ = bytes.size() - intact;
+    if (torn_bytes_ > 0) {
+      // Drop the torn tail durably before appending anything after it.
+      torn_counter->Inc();
+      DEEPSD_RETURN_IF_ERROR(
+          util::AtomicWriteFile(path_, bytes.data(), intact));
+    }
+  } else {
+    // Fresh ledger: seal the magic atomically so a half-created file can
+    // never be mistaken for an empty-but-valid ledger.
+    DEEPSD_RETURN_IF_ERROR(
+        util::AtomicWriteFile(path_, kMagic, sizeof(kMagic)));
+  }
+  next_seq_ = records_.empty() ? 1 : records_.back().seq + 1;
+
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    return util::Status::IoError("open for append failed: " + path_ + ": " +
+                                 std::strerror(errno));
+  }
+  return util::Status::OK();
+}
+
+util::Status PromotionLedger::AppendFrame(const std::vector<char>& payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  const uint32_t crc = util::Crc32(payload.data(), payload.size());
+  if (std::fwrite(&len, 4, 1, file_) != 1 ||
+      std::fwrite(&crc, 4, 1, file_) != 1 ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size() ||
+      std::fflush(file_) != 0) {
+    return util::Status::IoError("ledger append failed: " + path_);
+  }
+  return util::Status::OK();
+}
+
+util::Status PromotionLedger::Append(LedgerRecord record) {
+  static obs::Counter* appended =
+      obs::MetricsRegistry::Global().GetCounter("learn/ledger_records");
+  if (file_ == nullptr) {
+    return util::Status::FailedPrecondition("ledger not open");
+  }
+  record.seq = next_seq_;
+  DEEPSD_RETURN_IF_ERROR(AppendFrame(EncodeRecord(record)));
+  ++next_seq_;
+  appended->Inc();
+  records_.push_back(std::move(record));
+  return util::Status::OK();
+}
+
+LedgerState PromotionLedger::Derive(const std::vector<LedgerRecord>& records) {
+  LedgerState state;
+  if (!records.empty()) state.next_seq = records.back().seq + 1;
+
+  // Committed chain: promotions move it forward, rollbacks move it back.
+  for (const LedgerRecord& r : records) {
+    if (r.event == LedgerEvent::kPromoted) {
+      state.committed_version = r.candidate_id;
+      state.committed_artifact = r.artifact_path;
+    } else if (r.event == LedgerEvent::kRolledBack ||
+               r.event == LedgerEvent::kRollbackStarted) {
+      // An open kRollbackStarted resolves as rolled back: the watchdog
+      // already judged the incident, and re-serving the regressed model
+      // after a crash would repeat it.
+      state.committed_version = r.prior_version;
+      state.committed_artifact = r.artifact_path;
+    }
+  }
+
+  // In-flight stage: the last record, unless it is terminal.
+  if (!records.empty()) {
+    const LedgerRecord& last = records.back();
+    state.last_event = last.event;
+    switch (last.event) {
+      case LedgerEvent::kFineTuneStarted:
+      case LedgerEvent::kCandidatePacked:
+      case LedgerEvent::kShadowStarted:
+      case LedgerEvent::kShadowResult:
+      case LedgerEvent::kPromoting:
+        state.in_flight = true;
+        state.in_flight_candidate = last.candidate_id;
+        state.in_flight_artifact = last.artifact_path;
+        state.in_flight_serving_mae = last.serving_mae;
+        break;
+      case LedgerEvent::kRollbackStarted:
+        state.in_flight_prior_version = last.prior_version;
+        break;
+      default:
+        break;
+    }
+    // A candidate mid-pipeline may have its artifact path only on an
+    // earlier record (kShadowStarted carries it; kShadowResult repeats it).
+    if (state.in_flight && state.in_flight_artifact.empty()) {
+      for (auto it = records.rbegin(); it != records.rend(); ++it) {
+        if (it->candidate_id == state.in_flight_candidate &&
+            !it->artifact_path.empty()) {
+          state.in_flight_artifact = it->artifact_path;
+          break;
+        }
+      }
+    }
+  }
+  return state;
+}
+
+util::Status PromotionLedger::Replay(const std::string& path,
+                                     std::vector<LedgerRecord>* out,
+                                     uint64_t* torn_bytes) {
+  std::vector<char> bytes;
+  DEEPSD_RETURN_IF_ERROR(util::ReadFileBytes(path, &bytes));
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return util::Status::IoError("not a promotion ledger: " + path);
+  }
+  out->clear();
+  const size_t intact = ParseFrames(bytes, out);
+  if (torn_bytes != nullptr) *torn_bytes = bytes.size() - intact;
+  return util::Status::OK();
+}
+
+}  // namespace learn
+}  // namespace deepsd

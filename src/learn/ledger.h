@@ -1,0 +1,128 @@
+#ifndef DEEPSD_LEARN_LEDGER_H_
+#define DEEPSD_LEARN_LEDGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace deepsd {
+namespace learn {
+
+/// Lifecycle events of one continuous-learning candidate, in the order the
+/// loop emits them (docs/continuous_learning.md). Every stage writes its
+/// event *after* the durable work of the stage completed, so replaying the
+/// ledger after a crash tells exactly which on-disk state can be trusted.
+enum class LedgerEvent : uint8_t {
+  kFineTuneStarted = 1,   ///< Snapshot frozen, fine-tune (re)started.
+  kCandidatePacked = 2,   ///< Candidate artifact sealed at artifact_path.
+  kShadowStarted = 3,     ///< Shadow replay against live traffic began.
+  kShadowResult = 4,      ///< Shadow deltas measured (metrics fields set).
+  kPromoting = 5,         ///< Gate passed; publish is about to happen.
+  kPromoted = 6,          ///< Candidate is live; prior_version records what
+                          ///< it replaced (the rollback target).
+  kRejected = 7,          ///< Gate refused the candidate (lost the shadow
+                          ///< comparison, or the artifact failed to open).
+  kRollbackStarted = 8,   ///< Watchdog tripped; reverting to prior_version.
+  kRolledBack = 9,        ///< Prior version is live again.
+  kAborted = 10,          ///< Stage abandoned (note says why).
+};
+
+const char* LedgerEventName(LedgerEvent event);
+
+/// One append-only ledger record. Fields beyond (seq, event, t_abs) are
+/// filled per event kind; unset fields stay zero/empty.
+struct LedgerRecord {
+  uint64_t seq = 0;          ///< Assigned by Append, dense from 1.
+  LedgerEvent event = LedgerEvent::kAborted;
+  int64_t t_abs = 0;         ///< Learner clock (absolute minutes).
+  std::string candidate_id;  ///< e.g. "ft-3".
+  std::string artifact_path;
+  std::string prior_version;  ///< kPromoted/kRollback*: the fallback id.
+  double serving_mae = 0, candidate_mae = 0;
+  double serving_rmse = 0, candidate_rmse = 0;
+  uint64_t shadow_samples = 0;
+  std::string note;
+};
+
+/// What a ledger replay resolves to — the well-defined state a restarted
+/// learner continues from.
+struct LedgerState {
+  uint64_t next_seq = 1;
+  /// version_id currently committed to serving ("" = the initial model).
+  std::string committed_version;
+  /// Artifact path of committed_version ("" = the initial artifact).
+  std::string committed_artifact;
+  /// An open, non-terminal stage (crash interrupted it). last_event tells
+  /// which stage; the in_flight_* fields identify the candidate.
+  bool in_flight = false;
+  LedgerEvent last_event = LedgerEvent::kAborted;
+  std::string in_flight_candidate;
+  std::string in_flight_artifact;
+  /// kPromoting crash only: the shadow-measured serving MAE, so a resumed
+  /// promotion keeps its watchdog baseline.
+  double in_flight_serving_mae = 0;
+  std::string in_flight_prior_version;  ///< kRollbackStarted crash only.
+};
+
+/// Crash-safe promotion ledger: an append-only frame log (u32 payload
+/// length, u32 CRC-32, payload) behind an 8-byte magic. Appends are
+/// write+flush of one frame; a crash mid-append leaves a torn tail that
+/// replay detects (short frame or CRC mismatch) and discards — a record is
+/// either fully durable or it never happened. Open() replays existing
+/// records, truncates any torn tail (atomically, via rewrite+rename), and
+/// positions for appending.
+///
+/// Single-writer by design: the learner is the only appender. Replay() is
+/// the read-only path tools use.
+class PromotionLedger {
+ public:
+  explicit PromotionLedger(std::string path) : path_(std::move(path)) {}
+  ~PromotionLedger();
+
+  PromotionLedger(const PromotionLedger&) = delete;
+  PromotionLedger& operator=(const PromotionLedger&) = delete;
+
+  /// Creates or replays the ledger file. Torn tails are dropped and
+  /// counted (learn/ledger_torn_tail); a file with a bad magic is
+  /// IoError — a ledger is never silently reinitialized over foreign data.
+  util::Status Open();
+
+  /// Assigns record.seq, appends one framed record and flushes it.
+  util::Status Append(LedgerRecord record);
+
+  const std::vector<LedgerRecord>& records() const { return records_; }
+  uint64_t torn_bytes() const { return torn_bytes_; }
+  const std::string& path() const { return path_; }
+
+  /// The recovery state the record sequence resolves to. Resolution rules
+  /// (docs/continuous_learning.md): kPromoted moves the committed version;
+  /// kRolledBack moves it back to the record's prior_version; an open
+  /// kPromoting without kPromoted means NOT promoted (publication is an
+  /// in-memory pointer flip — the crash lost it); an open kRollbackStarted
+  /// resolves as rolled back (the incident stands).
+  static LedgerState Derive(const std::vector<LedgerRecord>& records);
+  LedgerState state() const { return Derive(records_); }
+
+  /// Read-only replay for tools: fills `*out` with every intact record,
+  /// `*torn_bytes` (optional) with the discarded tail length.
+  static util::Status Replay(const std::string& path,
+                             std::vector<LedgerRecord>* out,
+                             uint64_t* torn_bytes = nullptr);
+
+ private:
+  util::Status AppendFrame(const std::vector<char>& payload);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::vector<LedgerRecord> records_;
+  uint64_t next_seq_ = 1;
+  uint64_t torn_bytes_ = 0;
+};
+
+}  // namespace learn
+}  // namespace deepsd
+
+#endif  // DEEPSD_LEARN_LEDGER_H_

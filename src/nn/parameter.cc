@@ -405,7 +405,17 @@ int ParameterStore::CopyFrom(const ParameterStore& other) {
   for (auto& p : params_) {
     const Parameter* src = other.Find(p->name);
     if (src != nullptr && src->value.SameShape(p->value)) {
-      p->value = src->value;
+      if (src->value.is_view()) {
+        // Copy-assigning a view aliases its pointer; a deep copy must
+        // materialize the floats so the destination stays writable (the
+        // fine-tune warm start copies from an mmap'd StoredModel).
+        Tensor copy(src->value.rows(), src->value.cols());
+        std::memcpy(copy.data(), src->value.data(),
+                    copy.size() * sizeof(float));
+        p->value = std::move(copy);
+      } else {
+        p->value = src->value;
+      }
       p->act_absmax = src->act_absmax;
       p->BumpVersion();
       ++count;

@@ -313,5 +313,32 @@ std::vector<SloSpec> DefaultServingSlos(double availability_objective,
   return specs;
 }
 
+std::vector<SloSpec> DefaultLearnSlos(double watch_mae_ratio_bound,
+                                      double rejected_candidates_bound) {
+  std::vector<SloSpec> specs;
+  if (watch_mae_ratio_bound > 0) {
+    SloSpec regression;
+    regression.name = "learn-post-promotion-regression";
+    regression.kind = SloSpec::Kind::kGaugeMax;
+    regression.metric = "learn/watch_mae_ratio";
+    regression.bound = watch_mae_ratio_bound;
+    // The watchdog already rolls back on the first breaching evaluation;
+    // fire on the first breaching scrape too so the alert and the rollback
+    // name the same incident.
+    regression.short_window = 1;
+    specs.push_back(std::move(regression));
+  }
+  if (rejected_candidates_bound > 0) {
+    SloSpec rejected;
+    rejected.name = "learn-candidates-rejected";
+    rejected.kind = SloSpec::Kind::kGaugeMax;
+    rejected.metric = "learn/candidates_rejected_total";
+    rejected.bound = rejected_candidates_bound;
+    rejected.short_window = 1;
+    specs.push_back(std::move(rejected));
+  }
+  return specs;
+}
+
 }  // namespace obs
 }  // namespace deepsd

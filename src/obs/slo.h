@@ -174,6 +174,17 @@ std::vector<SloSpec> DefaultServingSlos(double availability_objective,
                                         double queue_wait_p99_us,
                                         double mae_bound);
 
+/// SLOs over the continuous-learning loop (docs/continuous_learning.md):
+/// a bound on learn/watch_mae_ratio — the post-promotion cumulative MAE of
+/// the freshly promoted model relative to its pre-promotion baseline; the
+/// watchdog rolls back at the same ratio, so the alert and the rollback
+/// describe one incident — and a bound on learn/candidates_rejected_total
+/// exposed as a gauge by the learner (a corrupted-artifact flood is an
+/// operational problem even though each rejection is individually safe).
+/// Bounds <= 0 drop the corresponding spec.
+std::vector<SloSpec> DefaultLearnSlos(double watch_mae_ratio_bound,
+                                      double rejected_candidates_bound);
+
 }  // namespace obs
 }  // namespace deepsd
 

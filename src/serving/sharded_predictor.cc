@@ -95,6 +95,15 @@ util::Status ShardedPredictor::SwapModel(
   return versions_->Publish(std::move(version));
 }
 
+util::Status ShardedPredictor::RollbackModel(
+    std::shared_ptr<const store::ModelVersion> version) {
+  static obs::Counter* rollbacks =
+      obs::MetricsRegistry::Global().GetCounter("serving/model_rollbacks");
+  DEEPSD_RETURN_IF_ERROR(SwapModel(std::move(version)));
+  rollbacks->Inc();
+  return util::Status::OK();
+}
+
 void ShardedPredictor::AddOrder(const data::Order& order) {
   // A malformed area can hash anywhere on the ring; route it to shard 0 so
   // exactly one buffer rejects (and counts) it, and never advance the

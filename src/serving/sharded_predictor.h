@@ -196,6 +196,13 @@ class ShardedPredictor {
   /// static model; InvalidArgument on a serving-incompatible version.
   util::Status SwapModel(std::shared_ptr<const store::ModelVersion> version);
 
+  /// The continuous-learning rollback path: re-publishes a previously
+  /// served version (mechanically a SwapModel — in-flight calls finish on
+  /// their pin, no request is dropped) and counts it separately as
+  /// serving/model_rollbacks so dashboards distinguish an emergency
+  /// revert from a routine promotion.
+  util::Status RollbackModel(std::shared_ptr<const store::ModelVersion> version);
+
   /// True when this predictor serves hot-swappable versions.
   bool versioned() const { return versions_ != nullptr; }
   /// The publish sequence the next city call would pin (0 when static).

@@ -55,22 +55,21 @@ double AreaProfile::SupplyIntensity(int minute, int week_id) const {
   return scale * supply_ratio * std::max(shape + flat, 0.0);
 }
 
-std::vector<AreaProfile> MakeAreaProfiles(int n, double mean_scale,
-                                          util::Rng* rng) {
-  std::vector<AreaProfile> profiles;
-  profiles.reserve(static_cast<size_t>(n));
+namespace {
 
-  // Cluster templates: areas in the same cluster share jittered copies of
-  // the same bumps so that their demand *shapes* match (embedding fodder).
-  struct ClusterTemplate {
-    AreaType type;
-    std::vector<DemandBump> weekday;
-    std::vector<DemandBump> weekend;
-    std::array<double, 7> dow;
-    double supply_ratio;
-  };
+// Cluster templates: areas in the same cluster share jittered copies of
+// the same bumps so that their demand *shapes* match (embedding fodder).
+struct ClusterTemplate {
+  AreaType type;
+  std::vector<DemandBump> weekday;
+  std::vector<DemandBump> weekend;
+  std::array<double, 7> dow;
+  double supply_ratio;
+};
+
+const std::vector<ClusterTemplate>& Templates() {
   // Minutes: 8:00=480, 9:00=540, 12:00=720, 19:00=1140, 21:00=1260.
-  const std::vector<ClusterTemplate> templates = {
+  static const std::vector<ClusterTemplate> templates = {
       // Residential: strong morning-out peak, moderate evening return.
       {AreaType::kResidential,
        {{500, 50, 2.2}, {1150, 70, 1.2}},
@@ -103,26 +102,60 @@ std::vector<AreaProfile> MakeAreaProfiles(int n, double mean_scale,
        {1.0, 1.45, 1.0, 1.0, 1.05, 0.95, 0.9},
        1.06},
   };
+  return templates;
+}
+
+/// One profile drawn from a template. The draw order (scale, base demand,
+/// bump jitters, dow multipliers, supply ratio, road segments) is frozen:
+/// MakeAreaProfiles' output for a given rng stream is part of the
+/// simulator's determinism contract (sim_determinism_test.cc).
+AreaProfile ProfileFromTemplate(const ClusterTemplate& tpl, int cluster_id,
+                                double mean_scale, util::Rng* rng) {
+  AreaProfile p;
+  p.type = tpl.type;
+  p.cluster_id = cluster_id;
+  p.scale = mean_scale * std::exp(rng->Normal(-0.45, 0.95));
+  p.base_demand = 0.18 * rng->Uniform(0.8, 1.25);
+  for (const DemandBump& b : tpl.weekday) p.weekday_bumps.push_back(Jitter(b, rng));
+  for (const DemandBump& b : tpl.weekend) p.weekend_bumps.push_back(Jitter(b, rng));
+  p.dow_multiplier = tpl.dow;
+  for (double& m : p.dow_multiplier) m *= rng->Uniform(0.95, 1.05);
+  p.supply_ratio = tpl.supply_ratio * rng->Uniform(0.92, 1.08);
+  p.road_segments = static_cast<int>(rng->UniformInt(70, 150));
+  return p;
+}
+
+}  // namespace
+
+std::vector<AreaProfile> MakeAreaProfiles(int n, double mean_scale,
+                                          util::Rng* rng) {
+  std::vector<AreaProfile> profiles;
+  profiles.reserve(static_cast<size_t>(n));
 
   // Heavy-tailed area scales: log-normal, so a handful of areas carry most
   // of the volume and the gap distribution becomes approximately power-law.
+  const std::vector<ClusterTemplate>& templates = Templates();
   for (int i = 0; i < n; ++i) {
     int cluster = i % static_cast<int>(templates.size());
-    const ClusterTemplate& tpl = templates[static_cast<size_t>(cluster)];
-    AreaProfile p;
-    p.type = tpl.type;
-    p.cluster_id = cluster;
-    p.scale = mean_scale * std::exp(rng->Normal(-0.45, 0.95));
-    p.base_demand = 0.18 * rng->Uniform(0.8, 1.25);
-    for (const DemandBump& b : tpl.weekday) p.weekday_bumps.push_back(Jitter(b, rng));
-    for (const DemandBump& b : tpl.weekend) p.weekend_bumps.push_back(Jitter(b, rng));
-    p.dow_multiplier = tpl.dow;
-    for (double& m : p.dow_multiplier) m *= rng->Uniform(0.95, 1.05);
-    p.supply_ratio = tpl.supply_ratio * rng->Uniform(0.92, 1.08);
-    p.road_segments = static_cast<int>(rng->UniformInt(70, 150));
-    profiles.push_back(std::move(p));
+    profiles.push_back(ProfileFromTemplate(templates[static_cast<size_t>(cluster)],
+                                           cluster, mean_scale, rng));
   }
   return profiles;
+}
+
+AreaProfile MakeProfileOfType(AreaType type, double mean_scale,
+                              util::Rng* rng) {
+  const std::vector<ClusterTemplate>& templates = Templates();
+  for (size_t i = 0; i < templates.size(); ++i) {
+    if (templates[i].type == type) {
+      return ProfileFromTemplate(templates[i], static_cast<int>(i), mean_scale,
+                                 rng);
+    }
+  }
+  // Unreachable while templates cover every AreaType; fall back to mixed.
+  return ProfileFromTemplate(templates.back(),
+                             static_cast<int>(templates.size()) - 1,
+                             mean_scale, rng);
 }
 
 }  // namespace sim

@@ -77,6 +77,14 @@ struct AreaProfile {
 std::vector<AreaProfile> MakeAreaProfiles(int n, double mean_scale,
                                           util::Rng* rng);
 
+/// One fresh profile of the given archetype — the same cluster template
+/// and jitter MakeAreaProfiles uses, drawn from `rng`. The regime-shift
+/// machinery (CityConfig::regime_shifts) uses this to synthesize the
+/// post-shift generating process of an area that changes character
+/// mid-simulation (e.g. a suburb turning into a business district).
+AreaProfile MakeProfileOfType(AreaType type, double mean_scale,
+                              util::Rng* rng);
+
 }  // namespace sim
 }  // namespace deepsd
 

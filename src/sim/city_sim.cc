@@ -39,11 +39,87 @@ uint64_t SubSeed(uint64_t seed, uint64_t stream, int area, int day) {
 
 }  // namespace
 
+namespace {
+constexpr int kNoShift = 1 << 30;
+}  // namespace
+
 CitySim::CitySim(const CityConfig& config) : config_(config) {
   DEEPSD_CHECK(config.num_areas > 0);
   DEEPSD_CHECK(config.num_days > 0);
   util::Rng rng(config.seed);
   profiles_ = MakeAreaProfiles(config.num_areas, config.mean_scale, &rng);
+
+  // Synthesize post-shift profiles from their own RNG stream so adding a
+  // regime shift never perturbs the base city: a run with shifts shares
+  // the pre-shift realization with the unshifted run bit for bit.
+  shifted_profiles_ = profiles_;
+  shift_start_day_.assign(static_cast<size_t>(config.num_areas), kNoShift);
+  util::Rng shift_rng(config.seed ^ 0x5D1F7C0DD417EDULL);
+  for (const RegimeShift& shift : config_.regime_shifts) {
+    switch (shift.kind) {
+      case RegimeShift::Kind::kArchetypeShift: {
+        const int stride = std::max(shift.area_stride, 1);
+        for (int area = 0; area < config.num_areas; area += stride) {
+          AreaProfile next = MakeProfileOfType(
+              shift.to_type, config.mean_scale * shift.intensity, &shift_rng);
+          // Keep the area's own volume class: a quiet suburb that turns
+          // into a business district inherits business *shape*, not a
+          // random new magnitude.
+          next.scale = profiles_[static_cast<size_t>(area)].scale *
+                       shift.intensity;
+          shifted_profiles_[static_cast<size_t>(area)] = std::move(next);
+          shift_start_day_[static_cast<size_t>(area)] = shift.start_day;
+        }
+        break;
+      }
+      case RegimeShift::Kind::kStadium: {
+        int area = shift.stadium_area;
+        if (area < 0) {
+          for (int a = 0; a < config.num_areas; ++a) {
+            if (profiles_[static_cast<size_t>(a)].type ==
+                AreaType::kSuburban) {
+              area = a;
+              break;
+            }
+          }
+          if (area < 0) area = 0;
+        }
+        if (area >= config.num_areas) area = config.num_areas - 1;
+        AreaProfile next = profiles_[static_cast<size_t>(area)];
+        // Event-night surge: a big 21:00 bump every day (stadia program
+        // weeknights too) and thinner supply headroom — the venue outgrew
+        // the local driver pool.
+        const DemandBump surge{1260, 60, 2.5 * shift.intensity};
+        next.weekday_bumps.push_back(surge);
+        next.weekend_bumps.push_back(surge);
+        next.supply_ratio *= 0.9;
+        shifted_profiles_[static_cast<size_t>(area)] = std::move(next);
+        shift_start_day_[static_cast<size_t>(area)] = shift.start_day;
+        break;
+      }
+      case RegimeShift::Kind::kHolidayRegime:
+        // Day-level, handled by HolidayAdjust — no per-area profile.
+        break;
+    }
+  }
+}
+
+const AreaProfile& CitySim::EffectiveProfile(int area, int day) const {
+  const size_t a = static_cast<size_t>(area);
+  if (day >= shift_start_day_[a]) return shifted_profiles_[a];
+  return profiles_[a];
+}
+
+double CitySim::HolidayAdjust(int day, int* week_id) const {
+  double mult = 1.0;
+  for (const RegimeShift& shift : config_.regime_shifts) {
+    if (shift.kind != RegimeShift::Kind::kHolidayRegime) continue;
+    if (day >= shift.start_day && day < shift.end_day) {
+      *week_id = 6;  // Sunday shape: nobody commutes on a holiday.
+      mult *= shift.intensity;
+    }
+  }
+  return mult;
 }
 
 util::Status CitySim::Generate(data::OrderDataset* out, SimSummary* summary) {
@@ -70,9 +146,10 @@ util::Status CitySim::Generate(data::OrderDataset* out, SimSummary* summary) {
   size_t total_orders = 0, invalid_orders = 0, episodes = 0;
 
   for (int area = 0; area < config_.num_areas; ++area) {
-    const AreaProfile& profile = profiles_[static_cast<size_t>(area)];
     for (int day = 0; day < config_.num_days; ++day) {
+      const AreaProfile& profile = EffectiveProfile(area, day);
       int week_id = (day + config_.first_weekday) % data::kDaysPerWeek;
+      double holiday_mult = HolidayAdjust(day, &week_id);
       // Independent streams: demand draws never depend on supply draws.
       util::Rng demand_rng(SubSeed(config_.seed, 11, area, day));
       util::Rng supply_rng(SubSeed(config_.seed, 22, area, day));
@@ -100,7 +177,7 @@ util::Status CitySim::Generate(data::OrderDataset* out, SimSummary* summary) {
       for (int ts = 0; ts < data::kMinutesPerDay; ++ts) {
         WeatherType wt = weather_at(day, ts);
         double demand_rate = profile.DemandIntensity(ts, week_id) * day_noise *
-                             WeatherDemandMultiplier(wt);
+                             holiday_mult * WeatherDemandMultiplier(wt);
         for (const Event& e : events) {
           double d = (ts - e.center) / e.width;
           demand_rate *= 1.0 + e.boost * std::exp(-0.5 * d * d);

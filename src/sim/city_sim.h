@@ -13,6 +13,46 @@
 namespace deepsd {
 namespace sim {
 
+/// One mid-simulation change of the city's generating process — the drift
+/// scenarios the continuous-learning loop must detect and adapt to
+/// (docs/continuous_learning.md). Deterministic: the post-shift profiles
+/// are synthesized at construction from the config seed, so two runs with
+/// the same seed drift identically.
+struct RegimeShift {
+  enum class Kind {
+    /// Selected areas swap to a different archetype's generating process
+    /// from `start_day` on (e.g. suburbs gentrifying into business
+    /// districts): new bump shapes, day-of-week multipliers and supply
+    /// ratio, same scale class.
+    kArchetypeShift,
+    /// Days in [start_day, end_day) citywide behave like Sundays with a
+    /// demand multiplier — a holiday period the day-of-week features have
+    /// never seen in this position.
+    kHolidayRegime,
+    /// One area gains a large evening demand bump and loses supply
+    /// headroom — a stadium opening in a suburb.
+    kStadium,
+  };
+
+  Kind kind = Kind::kArchetypeShift;
+  int start_day = 0;
+  /// kHolidayRegime only: first day after the holiday (defaults to "runs
+  /// to the end").
+  int end_day = 1 << 28;
+
+  // kArchetypeShift: every `area_stride`-th area (0, stride, 2*stride...)
+  // shifts to `to_type`.
+  AreaType to_type = AreaType::kBusiness;
+  int area_stride = 3;
+
+  // kStadium: the affected area; < 0 picks the first suburban area.
+  int stadium_area = -1;
+
+  /// Demand multiplier of the new regime (holiday scale, stadium bump
+  /// height scale). 1.0 = the template's own intensity.
+  double intensity = 1.0;
+};
+
 /// Configuration of the synthetic city. Defaults mirror the paper's dataset
 /// (Sec VI-A): 58 areas, 52 days (24 train + 28 test), first day a Tuesday
 /// (Feb 23 2016 was a Tuesday), roughly 11M orders at mean_scale 1.0.
@@ -48,6 +88,10 @@ struct CityConfig {
   /// streams independent of supply, so two runs with the same seed and
   /// different boosts face the *identical* sequence of ride requests.
   std::function<double(int area, int day, int minute)> supply_boost;
+
+  /// Mid-run regime changes, applied in order (a later shift of the same
+  /// area wins). Empty = the stationary city every earlier PR simulated.
+  std::vector<RegimeShift> regime_shifts;
 };
 
 /// Summary statistics of a generated city, for logging and tests.
@@ -73,9 +117,18 @@ class CitySim {
  public:
   explicit CitySim(const CityConfig& config);
 
-  /// Area generating processes (fixed at construction from the seed).
+  /// Base (pre-shift) area generating processes, fixed at construction
+  /// from the seed. Unaffected by regime_shifts.
   const std::vector<AreaProfile>& profiles() const { return profiles_; }
   const CityConfig& config() const { return config_; }
+
+  /// The generating process actually in effect for (area, day) once
+  /// regime shifts are applied; the base profile when none applies.
+  const AreaProfile& EffectiveProfile(int area, int day) const;
+  /// Citywide demand multiplier and day-of-week override for `day`
+  /// (holiday regimes). Returns the multiplier; `*week_id` is rewritten
+  /// to Sunday when a holiday covers the day.
+  double HolidayAdjust(int day, int* week_id) const;
 
   /// Runs the simulation and freezes it into `*out`. Also fills `*summary`
   /// if non-null.
@@ -84,6 +137,10 @@ class CitySim {
  private:
   CityConfig config_;
   std::vector<AreaProfile> profiles_;
+  /// One entry per area: the post-shift profile and the day it takes
+  /// over; start_day of INT_MAX (kNoShift) means the area never shifts.
+  std::vector<AreaProfile> shifted_profiles_;
+  std::vector<int> shift_start_day_;
 };
 
 /// Convenience: simulate with `config` and return the dataset, aborting on

@@ -1,0 +1,55 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace deepsd {
+namespace util {
+
+RetryPolicy::RetryPolicy(const RetryOptions& options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  sleep_fn_ = [](int64_t us) {
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  };
+  retryable_fn_ = [](const Status& s) {
+    return s.code() == Status::Code::kIoError;
+  };
+}
+
+void RetryPolicy::set_sleep_fn(std::function<void(int64_t us)> sleep_fn) {
+  sleep_fn_ = std::move(sleep_fn);
+}
+
+void RetryPolicy::set_retryable_fn(
+    std::function<bool(const Status&)> retryable_fn) {
+  retryable_fn_ = std::move(retryable_fn);
+}
+
+int64_t RetryPolicy::NextBackoffUs(int attempt) {
+  double base = static_cast<double>(options_.initial_backoff_us) *
+                std::pow(options_.multiplier, attempt - 1);
+  double factor = 1.0;
+  if (options_.jitter > 0) {
+    factor = rng_.Uniform(1.0 - options_.jitter, 1.0 + options_.jitter);
+  }
+  double us = base * factor;
+  us = std::min(us, static_cast<double>(options_.max_backoff_us));
+  return std::max<int64_t>(0, static_cast<int64_t>(us));
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& op) {
+  attempts_ = 0;
+  Status last;
+  for (int attempt = 1;; ++attempt) {
+    attempts_ = attempt;
+    last = op();
+    if (last.ok() || !retryable_fn_(last)) return last;
+    if (attempt >= std::max(options_.max_attempts, 1)) return last;
+    sleep_fn_(NextBackoffUs(attempt));
+  }
+}
+
+}  // namespace util
+}  // namespace deepsd

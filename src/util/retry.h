@@ -1,0 +1,71 @@
+#ifndef DEEPSD_UTIL_RETRY_H_
+#define DEEPSD_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace deepsd {
+namespace util {
+
+/// Bounded exponential backoff with deterministic jitter.
+///
+/// The continuous-learning loop retries transient IoError outcomes
+/// (artifact pack, stored-model open) instead of aborting a fine-tune
+/// cycle on a single flaky write; everything else — InvalidArgument from
+/// a corrupt artifact, FailedPrecondition from a structure mismatch — is
+/// permanent and surfaces immediately. Jitter is drawn from util::Rng, so
+/// a retry schedule is a pure function of (options, seed): tests replay
+/// it exactly, and two learners with different seeds never thundering-herd
+/// the same file.
+struct RetryOptions {
+  /// Total tries including the first; <= 1 disables retrying.
+  int max_attempts = 4;
+  int64_t initial_backoff_us = 1000;
+  double multiplier = 2.0;
+  /// Per-sleep cap after jitter.
+  int64_t max_backoff_us = 60 * 1000 * 1000;
+  /// Each sleep is scaled by a factor drawn uniformly from
+  /// [1 - jitter, 1 + jitter]; 0 disables jitter.
+  double jitter = 0.2;
+};
+
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryOptions& options, uint64_t seed = 0);
+
+  /// Replaces the real sleep (std::this_thread::sleep_for) — the virtual
+  /// clock hook the unit tests use to assert the exact backoff schedule
+  /// without waiting it out.
+  void set_sleep_fn(std::function<void(int64_t us)> sleep_fn);
+
+  /// Which non-OK codes are worth retrying; defaults to IoError only.
+  void set_retryable_fn(std::function<bool(const Status&)> retryable_fn);
+
+  /// Runs `op` until it returns OK, a non-retryable error, or the attempt
+  /// budget is exhausted; sleeps the jittered backoff between attempts.
+  /// Returns the last Status `op` produced.
+  Status Run(const std::function<Status()>& op);
+
+  /// The jittered, capped backoff before retry number `attempt` (1-based:
+  /// attempt 1 follows the first failure). Deterministic: consumes the
+  /// policy's RNG stream in order, exactly as Run does.
+  int64_t NextBackoffUs(int attempt);
+
+  /// Attempts consumed by the most recent Run (1 = first try succeeded).
+  int attempts() const { return attempts_; }
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+  int attempts_ = 0;
+  std::function<void(int64_t)> sleep_fn_;
+  std::function<bool(const Status&)> retryable_fn_;
+};
+
+}  // namespace util
+}  // namespace deepsd
+
+#endif  // DEEPSD_UTIL_RETRY_H_

@@ -1,0 +1,111 @@
+#include "src/core/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace deepsd {
+namespace core {
+namespace {
+
+ReferenceHistogram MakeRef(std::vector<float> bounds,
+                           std::vector<uint64_t> counts) {
+  ReferenceHistogram ref;
+  ref.bounds = std::move(bounds);
+  ref.counts = std::move(counts);
+  return ref;
+}
+
+TEST(DriftEdgeTest, EmptyReferenceScoresZero) {
+  double psi = 99;
+  util::Status st = PopulationStabilityIndex(ReferenceHistogram{}, {}, &psi);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(psi, 0);
+}
+
+TEST(DriftEdgeTest, ZeroTotalsScoreZero) {
+  ReferenceHistogram ref = MakeRef({1.0f}, {0, 0});
+  double psi = 99;
+  // Zero reference mass.
+  EXPECT_TRUE(PopulationStabilityIndex(ref, {5, 5}, &psi).ok());
+  EXPECT_EQ(psi, 0);
+  // Zero live mass.
+  ref = MakeRef({1.0f}, {10, 10});
+  psi = 99;
+  EXPECT_TRUE(PopulationStabilityIndex(ref, {0, 0}, &psi).ok());
+  EXPECT_EQ(psi, 0);
+}
+
+TEST(DriftEdgeTest, DegenerateSingleBucketScoresZero) {
+  // Quantile dedup collapsed every edge: one bucket, all mass in it on
+  // both sides — p == q == 1 exactly, not inf.
+  ReferenceHistogram ref = MakeRef({}, {42});
+  double psi = 99;
+  util::Status st = PopulationStabilityIndex(ref, {7}, &psi);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(psi, 0);
+}
+
+TEST(DriftEdgeTest, AllMassInOneBinIsFinite) {
+  ReferenceHistogram ref = MakeRef({1.0f, 2.0f}, {100, 0, 0});
+  double psi = 0;
+  util::Status st = PopulationStabilityIndex(ref, {0, 0, 100}, &psi);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(std::isfinite(psi));
+  EXPECT_GT(psi, 0.25);  // a total shift is still a major drift signal
+}
+
+TEST(DriftEdgeTest, SizeMismatchIsTypedError) {
+  ReferenceHistogram ref = MakeRef({1.0f}, {10, 10});
+  double psi = 99;
+  util::Status st = PopulationStabilityIndex(ref, {1, 2, 3}, &psi);
+  EXPECT_EQ(st.code(), util::Status::Code::kInvalidArgument);
+}
+
+TEST(DriftEdgeTest, MalformedReferenceIsTypedError) {
+  double psi = 99;
+  // counts/bounds size mismatch.
+  ReferenceHistogram bad = MakeRef({1.0f, 2.0f}, {1, 2});
+  EXPECT_EQ(PopulationStabilityIndex(bad, {1, 2}, &psi).code(),
+            util::Status::Code::kInvalidArgument);
+  // Non-ascending bounds.
+  bad = MakeRef({2.0f, 1.0f}, {1, 2, 3});
+  EXPECT_EQ(PopulationStabilityIndex(bad, {1, 2, 3}, &psi).code(),
+            util::Status::Code::kInvalidArgument);
+  // Non-finite bound.
+  bad = MakeRef({1.0f, std::numeric_limits<float>::quiet_NaN()}, {1, 2, 3});
+  EXPECT_EQ(PopulationStabilityIndex(bad, {1, 2, 3}, &psi).code(),
+            util::Status::Code::kInvalidArgument);
+}
+
+TEST(DriftEdgeTest, LegacyOverloadNeverReturnsNonFinite) {
+  // The non-erroring form maps every edge case to 0 — it must never leak
+  // inf/NaN into a gauge.
+  EXPECT_EQ(PopulationStabilityIndex(ReferenceHistogram{}, {}), 0.0);
+  EXPECT_EQ(PopulationStabilityIndex(MakeRef({2.0f, 1.0f}, {1, 2, 3}), {1, 2, 3}),
+            0.0);
+  EXPECT_EQ(PopulationStabilityIndex(MakeRef({1.0f}, {10, 10}), {1, 2, 3}), 0.0);
+  double ok = PopulationStabilityIndex(MakeRef({1.0f}, {100, 0}), {0, 100});
+  EXPECT_TRUE(std::isfinite(ok));
+  EXPECT_GT(ok, 0);
+}
+
+TEST(DriftEdgeTest, ValidateAcceptsEmptyAndWellFormed) {
+  EXPECT_TRUE(ReferenceHistogram{}.Validate().ok());
+  EXPECT_TRUE(MakeRef({1.0f, 2.0f}, {1, 2, 3}).Validate().ok());
+  EXPECT_FALSE(MakeRef({1.0f, 1.0f}, {1, 2, 3}).Validate().ok());  // ties
+  EXPECT_FALSE(MakeRef({1.0f}, {1}).Validate().ok());  // missing overflow
+}
+
+TEST(DriftEdgeTest, IdenticalDistributionsScoreNearZero) {
+  ReferenceHistogram ref = MakeRef({1.0f, 2.0f, 3.0f}, {25, 25, 25, 25});
+  double psi = 99;
+  EXPECT_TRUE(PopulationStabilityIndex(ref, {250, 250, 250, 250}, &psi).ok());
+  EXPECT_NEAR(psi, 0, 1e-9);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace deepsd

@@ -1,0 +1,254 @@
+#include "src/learn/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/util/byte_io.h"
+
+namespace deepsd {
+namespace learn {
+namespace {
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/promotions-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".ledger";
+    std::remove(path_.c_str());
+  }
+
+  LedgerRecord Make(LedgerEvent event, const std::string& id,
+                    const std::string& artifact = "",
+                    const std::string& prior = "") {
+    LedgerRecord r;
+    r.event = event;
+    r.t_abs = 1440;
+    r.candidate_id = id;
+    r.artifact_path = artifact;
+    r.prior_version = prior;
+    return r;
+  }
+
+  std::string path_;
+};
+
+TEST_F(LedgerTest, AppendAssignsDenseSequence) {
+  PromotionLedger ledger(path_);
+  ASSERT_TRUE(ledger.Open().ok());
+  ASSERT_TRUE(ledger.Append(Make(LedgerEvent::kFineTuneStarted, "ft-1")).ok());
+  ASSERT_TRUE(ledger.Append(Make(LedgerEvent::kAborted, "ft-1")).ok());
+  ASSERT_EQ(ledger.records().size(), 2u);
+  EXPECT_EQ(ledger.records()[0].seq, 1u);
+  EXPECT_EQ(ledger.records()[1].seq, 2u);
+  EXPECT_EQ(ledger.state().next_seq, 3u);
+}
+
+TEST_F(LedgerTest, RoundTripsEveryField) {
+  {
+    PromotionLedger ledger(path_);
+    ASSERT_TRUE(ledger.Open().ok());
+    LedgerRecord r = Make(LedgerEvent::kShadowResult, "ft-7", "/a/ft-7.dsar",
+                          "v0");
+    r.t_abs = 2881;
+    r.serving_mae = 1.25;
+    r.candidate_mae = 1.125;
+    r.serving_rmse = 2.5;
+    r.candidate_rmse = 2.25;
+    r.shadow_samples = 4096;
+    r.note = "unicode ok: Ωδ";
+    ASSERT_TRUE(ledger.Append(std::move(r)).ok());
+  }
+  // Reopen replays the frame bit-exactly.
+  PromotionLedger reopened(path_);
+  ASSERT_TRUE(reopened.Open().ok());
+  ASSERT_EQ(reopened.records().size(), 1u);
+  const LedgerRecord& r = reopened.records()[0];
+  EXPECT_EQ(r.seq, 1u);
+  EXPECT_EQ(r.event, LedgerEvent::kShadowResult);
+  EXPECT_EQ(r.t_abs, 2881);
+  EXPECT_EQ(r.candidate_id, "ft-7");
+  EXPECT_EQ(r.artifact_path, "/a/ft-7.dsar");
+  EXPECT_EQ(r.prior_version, "v0");
+  EXPECT_DOUBLE_EQ(r.serving_mae, 1.25);
+  EXPECT_DOUBLE_EQ(r.candidate_mae, 1.125);
+  EXPECT_DOUBLE_EQ(r.serving_rmse, 2.5);
+  EXPECT_DOUBLE_EQ(r.candidate_rmse, 2.25);
+  EXPECT_EQ(r.shadow_samples, 4096u);
+  EXPECT_EQ(r.note, "unicode ok: Ωδ");
+  EXPECT_EQ(reopened.state().next_seq, 2u);
+}
+
+TEST_F(LedgerTest, TornTailIsDroppedNotFatal) {
+  {
+    PromotionLedger ledger(path_);
+    ASSERT_TRUE(ledger.Open().ok());
+    ASSERT_TRUE(ledger.Append(Make(LedgerEvent::kFineTuneStarted, "ft-1")).ok());
+    ASSERT_TRUE(
+        ledger.Append(Make(LedgerEvent::kCandidatePacked, "ft-1", "/a")).ok());
+  }
+  // Chop the last frame mid-payload — the SIGKILL-during-append shape.
+  std::vector<char> bytes;
+  ASSERT_TRUE(util::ReadFileBytes(path_, &bytes).ok());
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 5));
+  out.close();
+
+  PromotionLedger reopened(path_);
+  ASSERT_TRUE(reopened.Open().ok());
+  ASSERT_EQ(reopened.records().size(), 1u);
+  EXPECT_EQ(reopened.records()[0].event, LedgerEvent::kFineTuneStarted);
+  EXPECT_GT(reopened.torn_bytes(), 0u);
+  // The truncation is durable and appending continues cleanly.
+  ASSERT_TRUE(reopened.Append(Make(LedgerEvent::kAborted, "ft-1")).ok());
+  std::vector<LedgerRecord> replayed;
+  ASSERT_TRUE(PromotionLedger::Replay(path_, &replayed).ok());
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[1].event, LedgerEvent::kAborted);
+  EXPECT_EQ(replayed[1].seq, 2u);
+}
+
+TEST_F(LedgerTest, CorruptFrameCrcDropsTail) {
+  {
+    PromotionLedger ledger(path_);
+    ASSERT_TRUE(ledger.Open().ok());
+    ASSERT_TRUE(ledger.Append(Make(LedgerEvent::kFineTuneStarted, "ft-1")).ok());
+    ASSERT_TRUE(ledger.Append(Make(LedgerEvent::kAborted, "ft-1")).ok());
+  }
+  std::vector<char> bytes;
+  ASSERT_TRUE(util::ReadFileBytes(path_, &bytes).ok());
+  bytes[bytes.size() - 2] ^= 0x40;  // flip a bit in the last payload
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  PromotionLedger reopened(path_);
+  ASSERT_TRUE(reopened.Open().ok());
+  ASSERT_EQ(reopened.records().size(), 1u);
+  EXPECT_GT(reopened.torn_bytes(), 0u);
+}
+
+TEST_F(LedgerTest, ForeignMagicIsIoError) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "definitely not a ledger file";
+  }
+  PromotionLedger ledger(path_);
+  EXPECT_EQ(ledger.Open().code(), util::Status::Code::kIoError);
+}
+
+TEST_F(LedgerTest, DeriveEmptyIsInitialState) {
+  LedgerState state = PromotionLedger::Derive({});
+  EXPECT_EQ(state.next_seq, 1u);
+  EXPECT_TRUE(state.committed_version.empty());
+  EXPECT_FALSE(state.in_flight);
+}
+
+TEST_F(LedgerTest, DerivePromotedMovesCommittedVersion) {
+  std::vector<LedgerRecord> records = {
+      Make(LedgerEvent::kFineTuneStarted, "ft-1"),
+      Make(LedgerEvent::kCandidatePacked, "ft-1", "/a/ft-1.dsar"),
+      Make(LedgerEvent::kShadowStarted, "ft-1", "/a/ft-1.dsar"),
+      Make(LedgerEvent::kPromoting, "ft-1", "/a/ft-1.dsar"),
+      Make(LedgerEvent::kPromoted, "ft-1", "/a/ft-1.dsar", "v0"),
+  };
+  LedgerState state = PromotionLedger::Derive(records);
+  EXPECT_EQ(state.committed_version, "ft-1");
+  EXPECT_EQ(state.committed_artifact, "/a/ft-1.dsar");
+  EXPECT_FALSE(state.in_flight);
+}
+
+TEST_F(LedgerTest, DeriveRollbackRevertsCommittedVersion) {
+  std::vector<LedgerRecord> records = {
+      Make(LedgerEvent::kPromoted, "ft-1", "/a/ft-1.dsar", "v0"),
+      Make(LedgerEvent::kRollbackStarted, "ft-1", "/a/v0.dsar", "v0"),
+      Make(LedgerEvent::kRolledBack, "ft-1", "/a/v0.dsar", "v0"),
+  };
+  LedgerState state = PromotionLedger::Derive(records);
+  EXPECT_EQ(state.committed_version, "v0");
+  EXPECT_EQ(state.committed_artifact, "/a/v0.dsar");
+  EXPECT_FALSE(state.in_flight);
+}
+
+TEST_F(LedgerTest, DeriveOpenStagesAreInFlight) {
+  for (LedgerEvent open :
+       {LedgerEvent::kFineTuneStarted, LedgerEvent::kCandidatePacked,
+        LedgerEvent::kShadowStarted, LedgerEvent::kShadowResult}) {
+    std::vector<LedgerRecord> records = {
+        Make(open, "ft-2", open == LedgerEvent::kFineTuneStarted
+                               ? ""
+                               : "/a/ft-2.dsar")};
+    LedgerState state = PromotionLedger::Derive(records);
+    EXPECT_TRUE(state.in_flight) << LedgerEventName(open);
+    EXPECT_EQ(state.last_event, open);
+    EXPECT_EQ(state.in_flight_candidate, "ft-2");
+  }
+  // Terminal events close the stage.
+  for (LedgerEvent closed : {LedgerEvent::kRejected, LedgerEvent::kAborted}) {
+    std::vector<LedgerRecord> records = {
+        Make(LedgerEvent::kFineTuneStarted, "ft-2"), Make(closed, "ft-2")};
+    EXPECT_FALSE(PromotionLedger::Derive(records).in_flight)
+        << LedgerEventName(closed);
+  }
+}
+
+TEST_F(LedgerTest, DeriveOpenPromotingMeansNotPromoted) {
+  // Publication is an in-memory pointer flip: a crash between kPromoting
+  // and kPromoted lost it, so the committed version must stay the old one
+  // and the promotion stays in flight for the restarted learner to re-run.
+  std::vector<LedgerRecord> records = {
+      Make(LedgerEvent::kPromoted, "ft-1", "/a/ft-1.dsar", "v0"),
+  };
+  LedgerRecord promoting = Make(LedgerEvent::kPromoting, "ft-2", "/a/ft-2.dsar");
+  promoting.serving_mae = 3.5;
+  records.push_back(promoting);
+
+  LedgerState state = PromotionLedger::Derive(records);
+  EXPECT_EQ(state.committed_version, "ft-1");
+  EXPECT_TRUE(state.in_flight);
+  EXPECT_EQ(state.last_event, LedgerEvent::kPromoting);
+  EXPECT_EQ(state.in_flight_candidate, "ft-2");
+  EXPECT_EQ(state.in_flight_artifact, "/a/ft-2.dsar");
+  EXPECT_DOUBLE_EQ(state.in_flight_serving_mae, 3.5);
+}
+
+TEST_F(LedgerTest, DeriveOpenRollbackResolvesRolledBack) {
+  // The incident stands even when the crash ate kRolledBack: serving lost
+  // its in-memory flip either way, and the prior version is what the
+  // restarted process must boot.
+  std::vector<LedgerRecord> records = {
+      Make(LedgerEvent::kPromoted, "ft-1", "/a/ft-1.dsar", "v0"),
+      Make(LedgerEvent::kRollbackStarted, "ft-1", "/a/v0.dsar", "v0"),
+  };
+  LedgerState state = PromotionLedger::Derive(records);
+  EXPECT_EQ(state.committed_version, "v0");
+  EXPECT_EQ(state.committed_artifact, "/a/v0.dsar");
+  EXPECT_FALSE(state.in_flight);
+  EXPECT_EQ(state.last_event, LedgerEvent::kRollbackStarted);
+  EXPECT_EQ(state.in_flight_prior_version, "v0");
+}
+
+TEST_F(LedgerTest, ReplayMissingFileIsTypedError) {
+  std::vector<LedgerRecord> records;
+  EXPECT_FALSE(PromotionLedger::Replay(path_ + ".nope", &records).ok());
+}
+
+TEST_F(LedgerTest, SequenceSurvivesReopen) {
+  {
+    PromotionLedger ledger(path_);
+    ASSERT_TRUE(ledger.Open().ok());
+    ASSERT_TRUE(ledger.Append(Make(LedgerEvent::kFineTuneStarted, "ft-1")).ok());
+  }
+  PromotionLedger reopened(path_);
+  ASSERT_TRUE(reopened.Open().ok());
+  ASSERT_TRUE(reopened.Append(Make(LedgerEvent::kAborted, "ft-1")).ok());
+  EXPECT_EQ(reopened.records()[1].seq, 2u);
+}
+
+}  // namespace
+}  // namespace learn
+}  // namespace deepsd

@@ -1,0 +1,501 @@
+// ContinuousLearner end-to-end and fault-injection suite
+// (docs/continuous_learning.md): the loop promotes a winning candidate and
+// watches it, rolls back exactly once on a post-promotion regression,
+// rejects corrupt candidates at the gate, and — the crash-safety
+// contract — recovers from a SIGKILL at every stage. Every durable write
+// in the loop is atomic (DSC1 checkpoint, DSAR1 artifact, framed ledger
+// append), so the on-disk state after a kill at stage S is exactly the
+// state these tests construct directly: the ledger truncated after S's
+// last record, plus whatever artifacts that stage had sealed.
+
+#include "src/learn/continuous_learner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/model.h"
+#include "src/feature/feature_assembler.h"
+#include "src/learn/ledger.h"
+#include "src/nn/parameter.h"
+#include "src/obs/slo.h"
+#include "src/store/pack.h"
+#include "src/store/stored_model.h"
+#include "src/util/byte_io.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace deepsd {
+namespace learn {
+namespace {
+
+class LearnLoopTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    state_dir_ =
+        ::testing::TempDir() + "/learn-" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(state_dir_);
+    std::filesystem::create_directories(state_dir_);
+
+    dataset_ = testing::MakeSmallCity(/*areas=*/4, /*days=*/6, /*seed=*/99);
+    by_minute_.assign(6, std::vector<std::vector<data::Order>>(
+                             data::kMinutesPerDay));
+    for (const data::Order& o : dataset_.orders()) {
+      by_minute_[o.day][o.ts].push_back(o);
+    }
+    feature::FeatureConfig features;
+    assembler_ = std::make_unique<feature::FeatureAssembler>(
+        &dataset_, features, /*ref_day_begin=*/0, /*ref_day_end=*/4);
+
+    initial_artifact_ = state_dir_ + "/init.dsar";
+    PackArtifact("init", initial_artifact_);
+
+    eval::OnlineAccuracyConfig acc;
+    acc.num_areas = 4;
+    tracker_ = std::make_unique<eval::OnlineAccuracyTracker>(acc);
+  }
+
+  core::DeepSDConfig ModelConfig() const {
+    core::DeepSDConfig config;
+    config.num_areas = 4;
+    return config;
+  }
+
+  void PackArtifact(const std::string& id, const std::string& path,
+                    uint64_t seed = 17) {
+    nn::ParameterStore params;
+    util::Rng rng(seed);
+    core::DeepSDModel model(ModelConfig(), core::DeepSDModel::Mode::kBasic,
+                            &params, &rng);
+    store::PackOptions options;
+    options.version_id = id;
+    util::Status st =
+        store::PackModelArtifact(model, params, nullptr, options, path);
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+
+  LearnerOptions Options() {
+    LearnerOptions options;
+    options.state_dir = state_dir_;
+    options.initial_artifact = initial_artifact_;
+    options.num_areas = 4;
+    options.finetune.epochs = 1;
+    options.finetune.batch_size = 16;
+    options.finetune.best_k = 0;
+    options.finetune.verbose = false;
+    options.snapshot_days = 1;
+    options.min_train_days = 1;
+    options.item_stride = 60;
+    options.cooldown_minutes = 1 << 20;  // only explicit RequestFineTune
+    options.shadow_min_samples = 16;
+    options.watch_min_samples = 8;
+    options.watch_pass_samples = 16;
+    options.rollback_mae_ratio = 1.15;
+    return options;
+  }
+
+  std::unique_ptr<ContinuousLearner> MakeLearner(
+      const LearnerOptions& options) {
+    auto learner = std::make_unique<ContinuousLearner>(
+        options, assembler_.get(), tracker_.get(),
+        [this](std::shared_ptr<const store::ModelVersion> v) {
+          published_.push_back(v->version_id());
+          return util::Status::OK();
+        },
+        [this](std::shared_ptr<const store::ModelVersion> v) {
+          rolled_back_to_.push_back(v->version_id());
+          return util::Status::OK();
+        });
+    return learner;
+  }
+
+  /// Sentinel `serving_gap` for Replay: feed each area the exact
+  /// invalid-order count of the upcoming slot (a perfect serving model).
+  static constexpr float kOracleGap = -2.0f;
+
+  /// Replays [from_minute, to_minute) of `day` through the learner: Tick,
+  /// then the minute's live orders, then (every 10 min) a synthetic
+  /// serving answer with constant predicted gap `serving_gap` for all
+  /// areas (kOracleGap feeds the true gaps instead). Other negative
+  /// values suppress predictions. `mute_after_promotion` stops the
+  /// synthetic answers the instant a promotion lands — the constant gap
+  /// simulates the *pre-promotion* model, and feeding it past the flip
+  /// would poison the watch window with answers the promoted model never
+  /// gave (promotions land inside Tick, on the same slot-boundary minutes
+  /// that carry predictions, so a post-loop check is one sample too late).
+  void Replay(ContinuousLearner* learner, int day, int from_minute,
+              int to_minute, float serving_gap,
+              bool mute_after_promotion = false) {
+    for (int minute = from_minute; minute < to_minute; ++minute) {
+      ASSERT_TRUE(learner->Tick(day, minute).ok());
+      for (const data::Order& o : by_minute_[day][minute]) {
+        learner->OnOrder(o);
+      }
+      if (mute_after_promotion && learner->promotions() > 0) continue;
+      if ((serving_gap >= 0 || serving_gap == kOracleGap) &&
+          minute % 10 == 0 && minute >= 20) {
+        serving::PredictResult result;
+        result.gaps.resize(4);
+        for (int a = 0; a < 4; ++a) {
+          result.gaps[static_cast<size_t>(a)] =
+              serving_gap >= 0
+                  ? serving_gap
+                  : static_cast<float>(dataset_.InvalidInRange(
+                        a, day, minute, minute + data::kGapWindow));
+        }
+        result.tier = serving::FallbackTier::kNone;
+        learner->OnPrediction({0, 1, 2, 3}, result, {},
+                              day * data::kMinutesPerDay + minute);
+      }
+    }
+  }
+
+  /// Writes `records` as a fresh ledger at the learner's path — the
+  /// post-SIGKILL on-disk state for the crash tests.
+  void WriteLedger(const std::vector<LedgerRecord>& records) {
+    const std::string path = state_dir_ + "/promotions.ledger";
+    std::remove(path.c_str());
+    PromotionLedger ledger(path);
+    ASSERT_TRUE(ledger.Open().ok());
+    for (LedgerRecord r : records) {
+      ASSERT_TRUE(ledger.Append(std::move(r)).ok());
+    }
+  }
+
+  static LedgerRecord Rec(LedgerEvent event, const std::string& id,
+                          const std::string& artifact = "",
+                          const std::string& prior = "") {
+    LedgerRecord r;
+    r.event = event;
+    r.t_abs = 1440;
+    r.candidate_id = id;
+    r.artifact_path = artifact;
+    r.prior_version = prior;
+    return r;
+  }
+
+  std::string state_dir_;
+  std::string initial_artifact_;
+  data::OrderDataset dataset_;
+  std::vector<std::vector<std::vector<data::Order>>> by_minute_;
+  std::unique_ptr<feature::FeatureAssembler> assembler_;
+  std::unique_ptr<eval::OnlineAccuracyTracker> tracker_;
+  std::vector<std::string> published_;
+  std::vector<std::string> rolled_back_to_;
+};
+
+TEST_F(LearnLoopTest, TickBeforeRecoverIsTypedError) {
+  auto learner = MakeLearner(Options());
+  EXPECT_EQ(learner->Tick(0, 0).code(),
+            util::Status::Code::kFailedPrecondition);
+}
+
+TEST_F(LearnLoopTest, RecoverFreshStateBootsInitialArtifact) {
+  auto learner = MakeLearner(Options());
+  std::shared_ptr<const store::StoredModel> boot;
+  ASSERT_TRUE(learner->Recover(&boot).ok());
+  ASSERT_NE(boot, nullptr);
+  EXPECT_EQ(boot->version_id(), "init");
+  EXPECT_EQ(learner->stage(), LearnerStage::kIdle);
+  EXPECT_TRUE(published_.empty());  // Recover reports, the deployment publishes
+}
+
+TEST_F(LearnLoopTest, FineTunesShadowsAndPromotesWinningCandidate) {
+  auto learner = MakeLearner(Options());
+  ASSERT_TRUE(learner->Recover().ok());
+
+  // Day 0: just collect the stream.
+  Replay(learner.get(), /*day=*/0, 0, data::kMinutesPerDay, /*gap=*/-1);
+  ASSERT_EQ(learner->fine_tunes(), 0u);
+
+  // Day 1: force a fine-tune; serving answers are terrible (constant 50
+  // against single-digit true gaps), so the fine-tuned candidate wins the
+  // shadow comparison and promotes. Mute the bad feed at the promotion —
+  // from then on the candidate is serving, so the harness must stop
+  // simulating the old model's answers.
+  learner->RequestFineTune();
+  Replay(learner.get(), 1, 0, data::kMinutesPerDay, /*gap=*/50.0f,
+         /*mute_after_promotion=*/true);
+
+  EXPECT_EQ(learner->fine_tunes(), 1u);
+  EXPECT_EQ(learner->promotions(), 1u);
+  EXPECT_EQ(learner->rejected(), 0u);
+  ASSERT_EQ(published_.size(), 1u);
+  EXPECT_EQ(published_[0], "ft-1");
+  EXPECT_EQ(learner->serving_model()->version_id(), "ft-1");
+
+  // The candidate artifact is durable in the state dir, and the ledger
+  // recorded the full lifecycle in order.
+  EXPECT_TRUE(std::filesystem::exists(state_dir_ + "/ft-1.dsar"));
+  std::vector<LedgerEvent> events;
+  for (const LedgerRecord& r : learner->ledger().records()) {
+    events.push_back(r.event);
+  }
+  EXPECT_EQ(events,
+            (std::vector<LedgerEvent>{
+                LedgerEvent::kFineTuneStarted, LedgerEvent::kCandidatePacked,
+                LedgerEvent::kShadowStarted, LedgerEvent::kShadowResult,
+                LedgerEvent::kPromoting, LedgerEvent::kPromoted}));
+
+  // Day 2: post-promotion accuracy is fine — the promoted model's answers
+  // track the truth (oracle feed), so it beats the prior model shadowing
+  // the same slots and the watch retires without a rollback.
+  Replay(learner.get(), /*day=*/2, 0, data::kMinutesPerDay, kOracleGap);
+  EXPECT_EQ(learner->stage(), LearnerStage::kIdle);
+  EXPECT_EQ(learner->rollbacks(), 0u);
+  EXPECT_TRUE(rolled_back_to_.empty());
+}
+
+TEST_F(LearnLoopTest, RejectsCandidateThatLosesTheShadowComparison) {
+  auto learner = MakeLearner(Options());
+  ASSERT_TRUE(learner->Recover().ok());
+  Replay(learner.get(), 0, 0, data::kMinutesPerDay, -1);
+
+  // Serving answers gap 0 — near the truth most minutes, hard to beat by
+  // the required 2% margin against its own warm-started offspring... but a
+  // random-quality candidate must not be promoted over it either way.
+  learner->RequestFineTune();
+  Replay(learner.get(), 1, 0, data::kMinutesPerDay, /*gap=*/0.0f);
+
+  EXPECT_EQ(learner->fine_tunes(), 1u);
+  if (learner->promotions() == 0) {
+    EXPECT_EQ(learner->rejected(), 1u);
+    EXPECT_TRUE(published_.empty());
+    EXPECT_EQ(learner->serving_model()->version_id(), "init");
+    EXPECT_EQ(learner->stage(), LearnerStage::kIdle);
+    EXPECT_EQ(learner->ledger().records().back().event, LedgerEvent::kRejected);
+  }
+}
+
+TEST_F(LearnLoopTest, RollsBackExactlyOnceOnPostPromotionRegression) {
+  obs::AlertLog alerts(/*capacity=*/64);
+  obs::FlightRecorder::Config flight_config;
+  flight_config.bundle_dir = state_dir_ + "/flight";
+  obs::FlightRecorder flight(flight_config);
+
+  auto learner = MakeLearner(Options());
+  learner->set_alert_log(&alerts);
+  learner->set_flight_recorder(&flight);
+  ASSERT_TRUE(learner->Recover().ok());
+
+  Replay(learner.get(), 0, 0, data::kMinutesPerDay, -1);
+  learner->RequestFineTune();
+  // Stop feeding day 1 as soon as the promotion lands, so the watch window
+  // is filled by day 2's regressed answers, not day 1's tail.
+  for (int m = 0; m < data::kMinutesPerDay && learner->promotions() == 0;
+       m += 10) {
+    Replay(learner.get(), 1, m, m + 10, /*gap=*/50.0f);
+  }
+  ASSERT_EQ(learner->promotions(), 1u);
+  ASSERT_EQ(learner->stage(), LearnerStage::kWatching);
+
+  // Day 2: the promoted model regresses hard — constant 500 against
+  // single-digit truth, ~10× the shadow baseline MAE of ~47.
+  Replay(learner.get(), 2, 0, data::kMinutesPerDay, /*gap=*/500.0f);
+
+  EXPECT_EQ(learner->rollbacks(), 1u);
+  ASSERT_EQ(rolled_back_to_.size(), 1u);
+  EXPECT_EQ(rolled_back_to_[0], "init");
+  EXPECT_EQ(learner->serving_model()->version_id(), "init");
+  EXPECT_EQ(learner->stage(), LearnerStage::kIdle);
+
+  // Exactly one incident: one alert, one flight bundle, and the regression
+  // persisting does not re-trigger.
+  EXPECT_EQ(alerts.events().size(), 1u);
+  EXPECT_EQ(alerts.events()[0].kind, "rollback");
+  EXPECT_TRUE(flight.dumped());
+  Replay(learner.get(), 3, 0, 200, /*gap=*/500.0f);
+  EXPECT_EQ(learner->rollbacks(), 1u);
+  EXPECT_EQ(alerts.events().size(), 1u);
+
+  // The ledger closed the incident in order.
+  const std::vector<LedgerRecord>& records = learner->ledger().records();
+  ASSERT_GE(records.size(), 2u);
+  EXPECT_EQ(records[records.size() - 2].event, LedgerEvent::kRollbackStarted);
+  EXPECT_EQ(records.back().event, LedgerEvent::kRolledBack);
+  EXPECT_EQ(records.back().prior_version, "init");
+}
+
+TEST_F(LearnLoopTest, RejectsCorruptCandidateArtifactAtTheGate) {
+  // Crash shape: candidate packed and recorded, then the artifact bytes
+  // rot (bit flip behind the CRC seal). The gate must reject it — never
+  // publish — and recovery must leave serving on the committed version.
+  const std::string candidate_path = state_dir_ + "/ft-1.dsar";
+  PackArtifact("ft-1", candidate_path, /*seed=*/31);
+  std::vector<char> bytes;
+  ASSERT_TRUE(util::ReadFileBytes(candidate_path, &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x10;
+  {
+    std::ofstream out(candidate_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  WriteLedger({Rec(LedgerEvent::kFineTuneStarted, "ft-1"),
+               Rec(LedgerEvent::kCandidatePacked, "ft-1", candidate_path)});
+
+  auto learner = MakeLearner(Options());
+  std::shared_ptr<const store::StoredModel> boot;
+  ASSERT_TRUE(learner->Recover(&boot).ok());
+  EXPECT_EQ(boot->version_id(), "init");
+  EXPECT_EQ(learner->rejected(), 1u);
+  EXPECT_EQ(learner->stage(), LearnerStage::kIdle);
+  EXPECT_TRUE(published_.empty());
+  EXPECT_EQ(learner->ledger().records().back().event, LedgerEvent::kRejected);
+}
+
+TEST_F(LearnLoopTest, RecoversFromCrashDuringFineTune) {
+  // SIGKILL during the fine-tune (or during pack — the artifact write is
+  // atomic, so a mid-pack kill leaves the same on-disk state): the ledger
+  // ends at kFineTuneStarted. Recovery restarts the fine-tune from the
+  // live snapshot; serving stays on the committed version throughout.
+  WriteLedger({Rec(LedgerEvent::kFineTuneStarted, "ft-1")});
+
+  auto learner = MakeLearner(Options());
+  std::shared_ptr<const store::StoredModel> boot;
+  ASSERT_TRUE(learner->Recover(&boot).ok());
+  EXPECT_EQ(boot->version_id(), "init");
+  EXPECT_EQ(learner->stage(), LearnerStage::kFineTuning);
+
+  // Feed a day of traffic so the restarted fine-tune has a snapshot, then
+  // tick into day 1: the interrupted cycle completes end to end.
+  Replay(learner.get(), 0, 0, data::kMinutesPerDay, -1);
+  Replay(learner.get(), 1, 0, data::kMinutesPerDay, /*gap=*/50.0f);
+  EXPECT_EQ(learner->promotions(), 1u);
+  ASSERT_EQ(published_.size(), 1u);
+  EXPECT_EQ(published_[0], "ft-1");  // the crashed candidate's id, resumed
+}
+
+TEST_F(LearnLoopTest, RecoversFromCrashDuringShadow) {
+  // SIGKILL mid-shadow: the artifact is sealed, the shadow's accounting
+  // was in-memory and died. Recovery restarts the shadow from the artifact.
+  const std::string candidate_path = state_dir_ + "/ft-1.dsar";
+  PackArtifact("ft-1", candidate_path, /*seed=*/31);
+  WriteLedger({Rec(LedgerEvent::kFineTuneStarted, "ft-1"),
+               Rec(LedgerEvent::kCandidatePacked, "ft-1", candidate_path),
+               Rec(LedgerEvent::kShadowStarted, "ft-1", candidate_path)});
+
+  auto learner = MakeLearner(Options());
+  std::shared_ptr<const store::StoredModel> boot;
+  ASSERT_TRUE(learner->Recover(&boot).ok());
+  EXPECT_EQ(boot->version_id(), "init");
+  EXPECT_EQ(learner->stage(), LearnerStage::kShadowing);
+  EXPECT_EQ(learner->ledger().records().back().event,
+            LedgerEvent::kShadowStarted);
+
+  // The restarted shadow runs the comparison to a verdict.
+  Replay(learner.get(), 1, 0, data::kMinutesPerDay, /*gap=*/50.0f);
+  EXPECT_EQ(learner->promotions(), 1u);
+  ASSERT_EQ(published_.size(), 1u);
+  EXPECT_EQ(published_[0], "ft-1");
+}
+
+TEST_F(LearnLoopTest, RecoversFromCrashMidPromotion) {
+  // SIGKILL between kPromoting and kPromoted: publication is an in-memory
+  // pointer flip, so the promotion never happened. The gate's verdict is
+  // durable — recovery re-runs the publish rather than re-shadowing.
+  const std::string candidate_path = state_dir_ + "/ft-1.dsar";
+  PackArtifact("ft-1", candidate_path, /*seed=*/31);
+  LedgerRecord promoting =
+      Rec(LedgerEvent::kPromoting, "ft-1", candidate_path);
+  promoting.serving_mae = 40.0;
+  promoting.candidate_mae = 2.0;
+  WriteLedger({Rec(LedgerEvent::kFineTuneStarted, "ft-1"),
+               Rec(LedgerEvent::kCandidatePacked, "ft-1", candidate_path),
+               Rec(LedgerEvent::kShadowStarted, "ft-1", candidate_path),
+               promoting});
+
+  auto learner = MakeLearner(Options());
+  std::shared_ptr<const store::StoredModel> boot;
+  ASSERT_TRUE(learner->Recover(&boot).ok());
+  // Serving boots the *committed* version — the promotion was lost.
+  EXPECT_EQ(boot->version_id(), "init");
+  EXPECT_EQ(learner->stage(), LearnerStage::kPromoting);
+  EXPECT_TRUE(published_.empty());
+
+  ASSERT_TRUE(learner->Tick(2, 0).ok());
+  ASSERT_EQ(published_.size(), 1u);
+  EXPECT_EQ(published_[0], "ft-1");
+  EXPECT_EQ(learner->stage(), LearnerStage::kWatching);
+  EXPECT_EQ(learner->ledger().records().back().event, LedgerEvent::kPromoted);
+  EXPECT_EQ(learner->promotions(), 1u);
+}
+
+TEST_F(LearnLoopTest, RecoversFromCrashMidRollback) {
+  // SIGKILL between kRollbackStarted and kRolledBack: the incident stands
+  // (serving's in-memory flip died with the process either way), so the
+  // committed version is the rollback target and the ledger is closed with
+  // a resolution record.
+  const std::string candidate_path = state_dir_ + "/ft-1.dsar";
+  PackArtifact("ft-1", candidate_path, /*seed=*/31);
+  LedgerRecord rollback_started =
+      Rec(LedgerEvent::kRollbackStarted, "ft-1", initial_artifact_, "init");
+  WriteLedger({Rec(LedgerEvent::kPromoted, "ft-1", candidate_path, "init"),
+               rollback_started});
+
+  auto learner = MakeLearner(Options());
+  std::shared_ptr<const store::StoredModel> boot;
+  ASSERT_TRUE(learner->Recover(&boot).ok());
+  EXPECT_EQ(boot->version_id(), "init");
+  EXPECT_EQ(learner->stage(), LearnerStage::kIdle);
+  EXPECT_EQ(learner->ledger().records().back().event, LedgerEvent::kRolledBack);
+  EXPECT_EQ(learner->ledger().records().back().note, "resolved on restart");
+
+  // A fresh replay of the same ledger derives the same committed state —
+  // recovery is idempotent.
+  std::vector<LedgerRecord> replayed;
+  ASSERT_TRUE(PromotionLedger::Replay(state_dir_ + "/promotions.ledger",
+                                      &replayed)
+                  .ok());
+  LedgerState state = PromotionLedger::Derive(replayed);
+  EXPECT_EQ(state.committed_version, "init");
+  EXPECT_FALSE(state.in_flight);
+}
+
+TEST_F(LearnLoopTest, CommittedCandidateSurvivesRestart) {
+  // After a clean promotion, a restarted learner boots the promoted
+  // artifact, not the initial one.
+  auto learner = MakeLearner(Options());
+  ASSERT_TRUE(learner->Recover().ok());
+  Replay(learner.get(), 0, 0, data::kMinutesPerDay, -1);
+  learner->RequestFineTune();
+  // Stop the simulated old-model feed at the promotion, before the watch
+  // window fills with it.
+  for (int m = 0; m < data::kMinutesPerDay && learner->promotions() == 0;
+       m += 10) {
+    Replay(learner.get(), 1, m, m + 10, /*gap=*/50.0f);
+  }
+  ASSERT_EQ(learner->promotions(), 1u);
+  learner.reset();  // single-writer ledger: release before restarting
+
+  auto restarted = MakeLearner(Options());
+  std::shared_ptr<const store::StoredModel> boot;
+  ASSERT_TRUE(restarted->Recover(&boot).ok());
+  EXPECT_EQ(boot->version_id(), "ft-1");
+  // The open watch does not survive the process (its baseline samples
+  // died with the live tracker): the restarted learner is idle or
+  // watching per the ledger, but never mid-shadow.
+  EXPECT_NE(restarted->stage(), LearnerStage::kShadowing);
+}
+
+TEST_F(LearnLoopTest, UnreadableCommittedArtifactFallsBackToInitial) {
+  // The committed artifact rots while the process is down: recovery must
+  // still boot — from the initial artifact — and say so in the ledger.
+  const std::string candidate_path = state_dir_ + "/ft-1.dsar";
+  WriteLedger({Rec(LedgerEvent::kPromoted, "ft-1", candidate_path, "init")});
+  // candidate_path was never written — the strongest form of unreadable.
+
+  auto learner = MakeLearner(Options());
+  std::shared_ptr<const store::StoredModel> boot;
+  ASSERT_TRUE(learner->Recover(&boot).ok());
+  EXPECT_EQ(boot->version_id(), "init");
+  EXPECT_EQ(learner->ledger().records().back().event, LedgerEvent::kAborted);
+}
+
+}  // namespace
+}  // namespace learn
+}  // namespace deepsd

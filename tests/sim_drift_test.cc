@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/sim/city_sim.h"
+
+namespace deepsd {
+namespace sim {
+namespace {
+
+CityConfig SmallConfig() {
+  CityConfig config;
+  config.num_areas = 8;
+  config.num_days = 10;
+  config.seed = 321;
+  config.mean_scale = 0.8;
+  return config;
+}
+
+int CountOrders(const data::OrderDataset& ds, int area, int day_begin,
+                int day_end) {
+  int n = 0;
+  for (int d = day_begin; d < day_end; ++d) {
+    n += ds.ValidInRange(area, d, 0, data::kMinutesPerDay) +
+         ds.InvalidInRange(area, d, 0, data::kMinutesPerDay);
+  }
+  return n;
+}
+
+TEST(RegimeShiftTest, NoShiftsMatchesBaseline) {
+  // An empty regime_shifts vector must be bit-identical to the seed city:
+  // the shift machinery cannot perturb the base RNG stream.
+  data::OrderDataset base = SimulateCity(SmallConfig());
+
+  CityConfig with_empty = SmallConfig();
+  with_empty.regime_shifts = {};
+  data::OrderDataset again = SimulateCity(with_empty);
+
+  ASSERT_EQ(base.num_areas(), again.num_areas());
+  for (int a = 0; a < base.num_areas(); ++a) {
+    EXPECT_EQ(CountOrders(base, a, 0, 10), CountOrders(again, a, 0, 10))
+        << "area " << a;
+  }
+}
+
+TEST(RegimeShiftTest, PreShiftDaysAreUnperturbed) {
+  CityConfig shifted = SmallConfig();
+  RegimeShift shift;
+  shift.kind = RegimeShift::Kind::kArchetypeShift;
+  shift.start_day = 6;
+  shift.area_stride = 2;
+  shifted.regime_shifts.push_back(shift);
+
+  data::OrderDataset base = SimulateCity(SmallConfig());
+  data::OrderDataset drifted = SimulateCity(shifted);
+
+  // Every order before the shift day is identical.
+  for (int a = 0; a < 8; ++a) {
+    EXPECT_EQ(CountOrders(base, a, 0, 6), CountOrders(drifted, a, 0, 6))
+        << "area " << a;
+  }
+}
+
+TEST(RegimeShiftTest, ArchetypeShiftSwapsGeneratingProcess) {
+  CityConfig config = SmallConfig();
+  RegimeShift shift;
+  shift.kind = RegimeShift::Kind::kArchetypeShift;
+  shift.start_day = 5;
+  shift.area_stride = 2;
+  shift.to_type = AreaType::kBusiness;
+  config.regime_shifts.push_back(shift);
+
+  CitySim sim(config);
+  bool any_shifted = false;
+  for (int a = 0; a < config.num_areas; a += shift.area_stride) {
+    const AreaProfile& before = sim.EffectiveProfile(a, 4);
+    const AreaProfile& after = sim.EffectiveProfile(a, 5);
+    EXPECT_EQ(before.type, sim.profiles()[a].type);
+    EXPECT_EQ(after.type, AreaType::kBusiness);
+    // Same scale class — the shift changes shape, not magnitude class.
+    EXPECT_DOUBLE_EQ(after.scale, before.scale);
+    if (before.type != after.type) any_shifted = true;
+  }
+  EXPECT_TRUE(any_shifted);
+  // Untouched areas keep their base profile on every day.
+  for (int a = 1; a < config.num_areas; a += shift.area_stride) {
+    EXPECT_EQ(&sim.EffectiveProfile(a, 9), &sim.profiles()[a]);
+  }
+}
+
+TEST(RegimeShiftTest, HolidayRegimeRemapsWeekIdAndIntensity) {
+  CityConfig config = SmallConfig();
+  RegimeShift shift;
+  shift.kind = RegimeShift::Kind::kHolidayRegime;
+  shift.start_day = 3;
+  shift.end_day = 5;
+  shift.intensity = 1.5;
+  config.regime_shifts.push_back(shift);
+
+  CitySim sim(config);
+  int week_id = 0;
+  EXPECT_DOUBLE_EQ(sim.HolidayAdjust(2, &week_id), 1.0);
+  EXPECT_NE(week_id, 6);  // day 2 keeps its calendar weekday
+
+  week_id = 0;
+  EXPECT_DOUBLE_EQ(sim.HolidayAdjust(3, &week_id), 1.5);
+  EXPECT_EQ(week_id, 6);  // holidays behave like Sundays
+
+  week_id = 0;
+  EXPECT_DOUBLE_EQ(sim.HolidayAdjust(5, &week_id), 1.0);  // past end_day
+}
+
+TEST(RegimeShiftTest, StadiumAddsEveningBumpAndCutsSupply) {
+  CityConfig config = SmallConfig();
+  RegimeShift shift;
+  shift.kind = RegimeShift::Kind::kStadium;
+  shift.start_day = 4;
+  shift.stadium_area = 3;
+  shift.intensity = 1.0;
+  config.regime_shifts.push_back(shift);
+
+  CitySim sim(config);
+  const AreaProfile& before = sim.EffectiveProfile(3, 3);
+  const AreaProfile& after = sim.EffectiveProfile(3, 4);
+  EXPECT_GT(after.weekday_bumps.size(), before.weekday_bumps.size());
+  EXPECT_GT(after.weekend_bumps.size(), before.weekend_bumps.size());
+  EXPECT_LT(after.supply_ratio, before.supply_ratio);
+  // The evening intensity visibly exceeds the base process.
+  EXPECT_GT(after.DemandIntensity(1260, 2), before.DemandIntensity(1260, 2));
+}
+
+TEST(RegimeShiftTest, ShiftedCityIsDeterministic) {
+  CityConfig config = SmallConfig();
+  RegimeShift shift;
+  shift.kind = RegimeShift::Kind::kArchetypeShift;
+  shift.start_day = 5;
+  config.regime_shifts.push_back(shift);
+
+  SimSummary a, b;
+  data::OrderDataset first = SimulateCity(config, &a);
+  data::OrderDataset second = SimulateCity(config, &b);
+  EXPECT_EQ(a.total_orders, b.total_orders);
+  EXPECT_EQ(a.invalid_orders, b.invalid_orders);
+  for (int area = 0; area < config.num_areas; ++area) {
+    EXPECT_EQ(CountOrders(first, area, 0, config.num_days),
+              CountOrders(second, area, 0, config.num_days));
+  }
+}
+
+TEST(RegimeShiftTest, ShiftMovesPostShiftDistribution) {
+  // The drift scenario must actually drift: post-shift order volume in the
+  // shifted areas differs from the unshifted run's same days.
+  CityConfig config = SmallConfig();
+  RegimeShift shift;
+  shift.kind = RegimeShift::Kind::kArchetypeShift;
+  shift.start_day = 5;
+  shift.area_stride = 1;  // every area shifts
+  shift.to_type = AreaType::kEntertainment;
+  config.regime_shifts.push_back(shift);
+
+  data::OrderDataset base = SimulateCity(SmallConfig());
+  data::OrderDataset drifted = SimulateCity(config);
+
+  int diff_areas = 0;
+  for (int a = 0; a < config.num_areas; ++a) {
+    if (CountOrders(base, a, 5, 10) != CountOrders(drifted, a, 5, 10)) {
+      ++diff_areas;
+    }
+  }
+  EXPECT_GE(diff_areas, config.num_areas / 2);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace deepsd

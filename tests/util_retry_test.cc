@@ -1,0 +1,171 @@
+#include "src/util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace deepsd {
+namespace util {
+namespace {
+
+RetryOptions NoJitter() {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff_us = 1000;
+  options.multiplier = 2.0;
+  options.jitter = 0;
+  return options;
+}
+
+TEST(RetryPolicyTest, FirstTrySuccessSleepsNever) {
+  RetryPolicy policy(NoJitter(), 7);
+  std::vector<int64_t> sleeps;
+  policy.set_sleep_fn([&](int64_t us) { sleeps.push_back(us); });
+  Status st = policy.Run([] { return Status::OK(); });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(policy.attempts(), 1);
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryPolicyTest, TransientIoErrorRetriesUntilSuccess) {
+  RetryPolicy policy(NoJitter(), 7);
+  std::vector<int64_t> sleeps;
+  policy.set_sleep_fn([&](int64_t us) { sleeps.push_back(us); });
+  int calls = 0;
+  Status st = policy.Run([&] {
+    ++calls;
+    return calls < 3 ? Status::IoError("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(policy.attempts(), 3);
+  // Without jitter the schedule is the pure exponential.
+  ASSERT_EQ(sleeps.size(), 2u);
+  EXPECT_EQ(sleeps[0], 1000);
+  EXPECT_EQ(sleeps[1], 2000);
+}
+
+TEST(RetryPolicyTest, ExhaustsBudgetAndReturnsLastError) {
+  RetryPolicy policy(NoJitter(), 7);
+  std::vector<int64_t> sleeps;
+  policy.set_sleep_fn([&](int64_t us) { sleeps.push_back(us); });
+  int calls = 0;
+  Status st = policy.Run([&] {
+    ++calls;
+    return Status::IoError("always");
+  });
+  EXPECT_EQ(st.code(), Status::Code::kIoError);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(policy.attempts(), 4);
+  ASSERT_EQ(sleeps.size(), 3u);
+  EXPECT_EQ(sleeps[2], 4000);
+}
+
+TEST(RetryPolicyTest, PermanentErrorsSurfaceImmediately) {
+  for (Status permanent :
+       {Status::InvalidArgument("corrupt"), Status::FailedPrecondition("shape"),
+        Status::NotFound("gone")}) {
+    RetryPolicy policy(NoJitter(), 7);
+    int calls = 0;
+    Status st = policy.Run([&] {
+      ++calls;
+      return permanent;
+    });
+    EXPECT_EQ(st.code(), permanent.code());
+    EXPECT_EQ(calls, 1) << permanent.ToString();
+  }
+}
+
+TEST(RetryPolicyTest, CustomRetryablePredicate) {
+  RetryPolicy policy(NoJitter(), 7);
+  policy.set_sleep_fn([](int64_t) {});
+  policy.set_retryable_fn(
+      [](const Status& st) { return st.code() == Status::Code::kInternal; });
+  int calls = 0;
+  Status st = policy.Run([&] {
+    ++calls;
+    return calls < 2 ? Status::Internal("blip") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 2);
+
+  // IoError is no longer retryable under the custom predicate.
+  calls = 0;
+  st = policy.Run([&] {
+    ++calls;
+    return Status::IoError("io");
+  });
+  EXPECT_EQ(st.code(), Status::Code::kIoError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, JitterIsDeterministicPerSeed) {
+  RetryOptions options = NoJitter();
+  options.jitter = 0.2;
+  options.max_attempts = 6;
+
+  auto schedule = [&](uint64_t seed) {
+    RetryPolicy policy(options, seed);
+    std::vector<int64_t> sleeps;
+    for (int attempt = 1; attempt < options.max_attempts; ++attempt) {
+      sleeps.push_back(policy.NextBackoffUs(attempt));
+    }
+    return sleeps;
+  };
+
+  EXPECT_EQ(schedule(11), schedule(11));
+  EXPECT_NE(schedule(11), schedule(12));
+
+  // Jitter stays inside [1 - j, 1 + j] of the pure exponential.
+  std::vector<int64_t> jittered = schedule(11);
+  int64_t pure = options.initial_backoff_us;
+  for (int64_t us : jittered) {
+    EXPECT_GE(us, static_cast<int64_t>(pure * 0.8) - 1);
+    EXPECT_LE(us, static_cast<int64_t>(pure * 1.2) + 1);
+    pure = static_cast<int64_t>(pure * options.multiplier);
+  }
+}
+
+TEST(RetryPolicyTest, BackoffIsCapped) {
+  RetryOptions options = NoJitter();
+  options.max_attempts = 20;
+  options.max_backoff_us = 5000;
+  RetryPolicy policy(options, 7);
+  for (int attempt = 1; attempt < 20; ++attempt) {
+    EXPECT_LE(policy.NextBackoffUs(attempt), 5000);
+  }
+}
+
+TEST(RetryPolicyTest, RunMatchesNextBackoffSchedule) {
+  RetryOptions options = NoJitter();
+  options.jitter = 0.3;
+  std::vector<int64_t> expected;
+  {
+    RetryPolicy oracle(options, 99);
+    for (int attempt = 1; attempt < options.max_attempts; ++attempt) {
+      expected.push_back(oracle.NextBackoffUs(attempt));
+    }
+  }
+  RetryPolicy policy(options, 99);
+  std::vector<int64_t> observed;
+  policy.set_sleep_fn([&](int64_t us) { observed.push_back(us); });
+  (void)policy.Run([] { return Status::IoError("always"); });
+  EXPECT_EQ(observed, expected);
+}
+
+TEST(RetryPolicyTest, SingleAttemptDisablesRetry) {
+  RetryOptions options = NoJitter();
+  options.max_attempts = 1;
+  RetryPolicy policy(options, 7);
+  int calls = 0;
+  Status st = policy.Run([&] {
+    ++calls;
+    return Status::IoError("io");
+  });
+  EXPECT_EQ(st.code(), Status::Code::kIoError);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace deepsd

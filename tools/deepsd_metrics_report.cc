@@ -4,6 +4,7 @@
 //   deepsd_metrics_report --in=metrics.jsonl [--filter=serving/] [--overload]
 //   deepsd_metrics_report --timeline=timeline.jsonl [--filter=serving/]
 //   deepsd_metrics_report --slo=alerts.jsonl
+//   deepsd_metrics_report --promotions=promotions.ledger
 //
 // --in renders the counters/gauges table and the histogram quantile table
 // (count / mean / p50 / p90 / p99 / max, microseconds for latency
@@ -13,7 +14,9 @@
 // the busiest counters). --slo renders the structured alert log. When a
 // metrics dump shows dropped trace spans, a warning points at the
 // DEEPSD_TRACE_RING knob. --filter keeps only metrics whose name contains
-// the given substring.
+// the given substring. --promotions replays a continuous-learning
+// promotion ledger (docs/continuous_learning.md) and renders each
+// candidate's lifecycle — shadow deltas, verdict, rollbacks — as a table.
 
 #include <algorithm>
 #include <cstdio>
@@ -22,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "learn/ledger.h"
 #include "obs/json.h"
 #include "obs/metrics_io.h"
 #include "util/cli.h"
@@ -227,22 +231,95 @@ int PrintAlerts(const std::string& path) {
   return 0;
 }
 
+/// Replays a promotion ledger and renders the candidate lifecycle table.
+int PrintPromotions(const std::string& path) {
+  using deepsd::learn::LedgerEvent;
+  using deepsd::learn::LedgerEventName;
+  using deepsd::learn::LedgerRecord;
+  using deepsd::learn::PromotionLedger;
+
+  std::vector<LedgerRecord> records;
+  uint64_t torn_bytes = 0;
+  deepsd::util::Status st = PromotionLedger::Replay(path, &records,
+                                                    &torn_bytes);
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot replay ledger: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (torn_bytes > 0) {
+    std::fprintf(stderr,
+                 "warning: %llu torn byte(s) at the ledger tail were "
+                 "discarded (append interrupted mid-frame)\n",
+                 static_cast<unsigned long long>(torn_bytes));
+  }
+
+  uint64_t promotions = 0, rollbacks = 0, rejected = 0;
+  for (const LedgerRecord& r : records) {
+    promotions += r.event == LedgerEvent::kPromoted;
+    rollbacks += r.event == LedgerEvent::kRolledBack;
+    rejected += r.event == LedgerEvent::kRejected;
+  }
+
+  std::printf("promotions: %zu record%s from %s\n", records.size(),
+              records.size() == 1 ? "" : "s", path.c_str());
+  if (records.empty()) return 0;
+  std::printf(
+      "  %4s %6s %8s %-18s %-10s %9s %9s %8s  %s\n", "seq", "day", "min",
+      "event", "candidate", "serv_mae", "cand_mae", "samples", "detail");
+  for (const LedgerRecord& r : records) {
+    const bool has_metrics = r.event == LedgerEvent::kShadowResult ||
+                             r.event == LedgerEvent::kPromoting ||
+                             r.event == LedgerEvent::kRollbackStarted;
+    char serving[32] = "-", candidate[32] = "-", samples[32] = "-";
+    if (has_metrics) {
+      std::snprintf(serving, sizeof(serving), "%.4f", r.serving_mae);
+      std::snprintf(candidate, sizeof(candidate), "%.4f", r.candidate_mae);
+      std::snprintf(samples, sizeof(samples), "%llu",
+                    static_cast<unsigned long long>(r.shadow_samples));
+    }
+    std::string detail = r.note;
+    if (!r.prior_version.empty()) {
+      detail = "prior=" + r.prior_version + (detail.empty() ? "" : " ") +
+               detail;
+    }
+    std::printf("  %4llu %6lld %8lld %-18s %-10s %9s %9s %8s  %s\n",
+                static_cast<unsigned long long>(r.seq),
+                static_cast<long long>(r.t_abs / 1440),
+                static_cast<long long>(r.t_abs % 1440),
+                LedgerEventName(r.event), r.candidate_id.c_str(), serving,
+                candidate, samples, detail.c_str());
+  }
+
+  const deepsd::learn::LedgerState state = PromotionLedger::Derive(records);
+  std::printf(
+      "\n  promoted %llu  rolled back %llu  rejected %llu\n"
+      "  committed version: %s%s\n",
+      static_cast<unsigned long long>(promotions),
+      static_cast<unsigned long long>(rollbacks),
+      static_cast<unsigned long long>(rejected),
+      state.committed_version.empty() ? "(initial)"
+                                      : state.committed_version.c_str(),
+      state.in_flight ? "  (one stage still in flight)" : "");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace deepsd;
   util::CommandLine cli(argc, argv);
-  util::Status st =
-      cli.CheckKnown({"in", "filter", "overload", "timeline", "slo", "help"});
-  const bool has_input =
-      cli.Has("in") || cli.Has("timeline") || cli.Has("slo");
+  util::Status st = cli.CheckKnown(
+      {"in", "filter", "overload", "timeline", "slo", "promotions", "help"});
+  const bool has_input = cli.Has("in") || cli.Has("timeline") ||
+                         cli.Has("slo") || cli.Has("promotions");
   if (!st.ok() || cli.GetBool("help", false) || !has_input) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_metrics_report --in=metrics.jsonl "
                  "[--filter=substring] [--overload]\n"
                  "       deepsd_metrics_report --timeline=timeline.jsonl "
                  "[--filter=substring]\n"
-                 "       deepsd_metrics_report --slo=alerts.jsonl\n",
+                 "       deepsd_metrics_report --slo=alerts.jsonl\n"
+                 "       deepsd_metrics_report --promotions=promotions.ledger\n",
                  st.ToString().c_str());
     return 2;
   }
@@ -283,6 +360,9 @@ int main(int argc, char** argv) {
   }
   if (rc == 0 && cli.Has("slo")) {
     rc = PrintAlerts(cli.GetString("slo"));
+  }
+  if (rc == 0 && cli.Has("promotions")) {
+    rc = PrintPromotions(cli.GetString("promotions"));
   }
   return rc;
 }

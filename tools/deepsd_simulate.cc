@@ -23,8 +23,11 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
 #include "core/drift.h"
 #include "core/trainer.h"
+#include "learn/continuous_learner.h"
 #include "data/serialize.h"
 #include "dispatch/closed_loop.h"
 #include "dispatch/policies.h"
@@ -816,6 +819,254 @@ bool RunSwapScenario(const data::OrderDataset& dataset, int shards,
   return ok;
 }
 
+/// Continuous-learning drift gate (docs/continuous_learning.md): simulates
+/// the same city with an archetype shift over its last two days, trains and
+/// packs a pre-shift model, then replays the shifted days through a full
+/// ContinuousLearner deployment — versioned serving, live accuracy tracker,
+/// durable ledger under `scratch`.drift_state — beside a frozen replica
+/// that never fine-tunes. One fine-tune is requested after the first
+/// drifted day. Returns false (and prints why) unless:
+///
+///   * exactly one candidate is promoted and none rolled back or rejected
+///     (the gate holds on healthy adaptation);
+///   * the ledger's committed version is the promoted candidate;
+///   * the promoted model's post-promotion MAE beats the frozen replica's
+///     over the same joined prediction slots (the recovery gate).
+///
+/// This is the CI gate behind `deepsd_simulate --drift`; the ledger it
+/// leaves behind feeds `deepsd_metrics_report --promotions`.
+bool RunDriftScenario(const sim::CityConfig& base_config,
+                      const std::string& scratch, obs::AlertLog* alert_log,
+                      obs::FlightRecorder* flight) {
+  sim::CityConfig config = base_config;
+  if (config.num_days < 6) {
+    std::fprintf(stderr, "drift: raising --days from %d to 6 (2 shifted "
+                 "days need 4 clean ones before them)\n", config.num_days);
+    config.num_days = 6;
+  }
+  const int shift_day = config.num_days - 2;
+  sim::RegimeShift shift;
+  shift.kind = sim::RegimeShift::Kind::kArchetypeShift;
+  shift.start_day = shift_day;
+  shift.area_stride = 1;  // every area shifts: an unmistakable regime change
+  shift.intensity = 1.5;
+  config.regime_shifts.push_back(shift);
+
+  std::printf("drift: simulating %d areas x %d days, archetype shift from "
+              "day %d...\n",
+              config.num_areas, config.num_days, shift_day);
+  data::OrderDataset dataset = sim::SimulateCity(config, nullptr);
+  const int num_areas = dataset.num_areas();
+
+  std::printf("drift: training pre-shift model on days [0,%d)...\n",
+              shift_day);
+  feature::FeatureConfig fc;
+  feature::FeatureAssembler assembler(&dataset, fc, 0, shift_day);
+  auto train_items = data::MakeItems(dataset, 0, shift_day, 20, 1430, 30);
+  core::DeepSDConfig mc;
+  mc.num_areas = num_areas;
+  mc.use_weather = dataset.has_weather();
+  mc.use_traffic = dataset.has_traffic();
+  nn::ParameterStore params;
+  util::Rng rng(7);
+  core::DeepSDModel model(mc, core::DeepSDModel::Mode::kBasic, &params, &rng);
+  core::TrainConfig tc;
+  tc.epochs = 2;
+  tc.best_k = 0;
+  core::AssemblerSource train(&assembler, train_items, /*advanced=*/false);
+  core::Trainer(tc).Train(&model, &params, train, train);
+
+  const std::string state_dir = scratch + ".drift_state";
+  std::error_code ec;
+  std::filesystem::remove_all(state_dir, ec);
+  std::filesystem::create_directories(state_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "drift: cannot create %s: %s\n", state_dir.c_str(),
+                 ec.message().c_str());
+    return false;
+  }
+  const std::string init_path = state_dir + "/init.dsar";
+  store::PackOptions po;
+  po.version_id = "init";
+  util::Status st = store::PackModelArtifact(model, params, nullptr, po,
+                                             init_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "drift: pack failed: %s\n", st.ToString().c_str());
+    return false;
+  }
+
+  // The deployment: versioned serving fed by the learner's publish /
+  // rollback hooks, a live accuracy tracker the learner drives, and the
+  // durable ledger under state_dir.
+  eval::OnlineAccuracyConfig ac;
+  ac.num_areas = num_areas;
+  eval::OnlineAccuracyTracker tracker(ac);
+
+  learn::LearnerOptions lo;
+  lo.state_dir = state_dir;
+  lo.initial_artifact = init_path;
+  lo.num_areas = num_areas;
+  lo.first_weekday = config.first_weekday;
+  lo.finetune = tc;
+  lo.finetune.epochs = 4;
+  lo.features = fc;
+  lo.snapshot_days = 1;
+  lo.min_train_days = 1;
+  lo.item_stride = 10;
+  // Only the explicit request below starts a fine-tune: the cooldown is
+  // effectively infinite and the PSI trigger unreachable (no input
+  // reference is attached, so live PSI stays 0).
+  lo.cooldown_minutes = 1 << 20;
+  lo.psi_trigger = 1e9;
+  // Judge the candidate late in the day, once its shadow buffer has long
+  // since warmed past the feature window.
+  lo.shadow_min_samples = static_cast<uint64_t>(num_areas) * 100;
+  lo.watch_min_samples = 64;
+  store::VersionedModel versions;
+  learn::ContinuousLearner learner(
+      lo, &assembler, &tracker,
+      [&](std::shared_ptr<const store::ModelVersion> v) {
+        return versions.Publish(std::move(v));
+      });
+  if (alert_log != nullptr) learner.set_alert_log(alert_log);
+  if (flight != nullptr) learner.set_flight_recorder(flight);
+
+  std::shared_ptr<const store::StoredModel> boot;
+  st = learner.Recover(&boot);
+  if (st.ok()) st = versions.Publish(boot);
+  if (!st.ok()) {
+    std::fprintf(stderr, "drift: boot failed: %s\n", st.ToString().c_str());
+    return false;
+  }
+  serving::OnlinePredictor predictor(&versions, &assembler);
+  predictor.set_prediction_observer(&learner);
+
+  // The frozen replica: the same pre-shift model, never fine-tuned, scored
+  // by its own (unpublished) tracker over the same slots.
+  serving::OnlinePredictor frozen(&boot->model(), &assembler);
+  eval::OnlineAccuracyConfig frozen_ac = ac;
+  frozen_ac.publish_metrics = false;
+  eval::OnlineAccuracyTracker frozen_tracker(frozen_ac);
+  frozen.set_prediction_observer(&frozen_tracker);
+  frozen.buffer().set_stream_observer(&frozen_tracker);
+
+  std::vector<int> all_areas(static_cast<size_t>(num_areas));
+  for (int a = 0; a < num_areas; ++a) all_areas[static_cast<size_t>(a)] = a;
+
+  std::printf("drift: replaying days [%d,%d) through the learner...\n",
+              shift_day - 1, config.num_days);
+  bool frozen_marked = false;
+  for (int day = shift_day - 1; day < config.num_days; ++day) {
+    for (int ts = 0; ts < data::kMinutesPerDay; ++ts) {
+      if (day == shift_day + 1 && ts == 0) learner.RequestFineTune();
+      st = learner.Tick(day, ts);
+      if (!st.ok()) {
+        std::fprintf(stderr, "drift: Tick(%d,%d) failed: %s\n", day, ts,
+                     st.ToString().c_str());
+        return false;
+      }
+      for (int a = 0; a < num_areas; ++a) {
+        for (const data::Order& o : dataset.OrdersAt(a, day, ts)) {
+          learner.OnOrder(o);
+          predictor.buffer().AddOrder(o);
+          frozen.buffer().AddOrder(o);
+        }
+        if (dataset.has_traffic()) {
+          data::TrafficRecord tr = dataset.TrafficAt(a, day, ts);
+          tr.area = a;
+          tr.day = day;
+          tr.ts = ts;
+          learner.OnTraffic(tr);
+          predictor.buffer().AddTraffic(tr);
+          frozen.buffer().AddTraffic(tr);
+        }
+      }
+      if (dataset.has_weather()) {
+        data::WeatherRecord w = dataset.WeatherAt(day, ts);
+        w.day = day;
+        w.ts = ts;
+        learner.OnWeather(w);
+        predictor.buffer().AddWeather(w);
+        frozen.buffer().AddWeather(w);
+      }
+      predictor.AdvanceTo(day, ts + 1);
+      frozen.AdvanceTo(day, ts + 1);
+      if (day >= shift_day && (ts + 1) % 5 == 0 && ts + 1 >= fc.window) {
+        predictor.PredictBatch(all_areas, util::Deadline::Infinite());
+        frozen.PredictBatch(all_areas, util::Deadline::Infinite());
+        // Score the frozen replica over exactly the promoted model's
+        // post-promotion slots (the learner Mark()s its own tracker).
+        if (!frozen_marked && learner.promotions() == 1) {
+          frozen_tracker.Mark();
+          frozen_marked = true;
+        }
+      }
+    }
+  }
+
+  const std::string ledger_path = state_dir + "/promotions.ledger";
+  std::printf(
+      "drift: %llu fine-tune(s), %llu promotion(s), %llu rejection(s), "
+      "%llu rollback(s); ledger at %s\n",
+      static_cast<unsigned long long>(learner.fine_tunes()),
+      static_cast<unsigned long long>(learner.promotions()),
+      static_cast<unsigned long long>(learner.rejected()),
+      static_cast<unsigned long long>(learner.rollbacks()),
+      ledger_path.c_str());
+
+  bool ok = true;
+  if (learner.promotions() != 1 || learner.rollbacks() != 0 ||
+      learner.rejected() != 0) {
+    std::fprintf(stderr,
+                 "drift FAIL: expected exactly one clean promotion, got "
+                 "%llu promoted / %llu rejected / %llu rolled back\n",
+                 static_cast<unsigned long long>(learner.promotions()),
+                 static_cast<unsigned long long>(learner.rejected()),
+                 static_cast<unsigned long long>(learner.rollbacks()));
+    ok = false;
+  }
+  const learn::LedgerState ledger_state = learner.ledger().state();
+  if (ok && (ledger_state.committed_version != learner.serving_model()->version_id() ||
+             ledger_state.in_flight)) {
+    std::fprintf(stderr,
+                 "drift FAIL: ledger committed '%s' (in flight: %d) but "
+                 "serving answers from '%s'\n",
+                 ledger_state.committed_version.c_str(),
+                 ledger_state.in_flight,
+                 learner.serving_model()->version_id().c_str());
+    ok = false;
+  }
+  if (ok) {
+    const eval::TierAccuracy adapted = tracker.SinceMark();
+    const eval::TierAccuracy stale = frozen_tracker.SinceMark();
+    std::printf(
+        "drift: post-promotion MAE %.3f over %llu slots (frozen replica "
+        "%.3f over %llu)\n",
+        adapted.mae, static_cast<unsigned long long>(adapted.count),
+        stale.mae, static_cast<unsigned long long>(stale.count));
+    if (adapted.count < lo.watch_min_samples || stale.count == 0) {
+      std::fprintf(stderr, "drift FAIL: too few post-promotion slots to "
+                   "judge recovery\n");
+      ok = false;
+    } else if (adapted.mae >= stale.mae) {
+      std::fprintf(stderr,
+                   "drift FAIL: the promoted model (MAE %.3f) did not beat "
+                   "the frozen pre-shift model (MAE %.3f) on drifted "
+                   "traffic\n",
+                   adapted.mae, stale.mae);
+      ok = false;
+    }
+  }
+  predictor.set_prediction_observer(nullptr);
+  frozen.set_prediction_observer(nullptr);
+  frozen.buffer().set_stream_observer(nullptr);
+  if (ok) {
+    std::printf("drift scenario OK: one guarded promotion recovered "
+                "accuracy after the regime shift\n");
+  }
+  return ok;
+}
+
 int Main(int argc, char** argv) {
   util::CommandLine cli(argc, argv);
   util::Status st = cli.CheckKnown(
@@ -825,7 +1076,7 @@ int Main(int argc, char** argv) {
        "timeline-out", "timeline-interval-ms", "openmetrics-out",
        "serve-metrics", "alerts-out", "flight-dir", "slo", "slo_availability",
        "slo_queue_p99_us", "slo_mae", "swap", "swap_publishes",
-       "swap_readers", "help"});
+       "swap_readers", "drift", "help"});
   if (!st.ok() || cli.GetBool("help", false)) {
     std::fprintf(stderr,
                  "%s\nusage: deepsd_simulate --out=city.bin [--areas=58] "
@@ -839,7 +1090,7 @@ int Main(int argc, char** argv) {
                  "[--slo_mae=0] [--alerts-out=alerts.jsonl] "
                  "[--flight-dir=DIR] [--overload] [--overload_burst=10] "
                  "[--overload_requests=40] [--shards=N] [--swap] "
-                 "[--swap_publishes=120] [--swap_readers=4]\n",
+                 "[--swap_publishes=120] [--swap_readers=4] [--drift]\n",
                  st.ToString().c_str());
     return st.ok() ? 0 : 2;
   }
@@ -968,6 +1219,21 @@ int Main(int argc, char** argv) {
   } else if (cli.Has("shards")) {
     if (!RunShardedScenario(dataset,
                             static_cast<int>(cli.GetInt("shards", 4)))) {
+      return 1;
+    }
+  }
+
+  if (cli.GetBool("drift", false)) {
+    if (!RunDriftScenario(config, out, &alert_log, flight.get())) {
+      if (flight != nullptr && !flight->dumped()) {
+        obs::TimelineRecorder* tl = recorder.get();
+        if (tl != nullptr) tl->SampleNow();
+        st = flight->Dump(tl, &alert_log, "drift-recovery gate breach");
+        if (st.ok()) {
+          std::fprintf(stderr, "flight bundle written to %s\n",
+                       flight->bundle_dir().c_str());
+        }
+      }
       return 1;
     }
   }
